@@ -1,0 +1,112 @@
+// Experiment F1 — exercises the system architecture of the paper's
+// Figure 1: Web-UI requests enter through the API gateway, the scheduler
+// dispatches them to executor workers ("computational nodes... can be
+// scaled up or down depending on the system's workload"), results and logs
+// land in the datastore, and the status component reports progress.
+//
+// The bench sweeps the worker count and reports throughput and latency for
+// a fixed mixed workload of query sets, demonstrating the scaling knob.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "datasets/catalog.h"
+#include "platform/gateway.h"
+
+namespace cyclerank {
+namespace {
+
+QuerySet MixedWorkload() {
+  // One comparison in the spirit of Fig. 2: several algorithms across
+  // catalog datasets. Tasks are sized to tens of milliseconds each so the
+  // sweep measures scheduling across workers, not constant overheads.
+  TaskBuilder builder;
+  (void)builder.Add("twitter-cop27", "ppr_montecarlo",
+                    "source=0, walks=400000, seed=1");
+  (void)builder.Add("twitter-8m", "ppr_montecarlo",
+                    "source=1, walks=400000, seed=2");
+  (void)builder.Add("amazon-copurchase", "cyclerank", "source=0, k=4");
+  (void)builder.Add("ba-1k", "cyclerank", "source=0, k=5");
+  (void)builder.Add("wikilink-en-2018", "2drank",
+                    "alpha=0.85, tolerance=1e-14");
+  (void)builder.Add("wikilink-en-2018", "pagerank",
+                    "alpha=0.95, tolerance=1e-14");
+  (void)builder.Add("enwiki-mini-2018", "cyclerank",
+                    "source=Freddie Mercury, k=3");
+  (void)builder.Add("twitter-cop27", "pers_cheirank",
+                    "source=0, tolerance=1e-14");
+  return builder.Build();
+}
+
+int RunFig1() {
+  std::puts(
+      "Figure 1: platform architecture end-to-end "
+      "(gateway -> scheduler -> executors -> datastore -> status)\n");
+  std::puts(
+      "workload: 12 query sets x 8 tasks (mixed algorithms & datasets)\n");
+
+  // Warm the dataset cache so the sweep measures the pipeline, not the
+  // first-touch generator cost.
+  for (const char* name : {"enwiki-mini-2018", "amazon-copurchase",
+                           "ba-1k", "wikilink-en-2018", "twitter-8m",
+                           "twitter-cop27"}) {
+    (void)DatasetCatalog::BuiltIn().Load(name);
+  }
+
+  std::printf("%-10s %-12s %-14s %-14s %-12s\n", "workers", "tasks/s",
+              "total (ms)", "avg task (ms)", "completed");
+  constexpr int kQuerySets = 12;
+
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    Datastore store;
+    ApiGateway gateway(&store, &AlgorithmRegistry::Default(), workers, 99);
+
+    WallTimer timer;
+    std::vector<std::string> ids;
+    for (int i = 0; i < kQuerySets; ++i) {
+      auto id = gateway.SubmitQuerySet(MixedWorkload());
+      if (!id.ok()) {
+        std::fprintf(stderr, "submit: %s\n", id.status().ToString().c_str());
+        return 1;
+      }
+      ids.push_back(std::move(id).value());
+    }
+    size_t completed = 0;
+    double task_seconds = 0.0;
+    for (const std::string& id : ids) {
+      (void)gateway.WaitForCompletion(id, 600.0);
+      const auto results = gateway.GetResults(id);
+      if (!results.ok()) continue;
+      for (const TaskResult& result : results.value()) {
+        if (result.status.ok()) {
+          ++completed;
+          task_seconds += result.seconds;
+        }
+      }
+    }
+    const double wall = timer.ElapsedSeconds();
+    const size_t total_tasks = ids.size() * 8;
+    std::printf("%-10zu %-12.1f %-14.0f %-14.1f %zu/%zu\n", workers,
+                static_cast<double>(total_tasks) / wall, wall * 1000.0,
+                task_seconds / static_cast<double>(completed) * 1000.0,
+                completed, total_tasks);
+  }
+
+  std::printf(
+      "\n(hardware threads available: %u)\n"
+      "Shape check: on a multi-core host, throughput scales with the worker\n"
+      "count until the longest single task dominates — the paper's\n"
+      "'computational nodes can be scaled up or down' claim, measured. On a\n"
+      "single-core host the sweep stays flat and per-task latency grows\n"
+      "with oversubscription, which is itself the expected shape.\n",
+      std::thread::hardware_concurrency());
+  return 0;
+}
+
+}  // namespace
+}  // namespace cyclerank
+
+int main() { return cyclerank::RunFig1(); }

@@ -1,0 +1,89 @@
+// Experiment F2 — micro-benchmarks the task-builder workflow of the
+// paper's Figure 2: composing query sets (dataset, algorithm, parameters),
+// removing individual queries, clearing the set, parsing parameter strings,
+// and minting the UUID permalinks that identify comparisons.
+
+#include <benchmark/benchmark.h>
+
+#include "common/uuid.h"
+#include "platform/params.h"
+#include "platform/task.h"
+
+namespace cyclerank {
+namespace {
+
+void BM_TaskBuilderAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    TaskBuilder builder;
+    for (int i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(
+          builder.Add("enwiki-mini-2018", "cyclerank",
+                      "source=Fake news, k=3, sigma=exp"));
+    }
+    benchmark::DoNotOptimize(builder.Build());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TaskBuilderAdd)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_TaskBuilderRemove(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    TaskBuilder builder;
+    for (int i = 0; i < 64; ++i) {
+      (void)builder.Add("d", "pagerank", "");
+    }
+    state.ResumeTiming();
+    while (!builder.empty()) {
+      benchmark::DoNotOptimize(builder.Remove(0));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_TaskBuilderRemove);
+
+void BM_TaskBuilderClear(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    TaskBuilder builder;
+    for (int i = 0; i < 64; ++i) {
+      (void)builder.Add("d", "pagerank", "");
+    }
+    state.ResumeTiming();
+    builder.Clear();
+    benchmark::DoNotOptimize(builder.empty());
+  }
+}
+BENCHMARK(BM_TaskBuilderClear);
+
+void BM_ParamParse(benchmark::State& state) {
+  const std::string text =
+      "source=Freddie Mercury, k=3, sigma=exp, alpha=0.3, tolerance=1e-10, "
+      "max_iterations=200, top_k=5";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParamMap::Parse(text));
+  }
+}
+BENCHMARK(BM_ParamParse);
+
+void BM_UuidPermalink(benchmark::State& state) {
+  UuidGenerator gen(1234);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Generate());
+  }
+}
+BENCHMARK(BM_UuidPermalink);
+
+void BM_TaskSpecToString(benchmark::State& state) {
+  TaskSpec spec;
+  spec.dataset = "enwiki-mini-2018";
+  spec.algorithm = "cyclerank";
+  spec.params = ParamMap::Parse("source=Fake news, k=3, sigma=exp").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec.ToString());
+  }
+}
+BENCHMARK(BM_TaskSpecToString);
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,77 @@
+// Experiment P3 — PageRank / CheiRank / 2DRank scaling: graph-size sweep
+// and damping-factor sweep on Barabási–Albert graphs. Establishes the
+// baseline cost of the "established algorithms" the demo compares
+// CycleRank against (§II).
+
+#include <benchmark/benchmark.h>
+
+#include "core/cheirank.h"
+#include "core/pagerank.h"
+#include "core/twodrank.h"
+#include "datasets/generators.h"
+
+namespace cyclerank {
+namespace {
+
+Graph MakeGraph(int64_t n) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = static_cast<NodeId>(n);
+  config.edges_per_node = 8;
+  config.reciprocity = 0.3;
+  config.seed = 42;
+  return GenerateBarabasiAlbert(config).value();
+}
+
+void BM_PageRank_SizeSweep(benchmark::State& state) {
+  const Graph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputePageRank(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+  state.counters["nodes"] = static_cast<double>(g.num_nodes());
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+}
+BENCHMARK(BM_PageRank_SizeSweep)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_PageRank_AlphaSweep(benchmark::State& state) {
+  const Graph g = MakeGraph(10000);
+  PageRankOptions options;
+  options.alpha = static_cast<double>(state.range(0)) / 100.0;
+  uint32_t iterations = 0;
+  for (auto _ : state) {
+    auto result = ComputePageRank(g, options);
+    iterations = result->iterations;
+    benchmark::DoNotOptimize(result);
+  }
+  // Higher alpha -> slower spectral convergence -> more iterations.
+  state.counters["pr_iterations"] = iterations;
+}
+BENCHMARK(BM_PageRank_AlphaSweep)->Arg(30)->Arg(50)->Arg(85)->Arg(95);
+
+void BM_PersonalizedPageRank(benchmark::State& state) {
+  const Graph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputePersonalizedPageRank(g, 0));
+  }
+}
+BENCHMARK(BM_PersonalizedPageRank)->Arg(1000)->Arg(10000);
+
+void BM_CheiRank(benchmark::State& state) {
+  const Graph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeCheiRank(g));
+  }
+}
+BENCHMARK(BM_CheiRank)->Arg(1000)->Arg(10000);
+
+void BM_TwoDRank(benchmark::State& state) {
+  // 2DRank = PageRank + CheiRank + the square merge; roughly 2x PageRank.
+  const Graph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Compute2DRank(g));
+  }
+}
+BENCHMARK(BM_TwoDRank)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace cyclerank

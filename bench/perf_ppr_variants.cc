@@ -1,0 +1,92 @@
+// Experiment P1 — the paper's efficiency remark (§II: "PageRank can be
+// computed in an iterative process ... however more efficient algorithms
+// are available"): Personalized PageRank by full power iteration versus
+// the local forward-push approximation versus Monte-Carlo random walks,
+// with accuracy counters alongside the timings.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/forward_push.h"
+#include "core/monte_carlo.h"
+#include "core/pagerank.h"
+#include "datasets/generators.h"
+
+namespace cyclerank {
+namespace {
+
+Graph MakeGraph(int64_t n) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = static_cast<NodeId>(n);
+  config.edges_per_node = 8;
+  config.reciprocity = 0.3;
+  config.seed = 99;
+  return GenerateBarabasiAlbert(config).value();
+}
+
+double L1Error(const std::vector<double>& a, const std::vector<double>& b) {
+  double err = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) err += std::fabs(a[i] - b[i]);
+  return err;
+}
+
+void BM_PPR_PowerIteration(benchmark::State& state) {
+  const Graph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputePersonalizedPageRank(g, 0));
+  }
+}
+BENCHMARK(BM_PPR_PowerIteration)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_PPR_ForwardPush(benchmark::State& state) {
+  const Graph g = MakeGraph(state.range(0));
+  ForwardPushOptions options;
+  options.epsilon = 1e-7;
+  PageRankOptions exact_options;
+  exact_options.tolerance = 1e-12;
+  const auto exact = ComputePersonalizedPageRank(g, 0, exact_options).value();
+  double err = 0.0;
+  for (auto _ : state) {
+    auto result = ComputeForwardPushPpr(g, 0, options);
+    err = L1Error(result->scores, exact.scores);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["l1_error"] = err;
+}
+BENCHMARK(BM_PPR_ForwardPush)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_PPR_ForwardPush_EpsilonSweep(benchmark::State& state) {
+  const Graph g = MakeGraph(10000);
+  ForwardPushOptions options;
+  options.epsilon = std::pow(10.0, -static_cast<double>(state.range(0)));
+  uint64_t pushes = 0;
+  for (auto _ : state) {
+    auto result = ComputeForwardPushPpr(g, 0, options);
+    pushes = result->pushes;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["pushes"] = static_cast<double>(pushes);
+}
+BENCHMARK(BM_PPR_ForwardPush_EpsilonSweep)->DenseRange(4, 9);
+
+void BM_PPR_MonteCarlo(benchmark::State& state) {
+  const Graph g = MakeGraph(10000);
+  MonteCarloOptions options;
+  options.num_walks = static_cast<uint64_t>(state.range(0));
+  options.seed = 5;
+  PageRankOptions exact_options;
+  exact_options.tolerance = 1e-12;
+  const auto exact = ComputePersonalizedPageRank(g, 0, exact_options).value();
+  double err = 0.0;
+  for (auto _ : state) {
+    auto result = ComputeMonteCarloPpr(g, 0, options);
+    err = L1Error(result->scores, exact.scores);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["l1_error"] = err;
+}
+BENCHMARK(BM_PPR_MonteCarlo)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+}  // namespace
+}  // namespace cyclerank

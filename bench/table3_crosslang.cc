@@ -1,0 +1,100 @@
+// Experiment T3 — reproduces Table III of the paper:
+//   "Top-5 articles with the highest Cyclerank (K=3, σ=e^-n) scores
+//    computed on different Wikipedia language editions (de, es→en, fr, it,
+//    nl, pl) using the reference article 'Fake news'."
+// Substrate: the six embedded FakeNewsEdition() corpora. The nl and pl
+// columns legitimately have fewer than five rows (rendered "-"), exactly as
+// in the paper.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/cyclerank.h"
+#include "core/ranking.h"
+#include "datasets/corpus.h"
+#include "eval/comparison.h"
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+int RunTable3() {
+  std::puts(
+      "Table III: top-5 by Cyclerank (K=3, sigma=e^-n), reference 'Fake "
+      "news',\nacross six Wikipedia language editions\n");
+
+  WallTimer timer;
+
+  // Each edition is its own graph; merge the six top lists into one table
+  // by building a display graph whose labels are the union of all edition
+  // labels (ids never collide because we remap per column).
+  GraphBuilder display_builder;
+  std::vector<ComparisonColumn> columns;
+  std::vector<NodeId> skip_nodes;
+
+  for (const std::string& lang : FakeNewsLanguages()) {
+    const auto graph = FakeNewsEdition(lang);
+    const auto title = FakeNewsTitle(lang);
+    if (!graph.ok() || !title.ok()) {
+      std::fprintf(stderr, "%s: %s\n", lang.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    const Graph& g = graph.value();
+    const NodeId ref = g.FindNode(*title);
+    CycleRankOptions options;
+    options.max_cycle_length = 3;
+    const auto cr = ComputeCycleRank(g, ref, options);
+    if (!cr.ok()) {
+      std::fprintf(stderr, "%s: %s\n", lang.c_str(),
+                   cr.status().ToString().c_str());
+      return 1;
+    }
+    // Remap this edition's ranked nodes into the shared display id space.
+    RankedList remapped;
+    NodeId display_ref = kInvalidNode;
+    for (const ScoredNode& entry :
+         ScoresToRankedList(cr->scores)) {
+      const NodeId display_id = display_builder.AddNode(
+          g.NodeName(entry.node) + " (" + lang + ")");
+      if (entry.node == ref) display_ref = display_id;
+      remapped.push_back({display_id, entry.score});
+    }
+    skip_nodes.push_back(display_ref);
+    columns.push_back({*title + " (" + lang + ")", std::move(remapped)});
+  }
+
+  const auto display = display_builder.Build();
+  if (!display.ok()) return 1;
+
+  // Render each column with its own reference skipped. The renderer takes
+  // one skip node; since references differ per column, strip them from the
+  // ranked lists instead.
+  for (size_t c = 0; c < columns.size(); ++c) {
+    RankedList filtered;
+    for (const ScoredNode& entry : columns[c].ranking) {
+      if (entry.node != skip_nodes[c]) filtered.push_back(entry);
+    }
+    columns[c].ranking = std::move(filtered);
+  }
+  ComparisonTableOptions options;
+  options.top_k = 5;
+  std::fputs(RenderComparisonTable(display.value(), columns, options).c_str(),
+             stdout);
+
+  std::printf("\n(total compute time: %ld ms)\n", timer.ElapsedMillis());
+  std::puts(
+      "\nPaper-shape checks:\n"
+      "  - every language surfaces its own framing of the topic\n"
+      "  - recurring cross-cultural anchors (Facebook, Donald Trump, "
+      "Propaganda) appear in several editions at different ranks\n"
+      "  - nl shows 4 results and pl shows 3; the remaining cells are '-'");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cyclerank
+
+int main() { return cyclerank::RunTable3(); }

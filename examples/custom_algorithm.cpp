@@ -1,0 +1,108 @@
+// Custom algorithm — the paper's extensibility claim made concrete: "Our
+// demo design enables the possibility of adding new algorithms to the
+// demo" (§III, §V). This example implements HITS (Kleinberg 1999) as a
+// user-provided `RelevanceAlgorithm`, registers it next to the built-ins,
+// and runs it through the unmodified platform pipeline.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "eval/comparison.h"
+#include "platform/gateway.h"
+
+using namespace cyclerank;
+
+namespace {
+
+/// HITS authority scores: mutually reinforcing hub/authority iteration.
+/// Exposes the "authority" vector as the relevance score; `reference` is
+/// ignored (HITS is a global method, like PageRank).
+class HitsAuthority final : public RelevanceAlgorithm {
+ public:
+  std::string_view name() const override { return "hits_authority"; }
+  bool requires_reference() const override { return false; }
+  bool produces_scores() const override { return true; }
+
+  Result<RankedList> Run(const Graph& g,
+                         const AlgorithmRequest& request) const override {
+    const NodeId n = g.num_nodes();
+    if (n == 0) return Status::InvalidArgument("hits: empty graph");
+    std::vector<double> hub(n, 1.0), authority(n, 1.0);
+    for (uint32_t iter = 0; iter < request.max_iterations; ++iter) {
+      // authority(v) = sum of hub(u) over in-neighbours u.
+      double norm = 0.0;
+      for (NodeId v = 0; v < n; ++v) {
+        double sum = 0.0;
+        for (NodeId u : g.InNeighbors(v)) sum += hub[u];
+        authority[v] = sum;
+        norm += sum * sum;
+      }
+      norm = std::sqrt(norm);
+      if (norm > 0) {
+        for (double& a : authority) a /= norm;
+      }
+      // hub(u) = sum of authority(v) over out-neighbours v.
+      norm = 0.0;
+      for (NodeId u = 0; u < n; ++u) {
+        double sum = 0.0;
+        for (NodeId v : g.OutNeighbors(u)) sum += authority[v];
+        hub[u] = sum;
+        norm += sum * sum;
+      }
+      norm = std::sqrt(norm);
+      if (norm > 0) {
+        for (double& h : hub) h /= norm;
+      }
+    }
+    RankingOptions options;
+    options.top_k = request.top_k;
+    return ScoresToRankedList(authority, options);
+  }
+};
+
+}  // namespace
+
+int main() {
+  // 1. Register the custom algorithm in a registry of our own (so repeated
+  //    runs of this example don't collide with the process-wide Default()).
+  AlgorithmRegistry registry;
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    (void)registry.Register(MakeAlgorithm(kind));
+  }
+  const Status st = registry.Register(std::make_shared<HitsAuthority>());
+  std::printf("registered 'hits_authority': %s\n\n", st.ToString().c_str());
+
+  // 2. Use it through the platform exactly like a built-in.
+  Datastore store;
+  ApiGateway gateway(&store, &registry, 2);
+  TaskBuilder builder;
+  (void)builder.Add("enwiki-mini-2018", "hits_authority",
+                    "max_iterations=50, top_k=5");
+  (void)builder.Add("enwiki-mini-2018", "pagerank", "alpha=0.85, top_k=5");
+  auto id = gateway.SubmitQuerySet(builder.Build());
+  if (!id.ok()) {
+    std::fprintf(stderr, "submit: %s\n", id.status().ToString().c_str());
+    return 1;
+  }
+  (void)gateway.WaitForCompletion(*id, 60.0);
+  auto results = gateway.GetResults(*id);
+  auto graph = store.GetDataset("enwiki-mini-2018");
+  if (!results.ok() || !graph.ok()) return 1;
+
+  std::vector<ComparisonColumn> columns;
+  for (const TaskResult& result : *results) {
+    if (result.status.ok()) {
+      columns.push_back({result.spec.algorithm, result.ranking});
+    }
+  }
+  ComparisonTableOptions table;
+  table.top_k = 5;
+  std::puts("custom HITS vs built-in PageRank on enwiki-mini-2018:");
+  std::fputs(RenderComparisonTable(**graph, columns, table).c_str(), stdout);
+  std::puts(
+      "\n(both are global in-link methods, so the hub articles dominate "
+      "each)");
+  return 0;
+}

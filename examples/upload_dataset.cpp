@@ -1,0 +1,95 @@
+// Dataset upload & format conversion — the demo supports "commonly used
+// graph formats such as: edgelist (CSV), pajek, and our own ASD format"
+// (paper §IV-B). This example:
+//   1. reads a graph file (or an embedded sample when no path is given),
+//   2. prints its statistics,
+//   3. converts it to the other two formats,
+//   4. uploads it into a datastore and runs CycleRank on it.
+//
+//   ./upload_dataset [graph-file] [reference-node]
+
+#include <cstdio>
+#include <string>
+
+#include "core/cyclerank.h"
+#include "core/ranking.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "platform/gateway.h"
+
+using namespace cyclerank;
+
+namespace {
+
+constexpr const char* kSampleCsv =
+    "# sample co-purchase edgelist\n"
+    "lord_of_the_rings,the_hobbit\n"
+    "the_hobbit,lord_of_the_rings\n"
+    "lord_of_the_rings,silmarillion\n"
+    "silmarillion,lord_of_the_rings\n"
+    "the_hobbit,silmarillion\n"
+    "lord_of_the_rings,harry_potter\n"
+    "the_hobbit,harry_potter\n"
+    "silmarillion,harry_potter\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // 1. Load.
+  Result<Graph> graph =
+      argc > 1 ? ReadGraphFile(argv[1]) : ReadGraphFromString(kSampleCsv);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "read: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const Graph& g = graph.value();
+  std::printf("loaded graph:\n%s\n\n", ComputeGraphStats(g).ToString().c_str());
+
+  // 2. Convert to every supported format.
+  for (GraphFormat format :
+       {GraphFormat::kEdgeList, GraphFormat::kPajek, GraphFormat::kAsd}) {
+    auto text = WriteGraphToString(g, format);
+    if (!text.ok()) return 1;
+    std::printf("-- %s serialization (%zu bytes), first lines:\n",
+                std::string(GraphFormatToString(format)).c_str(),
+                text->size());
+    size_t shown = 0, pos = 0;
+    while (shown < 3 && pos < text->size()) {
+      const size_t nl = text->find('\n', pos);
+      std::printf("   %s\n", text->substr(pos, nl - pos).c_str());
+      pos = nl + 1;
+      ++shown;
+    }
+  }
+
+  // 3. Upload and run through the platform.
+  const std::string reference =
+      argc > 2 ? argv[2] : (g.labels() ? "lord_of_the_rings" : "0");
+  Datastore store;
+  auto csv = WriteGraphToString(g, GraphFormat::kEdgeList);
+  if (!csv.ok() || !store.UploadDataset("uploaded", *csv).ok()) {
+    std::fprintf(stderr, "upload failed\n");
+    return 1;
+  }
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 2);
+  TaskBuilder builder;
+  const Status st =
+      builder.Add("uploaded", "cyclerank", "source=" + reference + ", k=4");
+  if (!st.ok()) {
+    std::fprintf(stderr, "task: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto id = gateway.SubmitQuerySet(builder.Build());
+  if (!id.ok()) return 1;
+  (void)gateway.WaitForCompletion(*id, 60.0);
+  auto results = gateway.GetResults(*id);
+  if (!results.ok() || results->empty() || !results->front().status.ok()) {
+    std::fprintf(stderr, "cyclerank task failed\n");
+    return 1;
+  }
+  auto uploaded = store.GetDataset("uploaded");
+  std::printf("\nCycleRank (K=4) around '%s' on the uploaded graph:\n%s",
+              reference.c_str(),
+              FormatTopK(results->front().ranking, **uploaded, 10).c_str());
+  return 0;
+}

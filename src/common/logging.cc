@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <iostream>
+#include <mutex>
+
+namespace cyclerank {
+namespace {
+
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+void StderrSink(LogLevel level, std::string_view message) {
+  std::cerr << "[" << LogLevelToString(level) << "] " << message << "\n";
+}
+
+}  // namespace
+
+std::string_view LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger::Logger() : min_level_(LogLevel::kInfo), sink_(StderrSink) {}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger;
+  return *logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  sink_ = sink ? std::move(sink) : Sink(StderrSink);
+}
+
+void Logger::Log(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(min_level_)) return;
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  sink_(level, message);
+}
+
+}  // namespace cyclerank

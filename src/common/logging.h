@@ -1,0 +1,77 @@
+#ifndef CYCLERANK_COMMON_LOGGING_H_
+#define CYCLERANK_COMMON_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cyclerank {
+
+/// Severity of a log record, ordered from chattiest to most severe.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+std::string_view LogLevelToString(LogLevel level);
+
+/// Process-wide logging configuration.
+///
+/// The library logs through a single sink function so embedding applications
+/// (and the platform `Datastore`, which persists per-task logs) can capture
+/// records. The default sink writes `[LEVEL] message` to stderr. All methods
+/// are safe to call concurrently; sink installation is expected to happen at
+/// startup before concurrent logging begins.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  /// Returns the process-wide logger.
+  static Logger& Global();
+
+  /// Minimum level that will be forwarded to the sink.
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  /// Replaces the sink. Passing a null function restores the stderr sink.
+  void set_sink(Sink sink);
+
+  /// Forwards `message` to the sink when `level >= min_level()`.
+  void Log(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+
+  LogLevel min_level_;
+  Sink sink_;
+};
+
+namespace internal_logging {
+
+/// Stream-style collector that emits on destruction; enables
+/// `CYCLERANK_LOG(kInfo) << "x=" << x;`.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Global().Log(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define CYCLERANK_LOG(level)       \
+  ::cyclerank::internal_logging::LogMessage(::cyclerank::LogLevel::level)
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_COMMON_LOGGING_H_

@@ -1,0 +1,46 @@
+#ifndef CYCLERANK_COMMON_STRINGS_H_
+#define CYCLERANK_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cyclerank {
+
+/// Text helpers shared by the graph readers, the parameter parser and the
+/// table renderers. All functions are pure and allocation-conscious
+/// (`string_view` in, owning strings out only where required).
+
+/// Removes ASCII whitespace from both ends.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty fields ("a,,b" → {"a","","b"}).
+std::vector<std::string_view> SplitString(std::string_view s, char sep);
+
+/// Splits `s` on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// ASCII lower-casing (locale independent).
+std::string AsciiToLower(std::string_view s);
+
+/// True iff `s` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict integer / floating-point parsers: the whole trimmed token must be
+/// consumed, otherwise a ParseError is returned.
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// Formats `value` with `precision` significant digits (for tables).
+std::string FormatDouble(double value, int precision = 6);
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_COMMON_STRINGS_H_

@@ -1,0 +1,77 @@
+#ifndef CYCLERANK_COMMON_THREAD_POOL_H_
+#define CYCLERANK_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cyclerank {
+
+/// Fixed-size worker pool with a FIFO task queue.
+///
+/// This is the execution substrate behind the platform's computational
+/// nodes (paper Fig. 1: "computational nodes … can be scaled up or down
+/// depending on the system's workload"). Tasks are `void()` callables;
+/// `Submit` additionally returns a future for result plumbing.
+///
+/// Shutdown semantics: the destructor (or `Shutdown()`) stops accepting new
+/// work, drains the queue, and joins all workers. Tasks submitted after
+/// shutdown are rejected (the returned future is invalid / `Post` returns
+/// false).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn`; returns false when the pool is shut down.
+  bool Post(std::function<void()> fn);
+
+  /// Enqueues `fn` and returns a future for its result. When the pool is
+  /// already shut down the returned future is default-constructed
+  /// (`!future.valid()`).
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    if (!Post([task]() { (*task)(); })) return std::future<R>();
+    return future;
+  }
+
+  /// Blocks until every queued task has finished. New work may still be
+  /// posted afterwards.
+  void WaitIdle();
+
+  /// Drains the queue and joins the workers; idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Number of tasks currently queued (excluding running ones).
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_COMMON_THREAD_POOL_H_

@@ -1,0 +1,43 @@
+#ifndef CYCLERANK_COMMON_TIMER_H_
+#define CYCLERANK_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace cyclerank {
+
+/// Monotonic wall-clock stopwatch used by the scheduler, benches and tests.
+///
+/// The timer starts at construction; `Restart()` rewinds it. All readings are
+/// taken against `std::chrono::steady_clock` so they are immune to system
+/// clock adjustments.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Rewinds the stopwatch to zero.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last `Restart()`.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_COMMON_TIMER_H_

@@ -1,0 +1,53 @@
+#include "common/uuid.h"
+
+#include <cstdio>
+#include <random>
+
+namespace cyclerank {
+namespace {
+
+uint64_t EntropySeed() {
+  std::random_device rd;
+  return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+}
+
+bool IsLowerHex(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+}
+
+}  // namespace
+
+UuidGenerator::UuidGenerator(uint64_t seed)
+    : rng_(seed == 0 ? EntropySeed() : seed) {}
+
+std::string UuidGenerator::Generate() {
+  uint64_t hi = rng_.Next();
+  uint64_t lo = rng_.Next();
+  // Set the version nibble (4) and the RFC-4122 variant bits (10xx).
+  hi = (hi & 0xFFFFFFFFFFFF0FFFull) | 0x0000000000004000ull;
+  lo = (lo & 0x3FFFFFFFFFFFFFFFull) | 0x8000000000000000ull;
+  char buf[37];
+  std::snprintf(buf, sizeof(buf), "%08x-%04x-%04x-%04x-%012llx",
+                static_cast<unsigned>(hi >> 32),
+                static_cast<unsigned>((hi >> 16) & 0xFFFF),
+                static_cast<unsigned>(hi & 0xFFFF),
+                static_cast<unsigned>(lo >> 48),
+                static_cast<unsigned long long>(lo & 0xFFFFFFFFFFFFull));
+  return buf;
+}
+
+bool IsValidUuid(const std::string& s) {
+  if (s.size() != 36) return false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) {
+      if (s[i] != '-') return false;
+    } else if (!IsLowerHex(s[i])) {
+      return false;
+    }
+  }
+  if (s[14] != '4') return false;                      // version nibble
+  const char variant = s[19];
+  return variant == '8' || variant == '9' || variant == 'a' || variant == 'b';
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,36 @@
+#ifndef CYCLERANK_COMMON_UUID_H_
+#define CYCLERANK_COMMON_UUID_H_
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace cyclerank {
+
+/// Generates RFC-4122 version-4 UUID strings.
+///
+/// The demo assigns every submitted query set a UUID that serves as a
+/// permalink (paper §IV-C, "a unique identifier is assigned to it, serving
+/// as a permalink to retrieve its results"). The platform uses this
+/// generator for comparison ids and task ids.
+class UuidGenerator {
+ public:
+  /// `seed == 0` draws entropy from `std::random_device`; any other value
+  /// produces a deterministic sequence (used by tests).
+  explicit UuidGenerator(uint64_t seed = 0);
+
+  /// Returns a fresh lowercase UUID like
+  /// "3a73ff34-8720-4ce8-859e-34e70f339907".
+  std::string Generate();
+
+ private:
+  Rng rng_;
+};
+
+/// True iff `s` is syntactically a version-4 UUID (8-4-4-4-12 lowercase hex
+/// with the version / variant nibbles set).
+bool IsValidUuid(const std::string& s);
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_COMMON_UUID_H_

@@ -1,0 +1,21 @@
+#include "core/cheirank.h"
+
+namespace cyclerank {
+
+Result<PageRankScores> ComputeCheiRank(const Graph& g,
+                                       const PageRankOptions& options) {
+  return internal::PowerIteration(g, options, /*reverse=*/true);
+}
+
+Result<PageRankScores> ComputePersonalizedCheiRank(
+    const Graph& g, NodeId reference, const PageRankOptions& options) {
+  if (!g.IsValidNode(reference)) {
+    return Status::OutOfRange("PersonalizedCheiRank: reference node " +
+                              std::to_string(reference) + " out of range");
+  }
+  PageRankOptions personalized = options;
+  personalized.teleport_set = {reference};
+  return internal::PowerIteration(g, personalized, /*reverse=*/true);
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,29 @@
+#ifndef CYCLERANK_CORE_CHEIRANK_H_
+#define CYCLERANK_CORE_CHEIRANK_H_
+
+#include "common/result.h"
+#include "core/pagerank.h"
+#include "graph/graph.h"
+
+namespace cyclerank {
+
+/// CheiRank (Chepelianskii 2010, paper §II): "the PageRank score of nodes
+/// on the transposed graph … a kind of PageRank based on outgoing instead
+/// of incoming connections."
+///
+/// Implemented by running the shared power-iteration kernel with the edge
+/// direction reversed — no transposed copy of the graph is materialized.
+/// `Transpose(g)` + `ComputePageRank` yields bit-identical scores (checked
+/// by tests).
+Result<PageRankScores> ComputeCheiRank(const Graph& g,
+                                       const PageRankOptions& options = {});
+
+/// Personalized CheiRank: teleport restricted to `reference`, walking
+/// reversed edges. Ranks nodes by how strongly the reference node *reaches*
+/// them through out-links.
+Result<PageRankScores> ComputePersonalizedCheiRank(
+    const Graph& g, NodeId reference, const PageRankOptions& options = {});
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_CORE_CHEIRANK_H_

@@ -1,0 +1,230 @@
+#include "core/cyclerank.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/traversal.h"
+
+namespace cyclerank {
+namespace {
+
+/// Iterative depth-first enumeration of simple paths rooted at `ref`.
+///
+/// A frame holds a node on the current path and a cursor into its adjacency
+/// row; the path itself lives in `path`. When an edge closes back to `ref`
+/// with path length ≥ 2, every node on the path is credited with σ(len).
+///
+/// `first_hop` restricts the enumeration to paths whose first edge is
+/// ref→first_hop (used by the parallel partitioning); `kInvalidNode` means
+/// all branches.
+class CycleEnumerator {
+ public:
+  CycleEnumerator(const Graph& g, NodeId ref, const CycleRankOptions& options,
+                  const std::vector<uint32_t>& dist_back,
+                  CycleRankScores* out)
+      : g_(g),
+        ref_(ref),
+        options_(options),
+        k_(options.max_cycle_length),
+        dist_back_(dist_back),
+        out_(out),
+        on_path_(g.num_nodes(), false) {}
+
+  void Run(NodeId first_hop = kInvalidNode) {
+    path_.push_back(ref_);
+    on_path_[ref_] = true;
+    if (first_hop == kInvalidNode) {
+      frames_.push_back({ref_, 0});
+      ++out_->dfs_expansions;
+    } else {
+      // Seed the stack as if the root frame had just yielded `first_hop`.
+      // The root expansion itself is credited once by the parallel driver,
+      // so the summed work metric matches the serial run exactly.
+      if (!Descend(first_hop, /*depth=*/1)) return;
+    }
+
+    while (!frames_.empty()) {
+      if (options_.max_cycles != 0 &&
+          out_->total_cycles >= options_.max_cycles) {
+        out_->truncated = true;
+        return;
+      }
+      Frame& frame = frames_.back();
+      const auto row = g_.OutNeighbors(frame.node);
+      if (frame.edge_pos >= row.size()) {
+        on_path_[frame.node] = false;
+        path_.pop_back();
+        frames_.pop_back();
+        continue;
+      }
+      const NodeId v = row[frame.edge_pos++];
+      const uint32_t depth = static_cast<uint32_t>(path_.size());  // depth of v
+
+      if (v == ref_) {
+        // Closing edge: the path r → … → frame.node plus edge back to r is a
+        // simple cycle of length == depth (number of edges == nodes on path).
+        if (depth >= 2) RecordCycle(depth);
+        continue;
+      }
+      (void)Descend(v, depth);
+    }
+  }
+
+ private:
+  struct Frame {
+    NodeId node;
+    uint32_t edge_pos;
+  };
+
+  /// Pushes `v` (at the given path depth) onto the DFS unless pruned.
+  /// Returns true when a frame was pushed.
+  bool Descend(NodeId v, uint32_t depth) {
+    if (on_path_[v]) return false;     // keep paths simple
+    if (depth + 1 > k_) return false;  // path would exceed any closable cycle
+    if (options_.use_pruning) {
+      // v sits at distance `depth` from r along the path; it still needs
+      // dist_back_[v] edges to get home. Prune when that exceeds K.
+      if (dist_back_[v] == kUnreachable || depth + dist_back_[v] > k_) {
+        return false;
+      }
+    }
+    path_.push_back(v);
+    on_path_[v] = true;
+    frames_.push_back({v, 0});
+    ++out_->dfs_expansions;
+    return true;
+  }
+
+  void RecordCycle(uint32_t length) {
+    ++out_->total_cycles;
+    ++out_->cycles_by_length[length];
+    const double weight = Sigma(options_.scoring, length);
+    for (NodeId u : path_) {
+      out_->scores[u] += weight;
+      if (options_.collect_per_node_counts) {
+        ++out_->cycle_counts_per_node[length][u];
+      }
+    }
+  }
+
+  const Graph& g_;
+  const NodeId ref_;
+  const CycleRankOptions& options_;
+  const uint32_t k_;
+  const std::vector<uint32_t>& dist_back_;
+  CycleRankScores* out_;
+
+  std::vector<bool> on_path_;
+  std::vector<NodeId> path_;
+  std::vector<Frame> frames_;
+};
+
+CycleRankScores EmptyResult(const Graph& g, const CycleRankOptions& options) {
+  CycleRankScores result;
+  result.scores.assign(g.num_nodes(), 0.0);
+  result.cycles_by_length.assign(options.max_cycle_length + 1, 0);
+  if (options.collect_per_node_counts) {
+    result.cycle_counts_per_node.assign(
+        options.max_cycle_length + 1,
+        std::vector<uint64_t>(g.num_nodes(), 0));
+  }
+  return result;
+}
+
+/// Merges `branch` into `total` (element-wise sums). Branch results are
+/// merged in ascending first-hop order, which keeps floating-point sums —
+/// and therefore the public output — independent of thread scheduling.
+void MergeInto(const CycleRankScores& branch, const CycleRankOptions& options,
+               CycleRankScores* total) {
+  for (size_t u = 0; u < branch.scores.size(); ++u) {
+    total->scores[u] += branch.scores[u];
+  }
+  total->total_cycles += branch.total_cycles;
+  for (size_t n = 0; n < branch.cycles_by_length.size(); ++n) {
+    total->cycles_by_length[n] += branch.cycles_by_length[n];
+  }
+  if (options.collect_per_node_counts) {
+    for (size_t n = 0; n < branch.cycle_counts_per_node.size(); ++n) {
+      for (size_t u = 0; u < branch.cycle_counts_per_node[n].size(); ++u) {
+        total->cycle_counts_per_node[n][u] +=
+            branch.cycle_counts_per_node[n][u];
+      }
+    }
+  }
+  total->dfs_expansions += branch.dfs_expansions;
+}
+
+CycleRankScores RunParallel(const Graph& g, NodeId reference,
+                            const CycleRankOptions& options,
+                            const std::vector<uint32_t>& dist_back) {
+  // Every cycle's second node is one of the reference's out-neighbours;
+  // partition by that first hop.
+  const auto branches = g.OutNeighbors(reference);
+  std::vector<CycleRankScores> partials(branches.size());
+  std::vector<std::thread> workers;
+  const uint32_t num_threads =
+      std::min<uint32_t>(options.num_threads,
+                         std::max<size_t>(branches.size(), 1));
+  std::atomic<size_t> next_branch{0};
+  workers.reserve(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&] {
+      while (true) {
+        const size_t b = next_branch.fetch_add(1, std::memory_order_relaxed);
+        if (b >= branches.size()) return;
+        partials[b] = EmptyResult(g, options);
+        CycleEnumerator enumerator(g, reference, options, dist_back,
+                                   &partials[b]);
+        enumerator.Run(branches[b]);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  CycleRankScores result = EmptyResult(g, options);
+  result.dfs_expansions = 1;  // the root expansion (see CycleEnumerator::Run)
+  for (const CycleRankScores& partial : partials) {
+    MergeInto(partial, options, &result);
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<CycleRankScores> ComputeCycleRank(const Graph& g, NodeId reference,
+                                         const CycleRankOptions& options) {
+  if (!g.IsValidNode(reference)) {
+    return Status::OutOfRange("CycleRank: reference node " +
+                              std::to_string(reference) + " out of range");
+  }
+  if (options.max_cycle_length < 2) {
+    return Status::InvalidArgument(
+        "CycleRank: max_cycle_length (K) must be >= 2, got " +
+        std::to_string(options.max_cycle_length));
+  }
+
+  // One backward BFS gives dist(v → r) for the pruning rule. Bounded by
+  // K-1: anything farther can never participate in a cycle of length ≤ K.
+  std::vector<uint32_t> dist_back;
+  if (options.use_pruning) {
+    CYCLERANK_ASSIGN_OR_RETURN(
+        dist_back, BfsDistances(g, reference, Direction::kBackward,
+                                options.max_cycle_length - 1));
+  } else {
+    dist_back.assign(g.num_nodes(), 0);
+  }
+
+  if (options.num_threads > 1 && options.max_cycles == 0) {
+    return RunParallel(g, reference, options, dist_back);
+  }
+
+  CycleRankScores result = EmptyResult(g, options);
+  CycleEnumerator enumerator(g, reference, options, dist_back, &result);
+  enumerator.Run();
+  return result;
+}
+
+}  // namespace cyclerank

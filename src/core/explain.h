@@ -1,0 +1,57 @@
+#ifndef CYCLERANK_CORE_EXPLAIN_H_
+#define CYCLERANK_CORE_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace cyclerank {
+
+/// Options for cycle explanations.
+struct ExplainOptions {
+  /// Maximum cycle length K, as in `CycleRankOptions`.
+  uint32_t max_cycle_length = 3;
+
+  /// Stop after collecting this many cycles (they arrive shortest-first up
+  /// to DFS order within a length class). Must be ≥ 1.
+  uint64_t max_cycles = 25;
+};
+
+/// The evidence behind one CycleRank score entry.
+struct CycleExplanation {
+  /// Cycles through both the reference and the target node, each listed as
+  /// its node sequence starting at the reference (the closing edge back to
+  /// the reference is implicit). Sorted by length, then DFS order.
+  std::vector<std::vector<NodeId>> cycles;
+
+  /// True when `max_cycles` stopped the collection early.
+  bool truncated = false;
+
+  /// Total number of qualifying cycles inspected (== cycles.size() unless
+  /// truncated).
+  uint64_t total_found = 0;
+};
+
+/// Enumerates the simple cycles of length ≤ K that contain both `reference`
+/// and `target` — the paths that produce `target`'s CycleRank score, in the
+/// spirit of the demo's goal "to uncover hidden relationships within the
+/// data" (abstract). With `target == reference`, every cycle through the
+/// reference qualifies.
+///
+/// Errors: OutOfRange for invalid nodes, InvalidArgument for K < 2 or a
+/// zero cycle cap.
+Result<CycleExplanation> ExplainCycles(const Graph& g, NodeId reference,
+                                       NodeId target,
+                                       const ExplainOptions& options = {});
+
+/// Renders an explanation as "ref -> a -> b -> (ref)" lines using node
+/// labels.
+std::string FormatExplanation(const CycleExplanation& explanation,
+                              const Graph& g);
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_CORE_EXPLAIN_H_

@@ -1,0 +1,86 @@
+#include "core/forward_push.h"
+
+#include <deque>
+#include <string>
+
+namespace cyclerank {
+
+Result<ForwardPushScores> ComputeForwardPushPpr(
+    const Graph& g, NodeId reference, const ForwardPushOptions& options) {
+  if (!g.IsValidNode(reference)) {
+    return Status::OutOfRange("ForwardPush: reference node " +
+                              std::to_string(reference) + " out of range");
+  }
+  if (!(options.alpha > 0.0) || !(options.alpha < 1.0)) {
+    return Status::InvalidArgument("ForwardPush: alpha must be in (0,1)");
+  }
+  if (!(options.epsilon > 0.0)) {
+    return Status::InvalidArgument("ForwardPush: epsilon must be positive");
+  }
+
+  const NodeId n = g.num_nodes();
+  const double alpha = options.alpha;
+
+  ForwardPushScores result;
+  result.scores.assign(n, 0.0);
+  std::vector<double> residual(n, 0.0);
+  residual[reference] = 1.0;
+
+  // Work queue of nodes whose residual may exceed the push threshold;
+  // `queued` deduplicates entries.
+  std::deque<NodeId> queue{reference};
+  std::vector<bool> queued(n, false);
+  queued[reference] = true;
+
+  auto threshold = [&](NodeId u) {
+    // Dangling nodes push everything in one teleport step, so any positive
+    // residual qualifies; regular nodes use ε·deg as in ACL.
+    const uint32_t deg = g.OutDegree(u);
+    return deg == 0 ? 0.0 : options.epsilon * static_cast<double>(deg);
+  };
+
+  while (!queue.empty()) {
+    if (options.max_pushes != 0 && result.pushes >= options.max_pushes) {
+      result.converged = false;
+      break;
+    }
+    const NodeId u = queue.front();
+    queue.pop_front();
+    queued[u] = false;
+
+    const double r_u = residual[u];
+    if (r_u <= threshold(u) || r_u == 0.0) continue;
+
+    ++result.pushes;
+    residual[u] = 0.0;
+    result.scores[u] += (1.0 - alpha) * r_u;
+
+    const auto row = g.OutNeighbors(u);
+    if (row.empty()) {
+      // Dangling: the walk teleports home, so the α mass returns to the
+      // reference node's residual.
+      residual[reference] += alpha * r_u;
+      if (!queued[reference] &&
+          residual[reference] > threshold(reference)) {
+        queue.push_back(reference);
+        queued[reference] = true;
+      }
+      continue;
+    }
+    const double share = alpha * r_u / static_cast<double>(row.size());
+    for (NodeId v : row) {
+      residual[v] += share;
+      if (!queued[v] && residual[v] > threshold(v)) {
+        queue.push_back(v);
+        queued[v] = true;
+      }
+    }
+  }
+
+  double mass = 0.0;
+  for (double r : residual) mass += r;
+  result.residual_mass = mass;
+  return result;
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,55 @@
+#ifndef CYCLERANK_CORE_FORWARD_PUSH_H_
+#define CYCLERANK_CORE_FORWARD_PUSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace cyclerank {
+
+/// Options for the local forward-push PPR approximation
+/// (Andersen, Chung & Lang, FOCS 2006). This is one of the "more efficient
+/// algorithms" the paper alludes to in §II: it touches only the
+/// neighbourhood of the reference node instead of the whole graph.
+struct ForwardPushOptions {
+  /// Damping factor α, as in `PageRankOptions`.
+  double alpha = 0.85;
+
+  /// Residual threshold ε: a node is pushed while its residual exceeds
+  /// ε · out_degree. Smaller ε → more accurate, more work. The final
+  /// per-node error is bounded by ε · out_degree(node).
+  double epsilon = 1e-7;
+
+  /// Hard cap on push operations (0 = unlimited) — a safety valve for
+  /// adversarial ε on huge graphs.
+  uint64_t max_pushes = 0;
+};
+
+/// Outcome of a forward-push run.
+struct ForwardPushScores {
+  /// Approximate PPR estimates, one per node (lower bounds on the exact
+  /// personalized PageRank). Sums to ≤ 1; the deficit is the mass still
+  /// parked in `residual_mass`.
+  std::vector<double> scores;
+
+  /// Total residual probability mass not yet converted into estimates.
+  double residual_mass = 0.0;
+
+  uint64_t pushes = 0;
+  bool converged = true;  ///< false iff `max_pushes` stopped the run
+};
+
+/// Approximates Personalized PageRank for `reference` by local pushes:
+/// start with residual 1 at the reference node; repeatedly convert a
+/// (1-α) fraction of a node's residual into its estimate and spread the
+/// α fraction uniformly over its out-neighbours. Residual mass reaching a
+/// dangling node teleports back to the reference (consistent with the
+/// power-iteration treatment of sinks).
+Result<ForwardPushScores> ComputeForwardPushPpr(
+    const Graph& g, NodeId reference, const ForwardPushOptions& options = {});
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_CORE_FORWARD_PUSH_H_

@@ -1,0 +1,68 @@
+#include "core/monte_carlo.h"
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace cyclerank {
+
+Result<MonteCarloScores> ComputeMonteCarloPpr(
+    const Graph& g, NodeId reference, const MonteCarloOptions& options) {
+  if (!g.IsValidNode(reference)) {
+    return Status::OutOfRange("MonteCarloPpr: reference node " +
+                              std::to_string(reference) + " out of range");
+  }
+  if (!(options.alpha > 0.0) || !(options.alpha < 1.0)) {
+    return Status::InvalidArgument("MonteCarloPpr: alpha must be in (0,1)");
+  }
+  if (options.num_walks == 0) {
+    return Status::InvalidArgument("MonteCarloPpr: num_walks must be >= 1");
+  }
+
+  const NodeId n = g.num_nodes();
+  Rng rng(options.seed);
+
+  std::vector<uint64_t> counts(n, 0);
+  uint64_t total_steps = 0;
+
+  for (uint64_t w = 0; w < options.num_walks; ++w) {
+    NodeId u = reference;
+    uint32_t length = 0;
+    while (true) {
+      if (options.estimator == MonteCarloEstimator::kVisitFrequency) {
+        ++counts[u];
+        ++total_steps;
+      }
+      if (length >= options.max_walk_length) break;
+      if (!rng.NextBool(options.alpha)) break;  // teleport: walk ends
+      const auto row = g.OutNeighbors(u);
+      if (row.empty()) {
+        // Dangling: jump home and continue (same rule as power iteration).
+        u = reference;
+      } else {
+        u = row[rng.NextBounded(row.size())];
+      }
+      ++length;
+    }
+    if (options.estimator == MonteCarloEstimator::kEndpoint) {
+      ++counts[u];
+      ++total_steps;
+    }
+  }
+
+  MonteCarloScores result;
+  result.total_steps = total_steps;
+  result.scores.assign(n, 0.0);
+  const double denom =
+      options.estimator == MonteCarloEstimator::kVisitFrequency
+          ? static_cast<double>(total_steps)
+          : static_cast<double>(options.num_walks);
+  if (denom > 0) {
+    for (NodeId u = 0; u < n; ++u) {
+      result.scores[u] = static_cast<double>(counts[u]) / denom;
+    }
+  }
+  return result;
+}
+
+}  // namespace cyclerank

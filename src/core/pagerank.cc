@@ -1,0 +1,107 @@
+#include "core/pagerank.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace cyclerank {
+namespace internal {
+
+Result<PageRankScores> PowerIteration(const Graph& g,
+                                      const PageRankOptions& options,
+                                      bool reverse) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return Status::InvalidArgument("PageRank: empty graph");
+  if (!(options.alpha > 0.0) || !(options.alpha < 1.0)) {
+    return Status::InvalidArgument("PageRank: alpha must be in (0,1), got " +
+                                   std::to_string(options.alpha));
+  }
+  if (!(options.tolerance > 0.0)) {
+    return Status::InvalidArgument("PageRank: tolerance must be positive");
+  }
+  if (options.max_iterations == 0) {
+    return Status::InvalidArgument("PageRank: max_iterations must be >= 1");
+  }
+
+  // Teleport distribution v.
+  std::vector<double> teleport(n, 0.0);
+  if (options.teleport_set.empty()) {
+    const double uniform = 1.0 / static_cast<double>(n);
+    teleport.assign(n, uniform);
+  } else {
+    const double mass = 1.0 / static_cast<double>(options.teleport_set.size());
+    for (NodeId t : options.teleport_set) {
+      if (!g.IsValidNode(t)) {
+        return Status::OutOfRange("PageRank: teleport node " +
+                                  std::to_string(t) + " out of range");
+      }
+      if (teleport[t] != 0.0) {
+        return Status::InvalidArgument(
+            "PageRank: duplicate teleport node " + std::to_string(t));
+      }
+      teleport[t] = mass;
+    }
+  }
+
+  // Effective out-degree under the chosen direction.
+  auto out_degree = [&](NodeId u) -> uint32_t {
+    return reverse ? g.InDegree(u) : g.OutDegree(u);
+  };
+
+  const double alpha = options.alpha;
+  std::vector<double> p(teleport);  // start from the teleport distribution
+  std::vector<double> next(n, 0.0);
+
+  PageRankScores result;
+  for (uint32_t iter = 1; iter <= options.max_iterations; ++iter) {
+    // Mass parked on dangling nodes re-enters via the teleport vector.
+    double dangling_mass = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (out_degree(u) == 0) dangling_mass += p[u];
+    }
+
+    double l1_change = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      double inflow = 0.0;
+      // Pull along in-edges of v under the chosen direction.
+      const auto sources = reverse ? g.OutNeighbors(v) : g.InNeighbors(v);
+      for (NodeId u : sources) {
+        inflow += p[u] / static_cast<double>(out_degree(u));
+      }
+      const double value =
+          alpha * (inflow + dangling_mass * teleport[v]) +
+          (1.0 - alpha) * teleport[v];
+      l1_change += std::fabs(value - p[v]);
+      next[v] = value;
+    }
+    p.swap(next);
+    result.iterations = iter;
+    result.residual = l1_change;
+    if (l1_change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.scores = std::move(p);
+  return result;
+}
+
+}  // namespace internal
+
+Result<PageRankScores> ComputePageRank(const Graph& g,
+                                       const PageRankOptions& options) {
+  return internal::PowerIteration(g, options, /*reverse=*/false);
+}
+
+Result<PageRankScores> ComputePersonalizedPageRank(
+    const Graph& g, NodeId reference, const PageRankOptions& options) {
+  if (!g.IsValidNode(reference)) {
+    return Status::OutOfRange("PersonalizedPageRank: reference node " +
+                              std::to_string(reference) + " out of range");
+  }
+  PageRankOptions personalized = options;
+  personalized.teleport_set = {reference};
+  return internal::PowerIteration(g, personalized, /*reverse=*/false);
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,66 @@
+#include "core/ranking.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace cyclerank {
+
+RankedList ScoresToRankedList(const std::vector<double>& scores,
+                              const RankingOptions& options) {
+  RankedList out;
+  out.reserve(scores.size());
+  for (NodeId u = 0; u < scores.size(); ++u) {
+    if (options.drop_zeros && scores[u] == 0.0) continue;
+    out.push_back({u, scores[u]});
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredNode& a, const ScoredNode& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.node < b.node;
+  });
+  if (options.top_k > 0 && out.size() > options.top_k) {
+    out.resize(options.top_k);
+  }
+  return out;
+}
+
+RankedList OrderToRankedList(const std::vector<NodeId>& order, size_t top_k) {
+  RankedList out;
+  const size_t limit =
+      top_k > 0 ? std::min(top_k, order.size()) : order.size();
+  out.reserve(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    out.push_back({order[i], 1.0 / static_cast<double>(i + 1)});
+  }
+  return out;
+}
+
+std::vector<uint32_t> RankPositions(const RankedList& ranking,
+                                    NodeId num_nodes) {
+  std::vector<uint32_t> pos(num_nodes, num_nodes);
+  for (uint32_t i = 0; i < ranking.size(); ++i) {
+    if (ranking[i].node < num_nodes) pos[ranking[i].node] = i;
+  }
+  return pos;
+}
+
+std::vector<NodeId> TopKNodes(const RankedList& ranking, size_t k) {
+  std::vector<NodeId> out;
+  const size_t limit = std::min(k, ranking.size());
+  out.reserve(limit);
+  for (size_t i = 0; i < limit; ++i) out.push_back(ranking[i].node);
+  return out;
+}
+
+std::string FormatTopK(const RankedList& ranking, const Graph& g, size_t k) {
+  std::ostringstream os;
+  const size_t limit = std::min(k, ranking.size());
+  for (size_t i = 0; i < limit; ++i) {
+    os << (i + 1) << ". " << g.NodeName(ranking[i].node) << " ("
+       << FormatDouble(ranking[i].score) << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,60 @@
+#ifndef CYCLERANK_CORE_RANKING_H_
+#define CYCLERANK_CORE_RANKING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cyclerank {
+
+/// One entry of a relevance ranking.
+struct ScoredNode {
+  NodeId node = kInvalidNode;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredNode& a, const ScoredNode& b) {
+    return a.node == b.node && a.score == b.score;
+  }
+};
+
+/// A relevance ranking: entries sorted by descending score, ties broken by
+/// ascending node id (deterministic across runs and platforms). Rank-only
+/// algorithms (2DRank) emit monotonically decreasing placeholder scores.
+using RankedList = std::vector<ScoredNode>;
+
+/// Options for converting a dense score vector into a `RankedList`.
+struct RankingOptions {
+  /// Keep only the `top_k` best entries; 0 keeps everything.
+  size_t top_k = 0;
+
+  /// Drop zero-scored nodes. CycleRank assigns 0 to every node outside the
+  /// reference node's cycle neighbourhood, so this is on by default; dense
+  /// algorithms (PageRank) are unaffected because their scores are positive.
+  bool drop_zeros = true;
+};
+
+/// Sorts `scores` into a ranking (descending score, ascending id on ties).
+RankedList ScoresToRankedList(const std::vector<double>& scores,
+                              const RankingOptions& options = {});
+
+/// Converts an explicit node ordering into a `RankedList` with placeholder
+/// scores 1/(position+1) — used by rank-only algorithms.
+RankedList OrderToRankedList(const std::vector<NodeId>& order,
+                             size_t top_k = 0);
+
+/// Position (0-based) of every node in `ranking`; nodes absent from the
+/// ranking get `num_nodes` (i.e. "worse than every ranked node").
+std::vector<uint32_t> RankPositions(const RankedList& ranking,
+                                    NodeId num_nodes);
+
+/// The top-k node ids of `ranking`, in rank order.
+std::vector<NodeId> TopKNodes(const RankedList& ranking, size_t k);
+
+/// Renders the first `k` entries as "rank. label (score)" lines.
+std::string FormatTopK(const RankedList& ranking, const Graph& g, size_t k);
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_CORE_RANKING_H_

@@ -1,0 +1,54 @@
+#include "core/scoring.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace cyclerank {
+
+double Sigma(ScoringFunction fn, uint32_t n) {
+  const double len = static_cast<double>(n);
+  switch (fn) {
+    case ScoringFunction::kExponential:
+      return std::exp(-len);
+    case ScoringFunction::kLinear:
+      return 1.0 / len;
+    case ScoringFunction::kQuadratic:
+      return 1.0 / (len * len);
+    case ScoringFunction::kConstant:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+std::string_view ScoringFunctionToString(ScoringFunction fn) {
+  switch (fn) {
+    case ScoringFunction::kExponential:
+      return "exp";
+    case ScoringFunction::kLinear:
+      return "lin";
+    case ScoringFunction::kQuadratic:
+      return "quad";
+    case ScoringFunction::kConstant:
+      return "const";
+  }
+  return "?";
+}
+
+Result<ScoringFunction> ScoringFunctionFromString(std::string_view name) {
+  const std::string lower = AsciiToLower(StripAsciiWhitespace(name));
+  if (lower == "exp" || lower == "exponential") {
+    return ScoringFunction::kExponential;
+  }
+  if (lower == "lin" || lower == "linear") return ScoringFunction::kLinear;
+  if (lower == "quad" || lower == "quadratic") {
+    return ScoringFunction::kQuadratic;
+  }
+  if (lower == "const" || lower == "constant") {
+    return ScoringFunction::kConstant;
+  }
+  return Status::InvalidArgument("unknown scoring function '" +
+                                 std::string(name) + "'");
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,88 @@
+#include "core/twodrank.h"
+
+#include <algorithm>
+
+#include "core/cheirank.h"
+#include "core/ranking.h"
+
+namespace cyclerank {
+namespace internal {
+
+std::vector<NodeId> MergeTwoDim(const std::vector<uint32_t>& pr_position,
+                                const std::vector<uint32_t>& chei_position) {
+  const NodeId n = static_cast<NodeId>(pr_position.size());
+  std::vector<NodeId> order;
+  order.reserve(n);
+
+  // Sort nodes by shell = max(K, K*). Within a shell: CheiRank-edge nodes
+  // (K* == shell) first by ascending K, then PageRank-edge nodes by
+  // ascending K*, then the corner (K == K* == shell).
+  std::vector<NodeId> nodes(n);
+  for (NodeId i = 0; i < n; ++i) nodes[i] = i;
+  std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    const uint32_t shell_a = std::max(pr_position[a], chei_position[a]);
+    const uint32_t shell_b = std::max(pr_position[b], chei_position[b]);
+    if (shell_a != shell_b) return shell_a < shell_b;
+    // Edge class: 0 = CheiRank edge (K* = shell, K < shell),
+    //             1 = PageRank edge (K = shell, K* < shell),
+    //             2 = corner (K = K* = shell).
+    auto edge_class = [&](NodeId x) -> int {
+      const bool on_chei = chei_position[x] >= pr_position[x];
+      const bool on_pr = pr_position[x] >= chei_position[x];
+      if (on_chei && on_pr) return 2;
+      return on_chei ? 0 : 1;
+    };
+    const int class_a = edge_class(a);
+    const int class_b = edge_class(b);
+    if (class_a != class_b) return class_a < class_b;
+    // Within the CheiRank edge order by K, within the PageRank edge by K*.
+    const uint32_t key_a = class_a == 0 ? pr_position[a] : chei_position[a];
+    const uint32_t key_b = class_b == 0 ? pr_position[b] : chei_position[b];
+    if (key_a != key_b) return key_a < key_b;
+    return a < b;
+  });
+  order = std::move(nodes);
+  return order;
+}
+
+}  // namespace internal
+
+namespace {
+
+Result<TwoDRankResult> TwoDRankFromScores(const Graph& g,
+                                          const PageRankScores& pr,
+                                          const PageRankScores& chei) {
+  RankingOptions all;
+  all.drop_zeros = false;  // need a full permutation
+  const RankedList pr_ranked = ScoresToRankedList(pr.scores, all);
+  const RankedList chei_ranked = ScoresToRankedList(chei.scores, all);
+
+  TwoDRankResult result;
+  result.pagerank_position = RankPositions(pr_ranked, g.num_nodes());
+  result.cheirank_position = RankPositions(chei_ranked, g.num_nodes());
+  result.order = internal::MergeTwoDim(result.pagerank_position,
+                                       result.cheirank_position);
+  return result;
+}
+
+}  // namespace
+
+Result<TwoDRankResult> Compute2DRank(const Graph& g,
+                                     const PageRankOptions& options) {
+  CYCLERANK_ASSIGN_OR_RETURN(PageRankScores pr, ComputePageRank(g, options));
+  CYCLERANK_ASSIGN_OR_RETURN(PageRankScores chei,
+                             ComputeCheiRank(g, options));
+  return TwoDRankFromScores(g, pr, chei);
+}
+
+Result<TwoDRankResult> ComputePersonalized2DRank(
+    const Graph& g, NodeId reference, const PageRankOptions& options) {
+  CYCLERANK_ASSIGN_OR_RETURN(
+      PageRankScores pr, ComputePersonalizedPageRank(g, reference, options));
+  CYCLERANK_ASSIGN_OR_RETURN(
+      PageRankScores chei,
+      ComputePersonalizedCheiRank(g, reference, options));
+  return TwoDRankFromScores(g, pr, chei);
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,55 @@
+#ifndef CYCLERANK_CORE_TWODRANK_H_
+#define CYCLERANK_CORE_TWODRANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/pagerank.h"
+#include "graph/graph.h"
+
+namespace cyclerank {
+
+/// Outcome of 2DRank. The paper stresses that 2DRank "does not assign a
+/// score to each node, but just produces a ranking" (§II), so the primary
+/// output is `order`; the PageRank / CheiRank positions that induced it are
+/// exposed for inspection and tests.
+struct TwoDRankResult {
+  /// Node ids from most to least relevant.
+  std::vector<NodeId> order;
+
+  /// K(i): 0-based position of node i in the PageRank ordering.
+  std::vector<uint32_t> pagerank_position;
+
+  /// K*(i): 0-based position of node i in the CheiRank ordering.
+  std::vector<uint32_t> cheirank_position;
+};
+
+/// 2DRank (Zhirov, Zhirov & Shepelyansky 2010, paper §II): combines the
+/// PageRank index K and the CheiRank index K* into one ranking by growing
+/// squares [0..k]×[0..k] in the (K, K*) plane. When the square grows from
+/// k-1 to k, the nodes that newly enter are appended in the order:
+///   1. nodes on the CheiRank edge (K* = k, K < k), by ascending K;
+///   2. nodes on the PageRank edge (K = k, K* < k), by ascending K*;
+///   3. the corner node (K = K* = k), if any.
+/// Equivalently: sort by max(K, K*), CheiRank-edge first within a shell.
+Result<TwoDRankResult> Compute2DRank(const Graph& g,
+                                     const PageRankOptions& options = {});
+
+/// Personalized 2DRank: same construction over the *personalized* PageRank
+/// and CheiRank orderings with reference node `reference`.
+Result<TwoDRankResult> ComputePersonalized2DRank(
+    const Graph& g, NodeId reference, const PageRankOptions& options = {});
+
+namespace internal {
+
+/// The square-growing merge, exposed for direct testing. `pr_position` and
+/// `chei_position` must be permutations of [0, n).
+std::vector<NodeId> MergeTwoDim(const std::vector<uint32_t>& pr_position,
+                                const std::vector<uint32_t>& chei_position);
+
+}  // namespace internal
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_CORE_TWODRANK_H_

@@ -1,0 +1,210 @@
+#include "datasets/catalog.h"
+
+#include <memory>
+#include <utility>
+
+#include "datasets/corpus.h"
+#include "datasets/generators.h"
+
+namespace cyclerank {
+
+DatasetCatalog& DatasetCatalog::BuiltIn() {
+  static DatasetCatalog* catalog = [] {
+    auto* c = new DatasetCatalog;
+    RegisterBuiltInDatasets(*c);
+    return c;
+  }();
+  return *catalog;
+}
+
+Status DatasetCatalog::Register(DatasetInfo info, Factory factory) {
+  if (info.name.empty()) {
+    return Status::InvalidArgument("dataset name must not be empty");
+  }
+  if (!factory) {
+    return Status::InvalidArgument("dataset factory must not be null");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Copy the key first: reading info.name in the same full expression that
+  // moves `info` would be order-dependent.
+  std::string name = info.name;
+  auto [it, inserted] = entries_.emplace(
+      std::move(name), Entry{std::move(info), std::move(factory), nullptr});
+  if (!inserted) {
+    return Status::AlreadyExists("dataset '" + it->first +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+std::vector<DatasetInfo> DatasetCatalog::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DatasetInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry.info);
+  return out;
+}
+
+Result<DatasetInfo> DatasetCatalog::Info(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("dataset '" + name + "' not found");
+  }
+  return it->second.info;
+}
+
+Result<GraphPtr> DatasetCatalog::Load(const std::string& name) {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return Status::NotFound("dataset '" + name + "' not found");
+    }
+    if (it->second.cached) return it->second.cached;
+    factory = it->second.factory;
+  }
+  // Build outside the lock: factories can be slow (generators).
+  CYCLERANK_ASSIGN_OR_RETURN(Graph g, factory());
+  auto shared = std::make_shared<Graph>(std::move(g));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it != entries_.end() && !it->second.cached) {
+      it->second.cached = shared;
+    }
+  }
+  return GraphPtr(shared);
+}
+
+size_t DatasetCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+namespace {
+
+uint64_t MixSeed(uint64_t a, uint64_t b) { return a * 1000003 + b; }
+
+void RegisterWikiLink(DatasetCatalog& catalog) {
+  const char* languages[] = {"de", "en", "es", "fr", "it",
+                             "nl", "pl", "ru", "sv"};
+  const int years[] = {2003, 2008, 2013, 2018};
+  uint64_t lang_idx = 0;
+  for (const char* lang : languages) {
+    ++lang_idx;
+    for (int year : years) {
+      WikiLikeConfig config;
+      // Later snapshots are larger, mirroring WikiLinkGraphs growth;
+      // English is the largest edition.
+      const uint32_t growth = static_cast<uint32_t>((year - 2003) / 5 + 1);
+      config.num_clusters = 6 * growth;
+      config.cluster_size = lang == std::string("en") ? 60 : 40;
+      config.num_hubs = 4 + growth;
+      config.seed = MixSeed(lang_idx, static_cast<uint64_t>(year));
+      const std::string name =
+          "wikilink-" + std::string(lang) + "-" + std::to_string(year);
+      DatasetInfo info{
+          name, "wikipedia",
+          "Wiki-like link graph, " + std::string(lang) + " edition, " +
+              std::to_string(year) + " snapshot (synthetic stand-in for "
+              "WikiLinkGraphs)"};
+      (void)catalog.Register(std::move(info),
+                             [config] { return GenerateWikiLike(config); });
+    }
+  }
+}
+
+}  // namespace
+
+void RegisterBuiltInDatasets(DatasetCatalog& catalog) {
+  RegisterWikiLink(catalog);
+
+  (void)catalog.Register(
+      {"enwiki-mini-2018", "wikipedia",
+       "Embedded labeled enwiki miniature (Freddie Mercury / Pasta clusters "
+       "+ global hubs) — Table I corpus"},
+      [] { return EnwikiMini(); });
+
+  (void)catalog.Register(
+      {"amazon-books-mini", "amazon",
+       "Embedded labeled Amazon books co-purchase miniature (1984 / "
+       "Fellowship clusters + bestseller hubs) — Table II corpus"},
+      [] { return AmazonBooksMini(); });
+
+  for (const std::string& lang : FakeNewsLanguages()) {
+    (void)catalog.Register(
+        {"fakenews-" + lang, "wikipedia",
+         "Embedded 'Fake news' neighbourhood of the " + lang +
+             " Wikipedia edition — Table III corpus"},
+        [lang] { return FakeNewsEdition(lang); });
+  }
+
+  (void)catalog.Register(
+      {"amazon-copurchase", "amazon",
+       "Amazon-like co-purchase network (genre clusters, bestseller hubs)"},
+      [] {
+        AmazonLikeConfig config;
+        config.seed = 7;
+        return GenerateAmazonLike(config);
+      });
+
+  (void)catalog.Register(
+      {"twitter-cop27", "twitter",
+       "Twitter-like interaction network for the COP27 topic (synthetic "
+       "stand-in for the cop27 dataset)"},
+      [] {
+        TwitterLikeConfig config;
+        config.seed = 27;
+        return GenerateTwitterLike(config);
+      });
+
+  (void)catalog.Register(
+      {"twitter-8m", "twitter",
+       "Twitter-like interaction network for the March 8 topic (synthetic "
+       "stand-in for the 8m dataset)"},
+      [] {
+        TwitterLikeConfig config;
+        config.seed = 8;
+        config.num_communities = 8;
+        return GenerateTwitterLike(config);
+      });
+
+  (void)catalog.Register(
+      {"ba-1k", "synthetic",
+       "Directed Barabási–Albert graph, 1000 nodes, reciprocity 0.3"},
+      [] {
+        BarabasiAlbertConfig config;
+        config.seed = 11;
+        return GenerateBarabasiAlbert(config);
+      });
+
+  (void)catalog.Register({"er-1k", "synthetic",
+                          "Directed Erdős–Rényi G(1000, 0.01) graph"},
+                         [] {
+                           ErdosRenyiConfig config;
+                           config.seed = 12;
+                           return GenerateErdosRenyi(config);
+                         });
+
+  (void)catalog.Register(
+      {"ws-1k", "synthetic",
+       "Directed Watts–Strogatz ring (1000 nodes, k=4, rewire 0.1)"},
+      [] {
+        WattsStrogatzConfig config;
+        config.seed = 13;
+        return GenerateWattsStrogatz(config);
+      });
+
+  (void)catalog.Register(
+      {"sbm-1k", "synthetic",
+       "Stochastic block model, 4 blocks of 250 nodes"},
+      [] {
+        SbmConfig config;
+        config.seed = 14;
+        return GenerateSbm(config);
+      });
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,81 @@
+#ifndef CYCLERANK_DATASETS_CATALOG_H_
+#define CYCLERANK_DATASETS_CATALOG_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace cyclerank {
+
+/// Metadata of one pre-loaded dataset.
+struct DatasetInfo {
+  std::string name;         ///< unique key, e.g. "wikilink-en-2018"
+  std::string source;       ///< "wikipedia", "amazon", "twitter", "synthetic"
+  std::string description;  ///< one-line human-readable summary
+};
+
+/// Registry of named datasets, mirroring the demo's "50 pre-loaded
+/// datasets from Wikipedia, Twitter, and Amazon" (abstract, §IV-B).
+///
+/// `BuiltIn()` registers:
+///  * `wikilink-<lang>-<year>` — 9 languages × 4 snapshot years (2003,
+///    2008, 2013, 2018) of the wiki-like generator, sized up with the year
+///    (WikiLinkGraphs role);
+///  * `enwiki-mini-2018`, `amazon-books-mini`, `fakenews-<lang>` ×6 —
+///    the embedded labeled corpora behind Tables I–III;
+///  * `amazon-copurchase`, `twitter-cop27`, `twitter-8m` — domain
+///    generators;
+///  * `ba-1k`, `er-1k`, `ws-1k`, `sbm-1k` — plain synthetic graphs.
+///
+/// Loading is lazy and cached; the cache hands out shared immutable
+/// `GraphPtr`s, so concurrent executors can load the same dataset safely.
+/// `Register` adds user datasets at runtime (the demo's upload path).
+class DatasetCatalog {
+ public:
+  using Factory = std::function<Result<Graph>()>;
+
+  DatasetCatalog() = default;
+  DatasetCatalog(const DatasetCatalog&) = delete;
+  DatasetCatalog& operator=(const DatasetCatalog&) = delete;
+
+  /// The catalog of built-in datasets (≈50 entries). Thread-safe.
+  static DatasetCatalog& BuiltIn();
+
+  /// Registers a dataset; fails with AlreadyExists on a duplicate name.
+  Status Register(DatasetInfo info, Factory factory);
+
+  /// All registered datasets, sorted by name.
+  std::vector<DatasetInfo> List() const;
+
+  /// Metadata for `name`.
+  Result<DatasetInfo> Info(const std::string& name) const;
+
+  /// Loads (and caches) the dataset `name`.
+  Result<GraphPtr> Load(const std::string& name);
+
+  /// Number of registered datasets.
+  size_t size() const;
+
+ private:
+  struct Entry {
+    DatasetInfo info;
+    Factory factory;
+    GraphPtr cached;  // filled on first Load
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Registers the built-in entries into `catalog` (used by `BuiltIn()` and
+/// by tests that want a fresh catalog).
+void RegisterBuiltInDatasets(DatasetCatalog& catalog);
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_DATASETS_CATALOG_H_

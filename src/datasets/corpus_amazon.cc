@@ -1,0 +1,146 @@
+#include <string>
+
+#include "datasets/corpus.h"
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+/// Reciprocal co-purchase link ("customers who bought X also bought Y" in
+/// both directions).
+void CoPurchase(GraphBuilder& b, const char* x, const char* y) {
+  b.AddEdge(x, y);
+  b.AddEdge(y, x);
+}
+
+/// Global layer of the Amazon miniature: the paper's PageRank top-5
+/// ("Good to Great", "The Catcher in the Rye", "DSM-IV", "The Great
+/// Gatsby", "Lord of the Flies") are category hubs that whole genres of
+/// filler books point at.
+void AddGlobalLayer(GraphBuilder& b) {
+  constexpr int kBusiness = 55;
+  for (int i = 0; i < kBusiness; ++i) {
+    const std::string name = "Business book " + std::to_string(i + 1);
+    b.AddEdge(name, "Good to Great");
+    b.AddEdge(name, "Business book " + std::to_string((i + 1) % kBusiness + 1));
+  }
+  constexpr int kPsych = 40;
+  for (int i = 0; i < kPsych; ++i) {
+    const std::string name = "Psychology text " + std::to_string(i + 1);
+    b.AddEdge(name, "DSM-IV");
+    b.AddEdge(name, "Good to Great");
+  }
+  // School reading lists: many editions point at the canonical classics.
+  constexpr int kSchool = 26;
+  for (int i = 0; i < kSchool; ++i) {
+    const std::string name = "Study guide " + std::to_string(i + 1);
+    b.AddEdge(name, "The Catcher in the Rye");
+    if (i % 2 == 0) b.AddEdge(name, "The Great Gatsby");
+    if (i % 3 == 0) b.AddEdge(name, "Lord of the Flies");
+  }
+  // Jazz-age criticism shelf: feeds "The Great Gatsby" specifically.
+  constexpr int kCritics = 12;
+  for (int i = 0; i < kCritics; ++i) {
+    b.AddEdge("Literary criticism " + std::to_string(i + 1),
+              "The Great Gatsby");
+  }
+  // "Good to Great" and "DSM-IV" have no outgoing co-purchases: category
+  // hubs park their rank (an out-degree-1 hub would funnel it all onward).
+  b.AddEdge("The Great Gatsby", "The Catcher in the Rye");
+}
+
+/// Dystopian-classics cluster around "1984" (Table II, left half).
+/// CycleRank (K=5) target order: Animal Farm > Fahrenheit 451 >
+/// The Catcher in the Rye > Brave New World > Lord of the Flies.
+/// PPR (α=.85) target order: The Catcher in the Rye > Lord of the Flies >
+/// Animal Farm > Fahrenheit 451 > To Kill a Mockingbird.
+void AddDystopiaCluster(GraphBuilder& b) {
+  const char* kNineteen = "1984";
+  // Reciprocal co-purchases with the reference book: the strong cycle
+  // cluster. "Brave New World" and "Lord of the Flies" are deliberately
+  // *not* reciprocal with 1984 — their CycleRank comes from longer cycles
+  // (BNW links back to 1984, LotF only forward), keeping them at ranks 4-5.
+  CoPurchase(b, kNineteen, "Animal Farm");
+  CoPurchase(b, kNineteen, "Fahrenheit 451");
+  CoPurchase(b, kNineteen, "The Catcher in the Rye");
+  b.AddEdge(kNineteen, "Lord of the Flies");
+  b.AddEdge("Brave New World", kNineteen);
+  // Intra-cluster structure (Orwell pairings strongest).
+  CoPurchase(b, "Animal Farm", "Fahrenheit 451");
+  CoPurchase(b, "Animal Farm", "Brave New World");
+  b.AddEdge("Animal Farm", "The Catcher in the Rye");
+  b.AddEdge("Fahrenheit 451", "Brave New World");
+  b.AddEdge("Fahrenheit 451", "Lord of the Flies");
+  // Popular-classics tail: one-directional co-purchase flow.
+  b.AddEdge("Lord of the Flies", "The Catcher in the Rye");
+  b.AddEdge("Lord of the Flies", "To Kill a Mockingbird");
+  b.AddEdge("The Catcher in the Rye", "Lord of the Flies");
+  b.AddEdge("The Catcher in the Rye", "To Kill a Mockingbird");
+  b.AddEdge("To Kill a Mockingbird", "The Catcher in the Rye");
+  // Author pages: rank escape hatches for the densely reciprocal cluster
+  // (no backlinks, so no cycles and no CycleRank effect).
+  b.AddEdge("Animal Farm", "George Orwell");
+  b.AddEdge("Fahrenheit 451", "Ray Bradbury");
+  b.AddEdge("Brave New World", "Aldous Huxley");
+  b.AddEdge("The Catcher in the Rye", "J.D. Salinger");
+  b.AddEdge("Lord of the Flies", "William Golding");
+  b.AddEdge("To Kill a Mockingbird", "Harper Lee");
+  b.AddEdge("The Great Gatsby", "F. Scott Fitzgerald");
+}
+
+/// Tolkien cluster around "The Fellowship of the Ring" (Table II, right
+/// half). CycleRank (K=5) target: The Hobbit > The Return of the King >
+/// The Silmarillion > The Two Towers > Unfinished Tales. PPR (α=.85)
+/// target: The Silmarillion > The Hobbit > Harry Potter (Book 1) >
+/// Harry Potter (Book 2) > The Return of the King — the Harry Potter
+/// bestsellers enter through one-directional co-purchase links and are the
+/// pathology CycleRank avoids (§IV-D).
+void AddTolkienCluster(GraphBuilder& b) {
+  const char* kFellowship = "The Fellowship of the Ring";
+  CoPurchase(b, kFellowship, "The Hobbit");
+  CoPurchase(b, kFellowship, "The Return of the King");
+  CoPurchase(b, kFellowship, "The Silmarillion");
+  CoPurchase(b, kFellowship, "The Two Towers");
+  CoPurchase(b, kFellowship, "Unfinished Tales");
+  // Intra-cluster structure: the Hobbit pairs with everything, the
+  // trilogy volumes pair with each other, the Silmarillion with the
+  // Hobbit and Unfinished Tales.
+  CoPurchase(b, "The Hobbit", "The Return of the King");
+  CoPurchase(b, "The Hobbit", "The Silmarillion");
+  CoPurchase(b, "The Return of the King", "The Two Towers");
+  // One-directional Harry Potter co-purchases: every Tolkien reader also
+  // bought them, but HP buyers move on to HP sequels, not back to Tolkien.
+  b.AddEdge(kFellowship, "Harry Potter (Book 1)");
+  b.AddEdge(kFellowship, "Harry Potter (Book 2)");
+  b.AddEdge("The Hobbit", "Harry Potter (Book 1)");
+  b.AddEdge("The Silmarillion", "Harry Potter (Book 1)");
+  b.AddEdge("The Return of the King", "Harry Potter (Book 2)");
+  b.AddEdge("The Two Towers", "Harry Potter (Book 2)");
+  CoPurchase(b, "Harry Potter (Book 1)", "Harry Potter (Book 2)");
+  // Escape links keep the HP pair from trapping probability mass.
+  for (const char* sequel : {"Harry Potter (Book 3)", "Harry Potter (Book 4)",
+                             "Harry Potter (Book 5)"}) {
+    b.AddEdge("Harry Potter (Book 1)", sequel);
+    b.AddEdge("Harry Potter (Book 2)", sequel);
+  }
+  // Bestseller gravity from the global layer.
+  for (int i = 0; i < 6; ++i) {
+    const std::string name = "Bestseller reader pick " + std::to_string(i + 1);
+    b.AddEdge(name, "Harry Potter (Book 1)");
+    if (i % 2 == 0) b.AddEdge(name, "Harry Potter (Book 2)");
+  }
+  // The Silmarillion's PPR edge: deep-lore readers funnel into it.
+  b.AddEdge("Unfinished Tales", "The Silmarillion");
+}
+
+}  // namespace
+
+Result<Graph> AmazonBooksMini() {
+  GraphBuilder b;
+  AddGlobalLayer(b);
+  AddDystopiaCluster(b);
+  AddTolkienCluster(b);
+  return b.Build();
+}
+
+}  // namespace cyclerank

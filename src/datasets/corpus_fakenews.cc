@@ -1,0 +1,145 @@
+#include <string>
+#include <vector>
+
+#include "datasets/corpus.h"
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+/// One language edition of the "Fake news" miniature.
+///
+/// `items` lists the articles that must appear in the CycleRank top list,
+/// strongest first. The builder wires, for n = items.size():
+///   * n=5: ref↔each item, plus item-item edges A→B, B→A, A→C, A→D, B→C,
+///     giving triangle counts (4,3,2,1,0) and strictly decreasing scores;
+///   * n=4: ref↔each, edges A→B, B→A, A→C → counts (3,2,1,0);
+///   * n=3: ref↔A, ref↔B, and C participates only through the triangle
+///     ref→A→C→ref (C has no 2-cycle) → scores .185 > .135 > .0498.
+/// The paper's nl and pl editions list fewer than five results; the n=4 and
+/// n=3 wirings leave exactly that many nodes with non-zero CycleRank.
+struct EditionSpec {
+  const char* language;
+  const char* title;                   // local "Fake news" article name
+  std::vector<const char*> items;      // expected top list, strongest first
+  std::vector<const char*> background; // zero-score satellite articles
+};
+
+const std::vector<EditionSpec>& Editions() {
+  static const std::vector<EditionSpec>* specs = new std::vector<EditionSpec>{
+      {"de",
+       "Fake News",
+       {"Barack Obama", "Tagesschau.de", "Desinformation", "Fake",
+        "Donald Trump"},
+       {"Journalismus", "Soziale Medien", "Propaganda", "Lügenpresse",
+        "Satire"}},
+      {"en",
+       "Fake news",
+       {"CNN", "Facebook", "US pres. election, 2016", "Propaganda",
+        "Social media"},
+       {"Misinformation", "Donald Trump", "Journalism", "Twitter",
+        "Clickbait"}},
+      {"fr",
+       "Fake news",
+       {"Ère post-vérité", "Donald Trump", "Facebook", "Hoax",
+        "Alex Jones (complotiste)"},
+       {"Désinformation", "Journalisme", "Théorie du complot",
+        "Réseaux sociaux", "Infox"}},
+      {"it",
+       "Fake news",
+       {"Disinformazione", "Post-verità", "Bufala", "Debunker", "Clickbait"},
+       {"Giornalismo", "Social media", "Propaganda", "Donald Trump",
+        "Complottismo"}},
+      {"nl",
+       "Nepnieuws",
+       {"Facebook", "Journalistiek", "Hoax", "Donald Trump"},
+       {"Desinformatie", "Sociale media", "Propaganda", "Twitter",
+        "Complottheorie"}},
+      {"pl",
+       "Fake news",
+       {"Dezinformacja", "Propaganda", "Media społecznościowe"},
+       {"Dziennikarstwo", "Donald Trump", "Facebook", "Teoria spiskowa",
+        "Postprawda"}},
+  };
+  return *specs;
+}
+
+void WireEdition(const EditionSpec& spec, GraphBuilder& b) {
+  const char* ref = spec.title;
+  const auto& it = spec.items;
+  if (it.size() >= 4) {
+    // 2-cycles with every item; triangle edges produce strictly decreasing
+    // triangle counts (see struct comment).
+    for (const char* item : it) {
+      b.AddEdge(ref, item);
+      b.AddEdge(item, ref);
+    }
+    b.AddEdge(it[0], it[1]);
+    b.AddEdge(it[1], it[0]);
+    b.AddEdge(it[0], it[2]);
+    if (it.size() >= 5) {
+      b.AddEdge(it[0], it[3]);
+      b.AddEdge(it[1], it[2]);
+    }
+  } else {
+    // n=3 wiring: third item has no 2-cycle, only the ref→A→C→ref triangle.
+    b.AddEdge(ref, it[0]);
+    b.AddEdge(it[0], ref);
+    b.AddEdge(ref, it[1]);
+    b.AddEdge(it[1], ref);
+    b.AddEdge(it[0], it[2]);
+    b.AddEdge(it[2], ref);
+  }
+  // Background articles: kept on one-directional paths only, so they sit on
+  // no cycle through the reference (CycleRank score 0) while still being
+  // visible to PageRank / PPR. Even-indexed backgrounds are downstream of
+  // the reference (ref→bg), odd-indexed are upstream (bg→ref); links never
+  // cross from the downstream group back toward the reference.
+  for (size_t i = 0; i < spec.background.size(); ++i) {
+    if (i % 2 == 0) {
+      b.AddEdge(ref, spec.background[i]);
+      if (i + 2 < spec.background.size()) {
+        b.AddEdge(spec.background[i], spec.background[i + 2]);
+      }
+    } else {
+      b.AddEdge(spec.background[i], ref);
+      // Upstream articles also point at the strongest item — in-degree
+      // realism that cannot form a cycle because nothing reachable from the
+      // reference leads into them.
+      b.AddEdge(spec.background[i], spec.items[0]);
+      if (i + 2 < spec.background.size()) {
+        b.AddEdge(spec.background[i + 2], spec.background[i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& FakeNewsLanguages() {
+  static const std::vector<std::string>* langs =
+      new std::vector<std::string>{"de", "en", "fr", "it", "nl", "pl"};
+  return *langs;
+}
+
+Result<Graph> FakeNewsEdition(std::string_view language) {
+  for (const EditionSpec& spec : Editions()) {
+    if (language == spec.language) {
+      GraphBuilder b;
+      WireEdition(spec, b);
+      return b.Build();
+    }
+  }
+  return Status::NotFound("no Fake news edition for language '" +
+                          std::string(language) + "'");
+}
+
+Result<std::string> FakeNewsTitle(std::string_view language) {
+  for (const EditionSpec& spec : Editions()) {
+    if (language == spec.language) return std::string(spec.title);
+  }
+  return Status::NotFound("no Fake news edition for language '" +
+                          std::string(language) + "'");
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,177 @@
+#include <string>
+
+#include "datasets/corpus.h"
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+/// Adds the globally-central part of the enwiki miniature: the paper's
+/// PageRank top-5 ("United States", "Animal", "Arthropod", "Association
+/// football", "Insect") as hub articles fed by generic filler articles.
+/// The taxonomy chain Insect → Arthropod → Animal concentrates rank
+/// upstream, which is how those pages reach the global top on the real
+/// snapshot.
+void AddGlobalHubs(GraphBuilder& b) {
+  // Generic articles: every one links to United States (the canonical
+  // "everything links to it" page) and to one or two peers.
+  constexpr int kFillers = 70;
+  for (int i = 0; i < kFillers; ++i) {
+    const std::string name = "Article " + std::to_string(i + 1);
+    b.AddEdge(name, "United States");
+    b.AddEdge(name, "Article " + std::to_string((i + 1) % kFillers + 1));
+  }
+  // Species articles feed the taxonomy chain.
+  constexpr int kInsects = 26;
+  for (int i = 0; i < kInsects; ++i) {
+    const std::string name = "Insect species " + std::to_string(i + 1);
+    b.AddEdge(name, "Insect");
+    b.AddEdge(name, "United States");
+  }
+  constexpr int kArthropods = 16;
+  for (int i = 0; i < kArthropods; ++i) {
+    const std::string name = "Arthropod species " + std::to_string(i + 1);
+    b.AddEdge(name, "Arthropod");
+    b.AddEdge(name, "United States");
+  }
+  constexpr int kAnimals = 18;
+  for (int i = 0; i < kAnimals; ++i) {
+    const std::string name = "Animal species " + std::to_string(i + 1);
+    b.AddEdge(name, "Animal");
+    b.AddEdge(name, "United States");
+  }
+  b.AddEdge("Insect", "Arthropod");
+  b.AddEdge("Arthropod", "Animal");
+  // Football players and clubs feed "Association football".
+  constexpr int kPlayers = 34;
+  for (int i = 0; i < kPlayers; ++i) {
+    const std::string name = "Footballer " + std::to_string(i + 1);
+    b.AddEdge(name, "Association football");
+    b.AddEdge(name, "United States");
+  }
+  // Hubs are rank sinks: overview articles link out to almost nothing.
+  // (A hub with out-degree 1 would funnel its whole rank into one target;
+  // dangling hubs let PageRank redistribute it uniformly instead.)
+}
+
+/// The Queen cluster around "Freddie Mercury" (Table I, left half).
+///
+/// Cycle design (K=3, σ=e^-n), targeting the paper's CycleRank order
+/// Queen (band) > Brian May > Roger Taylor > John Deacon:
+///   Queen (band): 2-cycle + 8 triangles      -> .534
+///   Brian May:    2-cycle + 4 triangles      -> .334
+///   Roger Taylor: 2-cycle + 3 triangles      -> .285
+///   John Deacon:  2-cycle + 2 triangles      -> .235
+/// and the paper's PPR (α=.3) order Queen > The FM Tribute Concert >
+/// HIV/AIDS > Queen II, driven by in-link counts / out-degree splits of the
+/// pages one and two hops from Freddie Mercury.
+void AddQueenCluster(GraphBuilder& b) {
+  const char* kFreddie = "Freddie Mercury";
+  // Freddie's out-links (his article's wiki links).
+  for (const char* to : {"Queen (band)", "Brian May", "Roger Taylor",
+                         "John Deacon", "The FM Tribute Concert", "HIV/AIDS",
+                         "Queen II"}) {
+    b.AddEdge(kFreddie, to);
+  }
+  // Reciprocal band links (2-cycles with Freddie).
+  for (const char* from :
+       {"Queen (band)", "Brian May", "Roger Taylor", "John Deacon"}) {
+    b.AddEdge(from, kFreddie);
+  }
+  // Queen (band) article links.
+  b.AddEdge("Queen (band)", "Brian May");
+  b.AddEdge("Queen (band)", "Roger Taylor");
+  b.AddEdge("Queen (band)", "John Deacon");
+  b.AddEdge("Queen (band)", "Queen II");
+  // Band members link back to the band page -> triangles through Freddie.
+  b.AddEdge("Brian May", "Queen (band)");
+  b.AddEdge("Roger Taylor", "Queen (band)");
+  b.AddEdge("John Deacon", "Queen (band)");
+  // Songs lift Brian May (+2 triangles) and Roger Taylor (+1), one
+  // orientation each so they gain no 2-cycle with Freddie themselves.
+  b.AddEdge("Brian May", "Bohemian Rhapsody");
+  b.AddEdge("Bohemian Rhapsody", kFreddie);
+  b.AddEdge("Brian May", "We Will Rock You");
+  b.AddEdge("We Will Rock You", kFreddie);
+  b.AddEdge("Roger Taylor", "Radio Ga Ga");
+  b.AddEdge("Radio Ga Ga", kFreddie);
+  // Tribute concert: linked from the band members, links onwards to
+  // HIV/AIDS (the concert's cause) and back to Freddie.
+  b.AddEdge("Brian May", "The FM Tribute Concert");
+  b.AddEdge("Roger Taylor", "The FM Tribute Concert");
+  b.AddEdge("John Deacon", "The FM Tribute Concert");
+  b.AddEdge("The FM Tribute Concert", "HIV/AIDS");
+  b.AddEdge("The FM Tribute Concert", "Queen (band)");
+  // Queen II funnels back to the band page and is co-referenced by May.
+  b.AddEdge("Queen II", "Queen (band)");
+  b.AddEdge("Brian May", "Queen II");
+  // Light links into the global layer (realism; kept two hops out so they
+  // cannot disturb the personalized top-5).
+  b.AddEdge("Brian May", "United States");
+  b.AddEdge("Roger Taylor", "United States");
+  b.AddEdge("HIV/AIDS", "United States");
+}
+
+/// The Italian-food cluster around "Pasta" (Table I, right half).
+///
+/// CycleRank targets (K=3): Italian cuisine > Italy > Spaghetti > Flour.
+/// PPR (α=.3) targets: Bolognese sauce > Carbonara > Durum > Italy, with
+/// the cuisine pages trailing — Bolognese/Carbonara/Durum are out-links of
+/// Pasta that never link back (no cycles), but they collect second-hop
+/// probability mass from the cluster.
+void AddPastaCluster(GraphBuilder& b) {
+  const char* kPasta = "Pasta";
+  for (const char* to : {"Italian cuisine", "Italy", "Spaghetti", "Flour",
+                         "Bolognese sauce", "Carbonara", "Durum"}) {
+    b.AddEdge(kPasta, to);
+  }
+  for (const char* from : {"Italian cuisine", "Italy", "Spaghetti", "Flour"}) {
+    b.AddEdge(from, kPasta);
+  }
+  // Triangles (K=3 cycles) through Pasta:
+  //   Italian cuisine: 4 (via Italy x2, via Spaghetti x2)
+  //   Italy: 3 (via Italian cuisine x2, via Flour)
+  //   Spaghetti: 2 (via Italian cuisine x2)
+  //   Flour: 1 (via Italy)
+  b.AddEdge("Italian cuisine", "Italy");
+  b.AddEdge("Italy", "Italian cuisine");
+  b.AddEdge("Italian cuisine", "Spaghetti");
+  b.AddEdge("Spaghetti", "Italian cuisine");
+  b.AddEdge("Flour", "Italy");
+  // One-directional sauce/ingredient pages: no cycles, strong 2nd-hop mass.
+  b.AddEdge("Spaghetti", "Bolognese sauce");
+  b.AddEdge("Spaghetti", "Carbonara");
+  b.AddEdge("Italian cuisine", "Bolognese sauce");
+  b.AddEdge("Italian cuisine", "Carbonara");
+  b.AddEdge("Flour", "Durum");
+  b.AddEdge("Durum", "Bolognese sauce");
+  b.AddEdge("Italy", "Carbonara");
+  b.AddEdge("Italian cuisine", "Durum");
+  // Italy's extra out-links dilute its contribution to Italian cuisine;
+  // Bolognese's satellite pages route a little mass onward to Carbonara and
+  // Durum. None of these pages link back toward Pasta (no new cycles).
+  b.AddEdge("Italy", "Rome");
+  b.AddEdge("Italy", "Vatican City");
+  for (const char* dish : {"Carbonara", "Durum", "Ragù", "Tagliatelle",
+                           "Lasagne", "Fettuccine", "Penne", "Gnocchi"}) {
+    b.AddEdge("Bolognese sauce", dish);
+  }
+  // Italy is also a mid-size hub of the global layer.
+  b.AddEdge("Italy", "United States");
+  b.AddEdge("Footballer 1", "Italy");
+  b.AddEdge("Footballer 2", "Italy");
+  b.AddEdge("Article 1", "Italy");
+  b.AddEdge("Article 2", "Italy");
+}
+
+}  // namespace
+
+Result<Graph> EnwikiMini() {
+  GraphBuilder b;
+  AddGlobalHubs(b);
+  AddQueenCluster(b);
+  AddPastaCluster(b);
+  return b.Build();
+}
+
+}  // namespace cyclerank

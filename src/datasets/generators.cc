@@ -1,0 +1,317 @@
+#include "datasets/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+Status CheckNodes(NodeId n) {
+  if (n == 0) return Status::InvalidArgument("generator: num_nodes must be >= 1");
+  return Status::OK();
+}
+
+Status CheckProb(double p, const char* what) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument(std::string("generator: ") + what +
+                                   " must be in [0,1], got " +
+                                   std::to_string(p));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Graph> GenerateErdosRenyi(const ErdosRenyiConfig& config) {
+  CYCLERANK_RETURN_NOT_OK(CheckNodes(config.num_nodes));
+  CYCLERANK_RETURN_NOT_OK(CheckProb(config.edge_prob, "edge_prob"));
+  Rng rng(config.seed);
+  GraphBuilder builder;
+  builder.ReserveNodes(config.num_nodes);
+  // Geometric skipping: iterate over potential edges in O(#edges) expected
+  // time instead of O(n^2).
+  const double p = config.edge_prob;
+  if (p > 0.0) {
+    const uint64_t total =
+        static_cast<uint64_t>(config.num_nodes) * config.num_nodes;
+    uint64_t idx = 0;
+    while (true) {
+      // Skip ~Geometric(p) slots.
+      const double u = rng.NextDouble();
+      const uint64_t skip =
+          p >= 1.0 ? 0
+                   : static_cast<uint64_t>(std::log1p(-u) / std::log1p(-p));
+      idx += skip;
+      if (idx >= total) break;
+      const NodeId from = static_cast<NodeId>(idx / config.num_nodes);
+      const NodeId to = static_cast<NodeId>(idx % config.num_nodes);
+      if (from != to) builder.AddEdge(from, to);
+      ++idx;
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> GenerateErdosRenyiM(NodeId num_nodes, uint64_t num_edges,
+                                  uint64_t seed) {
+  CYCLERANK_RETURN_NOT_OK(CheckNodes(num_nodes));
+  const uint64_t max_edges =
+      static_cast<uint64_t>(num_nodes) * (num_nodes - 1);
+  if (num_edges > max_edges) {
+    return Status::InvalidArgument(
+        "GenerateErdosRenyiM: num_edges exceeds n*(n-1)");
+  }
+  Rng rng(seed);
+  GraphBuilder builder;
+  builder.ReserveNodes(num_nodes);
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(num_edges * 2);
+  while (chosen.size() < num_edges) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    if (u == v) continue;
+    const uint64_t key = static_cast<uint64_t>(u) * num_nodes + v;
+    if (chosen.insert(key).second) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Result<Graph> GenerateBarabasiAlbert(const BarabasiAlbertConfig& config) {
+  CYCLERANK_RETURN_NOT_OK(CheckNodes(config.num_nodes));
+  CYCLERANK_RETURN_NOT_OK(CheckProb(config.reciprocity, "reciprocity"));
+  if (config.edges_per_node == 0) {
+    return Status::InvalidArgument(
+        "GenerateBarabasiAlbert: edges_per_node must be >= 1");
+  }
+  Rng rng(config.seed);
+  GraphBuilder builder;
+  builder.ReserveNodes(config.num_nodes);
+
+  // `attachment` holds one entry per (in-degree + 1) unit of mass, so a
+  // uniform draw realizes preferential attachment.
+  std::vector<NodeId> attachment;
+  attachment.reserve(static_cast<size_t>(config.num_nodes) *
+                     (config.edges_per_node + 1));
+  const NodeId seed_nodes =
+      std::min<NodeId>(config.num_nodes, config.edges_per_node + 1);
+  // Seed clique-ish core: a directed ring so the attachment pool is nonempty
+  // and the core is cyclic.
+  for (NodeId u = 0; u < seed_nodes; ++u) {
+    builder.AddEdge(u, (u + 1) % seed_nodes);
+    attachment.push_back(u);
+    attachment.push_back((u + 1) % seed_nodes);
+  }
+  for (NodeId t = seed_nodes; t < config.num_nodes; ++t) {
+    std::unordered_set<NodeId> targets;
+    uint32_t guard = 0;
+    while (targets.size() < config.edges_per_node &&
+           guard < 50u * config.edges_per_node) {
+      const NodeId cand = attachment[rng.NextBounded(attachment.size())];
+      if (cand != t) targets.insert(cand);
+      ++guard;
+    }
+    for (NodeId v : targets) {
+      builder.AddEdge(t, v);
+      attachment.push_back(v);  // v gained in-degree
+      if (rng.NextBool(config.reciprocity)) {
+        builder.AddEdge(v, t);
+        attachment.push_back(t);
+      }
+    }
+    attachment.push_back(t);  // base mass for newcomer
+  }
+  return builder.Build();
+}
+
+Result<Graph> GenerateWattsStrogatz(const WattsStrogatzConfig& config) {
+  CYCLERANK_RETURN_NOT_OK(CheckNodes(config.num_nodes));
+  CYCLERANK_RETURN_NOT_OK(CheckProb(config.rewire_prob, "rewire_prob"));
+  if (config.k == 0 || config.k >= config.num_nodes) {
+    return Status::InvalidArgument(
+        "GenerateWattsStrogatz: k must be in [1, n)");
+  }
+  Rng rng(config.seed);
+  GraphBuilder builder;
+  builder.ReserveNodes(config.num_nodes);
+  for (NodeId u = 0; u < config.num_nodes; ++u) {
+    for (uint32_t j = 1; j <= config.k; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % config.num_nodes);
+      if (rng.NextBool(config.rewire_prob)) {
+        v = static_cast<NodeId>(rng.NextBounded(config.num_nodes));
+        if (v == u) v = static_cast<NodeId>((u + 1) % config.num_nodes);
+      }
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> GenerateSbm(const SbmConfig& config) {
+  if (config.block_sizes.empty()) {
+    return Status::InvalidArgument("GenerateSbm: no blocks");
+  }
+  CYCLERANK_RETURN_NOT_OK(CheckProb(config.intra_prob, "intra_prob"));
+  CYCLERANK_RETURN_NOT_OK(CheckProb(config.inter_prob, "inter_prob"));
+  NodeId n = 0;
+  std::vector<uint32_t> block_of;
+  for (size_t b = 0; b < config.block_sizes.size(); ++b) {
+    for (NodeId i = 0; i < config.block_sizes[b]; ++i) {
+      block_of.push_back(static_cast<uint32_t>(b));
+    }
+    n += config.block_sizes[b];
+  }
+  CYCLERANK_RETURN_NOT_OK(CheckNodes(n));
+  Rng rng(config.seed);
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v) continue;
+      const double p =
+          block_of[u] == block_of[v] ? config.intra_prob : config.inter_prob;
+      if (rng.NextBool(p)) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> GenerateWikiLike(const WikiLikeConfig& config) {
+  const NodeId n_articles =
+      static_cast<NodeId>(config.num_clusters) * config.cluster_size;
+  const NodeId n = n_articles + config.num_hubs;
+  CYCLERANK_RETURN_NOT_OK(CheckNodes(n));
+  CYCLERANK_RETURN_NOT_OK(CheckProb(config.intra_reciprocity, "intra_reciprocity"));
+  CYCLERANK_RETURN_NOT_OK(CheckProb(config.hub_attachment, "hub_attachment"));
+  CYCLERANK_RETURN_NOT_OK(CheckProb(config.inter_cluster_prob, "inter_cluster_prob"));
+  Rng rng(config.seed);
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  // Nodes [0, n_articles) are topical articles grouped in clusters of
+  // `cluster_size`; nodes [n_articles, n) are the global hubs.
+  for (NodeId u = 0; u < n_articles; ++u) {
+    const NodeId cluster = u / config.cluster_size;
+    const NodeId base = cluster * config.cluster_size;
+    // Topical links inside the cluster, often reciprocated.
+    for (uint32_t j = 0; j < config.intra_out_degree; ++j) {
+      NodeId v = base + static_cast<NodeId>(
+                            rng.NextBounded(config.cluster_size));
+      if (v == u) v = base + (u - base + 1) % config.cluster_size;
+      if (v == u) continue;  // cluster of size 1
+      builder.AddEdge(u, v);
+      if (rng.NextBool(config.intra_reciprocity)) builder.AddEdge(v, u);
+    }
+    // Links to globally central hub articles (rarely returned).
+    for (uint32_t h = 0; h < config.num_hubs; ++h) {
+      if (rng.NextBool(config.hub_attachment)) {
+        builder.AddEdge(u, n_articles + h);
+      }
+    }
+    // Occasional cross-cluster link.
+    if (rng.NextBool(config.inter_cluster_prob)) {
+      const NodeId v = static_cast<NodeId>(rng.NextBounded(n_articles));
+      if (v != u) builder.AddEdge(u, v);
+    }
+  }
+  // Hubs have few outgoing links, mostly to other hubs and random articles.
+  for (uint32_t h = 0; h < config.num_hubs; ++h) {
+    const NodeId hub = n_articles + h;
+    for (uint32_t j = 0; j < config.hub_out_degree; ++j) {
+      const NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+      if (v != hub) builder.AddEdge(hub, v);
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> GenerateAmazonLike(const AmazonLikeConfig& config) {
+  const NodeId n_items =
+      static_cast<NodeId>(config.num_genres) * config.genre_size;
+  const NodeId n = n_items + config.num_bestsellers;
+  CYCLERANK_RETURN_NOT_OK(CheckNodes(n));
+  CYCLERANK_RETURN_NOT_OK(
+      CheckProb(config.copurchase_reciprocity, "copurchase_reciprocity"));
+  CYCLERANK_RETURN_NOT_OK(
+      CheckProb(config.bestseller_attachment, "bestseller_attachment"));
+  Rng rng(config.seed);
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (NodeId u = 0; u < n_items; ++u) {
+    const NodeId genre = u / config.genre_size;
+    const NodeId base = genre * config.genre_size;
+    for (uint32_t j = 0; j < config.copurchase_out_degree; ++j) {
+      NodeId v =
+          base + static_cast<NodeId>(rng.NextBounded(config.genre_size));
+      if (v == u) v = base + (u - base + 1) % config.genre_size;
+      if (v == u) continue;
+      builder.AddEdge(u, v);
+      if (rng.NextBool(config.copurchase_reciprocity)) builder.AddEdge(v, u);
+    }
+    for (uint32_t b = 0; b < config.num_bestsellers; ++b) {
+      if (rng.NextBool(config.bestseller_attachment)) {
+        builder.AddEdge(u, n_items + b);
+      }
+    }
+  }
+  // Bestsellers co-purchase each other (they sit in everyone's cart).
+  for (uint32_t a = 0; a < config.num_bestsellers; ++a) {
+    for (uint32_t b = 0; b < config.num_bestsellers; ++b) {
+      if (a != b) builder.AddEdge(n_items + a, n_items + b);
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> GenerateTwitterLike(const TwitterLikeConfig& config) {
+  const NodeId n_users =
+      static_cast<NodeId>(config.num_communities) * config.community_size;
+  const NodeId n = n_users + config.num_celebrities;
+  CYCLERANK_RETURN_NOT_OK(CheckNodes(n));
+  CYCLERANK_RETURN_NOT_OK(CheckProb(config.reciprocity, "reciprocity"));
+  CYCLERANK_RETURN_NOT_OK(
+      CheckProb(config.celebrity_attachment, "celebrity_attachment"));
+  Rng rng(config.seed);
+  GraphBuilder builder;
+  builder.ReserveNodes(n);
+  for (NodeId u = 0; u < n_users; ++u) {
+    const NodeId comm = u / config.community_size;
+    const NodeId base = comm * config.community_size;
+    // Zipf-scaled activity: user rank-within-community r gets activity
+    // ~ interactions_per_user * H / (r+1) where H normalizes roughly.
+    const NodeId rank = u - base;
+    const uint32_t activity = std::max<uint32_t>(
+        1, static_cast<uint32_t>(config.interactions_per_user * 2.0 /
+                                 static_cast<double>(rank + 1)));
+    for (uint32_t j = 0; j < activity; ++j) {
+      NodeId v =
+          base + static_cast<NodeId>(rng.NextBounded(config.community_size));
+      if (v == u) v = base + (u - base + 1) % config.community_size;
+      if (v == u) continue;
+      builder.AddEdge(u, v);
+      if (rng.NextBool(config.reciprocity)) builder.AddEdge(v, u);
+    }
+    for (uint32_t c = 0; c < config.num_celebrities; ++c) {
+      if (rng.NextBool(config.celebrity_attachment)) {
+        builder.AddEdge(u, n_users + c);  // mention/retweet of a celebrity
+      }
+    }
+  }
+  // Celebrities interact among themselves and reply to a few users.
+  for (uint32_t a = 0; a < config.num_celebrities; ++a) {
+    const NodeId celeb = n_users + a;
+    for (uint32_t b = 0; b < config.num_celebrities; ++b) {
+      if (a != b && rng.NextBool(0.5)) builder.AddEdge(celeb, n_users + b);
+    }
+    for (uint32_t j = 0; j < 5; ++j) {
+      const NodeId v = static_cast<NodeId>(rng.NextBounded(n_users));
+      builder.AddEdge(celeb, v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace cyclerank

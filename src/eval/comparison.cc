@@ -1,0 +1,98 @@
+#include "eval/comparison.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/strings.h"
+#include "eval/rank_metrics.h"
+
+namespace cyclerank {
+namespace {
+
+/// Cell content for rank position `row` of `column`, honoring skip_node.
+std::string CellAt(const Graph& g, const ComparisonColumn& column, size_t row,
+                   const ComparisonTableOptions& options) {
+  size_t seen = 0;
+  for (const ScoredNode& entry : column.ranking) {
+    if (entry.node == options.skip_node) continue;
+    if (seen == row) {
+      std::string cell = g.NodeName(entry.node);
+      if (options.show_scores) {
+        cell += " (" + FormatDouble(entry.score, 4) + ")";
+      }
+      return cell;
+    }
+    ++seen;
+  }
+  return options.empty_cell;
+}
+
+}  // namespace
+
+std::string RenderComparisonTable(const Graph& g,
+                                  const std::vector<ComparisonColumn>& columns,
+                                  const ComparisonTableOptions& options) {
+  // Materialize all cells first to compute column widths.
+  std::vector<std::vector<std::string>> cells(columns.size());
+  std::vector<size_t> widths(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    widths[c] = columns[c].header.size();
+    for (size_t r = 0; r < options.top_k; ++r) {
+      cells[c].push_back(CellAt(g, columns[c], r, options));
+      widths[c] = std::max(widths[c], cells[c].back().size());
+    }
+  }
+  std::ostringstream os;
+  os << std::left << "  #  ";
+  for (size_t c = 0; c < columns.size(); ++c) {
+    os << "| " << std::setw(static_cast<int>(widths[c])) << columns[c].header
+       << ' ';
+  }
+  os << '\n';
+  os << "  ---";
+  for (size_t c = 0; c < columns.size(); ++c) {
+    os << "+" << std::string(widths[c] + 2, '-');
+  }
+  os << '\n';
+  for (size_t r = 0; r < options.top_k; ++r) {
+    os << "  " << std::setw(3) << (r + 1);
+    for (size_t c = 0; c < columns.size(); ++c) {
+      os << "| " << std::setw(static_cast<int>(widths[c])) << cells[c][r]
+         << ' ';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::vector<PairwiseComparison> ComparePairwise(
+    const std::vector<ComparisonColumn>& columns, size_t k) {
+  std::vector<PairwiseComparison> out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      PairwiseComparison pair;
+      pair.left = columns[i].header;
+      pair.right = columns[j].header;
+      pair.jaccard_top_k = JaccardAtK(columns[i].ranking, columns[j].ranking, k);
+      pair.overlap_top_k = OverlapAtK(columns[i].ranking, columns[j].ranking, k);
+      pair.rbo =
+          RankBiasedOverlap(columns[i].ranking, columns[j].ranking).value_or(0.0);
+      out.push_back(std::move(pair));
+    }
+  }
+  return out;
+}
+
+std::string RenderPairwise(const std::vector<PairwiseComparison>& pairs) {
+  std::ostringstream os;
+  for (const PairwiseComparison& pair : pairs) {
+    os << "  " << pair.left << " vs " << pair.right
+       << ": jaccard=" << FormatDouble(pair.jaccard_top_k, 3)
+       << " overlap=" << FormatDouble(pair.overlap_top_k, 3)
+       << " rbo=" << FormatDouble(pair.rbo, 3) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cyclerank

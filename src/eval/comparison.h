@@ -1,0 +1,60 @@
+#ifndef CYCLERANK_EVAL_COMPARISON_H_
+#define CYCLERANK_EVAL_COMPARISON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ranking.h"
+#include "graph/graph.h"
+
+namespace cyclerank {
+
+/// One column of a side-by-side comparison table (one algorithm run).
+struct ComparisonColumn {
+  std::string header;   ///< e.g. "Cyclerank (K=3, sigma=e^-n)"
+  RankedList ranking;   ///< full or truncated ranking
+};
+
+/// Options for rendering a comparison table in the style of the paper's
+/// Tables I-III.
+struct ComparisonTableOptions {
+  size_t top_k = 5;
+
+  /// Node to omit from every column (Tables II-III omit the reference
+  /// node; Table I keeps it). `kInvalidNode` omits nothing.
+  NodeId skip_node = kInvalidNode;
+
+  /// Render "-" for exhausted columns (the paper's nl / pl cells).
+  std::string empty_cell = "-";
+
+  /// Show scores next to names.
+  bool show_scores = false;
+};
+
+/// Renders an aligned text table: one row per rank position 1..top_k, one
+/// column per algorithm, mirroring the layout of the paper's Tables I-III.
+std::string RenderComparisonTable(const Graph& g,
+                                  const std::vector<ComparisonColumn>& columns,
+                                  const ComparisonTableOptions& options = {});
+
+/// Pairwise metric summary between two columns (used by the ablation bench
+/// and the algorithm-comparison example).
+struct PairwiseComparison {
+  std::string left;
+  std::string right;
+  double jaccard_top_k = 0.0;
+  double overlap_top_k = 0.0;
+  double rbo = 0.0;
+};
+
+/// Computes pairwise metrics for every pair of columns at depth `k`.
+std::vector<PairwiseComparison> ComparePairwise(
+    const std::vector<ComparisonColumn>& columns, size_t k);
+
+/// Renders the pairwise summary as an aligned text block.
+std::string RenderPairwise(const std::vector<PairwiseComparison>& pairs);
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_EVAL_COMPARISON_H_

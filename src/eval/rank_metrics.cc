@@ -1,0 +1,180 @@
+#include "eval/rank_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cyclerank {
+namespace {
+
+std::unordered_set<NodeId> TopKSet(const RankedList& list, size_t k) {
+  std::unordered_set<NodeId> out;
+  const size_t limit = k == 0 ? list.size() : std::min(k, list.size());
+  for (size_t i = 0; i < limit; ++i) out.insert(list[i].node);
+  return out;
+}
+
+/// Positions of nodes common to both rankings, as two parallel arrays of
+/// ranks. Common = appears in both lists.
+struct CommonRanks {
+  std::vector<double> rank_a;
+  std::vector<double> rank_b;
+};
+
+CommonRanks CommonNodeRanks(const RankedList& a, const RankedList& b) {
+  std::unordered_map<NodeId, size_t> pos_b;
+  pos_b.reserve(b.size());
+  for (size_t i = 0; i < b.size(); ++i) pos_b.emplace(b[i].node, i);
+  CommonRanks out;
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto it = pos_b.find(a[i].node);
+    if (it == pos_b.end()) continue;
+    out.rank_a.push_back(static_cast<double>(i));
+    out.rank_b.push_back(static_cast<double>(it->second));
+  }
+  return out;
+}
+
+}  // namespace
+
+double JaccardAtK(const RankedList& a, const RankedList& b, size_t k) {
+  const auto set_a = TopKSet(a, k);
+  const auto set_b = TopKSet(b, k);
+  if (set_a.empty() && set_b.empty()) return 1.0;
+  size_t intersection = 0;
+  for (NodeId u : set_a) {
+    if (set_b.count(u)) ++intersection;
+  }
+  const size_t unions = set_a.size() + set_b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(unions);
+}
+
+double OverlapAtK(const RankedList& a, const RankedList& b, size_t k) {
+  if (k == 0) return JaccardAtK(a, b, 0);
+  const auto set_a = TopKSet(a, k);
+  const auto set_b = TopKSet(b, k);
+  size_t intersection = 0;
+  for (NodeId u : set_a) {
+    if (set_b.count(u)) ++intersection;
+  }
+  return static_cast<double>(intersection) / static_cast<double>(k);
+}
+
+Result<double> RankBiasedOverlap(const RankedList& a, const RankedList& b,
+                                 double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    return Status::InvalidArgument("RBO: persistence p must be in (0,1)");
+  }
+  const size_t depth = std::max(a.size(), b.size());
+  if (depth == 0) return 1.0;
+  // Extrapolated RBO_ext over the observed prefixes.
+  std::unordered_set<NodeId> seen_a, seen_b;
+  size_t overlap = 0;
+  double sum = 0.0;
+  double weight = 1.0 - p;  // (1-p) * p^(d-1) at depth d, starting d=1
+  for (size_t d = 0; d < depth; ++d) {
+    if (d < a.size()) {
+      if (seen_b.count(a[d].node)) ++overlap;
+      seen_a.insert(a[d].node);
+    }
+    if (d < b.size()) {
+      // A node present at the same depth in both lists is counted exactly
+      // once here: the symmetric check above ran before it entered seen_b.
+      if (seen_a.count(b[d].node)) ++overlap;
+      seen_b.insert(b[d].node);
+    }
+    const double agreement =
+        static_cast<double>(overlap) / static_cast<double>(d + 1);
+    sum += agreement * weight;
+    weight *= p;
+  }
+  // Extrapolate the final agreement over the unseen tail.
+  const double final_agreement =
+      static_cast<double>(overlap) / static_cast<double>(depth);
+  sum += final_agreement * std::pow(p, static_cast<double>(depth));
+  return sum;
+}
+
+Result<double> KendallTau(const RankedList& a, const RankedList& b) {
+  const CommonRanks common = CommonNodeRanks(a, b);
+  const size_t n = common.rank_a.size();
+  if (n < 2) {
+    return Status::InvalidArgument(
+        "KendallTau: need at least 2 common nodes, got " + std::to_string(n));
+  }
+  // O(n^2) pair scan — rankings compared in the demo are top-k lists, so n
+  // is small; positions within each ranking are distinct (no ties).
+  int64_t concordant = 0, discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double da = common.rank_a[i] - common.rank_a[j];
+      const double db = common.rank_b[i] - common.rank_b[j];
+      const double prod = da * db;
+      if (prod > 0) {
+        ++concordant;
+      } else if (prod < 0) {
+        ++discordant;
+      }
+    }
+  }
+  const double total = static_cast<double>(n) * (n - 1) / 2.0;
+  return (static_cast<double>(concordant) - discordant) / total;
+}
+
+Result<double> SpearmanRho(const RankedList& a, const RankedList& b) {
+  const CommonRanks common = CommonNodeRanks(a, b);
+  const size_t n = common.rank_a.size();
+  if (n < 2) {
+    return Status::InvalidArgument(
+        "SpearmanRho: need at least 2 common nodes, got " + std::to_string(n));
+  }
+  // Re-rank the common subsequences 0..n-1 to keep ρ well-defined when the
+  // common nodes sit at scattered absolute positions.
+  auto rerank = [](std::vector<double> v) {
+    std::vector<size_t> idx(v.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](size_t x, size_t y) { return v[x] < v[y]; });
+    std::vector<double> out(v.size());
+    for (size_t r = 0; r < idx.size(); ++r) out[idx[r]] = static_cast<double>(r);
+    return out;
+  };
+  const std::vector<double> ra = rerank(common.rank_a);
+  const std::vector<double> rb = rerank(common.rank_b);
+  double d2 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = ra[i] - rb[i];
+    d2 += d * d;
+  }
+  const double nn = static_cast<double>(n);
+  return 1.0 - 6.0 * d2 / (nn * (nn * nn - 1.0));
+}
+
+Result<double> SpearmanFootrule(const RankedList& a, const RankedList& b) {
+  const CommonRanks common = CommonNodeRanks(a, b);
+  const size_t n = common.rank_a.size();
+  if (n < 2) {
+    return Status::InvalidArgument(
+        "SpearmanFootrule: need at least 2 common nodes, got " +
+        std::to_string(n));
+  }
+  auto rerank = [](std::vector<double> v) {
+    std::vector<size_t> idx(v.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](size_t x, size_t y) { return v[x] < v[y]; });
+    std::vector<double> out(v.size());
+    for (size_t r = 0; r < idx.size(); ++r) out[idx[r]] = static_cast<double>(r);
+    return out;
+  };
+  const std::vector<double> ra = rerank(common.rank_a);
+  const std::vector<double> rb = rerank(common.rank_b);
+  double dist = 0.0;
+  for (size_t i = 0; i < n; ++i) dist += std::fabs(ra[i] - rb[i]);
+  // Maximum footrule distance: floor(n^2 / 2).
+  const double max_dist = std::floor(static_cast<double>(n) * n / 2.0);
+  return max_dist == 0.0 ? 0.0 : dist / max_dist;
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,45 @@
+#ifndef CYCLERANK_EVAL_RANK_METRICS_H_
+#define CYCLERANK_EVAL_RANK_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ranking.h"
+#include "graph/graph.h"
+
+namespace cyclerank {
+
+/// Rank-comparison metrics powering the demo's *algorithm comparison* use
+/// case (§IV-D): quantitative summaries of how two relevance rankings
+/// (dis)agree.
+
+/// |top-k(a) ∩ top-k(b)| / |top-k(a) ∪ top-k(b)| — the Jaccard similarity
+/// of the two top-k sets. 1 when identical sets, 0 when disjoint.
+/// `k = 0` uses the full rankings.
+double JaccardAtK(const RankedList& a, const RankedList& b, size_t k);
+
+/// |top-k(a) ∩ top-k(b)| / k — overlap@k (a.k.a. intersection metric).
+double OverlapAtK(const RankedList& a, const RankedList& b, size_t k);
+
+/// Rank-biased overlap (Webber, Moffat & Zobel 2010) with persistence
+/// `p ∈ (0,1)`: a top-weighted similarity of indefinite rankings that
+/// handles non-conjoint lists. 1 = identical order, → 0 = unrelated.
+Result<double> RankBiasedOverlap(const RankedList& a, const RankedList& b,
+                                 double p = 0.9);
+
+/// Kendall rank correlation τ-b over the nodes present in *both* rankings
+/// (ties in score handled by the b-variant correction). Returns an error
+/// when fewer than two common nodes exist.
+Result<double> KendallTau(const RankedList& a, const RankedList& b);
+
+/// Spearman rank correlation ρ over the common nodes.
+Result<double> SpearmanRho(const RankedList& a, const RankedList& b);
+
+/// Normalized Spearman footrule distance over the common nodes:
+/// Σ|pos_a - pos_b| / max; 0 = identical order, 1 = reversed.
+Result<double> SpearmanFootrule(const RankedList& a, const RankedList& b);
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_EVAL_RANK_METRICS_H_

@@ -1,0 +1,92 @@
+#include "eval/relevance_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cyclerank {
+namespace {
+
+Status CheckK(size_t k) {
+  if (k == 0) return Status::InvalidArgument("metric: k must be >= 1");
+  return Status::OK();
+}
+
+Status CheckRelevant(const std::unordered_set<NodeId>& relevant) {
+  if (relevant.empty()) {
+    return Status::InvalidArgument("metric: relevant set must be non-empty");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> PrecisionAtK(const RankedList& ranking,
+                            const std::unordered_set<NodeId>& relevant,
+                            size_t k) {
+  CYCLERANK_RETURN_NOT_OK(CheckK(k));
+  size_t hits = 0;
+  const size_t limit = std::min(k, ranking.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (relevant.count(ranking[i].node)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+Result<double> RecallAtK(const RankedList& ranking,
+                         const std::unordered_set<NodeId>& relevant,
+                         size_t k) {
+  CYCLERANK_RETURN_NOT_OK(CheckK(k));
+  CYCLERANK_RETURN_NOT_OK(CheckRelevant(relevant));
+  size_t hits = 0;
+  const size_t limit = std::min(k, ranking.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (relevant.count(ranking[i].node)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+double ReciprocalRank(const RankedList& ranking,
+                      const std::unordered_set<NodeId>& relevant) {
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    if (relevant.count(ranking[i].node)) {
+      return 1.0 / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+Result<double> AveragePrecision(const RankedList& ranking,
+                                const std::unordered_set<NodeId>& relevant) {
+  CYCLERANK_RETURN_NOT_OK(CheckRelevant(relevant));
+  size_t hits = 0;
+  double sum = 0.0;
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    if (relevant.count(ranking[i].node)) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(relevant.size());
+}
+
+Result<double> NdcgAtK(const RankedList& ranking,
+                       const std::unordered_set<NodeId>& relevant, size_t k) {
+  CYCLERANK_RETURN_NOT_OK(CheckK(k));
+  CYCLERANK_RETURN_NOT_OK(CheckRelevant(relevant));
+  double dcg = 0.0;
+  const size_t limit = std::min(k, ranking.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (relevant.count(ranking[i].node)) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  // Ideal DCG: all relevant entries at the head.
+  double ideal = 0.0;
+  const size_t ideal_limit = std::min(k, relevant.size());
+  for (size_t i = 0; i < ideal_limit; ++i) {
+    ideal += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return ideal == 0.0 ? 0.0 : dcg / ideal;
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,48 @@
+#ifndef CYCLERANK_EVAL_RELEVANCE_METRICS_H_
+#define CYCLERANK_EVAL_RELEVANCE_METRICS_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ranking.h"
+#include "graph/graph.h"
+
+namespace cyclerank {
+
+/// Ground-truth-based retrieval metrics: given a set (or graded list) of
+/// nodes known to be relevant to a query, score how well a ranking
+/// retrieves them. Complements the ranking-agreement metrics in
+/// `rank_metrics.h` for studies where a gold standard exists (e.g. the
+/// "see also" links of a Wikipedia article as relevance labels — the
+/// evaluation protocol of the CycleRank journal paper).
+
+/// Fraction of the top-k entries that are relevant. k > 0.
+Result<double> PrecisionAtK(const RankedList& ranking,
+                            const std::unordered_set<NodeId>& relevant,
+                            size_t k);
+
+/// Fraction of the relevant set found in the top-k. k > 0; the relevant
+/// set must be non-empty.
+Result<double> RecallAtK(const RankedList& ranking,
+                         const std::unordered_set<NodeId>& relevant,
+                         size_t k);
+
+/// Mean reciprocal rank: 1/(position of the first relevant entry + 1),
+/// or 0 when none is ranked.
+double ReciprocalRank(const RankedList& ranking,
+                      const std::unordered_set<NodeId>& relevant);
+
+/// Average precision over the full ranking (AP; the building block of MAP).
+/// The relevant set must be non-empty.
+Result<double> AveragePrecision(const RankedList& ranking,
+                                const std::unordered_set<NodeId>& relevant);
+
+/// Normalized discounted cumulative gain at depth k with binary gains
+/// (relevant = 1). k > 0; the relevant set must be non-empty.
+Result<double> NdcgAtK(const RankedList& ranking,
+                       const std::unordered_set<NodeId>& relevant, size_t k);
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_EVAL_RELEVANCE_METRICS_H_

@@ -1,0 +1,25 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace cyclerank {
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (!IsValidNode(u) || !IsValidNode(v)) return false;
+  const auto row = OutNeighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+std::string Graph::NodeName(NodeId u) const {
+  if (labels_ && u < labels_->size()) return labels_->LabelOf(u);
+  return std::to_string(u);
+}
+
+NodeId Graph::FindNode(std::string_view label) const {
+  if (!labels_) return kInvalidNode;
+  auto id = labels_->Find(label);
+  if (!id.has_value() || *id >= num_nodes()) return kInvalidNode;
+  return *id;
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,89 @@
+#ifndef CYCLERANK_GRAPH_GRAPH_H_
+#define CYCLERANK_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/label_map.h"
+
+namespace cyclerank {
+
+/// Immutable directed graph in Compressed Sparse Row form.
+///
+/// Both the out-adjacency (successors) and the in-adjacency (predecessors)
+/// are materialized, because the algorithm suite walks the graph in both
+/// directions: PageRank pulls scores along in-edges, CheiRank is PageRank on
+/// the transpose, and CycleRank's pruning runs a *backward* BFS. Neighbor
+/// lists are sorted ascending, which makes `HasEdge` a binary search and
+/// guarantees deterministic iteration order.
+///
+/// Instances are produced by `GraphBuilder` (or the readers in
+/// `graph/io_*.h`) and never mutated afterwards — they can be shared across
+/// executor threads without synchronization.
+class Graph {
+ public:
+  /// An empty graph (0 nodes, 0 edges).
+  Graph() = default;
+
+  /// Number of nodes; valid ids are `[0, num_nodes())`.
+  NodeId num_nodes() const { return static_cast<NodeId>(out_offsets_.empty()
+                                                            ? 0
+                                                            : out_offsets_.size() - 1); }
+
+  /// Number of directed edges.
+  uint64_t num_edges() const { return out_targets_.size(); }
+
+  /// Successors of `u` (targets of edges u→v), ascending.
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    return {out_targets_.data() + out_offsets_[u],
+            out_targets_.data() + out_offsets_[u + 1]};
+  }
+
+  /// Predecessors of `u` (sources of edges v→u), ascending.
+  std::span<const NodeId> InNeighbors(NodeId u) const {
+    return {in_sources_.data() + in_offsets_[u],
+            in_sources_.data() + in_offsets_[u + 1]};
+  }
+
+  uint32_t OutDegree(NodeId u) const {
+    return static_cast<uint32_t>(out_offsets_[u + 1] - out_offsets_[u]);
+  }
+  uint32_t InDegree(NodeId u) const {
+    return static_cast<uint32_t>(in_offsets_[u + 1] - in_offsets_[u]);
+  }
+
+  /// True iff the edge u→v exists. O(log out_degree(u)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// True iff `u` is a valid node id.
+  bool IsValidNode(NodeId u) const { return u < num_nodes(); }
+
+  /// Optional label dictionary. Graphs built from labeled sources carry
+  /// one; purely numeric graphs return nullptr.
+  const LabelMap* labels() const { return labels_.get(); }
+
+  /// Label of `u`, or its decimal id when the graph is unlabeled.
+  std::string NodeName(NodeId u) const;
+
+  /// Finds a node by label; `kInvalidNode` when unlabeled or absent.
+  NodeId FindNode(std::string_view label) const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<uint64_t> out_offsets_;  // size n+1
+  std::vector<NodeId> out_targets_;    // size m, sorted per row
+  std::vector<uint64_t> in_offsets_;   // size n+1
+  std::vector<NodeId> in_sources_;     // size m, sorted per row
+  std::shared_ptr<const LabelMap> labels_;
+};
+
+/// Shared handle to an immutable graph; what the datastore hands out.
+using GraphPtr = std::shared_ptr<const Graph>;
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_GRAPH_GRAPH_H_

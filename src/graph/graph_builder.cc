@@ -1,0 +1,91 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace cyclerank {
+
+void GraphBuilder::ReserveNodes(NodeId n) {
+  min_nodes_ = std::max(min_nodes_, n);
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  edges_.emplace_back(u, v);
+}
+
+NodeId GraphBuilder::AddNode(std::string_view label) {
+  if (!labels_) labels_ = std::make_unique<LabelMap>();
+  const NodeId id = labels_->GetOrAdd(label);
+  min_nodes_ = std::max<NodeId>(min_nodes_, id + 1);
+  return id;
+}
+
+void GraphBuilder::AddEdge(std::string_view from, std::string_view to) {
+  // Two statements: argument evaluation order is unspecified, and ids must
+  // be assigned in (from, to) order for first-appearance numbering.
+  const NodeId u = AddNode(from);
+  const NodeId v = AddNode(to);
+  AddEdge(u, v);
+}
+
+Result<Graph> GraphBuilder::Build(const GraphBuildOptions& options) {
+  // Determine the node count.
+  NodeId n = min_nodes_;
+  for (const auto& [u, v] : edges_) {
+    n = std::max<NodeId>(n, u + 1);
+    n = std::max<NodeId>(n, v + 1);
+  }
+  if (labels_ && labels_->size() > n) n = static_cast<NodeId>(labels_->size());
+
+  std::vector<std::pair<NodeId, NodeId>> edges = std::move(edges_);
+  edges_.clear();
+
+  if (options.drop_self_loops) {
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [](const auto& e) { return e.first == e.second; }),
+                edges.end());
+  }
+  std::sort(edges.begin(), edges.end());
+  if (options.deduplicate) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  Graph g;
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  g.out_targets_.resize(edges.size());
+  g.in_sources_.resize(edges.size());
+
+  for (const auto& [u, v] : edges) {
+    ++g.out_offsets_[u + 1];
+    ++g.in_offsets_[v + 1];
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    g.out_offsets_[i + 1] += g.out_offsets_[i];
+    g.in_offsets_[i + 1] += g.in_offsets_[i];
+  }
+  // Edges are sorted by (u, v): the out-CSR fills strictly left to right and
+  // every row ends up sorted. The in-CSR rows also end up sorted because for
+  // a fixed target v the sources arrive in ascending order.
+  std::vector<uint64_t> out_cursor(g.out_offsets_.begin(),
+                                   g.out_offsets_.end() - 1);
+  std::vector<uint64_t> in_cursor(g.in_offsets_.begin(),
+                                  g.in_offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.out_targets_[out_cursor[u]++] = v;
+    g.in_sources_[in_cursor[v]++] = u;
+  }
+
+  if (labels_) {
+    g.labels_ = std::shared_ptr<const LabelMap>(std::move(labels_));
+    labels_.reset();
+  }
+  min_nodes_ = 0;
+  return g;
+}
+
+Result<GraphPtr> GraphBuilder::BuildShared(const GraphBuildOptions& options) {
+  CYCLERANK_ASSIGN_OR_RETURN(Graph g, Build(options));
+  return GraphPtr(std::make_shared<Graph>(std::move(g)));
+}
+
+}  // namespace cyclerank

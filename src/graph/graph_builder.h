@@ -1,0 +1,75 @@
+#ifndef CYCLERANK_GRAPH_GRAPH_BUILDER_H_
+#define CYCLERANK_GRAPH_GRAPH_BUILDER_H_
+
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/label_map.h"
+
+namespace cyclerank {
+
+/// Options controlling `GraphBuilder::Build`.
+struct GraphBuildOptions {
+  /// Collapse parallel edges into one. The relevance algorithms treat the
+  /// graph as simple (the paper's datasets are link graphs), so this
+  /// defaults to true.
+  bool deduplicate = true;
+
+  /// Drop u→u edges. Self-loops never participate in cycles of length ≥ 2
+  /// and distort PageRank's out-degree normalization, so they are dropped
+  /// by default; readers expose the flag for faithful round-trips.
+  bool drop_self_loops = true;
+};
+
+/// Accumulates edges and produces an immutable CSR `Graph`.
+///
+/// Two usage styles, which may be mixed only in the sense that labeled
+/// builders may also receive numeric ids that were obtained from
+/// `AddNode`/`AddEdge(label, label)`:
+///
+///  * numeric: `AddEdge(NodeId, NodeId)` — the node count is
+///    `max(id) + 1` (or an explicit `ReserveNodes` floor);
+///  * labeled: `AddEdge("Pasta", "Italy")` — ids are assigned densely in
+///    first-appearance order and the resulting graph carries a `LabelMap`.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Ensures the built graph has at least `n` nodes (isolated nodes are
+  /// permitted — a Wikipedia snapshot may contain articles with no links).
+  void ReserveNodes(NodeId n);
+
+  /// Appends the edge u→v using numeric ids.
+  void AddEdge(NodeId u, NodeId v);
+
+  /// Registers `label` (if new) and returns its id.
+  NodeId AddNode(std::string_view label);
+
+  /// Appends the edge `from`→`to` by label, registering labels as needed.
+  void AddEdge(std::string_view from, std::string_view to);
+
+  /// Number of edges accumulated so far (before dedup / self-loop drops).
+  size_t PendingEdges() const { return edges_.size(); }
+
+  /// Finalizes the graph. The builder is left empty and reusable.
+  /// Fails with InvalidArgument when an explicit node reservation is
+  /// exceeded by an edge endpoint in labeled mode mismatch cases; numeric
+  /// ids always widen the node range.
+  Result<Graph> Build(const GraphBuildOptions& options = {});
+
+  /// Convenience: `Build` wrapped into a shared pointer.
+  Result<GraphPtr> BuildShared(const GraphBuildOptions& options = {});
+
+ private:
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  std::unique_ptr<LabelMap> labels_;
+  NodeId min_nodes_ = 0;
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,165 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "graph/io_asd.h"
+#include "graph/io_edgelist.h"
+#include "graph/io_metis.h"
+#include "graph/io_pajek.h"
+
+namespace cyclerank {
+
+std::string_view GraphFormatToString(GraphFormat format) {
+  switch (format) {
+    case GraphFormat::kEdgeList:
+      return "edgelist";
+    case GraphFormat::kPajek:
+      return "pajek";
+    case GraphFormat::kAsd:
+      return "asd";
+    case GraphFormat::kMetis:
+      return "metis";
+  }
+  return "?";
+}
+
+Result<GraphFormat> GraphFormatFromPath(std::string_view path) {
+  const size_t dot = path.rfind('.');
+  if (dot == std::string_view::npos) {
+    return Status::InvalidArgument("no file extension in '" +
+                                   std::string(path) + "'");
+  }
+  const std::string ext = AsciiToLower(path.substr(dot + 1));
+  if (ext == "csv" || ext == "edges" || ext == "edgelist" || ext == "txt") {
+    return GraphFormat::kEdgeList;
+  }
+  if (ext == "net" || ext == "pajek") return GraphFormat::kPajek;
+  if (ext == "asd") return GraphFormat::kAsd;
+  if (ext == "metis") return GraphFormat::kMetis;
+  return Status::InvalidArgument("unknown graph extension '." + ext + "'");
+}
+
+GraphFormat SniffGraphFormat(std::string_view content) {
+  // First non-blank, non-comment line decides.
+  for (std::string_view line : SplitString(content, '\n')) {
+    line = StripAsciiWhitespace(line);
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    if (line[0] == '*') return GraphFormat::kPajek;
+    const auto tokens = SplitWhitespace(line);
+    if (tokens.size() == 2 && ParseInt64(tokens[0]).ok() &&
+        ParseInt64(tokens[1]).ok() &&
+        line.find(',') == std::string_view::npos) {
+      // Could be ASD ("N M") or a whitespace edgelist. ASD's header promises
+      // exactly M data lines; count them.
+      size_t data_lines = 0;
+      bool first = true;
+      for (std::string_view l2 : SplitString(content, '\n')) {
+        l2 = StripAsciiWhitespace(l2);
+        if (l2.empty() || l2[0] == '#' || l2[0] == '%') continue;
+        if (first) {
+          first = false;
+          continue;
+        }
+        ++data_lines;
+      }
+      const auto m = ParseInt64(tokens[1]);
+      if (m.ok() && static_cast<int64_t>(data_lines) == *m) {
+        return GraphFormat::kAsd;
+      }
+    }
+    return GraphFormat::kEdgeList;
+  }
+  return GraphFormat::kEdgeList;
+}
+
+Result<Graph> ReadGraphFromString(std::string_view content, GraphFormat format,
+                                  const GraphBuildOptions& build) {
+  std::istringstream in{std::string(content)};
+  switch (format) {
+    case GraphFormat::kEdgeList: {
+      EdgeListReadOptions options;
+      options.build = build;
+      return ReadEdgeList(in, options);
+    }
+    case GraphFormat::kPajek:
+      return ReadPajek(in, build);
+    case GraphFormat::kAsd:
+      return ReadAsd(in, build);
+    case GraphFormat::kMetis:
+      return ReadMetis(in, build);
+  }
+  return Status::Internal("unreachable graph format");
+}
+
+Result<Graph> ReadGraphFromString(std::string_view content,
+                                  const GraphBuildOptions& build) {
+  return ReadGraphFromString(content, SniffGraphFormat(content), build);
+}
+
+Result<Graph> ReadGraphFile(const std::string& path,
+                            const GraphBuildOptions& build) {
+  CYCLERANK_ASSIGN_OR_RETURN(GraphFormat format, GraphFormatFromPath(path));
+  return ReadGraphFile(path, format, build);
+}
+
+Result<Graph> ReadGraphFile(const std::string& path, GraphFormat format,
+                            const GraphBuildOptions& build) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  switch (format) {
+    case GraphFormat::kEdgeList: {
+      EdgeListReadOptions options;
+      options.build = build;
+      return ReadEdgeList(in, options);
+    }
+    case GraphFormat::kPajek:
+      return ReadPajek(in, build);
+    case GraphFormat::kAsd:
+      return ReadAsd(in, build);
+    case GraphFormat::kMetis:
+      return ReadMetis(in, build);
+  }
+  return Status::Internal("unreachable graph format");
+}
+
+Result<std::string> WriteGraphToString(const Graph& g, GraphFormat format) {
+  std::ostringstream out;
+  Status st;
+  switch (format) {
+    case GraphFormat::kEdgeList:
+      st = WriteEdgeList(g, out);
+      break;
+    case GraphFormat::kPajek:
+      st = WritePajek(g, out);
+      break;
+    case GraphFormat::kAsd:
+      st = WriteAsd(g, out);
+      break;
+    case GraphFormat::kMetis:
+      st = WriteMetis(g, out);
+      break;
+  }
+  if (!st.ok()) return st;
+  return out.str();
+}
+
+Status WriteGraphFile(const Graph& g, const std::string& path,
+                      GraphFormat format) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  switch (format) {
+    case GraphFormat::kEdgeList:
+      return WriteEdgeList(g, out);
+    case GraphFormat::kPajek:
+      return WritePajek(g, out);
+    case GraphFormat::kAsd:
+      return WriteAsd(g, out);
+    case GraphFormat::kMetis:
+      return WriteMetis(g, out);
+  }
+  return Status::Internal("unreachable graph format");
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,81 @@
+#include "graph/io_asd.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/strings.h"
+
+namespace cyclerank {
+namespace {
+
+bool NextDataLine(std::istream& in, std::string* line, size_t* line_no) {
+  while (std::getline(in, *line)) {
+    ++*line_no;
+    std::string_view data = StripAsciiWhitespace(*line);
+    if (!data.empty() && data[0] != '#') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Graph> ReadAsd(std::istream& in, const GraphBuildOptions& build) {
+  std::string line;
+  size_t line_no = 0;
+  if (!NextDataLine(in, &line, &line_no)) {
+    return Status::ParseError("asd: missing 'N M' header");
+  }
+  const auto header = SplitWhitespace(line);
+  if (header.size() != 2) {
+    return Status::ParseError("asd line " + std::to_string(line_no) +
+                              ": header must be 'N M'");
+  }
+  CYCLERANK_ASSIGN_OR_RETURN(int64_t n, ParseInt64(header[0]));
+  CYCLERANK_ASSIGN_OR_RETURN(int64_t m, ParseInt64(header[1]));
+  if (n < 0 || m < 0) {
+    return Status::ParseError("asd: negative count in header");
+  }
+
+  GraphBuilder builder;
+  builder.ReserveNodes(static_cast<NodeId>(n));
+  int64_t read = 0;
+  while (read < m) {
+    if (!NextDataLine(in, &line, &line_no)) {
+      return Status::ParseError("asd: expected " + std::to_string(m) +
+                                " edges, found " + std::to_string(read));
+    }
+    const auto tokens = SplitWhitespace(line);
+    if (tokens.size() != 2) {
+      return Status::ParseError("asd line " + std::to_string(line_no) +
+                                ": expected 'u v'");
+    }
+    CYCLERANK_ASSIGN_OR_RETURN(int64_t u, ParseInt64(tokens[0]));
+    CYCLERANK_ASSIGN_OR_RETURN(int64_t v, ParseInt64(tokens[1]));
+    if (u < 0 || v < 0 || u >= n || v >= n) {
+      return Status::ParseError("asd line " + std::to_string(line_no) +
+                                ": endpoint out of range [0, " +
+                                std::to_string(n) + ")");
+    }
+    builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    ++read;
+  }
+  if (NextDataLine(in, &line, &line_no)) {
+    return Status::ParseError("asd: trailing data after " +
+                              std::to_string(m) + " edges (line " +
+                              std::to_string(line_no) + ")");
+  }
+  if (in.bad()) return Status::IOError("stream error while reading asd");
+  return builder.Build(build);
+}
+
+Status WriteAsd(const Graph& g, std::ostream& out) {
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) out << u << ' ' << v << '\n';
+  }
+  if (!out) return Status::IOError("stream error while writing asd");
+  return Status::OK();
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,98 @@
+#include "graph/io_edgelist.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace cyclerank {
+namespace {
+
+bool IsCommentOrBlank(std::string_view line) {
+  line = StripAsciiWhitespace(line);
+  return line.empty() || line[0] == '#' || line[0] == '%';
+}
+
+char DetectDelimiter(std::string_view line) {
+  if (line.find(',') != std::string_view::npos) return ',';
+  if (line.find(';') != std::string_view::npos) return ';';
+  if (line.find('\t') != std::string_view::npos) return '\t';
+  return ' ';
+}
+
+// Splits one data line into exactly two endpoint tokens.
+Status SplitPair(std::string_view line, char delimiter, size_t line_no,
+                 std::string_view* src, std::string_view* dst) {
+  std::vector<std::string_view> fields;
+  if (delimiter == ' ') {
+    fields = SplitWhitespace(line);
+  } else {
+    for (std::string_view f : SplitString(line, delimiter)) {
+      f = StripAsciiWhitespace(f);
+      if (!f.empty()) fields.push_back(f);
+    }
+  }
+  if (fields.size() != 2) {
+    return Status::ParseError("edgelist line " + std::to_string(line_no) +
+                              ": expected 2 fields, got " +
+                              std::to_string(fields.size()));
+  }
+  *src = fields[0];
+  *dst = fields[1];
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Graph> ReadEdgeList(std::istream& in,
+                           const EdgeListReadOptions& options) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::string line;
+  size_t line_no = 0;
+  char delimiter = options.delimiter;
+  bool all_numeric = !options.force_labeled;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    std::string_view data = StripAsciiWhitespace(line);
+    if (delimiter == '\0') delimiter = DetectDelimiter(data);
+    std::string_view src, dst;
+    CYCLERANK_RETURN_NOT_OK(SplitPair(data, delimiter, line_no, &src, &dst));
+    if (all_numeric &&
+        (!ParseInt64(src).ok() || !ParseInt64(dst).ok())) {
+      all_numeric = false;
+    }
+    pairs.emplace_back(std::string(src), std::string(dst));
+  }
+  if (in.bad()) return Status::IOError("stream error while reading edgelist");
+
+  GraphBuilder builder;
+  if (all_numeric) {
+    for (const auto& [s, d] : pairs) {
+      auto sv = ParseInt64(s);
+      auto dv = ParseInt64(d);
+      if (*sv < 0 || *dv < 0) {
+        return Status::ParseError("edgelist: negative node id");
+      }
+      builder.AddEdge(static_cast<NodeId>(*sv), static_cast<NodeId>(*dv));
+    }
+  } else {
+    for (const auto& [s, d] : pairs) builder.AddEdge(s, d);
+  }
+  return builder.Build(options.build);
+}
+
+Status WriteEdgeList(const Graph& g, std::ostream& out, char delimiter) {
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      out << g.NodeName(u) << delimiter << g.NodeName(v) << '\n';
+    }
+  }
+  if (!out) return Status::IOError("stream error while writing edgelist");
+  return Status::OK();
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,118 @@
+#include "graph/io_metis.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/strings.h"
+
+namespace cyclerank {
+namespace {
+
+bool NextDataLine(std::istream& in, std::string* line, size_t* line_no) {
+  while (std::getline(in, *line)) {
+    ++*line_no;
+    std::string_view data = StripAsciiWhitespace(*line);
+    if (!data.empty() && data[0] != '%') return true;
+  }
+  return false;
+}
+
+// Adjacency rows: blank lines are meaningful (a vertex with no
+// neighbours), so only comment lines are skipped here.
+bool NextAdjacencyLine(std::istream& in, std::string* line, size_t* line_no) {
+  while (std::getline(in, *line)) {
+    ++*line_no;
+    std::string_view data = StripAsciiWhitespace(*line);
+    if (data.empty() || data[0] != '%') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Graph> ReadMetis(std::istream& in, const GraphBuildOptions& build) {
+  std::string line;
+  size_t line_no = 0;
+  if (!NextDataLine(in, &line, &line_no)) {
+    return Status::ParseError("metis: missing header");
+  }
+  const auto header = SplitWhitespace(line);
+  if (header.size() < 2) {
+    return Status::ParseError("metis: header must be 'N M'");
+  }
+  if (header.size() > 2) {
+    return Status::Unimplemented(
+        "metis: weighted graphs (fmt/ncon header fields) are not supported");
+  }
+  CYCLERANK_ASSIGN_OR_RETURN(int64_t n, ParseInt64(header[0]));
+  CYCLERANK_ASSIGN_OR_RETURN(int64_t m, ParseInt64(header[1]));
+  if (n < 0 || m < 0) {
+    return Status::ParseError("metis: negative count in header");
+  }
+
+  GraphBuilder builder;
+  builder.ReserveNodes(static_cast<NodeId>(n));
+  uint64_t listed = 0;
+  for (int64_t u = 0; u < n; ++u) {
+    if (!NextAdjacencyLine(in, &line, &line_no)) {
+      return Status::ParseError("metis: expected " + std::to_string(n) +
+                                " adjacency lines, found " +
+                                std::to_string(u));
+    }
+    for (std::string_view token : SplitWhitespace(line)) {
+      CYCLERANK_ASSIGN_OR_RETURN(int64_t v, ParseInt64(token));
+      if (v < 1 || v > n) {
+        return Status::ParseError("metis line " + std::to_string(line_no) +
+                                  ": neighbour " + std::to_string(v) +
+                                  " out of range [1, " + std::to_string(n) +
+                                  "]");
+      }
+      builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v - 1));
+      ++listed;
+    }
+  }
+  if (NextDataLine(in, &line, &line_no)) {  // trailing blanks are fine
+    return Status::ParseError("metis: trailing data at line " +
+                              std::to_string(line_no));
+  }
+  if (in.bad()) return Status::IOError("stream error while reading metis");
+  // Each undirected edge is listed from both endpoints (self-loops once).
+  if (listed != 2 * static_cast<uint64_t>(m) &&
+      listed != static_cast<uint64_t>(m)) {
+    // Accept both the strict METIS convention (2m listings) and the lax
+    // one-directional variant some tools emit, but reject anything else.
+    return Status::ParseError(
+        "metis: header declares " + std::to_string(m) + " edges but " +
+        std::to_string(listed) + " neighbour entries were listed");
+  }
+  return builder.Build(build);
+}
+
+Status WriteMetis(const Graph& g, std::ostream& out) {
+  // Verify symmetry: METIS cannot express one-directional edges.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (!g.HasEdge(v, u)) {
+        return Status::InvalidArgument(
+            "metis: graph is not symmetric (edge " + std::to_string(u) +
+            "->" + std::to_string(v) + " has no reverse); Symmetrize() it "
+            "first");
+      }
+    }
+  }
+  out << g.num_nodes() << ' ' << g.num_edges() / 2 << '\n';
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    bool first = true;
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (!first) out << ' ';
+      out << (v + 1);
+      first = false;
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("stream error while writing metis");
+  return Status::OK();
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,169 @@
+#include "graph/io_pajek.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace cyclerank {
+namespace {
+
+enum class Section { kNone, kVertices, kArcs, kEdges, kArcsList, kEdgesList };
+
+// Extracts an optional quoted label from a vertex line such as
+//   3 "Fake news" 0.5 0.5
+// Returns an empty view when no quoted label is present.
+std::string_view ExtractQuotedLabel(std::string_view line) {
+  const size_t open = line.find('"');
+  if (open == std::string_view::npos) return {};
+  const size_t close = line.find('"', open + 1);
+  if (close == std::string_view::npos) return {};
+  return line.substr(open + 1, close - open - 1);
+}
+
+Status BadLine(size_t line_no, const std::string& what) {
+  return Status::ParseError("pajek line " + std::to_string(line_no) + ": " +
+                            what);
+}
+
+}  // namespace
+
+Result<Graph> ReadPajek(std::istream& in, const GraphBuildOptions& build) {
+  GraphBuilder builder;
+  Section section = Section::kNone;
+  int64_t declared_vertices = -1;
+  std::vector<std::string> labels;  // 0-based; empty string = unlabeled
+  bool any_label = false;
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view data = StripAsciiWhitespace(line);
+    if (data.empty() || data[0] == '%') continue;
+
+    if (data[0] == '*') {
+      const std::string keyword = AsciiToLower(data.substr(1));
+      const auto tokens = SplitWhitespace(keyword);
+      if (tokens.empty()) return BadLine(line_no, "empty section header");
+      const std::string head(tokens[0]);
+      if (head == "vertices") {
+        if (tokens.size() < 2) {
+          return BadLine(line_no, "*Vertices requires a count");
+        }
+        CYCLERANK_ASSIGN_OR_RETURN(declared_vertices, ParseInt64(tokens[1]));
+        if (declared_vertices < 0) {
+          return BadLine(line_no, "negative vertex count");
+        }
+        labels.assign(static_cast<size_t>(declared_vertices), "");
+        section = Section::kVertices;
+      } else if (head == "arcs") {
+        section = Section::kArcs;
+      } else if (head == "edges") {
+        section = Section::kEdges;
+      } else if (head == "arcslist") {
+        section = Section::kArcsList;
+      } else if (head == "edgeslist") {
+        section = Section::kEdgesList;
+      } else {
+        return BadLine(line_no, "unknown section '*" + head + "'");
+      }
+      continue;
+    }
+
+    switch (section) {
+      case Section::kNone:
+        return BadLine(line_no, "data before any section header");
+      case Section::kVertices: {
+        const auto tokens = SplitWhitespace(data);
+        CYCLERANK_ASSIGN_OR_RETURN(int64_t idx, ParseInt64(tokens[0]));
+        if (idx < 1 || idx > declared_vertices) {
+          return BadLine(line_no, "vertex id out of range");
+        }
+        const std::string_view label = ExtractQuotedLabel(data);
+        if (!label.empty()) {
+          labels[static_cast<size_t>(idx - 1)] = std::string(label);
+          any_label = true;
+        }
+        break;
+      }
+      case Section::kArcs:
+      case Section::kEdges: {
+        const auto tokens = SplitWhitespace(data);
+        if (tokens.size() < 2) return BadLine(line_no, "expected 'u v'");
+        CYCLERANK_ASSIGN_OR_RETURN(int64_t u, ParseInt64(tokens[0]));
+        CYCLERANK_ASSIGN_OR_RETURN(int64_t v, ParseInt64(tokens[1]));
+        if (u < 1 || v < 1 ||
+            (declared_vertices >= 0 &&
+             (u > declared_vertices || v > declared_vertices))) {
+          return BadLine(line_no, "endpoint out of range");
+        }
+        const NodeId a = static_cast<NodeId>(u - 1);
+        const NodeId b = static_cast<NodeId>(v - 1);
+        builder.AddEdge(a, b);
+        if (section == Section::kEdges) builder.AddEdge(b, a);
+        break;
+      }
+      case Section::kArcsList:
+      case Section::kEdgesList: {
+        const auto tokens = SplitWhitespace(data);
+        if (tokens.size() < 2) return BadLine(line_no, "expected 'u v...'");
+        CYCLERANK_ASSIGN_OR_RETURN(int64_t u, ParseInt64(tokens[0]));
+        if (u < 1) return BadLine(line_no, "endpoint out of range");
+        for (size_t i = 1; i < tokens.size(); ++i) {
+          CYCLERANK_ASSIGN_OR_RETURN(int64_t v, ParseInt64(tokens[i]));
+          if (v < 1) return BadLine(line_no, "endpoint out of range");
+          const NodeId a = static_cast<NodeId>(u - 1);
+          const NodeId b = static_cast<NodeId>(v - 1);
+          builder.AddEdge(a, b);
+          if (section == Section::kEdgesList) builder.AddEdge(b, a);
+        }
+        break;
+      }
+    }
+  }
+  if (in.bad()) return Status::IOError("stream error while reading pajek");
+  if (declared_vertices < 0) {
+    return Status::ParseError("pajek: missing *Vertices section");
+  }
+
+  builder.ReserveNodes(static_cast<NodeId>(declared_vertices));
+  if (any_label) {
+    // Re-register labels so ids align: vertex i-1 must get id i-1. AddNode
+    // assigns ids densely in insertion order, so insert in vertex order and
+    // fall back to a synthetic label for unlabeled vertices.
+    GraphBuilder labeled;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      labeled.AddNode(labels[i].empty() ? "v" + std::to_string(i + 1)
+                                        : labels[i]);
+    }
+    CYCLERANK_ASSIGN_OR_RETURN(Graph unlabeled, builder.Build(build));
+    for (NodeId u = 0; u < unlabeled.num_nodes(); ++u) {
+      for (NodeId v : unlabeled.OutNeighbors(u)) labeled.AddEdge(u, v);
+    }
+    labeled.ReserveNodes(static_cast<NodeId>(declared_vertices));
+    return labeled.Build(build);
+  }
+  return builder.Build(build);
+}
+
+Status WritePajek(const Graph& g, std::ostream& out) {
+  out << "*Vertices " << g.num_nodes() << '\n';
+  if (g.labels() != nullptr) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      out << (u + 1) << " \"" << g.NodeName(u) << "\"\n";
+    }
+  }
+  out << "*Arcs\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      out << (u + 1) << ' ' << (v + 1) << '\n';
+    }
+  }
+  if (!out) return Status::IOError("stream error while writing pajek");
+  return Status::OK();
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,34 @@
+#ifndef CYCLERANK_GRAPH_IO_PAJEK_H_
+#define CYCLERANK_GRAPH_IO_PAJEK_H_
+
+#include <iosfwd>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+
+/// Pajek `.net` support — the second upload format of the demo (§IV-B).
+///
+/// Grammar handled (case-insensitive keywords, 1-based vertex numbers):
+/// ```
+///   *Vertices N
+///   1 "Label one"
+///   2 "Label two"      ; labels optional
+///   *Arcs              ; directed edges "u v [weight]"
+///   1 2
+///   *Edges             ; undirected edges -> emitted in both directions
+///   2 3 1.5
+/// ```
+/// `%` starts a comment line. Weights are accepted and ignored (the demo's
+/// algorithms are unweighted). `*Arcslist` / `*Edgeslist` adjacency-list
+/// sections are also handled.
+Result<Graph> ReadPajek(std::istream& in, const GraphBuildOptions& build = {});
+
+/// Serializes `g` as `*Vertices` (+labels) and `*Arcs`.
+Status WritePajek(const Graph& g, std::ostream& out);
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_GRAPH_IO_PAJEK_H_

@@ -1,0 +1,20 @@
+#include "graph/label_map.h"
+
+namespace cyclerank {
+
+NodeId LabelMap::GetOrAdd(std::string_view label) {
+  auto it = index_.find(std::string(label));
+  if (it != index_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.emplace_back(label);
+  index_.emplace(labels_.back(), id);
+  return id;
+}
+
+std::optional<NodeId> LabelMap::Find(std::string_view label) const {
+  auto it = index_.find(std::string(label));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,94 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+namespace cyclerank {
+
+std::vector<NodeId> SccResult::LargestComponent() const {
+  const std::vector<uint32_t> sizes = ComponentSizes();
+  if (sizes.empty()) return {};
+  const uint32_t best = static_cast<uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < component.size(); ++u) {
+    if (component[u] == best) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<uint32_t> SccResult::ComponentSizes() const {
+  std::vector<uint32_t> sizes(num_components, 0);
+  for (uint32_t c : component) ++sizes[c];
+  return sizes;
+}
+
+SccResult StronglyConnectedComponents(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  constexpr uint32_t kUnvisited = static_cast<uint32_t>(-1);
+
+  SccResult result;
+  result.component.assign(n, kUnvisited);
+
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;          // Tarjan's SCC stack
+  uint32_t next_index = 0;
+
+  // Explicit DFS frame: node + position within its adjacency row.
+  struct Frame {
+    NodeId node;
+    uint32_t edge_pos;
+  };
+  std::vector<Frame> dfs;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const NodeId u = frame.node;
+      const auto row = g.OutNeighbors(u);
+      if (frame.edge_pos < row.size()) {
+        const NodeId v = row[frame.edge_pos++];
+        if (index[v] == kUnvisited) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          dfs.push_back({v, 0});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+      } else {
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          const NodeId parent = dfs.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+        }
+        if (lowlink[u] == index[u]) {
+          // u is the root of a component: pop it off the SCC stack.
+          while (true) {
+            const NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component[w] = result.num_components;
+            if (w == u) break;
+          }
+          ++result.num_components;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool InSameScc(const SccResult& scc, NodeId a, NodeId b) {
+  return a < scc.component.size() && b < scc.component.size() &&
+         scc.component[a] == scc.component[b];
+}
+
+}  // namespace cyclerank

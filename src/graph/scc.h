@@ -1,0 +1,38 @@
+#ifndef CYCLERANK_GRAPH_SCC_H_
+#define CYCLERANK_GRAPH_SCC_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cyclerank {
+
+/// Strongly connected component decomposition.
+///
+/// CycleRank scores are non-zero only for nodes in the same SCC as the
+/// reference node (a cycle through r and i implies mutual reachability), so
+/// SCC structure is both a correctness oracle in tests and a useful
+/// dataset statistic.
+struct SccResult {
+  /// Component id per node, in [0, num_components). Components are numbered
+  /// in reverse topological order of the condensation (Tarjan's property:
+  /// a component is numbered before any component it can reach).
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+
+  /// Nodes of the largest component, ascending.
+  std::vector<NodeId> LargestComponent() const;
+
+  /// Size of each component, indexed by component id.
+  std::vector<uint32_t> ComponentSizes() const;
+};
+
+/// Tarjan's algorithm, iterative (no recursion — safe for deep graphs).
+SccResult StronglyConnectedComponents(const Graph& g);
+
+/// True iff `a` and `b` are strongly connected (same SCC).
+bool InSameScc(const SccResult& scc, NodeId a, NodeId b);
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_GRAPH_SCC_H_

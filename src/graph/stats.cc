@@ -1,0 +1,82 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/scc.h"
+
+namespace cyclerank {
+
+std::string GraphStats::ToString() const {
+  std::ostringstream os;
+  os << "nodes: " << num_nodes << "\n"
+     << "edges: " << num_edges << "\n"
+     << "avg degree: " << avg_degree << "\n"
+     << "max out-degree: " << max_out_degree << "\n"
+     << "max in-degree: " << max_in_degree << "\n"
+     << "dangling nodes: " << dangling_nodes << "\n"
+     << "source nodes: " << source_nodes << "\n"
+     << "isolated nodes: " << isolated_nodes << "\n"
+     << "reciprocity: " << reciprocity << "\n"
+     << "SCCs: " << num_sccs << " (largest " << largest_scc_size << ")";
+  return os.str();
+}
+
+GraphStats ComputeGraphStats(const Graph& g) {
+  GraphStats stats;
+  stats.num_nodes = g.num_nodes();
+  stats.num_edges = g.num_edges();
+  if (stats.num_nodes > 0) {
+    stats.avg_degree =
+        static_cast<double>(stats.num_edges) / static_cast<double>(stats.num_nodes);
+  }
+  uint64_t reciprocal = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const uint32_t out_deg = g.OutDegree(u);
+    const uint32_t in_deg = g.InDegree(u);
+    stats.max_out_degree = std::max(stats.max_out_degree, out_deg);
+    stats.max_in_degree = std::max(stats.max_in_degree, in_deg);
+    if (out_deg == 0) ++stats.dangling_nodes;
+    if (in_deg == 0) ++stats.source_nodes;
+    if (out_deg == 0 && in_deg == 0) ++stats.isolated_nodes;
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (g.HasEdge(v, u)) ++reciprocal;
+    }
+  }
+  if (stats.num_edges > 0) {
+    stats.reciprocity =
+        static_cast<double>(reciprocal) / static_cast<double>(stats.num_edges);
+  }
+  const SccResult scc = StronglyConnectedComponents(g);
+  stats.num_sccs = scc.num_components;
+  const auto sizes = scc.ComponentSizes();
+  stats.largest_scc_size =
+      sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+  return stats;
+}
+
+namespace {
+
+std::vector<uint64_t> DegreeHistogram(const Graph& g, bool out) {
+  uint32_t max_degree = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    max_degree = std::max(max_degree, out ? g.OutDegree(u) : g.InDegree(u));
+  }
+  std::vector<uint64_t> hist(max_degree + 1, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ++hist[out ? g.OutDegree(u) : g.InDegree(u)];
+  }
+  return hist;
+}
+
+}  // namespace
+
+std::vector<uint64_t> OutDegreeHistogram(const Graph& g) {
+  return DegreeHistogram(g, /*out=*/true);
+}
+
+std::vector<uint64_t> InDegreeHistogram(const Graph& g) {
+  return DegreeHistogram(g, /*out=*/false);
+}
+
+}  // namespace cyclerank

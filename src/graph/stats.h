@@ -1,0 +1,41 @@
+#ifndef CYCLERANK_GRAPH_STATS_H_
+#define CYCLERANK_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cyclerank {
+
+/// Summary statistics of a directed graph, shown by the demo's dataset
+/// pages and used by the dataset-comparison use case (§IV-D).
+struct GraphStats {
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint32_t max_out_degree = 0;
+  uint32_t max_in_degree = 0;
+  double avg_degree = 0.0;        ///< m / n
+  uint64_t dangling_nodes = 0;    ///< out-degree 0 (PageRank sinks)
+  uint64_t source_nodes = 0;      ///< in-degree 0
+  uint64_t isolated_nodes = 0;    ///< in == out == 0
+  double reciprocity = 0.0;       ///< fraction of edges whose reverse exists
+  uint64_t num_sccs = 0;
+  uint64_t largest_scc_size = 0;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Computes all fields of `GraphStats` in O(n + m log d).
+GraphStats ComputeGraphStats(const Graph& g);
+
+/// Histogram of a degree sequence: `hist[d]` = number of nodes with degree
+/// `d`, up to the max degree.
+std::vector<uint64_t> OutDegreeHistogram(const Graph& g);
+std::vector<uint64_t> InDegreeHistogram(const Graph& g);
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_GRAPH_STATS_H_

@@ -1,0 +1,112 @@
+#include "graph/transforms.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+// Copies the label dictionary of `g` for the node subset `keep` (in order)
+// into `builder`, registering nodes so ids align with the new numbering.
+void CarryLabels(const Graph& g, const std::vector<NodeId>& keep,
+                 GraphBuilder* builder) {
+  if (g.labels() == nullptr) return;
+  for (NodeId old_id : keep) builder->AddNode(g.NodeName(old_id));
+}
+
+void CarryAllLabels(const Graph& g, GraphBuilder* builder) {
+  if (g.labels() == nullptr) return;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) builder->AddNode(g.NodeName(u));
+}
+
+}  // namespace
+
+Result<Graph> Transpose(const Graph& g) {
+  GraphBuilder builder;
+  CarryAllLabels(g, &builder);
+  builder.ReserveNodes(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) builder.AddEdge(v, u);
+  }
+  GraphBuildOptions options;
+  options.deduplicate = false;   // input is already simple
+  options.drop_self_loops = false;
+  return builder.Build(options);
+}
+
+Result<Graph> InducedSubgraph(const Graph& g,
+                              const std::vector<NodeId>& nodes) {
+  std::unordered_map<NodeId, NodeId> remap;
+  remap.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (!g.IsValidNode(nodes[i])) {
+      return Status::OutOfRange("InducedSubgraph: node id " +
+                                std::to_string(nodes[i]) + " out of range");
+    }
+    if (!remap.emplace(nodes[i], static_cast<NodeId>(i)).second) {
+      return Status::InvalidArgument("InducedSubgraph: duplicate node id " +
+                                     std::to_string(nodes[i]));
+    }
+  }
+  GraphBuilder builder;
+  CarryLabels(g, nodes, &builder);
+  builder.ReserveNodes(static_cast<NodeId>(nodes.size()));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (NodeId v : g.OutNeighbors(nodes[i])) {
+      auto it = remap.find(v);
+      if (it != remap.end()) {
+        builder.AddEdge(static_cast<NodeId>(i), it->second);
+      }
+    }
+  }
+  GraphBuildOptions options;
+  options.deduplicate = false;
+  options.drop_self_loops = false;
+  return builder.Build(options);
+}
+
+Result<Graph> Symmetrize(const Graph& g) {
+  GraphBuilder builder;
+  CarryAllLabels(g, &builder);
+  builder.ReserveNodes(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      builder.AddEdge(u, v);
+      builder.AddEdge(v, u);
+    }
+  }
+  GraphBuildOptions options;
+  options.deduplicate = true;
+  options.drop_self_loops = false;
+  return builder.Build(options);
+}
+
+Result<Graph> Permute(const Graph& g, const std::vector<NodeId>& order) {
+  if (order.size() != g.num_nodes()) {
+    return Status::InvalidArgument("Permute: order size != node count");
+  }
+  std::vector<NodeId> inverse(order.size(), kInvalidNode);
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (!g.IsValidNode(order[i]) || inverse[order[i]] != kInvalidNode) {
+      return Status::InvalidArgument("Permute: order is not a permutation");
+    }
+    inverse[order[i]] = static_cast<NodeId>(i);
+  }
+  GraphBuilder builder;
+  CarryLabels(g, order, &builder);
+  builder.ReserveNodes(g.num_nodes());
+  for (NodeId new_u = 0; new_u < g.num_nodes(); ++new_u) {
+    const NodeId old_u = order[new_u];
+    for (NodeId old_v : g.OutNeighbors(old_u)) {
+      builder.AddEdge(new_u, inverse[old_v]);
+    }
+  }
+  GraphBuildOptions options;
+  options.deduplicate = false;
+  options.drop_self_loops = false;
+  return builder.Build(options);
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,34 @@
+#ifndef CYCLERANK_GRAPH_TRANSFORMS_H_
+#define CYCLERANK_GRAPH_TRANSFORMS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace cyclerank {
+
+/// Structural transforms used by the algorithm suite and the dataset tools.
+
+/// Returns the transpose Gᵀ (every edge u→v becomes v→u). Labels are
+/// preserved. CheiRank on G equals PageRank on Transpose(G); the library
+/// normally uses the in-adjacency view instead, and tests use this to
+/// cross-check the two paths.
+Result<Graph> Transpose(const Graph& g);
+
+/// Returns the subgraph induced by `nodes` (ids into `g`), with nodes
+/// re-indexed densely in the order given. Duplicate ids are rejected.
+/// Labels of the kept nodes are preserved.
+Result<Graph> InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Adds the reverse of every edge (symmetrization). Used to view an
+/// interaction network as undirected-ish for exploratory stats.
+Result<Graph> Symmetrize(const Graph& g);
+
+/// Relabels nodes: node i of the result is node `order[i]` of `g`.
+/// `order` must be a permutation of [0, n).
+Result<Graph> Permute(const Graph& g, const std::vector<NodeId>& order);
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_GRAPH_TRANSFORMS_H_

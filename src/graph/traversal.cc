@@ -1,0 +1,46 @@
+#include "graph/traversal.h"
+
+#include <deque>
+
+namespace cyclerank {
+
+Result<std::vector<uint32_t>> BfsDistances(const Graph& g, NodeId source,
+                                           Direction direction,
+                                           uint32_t max_depth) {
+  if (!g.IsValidNode(source)) {
+    return Status::OutOfRange("BfsDistances: source " +
+                              std::to_string(source) + " out of range");
+  }
+  std::vector<uint32_t> dist(g.num_nodes(), kUnreachable);
+  dist[source] = 0;
+  std::deque<NodeId> frontier{source};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    if (dist[u] >= max_depth) continue;
+    const auto neighbors = direction == Direction::kForward
+                               ? g.OutNeighbors(u)
+                               : g.InNeighbors(u);
+    for (NodeId v : neighbors) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+Result<std::vector<NodeId>> ReachableSet(const Graph& g, NodeId source,
+                                         Direction direction,
+                                         uint32_t max_depth) {
+  CYCLERANK_ASSIGN_OR_RETURN(std::vector<uint32_t> dist,
+                             BfsDistances(g, source, direction, max_depth));
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (dist[u] != kUnreachable) out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace cyclerank

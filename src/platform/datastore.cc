@@ -1,0 +1,85 @@
+#include "platform/datastore.h"
+
+#include <memory>
+#include <utility>
+
+#include "graph/io.h"
+
+namespace cyclerank {
+
+Status Datastore::PutDataset(const std::string& name, GraphPtr graph) {
+  if (name.empty()) {
+    return Status::InvalidArgument("datastore: dataset name must not be empty");
+  }
+  if (!graph) {
+    return Status::InvalidArgument("datastore: graph must not be null");
+  }
+  if (catalog_ != nullptr && catalog_->Info(name).ok()) {
+    return Status::AlreadyExists("dataset '" + name +
+                                 "' exists in the pre-loaded catalog");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = uploaded_.emplace(name, std::move(graph));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("dataset '" + name + "' already uploaded");
+  }
+  return Status::OK();
+}
+
+Status Datastore::UploadDataset(const std::string& name,
+                                const std::string& content) {
+  CYCLERANK_ASSIGN_OR_RETURN(Graph graph, ReadGraphFromString(content));
+  return PutDataset(name, std::make_shared<Graph>(std::move(graph)));
+}
+
+Result<GraphPtr> Datastore::GetDataset(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = uploaded_.find(name);
+    if (it != uploaded_.end()) return it->second;
+  }
+  if (catalog_ != nullptr) return catalog_->Load(name);
+  return Status::NotFound("dataset '" + name + "' not found");
+}
+
+std::vector<std::string> Datastore::UploadedDatasets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(uploaded_.size());
+  for (const auto& [name, graph] : uploaded_) out.push_back(name);
+  return out;
+}
+
+void Datastore::PutResult(TaskResult result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  results_[result.task_id] = std::move(result);
+}
+
+Result<TaskResult> Datastore::GetResult(const std::string& task_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = results_.find(task_id);
+  if (it == results_.end()) {
+    return Status::NotFound("no result for task '" + task_id + "'");
+  }
+  return it->second;
+}
+
+bool Datastore::HasResult(const std::string& task_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return results_.count(task_id) != 0;
+}
+
+void Datastore::AppendLog(const std::string& task_id, std::string line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  logs_[task_id].push_back(std::move(line));
+}
+
+std::vector<std::string> Datastore::GetLog(const std::string& task_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = logs_.find(task_id);
+  if (it == logs_.end()) return {};
+  return it->second;
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,77 @@
+#ifndef CYCLERANK_PLATFORM_DATASTORE_H_
+#define CYCLERANK_PLATFORM_DATASTORE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datasets/catalog.h"
+#include "graph/graph.h"
+#include "platform/task.h"
+
+namespace cyclerank {
+
+/// The Datastore of Fig. 1: "responsible for storing and managing
+/// datasets. It also provides storage for results and logs produced by the
+/// system."
+///
+/// Datasets resolve against (a) graphs uploaded at runtime ("users can
+/// upload new datasets") and (b) an optional backing `DatasetCatalog` of
+/// pre-loaded datasets. Results and per-task logs are written by executors
+/// and read by the Status component / the gateway. All methods are
+/// thread-safe.
+class Datastore {
+ public:
+  /// `catalog` may be null for a datastore with only uploaded datasets.
+  /// The catalog must outlive the datastore.
+  explicit Datastore(DatasetCatalog* catalog = &DatasetCatalog::BuiltIn())
+      : catalog_(catalog) {}
+
+  Datastore(const Datastore&) = delete;
+  Datastore& operator=(const Datastore&) = delete;
+
+  // -- Datasets ------------------------------------------------------------
+
+  /// Uploads `graph` under `name`. Uploaded names shadow catalog names are
+  /// rejected instead: AlreadyExists keeps experiment provenance unambiguous.
+  Status PutDataset(const std::string& name, GraphPtr graph);
+
+  /// Parses `content` (edgelist / pajek / ASD, auto-sniffed) and uploads it
+  /// — the programmatic equivalent of the demo's upload form.
+  Status UploadDataset(const std::string& name, const std::string& content);
+
+  /// Fetches a dataset: uploaded first, then the backing catalog.
+  Result<GraphPtr> GetDataset(const std::string& name);
+
+  /// Names of uploaded datasets (catalog names come from the catalog).
+  std::vector<std::string> UploadedDatasets() const;
+
+  // -- Results -------------------------------------------------------------
+
+  /// Stores the result of a finished task (overwrites on retry).
+  void PutResult(TaskResult result);
+
+  Result<TaskResult> GetResult(const std::string& task_id) const;
+  bool HasResult(const std::string& task_id) const;
+
+  // -- Logs ----------------------------------------------------------------
+
+  /// Appends one log line for `task_id`.
+  void AppendLog(const std::string& task_id, std::string line);
+
+  /// All log lines of `task_id`, oldest first (empty if none).
+  std::vector<std::string> GetLog(const std::string& task_id) const;
+
+ private:
+  DatasetCatalog* catalog_;  // not owned, may be null
+  mutable std::mutex mu_;
+  std::map<std::string, GraphPtr> uploaded_;
+  std::map<std::string, TaskResult> results_;
+  std::map<std::string, std::vector<std::string>> logs_;
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_PLATFORM_DATASTORE_H_

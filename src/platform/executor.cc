@@ -1,0 +1,90 @@
+#include "platform/executor.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "platform/params.h"
+
+namespace cyclerank {
+
+void Executor::Execute(const std::string& task_id, const TaskSpec& spec,
+                       const std::atomic<bool>* cancelled) {
+  WallTimer timer;
+  datastore_->AppendLog(task_id, "task accepted: " + spec.ToString());
+
+  if (cancelled != nullptr && cancelled->load(std::memory_order_relaxed)) {
+    datastore_->AppendLog(task_id, "task cancelled before start");
+    (void)status_->SetState(task_id, TaskState::kCancelled);
+    TaskResult result;
+    result.task_id = task_id;
+    result.spec = spec;
+    result.status = Status::Cancelled("cancelled before start");
+    result.seconds = timer.ElapsedSeconds();
+    datastore_->PutResult(std::move(result));
+    return;
+  }
+
+  Result<TaskResult> outcome = Run(task_id, spec, cancelled);
+  if (outcome.ok()) {
+    TaskResult result = std::move(outcome).value();
+    result.seconds = timer.ElapsedSeconds();
+    datastore_->AppendLog(
+        task_id, "completed in " + std::to_string(result.seconds) + "s, " +
+                     std::to_string(result.ranking.size()) + " ranked nodes");
+    datastore_->PutResult(std::move(result));
+    (void)status_->SetState(task_id, TaskState::kCompleted);
+    return;
+  }
+
+  const Status error = outcome.status();
+  datastore_->AppendLog(task_id, "failed: " + error.ToString());
+  TaskResult result;
+  result.task_id = task_id;
+  result.spec = spec;
+  result.status = error;
+  result.seconds = timer.ElapsedSeconds();
+  datastore_->PutResult(std::move(result));
+  (void)status_->SetState(task_id,
+                          error.code() == StatusCode::kCancelled
+                              ? TaskState::kCancelled
+                              : TaskState::kFailed);
+}
+
+Result<TaskResult> Executor::Run(const std::string& task_id,
+                                 const TaskSpec& spec,
+                                 const std::atomic<bool>* cancelled) {
+  CYCLERANK_RETURN_NOT_OK(status_->SetState(task_id, TaskState::kFetching));
+  datastore_->AppendLog(task_id, "fetching dataset '" + spec.dataset + "'");
+  CYCLERANK_ASSIGN_OR_RETURN(GraphPtr graph,
+                             datastore_->GetDataset(spec.dataset));
+
+  CYCLERANK_ASSIGN_OR_RETURN(auto algorithm, registry_->Find(spec.algorithm));
+  CYCLERANK_ASSIGN_OR_RETURN(AlgorithmRequest request,
+                             BuildRequest(*graph, spec.params));
+  if (algorithm->requires_reference() && request.reference == kInvalidNode) {
+    return Status::InvalidArgument("algorithm '" + spec.algorithm +
+                                   "' requires a reference node (source=...)");
+  }
+
+  if (cancelled != nullptr && cancelled->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("cancelled before computation");
+  }
+
+  CYCLERANK_RETURN_NOT_OK(status_->SetState(task_id, TaskState::kRunning));
+  datastore_->AppendLog(task_id, "running '" + spec.algorithm + "' on " +
+                                     std::to_string(graph->num_nodes()) +
+                                     " nodes / " +
+                                     std::to_string(graph->num_edges()) +
+                                     " edges");
+  CYCLERANK_ASSIGN_OR_RETURN(RankedList ranking,
+                             algorithm->Run(*graph, request));
+
+  TaskResult result;
+  result.task_id = task_id;
+  result.spec = spec;
+  result.status = Status::OK();
+  result.ranking = std::move(ranking);
+  return result;
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,48 @@
+#ifndef CYCLERANK_PLATFORM_EXECUTOR_H_
+#define CYCLERANK_PLATFORM_EXECUTOR_H_
+
+#include <atomic>
+#include <string>
+
+#include "platform/datastore.h"
+#include "platform/registry.h"
+#include "platform/status_service.h"
+#include "platform/task.h"
+
+namespace cyclerank {
+
+/// One computational node (Fig. 1): fetches the dataset from the
+/// datastore, resolves the algorithm, runs it, and writes result and logs
+/// back — steps 2–4 of the paper's request flow (§III).
+///
+/// `Execute` is synchronous; the `Scheduler` runs it on worker threads.
+/// The executor is stateless apart from its wiring, so one instance can be
+/// shared by any number of threads.
+class Executor {
+ public:
+  /// All dependencies are borrowed and must outlive the executor.
+  Executor(Datastore* datastore, AlgorithmRegistry* registry,
+           StatusService* status)
+      : datastore_(datastore), registry_(registry), status_(status) {}
+
+  /// Runs `spec` as task `task_id`:
+  ///   pending → fetching → running → completed | failed | cancelled.
+  /// A failure at any stage is recorded as a failed `TaskResult` carrying
+  /// the error status (the platform never throws). If `*cancelled` becomes
+  /// true before the computation starts, the task ends in `kCancelled`.
+  void Execute(const std::string& task_id, const TaskSpec& spec,
+               const std::atomic<bool>* cancelled = nullptr);
+
+ private:
+  /// Runs the fallible part and returns the outcome.
+  Result<TaskResult> Run(const std::string& task_id, const TaskSpec& spec,
+                         const std::atomic<bool>* cancelled);
+
+  Datastore* datastore_;
+  AlgorithmRegistry* registry_;
+  StatusService* status_;
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_PLATFORM_EXECUTOR_H_

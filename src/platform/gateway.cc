@@ -1,0 +1,123 @@
+#include "platform/gateway.h"
+
+#include <utility>
+
+namespace cyclerank {
+
+ApiGateway::ApiGateway(Datastore* datastore, AlgorithmRegistry* registry,
+                       size_t num_workers, uint64_t uuid_seed)
+    : datastore_(datastore),
+      executor_(datastore, registry, &status_),
+      scheduler_(&executor_, num_workers),
+      uuid_(uuid_seed),
+      registry_(registry) {}
+
+Result<std::string> ApiGateway::SubmitQuerySet(const QuerySet& query_set) {
+  if (query_set.tasks.empty()) {
+    return Status::InvalidArgument("gateway: query set is empty");
+  }
+  for (const TaskSpec& spec : query_set.tasks) {
+    CYCLERANK_RETURN_NOT_OK(registry_->Find(spec.algorithm).status());
+  }
+
+  std::string comparison_id;
+  Comparison comparison;
+  comparison.cancelled = std::make_shared<std::atomic<bool>>(false);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    comparison_id = uuid_.Generate();
+    for (size_t i = 0; i < query_set.tasks.size(); ++i) {
+      comparison.task_ids.push_back(comparison_id + "/" + std::to_string(i));
+    }
+    comparisons_.emplace(comparison_id, comparison);
+  }
+
+  // Track before enqueueing so a status poll can never miss a task.
+  for (const std::string& task_id : comparison.task_ids) {
+    CYCLERANK_RETURN_NOT_OK(status_.Track(task_id));
+  }
+  for (size_t i = 0; i < query_set.tasks.size(); ++i) {
+    CYCLERANK_RETURN_NOT_OK(scheduler_.Enqueue(comparison.task_ids[i],
+                                               query_set.tasks[i],
+                                               comparison.cancelled));
+  }
+  return comparison_id;
+}
+
+Result<ComparisonStatus> ApiGateway::GetStatus(
+    const std::string& comparison_id) const {
+  std::vector<std::string> task_ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = comparisons_.find(comparison_id);
+    if (it == comparisons_.end()) {
+      return Status::NotFound("gateway: comparison '" + comparison_id +
+                              "' not found");
+    }
+    task_ids = it->second.task_ids;
+  }
+  ComparisonStatus status;
+  status.comparison_id = comparison_id;
+  status.task_ids = std::move(task_ids);
+  CYCLERANK_ASSIGN_OR_RETURN(status.states,
+                             status_.GetStates(status.task_ids));
+  status.done = true;
+  for (TaskState state : status.states) {
+    switch (state) {
+      case TaskState::kCompleted:
+        ++status.completed;
+        break;
+      case TaskState::kFailed:
+        ++status.failed;
+        break;
+      case TaskState::kCancelled:
+        ++status.cancelled;
+        break;
+      default:
+        status.done = false;
+        break;
+    }
+  }
+  return status;
+}
+
+Result<std::vector<TaskResult>> ApiGateway::GetResults(
+    const std::string& comparison_id) const {
+  CYCLERANK_ASSIGN_OR_RETURN(ComparisonStatus status,
+                             GetStatus(comparison_id));
+  std::vector<TaskResult> results;
+  for (size_t i = 0; i < status.task_ids.size(); ++i) {
+    if (!IsTerminal(status.states[i])) continue;
+    auto result = datastore_->GetResult(status.task_ids[i]);
+    if (result.ok()) results.push_back(std::move(result).value());
+  }
+  return results;
+}
+
+Status ApiGateway::Cancel(const std::string& comparison_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = comparisons_.find(comparison_id);
+  if (it == comparisons_.end()) {
+    return Status::NotFound("gateway: comparison '" + comparison_id +
+                            "' not found");
+  }
+  it->second.cancelled->store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<bool> ApiGateway::WaitForCompletion(const std::string& comparison_id,
+                                           double timeout_seconds) const {
+  std::vector<std::string> task_ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = comparisons_.find(comparison_id);
+    if (it == comparisons_.end()) {
+      return Status::NotFound("gateway: comparison '" + comparison_id +
+                              "' not found");
+    }
+    task_ids = it->second.task_ids;
+  }
+  return status_.WaitUntilTerminal(task_ids, timeout_seconds);
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,100 @@
+#ifndef CYCLERANK_PLATFORM_GATEWAY_H_
+#define CYCLERANK_PLATFORM_GATEWAY_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/uuid.h"
+#include "platform/datastore.h"
+#include "platform/registry.h"
+#include "platform/scheduler.h"
+#include "platform/status_service.h"
+#include "platform/task.h"
+
+namespace cyclerank {
+
+/// Aggregate progress of a submitted query set.
+struct ComparisonStatus {
+  std::string comparison_id;
+  std::vector<std::string> task_ids;  ///< "<comparison-id>/<index>"
+  std::vector<TaskState> states;      ///< parallel to task_ids
+  size_t completed = 0;
+  size_t failed = 0;
+  size_t cancelled = 0;
+  bool done = false;  ///< all tasks terminal
+};
+
+/// The API gateway of Fig. 1: "the entry point for all incoming requests
+/// from the Web UI", routing them to the computational nodes and serving
+/// results back.
+///
+/// A submitted `QuerySet` becomes a *comparison* identified by a UUIDv4
+/// permalink (as in Fig. 2's "Comparison id:"); each query becomes a task
+/// `<comparison-id>/<index>`. Submission is asynchronous: poll
+/// `GetStatus`, block with `WaitForCompletion`, then join the per-task
+/// outcomes with `GetResults`.
+class ApiGateway {
+ public:
+  /// Dependencies are borrowed and must outlive the gateway. `num_workers`
+  /// sizes the executor pool. `uuid_seed != 0` makes ids deterministic
+  /// (tests).
+  ApiGateway(Datastore* datastore, AlgorithmRegistry* registry,
+             size_t num_workers, uint64_t uuid_seed = 0);
+
+  ~ApiGateway() { Shutdown(); }
+
+  ApiGateway(const ApiGateway&) = delete;
+  ApiGateway& operator=(const ApiGateway&) = delete;
+
+  /// Validates and submits a query set; returns its comparison id.
+  /// Validation is shallow (non-empty set, known algorithm names) so bad
+  /// requests fail synchronously; dataset and parameter errors surface as
+  /// failed tasks, mirroring the demo's asynchronous error reporting.
+  Result<std::string> SubmitQuerySet(const QuerySet& query_set);
+
+  /// Current aggregate status of a comparison.
+  Result<ComparisonStatus> GetStatus(const std::string& comparison_id) const;
+
+  /// Results of all *terminal* tasks so far, in task order. Tasks that
+  /// failed carry their error status; pending/running tasks are skipped.
+  Result<std::vector<TaskResult>> GetResults(
+      const std::string& comparison_id) const;
+
+  /// Requests cancellation of all not-yet-started tasks of a comparison.
+  Status Cancel(const std::string& comparison_id);
+
+  /// Blocks until the comparison is done (0 = no timeout). Returns false
+  /// on timeout.
+  Result<bool> WaitForCompletion(const std::string& comparison_id,
+                                 double timeout_seconds = 0.0) const;
+
+  /// Stops the scheduler (drains in-flight work); idempotent.
+  void Shutdown() { scheduler_.Shutdown(); }
+
+  StatusService& status_service() { return status_; }
+  size_t num_workers() const { return scheduler_.num_workers(); }
+
+ private:
+  struct Comparison {
+    std::vector<std::string> task_ids;
+    std::shared_ptr<std::atomic<bool>> cancelled;
+  };
+
+  Datastore* datastore_;
+  StatusService status_;
+  Executor executor_;
+  Scheduler scheduler_;
+
+  mutable std::mutex mu_;
+  UuidGenerator uuid_;
+  std::map<std::string, Comparison> comparisons_;
+  AlgorithmRegistry* registry_;
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_PLATFORM_GATEWAY_H_

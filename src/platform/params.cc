@@ -1,0 +1,182 @@
+#include "platform/params.h"
+
+#include <vector>
+
+#include "common/strings.h"
+#include "core/scoring.h"
+
+namespace cyclerank {
+
+Result<ParamMap> ParamMap::Parse(std::string_view text) {
+  ParamMap out;
+  text = StripAsciiWhitespace(text);
+  if (text.empty()) return out;
+  // Split on commas and semicolons.
+  std::vector<std::string_view> pairs;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ',' || text[i] == ';') {
+      pairs.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  for (std::string_view pair : pairs) {
+    pair = StripAsciiWhitespace(pair);
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::ParseError("params: expected key=value, got '" +
+                                std::string(pair) + "'");
+    }
+    const std::string key =
+        AsciiToLower(StripAsciiWhitespace(pair.substr(0, eq)));
+    const std::string_view value = StripAsciiWhitespace(pair.substr(eq + 1));
+    if (key.empty()) {
+      return Status::ParseError("params: empty key in '" + std::string(pair) +
+                                "'");
+    }
+    if (out.Has(key)) {
+      return Status::ParseError("params: duplicate key '" + key + "'");
+    }
+    out.Set(key, value);
+  }
+  return out;
+}
+
+void ParamMap::Set(std::string_view key, std::string_view value) {
+  values_[AsciiToLower(key)] = std::string(value);
+}
+
+std::optional<std::string> ParamMap::Get(std::string_view key) const {
+  auto it = values_.find(AsciiToLower(key));
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ParamMap::Has(std::string_view key) const {
+  return values_.count(AsciiToLower(key)) != 0;
+}
+
+Result<double> ParamMap::GetDouble(std::string_view key,
+                                   double fallback) const {
+  auto value = Get(key);
+  if (!value.has_value()) return fallback;
+  return ParseDouble(*value);
+}
+
+Result<int64_t> ParamMap::GetInt(std::string_view key,
+                                 int64_t fallback) const {
+  auto value = Get(key);
+  if (!value.has_value()) return fallback;
+  return ParseInt64(*value);
+}
+
+std::string ParamMap::GetString(std::string_view key,
+                                std::string fallback) const {
+  auto value = Get(key);
+  return value.has_value() ? *value : fallback;
+}
+
+std::vector<std::string> ParamMap::Keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+std::string ParamMap::ToString() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {
+    if (!out.empty()) out += ", ";
+    out += key + "=" + value;
+  }
+  return out;
+}
+
+Result<AlgorithmRequest> BuildRequest(const Graph& graph,
+                                      const ParamMap& params) {
+  static const char* kKnownKeys[] = {
+      "source",  "reference", "r",       "alpha",     "k",
+      "maxloop", "sigma",     "scoring", "tolerance", "max_iterations",
+      "epsilon", "walks",     "seed",    "top_k"};
+  AlgorithmRequest request;
+
+  // Reject unknown keys early: a typo like "alhpa=0.3" silently running
+  // with defaults would invalidate an experiment.
+  for (const std::string& key : params.Keys()) {
+    bool known = false;
+    for (const char* candidate : kKnownKeys) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("params: unknown key '" + key + "'");
+    }
+  }
+
+  // Reference node: label first, numeric id as fallback.
+  std::string ref_label = params.GetString("source", "");
+  if (ref_label.empty()) ref_label = params.GetString("reference", "");
+  if (ref_label.empty()) ref_label = params.GetString("r", "");
+  if (!ref_label.empty()) {
+    NodeId ref = graph.FindNode(ref_label);
+    if (ref == kInvalidNode) {
+      auto numeric = ParseInt64(ref_label);
+      if (numeric.ok() && *numeric >= 0 &&
+          graph.IsValidNode(static_cast<NodeId>(*numeric))) {
+        ref = static_cast<NodeId>(*numeric);
+      } else {
+        return Status::NotFound("reference node '" + ref_label +
+                                "' not in graph");
+      }
+    }
+    request.reference = ref;
+  }
+
+  CYCLERANK_ASSIGN_OR_RETURN(request.alpha,
+                             params.GetDouble("alpha", request.alpha));
+
+  int64_t k = request.max_cycle_length;
+  CYCLERANK_ASSIGN_OR_RETURN(k, params.GetInt("k", k));
+  CYCLERANK_ASSIGN_OR_RETURN(k, params.GetInt("maxloop", k));
+  if (k < 0) return Status::InvalidArgument("params: k must be >= 0");
+  request.max_cycle_length = static_cast<uint32_t>(k);
+
+  std::string sigma = params.GetString("sigma", "");
+  if (sigma.empty()) sigma = params.GetString("scoring", "");
+  if (!sigma.empty()) {
+    CYCLERANK_ASSIGN_OR_RETURN(request.scoring,
+                               ScoringFunctionFromString(sigma));
+  }
+
+  CYCLERANK_ASSIGN_OR_RETURN(request.tolerance,
+                             params.GetDouble("tolerance", request.tolerance));
+  int64_t max_iter = request.max_iterations;
+  CYCLERANK_ASSIGN_OR_RETURN(max_iter, params.GetInt("max_iterations", max_iter));
+  if (max_iter < 0) {
+    return Status::InvalidArgument("params: max_iterations must be >= 0");
+  }
+  request.max_iterations = static_cast<uint32_t>(max_iter);
+
+  CYCLERANK_ASSIGN_OR_RETURN(request.epsilon,
+                             params.GetDouble("epsilon", request.epsilon));
+  int64_t walks = static_cast<int64_t>(request.num_walks);
+  CYCLERANK_ASSIGN_OR_RETURN(walks, params.GetInt("walks", walks));
+  if (walks < 0) return Status::InvalidArgument("params: walks must be >= 0");
+  request.num_walks = static_cast<uint64_t>(walks);
+
+  int64_t seed = static_cast<int64_t>(request.seed);
+  CYCLERANK_ASSIGN_OR_RETURN(seed, params.GetInt("seed", seed));
+  request.seed = static_cast<uint64_t>(seed);
+
+  int64_t top_k = static_cast<int64_t>(request.top_k);
+  CYCLERANK_ASSIGN_OR_RETURN(top_k, params.GetInt("top_k", top_k));
+  if (top_k < 0) return Status::InvalidArgument("params: top_k must be >= 0");
+  request.top_k = static_cast<size_t>(top_k);
+
+  return request;
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,71 @@
+#ifndef CYCLERANK_PLATFORM_PARAMS_H_
+#define CYCLERANK_PLATFORM_PARAMS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/algorithm.h"
+#include "graph/graph.h"
+
+namespace cyclerank {
+
+/// String key/value parameters of a task, as entered in the Web UI's
+/// parameter panel (paper §IV-C and Fig. 2, e.g. "k = 3, sigma = exp" or
+/// "alpha = 0.3"). Keys are case-insensitive and stored lowercase.
+class ParamMap {
+ public:
+  ParamMap() = default;
+
+  /// Parses "key=value" pairs separated by commas or semicolons, e.g.
+  /// "k=3, sigma=exp, source=Fake news". Whitespace around tokens is
+  /// ignored; values may contain spaces. Duplicate keys are rejected.
+  static Result<ParamMap> Parse(std::string_view text);
+
+  /// Sets `key` (lowercased) to `value`, overwriting.
+  void Set(std::string_view key, std::string_view value);
+
+  /// Raw lookup.
+  std::optional<std::string> Get(std::string_view key) const;
+  bool Has(std::string_view key) const;
+
+  /// Typed lookups: return `fallback` when absent, an error when present
+  /// but malformed.
+  Result<double> GetDouble(std::string_view key, double fallback) const;
+  Result<int64_t> GetInt(std::string_view key, int64_t fallback) const;
+  std::string GetString(std::string_view key, std::string fallback) const;
+
+  /// All keys, sorted (lowercase).
+  std::vector<std::string> Keys() const;
+
+  /// Canonical "k=v, k=v" rendering (sorted by key).
+  std::string ToString() const;
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  friend bool operator==(const ParamMap& a, const ParamMap& b) {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Translates UI-level parameters into a typed `AlgorithmRequest` for
+/// `graph`. Recognized keys:
+///   source / reference / r  — reference node label (or numeric id)
+///   alpha                   — damping factor
+///   k / maxloop             — CycleRank maximum cycle length
+///   sigma / scoring         — scoring function name (exp/lin/quad/const)
+///   tolerance, max_iterations, epsilon, walks, seed, top_k
+/// Unknown keys are rejected (catches typos in task specs).
+Result<AlgorithmRequest> BuildRequest(const Graph& graph,
+                                      const ParamMap& params);
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_PLATFORM_PARAMS_H_

@@ -1,0 +1,65 @@
+#include "platform/registry.h"
+
+namespace cyclerank {
+
+AlgorithmRegistry& AlgorithmRegistry::Default() {
+  static AlgorithmRegistry* registry = [] {
+    auto* r = new AlgorithmRegistry;
+    for (AlgorithmKind kind : AllAlgorithmKinds()) {
+      (void)r->Register(MakeAlgorithm(kind));
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+Status AlgorithmRegistry::Register(
+    std::shared_ptr<const RelevanceAlgorithm> algorithm) {
+  if (!algorithm) {
+    return Status::InvalidArgument("registry: algorithm must not be null");
+  }
+  const std::string name(algorithm->name());
+  if (name.empty()) {
+    return Status::InvalidArgument("registry: algorithm name must not be empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = algorithms_.emplace(name, std::move(algorithm));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("registry: algorithm '" + name +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const RelevanceAlgorithm>> AlgorithmRegistry::Find(
+    const std::string& name) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = algorithms_.find(name);
+    if (it != algorithms_.end()) return it->second;
+  }
+  // Alias fallback ("ppr", "pr", "cr", ...).
+  auto kind = AlgorithmKindFromString(name);
+  if (kind.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = algorithms_.find(std::string(AlgorithmKindToString(*kind)));
+    if (it != algorithms_.end()) return it->second;
+  }
+  return Status::NotFound("algorithm '" + name + "' not registered");
+}
+
+std::vector<std::string> AlgorithmRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(algorithms_.size());
+  for (const auto& [name, algorithm] : algorithms_) out.push_back(name);
+  return out;
+}
+
+size_t AlgorithmRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return algorithms_.size();
+}
+
+}  // namespace cyclerank

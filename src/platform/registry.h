@@ -1,0 +1,55 @@
+#ifndef CYCLERANK_PLATFORM_REGISTRY_H_
+#define CYCLERANK_PLATFORM_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/algorithm.h"
+
+namespace cyclerank {
+
+/// Name-indexed registry of relevance algorithms.
+///
+/// This is the mechanism behind the demo's extensibility claim: "Our demo
+/// design enables the possibility of adding new algorithms" (§III, §V).
+/// The built-in seven (plus the two PPR approximations) are registered by
+/// `Default()`; embedding applications call `Register` with their own
+/// `RelevanceAlgorithm` implementations.
+///
+/// Thread-safe; lookups hand out shared pointers so executors can hold an
+/// algorithm while the registry evolves.
+class AlgorithmRegistry {
+ public:
+  AlgorithmRegistry() = default;
+  AlgorithmRegistry(const AlgorithmRegistry&) = delete;
+  AlgorithmRegistry& operator=(const AlgorithmRegistry&) = delete;
+
+  /// Registry preloaded with all built-in algorithms.
+  static AlgorithmRegistry& Default();
+
+  /// Registers `algorithm` under its own `name()`.
+  /// Fails with AlreadyExists on duplicates.
+  Status Register(std::shared_ptr<const RelevanceAlgorithm> algorithm);
+
+  /// Looks up an algorithm by registry name (also accepts the aliases
+  /// understood by `AlgorithmKindFromString`, e.g. "ppr").
+  Result<std::shared_ptr<const RelevanceAlgorithm>> Find(
+      const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const RelevanceAlgorithm>> algorithms_;
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_PLATFORM_REGISTRY_H_

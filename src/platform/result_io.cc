@@ -1,0 +1,244 @@
+#include "platform/result_io.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace cyclerank {
+namespace {
+
+std::string FormatScore(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+/// Minimal structured JSON writer: tracks indentation and comma placement
+/// so the emitting code reads like the document structure.
+class JsonWriter {
+ public:
+  explicit JsonWriter(bool pretty) : pretty_(pretty) {}
+
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  void Key(std::string_view key) {
+    Separate();
+    out_ << '"' << JsonEscape(key) << "\":";
+    if (pretty_) out_ << ' ';
+    just_keyed_ = true;
+  }
+
+  void String(std::string_view value) {
+    Separate();
+    out_ << '"' << JsonEscape(value) << '"';
+  }
+  void Number(double value) {
+    Separate();
+    out_ << FormatScore(value);
+  }
+  void Number(uint64_t value) {
+    Separate();
+    out_ << value;
+  }
+  void Bool(bool value) {
+    Separate();
+    out_ << (value ? "true" : "false");
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void Open(char c) {
+    Separate();
+    out_ << c;
+    ++depth_;
+    first_in_scope_ = true;
+  }
+
+  void Close(char c) {
+    --depth_;
+    if (pretty_ && !first_in_scope_) NewlineIndent();
+    out_ << c;
+    first_in_scope_ = false;
+  }
+
+  // Emits the comma/newline that must precede a new value or key.
+  void Separate() {
+    if (just_keyed_) {
+      just_keyed_ = false;  // value directly after its key
+      return;
+    }
+    if (!first_in_scope_) out_ << ',';
+    if (pretty_ && depth_ > 0) NewlineIndent();
+    first_in_scope_ = false;
+  }
+
+  void NewlineIndent() {
+    out_ << '\n';
+    for (int i = 0; i < depth_; ++i) out_ << "  ";
+  }
+
+  std::ostringstream out_;
+  bool pretty_;
+  int depth_ = 0;
+  bool first_in_scope_ = true;
+  bool just_keyed_ = false;
+};
+
+std::string NodeName(const ResultExportOptions& options, NodeId node) {
+  if (options.graph != nullptr) return options.graph->NodeName(node);
+  return std::to_string(node);
+}
+
+void WriteRanking(const RankedList& ranking,
+                  const ResultExportOptions& options, JsonWriter* json) {
+  json->BeginArray();
+  const size_t limit = options.top_k == 0
+                           ? ranking.size()
+                           : std::min(options.top_k, ranking.size());
+  for (size_t i = 0; i < limit; ++i) {
+    json->BeginObject();
+    json->Key("node");
+    json->String(NodeName(options, ranking[i].node));
+    json->Key("score");
+    json->Number(ranking[i].score);
+    json->EndObject();
+  }
+  json->EndArray();
+}
+
+void WriteTaskResult(const TaskResult& result,
+                     const ResultExportOptions& options, JsonWriter* json) {
+  json->BeginObject();
+  json->Key("task_id");
+  json->String(result.task_id);
+  json->Key("dataset");
+  json->String(result.spec.dataset);
+  json->Key("algorithm");
+  json->String(result.spec.algorithm);
+  json->Key("params");
+  json->BeginObject();
+  for (const std::string& key : result.spec.params.Keys()) {
+    json->Key(key);
+    json->String(result.spec.params.GetString(key, ""));
+  }
+  json->EndObject();
+  json->Key("status");
+  json->String(result.status.ToString());
+  json->Key("ok");
+  json->Bool(result.status.ok());
+  json->Key("seconds");
+  json->Number(result.seconds);
+  json->Key("ranking");
+  WriteRanking(result.ranking, options, json);
+  json->EndObject();
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through
+        }
+    }
+  }
+  return out;
+}
+
+std::string TaskResultToJson(const TaskResult& result,
+                             const ResultExportOptions& options) {
+  JsonWriter json(options.pretty);
+  WriteTaskResult(result, options, &json);
+  return json.str();
+}
+
+std::string ComparisonToJson(const ComparisonStatus& status,
+                             const std::vector<TaskResult>& results,
+                             const ResultExportOptions& options) {
+  JsonWriter json(options.pretty);
+  json.BeginObject();
+  json.Key("comparison_id");
+  json.String(status.comparison_id);
+  json.Key("done");
+  json.Bool(status.done);
+  json.Key("completed");
+  json.Number(static_cast<uint64_t>(status.completed));
+  json.Key("failed");
+  json.Number(static_cast<uint64_t>(status.failed));
+  json.Key("cancelled");
+  json.Number(static_cast<uint64_t>(status.cancelled));
+  json.Key("tasks");
+  json.BeginArray();
+  for (size_t i = 0; i < status.task_ids.size(); ++i) {
+    json.BeginObject();
+    json.Key("task_id");
+    json.String(status.task_ids[i]);
+    json.Key("state");
+    json.String(std::string(TaskStateToString(status.states[i])));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("results");
+  json.BeginArray();
+  for (const TaskResult& result : results) {
+    WriteTaskResult(result, options, &json);
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+std::string RankingToCsv(const RankedList& ranking,
+                         const ResultExportOptions& options) {
+  std::string out = "rank,node,score\n";
+  const size_t limit = options.top_k == 0
+                           ? ranking.size()
+                           : std::min(options.top_k, ranking.size());
+  for (size_t i = 0; i < limit; ++i) {
+    std::string name = NodeName(options, ranking[i].node);
+    // CSV-quote when the label contains a comma or quote.
+    if (name.find(',') != std::string::npos ||
+        name.find('"') != std::string::npos) {
+      std::string quoted = "\"";
+      for (char c : name) {
+        if (c == '"') quoted += '"';
+        quoted += c;
+      }
+      quoted += '"';
+      name = std::move(quoted);
+    }
+    out += std::to_string(i + 1) + "," + name + "," +
+           FormatScore(ranking[i].score) + "\n";
+  }
+  return out;
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,21 @@
+#include "platform/scheduler.h"
+
+#include <utility>
+
+namespace cyclerank {
+
+Status Scheduler::Enqueue(const std::string& task_id, TaskSpec spec,
+                          std::shared_ptr<std::atomic<bool>> cancelled) {
+  Executor* executor = executor_;
+  const bool posted =
+      pool_.Post([executor, task_id, spec = std::move(spec),
+                  cancelled = std::move(cancelled)] {
+        executor->Execute(task_id, spec, cancelled.get());
+      });
+  if (!posted) {
+    return Status::FailedPrecondition("scheduler: already shut down");
+  }
+  return Status::OK();
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,53 @@
+#ifndef CYCLERANK_PLATFORM_SCHEDULER_H_
+#define CYCLERANK_PLATFORM_SCHEDULER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "platform/executor.h"
+#include "platform/task.h"
+
+namespace cyclerank {
+
+/// The Scheduler of Fig. 1: "when the Scheduler receives the task, it
+/// fetches the dataset and invokes an Executor node; the computation …
+/// is off-loaded to the worker nodes."
+///
+/// Tasks are dispatched FIFO onto a pool of `num_workers` executor
+/// threads — the knob behind "computational nodes … can be scaled up or
+/// down depending on the system's workload" (§III). The F1 bench sweeps
+/// this worker count.
+class Scheduler {
+ public:
+  Scheduler(Executor* executor, size_t num_workers)
+      : executor_(executor), pool_(num_workers) {}
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueues a task for execution. `cancelled` (optional) is sampled by
+  /// the executor before the computation starts; the shared_ptr keeps the
+  /// flag alive for the task's lifetime. Fails when the scheduler is shut
+  /// down.
+  Status Enqueue(const std::string& task_id, TaskSpec spec,
+                 std::shared_ptr<std::atomic<bool>> cancelled = nullptr);
+
+  /// Blocks until all queued tasks have finished.
+  void Drain() { pool_.WaitIdle(); }
+
+  /// Stops accepting work and joins the workers (idempotent).
+  void Shutdown() { pool_.Shutdown(); }
+
+  size_t num_workers() const { return pool_.num_threads(); }
+  size_t QueueDepth() const { return pool_.QueueDepth(); }
+
+ private:
+  Executor* executor_;
+  ThreadPool pool_;
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_PLATFORM_SCHEDULER_H_

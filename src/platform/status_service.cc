@@ -1,0 +1,93 @@
+#include "platform/status_service.h"
+
+#include <chrono>
+
+namespace cyclerank {
+
+Status StatusService::Track(const std::string& task_id) {
+  if (task_id.empty()) {
+    return Status::InvalidArgument("status: task id must not be empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = states_.emplace(task_id, TaskState::kPending);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("status: task '" + task_id +
+                                 "' already tracked");
+  }
+  return Status::OK();
+}
+
+Status StatusService::SetState(const std::string& task_id, TaskState state) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = states_.find(task_id);
+    if (it == states_.end()) {
+      return Status::NotFound("status: task '" + task_id + "' not tracked");
+    }
+    if (IsTerminal(it->second)) {
+      return Status::FailedPrecondition(
+          "status: task '" + task_id + "' is already terminal (" +
+          std::string(TaskStateToString(it->second)) + ")");
+    }
+    it->second = state;
+  }
+  changed_.notify_all();
+  return Status::OK();
+}
+
+Result<TaskState> StatusService::GetState(const std::string& task_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(task_id);
+  if (it == states_.end()) {
+    return Status::NotFound("status: task '" + task_id + "' not tracked");
+  }
+  return it->second;
+}
+
+Result<std::vector<TaskState>> StatusService::GetStates(
+    const std::vector<std::string>& task_ids) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TaskState> out;
+  out.reserve(task_ids.size());
+  for (const std::string& id : task_ids) {
+    auto it = states_.find(id);
+    if (it == states_.end()) {
+      return Status::NotFound("status: task '" + id + "' not tracked");
+    }
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+Result<bool> StatusService::WaitUntilTerminal(
+    const std::vector<std::string>& task_ids, double timeout_seconds) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto all_terminal = [&]() -> bool {
+    for (const std::string& id : task_ids) {
+      auto it = states_.find(id);
+      if (it == states_.end() || !IsTerminal(it->second)) return false;
+    }
+    return true;
+  };
+  // Validate ids first so a typo fails fast instead of hanging.
+  for (const std::string& id : task_ids) {
+    if (states_.find(id) == states_.end()) {
+      return Status::NotFound("status: task '" + id + "' not tracked");
+    }
+  }
+  if (timeout_seconds <= 0.0) {
+    changed_.wait(lock, all_terminal);
+    return true;
+  }
+  return changed_.wait_for(lock,
+                           std::chrono::duration<double>(timeout_seconds),
+                           all_terminal);
+}
+
+size_t StatusService::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_.size();
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,58 @@
+#ifndef CYCLERANK_PLATFORM_STATUS_SERVICE_H_
+#define CYCLERANK_PLATFORM_STATUS_SERVICE_H_
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "platform/task.h"
+
+namespace cyclerank {
+
+/// The Status component of Fig. 1: "while the computation is running, the
+/// Status component polls the Executor node to monitor its progress".
+///
+/// In this in-process realization the executors push their state
+/// transitions here and clients poll (or block on) the recorded states.
+/// Thread-safe.
+class StatusService {
+ public:
+  StatusService() = default;
+  StatusService(const StatusService&) = delete;
+  StatusService& operator=(const StatusService&) = delete;
+
+  /// Registers a task in `kPending` state; fails on duplicate ids.
+  Status Track(const std::string& task_id);
+
+  /// Records a state transition. Transitions out of a terminal state are
+  /// rejected (FailedPrecondition) — a cancelled task cannot complete.
+  Status SetState(const std::string& task_id, TaskState state);
+
+  /// Current state of `task_id`.
+  Result<TaskState> GetState(const std::string& task_id) const;
+
+  /// States of several tasks at once (one poll, one lock).
+  Result<std::vector<TaskState>> GetStates(
+      const std::vector<std::string>& task_ids) const;
+
+  /// Blocks until every listed task reaches a terminal state, or until
+  /// `timeout_seconds` elapses (0 = wait forever). Returns false on
+  /// timeout.
+  Result<bool> WaitUntilTerminal(const std::vector<std::string>& task_ids,
+                                 double timeout_seconds = 0.0) const;
+
+  /// Number of tracked tasks.
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable changed_;
+  std::map<std::string, TaskState> states_;
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_PLATFORM_STATUS_SERVICE_H_

@@ -1,0 +1,64 @@
+#include "platform/task.h"
+
+namespace cyclerank {
+
+std::string TaskSpec::ToString() const {
+  std::string out = dataset + " | " + algorithm;
+  if (!params.empty()) out += " | " + params.ToString();
+  return out;
+}
+
+std::string_view TaskStateToString(TaskState state) {
+  switch (state) {
+    case TaskState::kPending:
+      return "pending";
+    case TaskState::kFetching:
+      return "fetching";
+    case TaskState::kRunning:
+      return "running";
+    case TaskState::kCompleted:
+      return "completed";
+    case TaskState::kFailed:
+      return "failed";
+    case TaskState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+bool IsTerminal(TaskState state) {
+  return state == TaskState::kCompleted || state == TaskState::kFailed ||
+         state == TaskState::kCancelled;
+}
+
+Status TaskBuilder::Add(TaskSpec spec) {
+  if (spec.dataset.empty()) {
+    return Status::InvalidArgument("task: dataset name must not be empty");
+  }
+  if (spec.algorithm.empty()) {
+    return Status::InvalidArgument("task: algorithm name must not be empty");
+  }
+  tasks_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+Status TaskBuilder::Add(std::string_view dataset, std::string_view algorithm,
+                        std::string_view params) {
+  CYCLERANK_ASSIGN_OR_RETURN(ParamMap parsed, ParamMap::Parse(params));
+  return Add(TaskSpec{std::string(dataset), std::string(algorithm),
+                      std::move(parsed)});
+}
+
+Status TaskBuilder::Remove(size_t index) {
+  if (index >= tasks_.size()) {
+    return Status::OutOfRange("task builder: index " + std::to_string(index) +
+                              " out of range (size " +
+                              std::to_string(tasks_.size()) + ")");
+  }
+  tasks_.erase(tasks_.begin() + static_cast<ptrdiff_t>(index));
+  return Status::OK();
+}
+
+void TaskBuilder::Clear() { tasks_.clear(); }
+
+}  // namespace cyclerank

@@ -1,0 +1,96 @@
+#ifndef CYCLERANK_PLATFORM_TASK_H_
+#define CYCLERANK_PLATFORM_TASK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ranking.h"
+#include "platform/params.h"
+
+namespace cyclerank {
+
+/// "A task … is a triple consisting of a dataset, an algorithm and a set
+/// of parameters" (paper §III, step 1).
+struct TaskSpec {
+  std::string dataset;    ///< catalog / datastore name, e.g. "enwiki-mini-2018"
+  std::string algorithm;  ///< registry name, e.g. "cyclerank"
+  ParamMap params;
+
+  /// One-line rendering matching the task-builder rows of Fig. 2.
+  std::string ToString() const;
+
+  friend bool operator==(const TaskSpec& a, const TaskSpec& b) {
+    return a.dataset == b.dataset && a.algorithm == b.algorithm &&
+           a.params == b.params;
+  }
+};
+
+/// Lifecycle of a task inside the platform, mirroring Fig. 1's flow:
+/// built (pending) → dataset fetch → computation → results written.
+enum class TaskState {
+  kPending,
+  kFetching,
+  kRunning,
+  kCompleted,
+  kFailed,
+  kCancelled,
+};
+
+std::string_view TaskStateToString(TaskState state);
+
+/// True for states a task can never leave.
+bool IsTerminal(TaskState state);
+
+/// Outcome of one executed task, as stored in the datastore.
+struct TaskResult {
+  std::string task_id;
+  TaskSpec spec;
+  Status status;         ///< OK for completed tasks
+  RankedList ranking;    ///< empty on failure
+  double seconds = 0.0;  ///< wall-clock execution time
+};
+
+/// A query set: the user-composed list of tasks submitted together; the
+/// whole set gets one comparison id that "serves as a permalink" (§IV-C).
+struct QuerySet {
+  std::vector<TaskSpec> tasks;
+};
+
+/// Builds query sets with the operations of the task-builder UI (Fig. 2):
+/// add a query, remove one by index (the per-row "x"), or empty the whole
+/// set (the trash-bin button).
+class TaskBuilder {
+ public:
+  TaskBuilder() = default;
+
+  /// Appends a task; rejects empty dataset or algorithm names.
+  Status Add(TaskSpec spec);
+
+  /// Convenience: `Add({dataset, algorithm, ParamMap::Parse(params)})`.
+  Status Add(std::string_view dataset, std::string_view algorithm,
+             std::string_view params);
+
+  /// Removes the query at `index`.
+  Status Remove(size_t index);
+
+  /// Empties the set.
+  void Clear();
+
+  size_t size() const { return tasks_.size(); }
+  bool empty() const { return tasks_.empty(); }
+  const std::vector<TaskSpec>& tasks() const { return tasks_; }
+
+  /// Finalizes the query set (the builder keeps its contents, so the user
+  /// can tweak and resubmit as in the demo).
+  QuerySet Build() const { return QuerySet{tasks_}; }
+
+ private:
+  std::vector<TaskSpec> tasks_;
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_PLATFORM_TASK_H_

@@ -1,0 +1,95 @@
+#include "common/logging.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+
+namespace cyclerank {
+namespace {
+
+/// Captures log records for assertions and restores the previous
+/// configuration on destruction.
+class LogCapture {
+ public:
+  LogCapture() {
+    Logger::Global().set_min_level(LogLevel::kDebug);
+    Logger::Global().set_sink([this](LogLevel level, std::string_view msg) {
+      records_.emplace_back(level, std::string(msg));
+    });
+  }
+  ~LogCapture() {
+    Logger::Global().set_sink(nullptr);
+    Logger::Global().set_min_level(LogLevel::kInfo);
+  }
+
+  const std::vector<std::pair<LogLevel, std::string>>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<std::pair<LogLevel, std::string>> records_;
+};
+
+TEST(LoggingTest, SinkReceivesMessages) {
+  LogCapture capture;
+  CYCLERANK_LOG(kInfo) << "hello " << 42;
+  ASSERT_EQ(capture.records().size(), 1u);
+  EXPECT_EQ(capture.records()[0].first, LogLevel::kInfo);
+  EXPECT_EQ(capture.records()[0].second, "hello 42");
+}
+
+TEST(LoggingTest, MinLevelFilters) {
+  LogCapture capture;
+  Logger::Global().set_min_level(LogLevel::kWarning);
+  CYCLERANK_LOG(kDebug) << "dropped";
+  CYCLERANK_LOG(kInfo) << "dropped too";
+  CYCLERANK_LOG(kWarning) << "kept";
+  CYCLERANK_LOG(kError) << "kept too";
+  ASSERT_EQ(capture.records().size(), 2u);
+  EXPECT_EQ(capture.records()[0].second, "kept");
+  EXPECT_EQ(capture.records()[1].second, "kept too");
+}
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_EQ(LogLevelToString(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(LogLevelToString(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(LogLevelToString(LogLevel::kWarning), "WARN");
+  EXPECT_EQ(LogLevelToString(LogLevel::kError), "ERROR");
+}
+
+TEST(LoggingTest, ConcurrentLoggingDoesNotInterleaveRecords) {
+  LogCapture capture;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 50; ++i) {
+        CYCLERANK_LOG(kInfo) << "thread " << t << " msg " << i;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(capture.records().size(), 200u);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.ElapsedMillis(), 15);
+  EXPECT_GE(timer.ElapsedMicros(), 15000);
+  EXPECT_GT(timer.ElapsedSeconds(), 0.01);
+}
+
+TEST(TimerTest, RestartRewinds) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedMillis(), 10);
+}
+
+}  // namespace
+}  // namespace cyclerank

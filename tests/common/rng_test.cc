@@ -1,0 +1,114 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cyclerank {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differ = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differ;
+  }
+  EXPECT_GT(differ, 30);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBoundedZeroBoundIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+}
+
+TEST(RngTest, NextBoundedCoversSmallRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    const int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // mean of U[0,1)
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(9);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.02);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, JumpProducesNonOverlappingStream) {
+  Rng a(42);
+  Rng b(42);
+  b.Jump();
+  // The jumped stream should not reproduce the original's next values.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UsableWithStdShuffle) {
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  Rng rng(99);
+  std::shuffle(v.begin(), v.end(), rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+}  // namespace
+}  // namespace cyclerank

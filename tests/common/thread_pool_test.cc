@@ -1,0 +1,104 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cyclerank {
+namespace {
+
+TEST(ThreadPoolTest, RunsPostedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Post([&counter] { ++counter; }));
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureWithResult) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { return 6 * 7; });
+  ASSERT_TRUE(future.valid());
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesDistinctResults) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  auto future = pool.Submit([] { return 1; });
+  EXPECT_EQ(future.get(), 1);
+}
+
+TEST(ThreadPoolTest, PostAfterShutdownRejected) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Post([] {}));
+  auto future = pool.Submit([] { return 3; });
+  EXPECT_FALSE(future.valid());
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Post([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++counter;
+      });
+    }
+    pool.Shutdown();
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitIdleReturnsWhenQueueEmpty) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // no work: must not hang
+  std::atomic<bool> ran{false};
+  pool.Post([&ran] { ran = true; });
+  pool.WaitIdle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Post([&] {
+      const int current = ++in_flight;
+      int expected = max_in_flight.load();
+      while (current > expected &&
+             !max_in_flight.compare_exchange_weak(expected, current)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      --in_flight;
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_GT(max_in_flight.load(), 1);
+}
+
+TEST(ThreadPoolTest, DoubleShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();  // must not crash or hang
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,53 @@
+#include "common/uuid.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace cyclerank {
+namespace {
+
+TEST(UuidTest, FormatIsValid) {
+  UuidGenerator gen(1);
+  for (int i = 0; i < 50; ++i) {
+    const std::string id = gen.Generate();
+    EXPECT_EQ(id.size(), 36u);
+    EXPECT_TRUE(IsValidUuid(id)) << id;
+  }
+}
+
+TEST(UuidTest, DeterministicWithSeed) {
+  UuidGenerator a(42), b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Generate(), b.Generate());
+}
+
+TEST(UuidTest, DistinctAcrossCalls) {
+  UuidGenerator gen(7);
+  std::set<std::string> ids;
+  for (int i = 0; i < 1000; ++i) ids.insert(gen.Generate());
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+TEST(UuidTest, EntropySeedProducesValidIds) {
+  UuidGenerator gen;  // seed 0 -> random_device
+  EXPECT_TRUE(IsValidUuid(gen.Generate()));
+}
+
+TEST(UuidTest, ValidatorAcceptsPaperExample) {
+  // The comparison id shown in the paper's Fig. 2.
+  EXPECT_TRUE(IsValidUuid("3a73ff34-8720-4ce8-859e-34e70f339907"));
+}
+
+TEST(UuidTest, ValidatorRejectsMalformed) {
+  EXPECT_FALSE(IsValidUuid(""));
+  EXPECT_FALSE(IsValidUuid("3a73ff34-8720-4ce8-859e-34e70f33990"));    // short
+  EXPECT_FALSE(IsValidUuid("3a73ff34-8720-4ce8-859e-34e70f3399071"));  // long
+  EXPECT_FALSE(IsValidUuid("3a73ff34087204ce80859e034e70f339907x"));   // no dashes
+  EXPECT_FALSE(IsValidUuid("3a73ff34-8720-1ce8-859e-34e70f339907"));   // version 1
+  EXPECT_FALSE(IsValidUuid("3a73ff34-8720-4ce8-159e-34e70f339907"));   // bad variant
+  EXPECT_FALSE(IsValidUuid("3A73FF34-8720-4CE8-859E-34E70F339907"));   // uppercase
+}
+
+}  // namespace
+}  // namespace cyclerank

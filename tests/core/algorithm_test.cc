@@ -1,0 +1,131 @@
+#include "core/algorithm.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+Graph SmallCyclic() {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(0, 3);
+  return builder.Build().value();
+}
+
+TEST(AlgorithmTest, KindNameRoundTrip) {
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    const auto parsed = AlgorithmKindFromString(AlgorithmKindToString(kind));
+    ASSERT_TRUE(parsed.ok()) << AlgorithmKindToString(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(AlgorithmTest, PaperAliases) {
+  EXPECT_EQ(AlgorithmKindFromString("ppr").value(),
+            AlgorithmKind::kPersonalizedPageRank);
+  EXPECT_EQ(AlgorithmKindFromString("PR").value(), AlgorithmKind::kPageRank);
+  EXPECT_EQ(AlgorithmKindFromString("cr").value(), AlgorithmKind::kCycleRank);
+  EXPECT_FALSE(AlgorithmKindFromString("hits").ok());
+}
+
+TEST(AlgorithmTest, SevenDemoAlgorithmsPlusExtensions) {
+  // The demo compares CycleRank against 6 established algorithms (§V);
+  // the library adds two efficient PPR approximations.
+  EXPECT_EQ(AllAlgorithmKinds().size(), 9u);
+}
+
+TEST(AlgorithmTest, FactoryProducesEveryKind) {
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    const auto algorithm = MakeAlgorithm(kind);
+    ASSERT_NE(algorithm, nullptr);
+    EXPECT_EQ(algorithm->name(), AlgorithmKindToString(kind));
+  }
+}
+
+TEST(AlgorithmTest, ReferenceRequirementFlags) {
+  EXPECT_FALSE(MakeAlgorithm(AlgorithmKind::kPageRank)->requires_reference());
+  EXPECT_FALSE(MakeAlgorithm(AlgorithmKind::kCheiRank)->requires_reference());
+  EXPECT_FALSE(MakeAlgorithm(AlgorithmKind::k2DRank)->requires_reference());
+  EXPECT_TRUE(MakeAlgorithm(AlgorithmKind::kPersonalizedPageRank)
+                  ->requires_reference());
+  EXPECT_TRUE(MakeAlgorithm(AlgorithmKind::kPersonalizedCheiRank)
+                  ->requires_reference());
+  EXPECT_TRUE(
+      MakeAlgorithm(AlgorithmKind::kPersonalized2DRank)->requires_reference());
+  EXPECT_TRUE(MakeAlgorithm(AlgorithmKind::kCycleRank)->requires_reference());
+}
+
+TEST(AlgorithmTest, ScoreSemantics) {
+  // 2DRank variants are rank-only (§II: "does not assign a score").
+  EXPECT_FALSE(MakeAlgorithm(AlgorithmKind::k2DRank)->produces_scores());
+  EXPECT_FALSE(
+      MakeAlgorithm(AlgorithmKind::kPersonalized2DRank)->produces_scores());
+  EXPECT_TRUE(MakeAlgorithm(AlgorithmKind::kPageRank)->produces_scores());
+  EXPECT_TRUE(MakeAlgorithm(AlgorithmKind::kCycleRank)->produces_scores());
+}
+
+TEST(AlgorithmTest, EveryAlgorithmRunsOnSmallGraph) {
+  const Graph g = SmallCyclic();
+  AlgorithmRequest request;
+  request.reference = 0;
+  request.num_walks = 5000;
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    const auto algorithm = MakeAlgorithm(kind);
+    const auto result = algorithm->Run(g, request);
+    ASSERT_TRUE(result.ok()) << algorithm->name() << ": "
+                             << result.status().ToString();
+    EXPECT_FALSE(result->empty()) << algorithm->name();
+    // Rankings are sorted by decreasing score.
+    for (size_t i = 1; i < result->size(); ++i) {
+      EXPECT_GE((*result)[i - 1].score, (*result)[i].score);
+    }
+  }
+}
+
+TEST(AlgorithmTest, MissingReferenceIsInvalidArgument) {
+  const Graph g = SmallCyclic();
+  AlgorithmRequest request;  // reference = kInvalidNode
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kPersonalizedPageRank, AlgorithmKind::kCycleRank,
+        AlgorithmKind::kPersonalizedCheiRank,
+        AlgorithmKind::kPersonalized2DRank, AlgorithmKind::kPprForwardPush,
+        AlgorithmKind::kPprMonteCarlo}) {
+    const auto result = MakeAlgorithm(kind)->Run(g, request);
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+        << AlgorithmKindToString(kind);
+  }
+}
+
+TEST(AlgorithmTest, TopKRequestTruncates) {
+  const Graph g = SmallCyclic();
+  AlgorithmRequest request;
+  request.reference = 0;
+  request.top_k = 2;
+  request.num_walks = 1000;
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    const auto result = MakeAlgorithm(kind)->Run(g, request);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->size(), 2u) << AlgorithmKindToString(kind);
+  }
+}
+
+TEST(AlgorithmTest, CycleRankDropsZeroScoredNodes) {
+  const Graph g = SmallCyclic();  // node 3 is a sink: no cycles
+  AlgorithmRequest request;
+  request.reference = 0;
+  const auto result =
+      MakeAlgorithm(AlgorithmKind::kCycleRank)->Run(g, request);
+  ASSERT_TRUE(result.ok());
+  for (const ScoredNode& entry : *result) {
+    EXPECT_NE(entry.node, 3u);
+    EXPECT_GT(entry.score, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,103 @@
+#include "core/cheirank.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/pagerank.h"
+#include "datasets/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/transforms.h"
+
+namespace cyclerank {
+namespace {
+
+TEST(CheiRankTest, EqualsPageRankOnMaterializedTranspose) {
+  // The defining property (§II): CheiRank(G) == PageRank(Gᵀ).
+  BarabasiAlbertConfig config;
+  config.num_nodes = 200;
+  config.edges_per_node = 4;
+  config.reciprocity = 0.2;
+  config.seed = 3;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  const Graph gt = Transpose(g).value();
+  PageRankOptions options;
+  options.tolerance = 1e-12;
+  const PageRankScores chei = ComputeCheiRank(g, options).value();
+  const PageRankScores pr_t = ComputePageRank(gt, options).value();
+  ASSERT_EQ(chei.scores.size(), pr_t.scores.size());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_NEAR(chei.scores[u], pr_t.scores[u], 1e-9) << "node " << u;
+  }
+}
+
+TEST(CheiRankTest, RewardsOutgoingHubs) {
+  // Node 0 links to many nodes (an "index page"): high CheiRank, low PR.
+  GraphBuilder builder;
+  for (NodeId v = 1; v <= 8; ++v) builder.AddEdge(0, v);
+  builder.AddEdge(1, 2);
+  const Graph g = builder.Build().value();
+  const PageRankScores chei = ComputeCheiRank(g).value();
+  const PageRankScores pr = ComputePageRank(g).value();
+  for (NodeId v = 1; v <= 8; ++v) EXPECT_GT(chei.scores[0], chei.scores[v]);
+  EXPECT_LT(pr.scores[0], pr.scores[2]);  // nobody links to 0
+}
+
+TEST(CheiRankTest, ScoresSumToOne) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.ReserveNodes(4);
+  const Graph g = builder.Build().value();
+  const PageRankScores chei = ComputeCheiRank(g).value();
+  const double sum =
+      std::accumulate(chei.scores.begin(), chei.scores.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(CheiRankTest, SymmetricGraphEqualsPageRank) {
+  // On a symmetric (reciprocal) graph, G == Gᵀ, so CheiRank == PageRank.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 1);
+  const Graph g = builder.Build().value();
+  const PageRankScores chei = ComputeCheiRank(g).value();
+  const PageRankScores pr = ComputePageRank(g).value();
+  for (NodeId u = 0; u < 3; ++u) {
+    EXPECT_NEAR(chei.scores[u], pr.scores[u], 1e-9);
+  }
+}
+
+TEST(PersonalizedCheiRankTest, ConcentratesAtReference) {
+  GraphBuilder builder;
+  for (NodeId u = 0; u < 6; ++u) builder.AddEdge(u, (u + 1) % 6);
+  const Graph g = builder.Build().value();
+  const PageRankScores scores = ComputePersonalizedCheiRank(g, 4).value();
+  for (NodeId u = 0; u < 6; ++u) {
+    if (u != 4) EXPECT_GT(scores.scores[4], scores.scores[u]);
+  }
+}
+
+TEST(PersonalizedCheiRankTest, FollowsReversedEdges) {
+  // 1 -> 0: personalized CheiRank from 0 walks the reversed edge 0 -> 1.
+  GraphBuilder builder;
+  builder.AddEdge(1, 0);
+  builder.ReserveNodes(3);
+  const Graph g = builder.Build().value();
+  const PageRankScores scores = ComputePersonalizedCheiRank(g, 0).value();
+  EXPECT_GT(scores.scores[1], 0.0);
+  EXPECT_DOUBLE_EQ(scores.scores[2], 0.0);
+}
+
+TEST(PersonalizedCheiRankTest, RejectsInvalidReference) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  const Graph g = builder.Build().value();
+  EXPECT_EQ(ComputePersonalizedCheiRank(g, 42).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace cyclerank

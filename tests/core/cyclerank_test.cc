@@ -1,0 +1,378 @@
+#include "core/cyclerank.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datasets/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/scc.h"
+
+namespace cyclerank {
+namespace {
+
+Graph DirectedRing(NodeId n) {
+  GraphBuilder builder;
+  for (NodeId u = 0; u < n; ++u) builder.AddEdge(u, (u + 1) % n);
+  return builder.Build().value();
+}
+
+Graph ReciprocalPair() {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  return builder.Build().value();
+}
+
+TEST(CycleRankTest, TwoCycleExactScore) {
+  const Graph g = ReciprocalPair();
+  CycleRankOptions options;
+  options.max_cycle_length = 3;
+  const CycleRankScores cr = ComputeCycleRank(g, 0, options).value();
+  EXPECT_EQ(cr.total_cycles, 1u);
+  EXPECT_DOUBLE_EQ(cr.scores[0], std::exp(-2.0));
+  EXPECT_DOUBLE_EQ(cr.scores[1], std::exp(-2.0));
+}
+
+TEST(CycleRankTest, RingCountedOnceAtExactLength) {
+  // A directed n-ring contains exactly one cycle through the reference,
+  // of length n; K below n finds nothing.
+  for (NodeId n : {3u, 4u, 5u}) {
+    const Graph g = DirectedRing(n);
+    CycleRankOptions options;
+    options.max_cycle_length = n;
+    const CycleRankScores hit = ComputeCycleRank(g, 0, options).value();
+    EXPECT_EQ(hit.total_cycles, 1u) << "n=" << n;
+    EXPECT_EQ(hit.cycles_by_length[n], 1u);
+    for (NodeId u = 0; u < n; ++u) {
+      EXPECT_DOUBLE_EQ(hit.scores[u], std::exp(-static_cast<double>(n)));
+    }
+    options.max_cycle_length = n - 1;
+    if (options.max_cycle_length >= 2) {
+      const CycleRankScores miss = ComputeCycleRank(g, 0, options).value();
+      EXPECT_EQ(miss.total_cycles, 0u) << "n=" << n;
+    }
+  }
+}
+
+TEST(CycleRankTest, CompleteGraphCycleCounts) {
+  // K4 (complete directed graph on 4 nodes): cycles through node r:
+  //   length 2: 3 (one per other node)
+  //   length 3: ordered pairs of distinct others: 3*2 = 6
+  //   length 4: ordered triples: 3*2*1 = 6
+  GraphBuilder builder;
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) builder.AddEdge(u, v);
+    }
+  }
+  const Graph g = builder.Build().value();
+  CycleRankOptions options;
+  options.max_cycle_length = 4;
+  const CycleRankScores cr = ComputeCycleRank(g, 0, options).value();
+  EXPECT_EQ(cr.cycles_by_length[2], 3u);
+  EXPECT_EQ(cr.cycles_by_length[3], 6u);
+  EXPECT_EQ(cr.cycles_by_length[4], 6u);
+  EXPECT_EQ(cr.total_cycles, 15u);
+}
+
+TEST(CycleRankTest, ReferenceNodeHasMaximumScore) {
+  // "By definition, the reference node gets the maximum Cyclerank score"
+  // (§II): r is on every counted cycle.
+  BarabasiAlbertConfig config;
+  config.num_nodes = 150;
+  config.edges_per_node = 4;
+  config.reciprocity = 0.4;
+  config.seed = 9;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  CycleRankOptions options;
+  options.max_cycle_length = 4;
+  const CycleRankScores cr = ComputeCycleRank(g, 0, options).value();
+  ASSERT_GT(cr.total_cycles, 0u);
+  for (NodeId u = 1; u < g.num_nodes(); ++u) {
+    EXPECT_LE(cr.scores[u], cr.scores[0]);
+  }
+}
+
+TEST(CycleRankTest, Equation1Identity) {
+  // CR_{r,K}(i) must equal Σ_n σ(n)·c_{r,n}(i) computed from the reported
+  // per-node cycle counts — the literal Eq. (1) of the paper.
+  BarabasiAlbertConfig config;
+  config.num_nodes = 80;
+  config.edges_per_node = 3;
+  config.reciprocity = 0.5;
+  config.seed = 4;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  CycleRankOptions options;
+  options.max_cycle_length = 5;
+  options.collect_per_node_counts = true;
+  const CycleRankScores cr = ComputeCycleRank(g, 2, options).value();
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    double expected = 0.0;
+    for (uint32_t n = 2; n <= options.max_cycle_length; ++n) {
+      expected +=
+          Sigma(options.scoring, n) *
+          static_cast<double>(cr.cycle_counts_per_node[n][i]);
+    }
+    EXPECT_NEAR(cr.scores[i], expected, 1e-12) << "node " << i;
+  }
+}
+
+TEST(CycleRankTest, NonZeroOnlyInsideReferenceScc) {
+  // A node on a cycle with r is strongly connected to r.
+  BarabasiAlbertConfig config;
+  config.num_nodes = 100;
+  config.edges_per_node = 3;
+  config.reciprocity = 0.3;
+  config.seed = 6;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  const SccResult scc = StronglyConnectedComponents(g);
+  CycleRankOptions options;
+  options.max_cycle_length = 5;
+  const CycleRankScores cr = ComputeCycleRank(g, 0, options).value();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (cr.scores[u] > 0.0 && u != 0) {
+      EXPECT_TRUE(InSameScc(scc, 0, u)) << "node " << u;
+    }
+  }
+}
+
+TEST(CycleRankTest, PruningDoesNotChangeResults) {
+  // A2 ablation correctness: distance pruning is an optimization, not an
+  // approximation.
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    BarabasiAlbertConfig config;
+    config.num_nodes = 70;
+    config.edges_per_node = 3;
+    config.reciprocity = 0.4;
+    config.seed = seed;
+    const Graph g = GenerateBarabasiAlbert(config).value();
+    CycleRankOptions pruned, naive;
+    pruned.max_cycle_length = naive.max_cycle_length = 4;
+    pruned.use_pruning = true;
+    naive.use_pruning = false;
+    const CycleRankScores a = ComputeCycleRank(g, 1, pruned).value();
+    const CycleRankScores b = ComputeCycleRank(g, 1, naive).value();
+    EXPECT_EQ(a.total_cycles, b.total_cycles);
+    EXPECT_EQ(a.cycles_by_length, b.cycles_by_length);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      EXPECT_DOUBLE_EQ(a.scores[u], b.scores[u]);
+    }
+    // Pruning must not do *more* work.
+    EXPECT_LE(a.dfs_expansions, b.dfs_expansions);
+  }
+}
+
+TEST(CycleRankTest, ScoringFunctionsWeightLengthsDifferently) {
+  // Ring of 3 plus a reciprocal chord 0<->1: cycles through 0 are the
+  // 2-cycle (0,1) and the 3-cycle (0,1,2).
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(1, 0);
+  const Graph g = builder.Build().value();
+  CycleRankOptions options;
+  options.max_cycle_length = 3;
+  options.scoring = ScoringFunction::kConstant;
+  const CycleRankScores constant = ComputeCycleRank(g, 0, options).value();
+  EXPECT_DOUBLE_EQ(constant.scores[0], 2.0);  // on both cycles
+  EXPECT_DOUBLE_EQ(constant.scores[1], 2.0);
+  EXPECT_DOUBLE_EQ(constant.scores[2], 1.0);
+  options.scoring = ScoringFunction::kLinear;
+  const CycleRankScores linear = ComputeCycleRank(g, 0, options).value();
+  EXPECT_DOUBLE_EQ(linear.scores[1], 1.0 / 2 + 1.0 / 3);
+  EXPECT_DOUBLE_EQ(linear.scores[2], 1.0 / 3);
+  options.scoring = ScoringFunction::kQuadratic;
+  const CycleRankScores quad = ComputeCycleRank(g, 0, options).value();
+  EXPECT_DOUBLE_EQ(quad.scores[2], 1.0 / 9);
+}
+
+TEST(CycleRankTest, SelfLoopsNeverCounted) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 0);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  GraphBuildOptions keep_loops;
+  keep_loops.drop_self_loops = false;
+  const Graph g = builder.Build(keep_loops).value();
+  ASSERT_TRUE(g.HasEdge(0, 0));
+  CycleRankOptions options;
+  options.max_cycle_length = 3;
+  const CycleRankScores cr = ComputeCycleRank(g, 0, options).value();
+  // Only the 2-cycle (0,1); the self-loop is not a cycle of length >= 2.
+  EXPECT_EQ(cr.total_cycles, 1u);
+  EXPECT_EQ(cr.cycles_by_length[2], 1u);
+}
+
+TEST(CycleRankTest, MaxCyclesCapTruncates) {
+  GraphBuilder builder;
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = 0; v < 6; ++v) {
+      if (u != v) builder.AddEdge(u, v);
+    }
+  }
+  const Graph g = builder.Build().value();
+  CycleRankOptions options;
+  options.max_cycle_length = 5;
+  options.max_cycles = 10;
+  const CycleRankScores cr = ComputeCycleRank(g, 0, options).value();
+  EXPECT_TRUE(cr.truncated);
+  EXPECT_EQ(cr.total_cycles, 10u);
+}
+
+TEST(CycleRankTest, DagScoresAllZero) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  const Graph g = builder.Build().value();
+  const CycleRankScores cr = ComputeCycleRank(g, 0).value();
+  EXPECT_EQ(cr.total_cycles, 0u);
+  for (double s : cr.scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(CycleRankTest, RejectsBadArguments) {
+  const Graph g = ReciprocalPair();
+  EXPECT_EQ(ComputeCycleRank(g, 99).status().code(), StatusCode::kOutOfRange);
+  CycleRankOptions options;
+  options.max_cycle_length = 1;
+  EXPECT_EQ(ComputeCycleRank(g, 0, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CycleRankTest, DeterministicAcrossRuns) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = 60;
+  config.edges_per_node = 4;
+  config.reciprocity = 0.5;
+  config.seed = 8;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  CycleRankOptions options;
+  options.max_cycle_length = 4;
+  const CycleRankScores a = ComputeCycleRank(g, 5, options).value();
+  const CycleRankScores b = ComputeCycleRank(g, 5, options).value();
+  EXPECT_EQ(a.scores, b.scores);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.dfs_expansions, b.dfs_expansions);
+}
+
+TEST(CycleRankTest, ParallelMatchesSerial) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = 100;
+  config.edges_per_node = 4;
+  config.reciprocity = 0.5;
+  config.seed = 33;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  CycleRankOptions serial, parallel;
+  serial.max_cycle_length = parallel.max_cycle_length = 5;
+  serial.collect_per_node_counts = parallel.collect_per_node_counts = true;
+  serial.num_threads = 1;
+  const CycleRankScores a = ComputeCycleRank(g, 0, serial).value();
+  for (uint32_t threads : {2u, 4u, 16u}) {
+    parallel.num_threads = threads;
+    const CycleRankScores b = ComputeCycleRank(g, 0, parallel).value();
+    // Integer outputs are exactly equal...
+    EXPECT_EQ(a.total_cycles, b.total_cycles) << threads;
+    EXPECT_EQ(a.cycles_by_length, b.cycles_by_length);
+    EXPECT_EQ(a.dfs_expansions, b.dfs_expansions);
+    EXPECT_EQ(a.cycle_counts_per_node, b.cycle_counts_per_node);
+    // ...scores agree up to floating-point associativity (per-branch
+    // partial sums regroup the additions).
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      EXPECT_NEAR(a.scores[u], b.scores[u], 1e-12 * (1.0 + a.scores[u]))
+          << "node " << u;
+    }
+  }
+}
+
+TEST(CycleRankTest, ParallelIsDeterministicAcrossThreadCounts) {
+  // Branch merge order is fixed (ascending first hop), so every thread
+  // count >= 2 produces bit-identical output regardless of scheduling.
+  BarabasiAlbertConfig config;
+  config.num_nodes = 100;
+  config.edges_per_node = 4;
+  config.reciprocity = 0.5;
+  config.seed = 34;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  CycleRankOptions options;
+  options.max_cycle_length = 5;
+  options.num_threads = 2;
+  const CycleRankScores base = ComputeCycleRank(g, 0, options).value();
+  for (uint32_t threads : {3u, 4u, 8u, 16u}) {
+    options.num_threads = threads;
+    const CycleRankScores other = ComputeCycleRank(g, 0, options).value();
+    EXPECT_EQ(base.scores, other.scores) << threads;
+    EXPECT_EQ(base.total_cycles, other.total_cycles);
+  }
+}
+
+TEST(CycleRankTest, ParallelOnNaiveSearchAlsoMatches) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = 60;
+  config.edges_per_node = 3;
+  config.reciprocity = 0.5;
+  config.seed = 44;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  CycleRankOptions serial, parallel;
+  serial.max_cycle_length = parallel.max_cycle_length = 4;
+  serial.use_pruning = parallel.use_pruning = false;
+  parallel.num_threads = 4;
+  const CycleRankScores a = ComputeCycleRank(g, 2, serial).value();
+  const CycleRankScores b = ComputeCycleRank(g, 2, parallel).value();
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  ASSERT_EQ(a.scores.size(), b.scores.size());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_NEAR(a.scores[u], b.scores[u], 1e-12 * (1.0 + a.scores[u]));
+  }
+}
+
+TEST(CycleRankTest, ParallelWithMoreThreadsThanBranches) {
+  const Graph g = ReciprocalPair();  // reference has 1 out-neighbour
+  CycleRankOptions options;
+  options.max_cycle_length = 3;
+  options.num_threads = 8;
+  const CycleRankScores cr = ComputeCycleRank(g, 0, options).value();
+  EXPECT_EQ(cr.total_cycles, 1u);
+  EXPECT_DOUBLE_EQ(cr.scores[0], std::exp(-2.0));
+}
+
+TEST(CycleRankTest, ParallelIgnoredWhenMaxCyclesSet) {
+  // A global cycle cap cannot be split across branches; the implementation
+  // falls back to the serial enumerator and still honors the cap.
+  GraphBuilder builder;
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = 0; v < 6; ++v) {
+      if (u != v) builder.AddEdge(u, v);
+    }
+  }
+  const Graph g = builder.Build().value();
+  CycleRankOptions options;
+  options.max_cycle_length = 5;
+  options.max_cycles = 7;
+  options.num_threads = 8;
+  const CycleRankScores cr = ComputeCycleRank(g, 0, options).value();
+  EXPECT_TRUE(cr.truncated);
+  EXPECT_EQ(cr.total_cycles, 7u);
+}
+
+TEST(CycleRankTest, LargerKNeverDecreasesScores) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = 50;
+  config.edges_per_node = 3;
+  config.reciprocity = 0.5;
+  config.seed = 10;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  CycleRankOptions k3, k5;
+  k3.max_cycle_length = 3;
+  k5.max_cycle_length = 5;
+  const CycleRankScores a = ComputeCycleRank(g, 0, k3).value();
+  const CycleRankScores b = ComputeCycleRank(g, 0, k5).value();
+  EXPECT_GE(b.total_cycles, a.total_cycles);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_GE(b.scores[u], a.scores[u] - 1e-15);
+  }
+}
+
+}  // namespace
+}  // namespace cyclerank

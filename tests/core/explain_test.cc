@@ -1,0 +1,158 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cyclerank.h"
+#include "datasets/corpus.h"
+#include "datasets/generators.h"
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+Graph Diamond() {
+  // Two triangles sharing the reference: 0->1->2->0 and 0->3->2->0, plus
+  // the reciprocal pair 0<->2.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(0, 3);
+  builder.AddEdge(3, 2);
+  builder.AddEdge(0, 2);
+  return builder.Build().value();
+}
+
+TEST(ExplainTest, FindsCyclesThroughBothNodes) {
+  const Graph g = Diamond();
+  const CycleExplanation explanation = ExplainCycles(g, 0, 1).value();
+  // Node 1 is only on the cycle 0->1->2->0.
+  ASSERT_EQ(explanation.cycles.size(), 1u);
+  EXPECT_EQ(explanation.cycles[0], (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_FALSE(explanation.truncated);
+}
+
+TEST(ExplainTest, SharedNodeAppearsInAllItsCycles) {
+  const Graph g = Diamond();
+  const CycleExplanation explanation = ExplainCycles(g, 0, 2).value();
+  // Node 2 is on the 2-cycle (0,2) and both triangles.
+  ASSERT_EQ(explanation.cycles.size(), 3u);
+  // Shortest first.
+  EXPECT_EQ(explanation.cycles[0], (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(explanation.cycles[1].size(), 3u);
+  EXPECT_EQ(explanation.cycles[2].size(), 3u);
+}
+
+TEST(ExplainTest, TargetEqualsReferenceListsEverything) {
+  const Graph g = Diamond();
+  const CycleExplanation explanation = ExplainCycles(g, 0, 0).value();
+  EXPECT_EQ(explanation.cycles.size(), 3u);
+}
+
+TEST(ExplainTest, NodeOffAllCyclesYieldsEmpty) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(0, 2);  // 2 is a sink
+  const Graph g = builder.Build().value();
+  const CycleExplanation explanation = ExplainCycles(g, 0, 2).value();
+  EXPECT_TRUE(explanation.cycles.empty());
+  EXPECT_EQ(explanation.total_found, 0u);
+}
+
+TEST(ExplainTest, RespectsKBound) {
+  const Graph g = Diamond();
+  ExplainOptions options;
+  options.max_cycle_length = 2;
+  const CycleExplanation explanation = ExplainCycles(g, 0, 2, options).value();
+  ASSERT_EQ(explanation.cycles.size(), 1u);  // triangles excluded
+  EXPECT_EQ(explanation.cycles[0].size(), 2u);
+}
+
+TEST(ExplainTest, CapTruncates) {
+  GraphBuilder builder;
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = 0; v < 6; ++v) {
+      if (u != v) builder.AddEdge(u, v);
+    }
+  }
+  const Graph g = builder.Build().value();
+  ExplainOptions options;
+  options.max_cycle_length = 4;
+  options.max_cycles = 3;
+  const CycleExplanation explanation = ExplainCycles(g, 0, 0, options).value();
+  EXPECT_TRUE(explanation.truncated);
+  EXPECT_EQ(explanation.cycles.size(), 3u);
+}
+
+TEST(ExplainTest, CycleCountMatchesCycleRankCounts) {
+  // Property: for every node i, the number of explanation cycles equals
+  // CycleRank's per-node cycle count Σ_n c_{r,n}(i).
+  BarabasiAlbertConfig config;
+  config.num_nodes = 60;
+  config.edges_per_node = 3;
+  config.reciprocity = 0.5;
+  config.seed = 19;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  CycleRankOptions cr_options;
+  cr_options.max_cycle_length = 4;
+  cr_options.collect_per_node_counts = true;
+  const CycleRankScores cr = ComputeCycleRank(g, 0, cr_options).value();
+  ExplainOptions options;
+  options.max_cycle_length = 4;
+  options.max_cycles = 1000000;
+  for (NodeId i = 0; i < g.num_nodes(); i += 7) {  // sample
+    uint64_t expected = 0;
+    for (uint32_t n = 2; n <= 4; ++n) {
+      expected += cr.cycle_counts_per_node[n][i];
+    }
+    const CycleExplanation explanation = ExplainCycles(g, 0, i, options).value();
+    EXPECT_EQ(explanation.cycles.size(), expected) << "node " << i;
+  }
+}
+
+TEST(ExplainTest, EveryReportedCycleIsARealSimpleCycle) {
+  const Graph g = EnwikiMini().value();
+  const NodeId ref = g.FindNode("Freddie Mercury");
+  const NodeId queen = g.FindNode("Queen (band)");
+  const CycleExplanation explanation = ExplainCycles(g, ref, queen).value();
+  ASSERT_FALSE(explanation.cycles.empty());
+  for (const std::vector<NodeId>& cycle : explanation.cycles) {
+    ASSERT_GE(cycle.size(), 2u);
+    EXPECT_EQ(cycle.front(), ref);
+    // Consecutive edges exist and the cycle closes.
+    for (size_t i = 0; i + 1 < cycle.size(); ++i) {
+      EXPECT_TRUE(g.HasEdge(cycle[i], cycle[i + 1]));
+    }
+    EXPECT_TRUE(g.HasEdge(cycle.back(), ref));
+    // Simple: no repeated nodes.
+    std::set<NodeId> unique(cycle.begin(), cycle.end());
+    EXPECT_EQ(unique.size(), cycle.size());
+    // Contains the target.
+    EXPECT_NE(unique.count(queen), 0u);
+  }
+}
+
+TEST(ExplainTest, FormatUsesLabels) {
+  const Graph g = EnwikiMini().value();
+  const NodeId ref = g.FindNode("Freddie Mercury");
+  const CycleExplanation explanation =
+      ExplainCycles(g, ref, g.FindNode("Brian May")).value();
+  const std::string text = FormatExplanation(explanation, g);
+  EXPECT_NE(text.find("Freddie Mercury -> Brian May"), std::string::npos);
+}
+
+TEST(ExplainTest, RejectsBadArguments) {
+  const Graph g = Diamond();
+  EXPECT_EQ(ExplainCycles(g, 99, 0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ExplainCycles(g, 0, 99).status().code(), StatusCode::kOutOfRange);
+  ExplainOptions options;
+  options.max_cycle_length = 1;
+  EXPECT_FALSE(ExplainCycles(g, 0, 1, options).ok());
+  options.max_cycle_length = 3;
+  options.max_cycles = 0;
+  EXPECT_FALSE(ExplainCycles(g, 0, 1, options).ok());
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,157 @@
+#include "core/forward_push.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/pagerank.h"
+#include "core/ranking.h"
+#include "datasets/generators.h"
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+TEST(ForwardPushTest, ApproximatesExactPprWithinEpsilonDegreeBound) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = 300;
+  config.edges_per_node = 4;
+  config.reciprocity = 0.3;
+  config.seed = 14;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+
+  PageRankOptions exact_options;
+  exact_options.tolerance = 1e-13;
+  exact_options.max_iterations = 500;
+  const PageRankScores exact =
+      ComputePersonalizedPageRank(g, 0, exact_options).value();
+
+  ForwardPushOptions push_options;
+  push_options.epsilon = 1e-6;
+  const ForwardPushScores approx =
+      ComputeForwardPushPpr(g, 0, push_options).value();
+  ASSERT_TRUE(approx.converged);
+
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    // ACL invariant: underestimate, off by at most eps * out_degree
+    // (loosened slightly for the dangling-teleport variant).
+    EXPECT_LE(approx.scores[u], exact.scores[u] + 1e-9) << "node " << u;
+    EXPECT_GE(approx.scores[u],
+              exact.scores[u] -
+                  10 * push_options.epsilon * (g.OutDegree(u) + 1.0))
+        << "node " << u;
+  }
+}
+
+TEST(ForwardPushTest, MassConservation) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = 150;
+  config.edges_per_node = 3;
+  config.seed = 2;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  const ForwardPushScores scores = ComputeForwardPushPpr(g, 1).value();
+  double estimate_mass = 0.0;
+  for (double s : scores.scores) estimate_mass += s;
+  EXPECT_NEAR(estimate_mass + scores.residual_mass, 1.0, 1e-9);
+  EXPECT_GE(scores.residual_mass, 0.0);
+}
+
+TEST(ForwardPushTest, SmallerEpsilonIsMoreAccurate) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = 200;
+  config.edges_per_node = 4;
+  config.reciprocity = 0.4;
+  config.seed = 5;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  ForwardPushOptions coarse, fine;
+  coarse.epsilon = 1e-3;
+  fine.epsilon = 1e-8;
+  const ForwardPushScores a = ComputeForwardPushPpr(g, 0, coarse).value();
+  const ForwardPushScores b = ComputeForwardPushPpr(g, 0, fine).value();
+  EXPECT_LT(b.residual_mass, a.residual_mass);
+  EXPECT_GT(b.pushes, a.pushes);
+}
+
+TEST(ForwardPushTest, TopKMatchesExactPpr) {
+  // The use case that matters to the demo: the top of the ranking agrees
+  // with the exact computation.
+  BarabasiAlbertConfig config;
+  config.num_nodes = 250;
+  config.edges_per_node = 5;
+  config.reciprocity = 0.5;
+  config.seed = 77;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  PageRankOptions exact_options;
+  exact_options.tolerance = 1e-13;
+  const auto exact =
+      ComputePersonalizedPageRank(g, 3, exact_options).value();
+  ForwardPushOptions push_options;
+  push_options.epsilon = 1e-9;
+  const auto approx = ComputeForwardPushPpr(g, 3, push_options).value();
+  const auto top_exact = TopKNodes(ScoresToRankedList(exact.scores), 5);
+  const auto top_approx = TopKNodes(ScoresToRankedList(approx.scores), 5);
+  EXPECT_EQ(top_exact, top_approx);
+}
+
+TEST(ForwardPushTest, LocalityTouchesOnlyReachableNodes) {
+  // Two disconnected reciprocal pairs: pushing from 0 must leave 2,3 at 0.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 2);
+  const Graph g = builder.Build().value();
+  const ForwardPushScores scores = ComputeForwardPushPpr(g, 0).value();
+  EXPECT_GT(scores.scores[0], 0.0);
+  EXPECT_GT(scores.scores[1], 0.0);
+  EXPECT_DOUBLE_EQ(scores.scores[2], 0.0);
+  EXPECT_DOUBLE_EQ(scores.scores[3], 0.0);
+}
+
+TEST(ForwardPushTest, DanglingMassTeleportsHome) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);  // 1 dangling
+  const Graph g = builder.Build().value();
+  ForwardPushOptions options;
+  options.epsilon = 1e-12;
+  const ForwardPushScores scores = ComputeForwardPushPpr(g, 0, options).value();
+  PageRankOptions exact_options;
+  exact_options.tolerance = 1e-14;
+  const PageRankScores exact =
+      ComputePersonalizedPageRank(g, 0, exact_options).value();
+  EXPECT_NEAR(scores.scores[0], exact.scores[0], 1e-6);
+  EXPECT_NEAR(scores.scores[1], exact.scores[1], 1e-6);
+}
+
+TEST(ForwardPushTest, MaxPushesCapStopsEarly) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = 500;
+  config.edges_per_node = 5;
+  config.seed = 1;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  ForwardPushOptions options;
+  options.epsilon = 1e-12;
+  options.max_pushes = 10;
+  const ForwardPushScores scores = ComputeForwardPushPpr(g, 0, options).value();
+  EXPECT_FALSE(scores.converged);
+  EXPECT_LE(scores.pushes, 10u);
+}
+
+TEST(ForwardPushTest, RejectsBadArguments) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  const Graph g = builder.Build().value();
+  EXPECT_EQ(ComputeForwardPushPpr(g, 9).status().code(),
+            StatusCode::kOutOfRange);
+  ForwardPushOptions options;
+  options.alpha = 1.5;
+  EXPECT_EQ(ComputeForwardPushPpr(g, 0, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.alpha = 0.85;
+  options.epsilon = 0.0;
+  EXPECT_EQ(ComputeForwardPushPpr(g, 0, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cyclerank

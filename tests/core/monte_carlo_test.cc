@@ -1,0 +1,160 @@
+#include "core/monte_carlo.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/pagerank.h"
+#include "core/ranking.h"
+#include "datasets/generators.h"
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+TEST(MonteCarloTest, VisitFrequencyConvergesToExactPpr) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = 100;
+  config.edges_per_node = 4;
+  config.reciprocity = 0.4;
+  config.seed = 31;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  PageRankOptions exact_options;
+  exact_options.tolerance = 1e-13;
+  const PageRankScores exact =
+      ComputePersonalizedPageRank(g, 0, exact_options).value();
+  MonteCarloOptions options;
+  options.num_walks = 400000;
+  options.seed = 7;
+  const MonteCarloScores mc = ComputeMonteCarloPpr(g, 0, options).value();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_NEAR(mc.scores[u], exact.scores[u], 0.01) << "node " << u;
+  }
+  // The head of the distribution should be tight.
+  EXPECT_NEAR(mc.scores[0], exact.scores[0], 0.003);
+}
+
+TEST(MonteCarloTest, EndpointEstimatorAlsoConverges) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  const Graph g = builder.Build().value();
+  PageRankOptions exact_options;
+  exact_options.tolerance = 1e-13;
+  const PageRankScores exact =
+      ComputePersonalizedPageRank(g, 0, exact_options).value();
+  MonteCarloOptions options;
+  options.estimator = MonteCarloEstimator::kEndpoint;
+  options.num_walks = 400000;
+  options.seed = 11;
+  const MonteCarloScores mc = ComputeMonteCarloPpr(g, 0, options).value();
+  for (NodeId u = 0; u < 3; ++u) {
+    EXPECT_NEAR(mc.scores[u], exact.scores[u], 0.01) << "node " << u;
+  }
+}
+
+TEST(MonteCarloTest, ScoresFormDistribution) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  const Graph g = builder.Build().value();
+  for (auto estimator : {MonteCarloEstimator::kVisitFrequency,
+                         MonteCarloEstimator::kEndpoint}) {
+    MonteCarloOptions options;
+    options.estimator = estimator;
+    options.num_walks = 10000;
+    const MonteCarloScores mc = ComputeMonteCarloPpr(g, 0, options).value();
+    double sum = 0.0;
+    for (double s : mc.scores) {
+      EXPECT_GE(s, 0.0);
+      sum += s;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(MonteCarloTest, DeterministicForFixedSeed) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  const Graph g = builder.Build().value();
+  MonteCarloOptions options;
+  options.num_walks = 1000;
+  options.seed = 42;
+  const MonteCarloScores a = ComputeMonteCarloPpr(g, 0, options).value();
+  const MonteCarloScores b = ComputeMonteCarloPpr(g, 0, options).value();
+  EXPECT_EQ(a.scores, b.scores);
+  EXPECT_EQ(a.total_steps, b.total_steps);
+}
+
+TEST(MonteCarloTest, DifferentSeedsDiffer) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  const Graph g = builder.Build().value();
+  MonteCarloOptions a, b;
+  a.num_walks = b.num_walks = 1000;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(ComputeMonteCarloPpr(g, 0, a).value().scores,
+            ComputeMonteCarloPpr(g, 0, b).value().scores);
+}
+
+TEST(MonteCarloTest, UnreachableNodesNeverVisited) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(2, 0);  // 2 not reachable from 0
+  const Graph g = builder.Build().value();
+  MonteCarloOptions options;
+  options.num_walks = 20000;
+  const MonteCarloScores mc = ComputeMonteCarloPpr(g, 0, options).value();
+  EXPECT_DOUBLE_EQ(mc.scores[2], 0.0);
+}
+
+TEST(MonteCarloTest, TopKAgreesWithExactOnSeparatedGraph) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = 60;
+  config.edges_per_node = 3;
+  config.reciprocity = 0.5;
+  config.seed = 23;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  PageRankOptions exact_options;
+  exact_options.tolerance = 1e-13;
+  const auto exact = ComputePersonalizedPageRank(g, 1, exact_options).value();
+  MonteCarloOptions options;
+  options.num_walks = 300000;
+  options.seed = 3;
+  const auto mc = ComputeMonteCarloPpr(g, 1, options).value();
+  // Top-3 by exact PPR should appear in the MC top-5.
+  const auto top_exact = TopKNodes(ScoresToRankedList(exact.scores), 3);
+  const auto top_mc = TopKNodes(ScoresToRankedList(mc.scores), 5);
+  for (NodeId u : top_exact) {
+    EXPECT_NE(std::find(top_mc.begin(), top_mc.end(), u), top_mc.end())
+        << "node " << u;
+  }
+}
+
+TEST(MonteCarloTest, RejectsBadArguments) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  const Graph g = builder.Build().value();
+  EXPECT_EQ(ComputeMonteCarloPpr(g, 9).status().code(),
+            StatusCode::kOutOfRange);
+  MonteCarloOptions options;
+  options.num_walks = 0;
+  EXPECT_EQ(ComputeMonteCarloPpr(g, 0, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.num_walks = 10;
+  options.alpha = 0.0;
+  EXPECT_EQ(ComputeMonteCarloPpr(g, 0, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cyclerank

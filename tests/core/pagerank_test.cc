@@ -1,0 +1,218 @@
+#include "core/pagerank.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+Graph Cycle(NodeId n) {
+  GraphBuilder builder;
+  for (NodeId u = 0; u < n; ++u) builder.AddEdge(u, (u + 1) % n);
+  return builder.Build().value();
+}
+
+TEST(PageRankTest, UniformOnSymmetricCycle) {
+  const Graph g = Cycle(5);
+  const PageRankScores pr = ComputePageRank(g).value();
+  ASSERT_TRUE(pr.converged);
+  for (double score : pr.scores) EXPECT_NEAR(score, 0.2, 1e-9);
+}
+
+TEST(PageRankTest, ScoresSumToOne) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(3, 0);  // 3 is a source; 4 dangling
+  builder.ReserveNodes(5);
+  const Graph g = builder.Build().value();
+  const PageRankScores pr = ComputePageRank(g).value();
+  EXPECT_NEAR(Sum(pr.scores), 1.0, 1e-9);
+}
+
+TEST(PageRankTest, DanglingNodesDoNotLeakMass) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);  // 1 is dangling
+  const Graph g = builder.Build().value();
+  const PageRankScores pr = ComputePageRank(g).value();
+  EXPECT_NEAR(Sum(pr.scores), 1.0, 1e-9);
+  EXPECT_GT(pr.scores[1], pr.scores[0]);  // 1 receives, 0 only teleports
+}
+
+TEST(PageRankTest, HigherInDegreeHigherRank) {
+  GraphBuilder builder;
+  for (NodeId u = 1; u <= 6; ++u) builder.AddEdge(u, 0);  // hub 0
+  builder.AddEdge(1, 2);
+  const Graph g = builder.Build().value();
+  const PageRankScores pr = ComputePageRank(g).value();
+  for (NodeId u = 1; u <= 6; ++u) EXPECT_GT(pr.scores[0], pr.scores[u]);
+}
+
+TEST(PageRankTest, KnownTwoNodeSolution) {
+  // 0 <-> 1: symmetric, each gets 0.5 for any alpha.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  const Graph g = builder.Build().value();
+  for (double alpha : {0.3, 0.5, 0.85, 0.99}) {
+    PageRankOptions options;
+    options.alpha = alpha;
+    const PageRankScores pr = ComputePageRank(g, options).value();
+    EXPECT_NEAR(pr.scores[0], 0.5, 1e-9) << "alpha=" << alpha;
+    EXPECT_NEAR(pr.scores[1], 0.5, 1e-9) << "alpha=" << alpha;
+  }
+}
+
+TEST(PageRankTest, StarGraphClosedForm) {
+  // Star: leaves 1..4 -> center 0, center dangling.
+  // With dangling redistribution to uniform teleport, the closed form for
+  // the leaf score x and center score c satisfies:
+  //   x = (1-a)/n + a*c/n        (dangling mass c spreads uniformly)
+  //   c = (1-a)/n + a*(4x + c/n)
+  constexpr double kAlpha = 0.85;
+  GraphBuilder builder;
+  for (NodeId u = 1; u <= 4; ++u) builder.AddEdge(u, 0);
+  const Graph g = builder.Build().value();
+  PageRankOptions options;
+  options.alpha = kAlpha;
+  options.tolerance = 1e-14;
+  const PageRankScores pr = ComputePageRank(g, options).value();
+  const double n = 5.0;
+  // Solve the 2x2 linear system analytically.
+  //   x - a/n c = (1-a)/n
+  //   -4a x + (1 - a/n) c = (1-a)/n
+  const double b = (1.0 - kAlpha) / n;
+  const double a11 = 1.0, a12 = -kAlpha / n;
+  const double a21 = -4.0 * kAlpha, a22 = 1.0 - kAlpha / n;
+  const double det = a11 * a22 - a12 * a21;
+  const double x = (b * a22 - a12 * b) / det;
+  const double c = (a11 * b - b * a21) / det;
+  EXPECT_NEAR(pr.scores[1], x, 1e-10);
+  EXPECT_NEAR(pr.scores[0], c, 1e-10);
+}
+
+TEST(PageRankTest, ConvergenceMetadata) {
+  const Graph g = Cycle(10);
+  PageRankOptions options;
+  options.tolerance = 1e-12;
+  const PageRankScores pr = ComputePageRank(g, options).value();
+  EXPECT_TRUE(pr.converged);
+  EXPECT_GT(pr.iterations, 0u);
+  EXPECT_LT(pr.residual, options.tolerance);
+}
+
+TEST(PageRankTest, IterationCapReportsNotConverged) {
+  GraphBuilder builder;
+  for (NodeId u = 0; u < 50; ++u) builder.AddEdge(u, (u * 7 + 1) % 50);
+  builder.AddEdge(0, 25);
+  const Graph g = builder.Build().value();
+  PageRankOptions options;
+  options.max_iterations = 1;
+  options.tolerance = 1e-15;
+  const PageRankScores pr = ComputePageRank(g, options).value();
+  EXPECT_FALSE(pr.converged);
+  EXPECT_EQ(pr.iterations, 1u);
+}
+
+TEST(PageRankTest, RejectsBadParameters) {
+  const Graph g = Cycle(3);
+  PageRankOptions options;
+  options.alpha = 0.0;
+  EXPECT_EQ(ComputePageRank(g, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.alpha = 1.0;
+  EXPECT_EQ(ComputePageRank(g, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.alpha = 0.85;
+  options.tolerance = 0.0;
+  EXPECT_EQ(ComputePageRank(g, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.tolerance = 1e-9;
+  options.max_iterations = 0;
+  EXPECT_EQ(ComputePageRank(g, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PageRankTest, RejectsEmptyGraph) {
+  EXPECT_EQ(ComputePageRank(Graph()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PersonalizedPageRankTest, TeleportConcentratesAtReference) {
+  const Graph g = Cycle(6);
+  const PageRankScores ppr = ComputePersonalizedPageRank(g, 2).value();
+  for (NodeId u = 0; u < 6; ++u) {
+    if (u != 2) EXPECT_GT(ppr.scores[2], ppr.scores[u]);
+  }
+  EXPECT_NEAR(Sum(ppr.scores), 1.0, 1e-9);
+}
+
+TEST(PersonalizedPageRankTest, UnreachableNodesGetZero) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(2, 0);  // 2 reaches 0, but 0 never reaches 2
+  const Graph g = builder.Build().value();
+  const PageRankScores ppr = ComputePersonalizedPageRank(g, 0).value();
+  EXPECT_DOUBLE_EQ(ppr.scores[2], 0.0);
+  EXPECT_GT(ppr.scores[1], 0.0);
+}
+
+TEST(PersonalizedPageRankTest, LowAlphaConcentratesMoreMassAtReference) {
+  const Graph g = Cycle(8);
+  PageRankOptions low, high;
+  low.alpha = 0.3;
+  high.alpha = 0.85;
+  const double at_low =
+      ComputePersonalizedPageRank(g, 0, low).value().scores[0];
+  const double at_high =
+      ComputePersonalizedPageRank(g, 0, high).value().scores[0];
+  EXPECT_GT(at_low, at_high);
+}
+
+TEST(PersonalizedPageRankTest, MultiNodeTeleportSet) {
+  const Graph g = Cycle(6);
+  PageRankOptions options;
+  options.teleport_set = {0, 3};
+  const PageRankScores ppr = ComputePageRank(g, options).value();
+  EXPECT_NEAR(Sum(ppr.scores), 1.0, 1e-9);
+  // By symmetry of the cycle, 0 and 3 are equivalent.
+  EXPECT_NEAR(ppr.scores[0], ppr.scores[3], 1e-9);
+  EXPECT_GT(ppr.scores[0], ppr.scores[2]);
+}
+
+TEST(PersonalizedPageRankTest, RejectsBadTeleportSet) {
+  const Graph g = Cycle(4);
+  PageRankOptions options;
+  options.teleport_set = {0, 0};
+  EXPECT_EQ(ComputePageRank(g, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.teleport_set = {99};
+  EXPECT_EQ(ComputePageRank(g, options).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ComputePersonalizedPageRank(g, 99).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(PersonalizedPageRankTest, DanglingMassReturnsToReference) {
+  // 0 -> 1, 1 dangling: mass teleports home, not uniformly.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  const Graph g = builder.Build().value();
+  const PageRankScores ppr = ComputePersonalizedPageRank(g, 0).value();
+  EXPECT_NEAR(Sum(ppr.scores), 1.0, 1e-9);
+  EXPECT_GT(ppr.scores[0], ppr.scores[1]);
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,195 @@
+// Parameterized property sweeps across generated graphs: invariants that
+// must hold for every algorithm on every (reasonable) input.
+
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/cheirank.h"
+#include "core/cyclerank.h"
+#include "core/pagerank.h"
+#include "core/twodrank.h"
+#include "datasets/generators.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+Graph MakeGraph(uint64_t seed) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = 120;
+  config.edges_per_node = 4;
+  config.reciprocity = 0.35;
+  config.seed = seed;
+  return GenerateBarabasiAlbert(config).value();
+}
+
+// ---- PageRank-family properties over (seed, alpha) -------------------------
+
+class PageRankPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(PageRankPropertyTest, ScoresArePositiveAndSumToOne) {
+  const auto [seed, alpha] = GetParam();
+  const Graph g = MakeGraph(seed);
+  PageRankOptions options;
+  options.alpha = alpha;
+  const PageRankScores pr = ComputePageRank(g, options).value();
+  const double sum =
+      std::accumulate(pr.scores.begin(), pr.scores.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-8);
+  for (double s : pr.scores) EXPECT_GT(s, 0.0);
+}
+
+TEST_P(PageRankPropertyTest, CheiRankAlsoSumsToOne) {
+  const auto [seed, alpha] = GetParam();
+  const Graph g = MakeGraph(seed);
+  PageRankOptions options;
+  options.alpha = alpha;
+  const PageRankScores chei = ComputeCheiRank(g, options).value();
+  const double sum =
+      std::accumulate(chei.scores.begin(), chei.scores.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-8);
+}
+
+TEST_P(PageRankPropertyTest, PersonalizedMassConcentratesAtReference) {
+  const auto [seed, alpha] = GetParam();
+  const Graph g = MakeGraph(seed);
+  PageRankOptions options;
+  options.alpha = alpha;
+  const PageRankScores ppr =
+      ComputePersonalizedPageRank(g, 3, options).value();
+  // The reference holds at least the teleport share (1-alpha).
+  EXPECT_GE(ppr.scores[3], (1.0 - alpha) - 1e-9);
+  const double sum =
+      std::accumulate(ppr.scores.begin(), ppr.scores.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-8);
+}
+
+TEST_P(PageRankPropertyTest, TwoDRankOrderIsPermutation) {
+  const auto [seed, alpha] = GetParam();
+  const Graph g = MakeGraph(seed);
+  PageRankOptions options;
+  options.alpha = alpha;
+  TwoDRankResult result = Compute2DRank(g, options).value();
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (NodeId u : result.order) {
+    ASSERT_LT(u, g.num_nodes());
+    EXPECT_FALSE(seen[u]);
+    seen[u] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndAlphas, PageRankPropertyTest,
+    ::testing::Combine(::testing::Values(1ull, 2ull, 3ull, 4ull),
+                       ::testing::Values(0.3, 0.5, 0.85)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_alpha" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+// ---- CycleRank properties over (seed, K, sigma) -----------------------------
+
+class CycleRankPropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<uint64_t, uint32_t, ScoringFunction>> {};
+
+TEST_P(CycleRankPropertyTest, ReferenceHoldsMaximum) {
+  const auto [seed, k, sigma] = GetParam();
+  const Graph g = MakeGraph(seed);
+  CycleRankOptions options;
+  options.max_cycle_length = k;
+  options.scoring = sigma;
+  const CycleRankScores cr = ComputeCycleRank(g, 7, options).value();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_LE(cr.scores[u], cr.scores[7] + 1e-15);
+  }
+}
+
+TEST_P(CycleRankPropertyTest, ScoreDecomposesOverLengths) {
+  const auto [seed, k, sigma] = GetParam();
+  const Graph g = MakeGraph(seed);
+  CycleRankOptions options;
+  options.max_cycle_length = k;
+  options.scoring = sigma;
+  const CycleRankScores cr = ComputeCycleRank(g, 7, options).value();
+  // Reference score equals sum over lengths of sigma(n) * count(n),
+  // since r is on every cycle.
+  double expected = 0.0;
+  for (uint32_t n = 2; n <= k; ++n) {
+    expected += Sigma(sigma, n) * static_cast<double>(cr.cycles_by_length[n]);
+  }
+  EXPECT_NEAR(cr.scores[7], expected, 1e-9);
+}
+
+TEST_P(CycleRankPropertyTest, PruningInvariance) {
+  const auto [seed, k, sigma] = GetParam();
+  const Graph g = MakeGraph(seed);
+  CycleRankOptions with, without;
+  with.max_cycle_length = without.max_cycle_length = k;
+  with.scoring = without.scoring = sigma;
+  with.use_pruning = true;
+  without.use_pruning = false;
+  const CycleRankScores a = ComputeCycleRank(g, 7, with).value();
+  const CycleRankScores b = ComputeCycleRank(g, 7, without).value();
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_DOUBLE_EQ(a.scores[u], b.scores[u]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsKsSigmas, CycleRankPropertyTest,
+    ::testing::Combine(::testing::Values(5ull, 6ull),
+                       ::testing::Values(2u, 3u, 4u),
+                       ::testing::Values(ScoringFunction::kExponential,
+                                         ScoringFunction::kLinear,
+                                         ScoringFunction::kConstant)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             std::string(ScoringFunctionToString(std::get<2>(info.param)));
+    });
+
+// ---- Structural property: hub pathology ------------------------------------
+
+TEST(PathologyPropertyTest, PprPromotesHubsCycleRankDoesNot) {
+  // The paper's central qualitative claim (§I, §IV-D): globally central
+  // nodes leak into PPR rankings but get CycleRank 0 when they share no
+  // cycle with the reference. Build the canonical pathological shape: a
+  // topical cluster plus a hub that everything links to one-way.
+  GraphBuilder builder;
+  // Topical cluster: 0..3 reciprocal ring.
+  for (NodeId u = 0; u < 4; ++u) {
+    builder.AddEdge(u, (u + 1) % 4);
+    builder.AddEdge((u + 1) % 4, u);
+  }
+  // Hub 4: everyone links to it, it links back to nothing in the cluster.
+  for (NodeId u = 0; u < 4; ++u) builder.AddEdge(u, 4);
+  for (NodeId u = 5; u < 20; ++u) builder.AddEdge(u, 4);
+  const Graph g = builder.Build().value();
+
+  const PageRankScores ppr = ComputePersonalizedPageRank(g, 0).value();
+  CycleRankOptions options;
+  options.max_cycle_length = 4;
+  const CycleRankScores cr = ComputeCycleRank(g, 0, options).value();
+
+  // PPR gives the hub substantial mass (> any non-adjacent cluster node
+  // would be too strong a claim; > 0 and > every background node).
+  EXPECT_GT(ppr.scores[4], 0.0);
+  // CycleRank excludes it entirely.
+  EXPECT_DOUBLE_EQ(cr.scores[4], 0.0);
+  // ...while the cluster peers score > 0 in both.
+  for (NodeId u = 1; u < 4; ++u) {
+    EXPECT_GT(cr.scores[u], 0.0);
+    EXPECT_GT(ppr.scores[u], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cyclerank

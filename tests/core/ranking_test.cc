@@ -1,0 +1,102 @@
+#include "core/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+TEST(RankingTest, SortsDescendingByScore) {
+  const RankedList list = ScoresToRankedList({0.1, 0.5, 0.3});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].node, 1u);
+  EXPECT_EQ(list[1].node, 2u);
+  EXPECT_EQ(list[2].node, 0u);
+}
+
+TEST(RankingTest, TiesBrokenByAscendingId) {
+  const RankedList list = ScoresToRankedList({0.5, 0.9, 0.5, 0.5});
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_EQ(list[0].node, 1u);
+  EXPECT_EQ(list[1].node, 0u);
+  EXPECT_EQ(list[2].node, 2u);
+  EXPECT_EQ(list[3].node, 3u);
+}
+
+TEST(RankingTest, DropZerosDefault) {
+  const RankedList list = ScoresToRankedList({0.0, 0.5, 0.0, 0.2});
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].node, 1u);
+  EXPECT_EQ(list[1].node, 3u);
+}
+
+TEST(RankingTest, KeepZerosWhenRequested) {
+  RankingOptions options;
+  options.drop_zeros = false;
+  const RankedList list = ScoresToRankedList({0.0, 0.5}, options);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(RankingTest, TopKTruncates) {
+  RankingOptions options;
+  options.top_k = 2;
+  const RankedList list =
+      ScoresToRankedList({0.1, 0.2, 0.3, 0.4, 0.5}, options);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].node, 4u);
+  EXPECT_EQ(list[1].node, 3u);
+}
+
+TEST(RankingTest, TopKZeroKeepsAll) {
+  RankingOptions options;
+  options.top_k = 0;
+  EXPECT_EQ(ScoresToRankedList({0.1, 0.2, 0.3}, options).size(), 3u);
+}
+
+TEST(RankingTest, OrderToRankedListAssignsDecreasingScores) {
+  const RankedList list = OrderToRankedList({7, 3, 5});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].node, 7u);
+  EXPECT_GT(list[0].score, list[1].score);
+  EXPECT_GT(list[1].score, list[2].score);
+}
+
+TEST(RankingTest, OrderToRankedListTopK) {
+  const RankedList list = OrderToRankedList({7, 3, 5, 1}, 2);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(RankingTest, RankPositions) {
+  const RankedList list = ScoresToRankedList({0.1, 0.5, 0.3});
+  const auto pos = RankPositions(list, 4);
+  EXPECT_EQ(pos[1], 0u);
+  EXPECT_EQ(pos[2], 1u);
+  EXPECT_EQ(pos[0], 2u);
+  EXPECT_EQ(pos[3], 4u);  // absent -> sentinel n
+}
+
+TEST(RankingTest, TopKNodes) {
+  const RankedList list = ScoresToRankedList({0.1, 0.5, 0.3});
+  EXPECT_EQ(TopKNodes(list, 2), (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(TopKNodes(list, 10).size(), 3u);  // clamps to size
+}
+
+TEST(RankingTest, FormatTopKUsesLabels) {
+  GraphBuilder builder;
+  builder.AddEdge("Pasta", "Italy");
+  const Graph g = builder.Build().value();
+  const RankedList list = ScoresToRankedList({0.7, 0.3});
+  const std::string text = FormatTopK(list, g, 2);
+  EXPECT_NE(text.find("1. Pasta"), std::string::npos);
+  EXPECT_NE(text.find("2. Italy"), std::string::npos);
+}
+
+TEST(RankingTest, EmptyScores) {
+  EXPECT_TRUE(ScoresToRankedList({}).empty());
+  EXPECT_TRUE(OrderToRankedList({}).empty());
+  EXPECT_TRUE(TopKNodes({}, 3).empty());
+}
+
+}  // namespace
+}  // namespace cyclerank

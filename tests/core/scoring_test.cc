@@ -1,0 +1,77 @@
+#include "core/scoring.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cyclerank {
+namespace {
+
+TEST(ScoringTest, ExponentialValues) {
+  EXPECT_DOUBLE_EQ(Sigma(ScoringFunction::kExponential, 2), std::exp(-2.0));
+  EXPECT_DOUBLE_EQ(Sigma(ScoringFunction::kExponential, 5), std::exp(-5.0));
+}
+
+TEST(ScoringTest, LinearValues) {
+  EXPECT_DOUBLE_EQ(Sigma(ScoringFunction::kLinear, 2), 0.5);
+  EXPECT_DOUBLE_EQ(Sigma(ScoringFunction::kLinear, 4), 0.25);
+}
+
+TEST(ScoringTest, QuadraticValues) {
+  EXPECT_DOUBLE_EQ(Sigma(ScoringFunction::kQuadratic, 2), 0.25);
+  EXPECT_DOUBLE_EQ(Sigma(ScoringFunction::kQuadratic, 3), 1.0 / 9.0);
+}
+
+TEST(ScoringTest, ConstantValues) {
+  EXPECT_DOUBLE_EQ(Sigma(ScoringFunction::kConstant, 2), 1.0);
+  EXPECT_DOUBLE_EQ(Sigma(ScoringFunction::kConstant, 100), 1.0);
+}
+
+TEST(ScoringTest, AllFunctionsDecreasingOrConstantInLength) {
+  for (auto fn : {ScoringFunction::kExponential, ScoringFunction::kLinear,
+                  ScoringFunction::kQuadratic, ScoringFunction::kConstant}) {
+    for (uint32_t n = 2; n < 10; ++n) {
+      EXPECT_GE(Sigma(fn, n), Sigma(fn, n + 1)) << "n=" << n;
+      EXPECT_GT(Sigma(fn, n), 0.0);
+    }
+  }
+}
+
+TEST(ScoringTest, ShorterCyclesWeighStrictlyMore) {
+  // "As short distances represent a stronger relationship, short cycles
+  // receive a higher weight" (§II) — strict for the non-constant σ.
+  for (auto fn : {ScoringFunction::kExponential, ScoringFunction::kLinear,
+                  ScoringFunction::kQuadratic}) {
+    EXPECT_GT(Sigma(fn, 2), Sigma(fn, 3));
+  }
+}
+
+TEST(ScoringTest, RoundTripNames) {
+  for (auto fn : {ScoringFunction::kExponential, ScoringFunction::kLinear,
+                  ScoringFunction::kQuadratic, ScoringFunction::kConstant}) {
+    const auto parsed =
+        ScoringFunctionFromString(ScoringFunctionToString(fn));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, fn);
+  }
+}
+
+TEST(ScoringTest, ParsesLongNamesAndCase) {
+  EXPECT_EQ(ScoringFunctionFromString("EXPONENTIAL").value(),
+            ScoringFunction::kExponential);
+  EXPECT_EQ(ScoringFunctionFromString(" linear ").value(),
+            ScoringFunction::kLinear);
+  EXPECT_EQ(ScoringFunctionFromString("Quadratic").value(),
+            ScoringFunction::kQuadratic);
+  EXPECT_EQ(ScoringFunctionFromString("constant").value(),
+            ScoringFunction::kConstant);
+}
+
+TEST(ScoringTest, RejectsUnknownName) {
+  EXPECT_EQ(ScoringFunctionFromString("cubic").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ScoringFunctionFromString("").ok());
+}
+
+}  // namespace
+}  // namespace cyclerank

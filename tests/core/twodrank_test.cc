@@ -1,0 +1,129 @@
+#include "core/twodrank.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+TEST(MergeTwoDimTest, OrdersByShell) {
+  // K  = (0, 1, 2), K* = (2, 1, 0):
+  // shells: node0 max(0,2)=2, node1 max(1,1)=1, node2 max(2,0)=2.
+  // node1 first (shell 1); then shell 2: node2 is on the CheiRank edge
+  // (K*=0 < K=2 -> PageRank edge? K=2=shell, K*=0 -> PageRank edge class 1);
+  // node0 has K*=2=shell, K=0 -> CheiRank edge class 0 -> before node2.
+  const std::vector<NodeId> order =
+      internal::MergeTwoDim({0, 1, 2}, {2, 1, 0});
+  EXPECT_EQ(order, (std::vector<NodeId>{1, 0, 2}));
+}
+
+TEST(MergeTwoDimTest, CornerComesLastInShell) {
+  // node0: K=1,K*=0 (chei edge at shell 1? K*=0<1, K=1 -> PR edge);
+  // node1: K=0,K*=1 (chei edge); node2: corner K=K*=2... build 3 nodes:
+  // shells: n0=1, n1=1, n2=2.
+  // Within shell 1: chei-edge node (n1) before pr-edge node (n0).
+  const std::vector<NodeId> order =
+      internal::MergeTwoDim({1, 0, 2}, {0, 1, 2});
+  EXPECT_EQ(order, (std::vector<NodeId>{1, 0, 2}));
+}
+
+TEST(MergeTwoDimTest, IdenticalRanksCornerOrder) {
+  // K == K* for all: all corners, ordered by shell.
+  const std::vector<NodeId> order =
+      internal::MergeTwoDim({2, 0, 1}, {2, 0, 1});
+  EXPECT_EQ(order, (std::vector<NodeId>{1, 2, 0}));
+}
+
+TEST(MergeTwoDimTest, OutputIsPermutation) {
+  const std::vector<uint32_t> pr = {3, 1, 4, 0, 2};
+  const std::vector<uint32_t> chei = {0, 2, 1, 4, 3};
+  std::vector<NodeId> order = internal::MergeTwoDim(pr, chei);
+  std::sort(order.begin(), order.end());
+  EXPECT_EQ(order, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+Graph HubAndIndex() {
+  // Node 0: "hub" — everyone links to it (top PageRank).
+  // Node 1: "index" — links to everyone (top CheiRank).
+  // Nodes 2..5: ordinary.
+  GraphBuilder builder;
+  for (NodeId u = 2; u <= 5; ++u) {
+    builder.AddEdge(u, 0);
+    builder.AddEdge(1, u);
+  }
+  builder.AddEdge(1, 0);
+  builder.AddEdge(0, 1);
+  return builder.Build().value();
+}
+
+TEST(TwoDRankTest, CombinesBothDimensions) {
+  const Graph g = HubAndIndex();
+  const TwoDRankResult result = Compute2DRank(g).value();
+  ASSERT_EQ(result.order.size(), g.num_nodes());
+  // Hub tops PageRank, index tops CheiRank.
+  EXPECT_EQ(result.pagerank_position[0], 0u);
+  EXPECT_EQ(result.cheirank_position[1], 0u);
+  // Both must appear at the head of the 2D ranking, before ordinary nodes.
+  const auto pos = [&](NodeId u) {
+    return std::find(result.order.begin(), result.order.end(), u) -
+           result.order.begin();
+  };
+  for (NodeId u = 2; u <= 5; ++u) {
+    EXPECT_LT(pos(0), pos(u));
+    EXPECT_LT(pos(1), pos(u));
+  }
+}
+
+TEST(TwoDRankTest, OrderIsPermutationOfAllNodes) {
+  const Graph g = HubAndIndex();
+  TwoDRankResult result = Compute2DRank(g).value();
+  std::sort(result.order.begin(), result.order.end());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) EXPECT_EQ(result.order[u], u);
+}
+
+TEST(TwoDRankTest, PositionsAreConsistentPermutations) {
+  const Graph g = HubAndIndex();
+  const TwoDRankResult result = Compute2DRank(g).value();
+  std::vector<bool> seen_pr(g.num_nodes(), false);
+  std::vector<bool> seen_chei(g.num_nodes(), false);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_LT(result.pagerank_position[u], g.num_nodes());
+    ASSERT_LT(result.cheirank_position[u], g.num_nodes());
+    EXPECT_FALSE(seen_pr[result.pagerank_position[u]]);
+    EXPECT_FALSE(seen_chei[result.cheirank_position[u]]);
+    seen_pr[result.pagerank_position[u]] = true;
+    seen_chei[result.cheirank_position[u]] = true;
+  }
+}
+
+TEST(Personalized2DRankTest, ReferenceRanksFirstOnCycle) {
+  // On a directed cycle the reference tops both personalized PageRank and
+  // personalized CheiRank (teleport target, symmetric decay around it), so
+  // it must top the merged ranking.
+  GraphBuilder builder;
+  for (NodeId u = 0; u < 6; ++u) builder.AddEdge(u, (u + 1) % 6);
+  const Graph g = builder.Build().value();
+  const TwoDRankResult result = ComputePersonalized2DRank(g, 4).value();
+  EXPECT_EQ(result.order.front(), 4u);
+  EXPECT_EQ(result.pagerank_position[4], 0u);
+  EXPECT_EQ(result.cheirank_position[4], 0u);
+}
+
+TEST(Personalized2DRankTest, DiffersFromGlobal2DRank) {
+  const Graph g = HubAndIndex();
+  const TwoDRankResult global = Compute2DRank(g).value();
+  const TwoDRankResult personalized = ComputePersonalized2DRank(g, 3).value();
+  EXPECT_NE(global.order, personalized.order);
+}
+
+TEST(Personalized2DRankTest, RejectsInvalidReference) {
+  const Graph g = HubAndIndex();
+  EXPECT_EQ(ComputePersonalized2DRank(g, 77).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,120 @@
+#include "datasets/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+TEST(CatalogTest, BuiltInHasAtLeastFiftyDatasets) {
+  // "We provide 50 pre-loaded datasets from Wikipedia, Twitter, and
+  // Amazon" (abstract).
+  EXPECT_GE(DatasetCatalog::BuiltIn().size(), 50u);
+}
+
+TEST(CatalogTest, CoversAllThreeSources) {
+  size_t wikipedia = 0, amazon = 0, twitter = 0, synthetic = 0;
+  for (const DatasetInfo& info : DatasetCatalog::BuiltIn().List()) {
+    if (info.source == "wikipedia") ++wikipedia;
+    if (info.source == "amazon") ++amazon;
+    if (info.source == "twitter") ++twitter;
+    if (info.source == "synthetic") ++synthetic;
+  }
+  EXPECT_GE(wikipedia, 36u + 7u);  // 9 languages x 4 years + minis
+  EXPECT_GE(amazon, 2u);
+  EXPECT_GE(twitter, 2u);
+  EXPECT_GE(synthetic, 4u);
+}
+
+TEST(CatalogTest, WikiLinkNamingMatchesPaperLanguagesAndYears) {
+  const auto& catalog = DatasetCatalog::BuiltIn();
+  for (const char* lang : {"de", "en", "es", "fr", "it", "nl", "pl", "ru",
+                           "sv"}) {
+    for (int year : {2003, 2008, 2013, 2018}) {
+      const std::string name =
+          "wikilink-" + std::string(lang) + "-" + std::to_string(year);
+      EXPECT_TRUE(catalog.Info(name).ok()) << name;
+    }
+  }
+}
+
+TEST(CatalogTest, LoadsAndCachesGraphs) {
+  auto& catalog = DatasetCatalog::BuiltIn();
+  const GraphPtr a = catalog.Load("fakenews-en").value();
+  const GraphPtr b = catalog.Load("fakenews-en").value();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());  // cached: same instance
+  EXPECT_GT(a->num_nodes(), 0u);
+}
+
+TEST(CatalogTest, TableCorporaPresent) {
+  auto& catalog = DatasetCatalog::BuiltIn();
+  EXPECT_TRUE(catalog.Load("enwiki-mini-2018").ok());
+  EXPECT_TRUE(catalog.Load("amazon-books-mini").ok());
+  for (const char* lang : {"de", "en", "fr", "it", "nl", "pl"}) {
+    EXPECT_TRUE(catalog.Load("fakenews-" + std::string(lang)).ok());
+  }
+}
+
+TEST(CatalogTest, UnknownDatasetIsNotFound) {
+  EXPECT_EQ(DatasetCatalog::BuiltIn().Load("nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(DatasetCatalog::BuiltIn().Info("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, ListIsSortedByName) {
+  const auto list = DatasetCatalog::BuiltIn().List();
+  for (size_t i = 1; i < list.size(); ++i) {
+    EXPECT_LT(list[i - 1].name, list[i].name);
+  }
+}
+
+TEST(CatalogTest, RegisterCustomDataset) {
+  DatasetCatalog catalog;  // fresh, empty
+  EXPECT_EQ(catalog.size(), 0u);
+  ASSERT_TRUE(catalog
+                  .Register({"mine", "synthetic", "test graph"},
+                            [] {
+                              GraphBuilder builder;
+                              builder.AddEdge(0, 1);
+                              return builder.Build();
+                            })
+                  .ok());
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.Load("mine").value()->num_edges(), 1u);
+}
+
+TEST(CatalogTest, RegisterRejectsDuplicatesAndBadInput) {
+  DatasetCatalog catalog;
+  auto factory = [] {
+    GraphBuilder builder;
+    builder.AddEdge(0, 1);
+    return builder.Build();
+  };
+  ASSERT_TRUE(catalog.Register({"a", "synthetic", ""}, factory).ok());
+  EXPECT_EQ(catalog.Register({"a", "synthetic", ""}, factory).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.Register({"", "synthetic", ""}, factory).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog.Register({"b", "synthetic", ""}, nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, LaterSnapshotsAreLarger) {
+  // WikiLinkGraphs grow over time; our stand-ins mirror that.
+  auto& catalog = DatasetCatalog::BuiltIn();
+  const GraphPtr g2003 = catalog.Load("wikilink-en-2003").value();
+  const GraphPtr g2018 = catalog.Load("wikilink-en-2018").value();
+  EXPECT_GT(g2018->num_nodes(), g2003->num_nodes());
+}
+
+TEST(CatalogTest, FreshCatalogCanTakeBuiltIns) {
+  DatasetCatalog catalog;
+  RegisterBuiltInDatasets(catalog);
+  EXPECT_GE(catalog.size(), 50u);
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,244 @@
+#include "datasets/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/scc.h"
+#include "graph/stats.h"
+
+namespace cyclerank {
+namespace {
+
+TEST(ErdosRenyiTest, DeterministicForSeed) {
+  ErdosRenyiConfig config;
+  config.num_nodes = 100;
+  config.edge_prob = 0.05;
+  config.seed = 42;
+  const Graph a = GenerateErdosRenyi(config).value();
+  const Graph b = GenerateErdosRenyi(config).value();
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    const auto ra = a.OutNeighbors(u);
+    const auto rb = b.OutNeighbors(u);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (size_t i = 0; i < ra.size(); ++i) EXPECT_EQ(ra[i], rb[i]);
+  }
+}
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  ErdosRenyiConfig config;
+  config.num_nodes = 500;
+  config.edge_prob = 0.02;
+  config.seed = 7;
+  const Graph g = GenerateErdosRenyi(config).value();
+  const double expected = 500.0 * 499.0 * 0.02;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.15);
+}
+
+TEST(ErdosRenyiTest, ZeroProbabilityYieldsNoEdges) {
+  ErdosRenyiConfig config;
+  config.num_nodes = 50;
+  config.edge_prob = 0.0;
+  const Graph g = GenerateErdosRenyi(config).value();
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_nodes(), 50u);
+}
+
+TEST(ErdosRenyiTest, NoSelfLoops) {
+  ErdosRenyiConfig config;
+  config.num_nodes = 80;
+  config.edge_prob = 0.2;
+  const Graph g = GenerateErdosRenyi(config).value();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) EXPECT_FALSE(g.HasEdge(u, u));
+}
+
+TEST(ErdosRenyiTest, RejectsBadConfig) {
+  ErdosRenyiConfig config;
+  config.num_nodes = 0;
+  EXPECT_FALSE(GenerateErdosRenyi(config).ok());
+  config.num_nodes = 10;
+  config.edge_prob = 1.5;
+  EXPECT_FALSE(GenerateErdosRenyi(config).ok());
+}
+
+TEST(ErdosRenyiMTest, ExactEdgeCount) {
+  const Graph g = GenerateErdosRenyiM(100, 500, 3).value();
+  EXPECT_EQ(g.num_edges(), 500u);
+  EXPECT_EQ(g.num_nodes(), 100u);
+}
+
+TEST(ErdosRenyiMTest, RejectsImpossibleEdgeCount) {
+  EXPECT_FALSE(GenerateErdosRenyiM(3, 100, 1).ok());
+}
+
+TEST(BarabasiAlbertTest, ProducesSkewedInDegrees) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = 1000;
+  config.edges_per_node = 3;
+  config.reciprocity = 0.2;
+  config.seed = 5;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  const GraphStats stats = ComputeGraphStats(g);
+  // Preferential attachment yields hubs far above the mean in-degree.
+  EXPECT_GT(stats.max_in_degree, 10 * stats.avg_degree);
+}
+
+TEST(BarabasiAlbertTest, ReciprocityCreatesCycles) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = 200;
+  config.edges_per_node = 3;
+  config.reciprocity = 0.5;
+  config.seed = 9;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  const SccResult scc = StronglyConnectedComponents(g);
+  const auto sizes = scc.ComponentSizes();
+  uint32_t largest = 0;
+  for (uint32_t s : sizes) largest = std::max(largest, s);
+  EXPECT_GT(largest, g.num_nodes() / 4);
+}
+
+TEST(BarabasiAlbertTest, ZeroReciprocityNearAcyclic) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = 200;
+  config.edges_per_node = 3;
+  config.reciprocity = 0.0;
+  config.seed = 9;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  const SccResult scc = StronglyConnectedComponents(g);
+  // Apart from the small seed ring, attachment edges always point backward
+  // in time: components stay tiny.
+  const auto sizes = scc.ComponentSizes();
+  uint32_t largest = 0;
+  for (uint32_t s : sizes) largest = std::max(largest, s);
+  EXPECT_LE(largest, config.edges_per_node + 1);
+}
+
+TEST(WattsStrogatzTest, DegreeStructure) {
+  WattsStrogatzConfig config;
+  config.num_nodes = 100;
+  config.k = 4;
+  config.rewire_prob = 0.0;
+  const Graph g = GenerateWattsStrogatz(config).value();
+  EXPECT_EQ(g.num_edges(), 400u);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) EXPECT_EQ(g.OutDegree(u), 4u);
+  // Without rewiring the ring is strongly connected.
+  const SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 1u);
+}
+
+TEST(WattsStrogatzTest, RewiringChangesStructure) {
+  WattsStrogatzConfig base, rewired;
+  base.num_nodes = rewired.num_nodes = 100;
+  base.k = rewired.k = 4;
+  base.rewire_prob = 0.0;
+  rewired.rewire_prob = 0.5;
+  rewired.seed = base.seed = 3;
+  const Graph a = GenerateWattsStrogatz(base).value();
+  const Graph b = GenerateWattsStrogatz(rewired).value();
+  size_t differing = 0;
+  for (NodeId u = 0; u < 100; ++u) {
+    if (!std::equal(a.OutNeighbors(u).begin(), a.OutNeighbors(u).end(),
+                    b.OutNeighbors(u).begin(), b.OutNeighbors(u).end())) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 50u);
+}
+
+TEST(WattsStrogatzTest, RejectsBadK) {
+  WattsStrogatzConfig config;
+  config.num_nodes = 10;
+  config.k = 0;
+  EXPECT_FALSE(GenerateWattsStrogatz(config).ok());
+  config.k = 10;
+  EXPECT_FALSE(GenerateWattsStrogatz(config).ok());
+}
+
+TEST(SbmTest, IntraBlockDenserThanInterBlock) {
+  SbmConfig config;
+  config.block_sizes = {100, 100};
+  config.intra_prob = 0.1;
+  config.inter_prob = 0.005;
+  config.seed = 13;
+  const Graph g = GenerateSbm(config).value();
+  uint64_t intra = 0, inter = 0;
+  for (NodeId u = 0; u < 200; ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      if ((u < 100) == (v < 100)) {
+        ++intra;
+      } else {
+        ++inter;
+      }
+    }
+  }
+  EXPECT_GT(intra, 5 * inter);
+}
+
+TEST(SbmTest, RejectsEmptyBlocks) {
+  SbmConfig config;
+  config.block_sizes = {};
+  EXPECT_FALSE(GenerateSbm(config).ok());
+}
+
+TEST(WikiLikeTest, HubsDominateInDegree) {
+  WikiLikeConfig config;
+  config.seed = 20;
+  const Graph g = GenerateWikiLike(config).value();
+  const NodeId n_articles =
+      static_cast<NodeId>(config.num_clusters) * config.cluster_size;
+  // Every hub's in-degree exceeds every regular article's in-degree.
+  uint32_t min_hub = static_cast<uint32_t>(-1);
+  uint32_t max_article = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (u >= n_articles) {
+      min_hub = std::min(min_hub, g.InDegree(u));
+    } else {
+      max_article = std::max(max_article, g.InDegree(u));
+    }
+  }
+  EXPECT_GT(min_hub, max_article);
+}
+
+TEST(WikiLikeTest, SizeMatchesConfig) {
+  WikiLikeConfig config;
+  config.num_clusters = 4;
+  config.cluster_size = 25;
+  config.num_hubs = 3;
+  const Graph g = GenerateWikiLike(config).value();
+  EXPECT_EQ(g.num_nodes(), 103u);
+}
+
+TEST(AmazonLikeTest, ReciprocityHigherInsideGenres) {
+  AmazonLikeConfig config;
+  config.seed = 4;
+  const Graph g = GenerateAmazonLike(config).value();
+  const GraphStats stats = ComputeGraphStats(g);
+  EXPECT_GT(stats.reciprocity, 0.3);  // co-purchases mostly mutual
+}
+
+TEST(TwitterLikeTest, LowReciprocityInteractions) {
+  TwitterLikeConfig config;
+  config.seed = 6;
+  const Graph g = GenerateTwitterLike(config).value();
+  const GraphStats stats = ComputeGraphStats(g);
+  EXPECT_LT(stats.reciprocity, 0.4);
+  EXPECT_EQ(g.num_nodes(),
+            config.num_communities * config.community_size +
+                config.num_celebrities);
+}
+
+TEST(TwitterLikeTest, CelebritiesCollectMentions) {
+  TwitterLikeConfig config;
+  config.seed = 12;
+  const Graph g = GenerateTwitterLike(config).value();
+  const NodeId n_users =
+      static_cast<NodeId>(config.num_communities) * config.community_size;
+  double avg_user_in = 0;
+  for (NodeId u = 0; u < n_users; ++u) avg_user_in += g.InDegree(u);
+  avg_user_in /= n_users;
+  for (uint32_t c = 0; c < config.num_celebrities; ++c) {
+    EXPECT_GT(g.InDegree(n_users + c), 5 * avg_user_in);
+  }
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,105 @@
+#include "eval/comparison.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+Graph LabeledGraph() {
+  GraphBuilder builder;
+  builder.AddEdge("alpha", "beta");
+  builder.AddEdge("beta", "gamma");
+  builder.AddEdge("gamma", "delta");
+  return builder.Build().value();
+}
+
+RankedList List(std::initializer_list<NodeId> nodes) {
+  RankedList out;
+  double score = 1.0;
+  for (NodeId u : nodes) {
+    out.push_back({u, score});
+    score /= 2;
+  }
+  return out;
+}
+
+TEST(ComparisonTableTest, RendersHeadersAndRows) {
+  const Graph g = LabeledGraph();
+  const std::vector<ComparisonColumn> columns = {
+      {"PageRank", List({0, 1, 2})},
+      {"Cyclerank", List({2, 1, 0})},
+  };
+  ComparisonTableOptions options;
+  options.top_k = 3;
+  const std::string table = RenderComparisonTable(g, columns, options);
+  EXPECT_NE(table.find("PageRank"), std::string::npos);
+  EXPECT_NE(table.find("Cyclerank"), std::string::npos);
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("gamma"), std::string::npos);
+  // Three data rows: "  1", "  2", "  3".
+  EXPECT_NE(table.find("\n  1"), std::string::npos);
+  EXPECT_NE(table.find("\n  3"), std::string::npos);
+}
+
+TEST(ComparisonTableTest, SkipNodeOmitsReference) {
+  const Graph g = LabeledGraph();
+  const std::vector<ComparisonColumn> columns = {{"CR", List({0, 1, 2})}};
+  ComparisonTableOptions options;
+  options.top_k = 2;
+  options.skip_node = 0;  // "alpha" is the reference
+  const std::string table = RenderComparisonTable(g, columns, options);
+  EXPECT_EQ(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("beta"), std::string::npos);
+  EXPECT_NE(table.find("gamma"), std::string::npos);
+}
+
+TEST(ComparisonTableTest, EmptyCellsRenderedAsDash) {
+  // The nl / pl columns of Table III: fewer results than rows.
+  const Graph g = LabeledGraph();
+  const std::vector<ComparisonColumn> columns = {{"CR", List({1})}};
+  ComparisonTableOptions options;
+  options.top_k = 3;
+  const std::string table = RenderComparisonTable(g, columns, options);
+  EXPECT_NE(table.find("-"), std::string::npos);
+  EXPECT_NE(table.find("beta"), std::string::npos);
+}
+
+TEST(ComparisonTableTest, ScoresShownOnRequest) {
+  const Graph g = LabeledGraph();
+  const std::vector<ComparisonColumn> columns = {{"CR", List({0})}};
+  ComparisonTableOptions options;
+  options.top_k = 1;
+  options.show_scores = true;
+  const std::string table = RenderComparisonTable(g, columns, options);
+  EXPECT_NE(table.find("(1)"), std::string::npos);
+}
+
+TEST(PairwiseTest, ComputesAllPairs) {
+  const std::vector<ComparisonColumn> columns = {
+      {"A", List({0, 1, 2})},
+      {"B", List({0, 1, 2})},
+      {"C", List({3, 4, 5})},
+  };
+  const auto pairs = ComparePairwise(columns, 3);
+  ASSERT_EQ(pairs.size(), 3u);  // AB, AC, BC
+  EXPECT_DOUBLE_EQ(pairs[0].jaccard_top_k, 1.0);  // A vs B identical
+  EXPECT_DOUBLE_EQ(pairs[1].jaccard_top_k, 0.0);  // A vs C disjoint
+  EXPECT_DOUBLE_EQ(pairs[0].overlap_top_k, 1.0);
+  EXPECT_GT(pairs[0].rbo, 0.99);
+}
+
+TEST(PairwiseTest, RenderContainsMetrics) {
+  const std::vector<ComparisonColumn> columns = {
+      {"A", List({0, 1})},
+      {"B", List({1, 0})},
+  };
+  const std::string text = RenderPairwise(ComparePairwise(columns, 2));
+  EXPECT_NE(text.find("A vs B"), std::string::npos);
+  EXPECT_NE(text.find("jaccard=1"), std::string::npos);
+  EXPECT_NE(text.find("rbo="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,138 @@
+#include "eval/rank_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace cyclerank {
+namespace {
+
+RankedList MakeList(std::initializer_list<NodeId> nodes) {
+  RankedList out;
+  double score = 1.0;
+  for (NodeId u : nodes) {
+    out.push_back({u, score});
+    score *= 0.9;
+  }
+  return out;
+}
+
+TEST(JaccardTest, IdenticalSetsScoreOne) {
+  const RankedList a = MakeList({1, 2, 3});
+  EXPECT_DOUBLE_EQ(JaccardAtK(a, a, 3), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardAtK(a, a, 0), 1.0);
+}
+
+TEST(JaccardTest, DisjointSetsScoreZero) {
+  EXPECT_DOUBLE_EQ(JaccardAtK(MakeList({1, 2}), MakeList({3, 4}), 2), 0.0);
+}
+
+TEST(JaccardTest, PartialOverlap) {
+  // top-3 sets {1,2,3} and {2,3,4}: |∩|=2, |∪|=4.
+  EXPECT_DOUBLE_EQ(JaccardAtK(MakeList({1, 2, 3}), MakeList({2, 3, 4}), 3),
+                   0.5);
+}
+
+TEST(JaccardTest, OrderIrrelevant) {
+  EXPECT_DOUBLE_EQ(JaccardAtK(MakeList({1, 2, 3}), MakeList({3, 2, 1}), 3),
+                   1.0);
+}
+
+TEST(JaccardTest, EmptyListsAreIdentical) {
+  EXPECT_DOUBLE_EQ(JaccardAtK({}, {}, 5), 1.0);
+}
+
+TEST(OverlapTest, NormalizesByK) {
+  EXPECT_DOUBLE_EQ(OverlapAtK(MakeList({1, 2, 3}), MakeList({2, 3, 4}), 3),
+                   2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(OverlapAtK(MakeList({1}), MakeList({1}), 1), 1.0);
+}
+
+TEST(RboTest, IdenticalRankingsScoreOne) {
+  const RankedList a = MakeList({5, 3, 8, 1});
+  EXPECT_NEAR(RankBiasedOverlap(a, a).value(), 1.0, 1e-12);
+}
+
+TEST(RboTest, DisjointRankingsScoreZero) {
+  EXPECT_NEAR(
+      RankBiasedOverlap(MakeList({1, 2, 3}), MakeList({4, 5, 6})).value(),
+      0.0, 1e-12);
+}
+
+TEST(RboTest, TopWeightedness) {
+  // Agreement at the head is worth more than agreement at the tail.
+  const RankedList base = MakeList({1, 2, 3, 4});
+  const RankedList head_same = MakeList({1, 2, 9, 8});
+  const RankedList tail_same = MakeList({9, 8, 3, 4});
+  EXPECT_GT(RankBiasedOverlap(base, head_same).value(),
+            RankBiasedOverlap(base, tail_same).value());
+}
+
+TEST(RboTest, SymmetricInArguments) {
+  const RankedList a = MakeList({1, 2, 3, 4});
+  const RankedList b = MakeList({2, 1, 5, 3});
+  EXPECT_NEAR(RankBiasedOverlap(a, b).value(),
+              RankBiasedOverlap(b, a).value(), 1e-12);
+}
+
+TEST(RboTest, RejectsBadPersistence) {
+  const RankedList a = MakeList({1});
+  EXPECT_FALSE(RankBiasedOverlap(a, a, 0.0).ok());
+  EXPECT_FALSE(RankBiasedOverlap(a, a, 1.0).ok());
+}
+
+TEST(KendallTest, PerfectAgreement) {
+  const RankedList a = MakeList({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(KendallTau(a, a).value(), 1.0);
+}
+
+TEST(KendallTest, PerfectDisagreement) {
+  EXPECT_DOUBLE_EQ(
+      KendallTau(MakeList({1, 2, 3, 4}), MakeList({4, 3, 2, 1})).value(),
+      -1.0);
+}
+
+TEST(KendallTest, SingleSwap) {
+  // One discordant pair among C(4,2)=6.
+  EXPECT_NEAR(
+      KendallTau(MakeList({1, 2, 3, 4}), MakeList({2, 1, 3, 4})).value(),
+      (5.0 - 1.0) / 6.0, 1e-12);
+}
+
+TEST(KendallTest, RestrictedToCommonNodes) {
+  // Common nodes {2,3} in the same relative order -> tau 1.
+  EXPECT_DOUBLE_EQ(
+      KendallTau(MakeList({1, 2, 3}), MakeList({2, 3, 9})).value(), 1.0);
+}
+
+TEST(KendallTest, TooFewCommonNodesRejected) {
+  EXPECT_FALSE(KendallTau(MakeList({1, 2}), MakeList({3, 4})).ok());
+  EXPECT_FALSE(KendallTau(MakeList({1}), MakeList({1})).ok());
+}
+
+TEST(SpearmanTest, PerfectAgreementAndReversal) {
+  const RankedList a = MakeList({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(SpearmanRho(a, a).value(), 1.0);
+  EXPECT_DOUBLE_EQ(SpearmanRho(a, MakeList({5, 4, 3, 2, 1})).value(), -1.0);
+}
+
+TEST(SpearmanTest, KnownValue) {
+  // Ranks a: 0,1,2,3 vs b: 1,0,3,2 -> d² = 4 -> rho = 1 - 24/60 = 0.6.
+  EXPECT_NEAR(
+      SpearmanRho(MakeList({1, 2, 3, 4}), MakeList({2, 1, 4, 3})).value(),
+      0.6, 1e-12);
+}
+
+TEST(FootruleTest, ZeroForIdenticalOneForReversed) {
+  const RankedList a = MakeList({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(SpearmanFootrule(a, a).value(), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanFootrule(a, MakeList({4, 3, 2, 1})).value(), 1.0);
+}
+
+TEST(FootruleTest, IntermediateValue) {
+  // a: 0,1,2,3 ; b ranks: 1,0,3,2 -> |d| sum = 4; max = floor(16/2)=8.
+  EXPECT_NEAR(
+      SpearmanFootrule(MakeList({1, 2, 3, 4}), MakeList({2, 1, 4, 3})).value(),
+      0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace cyclerank

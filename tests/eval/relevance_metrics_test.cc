@@ -1,0 +1,92 @@
+#include "eval/relevance_metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cyclerank {
+namespace {
+
+RankedList MakeList(std::initializer_list<NodeId> nodes) {
+  RankedList out;
+  double score = 1.0;
+  for (NodeId u : nodes) {
+    out.push_back({u, score});
+    score *= 0.5;
+  }
+  return out;
+}
+
+TEST(PrecisionTest, CountsHitsOverK) {
+  const RankedList ranking = MakeList({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, {1, 3}, 2).value(), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, {1, 3}, 4).value(), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, {1, 2}, 2).value(), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranking, {9}, 4).value(), 0.0);
+}
+
+TEST(PrecisionTest, ShortRankingDividesByK) {
+  // Only 2 entries but k=4: missing slots count as misses.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(MakeList({1, 2}), {1, 2}, 4).value(), 0.5);
+}
+
+TEST(PrecisionTest, RejectsZeroK) {
+  EXPECT_FALSE(PrecisionAtK(MakeList({1}), {1}, 0).ok());
+}
+
+TEST(RecallTest, FractionOfRelevantFound) {
+  const RankedList ranking = MakeList({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(RecallAtK(ranking, {1, 9}, 4).value(), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranking, {1, 2, 3, 4}, 2).value(), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranking, {1}, 1).value(), 1.0);
+}
+
+TEST(RecallTest, RejectsEmptyRelevantSet) {
+  EXPECT_FALSE(RecallAtK(MakeList({1}), {}, 1).ok());
+}
+
+TEST(ReciprocalRankTest, FirstHitPosition) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank(MakeList({5, 6, 7}), {7}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(MakeList({5, 6, 7}), {5}), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(MakeList({5, 6, 7}), {9}), 0.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({}, {1}), 0.0);
+}
+
+TEST(AveragePrecisionTest, KnownValues) {
+  // Relevant {1,3} in ranking (1,2,3,4): hits at ranks 1 and 3 ->
+  // AP = (1/1 + 2/3) / 2.
+  EXPECT_NEAR(AveragePrecision(MakeList({1, 2, 3, 4}), {1, 3}).value(),
+              (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+  // All relevant at the head: AP = 1.
+  EXPECT_DOUBLE_EQ(AveragePrecision(MakeList({1, 2}), {1, 2}).value(), 1.0);
+  // Relevant node never ranked: contributes 0.
+  EXPECT_DOUBLE_EQ(AveragePrecision(MakeList({1}), {9}).value(), 0.0);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  EXPECT_NEAR(NdcgAtK(MakeList({1, 2, 3}), {1, 2}, 3).value(), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, WorstPlacementLowerThanBest) {
+  const double best = NdcgAtK(MakeList({1, 8, 9}), {1}, 3).value();
+  const double worst = NdcgAtK(MakeList({8, 9, 1}), {1}, 3).value();
+  EXPECT_DOUBLE_EQ(best, 1.0);
+  EXPECT_NEAR(worst, std::log2(2.0) / std::log2(4.0), 1e-12);
+  EXPECT_LT(worst, best);
+}
+
+TEST(NdcgTest, KnownMixedValue) {
+  // Relevant {1,3}; ranking (2,1,3): gains at positions 2 and 3.
+  const double dcg = 1.0 / std::log2(3.0) + 1.0 / std::log2(4.0);
+  const double ideal = 1.0 / std::log2(2.0) + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtK(MakeList({2, 1, 3}), {1, 3}, 3).value(), dcg / ideal,
+              1e-12);
+}
+
+TEST(NdcgTest, RejectsBadArguments) {
+  EXPECT_FALSE(NdcgAtK(MakeList({1}), {1}, 0).ok());
+  EXPECT_FALSE(NdcgAtK(MakeList({1}), {}, 3).ok());
+}
+
+}  // namespace
+}  // namespace cyclerank

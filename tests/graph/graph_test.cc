@@ -1,0 +1,92 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+Graph Triangle() {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  return builder.Build().value();
+}
+
+TEST(GraphTest, DefaultGraphIsEmpty) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.IsValidNode(0));
+}
+
+TEST(GraphTest, BasicCounts) {
+  const Graph g = Triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (NodeId u = 0; u < 3; ++u) {
+    EXPECT_EQ(g.OutDegree(u), 1u);
+    EXPECT_EQ(g.InDegree(u), 1u);
+  }
+}
+
+TEST(GraphTest, HasEdgeExactness) {
+  const Graph g = Triangle();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, HasEdgeOutOfRangeIsFalse) {
+  const Graph g = Triangle();
+  EXPECT_FALSE(g.HasEdge(0, 99));
+  EXPECT_FALSE(g.HasEdge(99, 0));
+  EXPECT_FALSE(g.HasEdge(kInvalidNode, 0));
+}
+
+TEST(GraphTest, IsValidNodeBoundary) {
+  const Graph g = Triangle();
+  EXPECT_TRUE(g.IsValidNode(0));
+  EXPECT_TRUE(g.IsValidNode(2));
+  EXPECT_FALSE(g.IsValidNode(3));
+  EXPECT_FALSE(g.IsValidNode(kInvalidNode));
+}
+
+TEST(GraphTest, NeighborSpansViewCorrectMemory) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 2);
+  const Graph g = builder.Build().value();
+  const auto row0 = g.OutNeighbors(0);
+  const auto row1 = g.OutNeighbors(1);
+  const auto row2 = g.OutNeighbors(2);
+  EXPECT_EQ(row0.size(), 2u);
+  EXPECT_EQ(row1.size(), 1u);
+  EXPECT_EQ(row2.size(), 0u);
+  EXPECT_EQ(row1[0], 2u);
+}
+
+TEST(GraphTest, FindNodeOnLabeledGraph) {
+  GraphBuilder builder;
+  builder.AddEdge("Pasta", "Italy");
+  const Graph g = builder.Build().value();
+  EXPECT_NE(g.FindNode("Pasta"), kInvalidNode);
+  EXPECT_EQ(g.FindNode("Missing"), kInvalidNode);
+  EXPECT_EQ(g.NodeName(g.FindNode("Italy")), "Italy");
+}
+
+TEST(GraphTest, GraphIsCopyable) {
+  const Graph g = Triangle();
+  const Graph copy = g;  // value semantics for snapshots
+  EXPECT_EQ(copy.num_edges(), 3u);
+  EXPECT_TRUE(copy.HasEdge(2, 0));
+}
+
+}  // namespace
+}  // namespace cyclerank

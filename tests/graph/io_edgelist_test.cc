@@ -1,0 +1,105 @@
+#include "graph/io_edgelist.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cyclerank {
+namespace {
+
+Result<Graph> Parse(const std::string& text,
+                    const EdgeListReadOptions& options = {}) {
+  std::istringstream in(text);
+  return ReadEdgeList(in, options);
+}
+
+TEST(EdgeListTest, ParsesCommaSeparatedNumericPairs) {
+  const Graph g = Parse("0,1\n1,2\n2,0\n").value();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_EQ(g.labels(), nullptr);  // numeric mode
+}
+
+TEST(EdgeListTest, ParsesWhitespaceSeparatedPairs) {
+  const Graph g = Parse("0 1\n1 2\n").value();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(EdgeListTest, ParsesSemicolonAndTab) {
+  EXPECT_EQ(Parse("0;1\n1;2\n").value().num_edges(), 2u);
+  EXPECT_EQ(Parse("0\t1\n").value().num_edges(), 1u);
+}
+
+TEST(EdgeListTest, SkipsCommentsAndBlankLines) {
+  const Graph g = Parse("# comment\n\n0,1\n% other comment\n1,2\n\n").value();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(EdgeListTest, LabeledModeWhenTokensAreNotNumeric) {
+  const Graph g = Parse("Pasta,Italy\nItaly,Pasta\n").value();
+  ASSERT_NE(g.labels(), nullptr);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_TRUE(g.HasEdge(g.FindNode("Pasta"), g.FindNode("Italy")));
+}
+
+TEST(EdgeListTest, MixedTokensFallBackToLabeled) {
+  // One non-numeric endpoint turns the whole file into labeled mode.
+  const Graph g = Parse("1,2\nfoo,1\n").value();
+  ASSERT_NE(g.labels(), nullptr);
+  EXPECT_EQ(g.num_nodes(), 3u);  // "1", "2", "foo"
+  EXPECT_NE(g.FindNode("foo"), kInvalidNode);
+}
+
+TEST(EdgeListTest, ForceLabeledTreatsNumbersAsLabels) {
+  EdgeListReadOptions options;
+  options.force_labeled = true;
+  const Graph g = Parse("10,20\n", options).value();
+  ASSERT_NE(g.labels(), nullptr);
+  EXPECT_EQ(g.num_nodes(), 2u);  // not 21 numeric nodes
+  EXPECT_NE(g.FindNode("10"), kInvalidNode);
+}
+
+TEST(EdgeListTest, LabelsMayContainSpaces) {
+  const Graph g = Parse("Freddie Mercury,Queen (band)\n").value();
+  EXPECT_NE(g.FindNode("Freddie Mercury"), kInvalidNode);
+  EXPECT_NE(g.FindNode("Queen (band)"), kInvalidNode);
+}
+
+TEST(EdgeListTest, RejectsWrongFieldCount) {
+  EXPECT_EQ(Parse("0,1,2\n").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Parse("0\n").status().code(), StatusCode::kParseError);
+}
+
+TEST(EdgeListTest, RejectsNegativeIds) {
+  EXPECT_EQ(Parse("-1,2\n").status().code(), StatusCode::kParseError);
+}
+
+TEST(EdgeListTest, EmptyInputYieldsEmptyGraph) {
+  const Graph g = Parse("").value();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(EdgeListTest, WriteReadRoundTripNumeric) {
+  const Graph g = Parse("0,3\n1,2\n3,1\n").value();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteEdgeList(g, out).ok());
+  const Graph g2 = Parse(out.str()).value();
+  EXPECT_EQ(g2.num_nodes(), g.num_nodes());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  EXPECT_TRUE(g2.HasEdge(0, 3));
+  EXPECT_TRUE(g2.HasEdge(3, 1));
+}
+
+TEST(EdgeListTest, WriteReadRoundTripLabeled) {
+  const Graph g = Parse("a,b\nb,c\nc,a\n").value();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteEdgeList(g, out).ok());
+  const Graph g2 = Parse(out.str()).value();
+  ASSERT_NE(g2.labels(), nullptr);
+  EXPECT_TRUE(g2.HasEdge(g2.FindNode("c"), g2.FindNode("a")));
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,71 @@
+#include "graph/label_map.h"
+
+#include <gtest/gtest.h>
+
+namespace cyclerank {
+namespace {
+
+TEST(LabelMapTest, AssignsDenseIdsInInsertionOrder) {
+  LabelMap map;
+  EXPECT_EQ(map.GetOrAdd("a"), 0u);
+  EXPECT_EQ(map.GetOrAdd("b"), 1u);
+  EXPECT_EQ(map.GetOrAdd("c"), 2u);
+  EXPECT_EQ(map.size(), 3u);
+}
+
+TEST(LabelMapTest, GetOrAddIsIdempotent) {
+  LabelMap map;
+  const NodeId id = map.GetOrAdd("Pasta");
+  EXPECT_EQ(map.GetOrAdd("Pasta"), id);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(LabelMapTest, FindReturnsNulloptForUnknown) {
+  LabelMap map;
+  map.GetOrAdd("x");
+  EXPECT_FALSE(map.Find("y").has_value());
+  ASSERT_TRUE(map.Find("x").has_value());
+  EXPECT_EQ(*map.Find("x"), 0u);
+}
+
+TEST(LabelMapTest, LabelOfRoundTrips) {
+  LabelMap map;
+  map.GetOrAdd("Freddie Mercury");
+  map.GetOrAdd("Queen (band)");
+  EXPECT_EQ(map.LabelOf(0), "Freddie Mercury");
+  EXPECT_EQ(map.LabelOf(1), "Queen (band)");
+}
+
+TEST(LabelMapTest, LabelsAreCaseSensitive) {
+  LabelMap map;
+  const NodeId a = map.GetOrAdd("pasta");
+  const NodeId b = map.GetOrAdd("Pasta");
+  EXPECT_NE(a, b);
+}
+
+TEST(LabelMapTest, HandlesUtf8Labels) {
+  LabelMap map;
+  const NodeId id = map.GetOrAdd("Ère post-vérité");
+  EXPECT_EQ(map.LabelOf(id), "Ère post-vérité");
+  EXPECT_EQ(*map.Find("Ère post-vérité"), id);
+}
+
+TEST(LabelMapTest, EmptyMap) {
+  LabelMap map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_FALSE(map.Find("anything").has_value());
+}
+
+TEST(LabelMapTest, ManyLabels) {
+  LabelMap map;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(map.GetOrAdd("node-" + std::to_string(i)),
+              static_cast<NodeId>(i));
+  }
+  EXPECT_EQ(map.size(), 1000u);
+  EXPECT_EQ(*map.Find("node-537"), 537u);
+}
+
+}  // namespace
+}  // namespace cyclerank

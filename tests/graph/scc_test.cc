@@ -1,0 +1,108 @@
+#include "graph/scc.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datasets/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/traversal.h"
+
+namespace cyclerank {
+namespace {
+
+TEST(SccTest, SingleCycleIsOneComponent) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  const SccResult scc = StronglyConnectedComponents(builder.Build().value());
+  EXPECT_EQ(scc.num_components, 1u);
+  EXPECT_TRUE(InSameScc(scc, 0, 2));
+}
+
+TEST(SccTest, DagHasSingletonComponents) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  const SccResult scc = StronglyConnectedComponents(builder.Build().value());
+  EXPECT_EQ(scc.num_components, 3u);
+  EXPECT_FALSE(InSameScc(scc, 0, 1));
+}
+
+TEST(SccTest, TwoCyclesJoinedByOneWayEdge) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(1, 2);  // bridge
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 2);
+  const SccResult scc = StronglyConnectedComponents(builder.Build().value());
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_TRUE(InSameScc(scc, 0, 1));
+  EXPECT_TRUE(InSameScc(scc, 2, 3));
+  EXPECT_FALSE(InSameScc(scc, 1, 2));
+}
+
+TEST(SccTest, ReverseTopologicalNumbering) {
+  // Tarjan numbers a component before any component it can reach.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);  // 0 reaches 1; both singletons
+  const SccResult scc = StronglyConnectedComponents(builder.Build().value());
+  EXPECT_LT(scc.component[1], scc.component[0]);
+}
+
+TEST(SccTest, ComponentSizesAndLargest) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 3);
+  builder.AddEdge(2, 3);
+  const SccResult scc = StronglyConnectedComponents(builder.Build().value());
+  const auto sizes = scc.ComponentSizes();
+  std::multiset<uint32_t> size_set(sizes.begin(), sizes.end());
+  EXPECT_EQ(size_set, (std::multiset<uint32_t>{2, 3}));
+  const auto largest = scc.LargestComponent();
+  EXPECT_EQ(largest, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(SccTest, EmptyGraph) {
+  const SccResult scc = StronglyConnectedComponents(Graph());
+  EXPECT_EQ(scc.num_components, 0u);
+  EXPECT_TRUE(scc.LargestComponent().empty());
+}
+
+TEST(SccTest, DeepChainDoesNotOverflowStack) {
+  // 200k-node chain: a recursive Tarjan would blow the stack.
+  GraphBuilder builder;
+  constexpr NodeId kN = 200000;
+  for (NodeId u = 0; u + 1 < kN; ++u) builder.AddEdge(u, u + 1);
+  const SccResult scc = StronglyConnectedComponents(builder.Build().value());
+  EXPECT_EQ(scc.num_components, kN);
+}
+
+TEST(SccTest, MutualReachabilityOracle) {
+  // Property: u,v in the same SCC iff v reachable from u and u from v.
+  BarabasiAlbertConfig config;
+  config.num_nodes = 120;
+  config.edges_per_node = 3;
+  config.reciprocity = 0.4;
+  config.seed = 21;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  const SccResult scc = StronglyConnectedComponents(g);
+  for (NodeId u = 0; u < 20; ++u) {  // sample sources
+    const auto fwd = BfsDistances(g, u, Direction::kForward).value();
+    const auto bwd = BfsDistances(g, u, Direction::kBackward).value();
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const bool mutual =
+          fwd[v] != kUnreachable && bwd[v] != kUnreachable;
+      EXPECT_EQ(mutual, InSameScc(scc, u, v)) << u << " vs " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cyclerank

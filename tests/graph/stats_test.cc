@@ -1,0 +1,101 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+Graph Sample() {
+  // 0 <-> 1, 1 -> 2, 3 isolated.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(1, 2);
+  builder.ReserveNodes(4);
+  return builder.Build().value();
+}
+
+TEST(StatsTest, CountsNodesAndEdges) {
+  const GraphStats stats = ComputeGraphStats(Sample());
+  EXPECT_EQ(stats.num_nodes, 4u);
+  EXPECT_EQ(stats.num_edges, 3u);
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 0.75);
+}
+
+TEST(StatsTest, DegreeExtremes) {
+  const GraphStats stats = ComputeGraphStats(Sample());
+  EXPECT_EQ(stats.max_out_degree, 2u);  // node 1
+  EXPECT_EQ(stats.max_in_degree, 1u);
+}
+
+TEST(StatsTest, DanglingSourceIsolated) {
+  const GraphStats stats = ComputeGraphStats(Sample());
+  EXPECT_EQ(stats.dangling_nodes, 2u);  // 2 and 3 (out-degree 0)
+  EXPECT_EQ(stats.source_nodes, 1u);    // 3 (in-degree 0)
+  EXPECT_EQ(stats.isolated_nodes, 1u);  // 3
+}
+
+TEST(StatsTest, Reciprocity) {
+  const GraphStats stats = ComputeGraphStats(Sample());
+  // Edges 0->1 and 1->0 are reciprocated, 1->2 is not: 2/3.
+  EXPECT_NEAR(stats.reciprocity, 2.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, FullyReciprocalGraph) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  const GraphStats stats = ComputeGraphStats(builder.Build().value());
+  EXPECT_DOUBLE_EQ(stats.reciprocity, 1.0);
+}
+
+TEST(StatsTest, SccSummary) {
+  const GraphStats stats = ComputeGraphStats(Sample());
+  // Components: {0,1}, {2}, {3}.
+  EXPECT_EQ(stats.num_sccs, 3u);
+  EXPECT_EQ(stats.largest_scc_size, 2u);
+}
+
+TEST(StatsTest, EmptyGraph) {
+  const GraphStats stats = ComputeGraphStats(Graph());
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_EQ(stats.num_edges, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 0.0);
+  EXPECT_DOUBLE_EQ(stats.reciprocity, 0.0);
+}
+
+TEST(StatsTest, ToStringContainsKeyFields) {
+  const std::string text = ComputeGraphStats(Sample()).ToString();
+  EXPECT_NE(text.find("nodes: 4"), std::string::npos);
+  EXPECT_NE(text.find("edges: 3"), std::string::npos);
+  EXPECT_NE(text.find("reciprocity"), std::string::npos);
+}
+
+TEST(StatsTest, OutDegreeHistogram) {
+  const auto hist = OutDegreeHistogram(Sample());
+  // Degrees: node0=1, node1=2, node2=0, node3=0.
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 2u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 1u);
+}
+
+TEST(StatsTest, InDegreeHistogram) {
+  const auto hist = InDegreeHistogram(Sample());
+  // In-degrees: 1,1,1,0.
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 3u);
+}
+
+TEST(StatsTest, HistogramSumsToNodeCount) {
+  const Graph g = Sample();
+  uint64_t total = 0;
+  for (uint64_t count : OutDegreeHistogram(g)) total += count;
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+}  // namespace
+}  // namespace cyclerank

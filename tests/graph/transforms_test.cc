@@ -1,0 +1,153 @@
+#include "graph/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/generators.h"
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+Graph Path3() {
+  GraphBuilder builder;
+  builder.AddEdge("a", "b");
+  builder.AddEdge("b", "c");
+  return builder.Build().value();
+}
+
+TEST(TransposeTest, ReversesEveryEdge) {
+  const Graph g = Path3();
+  const Graph t = Transpose(g).value();
+  EXPECT_EQ(t.num_nodes(), g.num_nodes());
+  EXPECT_EQ(t.num_edges(), g.num_edges());
+  EXPECT_TRUE(t.HasEdge(t.FindNode("b"), t.FindNode("a")));
+  EXPECT_TRUE(t.HasEdge(t.FindNode("c"), t.FindNode("b")));
+  EXPECT_FALSE(t.HasEdge(t.FindNode("a"), t.FindNode("b")));
+}
+
+TEST(TransposeTest, PreservesLabels) {
+  const Graph t = Transpose(Path3()).value();
+  ASSERT_NE(t.labels(), nullptr);
+  EXPECT_EQ(t.NodeName(0), "a");
+}
+
+TEST(TransposeTest, InvolutionOnGeneratedGraph) {
+  ErdosRenyiConfig config;
+  config.num_nodes = 80;
+  config.edge_prob = 0.04;
+  config.seed = 5;
+  const Graph g = GenerateErdosRenyi(config).value();
+  const Graph tt = Transpose(Transpose(g).value()).value();
+  ASSERT_EQ(tt.num_edges(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto a = g.OutNeighbors(u);
+    const auto b = tt.OutNeighbors(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(TransposeTest, DegreesSwap) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(0, 3);
+  const Graph g = builder.Build().value();
+  const Graph t = Transpose(g).value();
+  EXPECT_EQ(t.InDegree(0), 3u);
+  EXPECT_EQ(t.OutDegree(0), 0u);
+}
+
+TEST(InducedSubgraphTest, KeepsOnlyInternalEdges) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 0);
+  const Graph g = builder.Build().value();
+  const Graph sub = InducedSubgraph(g, {0, 1, 2}).value();
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 2u);  // 2->3 and 3->0 dropped
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+  EXPECT_TRUE(sub.HasEdge(1, 2));
+}
+
+TEST(InducedSubgraphTest, RemapsInGivenOrder) {
+  GraphBuilder builder;
+  builder.AddEdge("x", "y");
+  builder.AddEdge("y", "z");
+  const Graph g = builder.Build().value();
+  // Order: z, y -> new ids 0=z, 1=y; edge y->z becomes 1->0.
+  const Graph sub =
+      InducedSubgraph(g, {g.FindNode("z"), g.FindNode("y")}).value();
+  EXPECT_EQ(sub.num_nodes(), 2u);
+  EXPECT_EQ(sub.NodeName(0), "z");
+  EXPECT_EQ(sub.NodeName(1), "y");
+  EXPECT_TRUE(sub.HasEdge(1, 0));
+}
+
+TEST(InducedSubgraphTest, RejectsDuplicates) {
+  const Graph g = Path3();
+  EXPECT_EQ(InducedSubgraph(g, {0, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(InducedSubgraphTest, RejectsOutOfRange) {
+  const Graph g = Path3();
+  EXPECT_EQ(InducedSubgraph(g, {0, 99}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(InducedSubgraphTest, EmptySelectionIsEmptyGraph) {
+  const Graph sub = InducedSubgraph(Path3(), {}).value();
+  EXPECT_EQ(sub.num_nodes(), 0u);
+}
+
+TEST(SymmetrizeTest, AddsReverseEdges) {
+  const Graph g = Path3();
+  const Graph s = Symmetrize(g).value();
+  EXPECT_EQ(s.num_edges(), 4u);
+  EXPECT_TRUE(s.HasEdge(1, 0));
+  EXPECT_TRUE(s.HasEdge(2, 1));
+}
+
+TEST(SymmetrizeTest, AlreadySymmetricUnchangedCount) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  const Graph s = Symmetrize(builder.Build().value()).value();
+  EXPECT_EQ(s.num_edges(), 2u);
+}
+
+TEST(PermuteTest, RelabelsNodes) {
+  const Graph g = Path3();  // a->b->c with ids 0,1,2
+  // order = {2,0,1}: new node 0 is old 2 ("c"), new 1 is old 0 ("a").
+  const Graph p = Permute(g, {2, 0, 1}).value();
+  EXPECT_EQ(p.NodeName(0), "c");
+  EXPECT_EQ(p.NodeName(1), "a");
+  EXPECT_EQ(p.NodeName(2), "b");
+  // Edge a->b (old 0->1) becomes new 1->2.
+  EXPECT_TRUE(p.HasEdge(1, 2));
+  // Edge b->c (old 1->2) becomes new 2->0.
+  EXPECT_TRUE(p.HasEdge(2, 0));
+  EXPECT_EQ(p.num_edges(), 2u);
+}
+
+TEST(PermuteTest, IdentityPermutation) {
+  const Graph g = Path3();
+  const Graph p = Permute(g, {0, 1, 2}).value();
+  EXPECT_TRUE(p.HasEdge(0, 1));
+  EXPECT_TRUE(p.HasEdge(1, 2));
+}
+
+TEST(PermuteTest, RejectsNonPermutation) {
+  const Graph g = Path3();
+  EXPECT_EQ(Permute(g, {0, 0, 1}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Permute(g, {0, 1}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Permute(g, {0, 1, 5}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,89 @@
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+// 0 -> 1 -> 2 -> 3, plus 3 -> 0 closing the loop, plus isolated 4.
+Graph LoopPlusIsolated() {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 0);
+  builder.ReserveNodes(5);
+  return builder.Build().value();
+}
+
+TEST(TraversalTest, ForwardDistances) {
+  const Graph g = LoopPlusIsolated();
+  const auto dist = BfsDistances(g, 0, Direction::kForward).value();
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(TraversalTest, BackwardDistancesFollowInEdges) {
+  const Graph g = LoopPlusIsolated();
+  // Backward from 0: who can reach 0 and in how many steps?
+  const auto dist = BfsDistances(g, 0, Direction::kBackward).value();
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[3], 1u);  // 3 -> 0
+  EXPECT_EQ(dist[2], 2u);  // 2 -> 3 -> 0
+  EXPECT_EQ(dist[1], 3u);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(TraversalTest, MaxDepthBoundsExploration) {
+  const Graph g = LoopPlusIsolated();
+  const auto dist = BfsDistances(g, 0, Direction::kForward, 2).value();
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], kUnreachable);  // beyond the bound
+}
+
+TEST(TraversalTest, MaxDepthZeroOnlySource) {
+  const Graph g = LoopPlusIsolated();
+  const auto dist = BfsDistances(g, 1, Direction::kForward, 0).value();
+  EXPECT_EQ(dist[1], 0u);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(TraversalTest, ShortestPathChosenOverLonger) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);  // shortcut
+  const Graph g = builder.Build().value();
+  const auto dist = BfsDistances(g, 0, Direction::kForward).value();
+  EXPECT_EQ(dist[2], 1u);
+}
+
+TEST(TraversalTest, InvalidSourceRejected) {
+  const Graph g = LoopPlusIsolated();
+  EXPECT_EQ(BfsDistances(g, 99, Direction::kForward).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(TraversalTest, ReachableSetAscendingAndIncludesSource) {
+  const Graph g = LoopPlusIsolated();
+  const auto reach = ReachableSet(g, 1, Direction::kForward, 2).value();
+  // From 1 within 2 hops: 1, 2, 3.
+  ASSERT_EQ(reach.size(), 3u);
+  EXPECT_EQ(reach[0], 1u);
+  EXPECT_EQ(reach[1], 2u);
+  EXPECT_EQ(reach[2], 3u);
+}
+
+TEST(TraversalTest, ReachableSetWholeLoop) {
+  const Graph g = LoopPlusIsolated();
+  const auto reach = ReachableSet(g, 2, Direction::kForward).value();
+  EXPECT_EQ(reach.size(), 4u);  // everything except the isolated node
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,119 @@
+#include "platform/datastore.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+GraphPtr SmallGraph() {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  return builder.BuildShared().value();
+}
+
+TEST(DatastoreTest, PutAndGetDataset) {
+  Datastore store(nullptr);
+  ASSERT_TRUE(store.PutDataset("mine", SmallGraph()).ok());
+  const GraphPtr g = store.GetDataset("mine").value();
+  EXPECT_EQ(g->num_edges(), 1u);
+  EXPECT_EQ(store.UploadedDatasets(), (std::vector<std::string>{"mine"}));
+}
+
+TEST(DatastoreTest, MissingDatasetNotFound) {
+  Datastore store(nullptr);
+  EXPECT_EQ(store.GetDataset("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatastoreTest, FallsBackToCatalog) {
+  Datastore store;  // backed by the built-in catalog
+  EXPECT_TRUE(store.GetDataset("fakenews-en").ok());
+}
+
+TEST(DatastoreTest, UploadedNameMayNotShadowCatalog) {
+  Datastore store;
+  EXPECT_EQ(store.PutDataset("fakenews-en", SmallGraph()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatastoreTest, DuplicateUploadRejected) {
+  Datastore store(nullptr);
+  ASSERT_TRUE(store.PutDataset("a", SmallGraph()).ok());
+  EXPECT_EQ(store.PutDataset("a", SmallGraph()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatastoreTest, RejectsBadInput) {
+  Datastore store(nullptr);
+  EXPECT_EQ(store.PutDataset("", SmallGraph()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.PutDataset("x", nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatastoreTest, UploadDatasetParsesContent) {
+  Datastore store(nullptr);
+  ASSERT_TRUE(store.UploadDataset("csv", "a,b\nb,a\n").ok());
+  const GraphPtr g = store.GetDataset("csv").value();
+  EXPECT_EQ(g->num_edges(), 2u);
+  ASSERT_TRUE(store.UploadDataset("pajek", "*Vertices 2\n*Arcs\n1 2\n").ok());
+  EXPECT_EQ(store.GetDataset("pajek").value()->num_edges(), 1u);
+  ASSERT_TRUE(store.UploadDataset("asd", "2 1\n0 1\n").ok());
+  EXPECT_EQ(store.GetDataset("asd").value()->num_nodes(), 2u);
+}
+
+TEST(DatastoreTest, UploadRejectsGarbage) {
+  Datastore store(nullptr);
+  EXPECT_FALSE(store.UploadDataset("bad", "not a graph at all").ok());
+}
+
+TEST(DatastoreTest, ResultsRoundTrip) {
+  Datastore store(nullptr);
+  TaskResult result;
+  result.task_id = "t1";
+  result.spec.dataset = "d";
+  result.spec.algorithm = "pagerank";
+  result.ranking = {{3, 0.9}, {1, 0.1}};
+  result.seconds = 1.5;
+  store.PutResult(result);
+  ASSERT_TRUE(store.HasResult("t1"));
+  const TaskResult loaded = store.GetResult("t1").value();
+  EXPECT_EQ(loaded.ranking.size(), 2u);
+  EXPECT_EQ(loaded.ranking[0].node, 3u);
+  EXPECT_DOUBLE_EQ(loaded.seconds, 1.5);
+}
+
+TEST(DatastoreTest, MissingResultNotFound) {
+  Datastore store(nullptr);
+  EXPECT_FALSE(store.HasResult("zz"));
+  EXPECT_EQ(store.GetResult("zz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatastoreTest, ResultOverwriteKeepsLatest) {
+  Datastore store(nullptr);
+  TaskResult first;
+  first.task_id = "t";
+  first.seconds = 1.0;
+  store.PutResult(first);
+  TaskResult second;
+  second.task_id = "t";
+  second.seconds = 2.0;
+  store.PutResult(second);
+  EXPECT_DOUBLE_EQ(store.GetResult("t").value().seconds, 2.0);
+}
+
+TEST(DatastoreTest, LogsAppendInOrder) {
+  Datastore store(nullptr);
+  store.AppendLog("t", "first");
+  store.AppendLog("t", "second");
+  store.AppendLog("other", "unrelated");
+  EXPECT_EQ(store.GetLog("t"), (std::vector<std::string>{"first", "second"}));
+  EXPECT_EQ(store.GetLog("other").size(), 1u);
+  EXPECT_TRUE(store.GetLog("none").empty());
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,117 @@
+#include "platform/executor.h"
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest()
+      : store_(nullptr),
+        executor_(&store_, &AlgorithmRegistry::Default(), &status_) {
+    GraphBuilder builder;
+    builder.AddEdge("a", "b");
+    builder.AddEdge("b", "a");
+    builder.AddEdge("b", "c");
+    builder.AddEdge("c", "a");
+    (void)store_.PutDataset("tiny", builder.BuildShared().value());
+  }
+
+  TaskSpec Spec(const std::string& algorithm, const std::string& params) {
+    TaskSpec spec;
+    spec.dataset = "tiny";
+    spec.algorithm = algorithm;
+    spec.params = ParamMap::Parse(params).value();
+    return spec;
+  }
+
+  Datastore store_;
+  StatusService status_;
+  Executor executor_;
+};
+
+TEST_F(ExecutorTest, CompletesSuccessfulTask) {
+  ASSERT_TRUE(status_.Track("t1").ok());
+  executor_.Execute("t1", Spec("pagerank", "alpha=0.85"));
+  EXPECT_EQ(status_.GetState("t1").value(), TaskState::kCompleted);
+  const TaskResult result = store_.GetResult("t1").value();
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.ranking.size(), 3u);
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST_F(ExecutorTest, WritesLogLines) {
+  ASSERT_TRUE(status_.Track("t1").ok());
+  executor_.Execute("t1", Spec("cyclerank", "source=a, k=3"));
+  const auto log = store_.GetLog("t1");
+  ASSERT_GE(log.size(), 3u);
+  EXPECT_NE(log.front().find("task accepted"), std::string::npos);
+  EXPECT_NE(log.back().find("completed"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, MissingDatasetFailsTask) {
+  ASSERT_TRUE(status_.Track("t").ok());
+  TaskSpec spec = Spec("pagerank", "");
+  spec.dataset = "ghost";
+  executor_.Execute("t", spec);
+  EXPECT_EQ(status_.GetState("t").value(), TaskState::kFailed);
+  const TaskResult result = store_.GetResult("t").value();
+  EXPECT_EQ(result.status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(result.ranking.empty());
+}
+
+TEST_F(ExecutorTest, UnknownAlgorithmFailsTask) {
+  ASSERT_TRUE(status_.Track("t").ok());
+  executor_.Execute("t", Spec("hits", ""));
+  EXPECT_EQ(status_.GetState("t").value(), TaskState::kFailed);
+}
+
+TEST_F(ExecutorTest, MissingReferenceFailsPersonalizedTask) {
+  ASSERT_TRUE(status_.Track("t").ok());
+  executor_.Execute("t", Spec("cyclerank", "k=3"));  // no source=
+  EXPECT_EQ(status_.GetState("t").value(), TaskState::kFailed);
+  EXPECT_EQ(store_.GetResult("t").value().status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, BadParameterValueFailsTask) {
+  ASSERT_TRUE(status_.Track("t").ok());
+  executor_.Execute("t", Spec("pagerank", "alpha=2.0"));
+  EXPECT_EQ(status_.GetState("t").value(), TaskState::kFailed);
+}
+
+TEST_F(ExecutorTest, CancellationBeforeStart) {
+  ASSERT_TRUE(status_.Track("t").ok());
+  std::atomic<bool> cancelled{true};
+  executor_.Execute("t", Spec("pagerank", ""), &cancelled);
+  EXPECT_EQ(status_.GetState("t").value(), TaskState::kCancelled);
+  EXPECT_EQ(store_.GetResult("t").value().status.code(),
+            StatusCode::kCancelled);
+}
+
+TEST_F(ExecutorTest, TopKParameterLimitsRanking) {
+  ASSERT_TRUE(status_.Track("t").ok());
+  executor_.Execute("t", Spec("pagerank", "top_k=2"));
+  EXPECT_EQ(store_.GetResult("t").value().ranking.size(), 2u);
+}
+
+TEST_F(ExecutorTest, ResultRankingMatchesDirectRun) {
+  ASSERT_TRUE(status_.Track("t").ok());
+  executor_.Execute("t", Spec("cyclerank", "source=a, k=3"));
+  const TaskResult result = store_.GetResult("t").value();
+
+  const GraphPtr g = store_.GetDataset("tiny").value();
+  const auto algorithm = MakeAlgorithm(AlgorithmKind::kCycleRank);
+  AlgorithmRequest request;
+  request.reference = g->FindNode("a");
+  const RankedList direct = algorithm->Run(*g, request).value();
+  EXPECT_EQ(result.ranking, direct);
+}
+
+}  // namespace
+}  // namespace cyclerank

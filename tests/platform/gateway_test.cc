@@ -1,0 +1,150 @@
+#include "platform/gateway.h"
+
+#include <gtest/gtest.h>
+
+#include "common/uuid.h"
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  GatewayTest()
+      : store_(nullptr),
+        gateway_(&store_, &AlgorithmRegistry::Default(), /*num_workers=*/2,
+                 /*uuid_seed=*/123) {
+    GraphBuilder builder;
+    builder.AddEdge("a", "b");
+    builder.AddEdge("b", "a");
+    builder.AddEdge("b", "c");
+    builder.AddEdge("c", "a");
+    (void)store_.PutDataset("tiny", builder.BuildShared().value());
+  }
+
+  QuerySet MakeQuerySet() {
+    TaskBuilder builder;
+    EXPECT_TRUE(builder.Add("tiny", "pagerank", "alpha=0.85").ok());
+    EXPECT_TRUE(builder.Add("tiny", "cyclerank", "source=a, k=3").ok());
+    EXPECT_TRUE(builder.Add("tiny", "pers_pagerank", "source=a").ok());
+    return builder.Build();
+  }
+
+  Datastore store_;
+  ApiGateway gateway_;
+};
+
+TEST_F(GatewayTest, SubmitReturnsUuidPermalink) {
+  const std::string id = gateway_.SubmitQuerySet(MakeQuerySet()).value();
+  EXPECT_TRUE(IsValidUuid(id));
+}
+
+TEST_F(GatewayTest, EndToEndCompletion) {
+  const std::string id = gateway_.SubmitQuerySet(MakeQuerySet()).value();
+  ASSERT_TRUE(*gateway_.WaitForCompletion(id, 30.0));
+  const ComparisonStatus status = gateway_.GetStatus(id).value();
+  EXPECT_TRUE(status.done);
+  EXPECT_EQ(status.completed, 3u);
+  EXPECT_EQ(status.failed, 0u);
+  const auto results = gateway_.GetResults(id).value();
+  ASSERT_EQ(results.size(), 3u);
+  for (const TaskResult& result : results) {
+    EXPECT_TRUE(result.status.ok()) << result.spec.ToString();
+    EXPECT_FALSE(result.ranking.empty());
+  }
+}
+
+TEST_F(GatewayTest, TaskIdsDeriveFromComparisonId) {
+  const std::string id = gateway_.SubmitQuerySet(MakeQuerySet()).value();
+  const ComparisonStatus status = gateway_.GetStatus(id).value();
+  ASSERT_EQ(status.task_ids.size(), 3u);
+  EXPECT_EQ(status.task_ids[0], id + "/0");
+  EXPECT_EQ(status.task_ids[2], id + "/2");
+}
+
+TEST_F(GatewayTest, EmptyQuerySetRejected) {
+  EXPECT_EQ(gateway_.SubmitQuerySet(QuerySet{}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(GatewayTest, UnknownAlgorithmRejectedSynchronously) {
+  TaskBuilder builder;
+  ASSERT_TRUE(builder.Add("tiny", "hits", "").ok());
+  EXPECT_EQ(gateway_.SubmitQuerySet(builder.Build()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(GatewayTest, BadDatasetSurfacesAsFailedTask) {
+  TaskBuilder builder;
+  ASSERT_TRUE(builder.Add("ghost", "pagerank", "").ok());
+  ASSERT_TRUE(builder.Add("tiny", "pagerank", "").ok());
+  const std::string id = gateway_.SubmitQuerySet(builder.Build()).value();
+  ASSERT_TRUE(*gateway_.WaitForCompletion(id, 30.0));
+  const ComparisonStatus status = gateway_.GetStatus(id).value();
+  EXPECT_EQ(status.failed, 1u);
+  EXPECT_EQ(status.completed, 1u);
+  const auto results = gateway_.GetResults(id).value();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(results[1].status.ok());
+}
+
+TEST_F(GatewayTest, UnknownComparisonIdNotFound) {
+  EXPECT_EQ(gateway_.GetStatus("bogus").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(gateway_.GetResults("bogus").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(gateway_.Cancel("bogus").code(), StatusCode::kNotFound);
+  EXPECT_EQ(gateway_.WaitForCompletion("bogus", 0.1).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(GatewayTest, DistinctSubmissionsGetDistinctIds) {
+  const std::string a = gateway_.SubmitQuerySet(MakeQuerySet()).value();
+  const std::string b = gateway_.SubmitQuerySet(MakeQuerySet()).value();
+  EXPECT_NE(a, b);
+}
+
+TEST_F(GatewayTest, ManyConcurrentSubmissions) {
+  std::vector<std::string> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(gateway_.SubmitQuerySet(MakeQuerySet()).value());
+  }
+  for (const std::string& id : ids) {
+    ASSERT_TRUE(*gateway_.WaitForCompletion(id, 60.0));
+    EXPECT_EQ(gateway_.GetStatus(id).value().completed, 3u);
+  }
+}
+
+TEST_F(GatewayTest, ResultsBeforeCompletionSkipPendingTasks) {
+  const std::string id = gateway_.SubmitQuerySet(MakeQuerySet()).value();
+  // Immediately fetch: whatever is terminal is returned, no error.
+  const auto results = gateway_.GetResults(id);
+  ASSERT_TRUE(results.ok());
+  EXPECT_LE(results->size(), 3u);
+  ASSERT_TRUE(*gateway_.WaitForCompletion(id, 30.0));
+}
+
+TEST(GatewayCancelTest, CancelSkipsQueuedTasks) {
+  Datastore store(nullptr);
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  (void)store.PutDataset("d", builder.BuildShared().value());
+  // Single worker: queue many tasks, cancel while the first ones run.
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 1, 7);
+  TaskBuilder tasks;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tasks.Add("d", "ppr_montecarlo", "source=0, walks=200000").ok());
+  }
+  const std::string id = gateway.SubmitQuerySet(tasks.Build()).value();
+  ASSERT_TRUE(gateway.Cancel(id).ok());
+  ASSERT_TRUE(*gateway.WaitForCompletion(id, 60.0));
+  const ComparisonStatus status = gateway.GetStatus(id).value();
+  EXPECT_TRUE(status.done);
+  // At least some queued tasks observed the flag.
+  EXPECT_GT(status.cancelled, 0u);
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,158 @@
+#include "platform/params.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+TEST(ParamMapTest, ParsesKeyValuePairs) {
+  const ParamMap params = ParamMap::Parse("k=3, sigma=exp, alpha=0.3").value();
+  EXPECT_EQ(params.size(), 3u);
+  EXPECT_EQ(params.GetString("k", ""), "3");
+  EXPECT_EQ(params.GetString("sigma", ""), "exp");
+}
+
+TEST(ParamMapTest, KeysAreCaseInsensitive) {
+  const ParamMap params = ParamMap::Parse("K=3, Sigma=exp").value();
+  EXPECT_TRUE(params.Has("k"));
+  EXPECT_TRUE(params.Has("SIGMA"));
+  EXPECT_EQ(params.GetString("sigma", ""), "exp");
+}
+
+TEST(ParamMapTest, ValuesKeepSpaces) {
+  const ParamMap params = ParamMap::Parse("source=Fake news").value();
+  EXPECT_EQ(params.GetString("source", ""), "Fake news");
+}
+
+TEST(ParamMapTest, SemicolonSeparatorAndEmptySegments) {
+  const ParamMap params = ParamMap::Parse("a=1; b=2,,c=3,").value();
+  EXPECT_EQ(params.size(), 3u);
+}
+
+TEST(ParamMapTest, EmptyStringIsEmptyMap) {
+  EXPECT_TRUE(ParamMap::Parse("").value().empty());
+  EXPECT_TRUE(ParamMap::Parse("   ").value().empty());
+}
+
+TEST(ParamMapTest, RejectsMalformedPairs) {
+  EXPECT_FALSE(ParamMap::Parse("novalue").ok());
+  EXPECT_FALSE(ParamMap::Parse("=5").ok());
+  EXPECT_FALSE(ParamMap::Parse("a=1, a=2").ok());  // duplicate
+}
+
+TEST(ParamMapTest, TypedGettersWithFallback) {
+  const ParamMap params = ParamMap::Parse("alpha=0.3, k=5").value();
+  EXPECT_DOUBLE_EQ(params.GetDouble("alpha", 0.85).value(), 0.3);
+  EXPECT_DOUBLE_EQ(params.GetDouble("missing", 0.85).value(), 0.85);
+  EXPECT_EQ(params.GetInt("k", 3).value(), 5);
+  EXPECT_EQ(params.GetInt("missing", 3).value(), 3);
+}
+
+TEST(ParamMapTest, TypedGettersRejectMalformedValues) {
+  const ParamMap params = ParamMap::Parse("alpha=abc").value();
+  EXPECT_FALSE(params.GetDouble("alpha", 0.85).ok());
+}
+
+TEST(ParamMapTest, ToStringCanonicalOrder) {
+  const ParamMap params = ParamMap::Parse("z=1, a=2").value();
+  EXPECT_EQ(params.ToString(), "a=2, z=1");
+}
+
+TEST(ParamMapTest, KeysSorted) {
+  const ParamMap params = ParamMap::Parse("k=3, alpha=0.3").value();
+  EXPECT_EQ(params.Keys(), (std::vector<std::string>{"alpha", "k"}));
+}
+
+Graph LabeledGraph() {
+  GraphBuilder builder;
+  builder.AddEdge("Fake news", "CNN");
+  builder.AddEdge("CNN", "Fake news");
+  return builder.Build().value();
+}
+
+TEST(BuildRequestTest, ResolvesReferenceByLabel) {
+  const Graph g = LabeledGraph();
+  const ParamMap params = ParamMap::Parse("source=Fake news, k=3").value();
+  const AlgorithmRequest request = BuildRequest(g, params).value();
+  EXPECT_EQ(request.reference, g.FindNode("Fake news"));
+  EXPECT_EQ(request.max_cycle_length, 3u);
+}
+
+TEST(BuildRequestTest, ResolvesNumericReferenceOnUnlabeledGraph) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  const Graph g = builder.Build().value();
+  const ParamMap params = ParamMap::Parse("source=1").value();
+  EXPECT_EQ(BuildRequest(g, params).value().reference, 1u);
+}
+
+TEST(BuildRequestTest, AcceptsReferenceAliases) {
+  const Graph g = LabeledGraph();
+  EXPECT_EQ(BuildRequest(g, ParamMap::Parse("reference=CNN").value())
+                .value()
+                .reference,
+            g.FindNode("CNN"));
+  EXPECT_EQ(BuildRequest(g, ParamMap::Parse("r=CNN").value()).value().reference,
+            g.FindNode("CNN"));
+}
+
+TEST(BuildRequestTest, UnknownReferenceIsNotFound) {
+  const Graph g = LabeledGraph();
+  EXPECT_EQ(BuildRequest(g, ParamMap::Parse("source=BBC").value())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BuildRequestTest, ParsesAllNumericKnobs) {
+  const Graph g = LabeledGraph();
+  const ParamMap params =
+      ParamMap::Parse(
+          "alpha=0.5, k=4, sigma=lin, tolerance=1e-8, max_iterations=50, "
+          "epsilon=1e-5, walks=1234, seed=9, top_k=7")
+          .value();
+  const AlgorithmRequest request = BuildRequest(g, params).value();
+  EXPECT_DOUBLE_EQ(request.alpha, 0.5);
+  EXPECT_EQ(request.max_cycle_length, 4u);
+  EXPECT_EQ(request.scoring, ScoringFunction::kLinear);
+  EXPECT_DOUBLE_EQ(request.tolerance, 1e-8);
+  EXPECT_EQ(request.max_iterations, 50u);
+  EXPECT_DOUBLE_EQ(request.epsilon, 1e-5);
+  EXPECT_EQ(request.num_walks, 1234u);
+  EXPECT_EQ(request.seed, 9u);
+  EXPECT_EQ(request.top_k, 7u);
+}
+
+TEST(BuildRequestTest, DefaultsWhenAbsent) {
+  const Graph g = LabeledGraph();
+  const AlgorithmRequest request = BuildRequest(g, ParamMap()).value();
+  EXPECT_EQ(request.reference, kInvalidNode);
+  EXPECT_DOUBLE_EQ(request.alpha, 0.85);
+  EXPECT_EQ(request.max_cycle_length, 3u);
+  EXPECT_EQ(request.scoring, ScoringFunction::kExponential);
+}
+
+TEST(BuildRequestTest, RejectsUnknownKeys) {
+  const Graph g = LabeledGraph();
+  const ParamMap params = ParamMap::Parse("alhpa=0.3").value();  // typo
+  EXPECT_EQ(BuildRequest(g, params).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BuildRequestTest, RejectsBadScoringName) {
+  const Graph g = LabeledGraph();
+  EXPECT_FALSE(BuildRequest(g, ParamMap::Parse("sigma=cubic").value()).ok());
+}
+
+TEST(BuildRequestTest, MaxloopAliasForK) {
+  const Graph g = LabeledGraph();
+  EXPECT_EQ(
+      BuildRequest(g, ParamMap::Parse("maxloop=5").value()).value()
+          .max_cycle_length,
+      5u);
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,89 @@
+#include "platform/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+/// Toy algorithm proving the "new algorithms can be easily added" claim.
+class DegreeRank final : public RelevanceAlgorithm {
+ public:
+  std::string_view name() const override { return "degreerank"; }
+  bool requires_reference() const override { return false; }
+  bool produces_scores() const override { return true; }
+  Result<RankedList> Run(const Graph& g,
+                         const AlgorithmRequest& request) const override {
+    std::vector<double> scores(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) scores[u] = g.InDegree(u);
+    RankingOptions options;
+    options.top_k = request.top_k;
+    options.drop_zeros = false;
+    return ScoresToRankedList(scores, options);
+  }
+};
+
+TEST(RegistryTest, DefaultContainsAllBuiltIns) {
+  auto& registry = AlgorithmRegistry::Default();
+  EXPECT_GE(registry.size(), 9u);
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    EXPECT_TRUE(
+        registry.Find(std::string(AlgorithmKindToString(kind))).ok())
+        << AlgorithmKindToString(kind);
+  }
+}
+
+TEST(RegistryTest, FindResolvesAliases) {
+  auto& registry = AlgorithmRegistry::Default();
+  const auto ppr = registry.Find("ppr");
+  ASSERT_TRUE(ppr.ok());
+  EXPECT_EQ((*ppr)->name(), "pers_pagerank");
+}
+
+TEST(RegistryTest, UnknownAlgorithmNotFound) {
+  EXPECT_EQ(AlgorithmRegistry::Default().Find("hits").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, RegisterCustomAlgorithm) {
+  AlgorithmRegistry registry;
+  ASSERT_TRUE(registry.Register(std::make_shared<DegreeRank>()).ok());
+  const auto found = registry.Find("degreerank");
+  ASSERT_TRUE(found.ok());
+
+  GraphBuilder builder;
+  builder.AddEdge(1, 0);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(0, 1);
+  const Graph g = builder.Build().value();
+  const RankedList ranking = (*found)->Run(g, AlgorithmRequest{}).value();
+  EXPECT_EQ(ranking.front().node, 0u);  // highest in-degree first
+}
+
+TEST(RegistryTest, DuplicateRegistrationRejected) {
+  AlgorithmRegistry registry;
+  ASSERT_TRUE(registry.Register(std::make_shared<DegreeRank>()).ok());
+  EXPECT_EQ(registry.Register(std::make_shared<DegreeRank>()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(RegistryTest, NullRegistrationRejected) {
+  AlgorithmRegistry registry;
+  EXPECT_EQ(registry.Register(nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, NamesSorted) {
+  AlgorithmRegistry registry;
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    ASSERT_TRUE(registry.Register(MakeAlgorithm(kind)).ok());
+  }
+  const auto names = registry.Names();
+  ASSERT_EQ(names.size(), AllAlgorithmKinds().size());
+  for (size_t i = 1; i < names.size(); ++i) {
+    EXPECT_LT(names[i - 1], names[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,133 @@
+#include "platform/result_io.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+TaskResult SampleResult() {
+  TaskResult result;
+  result.task_id = "abc/0";
+  result.spec.dataset = "enwiki-mini-2018";
+  result.spec.algorithm = "cyclerank";
+  result.spec.params = ParamMap::Parse("k=3, sigma=exp").value();
+  result.status = Status::OK();
+  result.seconds = 0.25;
+  result.ranking = {{0, 0.5}, {2, 0.25}, {1, 0.125}};
+  return result;
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonEscape("Ère post-vérité"), "Ère post-vérité");  // UTF-8
+}
+
+TEST(ResultIoTest, TaskResultJsonStructure) {
+  const std::string json = TaskResultToJson(SampleResult());
+  EXPECT_NE(json.find("\"task_id\":\"abc/0\""), std::string::npos);
+  EXPECT_NE(json.find("\"dataset\":\"enwiki-mini-2018\""), std::string::npos);
+  EXPECT_NE(json.find("\"algorithm\":\"cyclerank\""), std::string::npos);
+  EXPECT_NE(json.find("\"k\":\"3\""), std::string::npos);
+  EXPECT_NE(json.find("\"sigma\":\"exp\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"node\":\"0\""), std::string::npos);
+  EXPECT_NE(json.find("\"score\":0.5"), std::string::npos);
+  // Balanced braces/brackets.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ResultIoTest, LabelsResolvedThroughGraph) {
+  GraphBuilder builder;
+  builder.AddEdge("Pasta", "Italy");
+  builder.AddEdge("Italy", "Rome, the city");
+  const Graph g = builder.Build().value();
+  ResultExportOptions options;
+  options.graph = &g;
+  const std::string json = TaskResultToJson(SampleResult(), options);
+  EXPECT_NE(json.find("\"node\":\"Pasta\""), std::string::npos);
+  EXPECT_NE(json.find("\"node\":\"Italy\""), std::string::npos);
+}
+
+TEST(ResultIoTest, TopKTruncatesJson) {
+  ResultExportOptions options;
+  options.top_k = 1;
+  const std::string json = TaskResultToJson(SampleResult(), options);
+  EXPECT_NE(json.find("\"node\":\"0\""), std::string::npos);
+  EXPECT_EQ(json.find("\"node\":\"2\""), std::string::npos);
+}
+
+TEST(ResultIoTest, FailedTaskCarriesStatus) {
+  TaskResult result = SampleResult();
+  result.status = Status::NotFound("dataset 'x' not found");
+  result.ranking.clear();
+  const std::string json = TaskResultToJson(result);
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("NotFound"), std::string::npos);
+  EXPECT_NE(json.find("\"ranking\":[]"), std::string::npos);
+}
+
+TEST(ResultIoTest, PrettyPrintingIndents) {
+  ResultExportOptions options;
+  options.pretty = true;
+  const std::string json = TaskResultToJson(SampleResult(), options);
+  EXPECT_NE(json.find("\n  \"task_id\": \"abc/0\""), std::string::npos);
+  EXPECT_NE(json.find("\n}"), std::string::npos);
+}
+
+TEST(ResultIoTest, ComparisonJsonJoinsTasks) {
+  ComparisonStatus status;
+  status.comparison_id = "3a73ff34-8720-4ce8-859e-34e70f339907";
+  status.task_ids = {"id/0", "id/1"};
+  status.states = {TaskState::kCompleted, TaskState::kFailed};
+  status.completed = 1;
+  status.failed = 1;
+  status.done = true;
+  const std::string json = ComparisonToJson(status, {SampleResult()});
+  EXPECT_NE(json.find("\"comparison_id\":\"3a73ff34-"), std::string::npos);
+  EXPECT_NE(json.find("\"done\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"completed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"state\":\"completed\""), std::string::npos);
+  EXPECT_NE(json.find("\"state\":\"failed\""), std::string::npos);
+  EXPECT_NE(json.find("\"results\":[{"), std::string::npos);
+}
+
+TEST(ResultIoTest, CsvWithHeaderAndRows) {
+  const std::string csv = RankingToCsv(SampleResult().ranking);
+  EXPECT_EQ(csv,
+            "rank,node,score\n"
+            "1,0,0.5\n"
+            "2,2,0.25\n"
+            "3,1,0.125\n");
+}
+
+TEST(ResultIoTest, CsvQuotesLabelsWithCommas) {
+  GraphBuilder builder;
+  builder.AddEdge("US pres. election, 2016", "a \"quoted\" label");
+  const Graph g = builder.Build().value();
+  ResultExportOptions options;
+  options.graph = &g;
+  RankedList ranking = {{0, 1.0}, {1, 0.5}};
+  const std::string csv = RankingToCsv(ranking, options);
+  EXPECT_NE(csv.find("\"US pres. election, 2016\""), std::string::npos);
+  EXPECT_NE(csv.find("\"a \"\"quoted\"\" label\""), std::string::npos);
+}
+
+TEST(ResultIoTest, CsvTopK) {
+  ResultExportOptions options;
+  options.top_k = 2;
+  const std::string csv = RankingToCsv(SampleResult().ranking, options);
+  EXPECT_NE(csv.find("\n2,"), std::string::npos);
+  EXPECT_EQ(csv.find("\n3,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cyclerank

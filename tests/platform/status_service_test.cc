@@ -1,0 +1,103 @@
+#include "platform/status_service.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace cyclerank {
+namespace {
+
+TEST(StatusServiceTest, TrackStartsPending) {
+  StatusService status;
+  ASSERT_TRUE(status.Track("t1").ok());
+  EXPECT_EQ(status.GetState("t1").value(), TaskState::kPending);
+  EXPECT_EQ(status.size(), 1u);
+}
+
+TEST(StatusServiceTest, DuplicateTrackRejected) {
+  StatusService status;
+  ASSERT_TRUE(status.Track("t").ok());
+  EXPECT_EQ(status.Track("t").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StatusServiceTest, EmptyIdRejected) {
+  StatusService status;
+  EXPECT_EQ(status.Track("").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusServiceTest, StateTransitions) {
+  StatusService status;
+  ASSERT_TRUE(status.Track("t").ok());
+  ASSERT_TRUE(status.SetState("t", TaskState::kFetching).ok());
+  ASSERT_TRUE(status.SetState("t", TaskState::kRunning).ok());
+  ASSERT_TRUE(status.SetState("t", TaskState::kCompleted).ok());
+  EXPECT_EQ(status.GetState("t").value(), TaskState::kCompleted);
+}
+
+TEST(StatusServiceTest, TerminalStatesAreFinal) {
+  StatusService status;
+  ASSERT_TRUE(status.Track("t").ok());
+  ASSERT_TRUE(status.SetState("t", TaskState::kCancelled).ok());
+  EXPECT_EQ(status.SetState("t", TaskState::kRunning).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(status.GetState("t").value(), TaskState::kCancelled);
+}
+
+TEST(StatusServiceTest, UnknownTaskNotFound) {
+  StatusService status;
+  EXPECT_EQ(status.GetState("x").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.SetState("x", TaskState::kRunning).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(StatusServiceTest, GetStatesBatch) {
+  StatusService status;
+  ASSERT_TRUE(status.Track("a").ok());
+  ASSERT_TRUE(status.Track("b").ok());
+  ASSERT_TRUE(status.SetState("b", TaskState::kRunning).ok());
+  const auto states = status.GetStates({"a", "b"}).value();
+  EXPECT_EQ(states[0], TaskState::kPending);
+  EXPECT_EQ(states[1], TaskState::kRunning);
+  EXPECT_FALSE(status.GetStates({"a", "zzz"}).ok());
+}
+
+TEST(StatusServiceTest, WaitUntilTerminalTimesOut) {
+  StatusService status;
+  ASSERT_TRUE(status.Track("t").ok());
+  const auto done = status.WaitUntilTerminal({"t"}, 0.05);
+  ASSERT_TRUE(done.ok());
+  EXPECT_FALSE(*done);
+}
+
+TEST(StatusServiceTest, WaitUntilTerminalWakesOnCompletion) {
+  StatusService status;
+  ASSERT_TRUE(status.Track("t").ok());
+  std::thread setter([&status] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    (void)status.SetState("t", TaskState::kCompleted);
+  });
+  const auto done = status.WaitUntilTerminal({"t"}, 5.0);
+  setter.join();
+  ASSERT_TRUE(done.ok());
+  EXPECT_TRUE(*done);
+}
+
+TEST(StatusServiceTest, WaitValidatesIdsUpFront) {
+  StatusService status;
+  EXPECT_EQ(status.WaitUntilTerminal({"ghost"}, 0.01).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(StatusServiceTest, WaitOnMultipleTasks) {
+  StatusService status;
+  ASSERT_TRUE(status.Track("a").ok());
+  ASSERT_TRUE(status.Track("b").ok());
+  ASSERT_TRUE(status.SetState("a", TaskState::kCompleted).ok());
+  // b still pending -> timeout.
+  EXPECT_FALSE(*status.WaitUntilTerminal({"a", "b"}, 0.05));
+  ASSERT_TRUE(status.SetState("b", TaskState::kFailed).ok());
+  EXPECT_TRUE(*status.WaitUntilTerminal({"a", "b"}, 0.05));
+}
+
+}  // namespace
+}  // namespace cyclerank

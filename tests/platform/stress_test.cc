@@ -1,0 +1,201 @@
+// Failure injection and concurrency stress for the platform layer: the
+// paper's architecture claims isolation between tasks ("each component is
+// containerized to provide isolation", §III) — in this in-process library
+// that translates to: one failing task never corrupts its comparison, and
+// every component tolerates concurrent clients.
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "platform/gateway.h"
+
+namespace cyclerank {
+namespace {
+
+/// Algorithm that fails on demand: `params: fail=1` -> Internal error;
+/// `params: crashy_seed` odd -> OutOfRange. Used to inject failures at the
+/// executor level.
+class FlakyAlgorithm final : public RelevanceAlgorithm {
+ public:
+  std::string_view name() const override { return "flaky"; }
+  bool requires_reference() const override { return false; }
+  bool produces_scores() const override { return true; }
+  Result<RankedList> Run(const Graph& g,
+                         const AlgorithmRequest& request) const override {
+    ++invocations_;
+    if (request.seed % 2 == 1) {
+      return Status::Internal("flaky: injected failure (odd seed)");
+    }
+    std::vector<double> scores(g.num_nodes(), 1.0);
+    RankingOptions options;
+    options.drop_zeros = false;
+    return ScoresToRankedList(scores, options);
+  }
+  static std::atomic<int> invocations_;
+};
+
+std::atomic<int> FlakyAlgorithm::invocations_{0};
+
+GraphPtr TinyGraph() {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  return builder.BuildShared().value();
+}
+
+TEST(FailureInjectionTest, FailedTasksDoNotPoisonTheComparison) {
+  AlgorithmRegistry registry;
+  ASSERT_TRUE(registry.Register(std::make_shared<FlakyAlgorithm>()).ok());
+  ASSERT_TRUE(registry.Register(MakeAlgorithm(AlgorithmKind::kPageRank)).ok());
+  Datastore store(nullptr);
+  ASSERT_TRUE(store.PutDataset("tiny", TinyGraph()).ok());
+  ApiGateway gateway(&store, &registry, 2, 3);
+
+  TaskBuilder builder;
+  for (int i = 0; i < 10; ++i) {
+    // Odd seeds fail, even seeds succeed.
+    ASSERT_TRUE(
+        builder.Add("tiny", "flaky", "seed=" + std::to_string(i)).ok());
+  }
+  const std::string id = gateway.SubmitQuerySet(builder.Build()).value();
+  ASSERT_TRUE(*gateway.WaitForCompletion(id, 60.0));
+  const ComparisonStatus status = gateway.GetStatus(id).value();
+  EXPECT_EQ(status.completed, 5u);
+  EXPECT_EQ(status.failed, 5u);
+  EXPECT_TRUE(status.done);
+  // Every task has a stored result carrying its own status.
+  const auto results = gateway.GetResults(id).value();
+  ASSERT_EQ(results.size(), 10u);
+  size_t failed = 0;
+  for (const TaskResult& result : results) {
+    if (!result.status.ok()) {
+      ++failed;
+      EXPECT_EQ(result.status.code(), StatusCode::kInternal);
+      EXPECT_TRUE(result.ranking.empty());
+    }
+  }
+  EXPECT_EQ(failed, 5u);
+}
+
+TEST(FailureInjectionTest, FailureLogsAreRecorded) {
+  AlgorithmRegistry registry;
+  ASSERT_TRUE(registry.Register(std::make_shared<FlakyAlgorithm>()).ok());
+  Datastore store(nullptr);
+  ASSERT_TRUE(store.PutDataset("tiny", TinyGraph()).ok());
+  ApiGateway gateway(&store, &registry, 1, 4);
+  TaskBuilder builder;
+  ASSERT_TRUE(builder.Add("tiny", "flaky", "seed=1").ok());
+  const std::string id = gateway.SubmitQuerySet(builder.Build()).value();
+  ASSERT_TRUE(*gateway.WaitForCompletion(id, 30.0));
+  const auto log = store.GetLog(id + "/0");
+  ASSERT_FALSE(log.empty());
+  bool found = false;
+  for (const std::string& line : log) {
+    if (line.find("injected failure") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(StressTest, ConcurrentSubmittersGetIsolatedComparisons) {
+  Datastore store(nullptr);
+  ASSERT_TRUE(store.PutDataset("tiny", TinyGraph()).ok());
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 4, 9);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5;
+  std::vector<std::vector<std::string>> ids(kThreads);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&gateway, &ids, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TaskBuilder builder;
+        (void)builder.Add("tiny", "pagerank", "alpha=0.85");
+        (void)builder.Add("tiny", "cyclerank", "source=0, k=3");
+        auto id = gateway.SubmitQuerySet(builder.Build());
+        if (id.ok()) ids[t].push_back(std::move(id).value());
+      }
+    });
+  }
+  for (std::thread& thread : submitters) thread.join();
+
+  std::set<std::string> unique;
+  for (const auto& batch : ids) {
+    ASSERT_EQ(batch.size(), static_cast<size_t>(kPerThread));
+    for (const std::string& id : batch) {
+      EXPECT_TRUE(unique.insert(id).second) << "duplicate id " << id;
+      ASSERT_TRUE(*gateway.WaitForCompletion(id, 120.0));
+      const ComparisonStatus status = gateway.GetStatus(id).value();
+      EXPECT_EQ(status.completed, 2u) << id;
+    }
+  }
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(StressTest, ConcurrentDatastoreUploadsAndReads) {
+  Datastore store(nullptr);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  std::atomic<int> upload_failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&store, &upload_failures, t] {
+      for (int i = 0; i < 20; ++i) {
+        const std::string name =
+            "g-" + std::to_string(t) + "-" + std::to_string(i);
+        if (!store.PutDataset(name, TinyGraph()).ok()) ++upload_failures;
+        // Interleave reads of everything uploaded so far.
+        (void)store.GetDataset(name);
+        store.AppendLog(name, "uploaded");
+      }
+    });
+  }
+  for (std::thread& thread : workers) thread.join();
+  EXPECT_EQ(upload_failures.load(), 0);
+  EXPECT_EQ(store.UploadedDatasets().size(), 160u);
+}
+
+TEST(StressTest, ConcurrentRegistryLookupsDuringRegistration) {
+  AlgorithmRegistry registry;
+  std::atomic<bool> stop{false};
+  std::thread reader([&registry, &stop] {
+    while (!stop.load()) {
+      (void)registry.Find("pagerank");
+      (void)registry.Names();
+    }
+  });
+  for (AlgorithmKind kind : AllAlgorithmKinds()) {
+    ASSERT_TRUE(registry.Register(MakeAlgorithm(kind)).ok());
+  }
+  stop = true;
+  reader.join();
+  EXPECT_TRUE(registry.Find("pagerank").ok());
+}
+
+TEST(StressTest, StatusServiceConcurrentTransitions) {
+  StatusService status;
+  constexpr int kTasks = 200;
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_TRUE(status.Track("t" + std::to_string(i)).ok());
+  }
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&status, t] {
+      for (int i = t; i < kTasks; i += 4) {
+        const std::string id = "t" + std::to_string(i);
+        (void)status.SetState(id, TaskState::kRunning);
+        (void)status.SetState(id, TaskState::kCompleted);
+      }
+    });
+  }
+  std::vector<std::string> all;
+  for (int i = 0; i < kTasks; ++i) all.push_back("t" + std::to_string(i));
+  for (std::thread& worker : workers) worker.join();
+  ASSERT_TRUE(*status.WaitUntilTerminal(all, 10.0));
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,96 @@
+#include "platform/task.h"
+
+#include <gtest/gtest.h>
+
+namespace cyclerank {
+namespace {
+
+TEST(TaskSpecTest, ToStringRendersTriple) {
+  TaskSpec spec;
+  spec.dataset = "enwiki-mini-2018";
+  spec.algorithm = "cyclerank";
+  spec.params = ParamMap::Parse("k=3, sigma=exp").value();
+  EXPECT_EQ(spec.ToString(), "enwiki-mini-2018 | cyclerank | k=3, sigma=exp");
+}
+
+TEST(TaskSpecTest, ToStringOmitsEmptyParams) {
+  TaskSpec spec;
+  spec.dataset = "d";
+  spec.algorithm = "pagerank";
+  EXPECT_EQ(spec.ToString(), "d | pagerank");
+}
+
+TEST(TaskStateTest, NamesAndTerminality) {
+  EXPECT_EQ(TaskStateToString(TaskState::kPending), "pending");
+  EXPECT_EQ(TaskStateToString(TaskState::kRunning), "running");
+  EXPECT_EQ(TaskStateToString(TaskState::kCompleted), "completed");
+  EXPECT_FALSE(IsTerminal(TaskState::kPending));
+  EXPECT_FALSE(IsTerminal(TaskState::kFetching));
+  EXPECT_FALSE(IsTerminal(TaskState::kRunning));
+  EXPECT_TRUE(IsTerminal(TaskState::kCompleted));
+  EXPECT_TRUE(IsTerminal(TaskState::kFailed));
+  EXPECT_TRUE(IsTerminal(TaskState::kCancelled));
+}
+
+TEST(TaskBuilderTest, AddsTasks) {
+  TaskBuilder builder;
+  ASSERT_TRUE(builder.Add("wiki", "pagerank", "alpha=0.85").ok());
+  ASSERT_TRUE(builder.Add("wiki", "cyclerank", "k=3, source=Pasta").ok());
+  EXPECT_EQ(builder.size(), 2u);
+  const QuerySet set = builder.Build();
+  EXPECT_EQ(set.tasks.size(), 2u);
+  EXPECT_EQ(set.tasks[0].algorithm, "pagerank");
+}
+
+TEST(TaskBuilderTest, RejectsEmptyFields) {
+  TaskBuilder builder;
+  EXPECT_EQ(builder.Add("", "pagerank", "").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.Add("wiki", "", "").code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(builder.empty());
+}
+
+TEST(TaskBuilderTest, RejectsMalformedParams) {
+  TaskBuilder builder;
+  EXPECT_EQ(builder.Add("wiki", "pagerank", "not-params").code(),
+            StatusCode::kParseError);
+}
+
+TEST(TaskBuilderTest, RemoveByIndexMirrorsFig2RowDelete) {
+  TaskBuilder builder;
+  ASSERT_TRUE(builder.Add("d1", "pagerank", "").ok());
+  ASSERT_TRUE(builder.Add("d2", "cheirank", "").ok());
+  ASSERT_TRUE(builder.Add("d3", "2drank", "").ok());
+  ASSERT_TRUE(builder.Remove(1).ok());
+  ASSERT_EQ(builder.size(), 2u);
+  EXPECT_EQ(builder.tasks()[0].dataset, "d1");
+  EXPECT_EQ(builder.tasks()[1].dataset, "d3");
+}
+
+TEST(TaskBuilderTest, RemoveOutOfRange) {
+  TaskBuilder builder;
+  ASSERT_TRUE(builder.Add("d", "pagerank", "").ok());
+  EXPECT_EQ(builder.Remove(5).code(), StatusCode::kOutOfRange);
+}
+
+TEST(TaskBuilderTest, ClearMirrorsFig2TrashBin) {
+  TaskBuilder builder;
+  ASSERT_TRUE(builder.Add("d", "pagerank", "").ok());
+  ASSERT_TRUE(builder.Add("d", "cheirank", "").ok());
+  builder.Clear();
+  EXPECT_TRUE(builder.empty());
+  EXPECT_TRUE(builder.Build().tasks.empty());
+}
+
+TEST(TaskBuilderTest, BuilderKeepsContentsAfterBuild) {
+  TaskBuilder builder;
+  ASSERT_TRUE(builder.Add("d", "pagerank", "").ok());
+  const QuerySet first = builder.Build();
+  ASSERT_TRUE(builder.Add("d", "cheirank", "").ok());
+  const QuerySet second = builder.Build();
+  EXPECT_EQ(first.tasks.size(), 1u);
+  EXPECT_EQ(second.tasks.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cyclerank

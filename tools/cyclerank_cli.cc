@@ -1,0 +1,278 @@
+// cyclerank-cli — terminal counterpart of the demo's Web UI. Every
+// capability the paper's interface exposes is reachable here:
+//
+//   cyclerank-cli datasets                        list the pre-loaded catalog
+//   cyclerank-cli algorithms                      list registered algorithms
+//   cyclerank-cli stats <dataset>                 dataset statistics
+//   cyclerank-cli run <dataset> <algorithm> [params] [top_k]
+//                                                 one task through the platform
+//   cyclerank-cli compare <dataset> <reference> [k]
+//                                                 all seven algorithms side by side
+//   cyclerank-cli convert <input-file> <output-file>
+//                                                 edgelist/pajek/asd/metis conversion
+//   cyclerank-cli export <dataset> <algorithm> <params> <out.json|out.csv>
+//                                                 run a task, save the result
+//   cyclerank-cli explain <dataset> <reference> <target> [k]
+//                                                 show the cycles behind a score
+//
+// Examples:
+//   cyclerank-cli run enwiki-mini-2018 cyclerank "source=Pasta, k=3" 5
+//   cyclerank-cli compare amazon-books-mini "1984" 5
+//   cyclerank-cli convert graph.csv graph.net
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/explain.h"
+#include "datasets/catalog.h"
+#include "eval/comparison.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "platform/gateway.h"
+#include "platform/result_io.h"
+
+namespace cyclerank {
+namespace {
+
+int Usage() {
+  std::fputs(
+      "usage: cyclerank-cli <command> [args]\n"
+      "  datasets\n"
+      "  algorithms\n"
+      "  stats <dataset>\n"
+      "  run <dataset> <algorithm> [params] [top_k]\n"
+      "  compare <dataset> <reference> [k]\n"
+      "  convert <input-file> <output-file>\n"
+      "  export <dataset> <algorithm> <params> <out.json|out.csv>\n"
+      "  explain <dataset> <reference> <target> [k]\n",
+      stderr);
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdDatasets() {
+  std::printf("%-22s %-10s %s\n", "name", "source", "description");
+  for (const DatasetInfo& info : DatasetCatalog::BuiltIn().List()) {
+    std::printf("%-22s %-10s %s\n", info.name.c_str(), info.source.c_str(),
+                info.description.c_str());
+  }
+  std::printf("\n%zu pre-loaded datasets\n", DatasetCatalog::BuiltIn().size());
+  return 0;
+}
+
+int CmdAlgorithms() {
+  auto& registry = AlgorithmRegistry::Default();
+  std::printf("%-16s %-12s %s\n", "name", "needs ref?", "output");
+  for (const std::string& name : registry.Names()) {
+    const auto algorithm = registry.Find(name);
+    if (!algorithm.ok()) continue;
+    std::printf("%-16s %-12s %s\n", name.c_str(),
+                (*algorithm)->requires_reference() ? "yes" : "no",
+                (*algorithm)->produces_scores() ? "scores" : "ranking only");
+  }
+  return 0;
+}
+
+int CmdStats(const std::string& dataset) {
+  auto graph = DatasetCatalog::BuiltIn().Load(dataset);
+  if (!graph.ok()) return Fail(graph.status());
+  std::printf("%s:\n%s\n", dataset.c_str(),
+              ComputeGraphStats(**graph).ToString().c_str());
+  return 0;
+}
+
+int CmdRun(const std::string& dataset, const std::string& algorithm,
+           const std::string& params, const std::string& top_k) {
+  Datastore store;
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 2);
+  TaskBuilder builder;
+  std::string full_params = params;
+  if (!top_k.empty()) {
+    full_params += full_params.empty() ? "" : ", ";
+    full_params += "top_k=" + top_k;
+  }
+  const Status add_status = builder.Add(dataset, algorithm, full_params);
+  if (!add_status.ok()) return Fail(add_status);
+  auto id = gateway.SubmitQuerySet(builder.Build());
+  if (!id.ok()) return Fail(id.status());
+  std::printf("comparison id: %s\n", id->c_str());
+  (void)gateway.WaitForCompletion(*id, 600.0);
+  auto results = gateway.GetResults(*id);
+  if (!results.ok()) return Fail(results.status());
+  const TaskResult& result = results->front();
+  if (!result.status.ok()) return Fail(result.status);
+  auto graph = store.GetDataset(dataset);
+  std::printf("%zu ranked nodes in %.1f ms:\n", result.ranking.size(),
+              result.seconds * 1000.0);
+  const size_t limit = result.ranking.size() > 25 && top_k.empty()
+                           ? 25
+                           : result.ranking.size();
+  std::fputs(FormatTopK(result.ranking, **graph, limit).c_str(), stdout);
+  if (limit < result.ranking.size()) {
+    std::printf("... (%zu more)\n", result.ranking.size() - limit);
+  }
+  return 0;
+}
+
+int CmdCompare(const std::string& dataset, const std::string& reference,
+               const std::string& k) {
+  Datastore store;
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 4);
+  TaskBuilder builder;
+  const std::string params =
+      "source=" + reference + ", k=" + (k.empty() ? "3" : k);
+  for (const char* algorithm :
+       {"pagerank", "cheirank", "2drank", "pers_pagerank", "pers_cheirank",
+        "pers_2drank", "cyclerank"}) {
+    const Status add_status = builder.Add(dataset, algorithm, params);
+    if (!add_status.ok()) return Fail(add_status);
+  }
+  auto id = gateway.SubmitQuerySet(builder.Build());
+  if (!id.ok()) return Fail(id.status());
+  std::printf("comparison id: %s\n\n", id->c_str());
+  (void)gateway.WaitForCompletion(*id, 600.0);
+  auto results = gateway.GetResults(*id);
+  auto graph = store.GetDataset(dataset);
+  if (!results.ok() || !graph.ok()) return Fail(results.status());
+
+  std::vector<ComparisonColumn> columns;
+  for (const TaskResult& result : *results) {
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", result.spec.algorithm.c_str(),
+                   result.status.ToString().c_str());
+      continue;
+    }
+    columns.push_back({result.spec.algorithm, result.ranking});
+  }
+  ComparisonTableOptions table;
+  table.top_k = 5;
+  table.skip_node = (*graph)->FindNode(reference);
+  std::fputs(RenderComparisonTable(**graph, columns, table).c_str(), stdout);
+  std::puts("\npairwise agreement at depth 5:");
+  std::fputs(RenderPairwise(ComparePairwise(columns, 5)).c_str(), stdout);
+  return 0;
+}
+
+int CmdConvert(const std::string& input, const std::string& output) {
+  auto graph = ReadGraphFile(input);
+  if (!graph.ok()) return Fail(graph.status());
+  auto format = GraphFormatFromPath(output);
+  if (!format.ok()) return Fail(format.status());
+  const Status st = WriteGraphFile(*graph, output, *format);
+  if (!st.ok()) return Fail(st);
+  std::printf("%s (%u nodes, %llu edges) -> %s [%s]\n", input.c_str(),
+              graph->num_nodes(),
+              static_cast<unsigned long long>(graph->num_edges()),
+              output.c_str(),
+              std::string(GraphFormatToString(*format)).c_str());
+  return 0;
+}
+
+int CmdExport(const std::string& dataset, const std::string& algorithm,
+              const std::string& params, const std::string& output) {
+  Datastore store;
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 2);
+  TaskBuilder builder;
+  const Status add_status = builder.Add(dataset, algorithm, params);
+  if (!add_status.ok()) return Fail(add_status);
+  auto id = gateway.SubmitQuerySet(builder.Build());
+  if (!id.ok()) return Fail(id.status());
+  (void)gateway.WaitForCompletion(*id, 600.0);
+  auto status = gateway.GetStatus(*id);
+  auto results = gateway.GetResults(*id);
+  auto graph = store.GetDataset(dataset);
+  if (!status.ok() || !results.ok() || !graph.ok() || results->empty()) {
+    return Fail(Status::Internal("task did not produce a result"));
+  }
+  ResultExportOptions options;
+  options.graph = graph->get();
+  options.pretty = true;
+  std::string payload;
+  if (EndsWith(output, ".csv")) {
+    payload = RankingToCsv(results->front().ranking, options);
+  } else {
+    payload = ComparisonToJson(*status, *results, options);
+  }
+  std::FILE* file = std::fopen(output.c_str(), "w");
+  if (file == nullptr) {
+    return Fail(Status::IOError("cannot open '" + output + "' for writing"));
+  }
+  std::fwrite(payload.data(), 1, payload.size(), file);
+  std::fclose(file);
+  std::printf("wrote %zu bytes to %s (comparison %s)\n", payload.size(),
+              output.c_str(), id->c_str());
+  return 0;
+}
+
+int CmdExplain(const std::string& dataset, const std::string& reference,
+               const std::string& target, const std::string& k) {
+  auto graph = DatasetCatalog::BuiltIn().Load(dataset);
+  if (!graph.ok()) return Fail(graph.status());
+  const Graph& g = **graph;
+  const NodeId ref = g.FindNode(reference);
+  const NodeId tgt = g.FindNode(target);
+  if (ref == kInvalidNode || tgt == kInvalidNode) {
+    return Fail(Status::NotFound("reference or target node not found"));
+  }
+  ExplainOptions options;
+  if (!k.empty()) {
+    auto parsed = ParseInt64(k);
+    if (!parsed.ok() || *parsed < 2) {
+      return Fail(Status::InvalidArgument("k must be an integer >= 2"));
+    }
+    options.max_cycle_length = static_cast<uint32_t>(*parsed);
+  }
+  auto explanation = ExplainCycles(g, ref, tgt, options);
+  if (!explanation.ok()) return Fail(explanation.status());
+  std::printf("cycles of length <= %u through '%s' and '%s': %llu\n",
+              options.max_cycle_length, reference.c_str(), target.c_str(),
+              static_cast<unsigned long long>(explanation->total_found));
+  std::fputs(FormatExplanation(*explanation, g).c_str(), stdout);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  auto arg = [&](int i) -> std::string {
+    return argc > i ? argv[i] : "";
+  };
+  if (command == "datasets") return CmdDatasets();
+  if (command == "algorithms") return CmdAlgorithms();
+  if (command == "stats") {
+    if (argc < 3) return Usage();
+    return CmdStats(arg(2));
+  }
+  if (command == "run") {
+    if (argc < 4) return Usage();
+    return CmdRun(arg(2), arg(3), arg(4), arg(5));
+  }
+  if (command == "compare") {
+    if (argc < 4) return Usage();
+    return CmdCompare(arg(2), arg(3), arg(4));
+  }
+  if (command == "convert") {
+    if (argc < 4) return Usage();
+    return CmdConvert(arg(2), arg(3));
+  }
+  if (command == "export") {
+    if (argc < 6) return Usage();
+    return CmdExport(arg(2), arg(3), arg(4), arg(5));
+  }
+  if (command == "explain") {
+    if (argc < 5) return Usage();
+    return CmdExplain(arg(2), arg(3), arg(4), arg(5));
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cyclerank
+
+int main(int argc, char** argv) { return cyclerank::Main(argc, argv); }
