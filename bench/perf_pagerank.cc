@@ -33,6 +33,21 @@ void BM_PageRank_SizeSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_PageRank_SizeSweep)->Arg(1000)->Arg(10000)->Arg(50000);
 
+void BM_PageRank_ThreadSweep(benchmark::State& state) {
+  // Pull-phase fan-out on the shared compute pool. Chunking is fixed-grain,
+  // so scores are bit-identical across every arg of this sweep (see
+  // determinism_test); only the wall clock changes.
+  const Graph g = MakeGraph(50000);
+  PageRankOptions options;
+  options.num_threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputePageRank(g, options));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+}
+BENCHMARK(BM_PageRank_ThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_PageRank_AlphaSweep(benchmark::State& state) {
   const Graph g = MakeGraph(10000);
   PageRankOptions options;

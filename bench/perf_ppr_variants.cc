@@ -88,5 +88,21 @@ void BM_PPR_MonteCarlo(benchmark::State& state) {
 }
 BENCHMARK(BM_PPR_MonteCarlo)->Arg(10000)->Arg(100000)->Arg(1000000);
 
+void BM_PPR_MonteCarlo_ThreadSweep(benchmark::State& state) {
+  // Walk shards fan out on the shared compute pool; per-shard RNG streams
+  // are derived from the seed, so the estimate is bit-identical across
+  // every arg of this sweep.
+  const Graph g = MakeGraph(10000);
+  MonteCarloOptions options;
+  options.num_walks = 500000;
+  options.seed = 5;
+  options.num_threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeMonteCarloPpr(g, 0, options));
+  }
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+}
+BENCHMARK(BM_PPR_MonteCarlo_ThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 }  // namespace
 }  // namespace cyclerank

@@ -1,0 +1,128 @@
+#ifndef CYCLERANK_COMMON_WORKSPACE_H_
+#define CYCLERANK_COMMON_WORKSPACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace cyclerank {
+
+/// A set over `[0, size)` with O(1) clear, for per-branch / per-query
+/// scratch state that is reset far more often than it is populated.
+///
+/// Membership is an epoch stamp per element: `Add` stamps the current
+/// epoch, `NewEpoch` invalidates every stamp at once by bumping the epoch
+/// counter instead of touching the array. The rare counter wrap is handled
+/// by one full clear.
+class EpochSet {
+ public:
+  EpochSet() = default;
+  explicit EpochSet(size_t size) : stamps_(size, 0) {}
+
+  /// Grows/shrinks to `size` and leaves the set empty.
+  void Resize(size_t size) {
+    stamps_.assign(size, 0);
+    epoch_ = 1;
+  }
+
+  size_t size() const { return stamps_.size(); }
+
+  /// Empties the set in O(1).
+  void NewEpoch() {
+    if (++epoch_ == 0) {  // wrapped: stale stamps would alias epoch 0
+      stamps_.assign(stamps_.size(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  bool Contains(size_t i) const { return stamps_[i] == epoch_; }
+  void Add(size_t i) { stamps_[i] = epoch_; }
+  void Remove(size_t i) { stamps_[i] = 0; }  // epoch_ is never 0
+
+ private:
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_ = 1;
+};
+
+/// Pool of reusable per-thread scratch workspaces.
+///
+/// `ParallelFor` worker threads acquire a lease per chunk; because a lease
+/// is returned to the free list on release, a thread processing many
+/// chunks keeps getting the same warmed-up workspace back instead of
+/// allocating fresh scratch per chunk. At most one workspace exists per
+/// concurrently-active worker. `ForEach` visits every workspace ever
+/// created — the merge step of deterministic reductions; callers must
+/// ensure no leases are outstanding by then.
+template <typename T>
+class WorkspacePool {
+ public:
+  explicit WorkspacePool(std::function<std::unique_ptr<T>()> factory)
+      : factory_(std::move(factory)) {}
+
+  class Lease {
+   public:
+    Lease(WorkspacePool* pool, T* workspace)
+        : pool_(pool), workspace_(workspace) {}
+    ~Lease() {
+      if (pool_ != nullptr) pool_->Release(workspace_);
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          workspace_(std::exchange(other.workspace_, nullptr)) {}
+    Lease& operator=(Lease&&) = delete;
+
+    T* get() const { return workspace_; }
+    T& operator*() const { return *workspace_; }
+    T* operator->() const { return workspace_; }
+
+   private:
+    WorkspacePool* pool_;
+    T* workspace_;
+  };
+
+  /// Hands out a free workspace, creating one when none is available.
+  Lease Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        T* workspace = free_.back();
+        free_.pop_back();
+        return Lease(this, workspace);
+      }
+    }
+    // Construct outside the lock: factories can be expensive (O(n) scratch).
+    std::unique_ptr<T> fresh = factory_();
+    T* raw = fresh.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    all_.push_back(std::move(fresh));
+    return Lease(this, raw);
+  }
+
+  /// Visits every workspace created so far (merge/teardown step).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::unique_ptr<T>& workspace : all_) fn(*workspace);
+  }
+
+ private:
+  void Release(T* workspace) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(workspace);
+  }
+
+  std::function<std::unique_ptr<T>()> factory_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<T>> all_;
+  std::vector<T*> free_;
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_COMMON_WORKSPACE_H_

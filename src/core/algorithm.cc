@@ -86,6 +86,7 @@ PageRankOptions ToPageRankOptions(const AlgorithmRequest& request) {
   options.alpha = request.alpha;
   options.tolerance = request.tolerance;
   options.max_iterations = request.max_iterations;
+  options.num_threads = request.num_threads;
   return options;
 }
 
@@ -199,6 +200,7 @@ class CycleRankAlgorithm final : public RelevanceAlgorithm {
     CycleRankOptions options;
     options.max_cycle_length = request.max_cycle_length;
     options.scoring = request.scoring;
+    options.num_threads = request.num_threads;
     CYCLERANK_ASSIGN_OR_RETURN(
         CycleRankScores scores,
         ComputeCycleRank(g, request.reference, options));
@@ -238,6 +240,7 @@ class MonteCarloAlgorithm final : public RelevanceAlgorithm {
     options.alpha = request.alpha;
     options.num_walks = request.num_walks;
     options.seed = request.seed;
+    options.num_threads = request.num_threads;
     CYCLERANK_ASSIGN_OR_RETURN(
         MonteCarloScores scores,
         ComputeMonteCarloPpr(g, request.reference, options));

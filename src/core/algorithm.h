@@ -65,6 +65,13 @@ struct AlgorithmRequest {
   uint64_t num_walks = 100000;
   uint64_t seed = 42;
 
+  /// Worker threads for the kernel itself, scheduled on the process-wide
+  /// compute pool shared with the query-level `Scheduler`. 0 = every pool
+  /// worker, 1 = the executor thread only. Every kernel produces
+  /// bit-identical output at any thread count, so this is purely a
+  /// latency/throughput trade-off.
+  uint32_t num_threads = 0;
+
   /// Keep only the best `top_k` entries of the resulting ranking
   /// (0 = everything). The demo UI displays top-k lists.
   size_t top_k = 0;

@@ -36,17 +36,19 @@ struct CycleRankOptions {
   /// per-node counts c_{r,n}(i)); costs O(K·n) extra memory.
   bool collect_per_node_counts = false;
 
-  /// Number of worker threads. Values > 1 partition the enumeration by the
-  /// reference node's first-hop branches (each simple cycle through r
-  /// belongs to exactly one branch, so partial results sum without double
-  /// counting). Cycle counts and the work metric are exactly equal to the
-  /// serial run. Scores are deterministic — branches are merged in
-  /// ascending first-hop order regardless of completion order, so any
-  /// thread count ≥ 2 yields bit-identical output — but may differ from
-  /// the serial run by floating-point associativity (a few ulp), because
-  /// per-branch partial sums regroup the additions. Ignored (serial) when
-  /// `max_cycles != 0`, since a global cap cannot be enforced exactly
-  /// across concurrent branches.
+  /// Number of worker threads, scheduled on the process-wide compute pool
+  /// (`GlobalComputePool`); 0 = use every pool worker. The enumeration is
+  /// partitioned by the reference node's first-hop branches (each simple
+  /// cycle through r belongs to exactly one branch, so partial results sum
+  /// without double counting), and every thread count — including 1 —
+  /// runs the same branch partition with partials merged in ascending
+  /// first-hop order. Scores, counts, and the work metric are therefore
+  /// **bit-identical at every thread count**. Branch enumeration uses
+  /// reusable per-thread workspaces (epoch-stamped visited set, sparse
+  /// touched-node accumulators), so a query costs memory proportional to
+  /// the nodes reached, not O(out_degree × n). Ignored (single
+  /// enumeration) when `max_cycles != 0`, since a global cap cannot be
+  /// enforced exactly across concurrent branches.
   uint32_t num_threads = 1;
 };
 

@@ -1,10 +1,57 @@
 #include "core/monte_carlo.h"
 
+#include <algorithm>
+#include <memory>
 #include <string>
 
+#include "common/parallel_for.h"
 #include "common/rng.h"
+#include "common/workspace.h"
 
 namespace cyclerank {
+namespace {
+
+/// Per-thread scratch: visit counters merged after the sharded simulation.
+struct WalkWorkspace {
+  std::vector<uint64_t> counts;
+  uint64_t steps = 0;
+};
+
+/// Walks are partitioned into fixed shards of this many walks; each shard
+/// owns an RNG stream. The shard structure depends only on `num_walks`, so
+/// the estimate is reproducible at any thread count.
+constexpr uint64_t kWalksPerShard = 16384;
+
+void RunWalkShard(const Graph& g, NodeId reference,
+                  const MonteCarloOptions& options, uint64_t num_walks,
+                  Rng rng, WalkWorkspace* ws) {
+  for (uint64_t w = 0; w < num_walks; ++w) {
+    NodeId u = reference;
+    uint32_t length = 0;
+    while (true) {
+      if (options.estimator == MonteCarloEstimator::kVisitFrequency) {
+        ++ws->counts[u];
+        ++ws->steps;
+      }
+      if (length >= options.max_walk_length) break;
+      if (!rng.NextBool(options.alpha)) break;  // teleport: walk ends
+      const auto row = g.OutNeighbors(u);
+      if (row.empty()) {
+        // Dangling: jump home and continue (same rule as power iteration).
+        u = reference;
+      } else {
+        u = row[rng.NextBounded(row.size())];
+      }
+      ++length;
+    }
+    if (options.estimator == MonteCarloEstimator::kEndpoint) {
+      ++ws->counts[u];
+      ++ws->steps;
+    }
+  }
+}
+
+}  // namespace
 
 Result<MonteCarloScores> ComputeMonteCarloPpr(
     const Graph& g, NodeId reference, const MonteCarloOptions& options) {
@@ -20,35 +67,47 @@ Result<MonteCarloScores> ComputeMonteCarloPpr(
   }
 
   const NodeId n = g.num_nodes();
-  Rng rng(options.seed);
+  const size_t num_shards =
+      static_cast<size_t>((options.num_walks + kWalksPerShard - 1) /
+                          kWalksPerShard);
 
+  // Shard s draws from Rng(seed) advanced by s xoshiro jumps — 2^128 draws
+  // apart, so streams never overlap and depend only on (seed, shard).
+  std::vector<Rng> shard_rng;
+  shard_rng.reserve(num_shards);
+  Rng rng(options.seed);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shard_rng.push_back(rng);
+    rng.Jump();
+  }
+
+  WorkspacePool<WalkWorkspace> workspaces([n] {
+    auto ws = std::make_unique<WalkWorkspace>();
+    ws->counts.assign(n, 0);
+    return ws;
+  });
+
+  const uint32_t num_threads = ResolveThreadCount(options.num_threads);
+  ThreadPool* pool = num_threads > 1 ? GlobalComputePool() : nullptr;
+  ParallelFor(pool, num_shards, /*grain=*/1, num_threads,
+              [&](size_t shard, size_t, size_t) {
+                const uint64_t begin = shard * kWalksPerShard;
+                const uint64_t walks =
+                    std::min<uint64_t>(kWalksPerShard,
+                                       options.num_walks - begin);
+                auto ws = workspaces.Acquire();
+                RunWalkShard(g, reference, options, walks, shard_rng[shard],
+                             ws.get());
+              });
+
+  // Integer merge: associative and commutative, hence independent of which
+  // thread ran which shard.
   std::vector<uint64_t> counts(n, 0);
   uint64_t total_steps = 0;
-
-  for (uint64_t w = 0; w < options.num_walks; ++w) {
-    NodeId u = reference;
-    uint32_t length = 0;
-    while (true) {
-      if (options.estimator == MonteCarloEstimator::kVisitFrequency) {
-        ++counts[u];
-        ++total_steps;
-      }
-      if (length >= options.max_walk_length) break;
-      if (!rng.NextBool(options.alpha)) break;  // teleport: walk ends
-      const auto row = g.OutNeighbors(u);
-      if (row.empty()) {
-        // Dangling: jump home and continue (same rule as power iteration).
-        u = reference;
-      } else {
-        u = row[rng.NextBounded(row.size())];
-      }
-      ++length;
-    }
-    if (options.estimator == MonteCarloEstimator::kEndpoint) {
-      ++counts[u];
-      ++total_steps;
-    }
-  }
+  workspaces.ForEach([&](const WalkWorkspace& ws) {
+    for (NodeId u = 0; u < n; ++u) counts[u] += ws.counts[u];
+    total_steps += ws.steps;
+  });
 
   MonteCarloScores result;
   result.total_steps = total_steps;

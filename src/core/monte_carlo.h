@@ -37,6 +37,14 @@ struct MonteCarloOptions {
   /// trap a walk since termination is geometric, but a cap keeps worst-case
   /// latency bounded).
   uint32_t max_walk_length = 10000;
+
+  /// Worker threads for the walk shards, scheduled on the process-wide
+  /// compute pool. 1 = run on the calling thread only; 0 = use every pool
+  /// worker. Walks are split into fixed-size shards, each driven by its
+  /// own RNG stream derived from `seed` (successive xoshiro 2^128 jumps),
+  /// and visit counts are merged with integer addition — so estimates are
+  /// **bit-identical at every thread count** for a given seed.
+  uint32_t num_threads = 1;
 };
 
 /// Outcome of a Monte-Carlo PPR estimation.

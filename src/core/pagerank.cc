@@ -1,8 +1,11 @@
 #include "core/pagerank.h"
 
 #include <cmath>
+#include <cstddef>
 #include <string>
 #include <vector>
+
+#include "common/parallel_for.h"
 
 namespace cyclerank {
 namespace internal {
@@ -43,37 +46,70 @@ Result<PageRankScores> PowerIteration(const Graph& g,
     }
   }
 
-  // Effective out-degree under the chosen direction.
-  auto out_degree = [&](NodeId u) -> uint32_t {
-    return reverse ? g.InDegree(u) : g.OutDegree(u);
-  };
+  // Hoisted out of the iteration loop: the dangling-node list (replacing
+  // an O(n) scan per iteration) and the inverse effective out-degree
+  // (replacing a division per edge). A dangling node's inverse degree is 0
+  // so its contribution term vanishes without a branch in the edge loop.
+  std::vector<double> inv_degree(n, 0.0);
+  std::vector<NodeId> dangling;
+  for (NodeId u = 0; u < n; ++u) {
+    const uint32_t degree = reverse ? g.InDegree(u) : g.OutDegree(u);
+    if (degree == 0) {
+      dangling.push_back(u);
+    } else {
+      inv_degree[u] = 1.0 / static_cast<double>(degree);
+    }
+  }
 
   const double alpha = options.alpha;
   std::vector<double> p(teleport);  // start from the teleport distribution
   std::vector<double> next(n, 0.0);
+  std::vector<double> contrib(n, 0.0);  // p[u] / degree(u), per iteration
+
+  // Fixed-grain chunking: boundaries depend only on n, so per-chunk
+  // residuals — combined below in a deterministic tree reduction — make the
+  // output bit-identical at every thread count.
+  constexpr size_t kPullGrain = 2048;
+  const uint32_t num_threads = ResolveThreadCount(options.num_threads);
+  ThreadPool* pool = num_threads > 1 ? GlobalComputePool() : nullptr;
+  std::vector<double> chunk_l1(NumChunks(n, kPullGrain), 0.0);
 
   PageRankScores result;
   for (uint32_t iter = 1; iter <= options.max_iterations; ++iter) {
     // Mass parked on dangling nodes re-enters via the teleport vector.
+    // Summed in ascending node order over the precomputed list: O(|D|),
+    // deterministic.
     double dangling_mass = 0.0;
-    for (NodeId u = 0; u < n; ++u) {
-      if (out_degree(u) == 0) dangling_mass += p[u];
-    }
+    for (NodeId u : dangling) dangling_mass += p[u];
 
-    double l1_change = 0.0;
-    for (NodeId v = 0; v < n; ++v) {
-      double inflow = 0.0;
-      // Pull along in-edges of v under the chosen direction.
-      const auto sources = reverse ? g.OutNeighbors(v) : g.InNeighbors(v);
-      for (NodeId u : sources) {
-        inflow += p[u] / static_cast<double>(out_degree(u));
-      }
-      const double value =
-          alpha * (inflow + dangling_mass * teleport[v]) +
-          (1.0 - alpha) * teleport[v];
-      l1_change += std::fabs(value - p[v]);
-      next[v] = value;
-    }
+    ParallelFor(pool, n, kPullGrain, num_threads,
+                [&](size_t chunk, size_t begin, size_t end) {
+                  for (size_t u = begin; u < end; ++u) {
+                    contrib[u] = p[u] * inv_degree[u];
+                  }
+                  (void)chunk;
+                });
+
+    ParallelFor(
+        pool, n, kPullGrain, num_threads,
+        [&](size_t chunk, size_t begin, size_t end) {
+          double l1 = 0.0;
+          for (size_t v = begin; v < end; ++v) {
+            double inflow = 0.0;
+            // Pull along in-edges of v under the chosen direction.
+            const auto sources =
+                reverse ? g.OutNeighbors(static_cast<NodeId>(v))
+                        : g.InNeighbors(static_cast<NodeId>(v));
+            for (NodeId u : sources) inflow += contrib[u];
+            const double value = alpha * (inflow + dangling_mass * teleport[v]) +
+                                 (1.0 - alpha) * teleport[v];
+            l1 += std::fabs(value - p[v]);
+            next[v] = value;
+          }
+          chunk_l1[chunk] = l1;
+        });
+
+    const double l1_change = DeterministicSum(chunk_l1);
     p.swap(next);
     result.iterations = iter;
     result.residual = l1_change;

@@ -26,6 +26,14 @@ struct PageRankOptions {
   /// teleporting is "directed to a specific node or set of nodes" (§II,
   /// Personalized PageRank). Duplicate nodes are invalid.
   std::vector<NodeId> teleport_set;
+
+  /// Worker threads for the pull phase, scheduled on the process-wide
+  /// compute pool (`GlobalComputePool`). 1 = run on the calling thread
+  /// only; 0 = use every pool worker. The iteration is chunked on a fixed
+  /// grain and per-chunk residuals are combined in a deterministic tree
+  /// reduction, so scores and iteration counts are **bit-identical at
+  /// every thread count**.
+  uint32_t num_threads = 1;
 };
 
 /// Outcome of a PageRank computation.

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/parallel_for.h"
 #include "common/timer.h"
 #include "platform/params.h"
 
@@ -71,11 +72,15 @@ Result<TaskResult> Executor::Run(const std::string& task_id,
   }
 
   CYCLERANK_RETURN_NOT_OK(status_->SetState(task_id, TaskState::kRunning));
-  datastore_->AppendLog(task_id, "running '" + spec.algorithm + "' on " +
-                                     std::to_string(graph->num_nodes()) +
-                                     " nodes / " +
-                                     std::to_string(graph->num_edges()) +
-                                     " edges");
+  // Kernel-level fan-out runs on the same process-wide pool the Scheduler
+  // dispatches tasks on, so the two levels of parallelism share one
+  // substrate instead of oversubscribing the machine.
+  datastore_->AppendLog(
+      task_id, "running '" + spec.algorithm + "' on " +
+                   std::to_string(graph->num_nodes()) + " nodes / " +
+                   std::to_string(graph->num_edges()) + " edges with " +
+                   std::to_string(ResolveThreadCount(request.num_threads)) +
+                   " kernel thread(s) on the shared pool");
   CYCLERANK_ASSIGN_OR_RETURN(RankedList ranking,
                              algorithm->Run(*graph, request));
 

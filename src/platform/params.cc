@@ -1,5 +1,6 @@
 #include "platform/params.h"
 
+#include <limits>
 #include <vector>
 
 #include "common/strings.h"
@@ -98,7 +99,7 @@ Result<AlgorithmRequest> BuildRequest(const Graph& graph,
   static const char* kKnownKeys[] = {
       "source",  "reference", "r",       "alpha",     "k",
       "maxloop", "sigma",     "scoring", "tolerance", "max_iterations",
-      "epsilon", "walks",     "seed",    "top_k"};
+      "epsilon", "walks",     "seed",    "top_k",     "threads"};
   AlgorithmRequest request;
 
   // Reject unknown keys early: a typo like "alhpa=0.3" silently running
@@ -175,6 +176,14 @@ Result<AlgorithmRequest> BuildRequest(const Graph& graph,
   CYCLERANK_ASSIGN_OR_RETURN(top_k, params.GetInt("top_k", top_k));
   if (top_k < 0) return Status::InvalidArgument("params: top_k must be >= 0");
   request.top_k = static_cast<size_t>(top_k);
+
+  int64_t threads = static_cast<int64_t>(request.num_threads);
+  CYCLERANK_ASSIGN_OR_RETURN(threads, params.GetInt("threads", threads));
+  if (threads < 0 || threads > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "params: threads must be in [0, 2^32)");
+  }
+  request.num_threads = static_cast<uint32_t>(threads);
 
   return request;
 }

@@ -1,21 +1,83 @@
 #include "platform/scheduler.h"
 
+#include <algorithm>
+#include <iterator>
 #include <utility>
+
+#include "common/parallel_for.h"
 
 namespace cyclerank {
 
+Scheduler::Scheduler(Executor* executor, size_t num_workers, ThreadPool* pool)
+    : executor_(executor),
+      pool_(pool != nullptr ? pool : GlobalComputePool()),
+      num_workers_(std::max<size_t>(num_workers, 1)) {}
+
 Status Scheduler::Enqueue(const std::string& task_id, TaskSpec spec,
                           std::shared_ptr<std::atomic<bool>> cancelled) {
-  Executor* executor = executor_;
-  const bool posted =
-      pool_.Post([executor, task_id, spec = std::move(spec),
-                  cancelled = std::move(cancelled)] {
-        executor->Execute(task_id, spec, cancelled.get());
-      });
-  if (!posted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
     return Status::FailedPrecondition("scheduler: already shut down");
   }
+  waiting_.push_back({task_id, std::move(spec), std::move(cancelled)});
+  DispatchLocked();
   return Status::OK();
+}
+
+void Scheduler::DispatchLocked() {
+  while (in_flight_ < num_workers_ && !waiting_.empty()) {
+    Pending pending = std::move(waiting_.front());
+    waiting_.pop_front();
+    ++in_flight_;
+    const bool posted = pool_->Post([this, pending = std::move(pending)] {
+      executor_->Execute(pending.task_id, pending.spec,
+                         pending.cancelled.get());
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      DispatchLocked();
+      if (in_flight_ == 0 && waiting_.empty()) idle_.notify_all();
+    });
+    if (!posted) {
+      // The pool refused work (it is shutting down — only possible with an
+      // injected pool). Nothing will ever be dispatched again, so every
+      // accepted-but-undispatched task must still reach a terminal state:
+      // run each through the executor's cancelled path (no computation,
+      // records a Cancelled result + status) so pollers don't hang, and
+      // leave `waiting_` empty so Drain/Shutdown can complete.
+      --in_flight_;
+      shutdown_ = true;
+      std::deque<Pending> orphaned;
+      orphaned.push_back(std::move(pending));
+      orphaned.insert(orphaned.end(),
+                      std::make_move_iterator(waiting_.begin()),
+                      std::make_move_iterator(waiting_.end()));
+      waiting_.clear();
+      std::atomic<bool> refused{true};
+      for (const Pending& task : orphaned) {
+        executor_->Execute(task.task_id, task.spec, &refused);
+      }
+      if (in_flight_ == 0) idle_.notify_all();
+      return;
+    }
+  }
+}
+
+void Scheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0 && waiting_.empty(); });
+}
+
+void Scheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  Drain();
+}
+
+size_t Scheduler::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_.size();
 }
 
 }  // namespace cyclerank

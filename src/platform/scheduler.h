@@ -2,7 +2,10 @@
 #define CYCLERANK_PLATFORM_SCHEDULER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/thread_pool.h"
@@ -15,14 +18,22 @@ namespace cyclerank {
 /// fetches the dataset and invokes an Executor node; the computation …
 /// is off-loaded to the worker nodes."
 ///
-/// Tasks are dispatched FIFO onto a pool of `num_workers` executor
-/// threads — the knob behind "computational nodes … can be scaled up or
-/// down depending on the system's workload" (§III). The F1 bench sweeps
-/// this worker count.
+/// Tasks are dispatched FIFO with at most `num_workers` running
+/// concurrently — the knob behind "computational nodes … can be scaled up
+/// or down depending on the system's workload" (§III); the F1 bench sweeps
+/// it. Execution happens on the process-wide compute pool
+/// (`GlobalComputePool`), the same substrate the ranking kernels use for
+/// their own `ParallelFor` fan-out. Sharing one pool keeps the number of
+/// runnable threads bounded by the hardware even when query-level and
+/// kernel-level parallelism are both active (kernels fall back to
+/// caller-runs when the pool is busy, so nesting cannot deadlock).
 class Scheduler {
  public:
-  Scheduler(Executor* executor, size_t num_workers)
-      : executor_(executor), pool_(num_workers) {}
+  /// `pool` defaults to the process-wide compute pool; tests may inject
+  /// their own. The pool is borrowed and is never shut down by the
+  /// scheduler.
+  Scheduler(Executor* executor, size_t num_workers, ThreadPool* pool = nullptr);
+  ~Scheduler() { Shutdown(); }
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -34,18 +45,36 @@ class Scheduler {
   Status Enqueue(const std::string& task_id, TaskSpec spec,
                  std::shared_ptr<std::atomic<bool>> cancelled = nullptr);
 
-  /// Blocks until all queued tasks have finished.
-  void Drain() { pool_.WaitIdle(); }
+  /// Blocks until all tasks enqueued so far have finished.
+  void Drain();
 
-  /// Stops accepting work and joins the workers (idempotent).
-  void Shutdown() { pool_.Shutdown(); }
+  /// Stops accepting work and waits for in-flight tasks (idempotent).
+  void Shutdown();
 
-  size_t num_workers() const { return pool_.num_threads(); }
-  size_t QueueDepth() const { return pool_.QueueDepth(); }
+  size_t num_workers() const { return num_workers_; }
+
+  /// Number of tasks accepted but not yet dispatched to the pool.
+  size_t QueueDepth() const;
 
  private:
+  struct Pending {
+    std::string task_id;
+    TaskSpec spec;
+    std::shared_ptr<std::atomic<bool>> cancelled;
+  };
+
+  /// Dispatches waiting tasks while concurrency allows; requires `mu_`.
+  void DispatchLocked();
+
   Executor* executor_;
-  ThreadPool pool_;
+  ThreadPool* pool_;  // borrowed; shared with kernel-level ParallelFor
+  const size_t num_workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_;
+  std::deque<Pending> waiting_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
 };
 
 }  // namespace cyclerank

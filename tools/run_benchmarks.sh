@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Runs the perf benchmark suite (perf_pagerank, perf_cyclerank,
+# perf_ppr_variants) with --benchmark_format=json and merges the results
+# into one file, so the repo's perf trajectory is tracked PR over PR.
+#
+# Usage:
+#   tools/run_benchmarks.sh [OUT_JSON]
+#
+# Environment:
+#   BUILD_DIR     build directory holding the bench binaries (default: build)
+#   BENCH_FILTER  optional --benchmark_filter regex forwarded to every suite
+#   BENCH_MIN_TIME optional --benchmark_min_time seconds (default: 0.5)
+#
+# Example (the PR-1 evidence file):
+#   cmake -B build -S . && cmake --build build -j
+#   tools/run_benchmarks.sh BENCH_PR1.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-BENCH_PR1.json}
+SUITES=(perf_pagerank perf_cyclerank perf_ppr_variants)
+TMP_DIR=$(mktemp -d)
+trap 'rm -rf "${TMP_DIR}"' EXIT
+
+for suite in "${SUITES[@]}"; do
+  bin="${BUILD_DIR}/${suite}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not built (cmake --build ${BUILD_DIR} -j)" >&2
+    exit 1
+  fi
+  echo "== ${suite}" >&2
+  args=(--benchmark_format=json "--benchmark_out=${TMP_DIR}/${suite}.json"
+        --benchmark_out_format=json
+        "--benchmark_min_time=${BENCH_MIN_TIME:-0.5}")
+  if [[ -n "${BENCH_FILTER:-}" ]]; then
+    args+=("--benchmark_filter=${BENCH_FILTER}")
+  fi
+  "${bin}" "${args[@]}" >/dev/null
+done
+
+python3 - "${OUT}" "${TMP_DIR}" "${SUITES[@]}" <<'EOF'
+import json, subprocess, sys
+
+out_path, tmp_dir, *suites = sys.argv[1:]
+merged = {"suites": {}}
+for suite in suites:
+    with open(f"{tmp_dir}/{suite}.json") as f:
+        data = json.load(f)
+    merged.setdefault("context", data.get("context", {}))
+    merged["suites"][suite] = data.get("benchmarks", [])
+try:
+    merged["git_revision"] = subprocess.check_output(
+        ["git", "rev-parse", "--short", "HEAD"], text=True).strip()
+except Exception:
+    pass
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+print(f"wrote {out_path}")
+EOF
