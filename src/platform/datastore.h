@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "datasets/catalog.h"
 #include "graph/graph.h"
+#include "platform/result_cache.h"
 #include "platform/task.h"
 
 namespace cyclerank {
@@ -25,9 +26,12 @@ namespace cyclerank {
 class Datastore {
  public:
   /// `catalog` may be null for a datastore with only uploaded datasets.
-  /// The catalog must outlive the datastore.
-  explicit Datastore(DatasetCatalog* catalog = &DatasetCatalog::BuiltIn())
-      : catalog_(catalog) {}
+  /// The catalog must outlive the datastore. `result_cache_bytes` budgets
+  /// the completed-result cache (0 disables caching; in-flight dedup in the
+  /// scheduler stays active either way).
+  explicit Datastore(DatasetCatalog* catalog = &DatasetCatalog::BuiltIn(),
+                     size_t result_cache_bytes = ResultCache::kDefaultMaxBytes)
+      : catalog_(catalog), result_cache_(result_cache_bytes) {}
 
   Datastore(const Datastore&) = delete;
   Datastore& operator=(const Datastore&) = delete;
@@ -56,6 +60,12 @@ class Datastore {
   Result<TaskResult> GetResult(const std::string& task_id) const;
   bool HasResult(const std::string& task_id) const;
 
+  /// Byte-budgeted LRU over completed task results, keyed by
+  /// `TaskFingerprint`. The scheduler serves repeated queries from it
+  /// instead of re-running kernels; it lives here because the datastore is
+  /// the storage component every executor already shares.
+  ResultCache& result_cache() { return result_cache_; }
+
   // -- Logs ----------------------------------------------------------------
 
   /// Appends one log line for `task_id`.
@@ -66,6 +76,7 @@ class Datastore {
 
  private:
   DatasetCatalog* catalog_;  // not owned, may be null
+  ResultCache result_cache_;
   mutable std::mutex mu_;
   std::map<std::string, GraphPtr> uploaded_;
   std::map<std::string, TaskResult> results_;

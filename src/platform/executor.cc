@@ -9,46 +9,76 @@
 namespace cyclerank {
 
 void Executor::Execute(const std::string& task_id, const TaskSpec& spec,
-                       const std::atomic<bool>* cancelled) {
+                       const std::atomic<bool>* cancelled,
+                       TaskResult* outcome, const std::string& cache_key) {
   WallTimer timer;
   datastore_->AppendLog(task_id, "task accepted: " + spec.ToString());
 
   if (cancelled != nullptr && cancelled->load(std::memory_order_relaxed)) {
     datastore_->AppendLog(task_id, "task cancelled before start");
-    (void)status_->SetState(task_id, TaskState::kCancelled);
     TaskResult result;
     result.task_id = task_id;
     result.spec = spec;
     result.status = Status::Cancelled("cancelled before start");
     result.seconds = timer.ElapsedSeconds();
+    if (outcome != nullptr) *outcome = result;
+    // Store the result before the terminal transition (like every other
+    // path here): a waiter woken by kCancelled must find the result stored.
     datastore_->PutResult(std::move(result));
+    (void)status_->SetState(task_id, TaskState::kCancelled);
     return;
   }
 
-  Result<TaskResult> outcome = Run(task_id, spec, cancelled);
-  if (outcome.ok()) {
-    TaskResult result = std::move(outcome).value();
+  Result<TaskResult> run = Run(task_id, spec, cancelled);
+  if (run.ok()) {
+    TaskResult result = std::move(run).value();
     result.seconds = timer.ElapsedSeconds();
     datastore_->AppendLog(
         task_id, "completed in " + std::to_string(result.seconds) + "s, " +
                      std::to_string(result.ranking.size()) + " ranked nodes");
+    if (outcome != nullptr) *outcome = result;
+    // Publish to the result cache before the terminal state transition:
+    // a waiter woken by kCompleted must already find the result cached.
+    if (!cache_key.empty()) result_cache().Put(cache_key, result);
     datastore_->PutResult(std::move(result));
     (void)status_->SetState(task_id, TaskState::kCompleted);
     return;
   }
 
-  const Status error = outcome.status();
+  const Status error = run.status();
   datastore_->AppendLog(task_id, "failed: " + error.ToString());
   TaskResult result;
   result.task_id = task_id;
   result.spec = spec;
   result.status = error;
   result.seconds = timer.ElapsedSeconds();
+  if (outcome != nullptr) *outcome = result;
   datastore_->PutResult(std::move(result));
   (void)status_->SetState(task_id,
                           error.code() == StatusCode::kCancelled
                               ? TaskState::kCancelled
                               : TaskState::kFailed);
+}
+
+void Executor::Deliver(const std::string& task_id, const TaskSpec& spec,
+                       const TaskResult& outcome, const std::string& via) {
+  WallTimer timer;
+  datastore_->AppendLog(task_id, "task accepted: " + spec.ToString());
+  TaskResult result = outcome;
+  result.task_id = task_id;
+  result.spec = spec;
+  const TaskState terminal =
+      outcome.status.ok() ? TaskState::kCompleted
+      : outcome.status.code() == StatusCode::kCancelled ? TaskState::kCancelled
+                                                        : TaskState::kFailed;
+  result.seconds = timer.ElapsedSeconds();
+  datastore_->AppendLog(
+      task_id, "served via " + via + " in " +
+                   std::to_string(result.seconds) + "s (computation took " +
+                   std::to_string(outcome.seconds) + "s), outcome " +
+                   std::string(TaskStateToString(terminal)));
+  datastore_->PutResult(std::move(result));
+  (void)status_->SetState(task_id, terminal);
 }
 
 Result<TaskResult> Executor::Run(const std::string& task_id,

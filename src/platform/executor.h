@@ -30,8 +30,28 @@ class Executor {
   /// A failure at any stage is recorded as a failed `TaskResult` carrying
   /// the error status (the platform never throws). If `*cancelled` becomes
   /// true before the computation starts, the task ends in `kCancelled`.
+  /// When `outcome` is non-null it receives a copy of the stored terminal
+  /// result (the scheduler's single-flight layer fans it out to coalesced
+  /// followers). A non-empty `cache_key` (a `TaskFingerprint`) publishes a
+  /// successful result to the datastore's result cache *before* the task
+  /// turns terminal, so anyone who observes `kCompleted` is guaranteed to
+  /// find the result cached — pollers can never race past the insert.
   void Execute(const std::string& task_id, const TaskSpec& spec,
-               const std::atomic<bool>* cancelled = nullptr);
+               const std::atomic<bool>* cancelled = nullptr,
+               TaskResult* outcome = nullptr,
+               const std::string& cache_key = {});
+
+  /// Delivers an already-computed `outcome` as task `task_id` without
+  /// running any kernel work: the result is rewritten onto this task's
+  /// identity (id, spec, serve time), stored, and the task jumps straight to
+  /// the matching terminal state. `via` names the shortcut for the task log
+  /// ("result cache", "single-flight leader <id>").
+  void Deliver(const std::string& task_id, const TaskSpec& spec,
+               const TaskResult& outcome, const std::string& via);
+
+  /// The completed-result cache this executor publishes into (the
+  /// datastore's; the scheduler serves hits from the same instance).
+  ResultCache& result_cache() const { return datastore_->result_cache(); }
 
  private:
   /// Runs the fallible part and returns the outcome.

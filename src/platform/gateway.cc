@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "platform/params.h"
+
 namespace cyclerank {
 
 ApiGateway::ApiGateway(Datastore* datastore, AlgorithmRegistry* registry,
@@ -23,6 +25,7 @@ Result<std::string> ApiGateway::SubmitQuerySet(const QuerySet& query_set) {
   std::string comparison_id;
   Comparison comparison;
   comparison.cancelled = std::make_shared<std::atomic<bool>>(false);
+  comparison.specs = query_set.tasks;
   {
     std::lock_guard<std::mutex> lock(mu_);
     comparison_id = uuid_.Generate();
@@ -33,15 +36,48 @@ Result<std::string> ApiGateway::SubmitQuerySet(const QuerySet& query_set) {
   }
 
   // Track before enqueueing so a status poll can never miss a task.
-  for (const std::string& task_id : comparison.task_ids) {
-    CYCLERANK_RETURN_NOT_OK(status_.Track(task_id));
+  Status error;
+  size_t tracked = 0;
+  size_t enqueued = 0;
+  for (; tracked < comparison.task_ids.size(); ++tracked) {
+    error = status_.Track(comparison.task_ids[tracked]);
+    if (!error.ok()) break;
   }
-  for (size_t i = 0; i < query_set.tasks.size(); ++i) {
-    CYCLERANK_RETURN_NOT_OK(scheduler_.Enqueue(comparison.task_ids[i],
-                                               query_set.tasks[i],
-                                               comparison.cancelled));
+  if (error.ok()) {
+    for (; enqueued < query_set.tasks.size(); ++enqueued) {
+      const TaskSpec& spec = query_set.tasks[enqueued];
+      error = scheduler_.Enqueue(
+          comparison.task_ids[enqueued], spec, comparison.cancelled,
+          TaskFingerprint(spec.dataset, spec.algorithm, spec.params));
+      if (!error.ok()) break;
+    }
   }
-  return comparison_id;
+  if (error.ok()) return comparison_id;
+
+  // Roll back the partial submission: a task left kPending with no executor
+  // ever going to run it would hang WaitForCompletion forever. Tasks that
+  // did reach the scheduler are cancelled best-effort — the caller only
+  // gets the error, never the comparison id, so nobody could cancel (or
+  // observe) them afterwards. Tracked but never-enqueued tasks become
+  // kFailed with a stored result carrying the submission error; if nothing
+  // reached the scheduler, the comparison is erased entirely.
+  comparison.cancelled->store(true, std::memory_order_relaxed);
+  for (size_t i = enqueued; i < tracked; ++i) {
+    const std::string& task_id = comparison.task_ids[i];
+    datastore_->AppendLog(task_id,
+                          "submission rolled back: " + error.ToString());
+    TaskResult failed;
+    failed.task_id = task_id;
+    failed.spec = query_set.tasks[i];
+    failed.status = error;
+    datastore_->PutResult(std::move(failed));
+    (void)status_.SetState(task_id, TaskState::kFailed);
+  }
+  if (enqueued == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    comparisons_.erase(comparison_id);
+  }
+  return error;
 }
 
 Result<ComparisonStatus> ApiGateway::GetStatus(
@@ -85,11 +121,34 @@ Result<std::vector<TaskResult>> ApiGateway::GetResults(
     const std::string& comparison_id) const {
   CYCLERANK_ASSIGN_OR_RETURN(ComparisonStatus status,
                              GetStatus(comparison_id));
+  std::vector<TaskSpec> specs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = comparisons_.find(comparison_id);
+    if (it != comparisons_.end()) specs = it->second.specs;
+  }
   std::vector<TaskResult> results;
   for (size_t i = 0; i < status.task_ids.size(); ++i) {
     if (!IsTerminal(status.states[i])) continue;
     auto result = datastore_->GetResult(status.task_ids[i]);
-    if (result.ok()) results.push_back(std::move(result).value());
+    if (result.ok()) {
+      results.push_back(std::move(result).value());
+      continue;
+    }
+    // Terminal but no stored result: surface the task's state instead of
+    // silently dropping the entry, so callers can tell "not finished yet"
+    // (absent) from "finished without a result" (an error entry).
+    TaskResult entry;
+    entry.task_id = status.task_ids[i];
+    if (i < specs.size()) entry.spec = specs[i];
+    const std::string detail = "task '" + status.task_ids[i] + "' is " +
+                               std::string(TaskStateToString(status.states[i])) +
+                               " but no result was recorded (" +
+                               result.status().message() + ")";
+    entry.status = status.states[i] == TaskState::kCancelled
+                       ? Status::Cancelled(detail)
+                       : Status::Internal(detail);
+    results.push_back(std::move(entry));
   }
   return results;
 }

@@ -54,21 +54,32 @@ class ApiGateway {
   /// Validation is shallow (non-empty set, known algorithm names) so bad
   /// requests fail synchronously; dataset and parameter errors surface as
   /// failed tasks, mirroring the demo's asynchronous error reporting.
+  ///
+  /// Tasks are deduplicated by `TaskFingerprint`: a task whose computation
+  /// is cached is served instantly, and identical in-flight tasks run the
+  /// kernel once (single-flight, see `Scheduler`). On a mid-submission
+  /// failure the gateway rolls back: tracked-but-never-enqueued tasks move
+  /// to `kFailed` with a stored error result (never stuck `kPending`), and
+  /// a comparison with no enqueued task at all is erased.
   Result<std::string> SubmitQuerySet(const QuerySet& query_set);
 
   /// Current aggregate status of a comparison.
   Result<ComparisonStatus> GetStatus(const std::string& comparison_id) const;
 
   /// Results of all *terminal* tasks so far, in task order. Tasks that
-  /// failed carry their error status; pending/running tasks are skipped.
+  /// failed carry their error status; pending/running tasks are skipped. A
+  /// terminal task with no stored result (should not happen in normal
+  /// operation) still yields an entry whose status names its state, so
+  /// callers can always distinguish "no result yet" from "task failed".
   Result<std::vector<TaskResult>> GetResults(
       const std::string& comparison_id) const;
 
   /// Requests cancellation of all not-yet-started tasks of a comparison.
   Status Cancel(const std::string& comparison_id);
 
-  /// Blocks until the comparison is done (0 = no timeout). Returns false
-  /// on timeout.
+  /// Blocks until the comparison is done. `timeout_seconds == 0` blocks
+  /// indefinitely; positive values bound the wait (returns false on
+  /// timeout); negative values are rejected as InvalidArgument.
   Result<bool> WaitForCompletion(const std::string& comparison_id,
                                  double timeout_seconds = 0.0) const;
 
@@ -78,9 +89,13 @@ class ApiGateway {
   StatusService& status_service() { return status_; }
   size_t num_workers() const { return scheduler_.num_workers(); }
 
+  /// The datastore's completed-result cache this gateway serves hits from.
+  ResultCache& result_cache() { return datastore_->result_cache(); }
+
  private:
   struct Comparison {
     std::vector<std::string> task_ids;
+    std::vector<TaskSpec> specs;  ///< parallel to task_ids
     std::shared_ptr<std::atomic<bool>> cancelled;
   };
 

@@ -94,6 +94,79 @@ std::string ParamMap::ToString() const {
   return out;
 }
 
+namespace {
+
+/// %-escapes the fingerprint separators so the encoding stays injective.
+std::string EscapeFingerprintToken(std::string_view token) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(token.size());
+  for (const char c : token) {
+    if (c == '%' || c == '&' || c == '=') {
+      const auto byte = static_cast<unsigned char>(c);
+      out += '%';
+      out += kHex[byte >> 4];
+      out += kHex[byte & 0xf];
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TaskFingerprint(const std::string& dataset,
+                            const std::string& algorithm,
+                            const ParamMap& params) {
+  // Collapse aliased keys exactly the way BuildRequest resolves them, so two
+  // spellings of the same computation share one fingerprint. Aliased and
+  // execution-only keys are re-added (or dropped) explicitly below.
+  ParamMap canonical;
+  for (const std::string& key : params.Keys()) {
+    if (key == "threads" || key == "source" || key == "reference" ||
+        key == "r" || key == "k" || key == "maxloop" || key == "sigma" ||
+        key == "scoring") {
+      continue;
+    }
+    canonical.Set(key, params.GetString(key, ""));
+  }
+  // Reference node: first non-empty of source/reference/r.
+  std::string source = params.GetString("source", "");
+  if (source.empty()) source = params.GetString("reference", "");
+  if (source.empty()) source = params.GetString("r", "");
+  if (!source.empty()) canonical.Set("source", source);
+  // Cycle length: BuildRequest reads k, then maxloop — maxloop wins.
+  if (params.Has("maxloop")) {
+    canonical.Set("k", params.GetString("maxloop", ""));
+  } else if (params.Has("k")) {
+    canonical.Set("k", params.GetString("k", ""));
+  }
+  // Scoring function: a non-empty sigma shadows scoring.
+  std::string sigma = params.GetString("sigma", "");
+  if (sigma.empty()) sigma = params.GetString("scoring", "");
+  if (!sigma.empty()) canonical.Set("sigma", sigma);
+
+  // Built-in aliases resolve to the canonical registry name. Unknown
+  // (custom-registered) names stay verbatim: the registry is
+  // case-sensitive for them, so lowercasing would let two distinct
+  // algorithms differing only in case cross-serve each other's results.
+  std::string canonical_algorithm = algorithm;
+  if (auto kind = AlgorithmKindFromString(algorithm); kind.ok()) {
+    canonical_algorithm = std::string(AlgorithmKindToString(*kind));
+  }
+
+  std::string out = "dataset=" + EscapeFingerprintToken(dataset) +
+                    "&algorithm=" + EscapeFingerprintToken(canonical_algorithm);
+  for (const std::string& key : canonical.Keys()) {
+    out += '&';
+    out += EscapeFingerprintToken(key);
+    out += '=';
+    out += EscapeFingerprintToken(canonical.GetString(key, ""));
+  }
+  return out;
+}
+
 Result<AlgorithmRequest> BuildRequest(const Graph& graph,
                                       const ParamMap& params) {
   static const char* kKnownKeys[] = {

@@ -66,6 +66,27 @@ class ParamMap {
 Result<AlgorithmRequest> BuildRequest(const Graph& graph,
                                       const ParamMap& params);
 
+/// Canonical fingerprint of the computation `(dataset, algorithm, params)`,
+/// used as the key of the platform's result cache and single-flight request
+/// dedup (platform/result_cache.h). Two specs share a fingerprint exactly
+/// when `BuildRequest` would resolve them to the same kernel invocation:
+///   - parameter order and key case never matter (`ParamMap` is sorted and
+///     lowercased);
+///   - algorithm aliases resolve to the canonical registry name ("ppr" and
+///     "pers_pagerank" fingerprint identically);
+///   - aliased parameter keys collapse the way `BuildRequest` resolves them
+///     (source/reference/r; maxloop overrides k; sigma shadows scoring);
+///   - execution-only knobs (`threads=`) are excluded: every kernel is
+///     bit-identical at any thread count, so the thread budget changes
+///     latency, never the result;
+///   - dataset names, keys and values are %-escaped, so distinct specs can
+///     never collide.
+/// Values are compared textually: "0.85" and ".85" fingerprint differently,
+/// which costs a cache miss but never a wrong hit.
+std::string TaskFingerprint(const std::string& dataset,
+                            const std::string& algorithm,
+                            const ParamMap& params);
+
 }  // namespace cyclerank
 
 #endif  // CYCLERANK_PLATFORM_PARAMS_H_

@@ -22,6 +22,17 @@ Status AlgorithmRegistry::Register(
   if (name.empty()) {
     return Status::InvalidArgument("registry: algorithm name must not be empty");
   }
+  // A name that is an alias or case-variant of a built-in would be shadowed
+  // by (or shadow) the alias fallback in Find, and would collide with the
+  // builtin's canonical TaskFingerprint, letting the result cache serve one
+  // algorithm's ranking as the other's. Reject it outright — the same
+  // provenance rule the datastore applies to dataset names.
+  if (auto kind = AlgorithmKindFromString(name);
+      kind.ok() && name != AlgorithmKindToString(*kind)) {
+    return Status::InvalidArgument(
+        "registry: name '" + name + "' is an alias of built-in '" +
+        std::string(AlgorithmKindToString(*kind)) + "'");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = algorithms_.emplace(name, std::move(algorithm));
   (void)it;

@@ -1,0 +1,77 @@
+#include "platform/result_cache.h"
+
+#include <utility>
+
+namespace cyclerank {
+
+std::optional<TaskResult> ResultCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->result;
+}
+
+void ResultCache::Put(const std::string& key, TaskResult result) {
+  const size_t bytes = EstimateBytes(key, result);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes > max_bytes_) {
+    ++stats_.rejected;
+    return;
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    stats_.bytes -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+    --stats_.entries;
+  }
+  lru_.push_front(Entry{key, std::move(result), bytes});
+  index_[key] = lru_.begin();
+  stats_.bytes += bytes;
+  ++stats_.entries;
+  ++stats_.insertions;
+  EvictLocked();
+}
+
+void ResultCache::EvictLocked() {
+  while (stats_.bytes > max_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    --stats_.entries;
+    ++stats_.evictions;
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+  stats_.bytes = 0;
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ResultCache::EstimateBytes(const std::string& key,
+                                  const TaskResult& result) {
+  // Fixed overhead: the Entry node, the index map node, and the string /
+  // vector headers the payload sizes below do not include.
+  constexpr size_t kOverhead = sizeof(Entry) + 128;
+  return kOverhead + key.size() + result.task_id.size() +
+         result.spec.dataset.size() + result.spec.algorithm.size() +
+         result.spec.params.ToString().size() +
+         result.status.message().size() +
+         result.ranking.size() * sizeof(ScoredNode);
+}
+
+}  // namespace cyclerank

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iterator>
+#include <optional>
 #include <utility>
 
 #include "common/parallel_for.h"
@@ -14,14 +15,63 @@ Scheduler::Scheduler(Executor* executor, size_t num_workers, ThreadPool* pool)
       num_workers_(std::max<size_t>(num_workers, 1)) {}
 
 Status Scheduler::Enqueue(const std::string& task_id, TaskSpec spec,
-                          std::shared_ptr<std::atomic<bool>> cancelled) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (shutdown_) {
-    return Status::FailedPrecondition("scheduler: already shut down");
+                          std::shared_ptr<std::atomic<bool>> cancelled,
+                          std::string coalesce_key) {
+  std::optional<TaskResult> hit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("scheduler: already shut down");
+    }
+    if (!coalesce_key.empty()) {
+      // Serve straight from the result cache: this computation already ran
+      // and every kernel is deterministic, so the cached ranking is the
+      // ranking a fresh run would produce. (Delivery happens below, after
+      // the lock — it writes a full result copy through the datastore and
+      // must not stall other enqueues and task completions.)
+      hit = executor_->result_cache().Get(coalesce_key);
+      if (!hit.has_value()) {
+        // Single-flight: an identical task is already queued or running;
+        // ride on its outcome instead of dispatching a duplicate run.
+        auto it = inflight_.find(coalesce_key);
+        if (it != inflight_.end()) {
+          it->second.followers.push_back(
+              {task_id, std::move(spec), std::move(cancelled)});
+          return Status::OK();
+        }
+        inflight_.emplace(coalesce_key, Inflight{task_id, {}});
+      }
+    }
+    if (!hit.has_value()) {
+      waiting_.push_back({task_id, std::move(spec), std::move(cancelled),
+                          std::move(coalesce_key)});
+      DispatchLocked();
+      return Status::OK();
+    }
   }
-  waiting_.push_back({task_id, std::move(spec), std::move(cancelled)});
-  DispatchLocked();
+  executor_->Deliver(task_id, spec, *hit, "result cache");
   return Status::OK();
+}
+
+void Scheduler::DeliverFollowers(const std::vector<Follower>& fan_out,
+                                 const TaskResult& outcome,
+                                 const std::string& leader_id) {
+  for (const Follower& follower : fan_out) {
+    // A follower whose requester cancelled while it was coalesced gets its
+    // own cancelled outcome, not the leader's result — same behavior as a
+    // queued task observing its flag right before execution.
+    if (follower.cancelled != nullptr &&
+        follower.cancelled->load(std::memory_order_relaxed)) {
+      TaskResult cancelled_outcome;
+      cancelled_outcome.status =
+          Status::Cancelled("cancelled while coalesced");
+      executor_->Deliver(follower.task_id, follower.spec, cancelled_outcome,
+                         "cancellation observed at single-flight fan-out");
+      continue;
+    }
+    executor_->Deliver(follower.task_id, follower.spec, outcome,
+                       "single-flight leader " + leader_id);
+  }
 }
 
 void Scheduler::DispatchLocked() {
@@ -30,8 +80,22 @@ void Scheduler::DispatchLocked() {
     waiting_.pop_front();
     ++in_flight_;
     const bool posted = pool_->Post([this, pending = std::move(pending)] {
+      TaskResult outcome;
+      const bool keyed = !pending.key.empty();
       executor_->Execute(pending.task_id, pending.spec,
-                         pending.cancelled.get());
+                         pending.cancelled.get(),
+                         keyed ? &outcome : nullptr, pending.key);
+      if (keyed) {
+        // Fan the leader's outcome out to every coalesced follower while
+        // this task still counts as in-flight, so Drain/Shutdown cannot
+        // return before the followers are delivered.
+        std::vector<Follower> fan_out;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          CompleteKeyLocked(pending.key, pending.task_id, outcome, &fan_out);
+        }
+        DeliverFollowers(fan_out, outcome, pending.task_id);
+      }
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
       DispatchLocked();
@@ -43,7 +107,9 @@ void Scheduler::DispatchLocked() {
       // accepted-but-undispatched task must still reach a terminal state:
       // run each through the executor's cancelled path (no computation,
       // records a Cancelled result + status) so pollers don't hang, and
-      // leave `waiting_` empty so Drain/Shutdown can complete.
+      // leave `waiting_` empty so Drain/Shutdown can complete. `shutdown_`
+      // is set first so CompleteKeyLocked fans the cancellation out to
+      // followers instead of promoting them into a dead queue.
       --in_flight_;
       shutdown_ = true;
       std::deque<Pending> orphaned;
@@ -54,12 +120,44 @@ void Scheduler::DispatchLocked() {
       waiting_.clear();
       std::atomic<bool> refused{true};
       for (const Pending& task : orphaned) {
-        executor_->Execute(task.task_id, task.spec, &refused);
+        TaskResult outcome;
+        const bool keyed = !task.key.empty();
+        executor_->Execute(task.task_id, task.spec, &refused,
+                           keyed ? &outcome : nullptr, task.key);
+        if (keyed) {
+          std::vector<Follower> fan_out;
+          CompleteKeyLocked(task.key, task.task_id, outcome, &fan_out);
+          DeliverFollowers(fan_out, outcome, task.task_id);
+        }
       }
       if (in_flight_ == 0) idle_.notify_all();
       return;
     }
   }
+}
+
+void Scheduler::CompleteKeyLocked(const std::string& key,
+                                  const std::string& task_id,
+                                  const TaskResult& outcome,
+                                  std::vector<Follower>* fan_out) {
+  auto it = inflight_.find(key);
+  if (it == inflight_.end() || it->second.leader_id != task_id) return;
+  Inflight& entry = it->second;
+  if (outcome.status.code() == StatusCode::kCancelled &&
+      !entry.followers.empty() && !shutdown_) {
+    // The leader's requester cancelled, but the coalesced followers did
+    // not: promote the first follower to a fresh leader under its own
+    // cancellation flag. (Failures, by contrast, are fanned out — the
+    // computation is deterministic, so a re-run would fail identically.)
+    Follower next = std::move(entry.followers.front());
+    entry.followers.erase(entry.followers.begin());
+    entry.leader_id = next.task_id;
+    waiting_.push_back({std::move(next.task_id), std::move(next.spec),
+                        std::move(next.cancelled), key});
+    return;  // the caller's DispatchLocked pass picks the new leader up
+  }
+  *fan_out = std::move(entry.followers);
+  inflight_.erase(it);
 }
 
 void Scheduler::Drain() {

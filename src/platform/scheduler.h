@@ -4,9 +4,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "platform/executor.h"
@@ -27,11 +29,21 @@ namespace cyclerank {
 /// runnable threads bounded by the hardware even when query-level and
 /// kernel-level parallelism are both active (kernels fall back to
 /// caller-runs when the pool is busy, so nesting cannot deadlock).
+///
+/// On top of dispatch the scheduler deduplicates identical work. Tasks
+/// enqueued with the same non-empty `coalesce_key` (a `TaskFingerprint`)
+/// are single-flighted: the first becomes the *leader* and actually runs;
+/// later ones become *followers* that never dispatch — the leader's outcome
+/// is fanned out to them on completion (each keeps its own task id, result
+/// record, and status lifecycle). Successful outcomes also enter the
+/// `ResultCache`, and an enqueue whose key is already cached is served
+/// synchronously with zero kernel work.
 class Scheduler {
  public:
   /// `pool` defaults to the process-wide compute pool; tests may inject
   /// their own. The pool is borrowed and is never shut down by the
-  /// scheduler.
+  /// scheduler. Cached results are read from (and written, by the executor,
+  /// to) the executor's datastore-owned `ResultCache`.
   Scheduler(Executor* executor, size_t num_workers, ThreadPool* pool = nullptr);
   ~Scheduler() { Shutdown(); }
 
@@ -42,8 +54,16 @@ class Scheduler {
   /// the executor before the computation starts; the shared_ptr keeps the
   /// flag alive for the task's lifetime. Fails when the scheduler is shut
   /// down.
+  ///
+  /// A non-empty `coalesce_key` asserts that every task carrying this key
+  /// describes the same deterministic computation; the scheduler is then
+  /// free to serve the task from the result cache or coalesce it with an
+  /// in-flight leader (see class comment). A cancelled leader does not drag
+  /// its followers down: the first follower is promoted to a fresh leader
+  /// under its own cancellation flag.
   Status Enqueue(const std::string& task_id, TaskSpec spec,
-                 std::shared_ptr<std::atomic<bool>> cancelled = nullptr);
+                 std::shared_ptr<std::atomic<bool>> cancelled = nullptr,
+                 std::string coalesce_key = {});
 
   /// Blocks until all tasks enqueued so far have finished.
   void Drain();
@@ -61,10 +81,45 @@ class Scheduler {
     std::string task_id;
     TaskSpec spec;
     std::shared_ptr<std::atomic<bool>> cancelled;
+    std::string key;  ///< coalesce key; empty = no dedup
+  };
+
+  /// A coalesced task waiting for its leader's outcome.
+  struct Follower {
+    std::string task_id;
+    TaskSpec spec;
+    std::shared_ptr<std::atomic<bool>> cancelled;
+  };
+
+  /// Single-flight bookkeeping for one key with work queued or running.
+  struct Inflight {
+    std::string leader_id;
+    std::vector<Follower> followers;
   };
 
   /// Dispatches waiting tasks while concurrency allows; requires `mu_`.
   void DispatchLocked();
+
+  /// Delivers the leader's outcome to coalesced followers — except those
+  /// whose own requester cancelled meanwhile, which get a cancelled
+  /// outcome of their own. Must be called without `mu_` held (delivery
+  /// writes results through the datastore) except on the degenerate
+  /// pool-refused shutdown path.
+  void DeliverFollowers(const std::vector<Follower>& fan_out,
+                        const TaskResult& outcome,
+                        const std::string& leader_id);
+
+  /// Finishes single-flight bookkeeping for a completed leader; requires
+  /// `mu_` (the executor already published successful outcomes to the
+  /// cache). Followers to deliver are moved into `fan_out` — the caller
+  /// delivers, usually outside the lock, and is responsible for a
+  /// DispatchLocked pass afterwards. A cancelled leader with followers
+  /// promotes the first follower to a fresh leader instead — cancellation
+  /// belongs to the requester, not the computation — unless the scheduler
+  /// is shutting down.
+  void CompleteKeyLocked(const std::string& key, const std::string& task_id,
+                         const TaskResult& outcome,
+                         std::vector<Follower>* fan_out);
 
   Executor* executor_;
   ThreadPool* pool_;  // borrowed; shared with kernel-level ParallelFor
@@ -73,6 +128,7 @@ class Scheduler {
   mutable std::mutex mu_;
   std::condition_variable idle_;
   std::deque<Pending> waiting_;
+  std::map<std::string, Inflight> inflight_;  ///< keyed single-flight entries
   size_t in_flight_ = 0;
   bool shutdown_ = false;
 };

@@ -70,13 +70,19 @@ Result<bool> StatusService::WaitUntilTerminal(
     }
     return true;
   };
-  // Validate ids first so a typo fails fast instead of hanging.
+  // Validate inputs first so a typo or sign bug fails fast instead of
+  // hanging: only exactly 0 means "block indefinitely".
+  if (timeout_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "status: timeout_seconds must be >= 0 (0 blocks indefinitely), got " +
+        std::to_string(timeout_seconds));
+  }
   for (const std::string& id : task_ids) {
     if (states_.find(id) == states_.end()) {
       return Status::NotFound("status: task '" + id + "' not tracked");
     }
   }
-  if (timeout_seconds <= 0.0) {
+  if (timeout_seconds == 0.0) {
     changed_.wait(lock, all_terminal);
     return true;
   }

@@ -38,9 +38,11 @@ class StatusService {
   Result<std::vector<TaskState>> GetStates(
       const std::vector<std::string>& task_ids) const;
 
-  /// Blocks until every listed task reaches a terminal state, or until
-  /// `timeout_seconds` elapses (0 = wait forever). Returns false on
-  /// timeout.
+  /// Blocks until every listed task reaches a terminal state.
+  /// `timeout_seconds == 0` blocks indefinitely; a positive value bounds
+  /// the wait and the call returns false on timeout. Negative timeouts are
+  /// rejected as InvalidArgument — before, any `<= 0` value silently meant
+  /// "wait forever", turning a caller's sign bug into an infinite hang.
   Result<bool> WaitUntilTerminal(const std::vector<std::string>& task_ids,
                                  double timeout_seconds = 0.0) const;
 

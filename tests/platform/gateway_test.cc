@@ -125,6 +125,107 @@ TEST_F(GatewayTest, ResultsBeforeCompletionSkipPendingTasks) {
   ASSERT_TRUE(*gateway_.WaitForCompletion(id, 30.0));
 }
 
+TEST_F(GatewayTest, BadAlgorithmMidSetRejectedWithoutSideEffects) {
+  // Slot 2 of 3 names an unknown algorithm: the whole set is rejected
+  // synchronously, nothing is tracked or enqueued, and the gateway keeps
+  // serving later submissions (no task stuck kPending, nothing to hang on).
+  TaskBuilder builder;
+  ASSERT_TRUE(builder.Add("tiny", "pagerank", "").ok());
+  ASSERT_TRUE(builder.Add("tiny", "no_such_algorithm", "").ok());
+  ASSERT_TRUE(builder.Add("tiny", "cyclerank", "source=a, k=3").ok());
+  EXPECT_EQ(gateway_.SubmitQuerySet(builder.Build()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(gateway_.status_service().size(), 0u);
+  const std::string id = gateway_.SubmitQuerySet(MakeQuerySet()).value();
+  ASSERT_TRUE(*gateway_.WaitForCompletion(id, 30.0));
+}
+
+TEST_F(GatewayTest, PartialTrackFailureRollsBackInsteadOfHanging) {
+  // Predict the gateway's next comparison id (deterministic uuid_seed) and
+  // occupy one of its task ids, so Track fails mid-loop inside
+  // SubmitQuerySet after task 0 was already tracked.
+  UuidGenerator twin(123);
+  const std::string next = twin.Generate();
+  ASSERT_TRUE(gateway_.status_service().Track(next + "/1").ok());
+
+  const auto submitted = gateway_.SubmitQuerySet(MakeQuerySet());
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kAlreadyExists);
+  // Nothing was enqueued, so the comparison was erased, and the tracked
+  // task 0 was rolled back to a terminal kFailed with a stored result —
+  // before the fix it sat kPending forever and WaitForCompletion hung.
+  EXPECT_EQ(gateway_.GetStatus(next).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(gateway_.status_service().GetState(next + "/0").value(),
+            TaskState::kFailed);
+  const TaskResult rolled_back = store_.GetResult(next + "/0").value();
+  EXPECT_EQ(rolled_back.status.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(rolled_back.spec, MakeQuerySet().tasks[0]);
+}
+
+TEST_F(GatewayTest, SubmitAfterShutdownFailsWithoutStuckTasks) {
+  UuidGenerator twin(123);
+  const std::string next = twin.Generate();
+  gateway_.Shutdown();
+  const auto submitted = gateway_.SubmitQuerySet(MakeQuerySet());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kFailedPrecondition);
+  // Enqueue failed on slot 0, so the comparison was erased and every
+  // tracked task was rolled back to terminal kFailed — nothing can hang.
+  EXPECT_EQ(gateway_.GetStatus(next).status().code(), StatusCode::kNotFound);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(gateway_.status_service()
+                  .GetState(next + "/" + std::to_string(i))
+                  .value(),
+              TaskState::kFailed);
+  }
+}
+
+TEST_F(GatewayTest, ResubmittedQuerySetServedFromCache) {
+  const std::string first_id = gateway_.SubmitQuerySet(MakeQuerySet()).value();
+  ASSERT_TRUE(*gateway_.WaitForCompletion(first_id, 30.0));
+  const auto first = gateway_.GetResults(first_id).value();
+  const ResultCacheStats before = gateway_.result_cache().stats();
+
+  const std::string second_id = gateway_.SubmitQuerySet(MakeQuerySet()).value();
+  ASSERT_TRUE(*gateway_.WaitForCompletion(second_id, 30.0));
+  const auto second = gateway_.GetResults(second_id).value();
+  const ResultCacheStats after = gateway_.result_cache().stats();
+
+  // All three tasks were cache hits, and the served rankings are
+  // bit-identical to the originals under the resubmission's own task ids.
+  EXPECT_EQ(after.hits, before.hits + 3);
+  ASSERT_EQ(second.size(), first.size());
+  for (size_t i = 0; i < second.size(); ++i) {
+    EXPECT_TRUE(second[i].status.ok());
+    EXPECT_EQ(second[i].ranking, first[i].ranking);
+    EXPECT_EQ(second[i].task_id, second_id + "/" + std::to_string(i));
+    EXPECT_EQ(second[i].spec, first[i].spec);
+  }
+}
+
+TEST_F(GatewayTest, ThreadCountExcludedFromCacheKey) {
+  TaskBuilder first;
+  ASSERT_TRUE(first.Add("tiny", "pagerank", "alpha=0.85, threads=1").ok());
+  const std::string a = gateway_.SubmitQuerySet(first.Build()).value();
+  ASSERT_TRUE(*gateway_.WaitForCompletion(a, 30.0));
+
+  // Same computation, different execution knob and key order: still a hit.
+  TaskBuilder second;
+  ASSERT_TRUE(second.Add("tiny", "pagerank", "threads=4, alpha=0.85").ok());
+  const ResultCacheStats before = gateway_.result_cache().stats();
+  const std::string b = gateway_.SubmitQuerySet(second.Build()).value();
+  ASSERT_TRUE(*gateway_.WaitForCompletion(b, 30.0));
+  EXPECT_EQ(gateway_.result_cache().stats().hits, before.hits + 1);
+  EXPECT_EQ(gateway_.GetResults(b).value()[0].ranking,
+            gateway_.GetResults(a).value()[0].ranking);
+}
+
+TEST_F(GatewayTest, NegativeWaitTimeoutRejected) {
+  const std::string id = gateway_.SubmitQuerySet(MakeQuerySet()).value();
+  EXPECT_EQ(gateway_.WaitForCompletion(id, -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(*gateway_.WaitForCompletion(id, 30.0));
+}
+
 TEST(GatewayCancelTest, CancelSkipsQueuedTasks) {
   Datastore store(nullptr);
   GraphBuilder builder;
@@ -135,7 +236,12 @@ TEST(GatewayCancelTest, CancelSkipsQueuedTasks) {
   ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 1, 7);
   TaskBuilder tasks;
   for (int i = 0; i < 50; ++i) {
-    ASSERT_TRUE(tasks.Add("d", "ppr_montecarlo", "source=0, walks=200000").ok());
+    // Distinct seeds keep the fingerprints distinct: identical tasks would
+    // be coalesced by the single-flight layer and never sit in the queue,
+    // which is exactly what this test needs them to do.
+    ASSERT_TRUE(tasks.Add("d", "ppr_montecarlo",
+                          "source=0, walks=200000, seed=" + std::to_string(i))
+                    .ok());
   }
   const std::string id = gateway.SubmitQuerySet(tasks.Build()).value();
   ASSERT_TRUE(gateway.Cancel(id).ok());

@@ -154,5 +154,64 @@ TEST(BuildRequestTest, MaxloopAliasForK) {
       5u);
 }
 
+std::string Fp(const std::string& dataset, const std::string& algorithm,
+               const std::string& params) {
+  return TaskFingerprint(dataset, algorithm, ParamMap::Parse(params).value());
+}
+
+TEST(TaskFingerprintTest, OrderAndCaseIndependent) {
+  EXPECT_EQ(Fp("d", "pagerank", "alpha=0.85, K=3"),
+            Fp("d", "pagerank", "k=3, alpha=0.85"));
+  EXPECT_EQ(Fp("d", "PageRank", ""), Fp("d", "pagerank", ""));
+}
+
+TEST(TaskFingerprintTest, ThreadsIsExecutionOnly) {
+  // threads= changes latency, never results (kernels are bit-identical at
+  // any thread count), so it must not fragment the cache.
+  EXPECT_EQ(Fp("d", "pagerank", "alpha=0.85, threads=8"),
+            Fp("d", "pagerank", "alpha=0.85"));
+  EXPECT_EQ(Fp("d", "pagerank", "threads=1"), Fp("d", "pagerank", "threads=4"));
+}
+
+TEST(TaskFingerprintTest, ParameterAliasesCollapse) {
+  EXPECT_EQ(Fp("d", "cyclerank", "source=a"), Fp("d", "cyclerank", "reference=a"));
+  EXPECT_EQ(Fp("d", "cyclerank", "source=a"), Fp("d", "cyclerank", "r=a"));
+  EXPECT_EQ(Fp("d", "cyclerank", "maxloop=5"), Fp("d", "cyclerank", "k=5"));
+  EXPECT_EQ(Fp("d", "cyclerank", "sigma=exp"), Fp("d", "cyclerank", "scoring=exp"));
+  // BuildRequest lets maxloop override k when both are given.
+  EXPECT_EQ(Fp("d", "cyclerank", "k=3, maxloop=5"), Fp("d", "cyclerank", "k=5"));
+}
+
+TEST(TaskFingerprintTest, AlgorithmAliasesCollapse) {
+  EXPECT_EQ(Fp("d", "ppr", "source=a"), Fp("d", "pers_pagerank", "source=a"));
+  EXPECT_EQ(Fp("d", "pr", ""), Fp("d", "pagerank", ""));
+  EXPECT_EQ(Fp("d", "PageRank", ""), Fp("d", "pagerank", ""));
+  // Unknown (custom-registered) names stay verbatim: the registry is
+  // case-sensitive for them, so "MyAlgo" and "myalgo" can be two different
+  // algorithms and must never share a cache slot.
+  EXPECT_NE(Fp("d", "MyAlgo", ""), Fp("d", "myalgo", ""));
+}
+
+TEST(TaskFingerprintTest, DistinctComputationsStayDistinct) {
+  EXPECT_NE(Fp("d1", "pagerank", ""), Fp("d2", "pagerank", ""));
+  EXPECT_NE(Fp("d", "pagerank", ""), Fp("d", "cheirank", ""));
+  EXPECT_NE(Fp("d", "pagerank", "alpha=0.85"), Fp("d", "pagerank", "alpha=0.9"));
+  EXPECT_NE(Fp("d", "pagerank", "alpha=0.85"), Fp("d", "pagerank", ""));
+  EXPECT_NE(Fp("d", "ppr_montecarlo", "seed=1"),
+            Fp("d", "ppr_montecarlo", "seed=2"));
+}
+
+TEST(TaskFingerprintTest, SeparatorsAreEscaped) {
+  // Adversarial names containing the fingerprint separators must not make
+  // two different specs collide.
+  EXPECT_NE(TaskFingerprint("a&algorithm", "b", ParamMap()),
+            TaskFingerprint("a", "algorithm&b", ParamMap()));
+  ParamMap tricky;
+  tricky.Set("seed", "1&alpha=2");
+  ParamMap plain = ParamMap::Parse("seed=1, alpha=2").value();
+  EXPECT_NE(TaskFingerprint("d", "pagerank", tricky),
+            TaskFingerprint("d", "pagerank", plain));
+}
+
 }  // namespace
 }  // namespace cyclerank

@@ -73,6 +73,37 @@ TEST(RegistryTest, NullRegistrationRejected) {
   EXPECT_EQ(registry.Register(nullptr).code(), StatusCode::kInvalidArgument);
 }
 
+/// DegreeRank wearing a built-in's alias as its name.
+class AliasSquatter final : public RelevanceAlgorithm {
+ public:
+  explicit AliasSquatter(std::string name) : name_(std::move(name)) {}
+  std::string_view name() const override { return name_; }
+  bool requires_reference() const override { return false; }
+  bool produces_scores() const override { return true; }
+  Result<RankedList> Run(const Graph&,
+                         const AlgorithmRequest&) const override {
+    return RankedList{};
+  }
+
+ private:
+  std::string name_;
+};
+
+TEST(RegistryTest, BuiltInAliasNamesRejected) {
+  // "PR" would exact-match in Find while TaskFingerprint canonicalizes it
+  // to "pagerank" — the result cache would then serve one algorithm's
+  // ranking as the other's. Alias and case-variant names of built-ins are
+  // therefore rejected at registration; unrelated names stay fine.
+  AlgorithmRegistry registry;
+  for (const std::string squat : {"PR", "ppr", "cr", "PageRank"}) {
+    EXPECT_EQ(registry.Register(std::make_shared<AliasSquatter>(squat)).code(),
+              StatusCode::kInvalidArgument)
+        << squat;
+  }
+  EXPECT_TRUE(
+      registry.Register(std::make_shared<AliasSquatter>("myalgo")).ok());
+}
+
 TEST(RegistryTest, NamesSorted) {
   AlgorithmRegistry registry;
   for (AlgorithmKind kind : AllAlgorithmKinds()) {

@@ -88,6 +88,18 @@ TEST(StatusServiceTest, WaitValidatesIdsUpFront) {
             StatusCode::kNotFound);
 }
 
+TEST(StatusServiceTest, NegativeTimeoutRejected) {
+  // Before the fix every `timeout_seconds <= 0` silently meant "wait
+  // forever", so a caller's sign bug became an infinite hang. Only exactly
+  // 0 blocks indefinitely now.
+  StatusService status;
+  ASSERT_TRUE(status.Track("t").ok());
+  EXPECT_EQ(status.WaitUntilTerminal({"t"}, -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.WaitUntilTerminal({"t"}, -0.001).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(StatusServiceTest, WaitOnMultipleTasks) {
   StatusService status;
   ASSERT_TRUE(status.Track("a").ok());

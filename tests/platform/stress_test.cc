@@ -41,6 +41,30 @@ class FlakyAlgorithm final : public RelevanceAlgorithm {
 
 std::atomic<int> FlakyAlgorithm::invocations_{0};
 
+/// Deterministic algorithm that counts kernel executions — the probe for
+/// the "repeated queries execute zero kernel work" guarantees of the
+/// result-cache + single-flight layer.
+class CountingAlgorithm final : public RelevanceAlgorithm {
+ public:
+  std::string_view name() const override { return "counting"; }
+  bool requires_reference() const override { return false; }
+  bool produces_scores() const override { return true; }
+  Result<RankedList> Run(const Graph& g,
+                         const AlgorithmRequest& request) const override {
+    runs_.fetch_add(1);
+    std::vector<double> scores(g.num_nodes());
+    for (size_t i = 0; i < scores.size(); ++i) {
+      scores[i] = request.alpha / (1.0 + static_cast<double>(i));
+    }
+    RankingOptions options;
+    options.drop_zeros = false;
+    return ScoresToRankedList(scores, options);
+  }
+  static std::atomic<int> runs_;
+};
+
+std::atomic<int> CountingAlgorithm::runs_{0};
+
 GraphPtr TinyGraph() {
   GraphBuilder builder;
   builder.AddEdge(0, 1);
@@ -173,6 +197,108 @@ TEST(StressTest, ConcurrentRegistryLookupsDuringRegistration) {
   stop = true;
   reader.join();
   EXPECT_TRUE(registry.Find("pagerank").ok());
+}
+
+TEST(StressTest, SingleFlightCoalescesIdenticalConcurrentSubmissions) {
+  AlgorithmRegistry registry;
+  ASSERT_TRUE(registry.Register(std::make_shared<CountingAlgorithm>()).ok());
+  Datastore store(nullptr);
+  ASSERT_TRUE(store.PutDataset("tiny", TinyGraph()).ok());
+  ApiGateway gateway(&store, &registry, 4, 11);
+  CountingAlgorithm::runs_ = 0;
+
+  // Hammer the gateway with the same task from many threads at once: every
+  // submission must complete with the same ranking, and the kernel must run
+  // exactly once — later submissions coalesce with the in-flight leader or
+  // hit the cache it populated.
+  constexpr int kThreads = 8;
+  std::vector<std::string> ids(kThreads);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&gateway, &ids, t] {
+      TaskBuilder builder;
+      (void)builder.Add("tiny", "counting", "alpha=0.5");
+      auto id = gateway.SubmitQuerySet(builder.Build());
+      if (id.ok()) ids[t] = std::move(id).value();
+    });
+  }
+  for (std::thread& thread : submitters) thread.join();
+
+  RankedList reference;
+  for (const std::string& id : ids) {
+    ASSERT_FALSE(id.empty());
+    ASSERT_TRUE(*gateway.WaitForCompletion(id, 60.0));
+    const ComparisonStatus status = gateway.GetStatus(id).value();
+    EXPECT_EQ(status.completed, 1u) << id;
+    const auto results = gateway.GetResults(id).value();
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].status.ok());
+    if (reference.empty()) reference = results[0].ranking;
+    EXPECT_EQ(results[0].ranking, reference) << id;
+  }
+  EXPECT_EQ(CountingAlgorithm::runs_.load(), 1);
+}
+
+TEST(StressTest, ResubmissionExecutesZeroKernelWork) {
+  AlgorithmRegistry registry;
+  ASSERT_TRUE(registry.Register(std::make_shared<CountingAlgorithm>()).ok());
+  Datastore store(nullptr);
+  ASSERT_TRUE(store.PutDataset("tiny", TinyGraph()).ok());
+  ApiGateway gateway(&store, &registry, 2, 12);
+  CountingAlgorithm::runs_ = 0;
+
+  TaskBuilder builder;
+  ASSERT_TRUE(builder.Add("tiny", "counting", "alpha=0.1").ok());
+  ASSERT_TRUE(builder.Add("tiny", "counting", "alpha=0.2").ok());
+  ASSERT_TRUE(builder.Add("tiny", "counting", "alpha=0.3").ok());
+
+  const std::string first = gateway.SubmitQuerySet(builder.Build()).value();
+  ASSERT_TRUE(*gateway.WaitForCompletion(first, 60.0));
+  EXPECT_EQ(CountingAlgorithm::runs_.load(), 3);
+  const auto first_results = gateway.GetResults(first).value();
+
+  const std::string second = gateway.SubmitQuerySet(builder.Build()).value();
+  ASSERT_TRUE(*gateway.WaitForCompletion(second, 60.0));
+  // The entire resubmission was served from the cache: zero kernel work,
+  // bit-identical rankings.
+  EXPECT_EQ(CountingAlgorithm::runs_.load(), 3);
+  const auto second_results = gateway.GetResults(second).value();
+  ASSERT_EQ(second_results.size(), first_results.size());
+  for (size_t i = 0; i < second_results.size(); ++i) {
+    EXPECT_TRUE(second_results[i].status.ok());
+    EXPECT_EQ(second_results[i].ranking, first_results[i].ranking);
+  }
+}
+
+TEST(StressTest, CancelledLeaderDoesNotDragCoalescedFollowersDown) {
+  Datastore store(nullptr);
+  ASSERT_TRUE(store.PutDataset("tiny", TinyGraph()).ok());
+  // One worker: comparison A's first task occupies it while A's second task
+  // and comparison C's identical task queue up and coalesce.
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 1, 13);
+
+  TaskBuilder a_builder;
+  ASSERT_TRUE(
+      a_builder.Add("tiny", "ppr_montecarlo", "source=0, walks=2000000").ok());
+  ASSERT_TRUE(a_builder.Add("tiny", "pagerank", "alpha=0.7").ok());
+  const std::string a = gateway.SubmitQuerySet(a_builder.Build()).value();
+
+  TaskBuilder c_builder;
+  ASSERT_TRUE(c_builder.Add("tiny", "pagerank", "alpha=0.7").ok());
+  const std::string c = gateway.SubmitQuerySet(c_builder.Build()).value();
+
+  // Cancel A. If A's pagerank task was the single-flight leader and gets
+  // cancelled, C's coalesced task must be promoted and still complete —
+  // cancellation belongs to A's requester, not to the shared computation.
+  ASSERT_TRUE(gateway.Cancel(a).ok());
+  ASSERT_TRUE(*gateway.WaitForCompletion(a, 60.0));
+  ASSERT_TRUE(*gateway.WaitForCompletion(c, 60.0));
+  const ComparisonStatus c_status = gateway.GetStatus(c).value();
+  EXPECT_EQ(c_status.completed, 1u);
+  const auto c_results = gateway.GetResults(c).value();
+  ASSERT_EQ(c_results.size(), 1u);
+  EXPECT_TRUE(c_results[0].status.ok());
+  EXPECT_FALSE(c_results[0].ranking.empty());
 }
 
 TEST(StressTest, StatusServiceConcurrentTransitions) {

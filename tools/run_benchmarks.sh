@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs the perf benchmark suite (perf_pagerank, perf_cyclerank,
-# perf_ppr_variants) with --benchmark_format=json and merges the results
-# into one file, so the repo's perf trajectory is tracked PR over PR.
+# perf_ppr_variants, plus the perf_result_cache cache-hit sweep) with
+# --benchmark_format=json and merges the results into one file, so the
+# repo's perf trajectory is tracked PR over PR.
 #
 # Usage:
 #   tools/run_benchmarks.sh [OUT_JSON]
@@ -11,15 +12,15 @@
 #   BENCH_FILTER  optional --benchmark_filter regex forwarded to every suite
 #   BENCH_MIN_TIME optional --benchmark_min_time seconds (default: 0.5)
 #
-# Example (the PR-1 evidence file):
+# Example (the PR-2 evidence file; PR 1 wrote BENCH_PR1.json the same way):
 #   cmake -B build -S . && cmake --build build -j
-#   tools/run_benchmarks.sh BENCH_PR1.json
+#   tools/run_benchmarks.sh BENCH_PR2.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
-OUT=${1:-BENCH_PR1.json}
-SUITES=(perf_pagerank perf_cyclerank perf_ppr_variants)
+OUT=${1:-BENCH_PR2.json}
+SUITES=(perf_pagerank perf_cyclerank perf_ppr_variants perf_result_cache)
 TMP_DIR=$(mktemp -d)
 trap 'rm -rf "${TMP_DIR}"' EXIT
 
