@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kExpired:
+      return "Expired";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnimplemented = 8,     ///< Declared but not (yet) supported path.
   kCancelled = 9,         ///< Cooperative cancellation was observed.
   kInternal = 10,         ///< Invariant violation inside the library.
+  kExpired = 11,          ///< Entity existed but was evicted by retention.
 };
 
 /// Returns the canonical spelling of `code`, e.g. "InvalidArgument".
@@ -86,6 +87,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Expired(std::string msg) {
+    return Status(StatusCode::kExpired, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -220,6 +220,7 @@ class ForwardPushAlgorithm final : public RelevanceAlgorithm {
     ForwardPushOptions options;
     options.alpha = request.alpha;
     options.epsilon = request.epsilon;
+    options.num_threads = request.num_threads;
     CYCLERANK_ASSIGN_OR_RETURN(
         ForwardPushScores scores,
         ComputeForwardPushPpr(g, request.reference, options));

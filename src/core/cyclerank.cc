@@ -329,11 +329,14 @@ Result<CycleRankScores> ComputeCycleRank(const Graph& g, NodeId reference,
 
   // One backward BFS gives dist(v → r) for the pruning rule. Bounded by
   // K-1: anything farther can never participate in a cycle of length ≤ K.
+  // The BFS runs on the frontier engine with the query's thread budget, so
+  // the pruning pass scales on the shared pool alongside the enumeration.
   std::vector<uint32_t> dist_back;
   if (options.use_pruning) {
     CYCLERANK_ASSIGN_OR_RETURN(
         dist_back, BfsDistances(g, reference, Direction::kBackward,
-                                options.max_cycle_length - 1));
+                                options.max_cycle_length - 1,
+                                options.num_threads));
   } else {
     dist_back.assign(g.num_nodes(), 0);
   }

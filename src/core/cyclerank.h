@@ -46,9 +46,10 @@ struct CycleRankOptions {
   /// **bit-identical at every thread count**. Branch enumeration uses
   /// reusable per-thread workspaces (epoch-stamped visited set, sparse
   /// touched-node accumulators), so a query costs memory proportional to
-  /// the nodes reached, not O(out_degree × n). Ignored (single
-  /// enumeration) when `max_cycles != 0`, since a global cap cannot be
-  /// enforced exactly across concurrent branches.
+  /// the nodes reached, not O(out_degree × n). The backward pruning BFS
+  /// shares this budget (it runs level-synchronously on the frontier
+  /// engine). Ignored (single enumeration) when `max_cycles != 0`, since
+  /// a global cap cannot be enforced exactly across concurrent branches.
   uint32_t num_threads = 1;
 };
 

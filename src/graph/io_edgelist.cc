@@ -1,8 +1,11 @@
 #include "graph/io_edgelist.h"
 
+#include <charconv>
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/strings.h"
@@ -44,15 +47,109 @@ Status SplitPair(std::string_view line, char delimiter, size_t line_no,
   return Status::OK();
 }
 
+/// Single-pass parser state. Large edgelists are overwhelmingly numeric,
+/// so the reader starts in numeric mode, keeping each edge as one
+/// `int64_t` pair (16 bytes) instead of two heap strings. The first
+/// non-integer token demotes the whole file to labeled mode: the numeric
+/// backlog is replayed as labels (original spellings preserved — the rare
+/// token whose text is not the canonical decimal rendering, e.g. "007",
+/// is kept verbatim on the side) and every later edge streams straight
+/// into the builder.
+class EdgeListParser {
+ public:
+  explicit EdgeListParser(bool force_labeled) : numeric_(!force_labeled) {}
+
+  void Accept(std::string_view src, std::string_view dst,
+              GraphBuilder* builder) {
+    if (!numeric_) {
+      builder->AddEdge(src, dst);
+      return;
+    }
+    const Result<int64_t> s = ParseInt64(src);
+    const Result<int64_t> d = ParseInt64(dst);
+    if (!s.ok() || !d.ok()) {
+      DemoteToLabeled(builder);
+      builder->AddEdge(src, dst);
+      return;
+    }
+    RememberSpelling(src, *s, 2 * numeric_edges_.size());
+    RememberSpelling(dst, *d, 2 * numeric_edges_.size() + 1);
+    numeric_edges_.emplace_back(*s, *d);
+  }
+
+  /// Flushes the numeric backlog into `builder`. Out-of-range ids are only
+  /// an error for an all-numeric file — a labeled file may legitimately
+  /// use "-1" as a label — which is why the check happens at finish time.
+  Status Finish(GraphBuilder* builder) {
+    if (!numeric_) return Status::OK();
+    // kInvalidNode is the reserved sentinel, so the largest usable id is
+    // one below it; anything bigger would silently wrap in the NodeId
+    // cast and build a wrong graph.
+    constexpr int64_t kMaxId = static_cast<int64_t>(kInvalidNode) - 1;
+    for (const auto& [s, d] : numeric_edges_) {
+      if (s < 0 || d < 0) {
+        return Status::ParseError("edgelist: negative node id");
+      }
+      if (s > kMaxId || d > kMaxId) {
+        return Status::ParseError("edgelist: node id " +
+                                  std::to_string(s > kMaxId ? s : d) +
+                                  " exceeds the 32-bit id range");
+      }
+      builder->AddEdge(static_cast<NodeId>(s), static_cast<NodeId>(d));
+    }
+    return Status::OK();
+  }
+
+ private:
+  void RememberSpelling(std::string_view token, int64_t value,
+                        size_t position) {
+    // Canonical-spelling compare without materializing a std::string —
+    // this runs twice per edge on the numeric fast path.
+    char canonical[20];
+    const auto [end, ec] =
+        std::to_chars(canonical, canonical + sizeof(canonical), value);
+    (void)ec;  // int64 always fits 20 chars
+    if (token != std::string_view(canonical,
+                                  static_cast<size_t>(end - canonical))) {
+      spellings_.emplace_back(position, std::string(token));
+    }
+  }
+
+  void DemoteToLabeled(GraphBuilder* builder) {
+    numeric_ = false;
+    size_t next_spelling = 0;
+    auto label_at = [&](size_t position, int64_t value) -> std::string {
+      if (next_spelling < spellings_.size() &&
+          spellings_[next_spelling].first == position) {
+        return std::move(spellings_[next_spelling++].second);
+      }
+      return std::to_string(value);
+    };
+    for (size_t i = 0; i < numeric_edges_.size(); ++i) {
+      const auto [s, d] = numeric_edges_[i];
+      builder->AddEdge(label_at(2 * i, s), label_at(2 * i + 1, d));
+    }
+    numeric_edges_.clear();
+    numeric_edges_.shrink_to_fit();
+    spellings_.clear();
+  }
+
+  bool numeric_;
+  std::vector<std::pair<int64_t, int64_t>> numeric_edges_;
+  // (token position, original text) for numeric tokens whose spelling is
+  // not canonical; ascending by construction, usually empty.
+  std::vector<std::pair<size_t, std::string>> spellings_;
+};
+
 }  // namespace
 
 Result<Graph> ReadEdgeList(std::istream& in,
                            const EdgeListReadOptions& options) {
-  std::vector<std::pair<std::string, std::string>> pairs;
+  GraphBuilder builder;
+  EdgeListParser parser(options.force_labeled);
   std::string line;
   size_t line_no = 0;
   char delimiter = options.delimiter;
-  bool all_numeric = !options.force_labeled;
 
   while (std::getline(in, line)) {
     ++line_no;
@@ -61,27 +158,10 @@ Result<Graph> ReadEdgeList(std::istream& in,
     if (delimiter == '\0') delimiter = DetectDelimiter(data);
     std::string_view src, dst;
     CYCLERANK_RETURN_NOT_OK(SplitPair(data, delimiter, line_no, &src, &dst));
-    if (all_numeric &&
-        (!ParseInt64(src).ok() || !ParseInt64(dst).ok())) {
-      all_numeric = false;
-    }
-    pairs.emplace_back(std::string(src), std::string(dst));
+    parser.Accept(src, dst, &builder);
   }
   if (in.bad()) return Status::IOError("stream error while reading edgelist");
-
-  GraphBuilder builder;
-  if (all_numeric) {
-    for (const auto& [s, d] : pairs) {
-      auto sv = ParseInt64(s);
-      auto dv = ParseInt64(d);
-      if (*sv < 0 || *dv < 0) {
-        return Status::ParseError("edgelist: negative node id");
-      }
-      builder.AddEdge(static_cast<NodeId>(*sv), static_cast<NodeId>(*dv));
-    }
-  } else {
-    for (const auto& [s, d] : pairs) builder.AddEdge(s, d);
-  }
+  CYCLERANK_RETURN_NOT_OK(parser.Finish(&builder));
   return builder.Build(options.build);
 }
 

@@ -26,15 +26,23 @@ enum class Direction {
 /// The backward variant computes, for every node v, the length of the
 /// shortest path v→…→source — exactly the quantity CycleRank's pruning
 /// needs (DESIGN.md §4).
+///
+/// Runs level-synchronously on the frontier engine (`common/frontier.h`):
+/// each BFS wave is expanded in parallel on the shared compute pool when
+/// `num_threads > 1` (0 = every pool worker). Distances are identical at
+/// every thread count — BFS waves assign the same depth regardless of
+/// expansion order.
 Result<std::vector<uint32_t>> BfsDistances(const Graph& g, NodeId source,
                                            Direction direction,
-                                           uint32_t max_depth = kUnreachable);
+                                           uint32_t max_depth = kUnreachable,
+                                           uint32_t num_threads = 1);
 
 /// Ids of nodes with finite distance from `source` within `max_depth`,
 /// ascending. Includes `source` itself (distance 0).
 Result<std::vector<NodeId>> ReachableSet(const Graph& g, NodeId source,
                                          Direction direction,
-                                         uint32_t max_depth = kUnreachable);
+                                         uint32_t max_depth = kUnreachable,
+                                         uint32_t num_threads = 1);
 
 }  // namespace cyclerank
 

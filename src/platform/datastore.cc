@@ -53,13 +53,55 @@ std::vector<std::string> Datastore::UploadedDatasets() const {
 
 void Datastore::PutResult(TaskResult result) {
   std::lock_guard<std::mutex> lock(mu_);
-  results_[result.task_id] = std::move(result);
+  const std::string id = result.task_id;
+  auto [it, inserted] = results_.insert_or_assign(id, std::move(result));
+  (void)it;
+  // Unlimited mode keeps no retention bookkeeping at all — the FIFO would
+  // otherwise grow one id per stored result forever.
+  if (max_retained_results_ == 0) return;
+  if (!inserted) return;  // retry overwrite: retention slot unchanged
+  // A re-stored result revives an evicted id.
+  if (evicted_.erase(id) != 0) {
+    for (auto fifo_it = evicted_fifo_.begin(); fifo_it != evicted_fifo_.end();
+         ++fifo_it) {
+      if (*fifo_it == id) {
+        evicted_fifo_.erase(fifo_it);
+        break;
+      }
+    }
+  }
+  retention_fifo_.push_back(id);
+  EnforceRetentionLocked();
+}
+
+void Datastore::EnforceRetentionLocked() {
+  if (max_retained_results_ == 0) return;
+  while (results_.size() > max_retained_results_) {
+    const std::string oldest = std::move(retention_fifo_.front());
+    retention_fifo_.pop_front();
+    results_.erase(oldest);
+    logs_.erase(oldest);
+    if (evicted_.insert(oldest).second) {
+      evicted_fifo_.push_back(oldest);
+    }
+  }
+  // The eviction-marker set is FIFO-bounded too (by the same knob), so the
+  // datastore's footprint stays O(max_retained_results) forever.
+  while (evicted_.size() > max_retained_results_) {
+    evicted_.erase(evicted_fifo_.front());
+    evicted_fifo_.pop_front();
+  }
 }
 
 Result<TaskResult> Datastore::GetResult(const std::string& task_id) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = results_.find(task_id);
   if (it == results_.end()) {
+    if (evicted_.count(task_id) != 0) {
+      return Status::Expired("result for task '" + task_id +
+                             "' was evicted by the retention policy (bound " +
+                             std::to_string(max_retained_results_) + ")");
+    }
     return Status::NotFound("no result for task '" + task_id + "'");
   }
   return it->second;
@@ -68,6 +110,11 @@ Result<TaskResult> Datastore::GetResult(const std::string& task_id) const {
 bool Datastore::HasResult(const std::string& task_id) const {
   std::lock_guard<std::mutex> lock(mu_);
   return results_.count(task_id) != 0;
+}
+
+size_t Datastore::NumStoredResults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return results_.size();
 }
 
 void Datastore::AppendLog(const std::string& task_id, std::string line) {

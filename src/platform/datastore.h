@@ -1,8 +1,11 @@
 #ifndef CYCLERANK_PLATFORM_DATASTORE_H_
 #define CYCLERANK_PLATFORM_DATASTORE_H_
 
+#include <cstddef>
+#include <deque>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -28,10 +31,17 @@ class Datastore {
   /// `catalog` may be null for a datastore with only uploaded datasets.
   /// The catalog must outlive the datastore. `result_cache_bytes` budgets
   /// the completed-result cache (0 disables caching; in-flight dedup in the
-  /// scheduler stays active either way).
+  /// scheduler stays active either way). `max_retained_results` bounds the
+  /// per-task result/log maps (0 = unlimited, the historical behavior):
+  /// beyond it, the oldest stored results are evicted FIFO together with
+  /// their logs, and looking one up reports `kExpired` instead of
+  /// `kNotFound`.
   explicit Datastore(DatasetCatalog* catalog = &DatasetCatalog::BuiltIn(),
-                     size_t result_cache_bytes = ResultCache::kDefaultMaxBytes)
-      : catalog_(catalog), result_cache_(result_cache_bytes) {}
+                     size_t result_cache_bytes = ResultCache::kDefaultMaxBytes,
+                     size_t max_retained_results = 0)
+      : catalog_(catalog),
+        result_cache_(result_cache_bytes),
+        max_retained_results_(max_retained_results) {}
 
   Datastore(const Datastore&) = delete;
   Datastore& operator=(const Datastore&) = delete;
@@ -54,11 +64,24 @@ class Datastore {
 
   // -- Results -------------------------------------------------------------
 
-  /// Stores the result of a finished task (overwrites on retry).
+  /// Stores the result of a finished task (overwrites on retry without
+  /// refreshing its retention slot). When `max_retained_results` is set,
+  /// the oldest results — and their logs — are evicted FIFO past the
+  /// bound.
   void PutResult(TaskResult result);
 
+  /// The stored result; `kExpired` when the retention bound evicted it,
+  /// `kNotFound` when it was never stored. (Eviction markers are
+  /// themselves FIFO-bounded, so tasks far past the retention horizon
+  /// eventually report `kNotFound` again — the marker set cannot grow
+  /// without bound either.)
   Result<TaskResult> GetResult(const std::string& task_id) const;
+
+  /// True only for live (non-evicted) results.
   bool HasResult(const std::string& task_id) const;
+
+  /// Number of live stored results (tests / monitoring).
+  size_t NumStoredResults() const;
 
   /// Byte-budgeted LRU over completed task results, keyed by
   /// `TaskFingerprint`. The scheduler serves repeated queries from it
@@ -75,12 +98,19 @@ class Datastore {
   std::vector<std::string> GetLog(const std::string& task_id) const;
 
  private:
+  /// Evicts the oldest results past the retention bound. Caller holds mu_.
+  void EnforceRetentionLocked();
+
   DatasetCatalog* catalog_;  // not owned, may be null
   ResultCache result_cache_;
+  const size_t max_retained_results_;  // 0 = unlimited
   mutable std::mutex mu_;
   std::map<std::string, GraphPtr> uploaded_;
   std::map<std::string, TaskResult> results_;
   std::map<std::string, std::vector<std::string>> logs_;
+  std::deque<std::string> retention_fifo_;  // insertion order of results_
+  std::set<std::string> evicted_;           // ids answered with kExpired
+  std::deque<std::string> evicted_fifo_;    // bounds evicted_ itself
 };
 
 }  // namespace cyclerank

@@ -137,17 +137,23 @@ Result<std::vector<TaskResult>> ApiGateway::GetResults(
     }
     // Terminal but no stored result: surface the task's state instead of
     // silently dropping the entry, so callers can tell "not finished yet"
-    // (absent) from "finished without a result" (an error entry).
+    // (absent) from "finished without a result" (an error entry). A result
+    // evicted by the datastore's retention bound keeps its Expired status
+    // verbatim — that is an answer, not an internal error.
     TaskResult entry;
     entry.task_id = status.task_ids[i];
     if (i < specs.size()) entry.spec = specs[i];
-    const std::string detail = "task '" + status.task_ids[i] + "' is " +
-                               std::string(TaskStateToString(status.states[i])) +
-                               " but no result was recorded (" +
-                               result.status().message() + ")";
-    entry.status = status.states[i] == TaskState::kCancelled
-                       ? Status::Cancelled(detail)
-                       : Status::Internal(detail);
+    if (result.status().code() == StatusCode::kExpired) {
+      entry.status = result.status();
+    } else {
+      const std::string detail =
+          "task '" + status.task_ids[i] + "' is " +
+          std::string(TaskStateToString(status.states[i])) +
+          " but no result was recorded (" + result.status().message() + ")";
+      entry.status = status.states[i] == TaskState::kCancelled
+                         ? Status::Cancelled(detail)
+                         : Status::Internal(detail);
+    }
     results.push_back(std::move(entry));
   }
   return results;

@@ -12,6 +12,7 @@
 
 #include "core/cheirank.h"
 #include "core/cyclerank.h"
+#include "core/forward_push.h"
 #include "core/monte_carlo.h"
 #include "core/pagerank.h"
 #include "datasets/generators.h"
@@ -149,6 +150,82 @@ TEST(DeterminismTest, CycleRankZeroOutDegreeReference) {
     EXPECT_EQ(cr.total_cycles, 0u) << "threads=" << threads;
     EXPECT_EQ(cr.dfs_expansions, 1u);
     for (double s : cr.scores) EXPECT_EQ(s, 0.0);
+  }
+}
+
+TEST(DeterminismTest, ForwardPushBitIdenticalAcrossThreadCounts) {
+  const Graph g = MakeBaGraph(500, 31);
+  ForwardPushOptions options;
+  options.epsilon = 1e-8;  // thousands of pushes over many rounds
+  options.num_threads = 1;
+  const ForwardPushScores base = ComputeForwardPushPpr(g, 0, options).value();
+  EXPECT_GT(base.pushes, 0u);
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    options.num_threads = threads;
+    const ForwardPushScores other =
+        ComputeForwardPushPpr(g, 0, options).value();
+    EXPECT_EQ(base.scores, other.scores) << "threads=" << threads;
+    EXPECT_EQ(base.pushes, other.pushes) << "threads=" << threads;
+    EXPECT_EQ(base.converged, other.converged);
+    EXPECT_EQ(base.residual_mass, other.residual_mass);
+  }
+}
+
+TEST(DeterminismTest, ForwardPushTruncationThreadCountIndependent) {
+  // The max_pushes cap lands at a round boundary, so the truncated output
+  // (including which rounds ran) is the same at every thread count.
+  const Graph g = MakeBaGraph(400, 37);
+  ForwardPushOptions options;
+  options.epsilon = 1e-10;
+  options.max_pushes = 200;
+  options.num_threads = 1;
+  const ForwardPushScores base = ComputeForwardPushPpr(g, 0, options).value();
+  EXPECT_FALSE(base.converged);
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    options.num_threads = threads;
+    const ForwardPushScores other =
+        ComputeForwardPushPpr(g, 0, options).value();
+    EXPECT_EQ(base.scores, other.scores) << "threads=" << threads;
+    EXPECT_EQ(base.pushes, other.pushes) << "threads=" << threads;
+    EXPECT_EQ(base.converged, other.converged);
+    EXPECT_EQ(base.residual_mass, other.residual_mass);
+  }
+}
+
+TEST(DeterminismTest, ForwardPushDanglingHeavyAcrossThreadCounts) {
+  // Teleport deltas from many dangling sinks all target the reference;
+  // they must be accumulated in the same chunk order at every thread
+  // count.
+  const Graph g = DanglingHeavyGraph(300);
+  ForwardPushOptions options;
+  options.epsilon = 1e-9;
+  options.num_threads = 1;
+  const ForwardPushScores base = ComputeForwardPushPpr(g, 0, options).value();
+  for (uint32_t threads : {2u, 8u}) {
+    options.num_threads = threads;
+    const ForwardPushScores other =
+        ComputeForwardPushPpr(g, 0, options).value();
+    EXPECT_EQ(base.scores, other.scores) << "threads=" << threads;
+    EXPECT_EQ(base.pushes, other.pushes);
+    EXPECT_EQ(base.residual_mass, other.residual_mass);
+  }
+}
+
+TEST(DeterminismTest, CycleRankWithParallelPruningBfsBitIdentical) {
+  // End-to-end: the pruning BFS now runs on the frontier engine with the
+  // query's thread budget; scores and the work metric must stay identical.
+  const Graph g = MakeBaGraph(300, 43, /*reciprocity=*/0.5);
+  CycleRankOptions options;
+  options.max_cycle_length = 5;
+  options.use_pruning = true;
+  options.num_threads = 1;
+  const CycleRankScores base = ComputeCycleRank(g, 0, options).value();
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    options.num_threads = threads;
+    const CycleRankScores other = ComputeCycleRank(g, 0, options).value();
+    EXPECT_EQ(base.scores, other.scores) << "threads=" << threads;
+    EXPECT_EQ(base.dfs_expansions, other.dfs_expansions);
+    EXPECT_EQ(base.total_cycles, other.total_cycles);
   }
 }
 

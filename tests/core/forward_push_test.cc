@@ -131,10 +131,44 @@ TEST(ForwardPushTest, MaxPushesCapStopsEarly) {
   const Graph g = GenerateBarabasiAlbert(config).value();
   ForwardPushOptions options;
   options.epsilon = 1e-12;
+  const uint64_t unbounded = ComputeForwardPushPpr(g, 0, options).value().pushes;
+
   options.max_pushes = 10;
   const ForwardPushScores scores = ComputeForwardPushPpr(g, 0, options).value();
   EXPECT_FALSE(scores.converged);
+  // The cap is hard: each round's admission is budgeted by the remaining
+  // allowance, so the count never exceeds it.
   EXPECT_LE(scores.pushes, 10u);
+  EXPECT_LT(scores.pushes, unbounded);
+
+  // A cap below the first round (the seed push) still reports truncation
+  // after that one round.
+  options.max_pushes = 1;
+  const ForwardPushScores one = ComputeForwardPushPpr(g, 0, options).value();
+  EXPECT_FALSE(one.converged);
+}
+
+TEST(ForwardPushTest, CapLandingOnConvergenceStillReportsConverged) {
+  // A cap equal to the exact push count of the unbounded run is not a
+  // truncation: nothing was pending when the cap was reached (matches the
+  // old deque semantics, where an empty queue meant converged regardless
+  // of the push count).
+  BarabasiAlbertConfig config;
+  config.num_nodes = 300;
+  config.edges_per_node = 4;
+  config.seed = 8;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  ForwardPushOptions options;
+  options.epsilon = 1e-6;
+  const ForwardPushScores unbounded =
+      ComputeForwardPushPpr(g, 0, options).value();
+  ASSERT_TRUE(unbounded.converged);
+
+  options.max_pushes = unbounded.pushes;
+  const ForwardPushScores exact = ComputeForwardPushPpr(g, 0, options).value();
+  EXPECT_TRUE(exact.converged);
+  EXPECT_EQ(exact.pushes, unbounded.pushes);
+  EXPECT_EQ(exact.scores, unbounded.scores);
 }
 
 TEST(ForwardPushTest, RejectsBadArguments) {

@@ -51,6 +51,45 @@ TEST(EdgeListTest, MixedTokensFallBackToLabeled) {
   EXPECT_NE(g.FindNode("foo"), kInvalidNode);
 }
 
+TEST(EdgeListTest, LabeledFallbackPreservesNumericSpellings) {
+  // The one-pass reader holds early numeric edges as integers; when a
+  // later token forces labeled mode, the originals must come back with
+  // their exact spelling — "007" and "7" are different labels.
+  const Graph g = Parse("007,7\n7,007\nfoo,007\n").value();
+  ASSERT_NE(g.labels(), nullptr);
+  EXPECT_EQ(g.num_nodes(), 3u);  // "007", "7", "foo"
+  const NodeId padded = g.FindNode("007");
+  const NodeId plain = g.FindNode("7");
+  ASSERT_NE(padded, kInvalidNode);
+  ASSERT_NE(plain, kInvalidNode);
+  EXPECT_NE(padded, plain);
+  EXPECT_TRUE(g.HasEdge(padded, plain));
+  EXPECT_TRUE(g.HasEdge(g.FindNode("foo"), padded));
+  // First-appearance numbering starts at the first line, not the fallback
+  // point.
+  EXPECT_EQ(padded, 0u);
+  EXPECT_EQ(plain, 1u);
+}
+
+TEST(EdgeListTest, NegativeIdsAreLabelsWhenFileIsLabeled) {
+  // "-1" only poisons an all-numeric file; alongside a word token it is a
+  // perfectly good label.
+  const Graph g = Parse("-1,foo\n").value();
+  ASSERT_NE(g.labels(), nullptr);
+  EXPECT_NE(g.FindNode("-1"), kInvalidNode);
+}
+
+TEST(EdgeListTest, LargeNumericFileStaysNumeric) {
+  std::string text;
+  for (int i = 0; i < 1000; ++i) {
+    text += std::to_string(i) + "," + std::to_string(i + 1) + "\n";
+  }
+  const Graph g = Parse(text).value();
+  EXPECT_EQ(g.labels(), nullptr);
+  EXPECT_EQ(g.num_nodes(), 1001u);
+  EXPECT_EQ(g.num_edges(), 1000u);
+}
+
 TEST(EdgeListTest, ForceLabeledTreatsNumbersAsLabels) {
   EdgeListReadOptions options;
   options.force_labeled = true;
@@ -73,6 +112,17 @@ TEST(EdgeListTest, RejectsWrongFieldCount) {
 
 TEST(EdgeListTest, RejectsNegativeIds) {
   EXPECT_EQ(Parse("-1,2\n").status().code(), StatusCode::kParseError);
+}
+
+TEST(EdgeListTest, RejectsIdsBeyondNodeIdRange) {
+  // 2^32 would silently wrap to node 0 in the NodeId cast.
+  EXPECT_EQ(Parse("4294967296,1\n").status().code(), StatusCode::kParseError);
+  // The sentinel value itself is reserved too.
+  EXPECT_EQ(Parse("4294967295,1\n").status().code(), StatusCode::kParseError);
+  // In a labeled file the same token is a perfectly good label.
+  const Graph g = Parse("4294967296,foo\n").value();
+  ASSERT_NE(g.labels(), nullptr);
+  EXPECT_NE(g.FindNode("4294967296"), kInvalidNode);
 }
 
 TEST(EdgeListTest, EmptyInputYieldsEmptyGraph) {

@@ -115,5 +115,89 @@ TEST(DatastoreTest, LogsAppendInOrder) {
   EXPECT_TRUE(store.GetLog("none").empty());
 }
 
+TaskResult ResultFor(const std::string& id) {
+  TaskResult result;
+  result.task_id = id;
+  return result;
+}
+
+TEST(DatastoreTest, RetentionEvictsOldestResultsFifo) {
+  Datastore store(nullptr, ResultCache::kDefaultMaxBytes,
+                  /*max_retained_results=*/3);
+  for (int i = 0; i < 5; ++i) {
+    const std::string id = "t" + std::to_string(i);
+    store.AppendLog(id, "ran");
+    store.PutResult(ResultFor(id));
+  }
+  EXPECT_EQ(store.NumStoredResults(), 3u);
+  // t0, t1 evicted; t2..t4 live.
+  EXPECT_EQ(store.GetResult("t0").status().code(), StatusCode::kExpired);
+  EXPECT_EQ(store.GetResult("t1").status().code(), StatusCode::kExpired);
+  EXPECT_FALSE(store.HasResult("t0"));
+  for (const char* id : {"t2", "t3", "t4"}) {
+    EXPECT_TRUE(store.HasResult(id)) << id;
+  }
+  // Logs of evicted tasks are dropped with the result; live logs stay.
+  EXPECT_TRUE(store.GetLog("t0").empty());
+  EXPECT_EQ(store.GetLog("t4"), (std::vector<std::string>{"ran"}));
+  // Never-stored tasks still report NotFound, not Expired.
+  EXPECT_EQ(store.GetResult("never").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatastoreTest, RetentionZeroMeansUnlimited) {
+  Datastore store(nullptr, ResultCache::kDefaultMaxBytes,
+                  /*max_retained_results=*/0);
+  for (int i = 0; i < 100; ++i) {
+    store.PutResult(ResultFor("t" + std::to_string(i)));
+  }
+  EXPECT_EQ(store.NumStoredResults(), 100u);
+  EXPECT_TRUE(store.HasResult("t0"));
+}
+
+TEST(DatastoreTest, RetryOverwriteKeepsRetentionSlot) {
+  Datastore store(nullptr, ResultCache::kDefaultMaxBytes,
+                  /*max_retained_results=*/2);
+  store.PutResult(ResultFor("a"));
+  store.PutResult(ResultFor("b"));
+  // Overwriting "a" must not count as a new insertion (or "b" would be
+  // unfairly evicted ahead of it later).
+  TaskResult retry = ResultFor("a");
+  retry.seconds = 9.0;
+  store.PutResult(retry);
+  EXPECT_EQ(store.NumStoredResults(), 2u);
+  EXPECT_DOUBLE_EQ(store.GetResult("a").value().seconds, 9.0);
+  store.PutResult(ResultFor("c"));  // evicts "a", the oldest insertion
+  EXPECT_EQ(store.GetResult("a").status().code(), StatusCode::kExpired);
+  EXPECT_TRUE(store.HasResult("b"));
+  EXPECT_TRUE(store.HasResult("c"));
+}
+
+TEST(DatastoreTest, ReStoringAnEvictedResultRevivesIt) {
+  Datastore store(nullptr, ResultCache::kDefaultMaxBytes,
+                  /*max_retained_results=*/1);
+  store.PutResult(ResultFor("a"));
+  store.PutResult(ResultFor("b"));  // evicts "a"
+  EXPECT_EQ(store.GetResult("a").status().code(), StatusCode::kExpired);
+  store.PutResult(ResultFor("a"));  // re-run stored again, evicts "b"
+  EXPECT_TRUE(store.HasResult("a"));
+  EXPECT_EQ(store.GetResult("b").status().code(), StatusCode::kExpired);
+}
+
+TEST(DatastoreTest, EvictionMarkersAreBoundedToo) {
+  Datastore store(nullptr, ResultCache::kDefaultMaxBytes,
+                  /*max_retained_results=*/2);
+  for (int i = 0; i < 10; ++i) {
+    store.PutResult(ResultFor("t" + std::to_string(i)));
+  }
+  // Markers are FIFO-bounded by the same knob: only the two most recent
+  // evictions (t6, t7) still answer Expired; older ones fell off and are
+  // indistinguishable from never-stored.
+  EXPECT_EQ(store.GetResult("t7").status().code(), StatusCode::kExpired);
+  EXPECT_EQ(store.GetResult("t6").status().code(), StatusCode::kExpired);
+  EXPECT_EQ(store.GetResult("t0").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(store.HasResult("t8"));
+  EXPECT_TRUE(store.HasResult("t9"));
+}
+
 }  // namespace
 }  // namespace cyclerank

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Runs the perf benchmark suite (perf_pagerank, perf_cyclerank,
-# perf_ppr_variants, plus the perf_result_cache cache-hit sweep) with
-# --benchmark_format=json and merges the results into one file, so the
-# repo's perf trajectory is tracked PR over PR.
+# perf_ppr_variants, the perf_result_cache cache-hit sweep, and the
+# perf_forward_push frontier-engine sweeps) with --benchmark_format=json
+# and merges the results into one file, so the repo's perf trajectory is
+# tracked PR over PR.
 #
 # Usage:
 #   tools/run_benchmarks.sh [OUT_JSON]
@@ -11,16 +12,25 @@
 #   BUILD_DIR     build directory holding the bench binaries (default: build)
 #   BENCH_FILTER  optional --benchmark_filter regex forwarded to every suite
 #   BENCH_MIN_TIME optional --benchmark_min_time seconds (default: 0.5)
+#   BENCH_REPS    optional --benchmark_repetitions; > 1 reports only the
+#                 mean/median/stddev aggregates (recommended on noisy
+#                 shared hosts, where single samples swing by >10%)
 #
-# Example (the PR-2 evidence file; PR 1 wrote BENCH_PR1.json the same way):
+# The merged JSON carries a `single_core_host` flag: on a 1-CPU runner the
+# thread sweeps measure parallel-engine *overhead bounds*, not scaling, and
+# downstream tooling must not read them as speedup claims.
+#
+# Example (the PR-3 evidence file; earlier PRs wrote BENCH_PR<n>.json the
+# same way):
 #   cmake -B build -S . && cmake --build build -j
-#   tools/run_benchmarks.sh BENCH_PR2.json
+#   tools/run_benchmarks.sh BENCH_PR3.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
-OUT=${1:-BENCH_PR2.json}
-SUITES=(perf_pagerank perf_cyclerank perf_ppr_variants perf_result_cache)
+OUT=${1:-BENCH_PR3.json}
+SUITES=(perf_pagerank perf_cyclerank perf_ppr_variants perf_result_cache
+        perf_forward_push)
 TMP_DIR=$(mktemp -d)
 trap 'rm -rf "${TMP_DIR}"' EXIT
 
@@ -37,11 +47,15 @@ for suite in "${SUITES[@]}"; do
   if [[ -n "${BENCH_FILTER:-}" ]]; then
     args+=("--benchmark_filter=${BENCH_FILTER}")
   fi
+  if [[ "${BENCH_REPS:-1}" -gt 1 ]]; then
+    args+=("--benchmark_repetitions=${BENCH_REPS}"
+           --benchmark_report_aggregates_only=true)
+  fi
   "${bin}" "${args[@]}" >/dev/null
 done
 
 python3 - "${OUT}" "${TMP_DIR}" "${SUITES[@]}" <<'EOF'
-import json, subprocess, sys
+import json, os, subprocess, sys
 
 out_path, tmp_dir, *suites = sys.argv[1:]
 merged = {"suites": {}}
@@ -50,6 +64,13 @@ for suite in suites:
         data = json.load(f)
     merged.setdefault("context", data.get("context", {}))
     merged["suites"][suite] = data.get("benchmarks", [])
+cpus = os.cpu_count() or merged.get("context", {}).get("num_cpus", 0)
+merged["host_cpus"] = cpus
+merged["single_core_host"] = cpus <= 1
+if merged["single_core_host"]:
+    merged["thread_sweep_caveat"] = (
+        "host exposes 1 CPU: Threads(2..8) rows bound the parallel engine's "
+        "overhead, they are NOT scaling measurements")
 try:
     merged["git_revision"] = subprocess.check_output(
         ["git", "rev-parse", "--short", "HEAD"], text=True).strip()
