@@ -62,7 +62,8 @@ int RunFig1() {
 
   for (size_t workers : {1u, 2u, 4u, 8u}) {
     Datastore store;
-    ApiGateway gateway(&store, &AlgorithmRegistry::Default(), workers, 99);
+    ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
+      {.num_workers = workers, .uuid_seed = 99});
 
     WallTimer timer;
     std::vector<std::string> ids;

@@ -1,0 +1,124 @@
+// Storage-layer throughput: dataset upload (with and without eviction
+// pressure), pinned snapshot fetches, and the text-upload admission path.
+// The PR-4 decomposition split the datastore into individually-locked
+// stores; these sweeps bound the fixed cost of the byte-budgeted
+// graph-store layer so retention never becomes the bottleneck of the
+// upload/query hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datasets/generators.h"
+#include "platform/datastore.h"
+
+namespace cyclerank {
+namespace {
+
+GraphPtr BenchGraph(int64_t n, uint64_t seed) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = static_cast<NodeId>(n);
+  config.edges_per_node = 8;
+  config.reciprocity = 0.3;
+  config.seed = seed;
+  return std::make_shared<Graph>(GenerateBarabasiAlbert(config).value());
+}
+
+PlatformOptions GraphBudget(size_t bytes) {
+  PlatformOptions options;
+  options.graph_store_bytes = bytes;
+  return options;
+}
+
+/// Steady-state upload cost with eviction: the budget holds ~4 graphs, so
+/// every further upload evicts the least-recently-queried one. Arg: nodes.
+void BM_Datastore_UploadEvict(benchmark::State& state) {
+  // A pool of pre-built graphs keeps graph construction out of the loop.
+  std::vector<GraphPtr> pool;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    pool.push_back(BenchGraph(state.range(0), seed));
+  }
+  Datastore store(nullptr, GraphBudget(4 * pool[0]->MemoryBytes()));
+  uint64_t uploads = 0;
+  for (auto _ : state) {
+    const std::string name = "g" + std::to_string(uploads);
+    benchmark::DoNotOptimize(
+        store.PutDataset(name, pool[uploads % pool.size()]));
+    ++uploads;
+  }
+  const GraphStoreStats stats = store.graph_store().stats();
+  state.counters["nodes"] = static_cast<double>(state.range(0));
+  state.counters["graph_bytes"] = static_cast<double>(pool[0]->MemoryBytes());
+  state.counters["evictions"] = static_cast<double>(stats.evictions);
+  state.counters["store_bytes"] = static_cast<double>(stats.bytes);
+}
+BENCHMARK(BM_Datastore_UploadEvict)
+    ->Arg(1000)->Arg(10000)->Arg(50000)->Unit(benchmark::kMicrosecond);
+
+/// Upload cost without a budget (the historical unbounded path), for the
+/// eviction overhead delta. Every name is fresh — the map grows for the
+/// run's duration, which is exactly what "unbounded" costs; entries share
+/// the pooled graphs, so growth is index-only. Arg: nodes.
+void BM_Datastore_UploadUnbounded(benchmark::State& state) {
+  std::vector<GraphPtr> pool;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    pool.push_back(BenchGraph(state.range(0), seed));
+  }
+  Datastore store(nullptr);
+  uint64_t uploads = 0;
+  for (auto _ : state) {
+    const std::string name = "g" + std::to_string(uploads);
+    benchmark::DoNotOptimize(
+        store.PutDataset(name, pool[uploads % pool.size()]));
+    ++uploads;
+  }
+  state.counters["nodes"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Datastore_UploadUnbounded)
+    ->Arg(1000)->Arg(10000)->Arg(50000)->Unit(benchmark::kMicrosecond);
+
+/// Pinned-snapshot fetch: the executor-side hot path (lookup + recency
+/// bump + shared_ptr pin) on a store holding `range(1)` datasets.
+void BM_Datastore_PinnedGet(benchmark::State& state) {
+  Datastore store(nullptr);
+  const int64_t datasets = state.range(1);
+  for (int64_t i = 0; i < datasets; ++i) {
+    (void)store.PutDataset("g" + std::to_string(i),
+                           BenchGraph(state.range(0), 1));
+  }
+  uint64_t fetches = 0;
+  for (auto _ : state) {
+    const std::string name = "g" + std::to_string(fetches % datasets);
+    GraphPtr pinned = store.GetDataset(name).value();
+    benchmark::DoNotOptimize(pinned);
+    ++fetches;
+  }
+  state.counters["nodes"] = static_cast<double>(state.range(0));
+  state.counters["datasets"] = static_cast<double>(datasets);
+}
+BENCHMARK(BM_Datastore_PinnedGet)
+    ->Args({10000, 1})->Args({10000, 16})->Args({10000, 256});
+
+/// Text-upload admission: parse + CSR build + byte accounting for an
+/// n-node edge-list body, against a budget the upload always fits.
+void BM_Datastore_UploadDatasetParse(benchmark::State& state) {
+  std::string content;
+  for (int64_t i = 0; i + 1 < state.range(0); ++i) {
+    content += std::to_string(i) + "," + std::to_string(i + 1) + "\n";
+  }
+  Datastore store(nullptr, GraphBudget(64u << 20));
+  uint64_t uploads = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.UploadDataset("g" + std::to_string(uploads++), content));
+  }
+  state.counters["nodes"] = static_cast<double>(state.range(0));
+  state.counters["content_bytes"] = static_cast<double>(content.size());
+}
+BENCHMARK(BM_Datastore_UploadDatasetParse)
+    ->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cyclerank

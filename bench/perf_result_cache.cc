@@ -29,8 +29,8 @@ GraphPtr BenchGraph(int64_t n) {
 struct GatewayFixture {
   explicit GatewayFixture(int64_t nodes)
       : store(nullptr),
-        gateway(&store, &AlgorithmRegistry::Default(), /*num_workers=*/2,
-                /*uuid_seed=*/1) {
+        gateway(&store, &AlgorithmRegistry::Default(),
+                {.num_workers = 2, .uuid_seed = 1}) {
     (void)store.PutDataset("bench", BenchGraph(nodes));
   }
   Datastore store;

@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
   const std::string reference = argc > 2 ? argv[2] : "1984";
 
   Datastore store;
-  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), /*num_workers=*/4);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
+      {.num_workers = 4});
 
   // Build the query set: the seven algorithms of the demo (§II, §V).
   // Global algorithms ignore the reference parameter.

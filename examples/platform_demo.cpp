@@ -14,15 +14,24 @@ using namespace cyclerank;
 int main() {
   std::puts("== CycleRank demo platform walkthrough (Fig. 1) ==\n");
 
+  // One PlatformOptions string configures the whole stack — storage
+  // budgets for the datastore, workers/admission for the gateway.
+  const PlatformOptions options =
+      PlatformOptions::FromString(
+          "num_workers=2, graph_store_bytes=64m, max_retained_results=1000, "
+          "max_tasks_per_submission=32")
+          .value();
+  std::printf("[options]   %s\n", options.ToString().c_str());
+
   // Datastore backed by the pre-loaded catalog (plus one upload).
-  Datastore store;
+  Datastore store(&DatasetCatalog::BuiltIn(), options);
   const Status upload = store.UploadDataset(
       "my-upload",
       "alice,bob\nbob,alice\nbob,carol\ncarol,alice\nalice,dave\n");
   std::printf("[datastore] uploaded 'my-upload': %s\n",
               upload.ToString().c_str());
 
-  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), /*num_workers=*/2);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), options);
   std::printf("[gateway]   %zu executor workers\n\n", gateway.num_workers());
 
   // Task builder (Fig. 2): compose, prune, submit.

@@ -71,7 +71,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "upload failed\n");
     return 1;
   }
-  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 2);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
+      {.num_workers = 2});
   TaskBuilder builder;
   const Status st =
       builder.Add("uploaded", "cyclerank", "source=" + reference + ", k=4");

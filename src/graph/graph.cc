@@ -4,6 +4,14 @@
 
 namespace cyclerank {
 
+size_t Graph::ComputeMemoryBytes() const {
+  size_t bytes = sizeof(Graph);
+  bytes += (out_offsets_.size() + in_offsets_.size()) * sizeof(uint64_t);
+  bytes += (out_targets_.size() + in_sources_.size()) * sizeof(NodeId);
+  if (labels_) bytes += labels_->MemoryBytes();
+  return bytes;
+}
+
 bool Graph::HasEdge(NodeId u, NodeId v) const {
   if (!IsValidNode(u) || !IsValidNode(v)) return false;
   const auto row = OutNeighbors(u);

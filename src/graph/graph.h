@@ -1,6 +1,7 @@
 #ifndef CYCLERANK_GRAPH_GRAPH_H_
 #define CYCLERANK_GRAPH_GRAPH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -58,6 +59,14 @@ class Graph {
   /// True iff the edge u→v exists. O(log out_degree(u)).
   bool HasEdge(NodeId u, NodeId v) const;
 
+  /// Bytes this graph keeps resident: the four CSR arrays plus the label
+  /// dictionary (when present) plus the object itself. Counts elements, not
+  /// allocator capacity, so the figure is deterministic across platforms —
+  /// it is the accounting unit of the datastore's byte-budgeted dataset
+  /// retention (`PlatformOptions::graph_store_bytes`). O(1): computed once
+  /// at build time (executors render it per task).
+  size_t MemoryBytes() const { return memory_bytes_; }
+
   /// True iff `u` is a valid node id.
   bool IsValidNode(NodeId u) const { return u < num_nodes(); }
 
@@ -74,11 +83,16 @@ class Graph {
  private:
   friend class GraphBuilder;
 
+  /// The element-count walk behind `MemoryBytes()`; `GraphBuilder::Build`
+  /// calls it once and caches the result.
+  size_t ComputeMemoryBytes() const;
+
   std::vector<uint64_t> out_offsets_;  // size n+1
   std::vector<NodeId> out_targets_;    // size m, sorted per row
   std::vector<uint64_t> in_offsets_;   // size n+1
   std::vector<NodeId> in_sources_;     // size m, sorted per row
   std::shared_ptr<const LabelMap> labels_;
+  size_t memory_bytes_ = sizeof(Graph);  // cached; default = empty graph
 };
 
 /// Shared handle to an immutable graph; what the datastore hands out.

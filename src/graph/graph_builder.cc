@@ -80,6 +80,7 @@ Result<Graph> GraphBuilder::Build(const GraphBuildOptions& options) {
     labels_.reset();
   }
   min_nodes_ = 0;
+  g.memory_bytes_ = g.ComputeMemoryBytes();
   return g;
 }
 

@@ -43,6 +43,12 @@ class LabelMap {
   /// All labels in id order.
   const std::vector<std::string>& labels() const { return labels_; }
 
+  /// Estimated resident bytes: label characters plus per-entry container
+  /// bookkeeping for both directions of the mapping. Deterministic
+  /// (counts elements, not allocator capacity) so byte-budget accounting
+  /// agrees across platforms.
+  size_t MemoryBytes() const;
+
  private:
   std::vector<std::string> labels_;
   std::unordered_map<std::string, NodeId> index_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "graph/io.h"
+#include "platform/params.h"
 
 namespace cyclerank {
 
@@ -18,115 +19,49 @@ Status Datastore::PutDataset(const std::string& name, GraphPtr graph) {
     return Status::AlreadyExists("dataset '" + name +
                                  "' exists in the pre-loaded catalog");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = uploaded_.emplace(name, std::move(graph));
-  (void)it;
-  if (!inserted) {
-    return Status::AlreadyExists("dataset '" + name + "' already uploaded");
-  }
+  CYCLERANK_RETURN_NOT_OK(graphs_.Put(name, std::move(graph)));
+  // The result cache is keyed by dataset *name*; binding the name to new
+  // content (a fresh upload, or re-uploading an evicted name) must drop any
+  // results computed against the previous binding, or the cache would serve
+  // the old graph's rankings for the new one. A no-op for never-seen names.
+  (void)result_cache_.ErasePrefix(DatasetFingerprintPrefix(name));
   return Status::OK();
 }
 
 Status Datastore::UploadDataset(const std::string& name,
                                 const std::string& content) {
+  // Admission heuristic before any parse work, on the one figure known
+  // without parsing: a request body past the whole graph-store budget is
+  // rejected outright rather than buffered and parsed. Deliberately
+  // conservative — a verbosely-labeled text can parse to a smaller CSR
+  // that would have fit; such a dataset must be uploaded pre-parsed via
+  // PutDataset, which admits on the exact MemoryBytes figure.
+  const size_t budget = graphs_.max_bytes();
+  if (budget != 0 && content.size() > budget) {
+    return Status::InvalidArgument(
+        "datastore: upload '" + name + "' is " +
+        std::to_string(content.size()) +
+        " bytes, larger than the graph-store budget of " +
+        std::to_string(budget) + " bytes; rejected before parsing");
+  }
   CYCLERANK_ASSIGN_OR_RETURN(Graph graph, ReadGraphFromString(content));
   return PutDataset(name, std::make_shared<Graph>(std::move(graph)));
 }
 
 Result<GraphPtr> Datastore::GetDataset(const std::string& name) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = uploaded_.find(name);
-    if (it != uploaded_.end()) return it->second;
+  // Uploaded first: PutDataset rejects uploads that would shadow catalog
+  // names, but the catalog is runtime-extensible (Register), so a name
+  // uploaded *before* a later catalog registration must keep resolving to
+  // the upload. Only never-uploaded names fall through; an evicted name
+  // answers kExpired, not NotFound — the caller should learn the dataset
+  // needs re-uploading, not suspect a typo.
+  Result<GraphPtr> uploaded = graphs_.Get(name);
+  if (uploaded.ok()) return uploaded;
+  if (uploaded.status().code() == StatusCode::kNotFound &&
+      catalog_ != nullptr) {
+    return catalog_->Load(name);
   }
-  if (catalog_ != nullptr) return catalog_->Load(name);
-  return Status::NotFound("dataset '" + name + "' not found");
-}
-
-std::vector<std::string> Datastore::UploadedDatasets() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<std::string> out;
-  out.reserve(uploaded_.size());
-  for (const auto& [name, graph] : uploaded_) out.push_back(name);
-  return out;
-}
-
-void Datastore::PutResult(TaskResult result) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const std::string id = result.task_id;
-  auto [it, inserted] = results_.insert_or_assign(id, std::move(result));
-  (void)it;
-  // Unlimited mode keeps no retention bookkeeping at all — the FIFO would
-  // otherwise grow one id per stored result forever.
-  if (max_retained_results_ == 0) return;
-  if (!inserted) return;  // retry overwrite: retention slot unchanged
-  // A re-stored result revives an evicted id.
-  if (evicted_.erase(id) != 0) {
-    for (auto fifo_it = evicted_fifo_.begin(); fifo_it != evicted_fifo_.end();
-         ++fifo_it) {
-      if (*fifo_it == id) {
-        evicted_fifo_.erase(fifo_it);
-        break;
-      }
-    }
-  }
-  retention_fifo_.push_back(id);
-  EnforceRetentionLocked();
-}
-
-void Datastore::EnforceRetentionLocked() {
-  if (max_retained_results_ == 0) return;
-  while (results_.size() > max_retained_results_) {
-    const std::string oldest = std::move(retention_fifo_.front());
-    retention_fifo_.pop_front();
-    results_.erase(oldest);
-    logs_.erase(oldest);
-    if (evicted_.insert(oldest).second) {
-      evicted_fifo_.push_back(oldest);
-    }
-  }
-  // The eviction-marker set is FIFO-bounded too (by the same knob), so the
-  // datastore's footprint stays O(max_retained_results) forever.
-  while (evicted_.size() > max_retained_results_) {
-    evicted_.erase(evicted_fifo_.front());
-    evicted_fifo_.pop_front();
-  }
-}
-
-Result<TaskResult> Datastore::GetResult(const std::string& task_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = results_.find(task_id);
-  if (it == results_.end()) {
-    if (evicted_.count(task_id) != 0) {
-      return Status::Expired("result for task '" + task_id +
-                             "' was evicted by the retention policy (bound " +
-                             std::to_string(max_retained_results_) + ")");
-    }
-    return Status::NotFound("no result for task '" + task_id + "'");
-  }
-  return it->second;
-}
-
-bool Datastore::HasResult(const std::string& task_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return results_.count(task_id) != 0;
-}
-
-size_t Datastore::NumStoredResults() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return results_.size();
-}
-
-void Datastore::AppendLog(const std::string& task_id, std::string line) {
-  std::lock_guard<std::mutex> lock(mu_);
-  logs_[task_id].push_back(std::move(line));
-}
-
-std::vector<std::string> Datastore::GetLog(const std::string& task_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = logs_.find(task_id);
-  if (it == logs_.end()) return {};
-  return it->second;
+  return uploaded.status();
 }
 
 }  // namespace cyclerank

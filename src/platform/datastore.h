@@ -2,17 +2,19 @@
 #define CYCLERANK_PLATFORM_DATASTORE_H_
 
 #include <cstddef>
-#include <deque>
-#include <map>
 #include <mutex>
-#include <set>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "datasets/catalog.h"
 #include "graph/graph.h"
+#include "platform/graph_store.h"
+#include "platform/log_store.h"
+#include "platform/platform_options.h"
 #include "platform/result_cache.h"
+#include "platform/result_store.h"
 #include "platform/task.h"
 
 namespace cyclerank {
@@ -21,6 +23,21 @@ namespace cyclerank {
 /// datasets. It also provides storage for results and logs produced by the
 /// system."
 ///
+/// A facade over three focused, individually-locked stores — one per
+/// lifecycle:
+///
+///   - `GraphStore`  — uploaded datasets, byte-budgeted
+///     (`PlatformOptions::graph_store_bytes`), least-recently-queried
+///     eviction;
+///   - `ResultStore` — per-task results, FIFO retention
+///     (`max_retained_results`);
+///   - `LogStore`    — per-task logs, dropped when their result expires;
+///
+/// plus the byte-budgeted `ResultCache` of completed results
+/// (`result_cache_bytes`). Splitting the lifecycles means dataset, result,
+/// and log traffic never contend on one mutex, and each store owns exactly
+/// one retention policy.
+///
 /// Datasets resolve against (a) graphs uploaded at runtime ("users can
 /// upload new datasets") and (b) an optional backing `DatasetCatalog` of
 /// pre-loaded datasets. Results and per-task logs are written by executors
@@ -28,39 +45,75 @@ namespace cyclerank {
 /// thread-safe.
 class Datastore {
  public:
-  /// `catalog` may be null for a datastore with only uploaded datasets.
-  /// The catalog must outlive the datastore. `result_cache_bytes` budgets
-  /// the completed-result cache (0 disables caching; in-flight dedup in the
-  /// scheduler stays active either way). `max_retained_results` bounds the
-  /// per-task result/log maps (0 = unlimited, the historical behavior):
-  /// beyond it, the oldest stored results are evicted FIFO together with
-  /// their logs, and looking one up reports `kExpired` instead of
-  /// `kNotFound`.
+  /// `catalog` may be null for a datastore with only uploaded datasets; it
+  /// must outlive the datastore. `options` carries every retention knob:
+  /// `graph_store_bytes` (uploaded-dataset budget, 0 = unbounded),
+  /// `result_cache_bytes` (0 disables caching; in-flight dedup in the
+  /// scheduler stays active either way), and `max_retained_results`
+  /// (0 = unlimited).
   explicit Datastore(DatasetCatalog* catalog = &DatasetCatalog::BuiltIn(),
-                     size_t result_cache_bytes = ResultCache::kDefaultMaxBytes,
-                     size_t max_retained_results = 0)
+                     const PlatformOptions& options = {})
       : catalog_(catalog),
-        result_cache_(result_cache_bytes),
-        max_retained_results_(max_retained_results) {}
+        graphs_(options.graph_store_bytes),
+        results_(options.max_retained_results),
+        result_cache_(options.result_cache_bytes) {}
 
   Datastore(const Datastore&) = delete;
   Datastore& operator=(const Datastore&) = delete;
 
   // -- Datasets ------------------------------------------------------------
 
-  /// Uploads `graph` under `name`. Uploaded names shadow catalog names are
-  /// rejected instead: AlreadyExists keeps experiment provenance unambiguous.
+  /// Uploads `graph` under `name`. Uploaded names that would shadow a
+  /// pre-loaded catalog name are rejected with `kAlreadyExists` — shadowing
+  /// would make experiment provenance ambiguous. With a graph-store budget
+  /// set, the upload may evict the least-recently-queried datasets (their
+  /// names then answer `kExpired` from `GetDataset`), and a graph larger
+  /// than the whole budget is rejected with a byte-stating
+  /// `kInvalidArgument`. Eviction never interrupts running tasks: executors
+  /// pin the immutable `GraphPtr` snapshot for a task's whole run, so an
+  /// evicted graph's memory is reclaimed only when its last pin drops.
   Status PutDataset(const std::string& name, GraphPtr graph);
 
   /// Parses `content` (edgelist / pajek / ASD, auto-sniffed) and uploads it
-  /// — the programmatic equivalent of the demo's upload form.
+  /// — the programmatic equivalent of the demo's upload form. Content
+  /// larger than the graph-store budget is rejected *before* parsing with a
+  /// byte-stating `kInvalidArgument` — an admission heuristic that keeps
+  /// oversized request bodies from costing parse work. It is conservative:
+  /// a verbosely-labeled text can parse to a smaller CSR that would have
+  /// fit; upload such a dataset pre-parsed via `PutDataset`, which admits
+  /// on the exact `MemoryBytes` figure.
   Status UploadDataset(const std::string& name, const std::string& content);
 
-  /// Fetches a dataset: uploaded first, then the backing catalog.
+  /// Fetches a dataset: uploaded first, then the backing catalog. Fetching
+  /// an uploaded dataset bumps it to most-recently-queried (under the same
+  /// lock as the lookup, so LRU order is race-free); an evicted name
+  /// reports `kExpired`.
   Result<GraphPtr> GetDataset(const std::string& name);
 
   /// Names of uploaded datasets (catalog names come from the catalog).
-  std::vector<std::string> UploadedDatasets() const;
+  std::vector<std::string> UploadedDatasets() const { return graphs_.Names(); }
+
+  /// The uploaded-datasets store (budget, stats — tests / monitoring).
+  /// Const: writes must go through `PutDataset`/`UploadDataset`, which
+  /// enforce the catalog-shadow check and result-cache invalidation.
+  const GraphStore& graph_store() const { return graphs_; }
+
+  /// Binding generation of `name` for fingerprinting (`TaskFingerprint`):
+  /// a process-unique counter for live uploaded datasets, 0 for immutable
+  /// catalog names, and *no value* when the name currently resolves to
+  /// nothing (never uploaded, or evicted). Re-binding a name after
+  /// eviction changes the generation, so two bindings never share a cache
+  /// or single-flight key; an unresolvable name must not be keyed at all —
+  /// "absent" is not a binding, and a result that only exists because an
+  /// upload raced in between submit and fetch must not be served to later
+  /// submissions that should answer `kExpired`/`kNotFound`.
+  std::optional<uint64_t> DatasetCacheGeneration(
+      const std::string& name) const {
+    const uint64_t generation = graphs_.Generation(name);
+    if (generation != 0) return generation;
+    if (catalog_ != nullptr && catalog_->Info(name).ok()) return 0;
+    return std::nullopt;
+  }
 
   // -- Results -------------------------------------------------------------
 
@@ -68,20 +121,31 @@ class Datastore {
   /// refreshing its retention slot). When `max_retained_results` is set,
   /// the oldest results — and their logs — are evicted FIFO past the
   /// bound.
-  void PutResult(TaskResult result);
+  void PutResult(TaskResult result) {
+    // Serialize writers so "evict X" and "erase X's logs" are atomic
+    // against a concurrent re-store of X (which would otherwise revive the
+    // result between the two steps and lose its logs). Reads — GetResult,
+    // GetLog, AppendLog — stay on the stores' own locks.
+    std::lock_guard<std::mutex> lock(put_mu_);
+    logs_.Erase(results_.Put(std::move(result)));
+  }
 
   /// The stored result; `kExpired` when the retention bound evicted it,
   /// `kNotFound` when it was never stored. (Eviction markers are
   /// themselves FIFO-bounded, so tasks far past the retention horizon
   /// eventually report `kNotFound` again — the marker set cannot grow
   /// without bound either.)
-  Result<TaskResult> GetResult(const std::string& task_id) const;
+  Result<TaskResult> GetResult(const std::string& task_id) const {
+    return results_.Get(task_id);
+  }
 
   /// True only for live (non-evicted) results.
-  bool HasResult(const std::string& task_id) const;
+  bool HasResult(const std::string& task_id) const {
+    return results_.Has(task_id);
+  }
 
   /// Number of live stored results (tests / monitoring).
-  size_t NumStoredResults() const;
+  size_t NumStoredResults() const { return results_.size(); }
 
   /// Byte-budgeted LRU over completed task results, keyed by
   /// `TaskFingerprint`. The scheduler serves repeated queries from it
@@ -92,25 +156,22 @@ class Datastore {
   // -- Logs ----------------------------------------------------------------
 
   /// Appends one log line for `task_id`.
-  void AppendLog(const std::string& task_id, std::string line);
+  void AppendLog(const std::string& task_id, std::string line) {
+    logs_.Append(task_id, std::move(line));
+  }
 
   /// All log lines of `task_id`, oldest first (empty if none).
-  std::vector<std::string> GetLog(const std::string& task_id) const;
+  std::vector<std::string> GetLog(const std::string& task_id) const {
+    return logs_.Get(task_id);
+  }
 
  private:
-  /// Evicts the oldest results past the retention bound. Caller holds mu_.
-  void EnforceRetentionLocked();
-
   DatasetCatalog* catalog_;  // not owned, may be null
+  GraphStore graphs_;
+  ResultStore results_;
+  LogStore logs_;
   ResultCache result_cache_;
-  const size_t max_retained_results_;  // 0 = unlimited
-  mutable std::mutex mu_;
-  std::map<std::string, GraphPtr> uploaded_;
-  std::map<std::string, TaskResult> results_;
-  std::map<std::string, std::vector<std::string>> logs_;
-  std::deque<std::string> retention_fifo_;  // insertion order of results_
-  std::set<std::string> evicted_;           // ids answered with kExpired
-  std::deque<std::string> evicted_fifo_;    // bounds evicted_ itself
+  mutable std::mutex put_mu_;  ///< orders result-write + log-erase pairs
 };
 
 }  // namespace cyclerank

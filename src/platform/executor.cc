@@ -86,12 +86,26 @@ Result<TaskResult> Executor::Run(const std::string& task_id,
                                  const std::atomic<bool>* cancelled) {
   CYCLERANK_RETURN_NOT_OK(status_->SetState(task_id, TaskState::kFetching));
   datastore_->AppendLog(task_id, "fetching dataset '" + spec.dataset + "'");
+  // This GraphPtr pins the immutable snapshot for the task's whole run: a
+  // concurrent graph-store eviction can drop the store's reference but
+  // never the graph under the kernel — results stay bit-identical to an
+  // eviction-free run, and the memory is freed when the pin drops.
   CYCLERANK_ASSIGN_OR_RETURN(GraphPtr graph,
                              datastore_->GetDataset(spec.dataset));
+  datastore_->AppendLog(
+      task_id, "pinned dataset snapshot '" + spec.dataset + "' (" +
+                   std::to_string(graph->MemoryBytes()) +
+                   " bytes) for the task's lifetime");
 
   CYCLERANK_ASSIGN_OR_RETURN(auto algorithm, registry_->Find(spec.algorithm));
   CYCLERANK_ASSIGN_OR_RETURN(AlgorithmRequest request,
                              BuildRequest(*graph, spec.params));
+  // Deployment-level default thread budget; an explicit threads= parameter
+  // always wins. Execution-only: kernels are bit-identical at any count,
+  // so this never touches the task's fingerprint or cached result.
+  if (default_threads_ != 0 && !spec.params.Has("threads")) {
+    request.num_threads = default_threads_;
+  }
   if (algorithm->requires_reference() && request.reference == kInvalidNode) {
     return Status::InvalidArgument("algorithm '" + spec.algorithm +
                                    "' requires a reference node (source=...)");

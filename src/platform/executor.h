@@ -2,9 +2,11 @@
 #define CYCLERANK_PLATFORM_EXECUTOR_H_
 
 #include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "platform/datastore.h"
+#include "platform/platform_options.h"
 #include "platform/registry.h"
 #include "platform/status_service.h"
 #include "platform/task.h"
@@ -15,15 +17,26 @@ namespace cyclerank {
 /// datastore, resolves the algorithm, runs it, and writes result and logs
 /// back — steps 2–4 of the paper's request flow (§III).
 ///
+/// The dataset fetched at task start is an immutable snapshot *pinned*
+/// (via its `GraphPtr`) for the task's whole run: a concurrent graph-store
+/// eviction drops only the store's reference, never the memory a running
+/// kernel reads — the task completes bit-identically and the graph is
+/// freed when the pin drops.
+///
 /// `Execute` is synchronous; the `Scheduler` runs it on worker threads.
 /// The executor is stateless apart from its wiring, so one instance can be
 /// shared by any number of threads.
 class Executor {
  public:
   /// All dependencies are borrowed and must outlive the executor.
+  /// `options.default_threads` is applied to tasks that carry no
+  /// `threads=` parameter of their own.
   Executor(Datastore* datastore, AlgorithmRegistry* registry,
-           StatusService* status)
-      : datastore_(datastore), registry_(registry), status_(status) {}
+           StatusService* status, const PlatformOptions& options = {})
+      : datastore_(datastore),
+        registry_(registry),
+        status_(status),
+        default_threads_(options.default_threads) {}
 
   /// Runs `spec` as task `task_id`:
   ///   pending → fetching → running → completed | failed | cancelled.
@@ -61,6 +74,7 @@ class Executor {
   Datastore* datastore_;
   AlgorithmRegistry* registry_;
   StatusService* status_;
+  const uint32_t default_threads_;  ///< 0 = kernel default (whole pool)
 };
 
 }  // namespace cyclerank

@@ -1,0 +1,55 @@
+#ifndef CYCLERANK_PLATFORM_EXPIRY_MARKERS_H_
+#define CYCLERANK_PLATFORM_EXPIRY_MARKERS_H_
+
+#include <cstddef>
+#include <deque>
+#include <set>
+#include <string>
+
+namespace cyclerank {
+
+/// Bookkeeping for names/ids that "existed but were evicted by retention":
+/// a set for lookup (drives `kExpired` answers) plus a FIFO that bounds the
+/// set itself, so the markers cannot outgrow the store they describe.
+/// Shared by `GraphStore` and `ResultStore`. Not thread-safe — each store
+/// guards its markers with its own mutex.
+class ExpiryMarkers {
+ public:
+  /// Marks `key` as evicted (idempotent).
+  void Mark(const std::string& key) {
+    if (marked_.insert(key).second) fifo_.push_back(key);
+  }
+
+  /// True while `key`'s eviction is still remembered.
+  bool Contains(const std::string& key) const {
+    return marked_.count(key) != 0;
+  }
+
+  /// Forgets `key`'s eviction (a re-stored key is live again, not expired).
+  void Revive(const std::string& key) {
+    if (marked_.erase(key) == 0) return;
+    for (auto it = fifo_.begin(); it != fifo_.end(); ++it) {
+      if (*it == key) {
+        fifo_.erase(it);
+        break;
+      }
+    }
+  }
+
+  /// Drops the oldest markers until at most `max_markers` remain; forgotten
+  /// keys answer `kNotFound` again instead of `kExpired`.
+  void Bound(size_t max_markers) {
+    while (marked_.size() > max_markers) {
+      marked_.erase(fifo_.front());
+      fifo_.pop_front();
+    }
+  }
+
+ private:
+  std::set<std::string> marked_;
+  std::deque<std::string> fifo_;  ///< eviction order of marked_
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_PLATFORM_EXPIRY_MARKERS_H_

@@ -7,16 +7,25 @@
 namespace cyclerank {
 
 ApiGateway::ApiGateway(Datastore* datastore, AlgorithmRegistry* registry,
-                       size_t num_workers, uint64_t uuid_seed)
-    : datastore_(datastore),
-      executor_(datastore, registry, &status_),
-      scheduler_(&executor_, num_workers),
-      uuid_(uuid_seed),
+                       const PlatformOptions& options)
+    : options_(options),
+      datastore_(datastore),
+      executor_(datastore, registry, &status_, options),
+      scheduler_(&executor_, options),
+      uuid_(options.uuid_seed),
       registry_(registry) {}
 
 Result<std::string> ApiGateway::SubmitQuerySet(const QuerySet& query_set) {
   if (query_set.tasks.empty()) {
     return Status::InvalidArgument("gateway: query set is empty");
+  }
+  if (options_.max_tasks_per_submission != 0 &&
+      query_set.tasks.size() > options_.max_tasks_per_submission) {
+    return Status::InvalidArgument(
+        "gateway: query set has " + std::to_string(query_set.tasks.size()) +
+        " tasks, above the admission limit of " +
+        std::to_string(options_.max_tasks_per_submission) +
+        " (max_tasks_per_submission)");
   }
   for (const TaskSpec& spec : query_set.tasks) {
     CYCLERANK_RETURN_NOT_OK(registry_->Find(spec.algorithm).status());
@@ -46,9 +55,18 @@ Result<std::string> ApiGateway::SubmitQuerySet(const QuerySet& query_set) {
   if (error.ok()) {
     for (; enqueued < query_set.tasks.size(); ++enqueued) {
       const TaskSpec& spec = query_set.tasks[enqueued];
+      // No generation means the dataset currently resolves to nothing: the
+      // task runs un-keyed (no cache serve, no coalescing, no publish), so
+      // a result that only exists because an upload raced in can never be
+      // served to later submissions that should answer Expired/NotFound.
+      const std::optional<uint64_t> generation =
+          datastore_->DatasetCacheGeneration(spec.dataset);
       error = scheduler_.Enqueue(
           comparison.task_ids[enqueued], spec, comparison.cancelled,
-          TaskFingerprint(spec.dataset, spec.algorithm, spec.params));
+          generation.has_value()
+              ? TaskFingerprint(spec.dataset, *generation, spec.algorithm,
+                                spec.params)
+              : std::string());
       if (!error.ok()) break;
     }
   }

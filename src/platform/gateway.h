@@ -10,6 +10,7 @@
 
 #include "common/uuid.h"
 #include "platform/datastore.h"
+#include "platform/platform_options.h"
 #include "platform/registry.h"
 #include "platform/scheduler.h"
 #include "platform/status_service.h"
@@ -39,11 +40,18 @@ struct ComparisonStatus {
 /// outcomes with `GetResults`.
 class ApiGateway {
  public:
-  /// Dependencies are borrowed and must outlive the gateway. `num_workers`
-  /// sizes the executor pool. `uuid_seed != 0` makes ids deterministic
-  /// (tests).
-  ApiGateway(Datastore* datastore, AlgorithmRegistry* registry,
-             size_t num_workers, uint64_t uuid_seed = 0);
+  /// Dependencies are borrowed and must outlive the gateway. `options`
+  /// carries every deployment knob of the stack (`num_workers` sizes the
+  /// executor pool, `uuid_seed != 0` makes ids deterministic for tests,
+  /// `max_tasks_per_submission` bounds query-set admission,
+  /// `default_threads` is the kernel thread budget of tasks without a
+  /// `threads=` of their own) — parse one from `key=value` text with
+  /// `PlatformOptions::FromString` to configure a deployment without code
+  /// changes. Storage budgets (`graph_store_bytes`, `result_cache_bytes`,
+  /// `max_retained_results`) act where the `Datastore` is constructed;
+  /// pass the same options object to both.
+  explicit ApiGateway(Datastore* datastore, AlgorithmRegistry* registry,
+                      const PlatformOptions& options = {});
 
   ~ApiGateway() { Shutdown(); }
 
@@ -51,9 +59,10 @@ class ApiGateway {
   ApiGateway& operator=(const ApiGateway&) = delete;
 
   /// Validates and submits a query set; returns its comparison id.
-  /// Validation is shallow (non-empty set, known algorithm names) so bad
-  /// requests fail synchronously; dataset and parameter errors surface as
-  /// failed tasks, mirroring the demo's asynchronous error reporting.
+  /// Validation is shallow (non-empty set, within the
+  /// `max_tasks_per_submission` admission limit, known algorithm names) so
+  /// bad requests fail synchronously; dataset and parameter errors surface
+  /// as failed tasks, mirroring the demo's asynchronous error reporting.
   ///
   /// Tasks are deduplicated by `TaskFingerprint`: a task whose computation
   /// is cached is served instantly, and identical in-flight tasks run the
@@ -88,6 +97,7 @@ class ApiGateway {
 
   StatusService& status_service() { return status_; }
   size_t num_workers() const { return scheduler_.num_workers(); }
+  const PlatformOptions& options() const { return options_; }
 
   /// The datastore's completed-result cache this gateway serves hits from.
   ResultCache& result_cache() { return datastore_->result_cache(); }
@@ -99,6 +109,7 @@ class ApiGateway {
     std::shared_ptr<std::atomic<bool>> cancelled;
   };
 
+  const PlatformOptions options_;
   Datastore* datastore_;
   StatusService status_;
   Executor executor_;

@@ -1,0 +1,95 @@
+#include "platform/graph_store.h"
+
+#include <utility>
+
+namespace cyclerank {
+
+Status GraphStore::Put(const std::string& name, GraphPtr graph) {
+  if (name.empty()) {
+    return Status::InvalidArgument("graph store: dataset name must not be empty");
+  }
+  if (!graph) {
+    return Status::InvalidArgument("graph store: graph must not be null");
+  }
+  const size_t bytes = graph->MemoryBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (max_bytes_ != 0 && bytes > max_bytes_) {
+    ++stats_.rejections;
+    return Status::InvalidArgument(
+        "graph store: dataset '" + name + "' needs " + std::to_string(bytes) +
+        " bytes, larger than the entire graph-store budget of " +
+        std::to_string(max_bytes_) + " bytes");
+  }
+  if (index_.count(name) != 0) {
+    return Status::AlreadyExists("dataset '" + name + "' already uploaded");
+  }
+  // Re-uploading an evicted name revives it.
+  evicted_.Revive(name);
+  lru_.push_front(Entry{name, std::move(graph), bytes, next_generation_++});
+  index_[name] = lru_.begin();
+  bytes_ += bytes;
+  ++stats_.uploads;
+  EvictLocked();
+  return Status::OK();
+}
+
+Result<GraphPtr> GraphStore::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    // Bump recency under the same lock as the lookup: a concurrent upload
+    // deciding what to evict always observes a consistent LRU order.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    return it->second->graph;
+  }
+  ++stats_.misses;
+  if (evicted_.Contains(name)) {
+    return Status::Expired(
+        "dataset '" + name +
+        "' was evicted by the graph-store byte budget (" +
+        std::to_string(max_bytes_) + " bytes); re-upload it to query again");
+  }
+  return Status::NotFound("dataset '" + name + "' not found");
+}
+
+void GraphStore::EvictLocked() {
+  if (max_bytes_ == 0) return;
+  while (bytes_ > max_bytes_ && lru_.size() > 1) {
+    // The least-recently-queried dataset goes first; the entry just
+    // inserted sits at the front and already fits the budget alone, so the
+    // loop always terminates before reaching it. Dropping the store's
+    // reference never frees a graph an executor still pins.
+    Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    ++stats_.evictions;
+    index_.erase(victim.name);
+    evicted_.Mark(victim.name);
+    lru_.pop_back();
+  }
+  evicted_.Bound(kMaxEvictionMarkers);
+}
+
+uint64_t GraphStore::Generation(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  return it == index_.end() ? 0 : it->second->generation;
+}
+
+std::vector<std::string> GraphStore::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(index_.size());
+  for (const auto& [name, entry] : index_) out.push_back(name);
+  return out;
+}
+
+GraphStoreStats GraphStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  GraphStoreStats snapshot = stats_;
+  snapshot.entries = index_.size();
+  snapshot.bytes = bytes_;
+  return snapshot;
+}
+
+}  // namespace cyclerank

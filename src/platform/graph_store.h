@@ -1,0 +1,113 @@
+#ifndef CYCLERANK_PLATFORM_GRAPH_STORE_H_
+#define CYCLERANK_PLATFORM_GRAPH_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "platform/expiry_markers.h"
+
+namespace cyclerank {
+
+/// Occupancy and effectiveness counters of a `GraphStore`.
+struct GraphStoreStats {
+  uint64_t uploads = 0;     ///< datasets accepted by `Put`
+  uint64_t evictions = 0;   ///< datasets dropped to respect the byte budget
+  uint64_t rejections = 0;  ///< uploads larger than the entire budget
+  uint64_t hits = 0;  ///< `Get` calls that returned a graph
+  /// `Get` calls answered NotFound or Expired. In a catalog-backed
+  /// `Datastore` this includes lookups that resolve in the catalog
+  /// instead, so size budgets by hits/evictions/bytes, not raw misses.
+  uint64_t misses = 0;
+  size_t entries = 0;       ///< live uploaded datasets
+  size_t bytes = 0;         ///< sum of `Graph::MemoryBytes()` of live datasets
+};
+
+/// The uploaded-datasets third of the Datastore decomposition: a
+/// byte-budgeted store of immutable graph snapshots with
+/// least-recently-queried eviction.
+///
+/// `max_bytes` bounds the sum of `Graph::MemoryBytes()` over live entries
+/// (0 = unbounded). Uploading past the budget evicts the
+/// least-recently-queried datasets; a single graph larger than the whole
+/// budget is rejected up front with a byte-stating `kInvalidArgument`.
+/// Evicted names answer `kExpired` — distinguishable from never-uploaded
+/// (`kNotFound`) — until the FIFO-bounded marker set forgets them;
+/// re-uploading an evicted name revives it.
+///
+/// Eviction only drops the store's reference. Graphs are immutable and
+/// handed out as `shared_ptr` snapshots, so an executor that fetched a
+/// `GraphPtr` *pins* that snapshot: a concurrent eviction can never free a
+/// graph out from under an in-flight kernel — the memory is reclaimed when
+/// the last pin drops.
+///
+/// Thread-safe; `Get` bumps recency under the same lock as the lookup, so
+/// LRU order is race-free.
+class GraphStore {
+ public:
+  /// Bound on remembered evicted names: past it the oldest markers are
+  /// forgotten FIFO (they then answer `kNotFound` again), keeping the
+  /// marker set O(1) in the upload churn.
+  static constexpr size_t kMaxEvictionMarkers = 4096;
+
+  explicit GraphStore(size_t max_bytes = 0) : max_bytes_(max_bytes) {}
+
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  /// Stores `graph` under `name`. Rejects empty names, null graphs,
+  /// duplicate live names (`kAlreadyExists`), and graphs whose
+  /// `MemoryBytes()` alone exceeds the budget (`kInvalidArgument`, stating
+  /// both byte figures). May evict least-recently-queried datasets to make
+  /// room; the new dataset is most-recent and never evicted by its own
+  /// insertion.
+  Status Put(const std::string& name, GraphPtr graph);
+
+  /// Fetches `name`, bumping it to most-recently-queried under the lookup
+  /// lock. `kExpired` for evicted names, `kNotFound` otherwise.
+  Result<GraphPtr> Get(const std::string& name);
+
+  /// Generation of `name`'s current binding: a process-unique counter
+  /// assigned at every successful `Put`, 0 when the name is not live.
+  /// Because eviction + re-upload can bind one *name* to different
+  /// content, result-cache and single-flight keys qualify the dataset name
+  /// with this generation — two bindings can never share a key.
+  uint64_t Generation(const std::string& name) const;
+
+  /// Names of live datasets, sorted.
+  std::vector<std::string> Names() const;
+
+  GraphStoreStats stats() const;
+  size_t max_bytes() const { return max_bytes_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    GraphPtr graph;
+    size_t bytes = 0;
+    uint64_t generation = 0;
+  };
+
+  /// Evicts least-recently-queried entries until the budget holds, then
+  /// bounds the marker set; requires `mu_`.
+  void EvictLocked();
+
+  const size_t max_bytes_;  // 0 = unbounded
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently queried
+  std::map<std::string, std::list<Entry>::iterator> index_;
+  ExpiryMarkers evicted_;  ///< names answered with kExpired
+  size_t bytes_ = 0;
+  uint64_t next_generation_ = 1;  ///< 0 is reserved for "not live"
+  GraphStoreStats stats_;
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_PLATFORM_GRAPH_STORE_H_

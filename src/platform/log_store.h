@@ -1,0 +1,43 @@
+#ifndef CYCLERANK_PLATFORM_LOG_STORE_H_
+#define CYCLERANK_PLATFORM_LOG_STORE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cyclerank {
+
+/// The per-task-logs third of the Datastore decomposition: append-only log
+/// lines keyed by task id.
+///
+/// The store holds no retention policy of its own — log lifetime follows
+/// result lifetime: the `Datastore` facade erases a task's logs when the
+/// `ResultStore` evicts its result.
+///
+/// Thread-safe; individually locked, so the executor's log appends never
+/// contend with dataset or result traffic.
+class LogStore {
+ public:
+  LogStore() = default;
+
+  LogStore(const LogStore&) = delete;
+  LogStore& operator=(const LogStore&) = delete;
+
+  /// Appends one log line for `task_id`.
+  void Append(const std::string& task_id, std::string line);
+
+  /// All log lines of `task_id`, oldest first (empty if none).
+  std::vector<std::string> Get(const std::string& task_id) const;
+
+  /// Drops all logs of the given tasks (used when their results expire).
+  void Erase(const std::vector<std::string>& task_ids);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<std::string>> logs_;
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_PLATFORM_LOG_STORE_H_

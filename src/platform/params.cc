@@ -116,7 +116,11 @@ std::string EscapeFingerprintToken(std::string_view token) {
 
 }  // namespace
 
-std::string TaskFingerprint(const std::string& dataset,
+std::string DatasetFingerprintPrefix(const std::string& dataset) {
+  return "dataset=" + EscapeFingerprintToken(dataset) + "&";
+}
+
+std::string TaskFingerprint(const std::string& dataset, uint64_t generation,
                             const std::string& algorithm,
                             const ParamMap& params) {
   // Collapse aliased keys exactly the way BuildRequest resolves them, so two
@@ -156,7 +160,11 @@ std::string TaskFingerprint(const std::string& dataset,
     canonical_algorithm = std::string(AlgorithmKindToString(*kind));
   }
 
-  std::string out = "dataset=" + EscapeFingerprintToken(dataset) +
+  // "gen" sits in a fixed structural slot (between dataset and algorithm),
+  // so it can never collide with a user parameter of the same name — those
+  // sort into the params section after "algorithm".
+  std::string out = DatasetFingerprintPrefix(dataset) +
+                    "gen=" + std::to_string(generation) +
                     "&algorithm=" + EscapeFingerprintToken(canonical_algorithm);
   for (const std::string& key : canonical.Keys()) {
     out += '&';

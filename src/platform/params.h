@@ -83,9 +83,30 @@ Result<AlgorithmRequest> BuildRequest(const Graph& graph,
 ///     never collide.
 /// Values are compared textually: "0.85" and ".85" fingerprint differently,
 /// which costs a cache miss but never a wrong hit.
-std::string TaskFingerprint(const std::string& dataset,
+///
+/// `generation` is the dataset's binding generation
+/// (`Datastore::DatasetCacheGeneration`): uploaded names can be re-bound to new
+/// content after eviction, and the generation keeps the two bindings'
+/// computations from ever sharing a fingerprint — neither in the result
+/// cache nor in single-flight coalescing. Immutable catalog datasets use
+/// 0; a name that currently resolves to nothing gets no fingerprint at
+/// all (the gateway enqueues it un-keyed).
+std::string TaskFingerprint(const std::string& dataset, uint64_t generation,
                             const std::string& algorithm,
                             const ParamMap& params);
+
+/// `TaskFingerprint` for an immutable binding (generation 0).
+inline std::string TaskFingerprint(const std::string& dataset,
+                                   const std::string& algorithm,
+                                   const ParamMap& params) {
+  return TaskFingerprint(dataset, 0, algorithm, params);
+}
+
+/// The prefix every `TaskFingerprint` of `dataset` starts with (and, thanks
+/// to %-escaping, no fingerprint of any other dataset does). The datastore
+/// uses it to invalidate cached results when a dataset name is re-bound to
+/// new content (upload after eviction).
+std::string DatasetFingerprintPrefix(const std::string& dataset);
 
 }  // namespace cyclerank
 

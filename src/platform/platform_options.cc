@@ -1,0 +1,141 @@
+#include "platform/platform_options.h"
+
+#include <cctype>
+#include <charconv>
+#include <limits>
+#include <thread>
+
+#include "common/strings.h"
+#include "platform/params.h"
+
+namespace cyclerank {
+
+namespace {
+
+/// Full-range uint64 parser (ParseInt64 tops out at 2^63-1, which would
+/// break the documented ToString/FromString round-trip for large seeds).
+Result<uint64_t> ParseUint64(std::string_view key, std::string_view text) {
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::ParseError("platform options: " + std::string(key) +
+                              " expects a non-negative integer (< 2^64), got '" +
+                              std::string(text) + "'");
+  }
+  return value;
+}
+
+/// Parses a byte-size value: a non-negative integer with an optional
+/// binary suffix ("64m", "1gib", "512k"). Plain integers are bytes.
+Result<size_t> ParseByteSize(std::string_view key, const std::string& text) {
+  size_t digits = 0;
+  while (digits < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[digits]))) {
+    ++digits;
+  }
+  if (digits == 0) {
+    return Status::ParseError("platform options: " + std::string(key) +
+                              " expects a byte count, got '" + text + "'");
+  }
+  CYCLERANK_ASSIGN_OR_RETURN(
+      uint64_t value,
+      ParseUint64(key, std::string_view(text).substr(0, digits)));
+  const std::string suffix = AsciiToLower(
+      StripAsciiWhitespace(std::string_view(text).substr(digits)));
+  uint64_t multiplier = 1;
+  if (suffix.empty()) {
+    multiplier = 1;
+  } else if (suffix == "k" || suffix == "kb" || suffix == "kib") {
+    multiplier = 1ull << 10;
+  } else if (suffix == "m" || suffix == "mb" || suffix == "mib") {
+    multiplier = 1ull << 20;
+  } else if (suffix == "g" || suffix == "gb" || suffix == "gib") {
+    multiplier = 1ull << 30;
+  } else {
+    return Status::ParseError("platform options: " + std::string(key) +
+                              " has unknown byte-size suffix '" + suffix +
+                              "' (expected k/kb/kib, m/mb/mib, g/gb/gib)");
+  }
+  if (multiplier != 1 &&
+      value > std::numeric_limits<uint64_t>::max() / multiplier) {
+    return Status::OutOfRange("platform options: " + std::string(key) + "='" +
+                              text + "' overflows a byte count");
+  }
+  return static_cast<size_t>(value * multiplier);
+}
+
+Result<size_t> ParseCount(std::string_view key, const std::string& text) {
+  CYCLERANK_ASSIGN_OR_RETURN(uint64_t value, ParseUint64(key, text));
+  return static_cast<size_t>(value);
+}
+
+}  // namespace
+
+Result<PlatformOptions> PlatformOptions::FromString(std::string_view text) {
+  // Reuse the task-parameter grammar: comma/semicolon separated key=value,
+  // whitespace-tolerant, lowercased keys, duplicates rejected.
+  CYCLERANK_ASSIGN_OR_RETURN(ParamMap params, ParamMap::Parse(text));
+  PlatformOptions options;
+  for (const std::string& key : params.Keys()) {
+    const std::string value = params.GetString(key, "");
+    if (key == "graph_store_bytes") {
+      CYCLERANK_ASSIGN_OR_RETURN(options.graph_store_bytes,
+                                 ParseByteSize(key, value));
+    } else if (key == "result_cache_bytes") {
+      CYCLERANK_ASSIGN_OR_RETURN(options.result_cache_bytes,
+                                 ParseByteSize(key, value));
+    } else if (key == "max_retained_results") {
+      CYCLERANK_ASSIGN_OR_RETURN(options.max_retained_results,
+                                 ParseCount(key, value));
+    } else if (key == "num_workers") {
+      CYCLERANK_ASSIGN_OR_RETURN(options.num_workers, ParseCount(key, value));
+    } else if (key == "default_threads") {
+      CYCLERANK_ASSIGN_OR_RETURN(size_t threads, ParseCount(key, value));
+      if (threads > std::numeric_limits<uint32_t>::max()) {
+        return Status::OutOfRange(
+            "platform options: default_threads must be in [0, 2^32), got " +
+            value);
+      }
+      options.default_threads = static_cast<uint32_t>(threads);
+    } else if (key == "uuid_seed") {
+      CYCLERANK_ASSIGN_OR_RETURN(options.uuid_seed, ParseUint64(key, value));
+    } else if (key == "max_tasks_per_submission") {
+      CYCLERANK_ASSIGN_OR_RETURN(options.max_tasks_per_submission,
+                                 ParseCount(key, value));
+    } else {
+      // Unknown keys are rejected, mirroring BuildRequest: a typo like
+      // "graph_store_byte=1g" silently running unbounded would defeat the
+      // deployment config.
+      return Status::InvalidArgument("platform options: unknown key '" + key +
+                                     "'");
+    }
+  }
+  return options;
+}
+
+std::string PlatformOptions::ToString() const {
+  // Sorted keys, plain byte counts: the canonical form round-trips through
+  // FromString exactly.
+  std::string out;
+  const auto append = [&out](std::string_view key, uint64_t value) {
+    if (!out.empty()) out += ", ";
+    out += std::string(key) + "=" + std::to_string(value);
+  };
+  append("default_threads", default_threads);
+  append("graph_store_bytes", graph_store_bytes);
+  append("max_retained_results", max_retained_results);
+  append("max_tasks_per_submission", max_tasks_per_submission);
+  append("num_workers", num_workers);
+  append("result_cache_bytes", result_cache_bytes);
+  append("uuid_seed", uuid_seed);
+  return out;
+}
+
+size_t PlatformOptions::ResolvedNumWorkers() const {
+  if (num_workers != 0) return num_workers;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+}  // namespace cyclerank

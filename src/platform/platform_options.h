@@ -1,0 +1,93 @@
+#ifndef CYCLERANK_PLATFORM_PLATFORM_OPTIONS_H_
+#define CYCLERANK_PLATFORM_PLATFORM_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "platform/result_cache.h"
+
+namespace cyclerank {
+
+/// Every deployment knob of the platform stack in one struct, threaded
+/// gateway → datastore → scheduler → executor. A deployment configures the
+/// whole stack from one `key=value` string (`FromString`) instead of a
+/// trail of loose constructor arguments:
+///
+/// ```
+///   auto options = PlatformOptions::FromString(
+///       "graph_store_bytes=256m, max_retained_results=10000, "
+///       "num_workers=8").value();
+///   Datastore store(&catalog, options);
+///   ApiGateway gateway(&store, &registry, options);
+/// ```
+///
+/// All knobs have production-safe defaults; `0` consistently means "no
+/// bound / auto" (except `result_cache_bytes`, where 0 disables the cache —
+/// in-flight single-flight dedup stays active either way).
+struct PlatformOptions {
+  /// Byte budget for uploaded datasets (`GraphStore`). Uploading past the
+  /// budget evicts the least-recently-queried dataset (its name then
+  /// answers `kExpired`); a single graph larger than the whole budget is
+  /// rejected up front with a byte-stating error. Eviction never interrupts
+  /// a running task: executors pin the `GraphPtr` snapshot for the task's
+  /// whole run. 0 = unbounded (the historical behavior).
+  size_t graph_store_bytes = 0;
+
+  /// Byte budget of the completed-result LRU cache (`ResultCache`).
+  /// 0 disables caching.
+  size_t result_cache_bytes = ResultCache::kDefaultMaxBytes;
+
+  /// Bound on stored per-task results; past it the oldest results (and
+  /// their logs) are evicted FIFO and answer `kExpired`. 0 = unlimited.
+  size_t max_retained_results = 0;
+
+  /// Concurrently running tasks in the `Scheduler`. 0 = one per hardware
+  /// thread (at least 1).
+  size_t num_workers = 0;
+
+  /// Kernel thread budget applied to tasks that carry no `threads=`
+  /// parameter of their own (an explicit `threads=` always wins).
+  /// 0 = every worker of the shared compute pool, the kernel default.
+  /// Purely an execution knob: kernels are bit-identical at any count.
+  uint32_t default_threads = 0;
+
+  /// Seed of the gateway's comparison-id generator. Non-zero makes ids
+  /// deterministic (tests); 0 = random ids.
+  uint64_t uuid_seed = 0;
+
+  /// Admission limit on tasks per `SubmitQuerySet` call; oversized query
+  /// sets are rejected synchronously with `kInvalidArgument`. 0 = unlimited.
+  size_t max_tasks_per_submission = 0;
+
+  /// Parses "key=value" pairs separated by commas or semicolons — the same
+  /// grammar as task parameters (`ParamMap::Parse`): whitespace-tolerant,
+  /// case-insensitive keys, duplicate keys rejected. Unknown keys are
+  /// rejected (catches deployment-config typos). Byte-sized knobs accept
+  /// binary suffixes: `64m` / `64mb` / `64mib` = 64 MiB (likewise
+  /// `k`/`kib`, `g`/`gib`). An empty string yields the defaults.
+  static Result<PlatformOptions> FromString(std::string_view text);
+
+  /// Canonical "key=value, key=value" rendering (sorted keys, plain byte
+  /// counts). `FromString(options.ToString()) == options` for any options.
+  std::string ToString() const;
+
+  /// `num_workers` with 0 resolved to the hardware thread count (min 1).
+  size_t ResolvedNumWorkers() const;
+
+  friend bool operator==(const PlatformOptions& a, const PlatformOptions& b) {
+    return a.graph_store_bytes == b.graph_store_bytes &&
+           a.result_cache_bytes == b.result_cache_bytes &&
+           a.max_retained_results == b.max_retained_results &&
+           a.num_workers == b.num_workers &&
+           a.default_threads == b.default_threads &&
+           a.uuid_seed == b.uuid_seed &&
+           a.max_tasks_per_submission == b.max_tasks_per_submission;
+  }
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_PLATFORM_PLATFORM_OPTIONS_H_

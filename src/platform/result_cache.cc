@@ -49,6 +49,22 @@ void ResultCache::EvictLocked() {
   }
 }
 
+size_t ResultCache::ErasePrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t erased = 0;
+  // index_ is ordered, so the matching keys form one contiguous range.
+  for (auto it = index_.lower_bound(prefix);
+       it != index_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       it = index_.erase(it)) {
+    stats_.bytes -= it->second->bytes;
+    lru_.erase(it->second);
+    --stats_.entries;
+    ++stats_.invalidations;
+    ++erased;
+  }
+  return erased;
+}
+
 void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();

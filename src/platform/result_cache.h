@@ -20,6 +20,7 @@ struct ResultCacheStats {
   uint64_t insertions = 0;  ///< entries stored (including overwrites)
   uint64_t evictions = 0;   ///< entries dropped to respect the byte budget
   uint64_t rejected = 0;    ///< entries larger than the entire budget
+  uint64_t invalidations = 0;  ///< entries dropped by `ErasePrefix`
   size_t entries = 0;       ///< current entry count
   size_t bytes = 0;         ///< current estimated footprint
 };
@@ -57,6 +58,11 @@ class ResultCache {
   /// Stores `result` under `key`, overwriting any previous entry and
   /// evicting LRU entries until the budget holds.
   void Put(const std::string& key, TaskResult result);
+
+  /// Drops every entry whose key starts with `prefix`; returns how many.
+  /// Used to invalidate a dataset's cached results when its name is
+  /// re-bound to new content (`DatasetFingerprintPrefix`).
+  size_t ErasePrefix(const std::string& prefix);
 
   /// Drops every entry (counters are kept).
   void Clear();

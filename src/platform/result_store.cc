@@ -1,0 +1,62 @@
+#include "platform/result_store.h"
+
+#include <utility>
+
+namespace cyclerank {
+
+std::vector<std::string> ResultStore::Put(TaskResult result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string id = result.task_id;
+  auto [it, inserted] = results_.insert_or_assign(id, std::move(result));
+  (void)it;
+  std::vector<std::string> evicted_ids;
+  // Unlimited mode keeps no retention bookkeeping at all — the FIFO would
+  // otherwise grow one id per stored result forever.
+  if (max_retained_ == 0) return evicted_ids;
+  if (!inserted) return evicted_ids;  // retry overwrite: slot unchanged
+  // A re-stored result revives an evicted id.
+  evicted_.Revive(id);
+  retention_fifo_.push_back(id);
+  EnforceRetentionLocked(&evicted_ids);
+  return evicted_ids;
+}
+
+void ResultStore::EnforceRetentionLocked(
+    std::vector<std::string>* evicted_ids) {
+  while (results_.size() > max_retained_) {
+    const std::string oldest = std::move(retention_fifo_.front());
+    retention_fifo_.pop_front();
+    results_.erase(oldest);
+    evicted_.Mark(oldest);
+    evicted_ids->push_back(oldest);
+  }
+  // The eviction-marker set is FIFO-bounded too (by the same knob), so the
+  // store's footprint stays O(max_retained) forever.
+  evicted_.Bound(max_retained_);
+}
+
+Result<TaskResult> ResultStore::Get(const std::string& task_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = results_.find(task_id);
+  if (it == results_.end()) {
+    if (evicted_.Contains(task_id)) {
+      return Status::Expired("result for task '" + task_id +
+                             "' was evicted by the retention policy (bound " +
+                             std::to_string(max_retained_) + ")");
+    }
+    return Status::NotFound("no result for task '" + task_id + "'");
+  }
+  return it->second;
+}
+
+bool ResultStore::Has(const std::string& task_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return results_.count(task_id) != 0;
+}
+
+size_t ResultStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return results_.size();
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,66 @@
+#ifndef CYCLERANK_PLATFORM_RESULT_STORE_H_
+#define CYCLERANK_PLATFORM_RESULT_STORE_H_
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "platform/expiry_markers.h"
+#include "platform/task.h"
+
+namespace cyclerank {
+
+/// The task-results third of the Datastore decomposition: per-task
+/// `TaskResult`s with FIFO retention and bounded expiry markers.
+///
+/// `max_retained` bounds the live results (0 = unlimited): past it the
+/// oldest stored results are evicted FIFO, and looking one up reports
+/// `kExpired` instead of `kNotFound`. Markers are themselves FIFO-bounded
+/// by the same knob, so the store's footprint stays O(max_retained)
+/// forever. Overwriting a result (a retry) keeps its retention slot;
+/// re-storing an evicted id revives it.
+///
+/// Thread-safe; individually locked, so result traffic never contends with
+/// dataset or log traffic.
+class ResultStore {
+ public:
+  explicit ResultStore(size_t max_retained = 0) : max_retained_(max_retained) {}
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// Stores `result` under its task id (overwrites on retry without
+  /// refreshing the retention slot). Returns the ids evicted by the
+  /// retention bound — the caller (the `Datastore` facade) drops their
+  /// logs, keeping the two stores consistent without sharing a lock.
+  std::vector<std::string> Put(TaskResult result);
+
+  /// The stored result; `kExpired` when the retention bound evicted it,
+  /// `kNotFound` when it was never stored (or its marker fell off).
+  Result<TaskResult> Get(const std::string& task_id) const;
+
+  /// True only for live (non-evicted) results.
+  bool Has(const std::string& task_id) const;
+
+  /// Number of live stored results.
+  size_t size() const;
+
+ private:
+  /// Evicts the oldest results past the retention bound into `evicted_ids`;
+  /// requires `mu_`.
+  void EnforceRetentionLocked(std::vector<std::string>* evicted_ids);
+
+  const size_t max_retained_;  // 0 = unlimited
+  mutable std::mutex mu_;
+  std::map<std::string, TaskResult> results_;
+  std::deque<std::string> retention_fifo_;  ///< insertion order of results_
+  ExpiryMarkers evicted_;                   ///< ids answered with kExpired
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_PLATFORM_RESULT_STORE_H_

@@ -9,10 +9,11 @@
 
 namespace cyclerank {
 
-Scheduler::Scheduler(Executor* executor, size_t num_workers, ThreadPool* pool)
+Scheduler::Scheduler(Executor* executor, const PlatformOptions& options,
+                     ThreadPool* pool)
     : executor_(executor),
       pool_(pool != nullptr ? pool : GlobalComputePool()),
-      num_workers_(std::max<size_t>(num_workers, 1)) {}
+      num_workers_(options.ResolvedNumWorkers()) {}
 
 Status Scheduler::Enqueue(const std::string& task_id, TaskSpec spec,
                           std::shared_ptr<std::atomic<bool>> cancelled,

@@ -12,6 +12,7 @@
 
 #include "common/thread_pool.h"
 #include "platform/executor.h"
+#include "platform/platform_options.h"
 #include "platform/task.h"
 
 namespace cyclerank {
@@ -40,11 +41,13 @@ namespace cyclerank {
 /// synchronously with zero kernel work.
 class Scheduler {
  public:
-  /// `pool` defaults to the process-wide compute pool; tests may inject
-  /// their own. The pool is borrowed and is never shut down by the
-  /// scheduler. Cached results are read from (and written, by the executor,
-  /// to) the executor's datastore-owned `ResultCache`.
-  Scheduler(Executor* executor, size_t num_workers, ThreadPool* pool = nullptr);
+  /// `options.num_workers` caps concurrently running tasks (0 = one per
+  /// hardware thread). `pool` defaults to the process-wide compute pool;
+  /// tests may inject their own. The pool is borrowed and is never shut
+  /// down by the scheduler. Cached results are read from (and written, by
+  /// the executor, to) the executor's datastore-owned `ResultCache`.
+  Scheduler(Executor* executor, const PlatformOptions& options,
+            ThreadPool* pool = nullptr);
   ~Scheduler() { Shutdown(); }
 
   Scheduler(const Scheduler&) = delete;

@@ -81,6 +81,49 @@ TEST(GraphTest, FindNodeOnLabeledGraph) {
   EXPECT_EQ(g.NodeName(g.FindNode("Italy")), "Italy");
 }
 
+TEST(GraphTest, MemoryBytesOfEmptyGraphIsJustTheObject) {
+  const Graph g;
+  EXPECT_EQ(g.MemoryBytes(), sizeof(Graph));
+}
+
+TEST(GraphTest, MemoryBytesAccountsForCsrArrays) {
+  // Unlabeled n-node graph: two offset arrays of n+1 uint64 plus two
+  // adjacency arrays of m NodeIds — the accounting is exact, by element
+  // count, so admission decisions are deterministic.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  const Graph g = builder.Build().value();
+  const size_t n = g.num_nodes();
+  const size_t m = g.num_edges();
+  EXPECT_EQ(g.MemoryBytes(), sizeof(Graph) + 2 * (n + 1) * sizeof(uint64_t) +
+                                 2 * m * sizeof(NodeId));
+}
+
+TEST(GraphTest, MemoryBytesGrowsWithTheGraph) {
+  GraphBuilder small_builder;
+  small_builder.AddEdge(0, 1);
+  const Graph small = small_builder.Build().value();
+  GraphBuilder big_builder;
+  for (NodeId u = 0; u < 1000; ++u) big_builder.AddEdge(u, u + 1);
+  const Graph big = big_builder.Build().value();
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+TEST(GraphTest, MemoryBytesIncludesLabels) {
+  GraphBuilder labeled_builder;
+  labeled_builder.AddEdge("Pasta", "Italy");
+  const Graph labeled = labeled_builder.Build().value();
+  GraphBuilder numeric_builder;
+  numeric_builder.AddEdge(0, 1);
+  const Graph numeric = numeric_builder.Build().value();
+  // Same topology, but the labeled graph carries its dictionary.
+  ASSERT_EQ(labeled.num_nodes(), numeric.num_nodes());
+  ASSERT_EQ(labeled.num_edges(), numeric.num_edges());
+  EXPECT_GT(labeled.MemoryBytes(), numeric.MemoryBytes());
+}
+
 TEST(GraphTest, GraphIsCopyable) {
   const Graph g = Triangle();
   const Graph copy = g;  // value semantics for snapshots

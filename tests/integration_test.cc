@@ -20,7 +20,8 @@ namespace {
 TEST(IntegrationTest, PaperFlowOnEnwikiMini) {
   // 1) Datastore with the pre-loaded catalog.
   Datastore store;
-  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 4, 42);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
+      {.num_workers = 4, .uuid_seed = 42});
 
   // 2) Build the query set of the paper's Fig. 2: Cyclerank + PageRank +
   //    Personalized PageRank on the same snapshot.
@@ -75,7 +76,8 @@ TEST(IntegrationTest, UploadedDatasetFlow) {
                                  "book_b,bestseller\n"
                                  "book_c,bestseller\n")
                   .ok());
-  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 2, 11);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
+      {.num_workers = 2, .uuid_seed = 11});
   TaskBuilder builder;
   ASSERT_TRUE(builder.Add("user-graph", "cyclerank", "source=book_a, k=3").ok());
   ASSERT_TRUE(
@@ -104,7 +106,8 @@ TEST(IntegrationTest, AlgorithmComparisonUseCase) {
   // §IV-D "algorithm comparison": run all seven demo algorithms on one
   // dataset and compare the rankings quantitatively.
   Datastore store;
-  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 4, 5);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
+      {.num_workers = 4, .uuid_seed = 5});
   TaskBuilder builder;
   for (const char* algorithm :
        {"pagerank", "cheirank", "2drank", "pers_pagerank", "pers_cheirank",
@@ -137,7 +140,8 @@ TEST(IntegrationTest, DatasetComparisonUseCase) {
   // §IV-D "dataset comparison": same algorithm + reference across the six
   // language editions (Table III's experiment through the platform).
   Datastore store;
-  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 4, 6);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
+      {.num_workers = 4, .uuid_seed = 6});
   TaskBuilder builder;
   for (const std::string& lang : FakeNewsLanguages()) {
     const std::string title = FakeNewsTitle(lang).value();

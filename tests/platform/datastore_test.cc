@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/graph_builder.h"
+#include "storage_test_util.h"
 
 namespace cyclerank {
 namespace {
@@ -115,6 +116,77 @@ TEST(DatastoreTest, LogsAppendInOrder) {
   EXPECT_TRUE(store.GetLog("none").empty());
 }
 
+TEST(DatastoreTest, GraphBudgetEvictsLeastRecentlyQueried) {
+  const GraphPtr graph = ChainGraph(100);
+  Datastore store(nullptr, GraphBudget(2 * graph->MemoryBytes()));
+  ASSERT_TRUE(store.PutDataset("a", graph).ok());
+  ASSERT_TRUE(store.PutDataset("b", ChainGraph(100)).ok());
+  // "a" is older but queried more recently — "b" is the eviction victim.
+  ASSERT_TRUE(store.GetDataset("a").ok());
+  ASSERT_TRUE(store.PutDataset("c", ChainGraph(100)).ok());
+  EXPECT_TRUE(store.GetDataset("a").ok());
+  EXPECT_EQ(store.GetDataset("b").status().code(), StatusCode::kExpired);
+  EXPECT_TRUE(store.GetDataset("c").ok());
+  EXPECT_EQ(store.UploadedDatasets(), (std::vector<std::string>{"a", "c"}));
+  // Never-uploaded names keep reporting NotFound, not Expired.
+  EXPECT_EQ(store.GetDataset("never").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatastoreTest, OversizedGraphRejectedUpFrontWithBytes) {
+  const GraphPtr big = ChainGraph(500);
+  Datastore store(nullptr, GraphBudget(big->MemoryBytes() / 2));
+  const Status status = store.PutDataset("big", big);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find(std::to_string(big->MemoryBytes())),
+            std::string::npos);
+}
+
+TEST(DatastoreTest, UploadDatasetRejectsOversizedContentBeforeParsing) {
+  Datastore store(nullptr, GraphBudget(64));
+  // 65+ bytes of edge list: rejected on the raw byte count, before any
+  // parse work — the message states both figures.
+  std::string content;
+  for (int i = 0; content.size() <= 64; ++i) {
+    content += std::to_string(i) + "," + std::to_string(i + 1) + "\n";
+  }
+  const Status status = store.UploadDataset("big", content);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find(std::to_string(content.size())),
+            std::string::npos);
+  EXPECT_NE(status.message().find("64"), std::string::npos);
+  // Unbounded stores still accept anything parseable.
+  Datastore unbounded(nullptr);
+  EXPECT_TRUE(unbounded.UploadDataset("big", content).ok());
+}
+
+TEST(DatastoreTest, EvictionNeverFreesAPinnedSnapshot) {
+  const GraphPtr graph = ChainGraph(100);
+  Datastore store(nullptr, GraphBudget(graph->MemoryBytes()));
+  ASSERT_TRUE(store.PutDataset("hot", graph).ok());
+  // An executor pins the snapshot (GetDataset at task start)…
+  const GraphPtr pinned = store.GetDataset("hot").value();
+  // …then an upload evicts the dataset out of the store.
+  ASSERT_TRUE(store.PutDataset("filler", ChainGraph(100)).ok());
+  ASSERT_EQ(store.GetDataset("hot").status().code(), StatusCode::kExpired);
+  // The pinned snapshot still reads intact.
+  EXPECT_EQ(pinned->num_nodes(), 100u);
+  EXPECT_EQ(pinned->num_edges(), 99u);
+  // Re-uploading revives the name for new tasks.
+  ASSERT_TRUE(store.PutDataset("hot", ChainGraph(100)).ok());
+  EXPECT_TRUE(store.GetDataset("hot").ok());
+}
+
+TEST(DatastoreTest, GraphStoreStatsExposed) {
+  Datastore store(nullptr);
+  ASSERT_TRUE(store.PutDataset("a", ChainGraph(10)).ok());
+  (void)store.GetDataset("a");
+  const GraphStoreStats stats = store.graph_store().stats();
+  EXPECT_EQ(stats.uploads, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
 TaskResult ResultFor(const std::string& id) {
   TaskResult result;
   result.task_id = id;
@@ -122,8 +194,7 @@ TaskResult ResultFor(const std::string& id) {
 }
 
 TEST(DatastoreTest, RetentionEvictsOldestResultsFifo) {
-  Datastore store(nullptr, ResultCache::kDefaultMaxBytes,
-                  /*max_retained_results=*/3);
+  Datastore store(nullptr, RetainResults(3));
   for (int i = 0; i < 5; ++i) {
     const std::string id = "t" + std::to_string(i);
     store.AppendLog(id, "ran");
@@ -145,8 +216,7 @@ TEST(DatastoreTest, RetentionEvictsOldestResultsFifo) {
 }
 
 TEST(DatastoreTest, RetentionZeroMeansUnlimited) {
-  Datastore store(nullptr, ResultCache::kDefaultMaxBytes,
-                  /*max_retained_results=*/0);
+  Datastore store(nullptr, RetainResults(0));
   for (int i = 0; i < 100; ++i) {
     store.PutResult(ResultFor("t" + std::to_string(i)));
   }
@@ -155,8 +225,7 @@ TEST(DatastoreTest, RetentionZeroMeansUnlimited) {
 }
 
 TEST(DatastoreTest, RetryOverwriteKeepsRetentionSlot) {
-  Datastore store(nullptr, ResultCache::kDefaultMaxBytes,
-                  /*max_retained_results=*/2);
+  Datastore store(nullptr, RetainResults(2));
   store.PutResult(ResultFor("a"));
   store.PutResult(ResultFor("b"));
   // Overwriting "a" must not count as a new insertion (or "b" would be
@@ -173,8 +242,7 @@ TEST(DatastoreTest, RetryOverwriteKeepsRetentionSlot) {
 }
 
 TEST(DatastoreTest, ReStoringAnEvictedResultRevivesIt) {
-  Datastore store(nullptr, ResultCache::kDefaultMaxBytes,
-                  /*max_retained_results=*/1);
+  Datastore store(nullptr, RetainResults(1));
   store.PutResult(ResultFor("a"));
   store.PutResult(ResultFor("b"));  // evicts "a"
   EXPECT_EQ(store.GetResult("a").status().code(), StatusCode::kExpired);
@@ -184,8 +252,7 @@ TEST(DatastoreTest, ReStoringAnEvictedResultRevivesIt) {
 }
 
 TEST(DatastoreTest, EvictionMarkersAreBoundedToo) {
-  Datastore store(nullptr, ResultCache::kDefaultMaxBytes,
-                  /*max_retained_results=*/2);
+  Datastore store(nullptr, RetainResults(2));
   for (int i = 0; i < 10; ++i) {
     store.PutResult(ResultFor("t" + std::to_string(i)));
   }

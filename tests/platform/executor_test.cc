@@ -100,6 +100,50 @@ TEST_F(ExecutorTest, TopKParameterLimitsRanking) {
   EXPECT_EQ(store_.GetResult("t").value().ranking.size(), 2u);
 }
 
+TEST_F(ExecutorTest, LogsPinnedSnapshotWithByteFootprint) {
+  ASSERT_TRUE(status_.Track("t").ok());
+  executor_.Execute("t", Spec("pagerank", ""));
+  const GraphPtr g = store_.GetDataset("tiny").value();
+  bool found = false;
+  for (const std::string& line : store_.GetLog("t")) {
+    if (line.find("pinned dataset snapshot 'tiny' (" +
+                  std::to_string(g->MemoryBytes()) + " bytes)") !=
+        std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ExecutorTest, DefaultThreadsAppliesOnlyWhenSpecIsSilent) {
+  PlatformOptions options;
+  options.default_threads = 3;
+  Executor executor(&store_, &AlgorithmRegistry::Default(), &status_, options);
+
+  const auto thread_log_line = [this](const std::string& task_id) {
+    for (const std::string& line : store_.GetLog(task_id)) {
+      if (line.find("kernel thread(s)") != std::string::npos) return line;
+    }
+    return std::string();
+  };
+
+  // No threads= in the spec: the deployment default applies.
+  ASSERT_TRUE(status_.Track("silent").ok());
+  executor.Execute("silent", Spec("pagerank", "alpha=0.85"));
+  EXPECT_NE(thread_log_line("silent").find("3 kernel thread(s)"),
+            std::string::npos);
+
+  // An explicit threads= always wins over the default.
+  ASSERT_TRUE(status_.Track("explicit").ok());
+  executor.Execute("explicit", Spec("pagerank", "alpha=0.85, threads=2"));
+  EXPECT_NE(thread_log_line("explicit").find("2 kernel thread(s)"),
+            std::string::npos);
+
+  // The ranking is bit-identical either way (threads are execution-only).
+  EXPECT_EQ(store_.GetResult("silent").value().ranking,
+            store_.GetResult("explicit").value().ranking);
+}
+
 TEST_F(ExecutorTest, ResultRankingMatchesDirectRun) {
   ASSERT_TRUE(status_.Track("t").ok());
   executor_.Execute("t", Spec("cyclerank", "source=a, k=3"));

@@ -4,6 +4,7 @@
 
 #include "common/uuid.h"
 #include "graph/graph_builder.h"
+#include "storage_test_util.h"
 
 namespace cyclerank {
 namespace {
@@ -12,8 +13,8 @@ class GatewayTest : public ::testing::Test {
  protected:
   GatewayTest()
       : store_(nullptr),
-        gateway_(&store_, &AlgorithmRegistry::Default(), /*num_workers=*/2,
-                 /*uuid_seed=*/123) {
+        gateway_(&store_, &AlgorithmRegistry::Default(),
+                 {.num_workers = 2, .uuid_seed = 123}) {
     GraphBuilder builder;
     builder.AddEdge("a", "b");
     builder.AddEdge("b", "a");
@@ -226,6 +227,144 @@ TEST_F(GatewayTest, NegativeWaitTimeoutRejected) {
   ASSERT_TRUE(*gateway_.WaitForCompletion(id, 30.0));
 }
 
+TEST(GatewayOptionsTest, AdmissionLimitRejectsOversizedQuerySets) {
+  Datastore store(nullptr);
+  GraphBuilder builder;
+  builder.AddEdge("a", "b");
+  builder.AddEdge("b", "a");
+  (void)store.PutDataset("tiny", builder.BuildShared().value());
+  PlatformOptions options;
+  options.num_workers = 2;
+  options.uuid_seed = 17;
+  options.max_tasks_per_submission = 2;
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), options);
+
+  TaskBuilder oversized;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(oversized
+                    .Add("tiny", "pagerank", "seed=" + std::to_string(i))
+                    .ok());
+  }
+  const auto rejected = gateway.SubmitQuerySet(oversized.Build());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("max_tasks_per_submission"),
+            std::string::npos);
+  // Rejection is synchronous and side-effect free.
+  EXPECT_EQ(gateway.status_service().size(), 0u);
+
+  // A set at the limit is admitted and completes.
+  TaskBuilder at_limit;
+  ASSERT_TRUE(at_limit.Add("tiny", "pagerank", "seed=0").ok());
+  ASSERT_TRUE(at_limit.Add("tiny", "pagerank", "seed=1").ok());
+  const std::string id = gateway.SubmitQuerySet(at_limit.Build()).value();
+  ASSERT_TRUE(*gateway.WaitForCompletion(id, 30.0));
+  EXPECT_EQ(gateway.GetStatus(id).value().completed, 2u);
+}
+
+TEST(GatewayOptionsTest, ConstructibleFromParsedOptionsString) {
+  // A deployment configures the whole stack from one key=value string:
+  // the same options object drives both the datastore's budgets and the
+  // gateway's workers / ids / admission.
+  const PlatformOptions options =
+      PlatformOptions::FromString(
+          "num_workers=2, uuid_seed=123, max_retained_results=8, "
+          "result_cache_bytes=1m, max_tasks_per_submission=4")
+          .value();
+  Datastore store(nullptr, options);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), options);
+  EXPECT_EQ(gateway.num_workers(), 2u);
+  EXPECT_EQ(gateway.options(), options);
+
+  GraphBuilder builder;
+  builder.AddEdge("a", "b");
+  builder.AddEdge("b", "a");
+  ASSERT_TRUE(store.PutDataset("tiny", builder.BuildShared().value()).ok());
+  TaskBuilder tasks;
+  ASSERT_TRUE(tasks.Add("tiny", "pagerank", "alpha=0.85").ok());
+  const std::string id = gateway.SubmitQuerySet(tasks.Build()).value();
+  EXPECT_TRUE(IsValidUuid(id));
+  ASSERT_TRUE(*gateway.WaitForCompletion(id, 30.0));
+  const auto results = gateway.GetResults(id).value();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].status.ok());
+}
+
+TEST(GatewayOptionsTest, ReboundDatasetNameNeverServesStaleCachedResults) {
+  // The result cache is keyed by dataset *name*; when eviction + re-upload
+  // binds a name to different content, cached results of the old binding
+  // must be invalidated — not served as the new graph's rankings.
+  const GraphPtr old_graph = ChainGraph(100);
+  const GraphPtr new_graph = ChainGraph(120);
+  PlatformOptions options;
+  options.graph_store_bytes = new_graph->MemoryBytes();  // holds one graph
+  options.num_workers = 1;
+  options.uuid_seed = 29;
+  Datastore store(nullptr, options);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), options);
+  ASSERT_TRUE(store.PutDataset("d", old_graph).ok());
+
+  TaskBuilder builder;
+  ASSERT_TRUE(builder.Add("d", "pagerank", "alpha=0.85").ok());
+  const std::string first = gateway.SubmitQuerySet(builder.Build()).value();
+  ASSERT_TRUE(*gateway.WaitForCompletion(first, 30.0));
+  ASSERT_EQ(gateway.GetResults(first).value()[0].ranking.size(), 100u);
+
+  // Evict 'd', then rebind the name to the 120-node graph.
+  ASSERT_TRUE(store.PutDataset("filler", ChainGraph(100)).ok());
+  ASSERT_EQ(store.GetDataset("d").status().code(), StatusCode::kExpired);
+  ASSERT_TRUE(store.PutDataset("d", new_graph).ok());
+  EXPECT_GT(gateway.result_cache().stats().invalidations, 0u);
+
+  // The identical spec now computes on the new binding.
+  const std::string second = gateway.SubmitQuerySet(builder.Build()).value();
+  ASSERT_TRUE(*gateway.WaitForCompletion(second, 30.0));
+  const auto results = gateway.GetResults(second).value();
+  ASSERT_TRUE(results[0].status.ok());
+  EXPECT_EQ(results[0].ranking.size(), 120u);
+}
+
+TEST(GatewayOptionsTest, TaskKeyedWhileDatasetAbsentIsNeverCached) {
+  // A task submitted while its dataset is absent runs un-keyed: if an
+  // upload races in between submit and fetch, the (successful) result must
+  // not enter the cache — the "absent" state is not a binding, and a later
+  // submission while the name is evicted again must answer kExpired, not a
+  // completed cache hit.
+  const GraphPtr graph = ChainGraph(100);
+  PlatformOptions options;
+  options.graph_store_bytes = graph->MemoryBytes();  // holds one graph
+  options.num_workers = 1;
+  options.uuid_seed = 37;
+  Datastore store(nullptr, options);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), options);
+
+  // Occupy the single worker so the next submission stays queued.
+  ASSERT_TRUE(store.PutDataset("hot", graph).ok());
+  TaskBuilder slow;
+  ASSERT_TRUE(slow.Add("hot", "ppr_montecarlo", "source=0, walks=2000000").ok());
+  const std::string slow_id = gateway.SubmitQuerySet(slow.Build()).value();
+
+  // Queued while 'd' is absent; 'd' is uploaded before the task dispatches
+  // (evicting "hot", whose pinned run still completes).
+  TaskBuilder builder;
+  ASSERT_TRUE(builder.Add("d", "pagerank", "alpha=0.85").ok());
+  const std::string first = gateway.SubmitQuerySet(builder.Build()).value();
+  ASSERT_TRUE(store.PutDataset("d", ChainGraph(100)).ok());
+  ASSERT_TRUE(*gateway.WaitForCompletion(slow_id, 60.0));
+  ASSERT_TRUE(*gateway.WaitForCompletion(first, 60.0));
+  ASSERT_TRUE(gateway.GetResults(first).value()[0].status.ok());
+
+  // Evict 'd' again; the identical spec must fail kExpired — never be
+  // served the raced run's result from the cache.
+  ASSERT_TRUE(store.PutDataset("filler", ChainGraph(100)).ok());
+  ASSERT_EQ(store.GetDataset("d").status().code(), StatusCode::kExpired);
+  const std::string second = gateway.SubmitQuerySet(builder.Build()).value();
+  ASSERT_TRUE(*gateway.WaitForCompletion(second, 60.0));
+  const auto results = gateway.GetResults(second).value();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kExpired);
+}
+
 TEST(GatewayCancelTest, CancelSkipsQueuedTasks) {
   Datastore store(nullptr);
   GraphBuilder builder;
@@ -233,7 +372,8 @@ TEST(GatewayCancelTest, CancelSkipsQueuedTasks) {
   builder.AddEdge(1, 0);
   (void)store.PutDataset("d", builder.BuildShared().value());
   // Single worker: queue many tasks, cancel while the first ones run.
-  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 1, 7);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
+      {.num_workers = 1, .uuid_seed = 7});
   TaskBuilder tasks;
   for (int i = 0; i < 50; ++i) {
     // Distinct seeds keep the fingerprints distinct: identical tasks would

@@ -201,6 +201,22 @@ TEST(TaskFingerprintTest, DistinctComputationsStayDistinct) {
             Fp("d", "ppr_montecarlo", "seed=2"));
 }
 
+TEST(TaskFingerprintTest, GenerationSeparatesRebindings) {
+  // Re-binding an uploaded name after eviction changes its generation, so
+  // the two bindings' computations can never share a cache or
+  // single-flight key.
+  EXPECT_NE(TaskFingerprint("d", 1, "pagerank", ParamMap()),
+            TaskFingerprint("d", 2, "pagerank", ParamMap()));
+  EXPECT_EQ(TaskFingerprint("d", "pagerank", ParamMap()),
+            TaskFingerprint("d", 0, "pagerank", ParamMap()));
+  // A user parameter named "gen" sorts into the params section and cannot
+  // reach the structural generation slot.
+  ParamMap with_gen;
+  with_gen.Set("gen", "2");
+  EXPECT_NE(TaskFingerprint("d", 2, "pagerank", ParamMap()),
+            TaskFingerprint("d", 0, "pagerank", with_gen));
+}
+
 TEST(TaskFingerprintTest, SeparatorsAreEscaped) {
   // Adversarial names containing the fingerprint separators must not make
   // two different specs collide.

@@ -1,0 +1,117 @@
+#include "platform/platform_options.h"
+
+#include <gtest/gtest.h>
+
+namespace cyclerank {
+namespace {
+
+TEST(PlatformOptionsTest, EmptyStringYieldsDefaults) {
+  const PlatformOptions parsed = PlatformOptions::FromString("").value();
+  EXPECT_EQ(parsed, PlatformOptions{});
+  EXPECT_EQ(parsed.graph_store_bytes, 0u);
+  EXPECT_EQ(parsed.result_cache_bytes, ResultCache::kDefaultMaxBytes);
+  EXPECT_EQ(parsed.max_retained_results, 0u);
+  EXPECT_EQ(parsed.num_workers, 0u);
+  EXPECT_EQ(parsed.default_threads, 0u);
+  EXPECT_EQ(parsed.uuid_seed, 0u);
+  EXPECT_EQ(parsed.max_tasks_per_submission, 0u);
+}
+
+TEST(PlatformOptionsTest, ParsesEveryKnob) {
+  const PlatformOptions parsed =
+      PlatformOptions::FromString(
+          "graph_store_bytes=1000, result_cache_bytes=2000, "
+          "max_retained_results=30, num_workers=4, default_threads=2, "
+          "uuid_seed=99, max_tasks_per_submission=16")
+          .value();
+  EXPECT_EQ(parsed.graph_store_bytes, 1000u);
+  EXPECT_EQ(parsed.result_cache_bytes, 2000u);
+  EXPECT_EQ(parsed.max_retained_results, 30u);
+  EXPECT_EQ(parsed.num_workers, 4u);
+  EXPECT_EQ(parsed.default_threads, 2u);
+  EXPECT_EQ(parsed.uuid_seed, 99u);
+  EXPECT_EQ(parsed.max_tasks_per_submission, 16u);
+}
+
+TEST(PlatformOptionsTest, KeysAreCaseInsensitiveAndWhitespaceTolerant) {
+  const PlatformOptions parsed =
+      PlatformOptions::FromString("  NUM_WORKERS = 8 ;  Uuid_Seed=5  ")
+          .value();
+  EXPECT_EQ(parsed.num_workers, 8u);
+  EXPECT_EQ(parsed.uuid_seed, 5u);
+}
+
+TEST(PlatformOptionsTest, ByteKnobsAcceptBinarySuffixes) {
+  EXPECT_EQ(PlatformOptions::FromString("graph_store_bytes=64m")
+                .value()
+                .graph_store_bytes,
+            64u << 20);
+  EXPECT_EQ(PlatformOptions::FromString("graph_store_bytes=64MiB")
+                .value()
+                .graph_store_bytes,
+            64u << 20);
+  EXPECT_EQ(PlatformOptions::FromString("result_cache_bytes=2k")
+                .value()
+                .result_cache_bytes,
+            2048u);
+  EXPECT_EQ(PlatformOptions::FromString("result_cache_bytes=1gb")
+                .value()
+                .result_cache_bytes,
+            1u << 30);
+}
+
+TEST(PlatformOptionsTest, RoundTripsThroughToString) {
+  PlatformOptions options;
+  options.graph_store_bytes = 123456;
+  options.result_cache_bytes = 0;
+  options.max_retained_results = 77;
+  options.num_workers = 3;
+  options.default_threads = 5;
+  options.uuid_seed = 42;
+  options.max_tasks_per_submission = 9;
+  const PlatformOptions reparsed =
+      PlatformOptions::FromString(options.ToString()).value();
+  EXPECT_EQ(reparsed, options);
+  // Defaults round-trip too.
+  EXPECT_EQ(PlatformOptions::FromString(PlatformOptions{}.ToString()).value(),
+            PlatformOptions{});
+  // The full uint64 seed range round-trips (a randomly drawn seed can
+  // exceed int64's range).
+  options.uuid_seed = 18446744073709551615ull;  // 2^64 - 1
+  EXPECT_EQ(PlatformOptions::FromString(options.ToString()).value(), options);
+}
+
+TEST(PlatformOptionsTest, UnknownKeysRejected) {
+  const auto result = PlatformOptions::FromString("graph_store_byte=1g");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("graph_store_byte"),
+            std::string::npos);
+  EXPECT_FALSE(PlatformOptions::FromString("threads=4").ok());
+}
+
+TEST(PlatformOptionsTest, MalformedValuesRejected) {
+  EXPECT_FALSE(PlatformOptions::FromString("num_workers=-1").ok());
+  EXPECT_FALSE(PlatformOptions::FromString("num_workers=abc").ok());
+  EXPECT_FALSE(PlatformOptions::FromString("graph_store_bytes=10q").ok());
+  EXPECT_FALSE(PlatformOptions::FromString("graph_store_bytes=m").ok());
+  EXPECT_FALSE(PlatformOptions::FromString("uuid_seed=-3").ok());
+  EXPECT_FALSE(PlatformOptions::FromString("default_threads=4294967296").ok());
+  EXPECT_FALSE(PlatformOptions::FromString("num_workers").ok());
+}
+
+TEST(PlatformOptionsTest, DuplicateKeysRejected) {
+  EXPECT_FALSE(
+      PlatformOptions::FromString("num_workers=2, num_workers=3").ok());
+}
+
+TEST(PlatformOptionsTest, ResolvedNumWorkers) {
+  PlatformOptions options;
+  options.num_workers = 7;
+  EXPECT_EQ(options.ResolvedNumWorkers(), 7u);
+  options.num_workers = 0;
+  EXPECT_GE(options.ResolvedNumWorkers(), 1u);
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,33 @@
+#ifndef CYCLERANK_TESTS_PLATFORM_STORAGE_TEST_UTIL_H_
+#define CYCLERANK_TESTS_PLATFORM_STORAGE_TEST_UTIL_H_
+
+#include "graph/graph_builder.h"
+#include "platform/platform_options.h"
+
+namespace cyclerank {
+
+/// Directed chain 0→1→…→n-1: a graph whose MemoryBytes scales with n,
+/// shared by the storage-layer suites.
+inline GraphPtr ChainGraph(NodeId n) {
+  GraphBuilder builder;
+  for (NodeId u = 0; u + 1 < n; ++u) builder.AddEdge(u, u + 1);
+  return builder.BuildShared().value();
+}
+
+/// Options with only the uploaded-dataset byte budget set.
+inline PlatformOptions GraphBudget(size_t bytes) {
+  PlatformOptions options;
+  options.graph_store_bytes = bytes;
+  return options;
+}
+
+/// Options with only the result-retention bound set.
+inline PlatformOptions RetainResults(size_t n) {
+  PlatformOptions options;
+  options.max_retained_results = n;
+  return options;
+}
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_TESTS_PLATFORM_STORAGE_TEST_UTIL_H_

@@ -5,7 +5,9 @@
 // every component tolerates concurrent clients.
 
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -13,6 +15,7 @@
 
 #include "graph/graph_builder.h"
 #include "platform/gateway.h"
+#include "storage_test_util.h"
 
 namespace cyclerank {
 namespace {
@@ -78,7 +81,8 @@ TEST(FailureInjectionTest, FailedTasksDoNotPoisonTheComparison) {
   ASSERT_TRUE(registry.Register(MakeAlgorithm(AlgorithmKind::kPageRank)).ok());
   Datastore store(nullptr);
   ASSERT_TRUE(store.PutDataset("tiny", TinyGraph()).ok());
-  ApiGateway gateway(&store, &registry, 2, 3);
+  ApiGateway gateway(&store, &registry,
+      {.num_workers = 2, .uuid_seed = 3});
 
   TaskBuilder builder;
   for (int i = 0; i < 10; ++i) {
@@ -111,7 +115,8 @@ TEST(FailureInjectionTest, FailureLogsAreRecorded) {
   ASSERT_TRUE(registry.Register(std::make_shared<FlakyAlgorithm>()).ok());
   Datastore store(nullptr);
   ASSERT_TRUE(store.PutDataset("tiny", TinyGraph()).ok());
-  ApiGateway gateway(&store, &registry, 1, 4);
+  ApiGateway gateway(&store, &registry,
+      {.num_workers = 1, .uuid_seed = 4});
   TaskBuilder builder;
   ASSERT_TRUE(builder.Add("tiny", "flaky", "seed=1").ok());
   const std::string id = gateway.SubmitQuerySet(builder.Build()).value();
@@ -128,7 +133,8 @@ TEST(FailureInjectionTest, FailureLogsAreRecorded) {
 TEST(StressTest, ConcurrentSubmittersGetIsolatedComparisons) {
   Datastore store(nullptr);
   ASSERT_TRUE(store.PutDataset("tiny", TinyGraph()).ok());
-  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 4, 9);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
+      {.num_workers = 4, .uuid_seed = 9});
 
   constexpr int kThreads = 8;
   constexpr int kPerThread = 5;
@@ -204,7 +210,8 @@ TEST(StressTest, SingleFlightCoalescesIdenticalConcurrentSubmissions) {
   ASSERT_TRUE(registry.Register(std::make_shared<CountingAlgorithm>()).ok());
   Datastore store(nullptr);
   ASSERT_TRUE(store.PutDataset("tiny", TinyGraph()).ok());
-  ApiGateway gateway(&store, &registry, 4, 11);
+  ApiGateway gateway(&store, &registry,
+      {.num_workers = 4, .uuid_seed = 11});
   CountingAlgorithm::runs_ = 0;
 
   // Hammer the gateway with the same task from many threads at once: every
@@ -244,7 +251,8 @@ TEST(StressTest, ResubmissionExecutesZeroKernelWork) {
   ASSERT_TRUE(registry.Register(std::make_shared<CountingAlgorithm>()).ok());
   Datastore store(nullptr);
   ASSERT_TRUE(store.PutDataset("tiny", TinyGraph()).ok());
-  ApiGateway gateway(&store, &registry, 2, 12);
+  ApiGateway gateway(&store, &registry,
+      {.num_workers = 2, .uuid_seed = 12});
   CountingAlgorithm::runs_ = 0;
 
   TaskBuilder builder;
@@ -275,7 +283,8 @@ TEST(StressTest, CancelledLeaderDoesNotDragCoalescedFollowersDown) {
   ASSERT_TRUE(store.PutDataset("tiny", TinyGraph()).ok());
   // One worker: comparison A's first task occupies it while A's second task
   // and comparison C's identical task queue up and coalesce.
-  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 1, 13);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
+      {.num_workers = 1, .uuid_seed = 13});
 
   TaskBuilder a_builder;
   ASSERT_TRUE(
@@ -299,6 +308,140 @@ TEST(StressTest, CancelledLeaderDoesNotDragCoalescedFollowersDown) {
   ASSERT_EQ(c_results.size(), 1u);
   EXPECT_TRUE(c_results[0].status.ok());
   EXPECT_FALSE(c_results[0].ranking.empty());
+}
+
+TEST(StressTest, PinnedSnapshotSurvivesEvictionBitIdentical) {
+  const GraphPtr hot = ChainGraph(200);
+  const std::string params = "source=0, walks=2000000";
+
+  // Baseline: the same query against an unbounded store.
+  RankedList baseline;
+  {
+    Datastore store(nullptr);
+    ASSERT_TRUE(store.PutDataset("hot", hot).ok());
+    ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
+                       {.num_workers = 1, .uuid_seed = 23});
+    TaskBuilder builder;
+    ASSERT_TRUE(builder.Add("hot", "ppr_montecarlo", params).ok());
+    const std::string id = gateway.SubmitQuerySet(builder.Build()).value();
+    ASSERT_TRUE(*gateway.WaitForCompletion(id, 120.0));
+    const auto results = gateway.GetResults(id).value();
+    ASSERT_TRUE(results[0].status.ok());
+    baseline = results[0].ranking;
+  }
+
+  // Bounded store: the budget holds exactly one graph of this size.
+  PlatformOptions options;
+  options.graph_store_bytes = hot->MemoryBytes();
+  options.result_cache_bytes = 0;  // force the kernel to actually run
+  options.num_workers = 1;
+  options.uuid_seed = 24;
+  Datastore store(nullptr, options);
+  ASSERT_TRUE(store.PutDataset("hot", hot).ok());
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), options);
+  TaskBuilder builder;
+  ASSERT_TRUE(builder.Add("hot", "ppr_montecarlo", params).ok());
+  const std::string id = gateway.SubmitQuerySet(builder.Build()).value();
+
+  // Wait until the executor pinned the snapshot (kRunning implies the
+  // dataset fetch already happened).
+  const std::string task = id + "/0";
+  while (true) {
+    const TaskState state = gateway.status_service().GetState(task).value();
+    if (state == TaskState::kRunning || IsTerminal(state)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Evict "hot" out from under the (likely still running) query.
+  ASSERT_TRUE(store.PutDataset("filler", ChainGraph(200)).ok());
+  ASSERT_EQ(store.GetDataset("hot").status().code(), StatusCode::kExpired);
+
+  // The in-flight query completes against its pinned snapshot with results
+  // bit-identical to the eviction-free run.
+  ASSERT_TRUE(*gateway.WaitForCompletion(id, 120.0));
+  const auto results = gateway.GetResults(id).value();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+  EXPECT_EQ(results[0].ranking, baseline);
+}
+
+TEST(StressTest, DatasetEvictionChurnUnderConcurrentQueries) {
+  // Uploads and queries race on a store whose budget holds ~3 graphs, so
+  // eviction churns constantly while kernels run. Every query must end in
+  // exactly one of: completed with the bit-identical expected ranking
+  // (its snapshot was pinned), or failed with Expired/NotFound (it fetched
+  // after the eviction). Anything else — a torn graph, a crash, a TSan
+  // report — is a bug in the storage decomposition.
+  const GraphPtr reference_graph = ChainGraph(50);
+  const RankedList expected =
+      MakeAlgorithm(AlgorithmKind::kPageRank)
+          ->Run(*reference_graph, AlgorithmRequest{})
+          .value();
+
+  PlatformOptions options;
+  options.graph_store_bytes = 3 * reference_graph->MemoryBytes();
+  options.result_cache_bytes = 0;  // every admitted query runs the kernel
+  options.num_workers = 4;
+  options.uuid_seed = 19;
+  Datastore store(nullptr, options);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), options);
+
+  constexpr int kThreads = 3;
+  constexpr int kIters = 30;
+  const auto dataset_name = [](int t, int i) {
+    return "d-" + std::to_string(t) + "-" + std::to_string(i);
+  };
+
+  std::vector<std::thread> uploaders;
+  for (int t = 0; t < kThreads; ++t) {
+    uploaders.emplace_back([&store, &dataset_name, t] {
+      for (int i = 0; i < kIters; ++i) {
+        EXPECT_TRUE(store.PutDataset(dataset_name(t, i), ChainGraph(50)).ok());
+        // Interleave reads that walk the store's shared state.
+        (void)store.UploadedDatasets();
+        (void)store.graph_store().stats();
+      }
+    });
+  }
+  std::vector<std::vector<std::string>> ids(kThreads);
+  std::vector<std::thread> queriers;
+  for (int t = 0; t < kThreads; ++t) {
+    queriers.emplace_back([&gateway, &ids, &dataset_name, t] {
+      for (int i = 0; i < kIters; ++i) {
+        TaskBuilder builder;
+        (void)builder.Add(dataset_name(t, i), "pagerank", "");
+        auto id = gateway.SubmitQuerySet(builder.Build());
+        if (id.ok()) ids[t].push_back(std::move(id).value());
+      }
+    });
+  }
+  for (std::thread& thread : uploaders) thread.join();
+  for (std::thread& thread : queriers) thread.join();
+
+  size_t completed = 0;
+  size_t expired_or_missing = 0;
+  for (const auto& batch : ids) {
+    for (const std::string& id : batch) {
+      ASSERT_TRUE(*gateway.WaitForCompletion(id, 120.0));
+      const auto results = gateway.GetResults(id).value();
+      ASSERT_EQ(results.size(), 1u);
+      const TaskResult& result = results[0];
+      if (result.status.ok()) {
+        ++completed;
+        EXPECT_EQ(result.ranking, expected) << result.task_id;
+      } else {
+        ++expired_or_missing;
+        EXPECT_TRUE(result.status.code() == StatusCode::kExpired ||
+                    result.status.code() == StatusCode::kNotFound)
+            << result.status.ToString();
+      }
+    }
+  }
+  // The budget fits 3 graphs and each querier targets its own uploader's
+  // most recent names, so a healthy run completes some queries; all of
+  // them completing is equally fine (uploads may simply have outrun
+  // evictions of queried names).
+  EXPECT_GT(completed + expired_or_missing, 0u);
 }
 
 TEST(StressTest, StatusServiceConcurrentTransitions) {

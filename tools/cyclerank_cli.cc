@@ -90,7 +90,8 @@ int CmdStats(const std::string& dataset) {
 int CmdRun(const std::string& dataset, const std::string& algorithm,
            const std::string& params, const std::string& top_k) {
   Datastore store;
-  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 2);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
+      {.num_workers = 2});
   TaskBuilder builder;
   std::string full_params = params;
   if (!top_k.empty()) {
@@ -123,7 +124,8 @@ int CmdRun(const std::string& dataset, const std::string& algorithm,
 int CmdCompare(const std::string& dataset, const std::string& reference,
                const std::string& k) {
   Datastore store;
-  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 4);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
+      {.num_workers = 4});
   TaskBuilder builder;
   const std::string params =
       "source=" + reference + ", k=" + (k.empty() ? "3" : k);
@@ -177,7 +179,8 @@ int CmdConvert(const std::string& input, const std::string& output) {
 int CmdExport(const std::string& dataset, const std::string& algorithm,
               const std::string& params, const std::string& output) {
   Datastore store;
-  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), 2);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
+      {.num_workers = 2});
   TaskBuilder builder;
   const Status add_status = builder.Add(dataset, algorithm, params);
   if (!add_status.ok()) return Fail(add_status);

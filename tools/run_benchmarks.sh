@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Runs the perf benchmark suite (perf_pagerank, perf_cyclerank,
-# perf_ppr_variants, the perf_result_cache cache-hit sweep, and the
-# perf_forward_push frontier-engine sweeps) with --benchmark_format=json
-# and merges the results into one file, so the repo's perf trajectory is
-# tracked PR over PR.
+# perf_ppr_variants, the perf_result_cache cache-hit sweep, the
+# perf_forward_push frontier-engine sweeps, and the perf_datastore
+# storage-layer sweep) with --benchmark_format=json and merges the
+# results into one file, so the repo's perf trajectory is tracked PR
+# over PR.
 #
 # Usage:
 #   tools/run_benchmarks.sh [OUT_JSON]
@@ -20,17 +21,17 @@
 # thread sweeps measure parallel-engine *overhead bounds*, not scaling, and
 # downstream tooling must not read them as speedup claims.
 #
-# Example (the PR-3 evidence file; earlier PRs wrote BENCH_PR<n>.json the
+# Example (the PR-4 evidence file; earlier PRs wrote BENCH_PR<n>.json the
 # same way):
 #   cmake -B build -S . && cmake --build build -j
-#   tools/run_benchmarks.sh BENCH_PR3.json
+#   tools/run_benchmarks.sh BENCH_PR4.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
-OUT=${1:-BENCH_PR3.json}
+OUT=${1:-BENCH_PR4.json}
 SUITES=(perf_pagerank perf_cyclerank perf_ppr_variants perf_result_cache
-        perf_forward_push)
+        perf_forward_push perf_datastore)
 TMP_DIR=$(mktemp -d)
 trap 'rm -rf "${TMP_DIR}"' EXIT
 

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# One-command verification: the tier-1 suite (Release build + ctest) plus
+# the concurrency suites under ThreadSanitizer — the gate every PR must
+# pass (`cmake --preset`-style convenience without requiring CMake 3.19).
+#
+# Usage:
+#   tools/verify.sh [--tier1-only | --tsan-only]
+#
+# Environment:
+#   BUILD_DIR  tier-1 build directory            (default: build)
+#   TSAN_DIR   ThreadSanitizer build directory   (default: build-tsan)
+#   JOBS       parallel build/test jobs          (default: nproc)
+#
+# The TSan tree builds only the library and tests (benchmarks, examples
+# and tools are skipped — they add compile time but no coverage).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+TSAN_DIR=${TSAN_DIR:-build-tsan}
+JOBS=${JOBS:-$(nproc)}
+MODE=${1:-all}
+
+run_tier1() {
+  echo "== tier-1: configure + build + ctest (${BUILD_DIR})" >&2
+  cmake -B "${BUILD_DIR}" -S .
+  cmake --build "${BUILD_DIR}" -j "${JOBS}"
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+}
+
+run_tsan() {
+  echo "== TSan: configure + build + ctest (${TSAN_DIR})" >&2
+  cmake -B "${TSAN_DIR}" -S . -DCYCLERANK_SANITIZE=thread \
+        -DCYCLERANK_BUILD_BENCHMARKS=OFF -DCYCLERANK_BUILD_EXAMPLES=OFF \
+        -DCYCLERANK_BUILD_TOOLS=OFF
+  cmake --build "${TSAN_DIR}" -j "${JOBS}"
+  ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}"
+}
+
+case "${MODE}" in
+  all)          run_tier1; run_tsan ;;
+  --tier1-only) run_tier1 ;;
+  --tsan-only)  run_tsan ;;
+  *) echo "usage: tools/verify.sh [--tier1-only | --tsan-only]" >&2; exit 2 ;;
+esac
+echo "verify: OK (${MODE})" >&2
