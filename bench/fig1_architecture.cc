@@ -63,7 +63,7 @@ int RunFig1() {
   for (size_t workers : {1u, 2u, 4u, 8u}) {
     Datastore store;
     ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
-      {.num_workers = workers, .uuid_seed = 99});
+      PlatformOptions::WithWorkers(workers, 99));
 
     WallTimer timer;
     std::vector<std::string> ids;

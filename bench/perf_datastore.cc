@@ -1,12 +1,16 @@
 // Storage-layer throughput: dataset upload (with and without eviction
-// pressure), pinned snapshot fetches, and the text-upload admission path.
-// The PR-4 decomposition split the datastore into individually-locked
-// stores; these sweeps bound the fixed cost of the byte-budgeted
-// graph-store layer so retention never becomes the bottleneck of the
-// upload/query hot paths.
+// pressure), pinned snapshot fetches, the text-upload admission path, and
+// the disk spill tier (evict→serialize→write demotions and miss→read→
+// decode reloads, plus the raw graph codec). The PR-4 decomposition split
+// the datastore into individually-locked stores; these sweeps bound the
+// fixed cost of the byte-budgeted graph-store layer so retention never
+// becomes the bottleneck of the upload/query hot paths — and put a number
+// on what a spill round trip costs relative to re-running a kernel.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -100,6 +104,90 @@ void BM_Datastore_PinnedGet(benchmark::State& state) {
 }
 BENCHMARK(BM_Datastore_PinnedGet)
     ->Args({10000, 1})->Args({10000, 16})->Args({10000, 256});
+
+/// A fresh spill directory under the system temp root, wiped first.
+std::string BenchSpillDir() {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "cyclerank_bench_spill";
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+/// Raw graph codec: serialize + deserialize round trip, the CPU component
+/// of every spill and reload. Arg: nodes.
+void BM_Graph_CodecRoundTrip(benchmark::State& state) {
+  const GraphPtr graph = BenchGraph(state.range(0), 1);
+  for (auto _ : state) {
+    const std::string bytes = graph->Serialize();
+    benchmark::DoNotOptimize(Graph::Deserialize(bytes).value().num_edges());
+  }
+  state.counters["nodes"] = static_cast<double>(state.range(0));
+  state.counters["encoded_bytes"] =
+      static_cast<double>(graph->Serialize().size());
+}
+BENCHMARK(BM_Graph_CodecRoundTrip)
+    ->Arg(1000)->Arg(10000)->Arg(50000)->Unit(benchmark::kMicrosecond);
+
+/// Steady-state upload cost when eviction *demotes* to the disk tier:
+/// every upload past the budget serializes the victim and writes one
+/// spill file (plus manifest upkeep). The delta against
+/// BM_Datastore_UploadEvict is the price of durability. Arg: nodes.
+void BM_Datastore_SpillEvict(benchmark::State& state) {
+  std::vector<GraphPtr> pool;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    pool.push_back(BenchGraph(state.range(0), seed));
+  }
+  PlatformOptions options = GraphBudget(4 * pool[0]->MemoryBytes());
+  options.spill_dir = BenchSpillDir();
+  // Bound the disk tier too, so the directory cannot grow for the whole
+  // benchmark duration; pruning is part of the steady-state cost.
+  options.graph_spill_bytes = 64u << 20;
+  Datastore store(nullptr, options);
+  uint64_t uploads = 0;
+  for (auto _ : state) {
+    const std::string name = "g" + std::to_string(uploads);
+    benchmark::DoNotOptimize(
+        store.PutDataset(name, pool[uploads % pool.size()]));
+    ++uploads;
+  }
+  const SpillTierStats stats = store.dataset_spill()->stats();
+  state.counters["nodes"] = static_cast<double>(state.range(0));
+  state.counters["spills"] = static_cast<double>(stats.spills);
+  state.counters["disk_bytes"] = static_cast<double>(stats.bytes);
+  state.counters["prunes"] = static_cast<double>(stats.prunes);
+}
+BENCHMARK(BM_Datastore_SpillEvict)
+    ->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+/// Spill *reload*: every Get misses memory and promotes a spilled dataset
+/// back in (read + checksum + decode + re-admit), demoting another in its
+/// place — the worst-case thrash pattern, and still orders of magnitude
+/// cheaper than recomputing a ranking. Arg: nodes.
+void BM_Datastore_SpillReload(benchmark::State& state) {
+  const GraphPtr a = BenchGraph(state.range(0), 0);
+  const GraphPtr b = BenchGraph(state.range(0), 1);
+  // The memory tier holds exactly one graph (the seeds generate slightly
+  // different edge counts, so budget for the larger one).
+  PlatformOptions options =
+      GraphBudget(std::max(a->MemoryBytes(), b->MemoryBytes()));
+  options.spill_dir = BenchSpillDir();
+  Datastore store(nullptr, options);
+  // Two datasets, one memory slot: alternating Gets always reload.
+  (void)store.PutDataset("a", a);
+  (void)store.PutDataset("b", b);
+  uint64_t fetches = 0;
+  for (auto _ : state) {
+    GraphPtr pinned =
+        store.GetDataset(fetches % 2 == 0 ? "a" : "b").value();
+    benchmark::DoNotOptimize(pinned);
+    ++fetches;
+  }
+  const SpillTierStats stats = store.dataset_spill()->stats();
+  state.counters["nodes"] = static_cast<double>(state.range(0));
+  state.counters["reloads"] = static_cast<double>(stats.reloads);
+}
+BENCHMARK(BM_Datastore_SpillReload)
+    ->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
 
 /// Text-upload admission: parse + CSR build + byte accounting for an
 /// n-node edge-list body, against a budget the upload always fits.

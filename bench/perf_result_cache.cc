@@ -30,7 +30,7 @@ struct GatewayFixture {
   explicit GatewayFixture(int64_t nodes)
       : store(nullptr),
         gateway(&store, &AlgorithmRegistry::Default(),
-                {.num_workers = 2, .uuid_seed = 1}) {
+                PlatformOptions::WithWorkers(2, 1)) {
     (void)store.PutDataset("bench", BenchGraph(nodes));
   }
   Datastore store;

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
 
   Datastore store;
   ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
-      {.num_workers = 4});
+      PlatformOptions::WithWorkers(4));
 
   // Build the query set: the seven algorithms of the demo (§II, §V).
   // Global algorithms ignore the reference parameter.

@@ -77,7 +77,7 @@ int main() {
   // 2. Use it through the platform exactly like a built-in.
   Datastore store;
   ApiGateway gateway(&store, &registry,
-      {.num_workers = 2});
+      PlatformOptions::WithWorkers(2));
   TaskBuilder builder;
   (void)builder.Add("enwiki-mini-2018", "hits_authority",
                     "max_iterations=50, top_k=5");

@@ -25,7 +25,7 @@ int CrossCultural() {
   std::puts("(a) cross-cultural: CycleRank (K=3) around 'Fake news'\n");
   Datastore store;
   ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
-      {.num_workers = 4});
+      PlatformOptions::WithWorkers(4));
   TaskBuilder builder;
   for (const std::string& lang : FakeNewsLanguages()) {
     const auto title = FakeNewsTitle(lang);

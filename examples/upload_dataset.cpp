@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
-      {.num_workers = 2});
+      PlatformOptions::WithWorkers(2));
   TaskBuilder builder;
   const Status st =
       builder.Add("uploaded", "cyclerank", "source=" + reference + ", k=4");

@@ -1,0 +1,160 @@
+#ifndef CYCLERANK_COMMON_BINARY_IO_H_
+#define CYCLERANK_COMMON_BINARY_IO_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cyclerank {
+namespace binio {
+
+/// Little-endian binary encoding helpers shared by the compact codecs
+/// (`Graph::Serialize`, the `TaskResult` codec in platform/result_io.h, the
+/// spill-tier file format). Fixed-width little-endian fields make the byte
+/// streams platform-independent and the round trips bit-exact; doubles
+/// travel as their IEEE-754 bit patterns, never through text.
+
+inline void AppendU32(std::string* out, uint32_t v) {
+  const char bytes[4] = {
+      static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+      static_cast<char>((v >> 16) & 0xff), static_cast<char>((v >> 24) & 0xff)};
+  out->append(bytes, 4);
+}
+
+inline void AppendU64(std::string* out, uint64_t v) {
+  AppendU32(out, static_cast<uint32_t>(v & 0xffffffffull));
+  AppendU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+inline void AppendDouble(std::string* out, double v) {
+  AppendU64(out, std::bit_cast<uint64_t>(v));
+}
+
+/// Length-prefixed (u64) byte string.
+inline void AppendString(std::string* out, std::string_view s) {
+  AppendU64(out, s.size());
+  out->append(s.data(), s.size());
+}
+
+/// Length-prefixed element array; bulk-copied on little-endian hosts.
+template <typename T>
+inline void AppendArray(std::string* out, const std::vector<T>& v) {
+  static_assert(std::is_same_v<T, uint32_t> || std::is_same_v<T, uint64_t>);
+  AppendU64(out, v.size());
+  if (v.empty()) return;  // data() may be null on empty vectors
+  if constexpr (std::endian::native == std::endian::little) {
+    out->append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+  } else {
+    for (const T x : v) {
+      if constexpr (sizeof(T) == 4) {
+        AppendU32(out, x);
+      } else {
+        AppendU64(out, x);
+      }
+    }
+  }
+}
+
+/// Sequential reader over an encoded buffer. Every `Read*` returns false
+/// (and reads nothing) once the buffer is exhausted or a length prefix
+/// exceeds the remaining bytes — a truncated or corrupt stream can never
+/// over-allocate or read out of bounds.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  bool ReadU32(uint32_t* out) {
+    if (remaining() < 4) return false;
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<unsigned char>(data_[pos_ + i]);
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* out) {
+    uint32_t lo = 0, hi = 0;
+    if (!ReadU32(&lo)) return false;
+    if (!ReadU32(&hi)) return false;
+    *out = (static_cast<uint64_t>(hi) << 32) | lo;
+    return true;
+  }
+
+  bool ReadDouble(double* out) {
+    uint64_t bits = 0;
+    if (!ReadU64(&bits)) return false;
+    *out = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  bool ReadString(std::string* out) {
+    uint64_t len = 0;
+    if (!ReadU64(&len)) return false;
+    if (len > remaining()) return false;
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  template <typename T>
+  bool ReadArray(std::vector<T>* out) {
+    static_assert(std::is_same_v<T, uint32_t> || std::is_same_v<T, uint64_t>);
+    uint64_t count = 0;
+    if (!ReadU64(&count)) return false;
+    if (count > remaining() / sizeof(T)) return false;
+    out->resize(count);
+    if (count == 0) return true;  // data() may be null on empty vectors
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(out->data(), data_.data() + pos_, count * sizeof(T));
+      pos_ += count * sizeof(T);
+    } else {
+      for (uint64_t i = 0; i < count; ++i) {
+        if constexpr (sizeof(T) == 4) {
+          uint32_t v;
+          ReadU32(&v);
+          (*out)[i] = v;
+        } else {
+          uint64_t v;
+          ReadU64(&v);
+          (*out)[i] = v;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Skips `n` bytes; false when fewer remain.
+  bool Skip(size_t n) {
+    if (n > remaining()) return false;
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit hash — the spill tier's payload checksum. Not
+/// cryptographic; it guards against torn writes and bit rot, not attackers.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace binio
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_COMMON_BINARY_IO_H_

@@ -1,8 +1,103 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/binary_io.h"
 
 namespace cyclerank {
+
+namespace {
+
+/// Magic + version prefix of the binary graph encoding. Bump the digit on
+/// any layout change; `Deserialize` rejects unknown versions outright.
+constexpr std::string_view kGraphMagic = "CYGR1\n";
+
+Status GraphCorrupt(const std::string& detail) {
+  return Status::ParseError("graph codec: " + detail);
+}
+
+}  // namespace
+
+std::string Graph::Serialize() const {
+  std::string out;
+  // CSR arrays dominate; reserve their exact footprint plus slack for the
+  // label section.
+  out.reserve(kGraphMagic.size() + 64 +
+              (out_offsets_.size() + in_offsets_.size()) * sizeof(uint64_t) +
+              (out_targets_.size() + in_sources_.size()) * sizeof(NodeId));
+  out.append(kGraphMagic);
+  binio::AppendArray(&out, out_offsets_);
+  binio::AppendArray(&out, out_targets_);
+  binio::AppendArray(&out, in_offsets_);
+  binio::AppendArray(&out, in_sources_);
+  const bool labeled = labels_ != nullptr;
+  binio::AppendU32(&out, labeled ? 1 : 0);
+  if (labeled) {
+    binio::AppendU64(&out, labels_->size());
+    for (const std::string& label : labels_->labels()) {
+      binio::AppendString(&out, label);
+    }
+  }
+  return out;
+}
+
+Result<Graph> Graph::Deserialize(std::string_view bytes) {
+  if (bytes.substr(0, kGraphMagic.size()) != kGraphMagic) {
+    return GraphCorrupt("bad magic (not a serialized graph, or an "
+                        "incompatible codec version)");
+  }
+  binio::Reader reader(bytes.substr(kGraphMagic.size()));
+  Graph g;
+  if (!reader.ReadArray(&g.out_offsets_) || !reader.ReadArray(&g.out_targets_) ||
+      !reader.ReadArray(&g.in_offsets_) || !reader.ReadArray(&g.in_sources_)) {
+    return GraphCorrupt("truncated CSR section");
+  }
+  // Re-validate the CSR invariants the builder guarantees: a corrupted
+  // buffer must fail parsing, never produce spans that fault the kernels.
+  if (g.out_offsets_.size() != g.in_offsets_.size()) {
+    return GraphCorrupt("offset arrays disagree on the node count");
+  }
+  const size_t n = g.out_offsets_.empty() ? 0 : g.out_offsets_.size() - 1;
+  const auto check_csr = [n](const std::vector<uint64_t>& offsets,
+                             const std::vector<NodeId>& adjacency) {
+    if (offsets.empty()) return adjacency.empty();
+    if (offsets.front() != 0 || offsets.back() != adjacency.size()) return false;
+    for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+      if (offsets[i] > offsets[i + 1]) return false;
+    }
+    for (const NodeId v : adjacency) {
+      if (v >= n) return false;
+    }
+    return true;
+  };
+  if (!check_csr(g.out_offsets_, g.out_targets_) ||
+      !check_csr(g.in_offsets_, g.in_sources_)) {
+    return GraphCorrupt("CSR invariants violated (offsets or neighbor ids)");
+  }
+  uint32_t labeled = 0;
+  if (!reader.ReadU32(&labeled) || labeled > 1) {
+    return GraphCorrupt("truncated or invalid label marker");
+  }
+  if (labeled == 1) {
+    uint64_t count = 0;
+    if (!reader.ReadU64(&count) || count > n) {
+      return GraphCorrupt("label count exceeds the node count");
+    }
+    auto labels = std::make_shared<LabelMap>();
+    std::string label;
+    for (uint64_t i = 0; i < count; ++i) {
+      if (!reader.ReadString(&label)) return GraphCorrupt("truncated label");
+      if (labels->GetOrAdd(label) != i) {
+        return GraphCorrupt("duplicate label '" + label + "'");
+      }
+    }
+    g.labels_ = std::move(labels);
+  }
+  if (!reader.AtEnd()) return GraphCorrupt("trailing bytes after the graph");
+  g.memory_bytes_ = g.ComputeMemoryBytes();
+  return g;
+}
 
 size_t Graph::ComputeMemoryBytes() const {
   size_t bytes = sizeof(Graph);

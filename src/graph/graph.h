@@ -6,8 +6,10 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/result.h"
 #include "graph/label_map.h"
 
 namespace cyclerank {
@@ -79,6 +81,20 @@ class Graph {
 
   /// Finds a node by label; `kInvalidNode` when unlabeled or absent.
   NodeId FindNode(std::string_view label) const;
+
+  /// Compact binary encoding of the whole graph (CSR arrays + label
+  /// dictionary): the storage layer's spill-to-disk format. Little-endian
+  /// fixed-width fields, so the bytes are platform-independent and
+  /// `Deserialize(g.Serialize())` reproduces `g` bit-identically —
+  /// including `MemoryBytes()`, which is recomputed from the same
+  /// deterministic element-count walk the builder uses.
+  std::string Serialize() const;
+
+  /// Decodes a `Serialize()` buffer. The CSR invariants are re-validated
+  /// (consistent array sizes, monotone offsets, in-range neighbor ids), so
+  /// a truncated or corrupted buffer yields `kParseError`, never a graph
+  /// that would fault the kernels.
+  static Result<Graph> Deserialize(std::string_view bytes);
 
  private:
   friend class GraphBuilder;

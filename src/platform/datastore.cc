@@ -3,10 +3,100 @@
 #include <memory>
 #include <utility>
 
+#include "common/logging.h"
 #include "graph/io.h"
 #include "platform/params.h"
+#include "platform/result_io.h"
 
 namespace cyclerank {
+
+namespace {
+
+/// One spill tier per payload kind, as `<spill_dir>/<subdir>`; null when
+/// spilling is disabled (empty `spill_dir`).
+std::unique_ptr<SpillTier> MakeSpillTier(const PlatformOptions& options,
+                                         const char* subdir, size_t max_bytes,
+                                         const char* what) {
+  if (options.spill_dir.empty()) return nullptr;
+  return std::make_unique<SpillTier>(options.spill_dir + "/" + subdir,
+                                     max_bytes, what);
+}
+
+}  // namespace
+
+Datastore::Datastore(DatasetCatalog* catalog, const PlatformOptions& options)
+    : catalog_(catalog),
+      dataset_spill_(MakeSpillTier(options, "datasets",
+                                   options.graph_spill_bytes, "dataset")),
+      result_spill_(MakeSpillTier(options, "results",
+                                  options.result_spill_bytes, "result")),
+      graphs_(options.graph_store_bytes, dataset_spill_.get()),
+      results_(options.max_retained_results),
+      result_cache_(options.result_cache_bytes) {}
+
+void Datastore::PutResult(TaskResult result) {
+  // Serialize writers so "evict X" and "erase X's logs" are atomic
+  // against a concurrent re-store of X (which would otherwise revive the
+  // result between the two steps and lose its logs). Reads — GetResult,
+  // GetLog, AppendLog — stay on the stores' own locks.
+  std::lock_guard<std::mutex> lock(put_mu_);
+  DemoteEvictedResultsLocked(results_.Put(std::move(result)));
+}
+
+void Datastore::DemoteEvictedResultsLocked(std::vector<TaskResult> evicted) {
+  std::vector<std::string> evicted_ids;
+  evicted_ids.reserve(evicted.size());
+  for (TaskResult& victim : evicted) {
+    evicted_ids.push_back(victim.task_id);
+    if (result_spill_ == nullptr) continue;
+    const Status spilled =
+        result_spill_->Put(victim.task_id, SerializeTaskResult(victim));
+    if (!spilled.ok()) {
+      CYCLERANK_LOG(kWarning)
+          << "datastore: could not spill evicted result '" << victim.task_id
+          << "': " << spilled.ToString() << "; dropping it instead";
+    }
+  }
+  logs_.Erase(evicted_ids);
+}
+
+Result<TaskResult> Datastore::GetResult(const std::string& task_id) {
+  Result<TaskResult> stored = results_.Get(task_id);
+  if (stored.ok() || result_spill_ == nullptr) return stored;
+  // Retention evicted the result from memory (kExpired) — or even its
+  // marker (kNotFound) — but the disk tier may still hold it.
+  Result<SpillTier::Loaded> loaded = result_spill_->Get(task_id);
+  if (loaded.ok()) {
+    Result<TaskResult> decoded = DeserializeTaskResult(loaded->payload);
+    if (decoded.ok()) {
+      // Re-admit to the memory tier (a revived result occupies a fresh
+      // retention slot; the oldest may be demoted in its place). The logs
+      // were dropped at the original eviction and stay dropped.
+      std::lock_guard<std::mutex> lock(put_mu_);
+      // A concurrent PutResult (the retry-overwrite path) may have stored
+      // a fresh result between the memory miss above and this point; the
+      // memory tier wins — re-admitting the disk copy would clobber it.
+      Result<TaskResult> raced = results_.Get(task_id);
+      if (raced.ok()) return raced;
+      DemoteEvictedResultsLocked(results_.Put(*decoded));
+      return decoded;
+    }
+    CYCLERANK_LOG(kWarning) << "datastore: dropping undecodable spill of "
+                            << "result '" << task_id
+                            << "': " << decoded.status().ToString();
+    result_spill_->Erase(task_id);
+  }
+  if (stored.status().code() == StatusCode::kExpired &&
+      result_spill_->WasPruned(task_id)) {
+    return Status::Expired(
+        "result for task '" + task_id +
+        "' was evicted by the retention policy, spilled to disk, and then "
+        "pruned by the result spill budget (" +
+        std::to_string(result_spill_->max_bytes()) +
+        " bytes); it must be recomputed");
+  }
+  return stored;
+}
 
 Status Datastore::PutDataset(const std::string& name, GraphPtr graph) {
   if (name.empty()) {

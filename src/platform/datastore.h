@@ -2,6 +2,7 @@
 #define CYCLERANK_PLATFORM_DATASTORE_H_
 
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -15,6 +16,7 @@
 #include "platform/platform_options.h"
 #include "platform/result_cache.h"
 #include "platform/result_store.h"
+#include "platform/spill_tier.h"
 #include "platform/task.h"
 
 namespace cyclerank {
@@ -38,6 +40,13 @@ namespace cyclerank {
 /// and log traffic never contend on one mutex, and each store owns exactly
 /// one retention policy.
 ///
+/// With `PlatformOptions::spill_dir` set, the facade additionally owns two
+/// disk `SpillTier`s (`<spill_dir>/datasets`, `<spill_dir>/results`):
+/// eviction from the memory stores *demotes* the victim to disk instead of
+/// destroying it, later lookups transparently reload it, and both tiers
+/// survive a process restart (manifest + recovery scan). An empty
+/// `spill_dir` keeps the historical drop-on-evict behavior.
+///
 /// Datasets resolve against (a) graphs uploaded at runtime ("users can
 /// upload new datasets") and (b) an optional backing `DatasetCatalog` of
 /// pre-loaded datasets. Results and per-task logs are written by executors
@@ -49,14 +58,12 @@ class Datastore {
   /// must outlive the datastore. `options` carries every retention knob:
   /// `graph_store_bytes` (uploaded-dataset budget, 0 = unbounded),
   /// `result_cache_bytes` (0 disables caching; in-flight dedup in the
-  /// scheduler stays active either way), and `max_retained_results`
-  /// (0 = unlimited).
+  /// scheduler stays active either way), `max_retained_results`
+  /// (0 = unlimited), and the disk-tier knobs (`spill_dir`,
+  /// `graph_spill_bytes`, `result_spill_bytes`). A non-empty `spill_dir`
+  /// recovers any entries a previous process spilled there.
   explicit Datastore(DatasetCatalog* catalog = &DatasetCatalog::BuiltIn(),
-                     const PlatformOptions& options = {})
-      : catalog_(catalog),
-        graphs_(options.graph_store_bytes),
-        results_(options.max_retained_results),
-        result_cache_(options.result_cache_bytes) {}
+                     const PlatformOptions& options = {});
 
   Datastore(const Datastore&) = delete;
   Datastore& operator=(const Datastore&) = delete;
@@ -119,25 +126,21 @@ class Datastore {
 
   /// Stores the result of a finished task (overwrites on retry without
   /// refreshing its retention slot). When `max_retained_results` is set,
-  /// the oldest results — and their logs — are evicted FIFO past the
-  /// bound.
-  void PutResult(TaskResult result) {
-    // Serialize writers so "evict X" and "erase X's logs" are atomic
-    // against a concurrent re-store of X (which would otherwise revive the
-    // result between the two steps and lose its logs). Reads — GetResult,
-    // GetLog, AppendLog — stay on the stores' own locks.
-    std::lock_guard<std::mutex> lock(put_mu_);
-    logs_.Erase(results_.Put(std::move(result)));
-  }
+  /// the oldest results are evicted FIFO past the bound — demoted to the
+  /// result spill tier when one is configured, destroyed otherwise. Their
+  /// logs are dropped either way: logs follow the *memory* lifetime (a
+  /// reloaded result returns without its log trail).
+  void PutResult(TaskResult result);
 
-  /// The stored result; `kExpired` when the retention bound evicted it,
-  /// `kNotFound` when it was never stored. (Eviction markers are
+  /// The stored result; a result evicted to the spill tier is transparently
+  /// reloaded (and re-admitted to the memory tier, possibly demoting the
+  /// oldest). `kExpired` when retention destroyed it — with a message that
+  /// distinguishes "pruned from the disk tier" from plain memory expiry —
+  /// and `kNotFound` when it was never stored. (Eviction markers are
   /// themselves FIFO-bounded, so tasks far past the retention horizon
   /// eventually report `kNotFound` again — the marker set cannot grow
   /// without bound either.)
-  Result<TaskResult> GetResult(const std::string& task_id) const {
-    return results_.Get(task_id);
-  }
+  Result<TaskResult> GetResult(const std::string& task_id);
 
   /// True only for live (non-evicted) results.
   bool HasResult(const std::string& task_id) const {
@@ -146,6 +149,11 @@ class Datastore {
 
   /// Number of live stored results (tests / monitoring).
   size_t NumStoredResults() const { return results_.size(); }
+
+  /// The disk spill tiers (stats, tests / monitoring); null without a
+  /// `spill_dir`.
+  const SpillTier* dataset_spill() const { return dataset_spill_.get(); }
+  const SpillTier* result_spill() const { return result_spill_.get(); }
 
   /// Byte-budgeted LRU over completed task results, keyed by
   /// `TaskFingerprint`. The scheduler serves repeated queries from it
@@ -166,7 +174,15 @@ class Datastore {
   }
 
  private:
+  /// Demotes retention-evicted results to the spill tier (when configured)
+  /// and erases their logs; requires `put_mu_`.
+  void DemoteEvictedResultsLocked(std::vector<TaskResult> evicted);
+
   DatasetCatalog* catalog_;  // not owned, may be null
+  // The spill tiers are declared before the stores so they outlive them on
+  // both ends: GraphStore holds a raw pointer into dataset_spill_.
+  std::unique_ptr<SpillTier> dataset_spill_;  ///< null without a spill_dir
+  std::unique_ptr<SpillTier> result_spill_;   ///< null without a spill_dir
   GraphStore graphs_;
   ResultStore results_;
   LogStore logs_;

@@ -1,8 +1,22 @@
 #include "platform/graph_store.h"
 
+#include <algorithm>
+#include <memory>
 #include <utility>
 
+#include "common/logging.h"
+
 namespace cyclerank {
+
+GraphStore::GraphStore(size_t max_bytes, SpillTier* spill)
+    : max_bytes_(max_bytes), spill_(spill), lru_(max_bytes) {
+  if (spill_ == nullptr) return;
+  // Recovered spill entries carry the generations a previous process
+  // assigned. Resuming the counter past the largest one keeps generations
+  // process-unique *across* restarts: a fresh upload can never collide
+  // with a recovered binding's fingerprint.
+  next_generation_ = std::max(next_generation_, spill_->MaxMeta() + 1);
+}
 
 Status GraphStore::Put(const std::string& name, GraphPtr graph) {
   if (name.empty()) {
@@ -20,14 +34,20 @@ Status GraphStore::Put(const std::string& name, GraphPtr graph) {
         " bytes, larger than the entire graph-store budget of " +
         std::to_string(max_bytes_) + " bytes");
   }
-  if (index_.count(name) != 0) {
+  if (lru_.Contains(name)) {
     return Status::AlreadyExists("dataset '" + name + "' already uploaded");
+  }
+  // A dataset demoted to disk is still uploaded — merely colder. Letting a
+  // re-upload silently replace it would make "can I re-use this name?"
+  // depend on which tier the old binding happens to occupy.
+  if (spill_ != nullptr && spill_->Contains(name)) {
+    return Status::AlreadyExists("dataset '" + name +
+                                 "' already uploaded (resident in the disk "
+                                 "spill tier)");
   }
   // Re-uploading an evicted name revives it.
   evicted_.Revive(name);
-  lru_.push_front(Entry{name, std::move(graph), bytes, next_generation_++});
-  index_[name] = lru_.begin();
-  bytes_ += bytes;
+  lru_.Insert(name, Slot{std::move(graph), next_generation_++}, bytes);
   ++stats_.uploads;
   EvictLocked();
   return Status::OK();
@@ -35,15 +55,28 @@ Status GraphStore::Put(const std::string& name, GraphPtr graph) {
 
 Result<GraphPtr> GraphStore::Get(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(name);
-  if (it != index_.end()) {
-    // Bump recency under the same lock as the lookup: a concurrent upload
-    // deciding what to evict always observes a consistent LRU order.
-    lru_.splice(lru_.begin(), lru_, it->second);
+  // Bump recency under the same lock as the lookup: a concurrent upload
+  // deciding what to evict always observes a consistent LRU order.
+  if (Slot* slot = lru_.Touch(name)) {
     ++stats_.hits;
-    return it->second->graph;
+    return slot->graph;
+  }
+  if (spill_ != nullptr) {
+    GraphPtr reloaded = ReloadLocked(name);
+    if (reloaded != nullptr) {
+      ++stats_.hits;
+      ++stats_.reloads;
+      return reloaded;
+    }
   }
   ++stats_.misses;
+  if (spill_ != nullptr && spill_->WasPruned(name)) {
+    return Status::Expired(
+        "dataset '" + name +
+        "' was evicted from memory, spilled to disk, and then pruned by "
+        "the spill byte budget (" + std::to_string(spill_->max_bytes()) +
+        " bytes); re-upload it to query again");
+  }
   if (evicted_.Contains(name)) {
     return Status::Expired(
         "dataset '" + name +
@@ -53,42 +86,101 @@ Result<GraphPtr> GraphStore::Get(const std::string& name) {
   return Status::NotFound("dataset '" + name + "' not found");
 }
 
+GraphPtr GraphStore::ReloadLocked(const std::string& name) {
+  Result<SpillTier::Loaded> loaded = spill_->Get(name);
+  if (!loaded.ok()) return nullptr;
+  Result<Graph> decoded = Graph::Deserialize(loaded->payload);
+  if (!decoded.ok()) {
+    // The checksum passed but the codec rejected the bytes — a stale or
+    // foreign file. Drop it so the name degrades to plain expiry instead
+    // of failing every future lookup.
+    CYCLERANK_LOG(kWarning) << "graph store: dropping undecodable spill of '"
+                            << name << "': " << decoded.status().ToString();
+    spill_->Erase(name);
+    return nullptr;
+  }
+  auto graph = std::make_shared<const Graph>(std::move(decoded).value());
+  const size_t bytes = graph->MemoryBytes();
+  if (max_bytes_ != 0 && bytes > max_bytes_) {
+    // The memory budget shrank below this dataset since it was admitted
+    // (options changed across a restart). Serve the pinned snapshot
+    // without re-admitting it; the disk copy stays authoritative.
+    return graph;
+  }
+  evicted_.Revive(name);
+  const uint64_t generation = loaded->meta;
+  next_generation_ = std::max(next_generation_, generation + 1);
+  lru_.Insert(name, Slot{graph, generation}, bytes);
+  // Promotion copies up — the disk entry is kept, so a later eviction of a
+  // clean entry skips re-serialization and a restart still recovers it.
+  EvictLocked();
+  return graph;
+}
+
 void GraphStore::EvictLocked() {
   if (max_bytes_ == 0) return;
-  while (bytes_ > max_bytes_ && lru_.size() > 1) {
+  while (lru_.OverBudget() && lru_.size() > 1) {
     // The least-recently-queried dataset goes first; the entry just
     // inserted sits at the front and already fits the budget alone, so the
     // loop always terminates before reaching it. Dropping the store's
     // reference never frees a graph an executor still pins.
-    Entry& victim = lru_.back();
-    bytes_ -= victim.bytes;
+    std::optional<ByteBudgetedLru<Slot>::Entry> victim = lru_.PopLeastRecent();
     ++stats_.evictions;
-    index_.erase(victim.name);
-    evicted_.Mark(victim.name);
-    lru_.pop_back();
+    if (spill_ != nullptr) {
+      // Demote to disk instead of destroying — unless the tier already
+      // holds this exact binding (a promoted reload), in which case the
+      // bytes on disk are already right.
+      if (spill_->Meta(victim->key) == victim->value.generation) {
+        ++stats_.spills;
+      } else {
+        const Status spilled =
+            spill_->Put(victim->key, victim->value.graph->Serialize(),
+                        victim->value.generation);
+        if (spilled.ok()) {
+          ++stats_.spills;
+        } else {
+          CYCLERANK_LOG(kWarning)
+              << "graph store: could not spill evicted dataset '"
+              << victim->key << "': " << spilled.ToString()
+              << "; dropping it instead";
+        }
+      }
+    }
+    evicted_.Mark(victim->key);
   }
   evicted_.Bound(kMaxEvictionMarkers);
 }
 
 uint64_t GraphStore::Generation(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(name);
-  return it == index_.end() ? 0 : it->second->generation;
+  if (const Slot* slot = lru_.Find(name)) return slot->generation;
+  // A spilled dataset keeps its binding generation — it is the same
+  // binding, merely demoted — so fingerprints (and cached results) survive
+  // the round trip to disk.
+  if (spill_ != nullptr) {
+    if (std::optional<uint64_t> meta = spill_->Meta(name)) return *meta;
+  }
+  return 0;
 }
 
 std::vector<std::string> GraphStore::Names() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<std::string> out;
-  out.reserve(index_.size());
-  for (const auto& [name, entry] : index_) out.push_back(name);
+  std::vector<std::string> out = lru_.Keys();
+  if (spill_ != nullptr) {
+    // Disk-resident datasets are uploaded too; merge the tiers.
+    std::vector<std::string> spilled = spill_->Keys();
+    out.insert(out.end(), spilled.begin(), spilled.end());
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
   return out;
 }
 
 GraphStoreStats GraphStore::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   GraphStoreStats snapshot = stats_;
-  snapshot.entries = index_.size();
-  snapshot.bytes = bytes_;
+  snapshot.entries = lru_.size();
+  snapshot.bytes = lru_.bytes();
   return snapshot;
 }
 

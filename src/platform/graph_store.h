@@ -3,43 +3,62 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <list>
-#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "graph/graph.h"
+#include "platform/byte_lru.h"
 #include "platform/expiry_markers.h"
+#include "platform/spill_tier.h"
 
 namespace cyclerank {
 
 /// Occupancy and effectiveness counters of a `GraphStore`.
 struct GraphStoreStats {
   uint64_t uploads = 0;     ///< datasets accepted by `Put`
-  uint64_t evictions = 0;   ///< datasets dropped to respect the byte budget
+  uint64_t evictions = 0;   ///< datasets dropped from memory to respect the
+                            ///< byte budget (spilled ones count too)
   uint64_t rejections = 0;  ///< uploads larger than the entire budget
+  uint64_t spills = 0;      ///< evictions demoted to the disk tier
+  uint64_t reloads = 0;     ///< `Get` calls served by reloading from disk
   uint64_t hits = 0;  ///< `Get` calls that returned a graph
   /// `Get` calls answered NotFound or Expired. In a catalog-backed
   /// `Datastore` this includes lookups that resolve in the catalog
   /// instead, so size budgets by hits/evictions/bytes, not raw misses.
   uint64_t misses = 0;
-  size_t entries = 0;       ///< live uploaded datasets
+  size_t entries = 0;       ///< live uploaded datasets (in memory)
   size_t bytes = 0;         ///< sum of `Graph::MemoryBytes()` of live datasets
 };
 
 /// The uploaded-datasets third of the Datastore decomposition: a
 /// byte-budgeted store of immutable graph snapshots with
-/// least-recently-queried eviction.
+/// least-recently-queried eviction, optionally backed by a disk
+/// `SpillTier`.
 ///
 /// `max_bytes` bounds the sum of `Graph::MemoryBytes()` over live entries
 /// (0 = unbounded). Uploading past the budget evicts the
 /// least-recently-queried datasets; a single graph larger than the whole
 /// budget is rejected up front with a byte-stating `kInvalidArgument`.
-/// Evicted names answer `kExpired` — distinguishable from never-uploaded
-/// (`kNotFound`) — until the FIFO-bounded marker set forgets them;
-/// re-uploading an evicted name revives it.
+///
+/// **Without a spill tier** (the historical behavior) evicted names answer
+/// `kExpired` — distinguishable from never-uploaded (`kNotFound`) — until
+/// the FIFO-bounded marker set forgets them; re-uploading an evicted name
+/// revives it.
+///
+/// **With a spill tier**, eviction *demotes* instead of destroying: the
+/// victim is serialized (`Graph::Serialize`) to the tier together with its
+/// binding generation, and a later `Get` transparently reloads it into the
+/// memory tier as most-recently-queried — same bytes, same generation, so
+/// results cached against the binding stay servable and never cross-serve
+/// a different binding. The disk copy is kept on reload (the entry is
+/// *promoted*, not moved), so a process restart recovers every spilled
+/// dataset; the generation counter restarts past the largest recovered
+/// generation. Only when the disk tier prunes the entry (its own byte
+/// budget) does the name expire for real — with an error message that says
+/// so. A name resident on disk counts as uploaded: re-`Put` answers
+/// `kAlreadyExists`, exactly like a memory-resident name.
 ///
 /// Eviction only drops the store's reference. Graphs are immutable and
 /// handed out as `shared_ptr` snapshots, so an executor that fetched a
@@ -56,54 +75,67 @@ class GraphStore {
   /// marker set O(1) in the upload churn.
   static constexpr size_t kMaxEvictionMarkers = 4096;
 
-  explicit GraphStore(size_t max_bytes = 0) : max_bytes_(max_bytes) {}
+  /// `spill` may be null (no disk tier) and must outlive the store. With a
+  /// spill tier, construction resumes the generation counter past every
+  /// recovered binding, so post-restart uploads can never collide with a
+  /// recovered dataset's fingerprint.
+  explicit GraphStore(size_t max_bytes = 0, SpillTier* spill = nullptr);
 
   GraphStore(const GraphStore&) = delete;
   GraphStore& operator=(const GraphStore&) = delete;
 
   /// Stores `graph` under `name`. Rejects empty names, null graphs,
-  /// duplicate live names (`kAlreadyExists`), and graphs whose
-  /// `MemoryBytes()` alone exceeds the budget (`kInvalidArgument`, stating
-  /// both byte figures). May evict least-recently-queried datasets to make
-  /// room; the new dataset is most-recent and never evicted by its own
-  /// insertion.
+  /// duplicate live names (`kAlreadyExists` — disk-resident names count as
+  /// live), and graphs whose `MemoryBytes()` alone exceeds the budget
+  /// (`kInvalidArgument`, stating both byte figures). May evict
+  /// least-recently-queried datasets to make room (demoting them to the
+  /// spill tier when one is attached); the new dataset is most-recent and
+  /// never evicted by its own insertion.
   Status Put(const std::string& name, GraphPtr graph);
 
   /// Fetches `name`, bumping it to most-recently-queried under the lookup
-  /// lock. `kExpired` for evicted names, `kNotFound` otherwise.
+  /// lock; a spilled dataset is transparently reloaded from disk first.
+  /// `kExpired` for names evicted (and, with a spill tier, pruned from
+  /// disk — the message distinguishes the two), `kNotFound` otherwise.
   Result<GraphPtr> Get(const std::string& name);
 
   /// Generation of `name`'s current binding: a process-unique counter
-  /// assigned at every successful `Put`, 0 when the name is not live.
+  /// assigned at every successful `Put`, 0 when the name is not live. A
+  /// dataset demoted to the spill tier keeps its generation (it is the
+  /// same binding, merely colder), so cached results survive the demotion.
   /// Because eviction + re-upload can bind one *name* to different
   /// content, result-cache and single-flight keys qualify the dataset name
   /// with this generation — two bindings can never share a key.
   uint64_t Generation(const std::string& name) const;
 
-  /// Names of live datasets, sorted.
+  /// Names of live datasets (memory- or disk-resident), sorted.
   std::vector<std::string> Names() const;
 
   GraphStoreStats stats() const;
   size_t max_bytes() const { return max_bytes_; }
 
  private:
-  struct Entry {
-    std::string name;
+  /// What the store keeps per memory-resident dataset.
+  struct Slot {
     GraphPtr graph;
-    size_t bytes = 0;
     uint64_t generation = 0;
   };
 
-  /// Evicts least-recently-queried entries until the budget holds, then
-  /// bounds the marker set; requires `mu_`.
+  /// Evicts least-recently-queried entries until the budget holds —
+  /// demoting them to the spill tier when one is attached — then bounds
+  /// the marker set; requires `mu_`.
   void EvictLocked();
 
+  /// Reloads `name` from the spill tier into the memory tier (most-recent,
+  /// original generation); requires `mu_`. Returns null on a spill miss or
+  /// a corrupt/undecodable spill file (which is dropped with a warning).
+  GraphPtr ReloadLocked(const std::string& name);
+
   const size_t max_bytes_;  // 0 = unbounded
+  SpillTier* const spill_;  // not owned, may be null
   mutable std::mutex mu_;
-  std::list<Entry> lru_;  ///< front = most recently queried
-  std::map<std::string, std::list<Entry>::iterator> index_;
+  ByteBudgetedLru<Slot> lru_;  ///< memory tier: list + index + bytes
   ExpiryMarkers evicted_;  ///< names answered with kExpired
-  size_t bytes_ = 0;
   uint64_t next_generation_ = 1;  ///< 0 is reserved for "not live"
   GraphStoreStats stats_;
 };

@@ -103,6 +103,14 @@ Result<PlatformOptions> PlatformOptions::FromString(std::string_view text) {
     } else if (key == "max_tasks_per_submission") {
       CYCLERANK_ASSIGN_OR_RETURN(options.max_tasks_per_submission,
                                  ParseCount(key, value));
+    } else if (key == "spill_dir") {
+      options.spill_dir = value;
+    } else if (key == "graph_spill_bytes") {
+      CYCLERANK_ASSIGN_OR_RETURN(options.graph_spill_bytes,
+                                 ParseByteSize(key, value));
+    } else if (key == "result_spill_bytes") {
+      CYCLERANK_ASSIGN_OR_RETURN(options.result_spill_bytes,
+                                 ParseByteSize(key, value));
     } else {
       // Unknown keys are rejected, mirroring BuildRequest: a typo like
       // "graph_store_byte=1g" silently running unbounded would defeat the
@@ -123,11 +131,17 @@ std::string PlatformOptions::ToString() const {
     out += std::string(key) + "=" + std::to_string(value);
   };
   append("default_threads", default_threads);
+  append("graph_spill_bytes", graph_spill_bytes);
   append("graph_store_bytes", graph_store_bytes);
   append("max_retained_results", max_retained_results);
   append("max_tasks_per_submission", max_tasks_per_submission);
   append("num_workers", num_workers);
   append("result_cache_bytes", result_cache_bytes);
+  append("result_spill_bytes", result_spill_bytes);
+  // The string-valued knob rides the same sorted "key=value" form; an
+  // empty value parses back to the empty (disabled) default.
+  if (!out.empty()) out += ", ";
+  out += "spill_dir=" + spill_dir;
   append("uuid_seed", uuid_seed);
   return out;
 }

@@ -62,6 +62,33 @@ struct PlatformOptions {
   /// sets are rejected synchronously with `kInvalidArgument`. 0 = unlimited.
   size_t max_tasks_per_submission = 0;
 
+  /// Root directory of the disk spill tier. When non-empty, datasets and
+  /// results evicted by the byte budgets above are *demoted* to
+  /// `<spill_dir>/datasets` and `<spill_dir>/results` instead of
+  /// destroyed, transparently reloaded on the next lookup, and recovered
+  /// after a process restart. Empty (the default) keeps the historical
+  /// drop-on-evict behavior. The path must not contain the option
+  /// grammar's separators (`,`, `;`, `=`) if it is to round-trip through
+  /// `FromString`.
+  std::string spill_dir;
+
+  /// Byte budget of the dataset spill tier (on-disk file bytes); past it
+  /// the least-recently-used spilled datasets are pruned — only then does
+  /// an evicted name truly expire. 0 = unbounded disk use.
+  size_t graph_spill_bytes = 0;
+
+  /// Byte budget of the result spill tier; same semantics.
+  size_t result_spill_bytes = 0;
+
+  /// Options with only the scheduler knobs set — the common shape of the
+  /// examples, CLI, bench drivers, and test harnesses.
+  static PlatformOptions WithWorkers(size_t workers, uint64_t uuid_seed = 0) {
+    PlatformOptions options;
+    options.num_workers = workers;
+    options.uuid_seed = uuid_seed;
+    return options;
+  }
+
   /// Parses "key=value" pairs separated by commas or semicolons — the same
   /// grammar as task parameters (`ParamMap::Parse`): whitespace-tolerant,
   /// case-insensitive keys, duplicate keys rejected. Unknown keys are
@@ -84,7 +111,10 @@ struct PlatformOptions {
            a.num_workers == b.num_workers &&
            a.default_threads == b.default_threads &&
            a.uuid_seed == b.uuid_seed &&
-           a.max_tasks_per_submission == b.max_tasks_per_submission;
+           a.max_tasks_per_submission == b.max_tasks_per_submission &&
+           a.spill_dir == b.spill_dir &&
+           a.graph_spill_bytes == b.graph_spill_bytes &&
+           a.result_spill_bytes == b.result_spill_bytes;
   }
 };
 

@@ -6,14 +6,13 @@ namespace cyclerank {
 
 std::optional<TaskResult> ResultCache::Get(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
+  TaskResult* result = lru_.Touch(key);
+  if (result == nullptr) {
     ++stats_.misses;
     return std::nullopt;
   }
   ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->result;
+  return *result;
 }
 
 void ResultCache::Put(const std::string& key, TaskResult result) {
@@ -23,66 +22,44 @@ void ResultCache::Put(const std::string& key, TaskResult result) {
     ++stats_.rejected;
     return;
   }
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    stats_.bytes -= it->second->bytes;
-    lru_.erase(it->second);
-    index_.erase(it);
-    --stats_.entries;
-  }
-  lru_.push_front(Entry{key, std::move(result), bytes});
-  index_[key] = lru_.begin();
-  stats_.bytes += bytes;
-  ++stats_.entries;
+  lru_.Erase(key);  // overwrite-on-duplicate policy
+  lru_.Insert(key, std::move(result), bytes);
   ++stats_.insertions;
   EvictLocked();
 }
 
 void ResultCache::EvictLocked() {
-  while (stats_.bytes > max_bytes_ && !lru_.empty()) {
-    const Entry& victim = lru_.back();
-    stats_.bytes -= victim.bytes;
-    index_.erase(victim.key);
-    lru_.pop_back();
-    --stats_.entries;
+  while (lru_.OverBudget()) {
+    lru_.PopLeastRecent();
     ++stats_.evictions;
   }
 }
 
 size_t ResultCache::ErasePrefix(const std::string& prefix) {
   std::lock_guard<std::mutex> lock(mu_);
-  size_t erased = 0;
-  // index_ is ordered, so the matching keys form one contiguous range.
-  for (auto it = index_.lower_bound(prefix);
-       it != index_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
-       it = index_.erase(it)) {
-    stats_.bytes -= it->second->bytes;
-    lru_.erase(it->second);
-    --stats_.entries;
-    ++stats_.invalidations;
-    ++erased;
-  }
+  const size_t erased = lru_.ErasePrefix(prefix).size();
+  stats_.invalidations += erased;
   return erased;
 }
 
 void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  lru_.clear();
-  index_.clear();
-  stats_.entries = 0;
-  stats_.bytes = 0;
+  lru_.Clear();
 }
 
 ResultCacheStats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ResultCacheStats snapshot = stats_;
+  snapshot.entries = lru_.size();
+  snapshot.bytes = lru_.bytes();
+  return snapshot;
 }
 
 size_t ResultCache::EstimateBytes(const std::string& key,
                                   const TaskResult& result) {
-  // Fixed overhead: the Entry node, the index map node, and the string /
+  // Fixed overhead: the LRU node, the index map node, and the string /
   // vector headers the payload sizes below do not include.
-  constexpr size_t kOverhead = sizeof(Entry) + 128;
+  constexpr size_t kOverhead = sizeof(ByteBudgetedLru<TaskResult>::Entry) + 128;
   return kOverhead + key.size() + result.task_id.size() +
          result.spec.dataset.size() + result.spec.algorithm.size() +
          result.spec.params.ToString().size() +

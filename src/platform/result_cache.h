@@ -3,12 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <list>
-#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
 
+#include "platform/byte_lru.h"
 #include "platform/task.h"
 
 namespace cyclerank {
@@ -46,7 +45,7 @@ class ResultCache {
   static constexpr size_t kDefaultMaxBytes = 64u << 20;  // 64 MiB
 
   explicit ResultCache(size_t max_bytes = kDefaultMaxBytes)
-      : max_bytes_(max_bytes) {}
+      : max_bytes_(max_bytes), lru_(max_bytes) {}
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -75,20 +74,13 @@ class ResultCache {
   static size_t EstimateBytes(const std::string& key, const TaskResult& result);
 
  private:
-  struct Entry {
-    std::string key;
-    TaskResult result;
-    size_t bytes = 0;
-  };
-
-  /// Evicts LRU entries until `bytes <= max_bytes_`; requires `mu_`.
+  /// Evicts LRU entries until the budget holds; requires `mu_`.
   void EvictLocked();
 
   const size_t max_bytes_;
   mutable std::mutex mu_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::map<std::string, std::list<Entry>::iterator> index_;
-  ResultCacheStats stats_;
+  ByteBudgetedLru<TaskResult> lru_;  ///< list + index + byte accounting
+  ResultCacheStats stats_;           ///< counters only; entries/bytes from lru_
 };
 
 }  // namespace cyclerank

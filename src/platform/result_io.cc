@@ -3,10 +3,21 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/binary_io.h"
 #include "common/strings.h"
 
 namespace cyclerank {
 namespace {
+
+/// Magic + version prefix of the binary result encoding; bumped on any
+/// layout change so stale spill files are rejected, not misread.
+constexpr std::string_view kResultMagic = "CYRR1\n";
+
+constexpr uint32_t kMaxStatusCode = static_cast<uint32_t>(StatusCode::kExpired);
+
+Status ResultCorrupt(const std::string& detail) {
+  return Status::ParseError("result codec: " + detail);
+}
 
 std::string FormatScore(double value) {
   char buf[64];
@@ -214,6 +225,83 @@ std::string ComparisonToJson(const ComparisonStatus& status,
   json.EndArray();
   json.EndObject();
   return json.str();
+}
+
+std::string SerializeTaskResult(const TaskResult& result) {
+  std::string out;
+  out.reserve(kResultMagic.size() + 128 + result.task_id.size() +
+              result.ranking.size() * (sizeof(uint32_t) + sizeof(double)));
+  out.append(kResultMagic);
+  binio::AppendString(&out, result.task_id);
+  binio::AppendString(&out, result.spec.dataset);
+  binio::AppendString(&out, result.spec.algorithm);
+  // Parameters as explicit key/value pairs — unlike ParamMap::ToString,
+  // this round-trips values that contain the grammar's separators.
+  const std::vector<std::string> keys = result.spec.params.Keys();
+  binio::AppendU64(&out, keys.size());
+  for (const std::string& key : keys) {
+    binio::AppendString(&out, key);
+    binio::AppendString(&out, result.spec.params.GetString(key, ""));
+  }
+  binio::AppendU32(&out, static_cast<uint32_t>(result.status.code()));
+  binio::AppendString(&out, result.status.message());
+  binio::AppendDouble(&out, result.seconds);
+  binio::AppendU64(&out, result.ranking.size());
+  for (const ScoredNode& entry : result.ranking) {
+    binio::AppendU32(&out, entry.node);
+    binio::AppendDouble(&out, entry.score);
+  }
+  return out;
+}
+
+Result<TaskResult> DeserializeTaskResult(std::string_view bytes) {
+  if (bytes.substr(0, kResultMagic.size()) != kResultMagic) {
+    return ResultCorrupt("bad magic (not a serialized result, or an "
+                         "incompatible codec version)");
+  }
+  binio::Reader reader(bytes.substr(kResultMagic.size()));
+  TaskResult result;
+  if (!reader.ReadString(&result.task_id) ||
+      !reader.ReadString(&result.spec.dataset) ||
+      !reader.ReadString(&result.spec.algorithm)) {
+    return ResultCorrupt("truncated identity section");
+  }
+  uint64_t num_params = 0;
+  if (!reader.ReadU64(&num_params)) return ResultCorrupt("truncated params");
+  std::string key, value;
+  for (uint64_t i = 0; i < num_params; ++i) {
+    if (!reader.ReadString(&key) || !reader.ReadString(&value)) {
+      return ResultCorrupt("truncated parameter pair");
+    }
+    if (key.empty() || result.spec.params.Has(key)) {
+      return ResultCorrupt("empty or duplicate parameter key '" + key + "'");
+    }
+    result.spec.params.Set(key, value);
+  }
+  uint32_t code = 0;
+  std::string message;
+  if (!reader.ReadU32(&code) || code > kMaxStatusCode ||
+      !reader.ReadString(&message)) {
+    return ResultCorrupt("truncated or out-of-range status");
+  }
+  result.status = Status(static_cast<StatusCode>(code), std::move(message));
+  if (!reader.ReadDouble(&result.seconds)) {
+    return ResultCorrupt("truncated timing");
+  }
+  uint64_t num_ranked = 0;
+  if (!reader.ReadU64(&num_ranked) ||
+      num_ranked > reader.remaining() / (sizeof(uint32_t) + sizeof(double))) {
+    return ResultCorrupt("ranking length exceeds the buffer");
+  }
+  result.ranking.resize(num_ranked);
+  for (uint64_t i = 0; i < num_ranked; ++i) {
+    if (!reader.ReadU32(&result.ranking[i].node) ||
+        !reader.ReadDouble(&result.ranking[i].score)) {
+      return ResultCorrupt("truncated ranking entry");
+    }
+  }
+  if (!reader.AtEnd()) return ResultCorrupt("trailing bytes after the result");
+  return result;
 }
 
 std::string RankingToCsv(const RankedList& ranking,

@@ -50,6 +50,18 @@ std::string ComparisonToJson(const ComparisonStatus& status,
 std::string RankingToCsv(const RankedList& ranking,
                          const ResultExportOptions& options = {});
 
+/// Compact binary encoding of a `TaskResult` — the storage layer's
+/// spill-to-disk format (little-endian fixed-width fields; scores travel as
+/// IEEE-754 bit patterns, never through text). Unlike the JSON/CSV exports
+/// above it is lossless: `DeserializeTaskResult(SerializeTaskResult(r))`
+/// reproduces `r` bit-identically, including the status code/message and
+/// every ranking score.
+std::string SerializeTaskResult(const TaskResult& result);
+
+/// Decodes a `SerializeTaskResult` buffer; a truncated or corrupted buffer
+/// yields `kParseError`.
+Result<TaskResult> DeserializeTaskResult(std::string_view bytes);
+
 }  // namespace cyclerank
 
 #endif  // CYCLERANK_PLATFORM_RESULT_IO_H_

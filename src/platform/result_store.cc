@@ -4,31 +4,30 @@
 
 namespace cyclerank {
 
-std::vector<std::string> ResultStore::Put(TaskResult result) {
+std::vector<TaskResult> ResultStore::Put(TaskResult result) {
   std::lock_guard<std::mutex> lock(mu_);
   const std::string id = result.task_id;
   auto [it, inserted] = results_.insert_or_assign(id, std::move(result));
   (void)it;
-  std::vector<std::string> evicted_ids;
+  std::vector<TaskResult> evicted;
   // Unlimited mode keeps no retention bookkeeping at all — the FIFO would
   // otherwise grow one id per stored result forever.
-  if (max_retained_ == 0) return evicted_ids;
-  if (!inserted) return evicted_ids;  // retry overwrite: slot unchanged
+  if (max_retained_ == 0) return evicted;
+  if (!inserted) return evicted;  // retry overwrite: slot unchanged
   // A re-stored result revives an evicted id.
   evicted_.Revive(id);
   retention_fifo_.push_back(id);
-  EnforceRetentionLocked(&evicted_ids);
-  return evicted_ids;
+  EnforceRetentionLocked(&evicted);
+  return evicted;
 }
 
-void ResultStore::EnforceRetentionLocked(
-    std::vector<std::string>* evicted_ids) {
+void ResultStore::EnforceRetentionLocked(std::vector<TaskResult>* evicted) {
   while (results_.size() > max_retained_) {
     const std::string oldest = std::move(retention_fifo_.front());
     retention_fifo_.pop_front();
-    results_.erase(oldest);
+    auto node = results_.extract(oldest);
+    if (!node.empty()) evicted->push_back(std::move(node.mapped()));
     evicted_.Mark(oldest);
-    evicted_ids->push_back(oldest);
   }
   // The eviction-marker set is FIFO-bounded too (by the same knob), so the
   // store's footprint stays O(max_retained) forever.

@@ -34,10 +34,12 @@ class ResultStore {
   ResultStore& operator=(const ResultStore&) = delete;
 
   /// Stores `result` under its task id (overwrites on retry without
-  /// refreshing the retention slot). Returns the ids evicted by the
+  /// refreshing the retention slot). Returns the *results* evicted by the
   /// retention bound — the caller (the `Datastore` facade) drops their
-  /// logs, keeping the two stores consistent without sharing a lock.
-  std::vector<std::string> Put(TaskResult result);
+  /// logs and, when a spill tier is configured, demotes them to disk;
+  /// returning the full values (not just ids) is what makes the demotion
+  /// possible without a second lookup race.
+  std::vector<TaskResult> Put(TaskResult result);
 
   /// The stored result; `kExpired` when the retention bound evicted it,
   /// `kNotFound` when it was never stored (or its marker fell off).
@@ -50,9 +52,9 @@ class ResultStore {
   size_t size() const;
 
  private:
-  /// Evicts the oldest results past the retention bound into `evicted_ids`;
+  /// Evicts the oldest results past the retention bound into `evicted`;
   /// requires `mu_`.
-  void EnforceRetentionLocked(std::vector<std::string>* evicted_ids);
+  void EnforceRetentionLocked(std::vector<TaskResult>* evicted);
 
   const size_t max_retained_;  // 0 = unlimited
   mutable std::mutex mu_;

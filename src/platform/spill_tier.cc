@@ -1,0 +1,452 @@
+#include "platform/spill_tier.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/binary_io.h"
+#include "common/logging.h"
+
+namespace fs = std::filesystem;
+
+namespace cyclerank {
+namespace {
+
+/// Spill file layout (all integers little-endian):
+///   magic "CYSP1\n"                        6 bytes
+///   meta word (opaque to the tier)         u64
+///   FNV-1a 64 checksum of the payload      u64
+///   original key                           u64 length + bytes
+///   payload                                u64 length + bytes
+/// The key is stored *in* the file, so recovery never has to invert the
+/// filename encoding, and a renamed file still identifies itself.
+constexpr std::string_view kSpillMagic = "CYSP1\n";
+constexpr size_t kFixedHeaderBytes = 6 + 8 + 8;  // magic + meta + checksum
+
+constexpr std::string_view kManifestName = "manifest";
+constexpr std::string_view kManifestMagic = "cyclerank-spill-manifest v1";
+constexpr std::string_view kSpillSuffix = ".spill";
+
+/// Filesystem-safe, injective encoding of a key: alphanumerics and
+/// `._-` pass through, everything else is %-escaped. Over-long names are
+/// truncated with the full key's hash appended (the true key is read from
+/// the file, never decoded from the name).
+std::string SpillFileName(const std::string& key) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(key.size() + 8);
+  for (const char c : key) {
+    const auto byte = static_cast<unsigned char>(c);
+    if (std::isalnum(byte) != 0 || c == '.' || c == '_' || c == '-') {
+      out += c;
+    } else {
+      out += '%';
+      out += kHex[byte >> 4];
+      out += kHex[byte & 0xf];
+    }
+  }
+  if (out.size() > 200) {
+    std::string hash;
+    binio::AppendU64(&hash, binio::Fnv1a64(key));
+    std::string hex;
+    for (const char c : hash) {
+      const auto byte = static_cast<unsigned char>(c);
+      hex += kHex[byte >> 4];
+      hex += kHex[byte & 0xf];
+    }
+    out = out.substr(0, 160) + "-" + hex;
+  }
+  return out + std::string(kSpillSuffix);
+}
+
+/// Everything recovery needs from a spill file without reading its payload.
+struct SpillFileInfo {
+  std::string key;
+  uint64_t meta = 0;
+  uint64_t file_bytes = 0;
+};
+
+/// Validates the header of `path` (magic, lengths vs the on-disk size).
+/// Payload bytes stay unread — checksums are verified on `Get`, when the
+/// payload is needed anyway. Returns nullopt with a reason for corrupt or
+/// truncated files.
+std::optional<SpillFileInfo> ReadSpillFileInfo(const fs::path& path,
+                                               std::string* why) {
+  std::error_code ec;
+  const uint64_t file_bytes = fs::file_size(path, ec);
+  if (ec) {
+    *why = "unreadable (" + ec.message() + ")";
+    return std::nullopt;
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::string header(kFixedHeaderBytes + 8, '\0');
+  if (!in.read(header.data(), static_cast<std::streamsize>(header.size()))) {
+    *why = "truncated before the key";
+    return std::nullopt;
+  }
+  if (std::string_view(header).substr(0, kSpillMagic.size()) != kSpillMagic) {
+    *why = "bad magic";
+    return std::nullopt;
+  }
+  binio::Reader reader(std::string_view(header).substr(kSpillMagic.size()));
+  SpillFileInfo info;
+  info.file_bytes = file_bytes;
+  uint64_t checksum = 0;
+  uint64_t key_len = 0;
+  (void)reader.ReadU64(&info.meta);
+  (void)reader.ReadU64(&checksum);
+  (void)reader.ReadU64(&key_len);
+  if (key_len > file_bytes - std::min<uint64_t>(file_bytes,
+                                                kFixedHeaderBytes + 8)) {
+    *why = "key length exceeds the file";
+    return std::nullopt;
+  }
+  info.key.resize(key_len);
+  std::string payload_len_bytes(8, '\0');
+  if (!in.read(info.key.data(), static_cast<std::streamsize>(key_len)) ||
+      !in.read(payload_len_bytes.data(), 8)) {
+    *why = "truncated inside the key";
+    return std::nullopt;
+  }
+  uint64_t payload_len = 0;
+  binio::Reader payload_reader(payload_len_bytes);
+  (void)payload_reader.ReadU64(&payload_len);
+  const uint64_t expected =
+      kFixedHeaderBytes + 8 + key_len + 8 + payload_len;
+  if (expected != file_bytes) {
+    *why = "payload length disagrees with the file size (truncated write?)";
+    return std::nullopt;
+  }
+  return info;
+}
+
+}  // namespace
+
+SpillTier::SpillTier(std::string dir, size_t max_bytes, std::string what)
+    : dir_(std::move(dir)),
+      max_bytes_(max_bytes),
+      what_(std::move(what)),
+      lru_(max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    CYCLERANK_LOG(kError) << "spill tier (" << what_
+                          << "): cannot create directory '" << dir_ << "': "
+                          << ec.message() << "; tier disabled, eviction "
+                          << "degrades to drop";
+    return;
+  }
+  enabled_ = true;
+  RecoverLocked();
+}
+
+bool SpillTier::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void SpillTier::RecoverLocked() {
+  // Pass 1: every *.spill file with a valid header, keyed by filename.
+  std::map<std::string, SpillFileInfo> valid;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string filename = entry.path().filename().string();
+    if (!entry.is_regular_file() || filename.size() < kSpillSuffix.size() ||
+        filename.compare(filename.size() - kSpillSuffix.size(),
+                         kSpillSuffix.size(), kSpillSuffix) != 0) {
+      continue;  // the manifest, temp files, strangers
+    }
+    std::string why;
+    std::optional<SpillFileInfo> info = ReadSpillFileInfo(entry.path(), &why);
+    if (!info.has_value()) {
+      ++stats_.skipped;
+      CYCLERANK_LOG(kWarning) << "spill tier (" << what_
+                              << "): skipping spill file '" << filename
+                              << "' during recovery: " << why;
+      continue;
+    }
+    valid.emplace(filename, std::move(*info));
+  }
+  // Pass 2: recency order — manifest-listed files first (hottest first),
+  // unlisted stragglers appended coldest, sorted by name for determinism.
+  std::vector<std::string> ordered;
+  std::set<std::string> listed;
+  std::ifstream manifest(fs::path(dir_) / kManifestName);
+  std::string line;
+  bool manifest_ok = false;
+  if (manifest && std::getline(manifest, line) && line == kManifestMagic) {
+    manifest_ok = true;
+    while (std::getline(manifest, line)) {
+      if (!line.empty() && valid.count(line) != 0 && listed.insert(line).second) {
+        ordered.push_back(line);
+      }
+    }
+  }
+  for (const auto& [filename, info] : valid) {
+    if (listed.count(filename) == 0) ordered.push_back(filename);
+  }
+  // Insert coldest-first so the front of the LRU ends up hottest.
+  for (auto it = ordered.rbegin(); it != ordered.rend(); ++it) {
+    SpillFileInfo& info = valid.at(*it);
+    if (lru_.Contains(info.key)) {
+      ++stats_.skipped;
+      CYCLERANK_LOG(kWarning) << "spill tier (" << what_
+                              << "): skipping spill file '" << *it
+                              << "': duplicate key '" << info.key << "'";
+      continue;
+    }
+    lru_.Insert(info.key, Info{info.meta},
+                static_cast<size_t>(info.file_bytes));
+    ++stats_.recovered;
+  }
+  if (stats_.recovered != 0 || stats_.skipped != 0) {
+    CYCLERANK_LOG(kInfo) << "spill tier (" << what_ << "): recovered "
+                         << stats_.recovered << " " << what_
+                         << "(s) from '" << dir_ << "' ("
+                         << lru_.bytes() << " bytes), skipped "
+                         << stats_.skipped;
+  }
+  PruneLocked();
+  if (!manifest_ok || stats_.skipped != 0 || stats_.prunes != 0) {
+    WriteManifestLocked();
+  }
+}
+
+Status SpillTier::Put(const std::string& key, std::string_view payload,
+                      uint64_t meta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) {
+    return Status::FailedPrecondition("spill tier (" + what_ +
+                                      "): disabled (directory '" + dir_ +
+                                      "' could not be initialized)");
+  }
+  std::string file;
+  file.reserve(kFixedHeaderBytes + 16 + key.size() + payload.size());
+  file.append(kSpillMagic);
+  binio::AppendU64(&file, meta);
+  binio::AppendU64(&file, binio::Fnv1a64(payload));
+  binio::AppendString(&file, key);
+  binio::AppendString(&file, payload);
+  if (max_bytes_ != 0 && file.size() > max_bytes_) {
+    // The entry cannot be demoted at all. Drop any older spill of the key
+    // (it is superseded either way) and remember the key as pruned, so
+    // lookups report disk-budget pressure instead of "never stored".
+    if (lru_.Erase(key).has_value()) RemoveFileLocked(key);
+    pruned_.Mark(key);
+    pruned_.Bound(kMaxPrunedMarkers);
+    WriteManifestLocked();
+    return Status::InvalidArgument(
+        "spill tier (" + what_ + "): '" + key + "' needs " +
+        std::to_string(file.size()) + " bytes on disk, larger than the " +
+        "entire spill budget of " + std::to_string(max_bytes_) + " bytes");
+  }
+  const std::string path = FilePath(key);
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    out.write(file.data(), static_cast<std::streamsize>(file.size()));
+    out.close();
+    if (out.fail()) {
+      std::error_code ec;
+      fs::remove(tmp_path, ec);
+      return Status::IOError("spill tier (" + what_ + "): cannot write '" +
+                             tmp_path + "'");
+    }
+  }
+  std::error_code rename_ec;
+  fs::rename(tmp_path, path, rename_ec);
+  if (rename_ec) {
+    std::error_code cleanup_ec;
+    fs::remove(tmp_path, cleanup_ec);
+    return Status::IOError("spill tier (" + what_ + "): cannot rename '" +
+                           tmp_path + "' into place: " + rename_ec.message());
+  }
+  lru_.Erase(key);  // overwrite: the rename already replaced the file
+  pruned_.Revive(key);
+  lru_.Insert(key, Info{meta}, file.size());
+  ++stats_.spills;
+  PruneLocked();
+  WriteManifestLocked();
+  return Status::OK();
+}
+
+Result<SpillTier::Loaded> SpillTier::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Info* info = lru_.Touch(key);
+  if (info == nullptr) {
+    ++stats_.misses;
+    if (pruned_.Contains(key)) {
+      return Status::Expired("spill tier (" + what_ + "): '" + key +
+                             "' was spilled to disk and then pruned by the "
+                             "spill byte budget (" +
+                             std::to_string(max_bytes_) + " bytes)");
+    }
+    return Status::NotFound("spill tier (" + what_ + "): no spill file for '" +
+                            key + "'");
+  }
+  const std::string path = FilePath(key);
+  std::string file;
+  {
+    // One sized read, one copy — this is the reload path that replaces a
+    // kernel recompute, and it runs under the tier's lock. An unopenable
+    // or short-read file yields a buffer the magic/length checks below
+    // classify as corrupt.
+    std::error_code size_ec;
+    const uint64_t file_bytes = fs::file_size(path, size_ec);
+    std::ifstream in(path, std::ios::binary);
+    if (!size_ec && in) {
+      file.resize(file_bytes);
+      if (!in.read(file.data(), static_cast<std::streamsize>(file.size()))) {
+        file.clear();
+      }
+    }
+  }
+  // Re-validate everything before trusting the bytes: magic, the embedded
+  // key, and the payload checksum. Any mismatch means bit rot or a torn
+  // write — drop the entry with a warning instead of handing corrupt bytes
+  // to a codec.
+  const auto corrupt = [&](const std::string& why) -> Status {
+    CYCLERANK_LOG(kWarning) << "spill tier (" << what_
+                            << "): dropping corrupt spill file '" << path
+                            << "': " << why;
+    lru_.Erase(key);
+    RemoveFileLocked(key);
+    ++stats_.skipped;
+    WriteManifestLocked();
+    return Status::IOError("spill tier (" + what_ + "): spill file for '" +
+                           key + "' is corrupt (" + why + ")");
+  };
+  if (std::string_view(file).substr(0, kSpillMagic.size()) != kSpillMagic) {
+    return corrupt("bad magic");
+  }
+  binio::Reader reader(std::string_view(file).substr(kSpillMagic.size()));
+  Loaded loaded;
+  uint64_t checksum = 0;
+  std::string stored_key;
+  if (!reader.ReadU64(&loaded.meta) || !reader.ReadU64(&checksum) ||
+      !reader.ReadString(&stored_key) || !reader.ReadString(&loaded.payload) ||
+      !reader.AtEnd()) {
+    return corrupt("truncated");
+  }
+  if (stored_key != key) {
+    return corrupt("embedded key '" + stored_key + "' does not match");
+  }
+  if (binio::Fnv1a64(loaded.payload) != checksum) {
+    return corrupt("payload checksum mismatch");
+  }
+  ++stats_.reloads;
+  // Recency moved but the manifest is only rewritten on Put/Erase/prune:
+  // a read-heavy workload must not pay a manifest write per reload, and
+  // losing recency on crash only costs pruning accuracy, never data.
+  return loaded;
+}
+
+bool SpillTier::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.Contains(key);
+}
+
+std::optional<uint64_t> SpillTier::Meta(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Info* info = lru_.Find(key);
+  if (info == nullptr) return std::nullopt;
+  return info->meta;
+}
+
+bool SpillTier::WasPruned(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pruned_.Contains(key);
+}
+
+void SpillTier::Erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pruned_.Revive(key);
+  if (!lru_.Erase(key).has_value()) return;
+  RemoveFileLocked(key);
+  WriteManifestLocked();
+}
+
+std::vector<std::string> SpillTier::Keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.Keys();
+}
+
+uint64_t SpillTier::MaxMeta() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t max_meta = 0;
+  for (const std::string& key : lru_.Keys()) {
+    max_meta = std::max(max_meta, lru_.Find(key)->meta);
+  }
+  return max_meta;
+}
+
+SpillTierStats SpillTier::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpillTierStats snapshot = stats_;
+  snapshot.entries = lru_.size();
+  snapshot.bytes = lru_.bytes();
+  return snapshot;
+}
+
+void SpillTier::PruneLocked() {
+  while (lru_.OverBudget()) {
+    std::optional<ByteBudgetedLru<Info>::Entry> victim = lru_.PopLeastRecent();
+    if (!victim.has_value()) break;
+    RemoveFileLocked(victim->key);
+    pruned_.Mark(victim->key);
+    ++stats_.prunes;
+  }
+  pruned_.Bound(kMaxPrunedMarkers);
+}
+
+void SpillTier::WriteManifestLocked() {
+  if (!enabled_) return;
+  const fs::path manifest_path = fs::path(dir_) / kManifestName;
+  const fs::path tmp_path = fs::path(dir_) / "manifest.tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    out << kManifestMagic << "\n";
+    // Hottest first — the recovery scan replays this order into the LRU.
+    for (const std::string& key : lru_.KeysByRecency()) {
+      out << SpillFileName(key) << "\n";
+    }
+    out.close();
+    if (out.fail()) {
+      CYCLERANK_LOG(kWarning) << "spill tier (" << what_
+                              << "): cannot write manifest in '" << dir_
+                              << "'";
+      std::error_code ec;
+      fs::remove(tmp_path, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, manifest_path, ec);
+  if (ec) {
+    CYCLERANK_LOG(kWarning) << "spill tier (" << what_
+                            << "): cannot rename manifest into place: "
+                            << ec.message();
+    fs::remove(tmp_path, ec);
+  }
+}
+
+void SpillTier::RemoveFileLocked(const std::string& key) {
+  std::error_code ec;
+  fs::remove(FilePath(key), ec);
+  if (ec) {
+    CYCLERANK_LOG(kWarning) << "spill tier (" << what_
+                            << "): cannot remove spill file for '" << key
+                            << "': " << ec.message();
+  }
+}
+
+std::string SpillTier::FilePath(const std::string& key) const {
+  return (fs::path(dir_) / SpillFileName(key)).string();
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,156 @@
+#ifndef CYCLERANK_PLATFORM_SPILL_TIER_H_
+#define CYCLERANK_PLATFORM_SPILL_TIER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "platform/byte_lru.h"
+#include "platform/expiry_markers.h"
+
+namespace cyclerank {
+
+/// Occupancy and effectiveness counters of a `SpillTier`.
+struct SpillTierStats {
+  uint64_t spills = 0;   ///< entries persisted by `Put`
+  uint64_t reloads = 0;  ///< `Get` calls served from disk
+  uint64_t misses = 0;   ///< `Get` calls with no spill file
+  uint64_t prunes = 0;   ///< entries dropped to respect the disk budget
+  uint64_t recovered = 0;  ///< entries restored by the construction scan
+  uint64_t skipped = 0;  ///< corrupt/truncated files skipped (recovery or Get)
+  size_t entries = 0;    ///< live spilled entries
+  size_t bytes = 0;      ///< on-disk bytes of live entries
+};
+
+/// The disk tier of the datastore's storage hierarchy: when a byte-budgeted
+/// in-memory store evicts under pressure, the victim is *demoted* here
+/// instead of destroyed, and a later lookup transparently reloads it.
+///
+/// One tier manages one directory of self-describing files (magic +
+/// version + metadata word + payload checksum + the original key + the
+/// payload), plus a `manifest` recording recency order. Construction runs a
+/// recovery scan: the manifest seeds the LRU order, unlisted valid files
+/// are appended coldest-last, and corrupt or truncated files are skipped
+/// with a logged warning — a half-written file from a crash can never take
+/// recovery down. The tier is itself byte-budgeted (`max_bytes`, 0 =
+/// unbounded, accounted in on-disk file bytes): past the budget the
+/// least-recently-used entries are pruned, and their keys then answer
+/// `WasPruned` so the owning store can tell "expired (pruned from disk)"
+/// apart from "never stored".
+///
+/// The payload is opaque bytes — `GraphStore` spills `Graph::Serialize`
+/// output, the `Datastore` facade spills `SerializeTaskResult` output. The
+/// `meta` word rides along uninterpreted (the graph tier stores the
+/// binding generation in it, so revived datasets keep their fingerprint).
+///
+/// Thread-safe. File IO happens under the tier's lock: spills ride the
+/// (rare) eviction path and reloads replace a recompute, so simplicity
+/// wins over IO concurrency here.
+class SpillTier {
+ public:
+  /// Bound on remembered pruned keys, mirroring
+  /// `GraphStore::kMaxEvictionMarkers`.
+  static constexpr size_t kMaxPrunedMarkers = 4096;
+
+  /// Opens (or creates) `dir` and recovers any entries a previous process
+  /// left there. `what` names the payload kind in errors and log lines
+  /// ("dataset", "result"). If the directory cannot be created the tier
+  /// logs an error and comes up disabled: `Put` then fails with
+  /// `kFailedPrecondition` and every `Get` misses — the owning store
+  /// degrades to drop-on-evict instead of crashing.
+  SpillTier(std::string dir, size_t max_bytes, std::string what);
+
+  SpillTier(const SpillTier&) = delete;
+  SpillTier& operator=(const SpillTier&) = delete;
+
+  /// False when the directory could not be initialized.
+  bool enabled() const;
+
+  /// Persists `payload` under `key` (overwriting any previous spill of the
+  /// key), then prunes least-recently-used entries past the byte budget. A
+  /// payload whose file alone exceeds the whole budget is rejected with
+  /// `kInvalidArgument` and the key is marked pruned — the caller learns
+  /// the entry cannot be demoted, and later lookups report it as pruned
+  /// rather than never-stored.
+  Status Put(const std::string& key, std::string_view payload,
+             uint64_t meta = 0);
+
+  struct Loaded {
+    std::string payload;
+    uint64_t meta = 0;
+  };
+
+  /// Reads `key`'s spill file, bumping it to most-recently-used. The
+  /// payload checksum is re-verified: a corrupt file is dropped with a
+  /// logged warning and reported as `kIOError`. A pruned key answers
+  /// `kExpired`; an unknown key `kNotFound`.
+  Result<Loaded> Get(const std::string& key);
+
+  /// True while `key` has a live spill file.
+  bool Contains(const std::string& key) const;
+
+  /// The `meta` word stored with `key`, without touching recency or disk;
+  /// nullopt when the key has no live spill file.
+  std::optional<uint64_t> Meta(const std::string& key) const;
+
+  /// True while `key`'s pruning (by budget, oversize rejection, or
+  /// corruption) is still remembered.
+  bool WasPruned(const std::string& key) const;
+
+  /// Drops `key`'s spill file without marking it pruned — the caller is
+  /// superseding the entry (e.g. a fresh upload re-binding a dataset name),
+  /// not evicting it under pressure.
+  void Erase(const std::string& key);
+
+  /// Keys of live spilled entries, sorted.
+  std::vector<std::string> Keys() const;
+
+  /// Largest `meta` word across live entries (0 when empty) — lets
+  /// `GraphStore` restart its generation counter past every recovered
+  /// binding.
+  uint64_t MaxMeta() const;
+
+  SpillTierStats stats() const;
+  size_t max_bytes() const { return max_bytes_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Info {
+    uint64_t meta = 0;
+  };
+
+  /// Scans `dir_` for spill files, seeds the LRU from the manifest, and
+  /// prunes past the budget; requires `mu_`.
+  void RecoverLocked();
+
+  /// Prunes least-recently-used entries until the budget holds; requires
+  /// `mu_`.
+  void PruneLocked();
+
+  /// Rewrites the manifest (recency order, hottest first) atomically via a
+  /// temp file + rename; requires `mu_`.
+  void WriteManifestLocked();
+
+  /// Deletes `key`'s file from disk (best-effort); requires `mu_`.
+  void RemoveFileLocked(const std::string& key);
+
+  std::string FilePath(const std::string& key) const;
+
+  const std::string dir_;
+  const size_t max_bytes_;  // 0 = unbounded
+  const std::string what_;  ///< payload kind for errors/logs
+  bool enabled_ = false;
+  mutable std::mutex mu_;
+  ByteBudgetedLru<Info> lru_;  ///< key → meta; bytes = on-disk file size
+  ExpiryMarkers pruned_;       ///< keys answered with `WasPruned`
+  SpillTierStats stats_;
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_PLATFORM_SPILL_TIER_H_

@@ -131,5 +131,72 @@ TEST(GraphTest, GraphIsCopyable) {
   EXPECT_TRUE(copy.HasEdge(2, 0));
 }
 
+TEST(GraphCodecTest, NumericRoundTripIsBitIdentical) {
+  GraphBuilder builder;
+  builder.ReserveNodes(10);  // isolated tail nodes survive the codec
+  for (NodeId u = 0; u < 7; ++u) {
+    builder.AddEdge(u, (u * 3 + 1) % 7);
+    builder.AddEdge(u, (u + 1) % 7);
+  }
+  const Graph g = builder.Build().value();
+  const std::string bytes = g.Serialize();
+  const Graph decoded = Graph::Deserialize(bytes).value();
+  EXPECT_EQ(decoded.num_nodes(), g.num_nodes());
+  EXPECT_EQ(decoded.num_edges(), g.num_edges());
+  EXPECT_EQ(decoded.MemoryBytes(), g.MemoryBytes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_EQ(decoded.OutDegree(u), g.OutDegree(u));
+    ASSERT_EQ(decoded.InDegree(u), g.InDegree(u));
+  }
+  // Bit-identical: re-serializing yields the same bytes.
+  EXPECT_EQ(decoded.Serialize(), bytes);
+}
+
+TEST(GraphCodecTest, LabeledRoundTripKeepsTheDictionary) {
+  GraphBuilder builder;
+  builder.AddEdge("Pasta", "Italy");
+  builder.AddEdge("Italy", "Rome");
+  builder.AddEdge("Rome", "Pasta");
+  const Graph g = builder.Build().value();
+  const std::string bytes = g.Serialize();
+  const Graph decoded = Graph::Deserialize(bytes).value();
+  ASSERT_NE(decoded.labels(), nullptr);
+  EXPECT_EQ(decoded.NodeName(0), "Pasta");
+  EXPECT_EQ(decoded.FindNode("Rome"), g.FindNode("Rome"));
+  EXPECT_EQ(decoded.MemoryBytes(), g.MemoryBytes());
+  EXPECT_EQ(decoded.Serialize(), bytes);
+}
+
+TEST(GraphCodecTest, EmptyGraphRoundTrips) {
+  const Graph g;
+  const Graph decoded = Graph::Deserialize(g.Serialize()).value();
+  EXPECT_EQ(decoded.num_nodes(), 0u);
+  EXPECT_EQ(decoded.MemoryBytes(), g.MemoryBytes());
+}
+
+TEST(GraphCodecTest, RejectsCorruptBuffers) {
+  const std::string bytes = Triangle().Serialize();
+  // Wrong magic.
+  EXPECT_EQ(Graph::Deserialize("not a graph").status().code(),
+            StatusCode::kParseError);
+  // Truncations at every prefix length parse-fail, never crash.
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    EXPECT_FALSE(Graph::Deserialize(bytes.substr(0, len)).ok());
+  }
+  // Trailing junk is rejected too — a concatenated or overwritten file
+  // must not silently decode its prefix.
+  EXPECT_FALSE(Graph::Deserialize(bytes + "x").ok());
+  // A neighbor id past the node count is caught by CSR validation.
+  std::string tampered = bytes;
+  // out_targets elements follow the magic + out_offsets array; flip the
+  // first target to an id far out of range (little-endian, so the byte
+  // after the 8-byte count is the low byte of element 0).
+  const size_t out_targets_pos =
+      6 /* magic */ + 8 + 4 * sizeof(uint64_t) /* offsets */ + 8;
+  tampered[out_targets_pos] = '\xee';
+  tampered[out_targets_pos + 1] = '\xee';
+  EXPECT_FALSE(Graph::Deserialize(tampered).ok());
+}
+
 }  // namespace
 }  // namespace cyclerank

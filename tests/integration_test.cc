@@ -13,6 +13,7 @@
 #include "eval/rank_metrics.h"
 #include "graph/io.h"
 #include "platform/gateway.h"
+#include "platform/storage_test_util.h"
 
 namespace cyclerank {
 namespace {
@@ -21,7 +22,7 @@ TEST(IntegrationTest, PaperFlowOnEnwikiMini) {
   // 1) Datastore with the pre-loaded catalog.
   Datastore store;
   ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
-      {.num_workers = 4, .uuid_seed = 42});
+      PlatformOptions::WithWorkers(4, 42));
 
   // 2) Build the query set of the paper's Fig. 2: Cyclerank + PageRank +
   //    Personalized PageRank on the same snapshot.
@@ -77,7 +78,7 @@ TEST(IntegrationTest, UploadedDatasetFlow) {
                                  "book_c,bestseller\n")
                   .ok());
   ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
-      {.num_workers = 2, .uuid_seed = 11});
+      PlatformOptions::WithWorkers(2, 11));
   TaskBuilder builder;
   ASSERT_TRUE(builder.Add("user-graph", "cyclerank", "source=book_a, k=3").ok());
   ASSERT_TRUE(
@@ -107,7 +108,7 @@ TEST(IntegrationTest, AlgorithmComparisonUseCase) {
   // dataset and compare the rankings quantitatively.
   Datastore store;
   ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
-      {.num_workers = 4, .uuid_seed = 5});
+      PlatformOptions::WithWorkers(4, 5));
   TaskBuilder builder;
   for (const char* algorithm :
        {"pagerank", "cheirank", "2drank", "pers_pagerank", "pers_cheirank",
@@ -141,7 +142,7 @@ TEST(IntegrationTest, DatasetComparisonUseCase) {
   // language editions (Table III's experiment through the platform).
   Datastore store;
   ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
-      {.num_workers = 4, .uuid_seed = 6});
+      PlatformOptions::WithWorkers(4, 6));
   TaskBuilder builder;
   for (const std::string& lang : FakeNewsLanguages()) {
     const std::string title = FakeNewsTitle(lang).value();

@@ -1,10 +1,12 @@
 #include "platform/datastore.h"
 
+#include <filesystem>
 #include <memory>
 
 #include <gtest/gtest.h>
 
 #include "graph/graph_builder.h"
+#include "platform/result_io.h"
 #include "storage_test_util.h"
 
 namespace cyclerank {
@@ -264,6 +266,135 @@ TEST(DatastoreTest, EvictionMarkersAreBoundedToo) {
   EXPECT_EQ(store.GetResult("t0").status().code(), StatusCode::kNotFound);
   EXPECT_TRUE(store.HasResult("t8"));
   EXPECT_TRUE(store.HasResult("t9"));
+}
+
+// ---- Disk spill tier behind the facade ------------------------------------
+
+/// Options for a spill-enabled datastore: memory holds one ~100-node chain
+/// and one result; evictions demote to `dir`.
+PlatformOptions SpillOptions(const std::string& dir) {
+  PlatformOptions options;
+  options.graph_store_bytes = ChainGraph(100)->MemoryBytes();
+  options.max_retained_results = 1;
+  options.spill_dir = dir;
+  return options;
+}
+
+TaskResult RichResultFor(const std::string& id) {
+  TaskResult result;
+  result.task_id = id;
+  result.spec.dataset = "d";
+  result.spec.algorithm = "pagerank";
+  result.spec.params.Set("alpha", "0.85");
+  result.ranking = {{3, 0.9}, {1, 0.1 + 0.2}};
+  result.seconds = 1.0 / 3.0;
+  return result;
+}
+
+TEST(DatastoreSpillTest, EvictedResultReloadsFromDisk) {
+  Datastore store(nullptr, SpillOptions(FreshSpillDir("ds_result_reload")));
+  store.AppendLog("r1", "ran");
+  store.PutResult(RichResultFor("r1"));
+  store.PutResult(RichResultFor("r2"));  // retention=1: r1 → disk
+  EXPECT_FALSE(store.HasResult("r1"));
+  ASSERT_EQ(store.result_spill()->stats().spills, 1u);
+  // The reload is transparent and bit-identical...
+  const TaskResult reloaded = store.GetResult("r1").value();
+  EXPECT_EQ(SerializeTaskResult(reloaded),
+            SerializeTaskResult(RichResultFor("r1")));
+  // ...and re-admits r1 to the memory tier, demoting r2 in its place.
+  EXPECT_TRUE(store.HasResult("r1"));
+  EXPECT_FALSE(store.HasResult("r2"));
+  EXPECT_TRUE(store.GetResult("r2").ok());  // reloads right back
+  // Logs followed the *memory* eviction and stay gone (documented).
+  EXPECT_TRUE(store.GetLog("r1").empty());
+}
+
+TEST(DatastoreSpillTest, ExpiredMessagesDistinguishPrunedFromNeverStored) {
+  PlatformOptions options = SpillOptions(FreshSpillDir("ds_pruned"));
+  // A result spill budget too small for any result file: every demotion
+  // is rejected → marked pruned.
+  options.result_spill_bytes = 16;
+  Datastore store(nullptr, options);
+  store.PutResult(RichResultFor("r1"));
+  store.PutResult(RichResultFor("r2"));  // r1 evicted, cannot spill
+  const Status pruned = store.GetResult("r1").status();
+  EXPECT_EQ(pruned.code(), StatusCode::kExpired);
+  EXPECT_NE(pruned.message().find("pruned"), std::string::npos);
+  // A task that never existed is a NotFound, never an Expired: operators
+  // can tell budget pressure from typos.
+  EXPECT_EQ(store.GetResult("typo").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatastoreSpillTest, DatasetSpillKeepsCacheGenerationAcrossDemotion) {
+  Datastore store(nullptr, SpillOptions(FreshSpillDir("ds_gen")));
+  ASSERT_TRUE(store.PutDataset("a", ChainGraph(100)).ok());
+  const auto gen_before = store.DatasetCacheGeneration("a");
+  ASSERT_TRUE(gen_before.has_value());
+  ASSERT_TRUE(store.PutDataset("b", ChainGraph(100)).ok());  // "a" → disk
+  // Demotion is not a re-binding: the generation — and with it every
+  // cached result's fingerprint — survives, both while the dataset sits
+  // on disk and after it reloads.
+  EXPECT_EQ(store.DatasetCacheGeneration("a"), gen_before);
+  ASSERT_TRUE(store.GetDataset("a").ok());
+  EXPECT_EQ(store.DatasetCacheGeneration("a"), gen_before);
+}
+
+TEST(DatastoreSpillTest, RestartRecoversSpilledDatasetsAndResults) {
+  const std::string dir = FreshSpillDir("ds_restart");
+  const GraphPtr original = ChainGraph(100);
+  std::string graph_bytes_before;
+  std::string result_bytes_before;
+  uint64_t gen_before = 0;
+  {
+    Datastore store(nullptr, SpillOptions(dir));
+    ASSERT_TRUE(store.PutDataset("a", original).ok());
+    ASSERT_TRUE(store.PutDataset("b", ChainGraph(100)).ok());  // "a" → disk
+    gen_before = *store.DatasetCacheGeneration("a");
+    graph_bytes_before = original->Serialize();
+    store.PutResult(RichResultFor("r1"));
+    store.PutResult(RichResultFor("r2"));  // r1 → disk
+    result_bytes_before = SerializeTaskResult(RichResultFor("r1"));
+  }  // process "dies"; only the spill directory survives
+  Datastore store(nullptr, SpillOptions(dir));
+  EXPECT_GE(store.dataset_spill()->stats().recovered, 1u);
+  EXPECT_GE(store.result_spill()->stats().recovered, 1u);
+  // Spilled entries reload bit-identically after the restart.
+  const GraphPtr graph = store.GetDataset("a").value();
+  EXPECT_EQ(graph->Serialize(), graph_bytes_before);
+  EXPECT_EQ(graph->MemoryBytes(), original->MemoryBytes());
+  const TaskResult result = store.GetResult("r1").value();
+  EXPECT_EQ(SerializeTaskResult(result), result_bytes_before);
+  // The recovered binding keeps its generation; a *new* binding gets a
+  // strictly larger one, so pre-restart fingerprints can never be served
+  // for post-restart uploads.
+  EXPECT_EQ(store.DatasetCacheGeneration("a"), gen_before);
+  ASSERT_TRUE(store.PutDataset("fresh", ChainGraph(50)).ok());
+  EXPECT_GT(*store.DatasetCacheGeneration("fresh"), gen_before);
+}
+
+TEST(DatastoreSpillTest, CorruptSpillFileDegradesToExpiredNotACrash) {
+  const std::string dir = FreshSpillDir("ds_corrupt");
+  {
+    Datastore store(nullptr, SpillOptions(dir));
+    ASSERT_TRUE(store.PutDataset("a", ChainGraph(100)).ok());
+    ASSERT_TRUE(store.PutDataset("b", ChainGraph(100)).ok());  // "a" → disk
+  }
+  // Truncate every dataset spill file, as a crashed writer would.
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir)) {
+    if (entry.path().extension() == ".spill") {
+      std::filesystem::resize_file(entry.path(), 10);
+    }
+  }
+  // Recovery skips the torn file with a warning instead of crashing, and
+  // the dataset is simply gone (its in-memory expiry marker died with the
+  // old process, so it reports NotFound — indistinguishable from never
+  // uploaded, which is all a fresh process can know).
+  Datastore store(nullptr, SpillOptions(dir));
+  EXPECT_GE(store.dataset_spill()->stats().skipped, 1u);
+  EXPECT_EQ(store.dataset_spill()->stats().recovered, 0u);
+  EXPECT_FALSE(store.GetDataset("a").ok());
 }
 
 }  // namespace

@@ -14,7 +14,7 @@ class GatewayTest : public ::testing::Test {
   GatewayTest()
       : store_(nullptr),
         gateway_(&store_, &AlgorithmRegistry::Default(),
-                 {.num_workers = 2, .uuid_seed = 123}) {
+                 PlatformOptions::WithWorkers(2, 123)) {
     GraphBuilder builder;
     builder.AddEdge("a", "b");
     builder.AddEdge("b", "a");
@@ -373,7 +373,7 @@ TEST(GatewayCancelTest, CancelSkipsQueuedTasks) {
   (void)store.PutDataset("d", builder.BuildShared().value());
   // Single worker: queue many tasks, cancel while the first ones run.
   ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
-      {.num_workers = 1, .uuid_seed = 7});
+      PlatformOptions::WithWorkers(1, 7));
   TaskBuilder tasks;
   for (int i = 0; i < 50; ++i) {
     // Distinct seeds keep the fingerprints distinct: identical tasks would

@@ -140,6 +140,83 @@ TEST(GraphStoreTest, StatsCountHitsAndMisses) {
   EXPECT_EQ(stats.misses, 1u);
 }
 
+TEST(GraphStoreSpillTest, EvictionDemotesToDiskAndGetReloads) {
+  const GraphPtr graph = ChainGraph(100);
+  SpillTier spill(FreshSpillDir("gs_demote"), 0, "dataset");
+  GraphStore store(graph->MemoryBytes(), &spill);
+  ASSERT_TRUE(store.Put("a", graph).ok());
+  const uint64_t gen_a = store.Generation("a");
+  ASSERT_TRUE(store.Put("b", ChainGraph(100)).ok());  // evicts "a" → disk
+  EXPECT_TRUE(spill.Contains("a"));
+  EXPECT_EQ(store.stats().spills, 1u);
+  // The demoted binding keeps its generation — same content, merely cold.
+  EXPECT_EQ(store.Generation("a"), gen_a);
+  // Get transparently reloads it (most-recent), demoting "b" in turn.
+  const GraphPtr reloaded = store.Get("a").value();
+  EXPECT_EQ(reloaded->num_nodes(), 100u);
+  EXPECT_EQ(reloaded->MemoryBytes(), graph->MemoryBytes());
+  EXPECT_EQ(reloaded->Serialize(), graph->Serialize());  // bit-identical
+  EXPECT_EQ(store.Generation("a"), gen_a);
+  const GraphStoreStats stats = store.stats();
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_EQ(stats.spills, 2u);  // "b" was demoted by the reload
+  EXPECT_TRUE(store.Get("b").ok());
+}
+
+TEST(GraphStoreSpillTest, DiskResidentNameCountsAsUploaded) {
+  const GraphPtr graph = ChainGraph(100);
+  SpillTier spill(FreshSpillDir("gs_resident"), 0, "dataset");
+  GraphStore store(graph->MemoryBytes(), &spill);
+  ASSERT_TRUE(store.Put("a", graph).ok());
+  ASSERT_TRUE(store.Put("b", ChainGraph(100)).ok());  // "a" → disk
+  // A spilled dataset is still uploaded: the name cannot be re-bound...
+  const Status dup = store.Put("a", ChainGraph(50));
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_NE(dup.message().find("disk"), std::string::npos);
+  // ...and it is still listed.
+  EXPECT_EQ(store.Names(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(GraphStoreSpillTest, PrunedSpillExpiresWithAPrunedMessage) {
+  const GraphPtr graph = ChainGraph(100);
+  // The disk tier holds exactly one spilled graph: the second demotion
+  // prunes the first.
+  SpillTier spill(FreshSpillDir("gs_pruned"),
+                  graph->Serialize().size() + 200, "dataset");
+  GraphStore store(graph->MemoryBytes(), &spill);
+  ASSERT_TRUE(store.Put("a", graph).ok());
+  ASSERT_TRUE(store.Put("b", ChainGraph(100)).ok());  // "a" → disk
+  ASSERT_TRUE(store.Put("c", ChainGraph(100)).ok());  // "b" → disk, "a" pruned
+  const Status pruned = store.Get("a").status();
+  EXPECT_EQ(pruned.code(), StatusCode::kExpired);
+  EXPECT_NE(pruned.message().find("pruned"), std::string::npos);
+  // "b" is still disk-resident and reloads fine.
+  EXPECT_TRUE(store.Get("b").ok());
+}
+
+TEST(GraphStoreSpillTest, GenerationCounterResumesPastRecoveredBindings) {
+  const std::string dir = FreshSpillDir("gs_genresume");
+  const GraphPtr graph = ChainGraph(100);
+  uint64_t spilled_generation = 0;
+  {
+    SpillTier spill(dir, 0, "dataset");
+    GraphStore store(graph->MemoryBytes(), &spill);
+    ASSERT_TRUE(store.Put("a", graph).ok());
+    ASSERT_TRUE(store.Put("b", ChainGraph(100)).ok());  // "a" → disk
+    spilled_generation = store.Generation("a");
+    ASSERT_GT(spilled_generation, 0u);
+  }
+  // "Restart": a fresh store over the same directory. The recovered
+  // binding keeps its generation, and new uploads get strictly larger
+  // ones — fingerprints can never collide across the restart.
+  SpillTier spill(dir, 0, "dataset");
+  GraphStore store(graph->MemoryBytes(), &spill);
+  EXPECT_EQ(store.Generation("a"), spilled_generation);
+  ASSERT_TRUE(store.Put("fresh", ChainGraph(50)).ok());
+  EXPECT_GT(store.Generation("fresh"), spilled_generation);
+  EXPECT_EQ(store.Get("a").value()->Serialize(), graph->Serialize());
+}
+
 TEST(GraphStoreTest, EvictionMarkersAreBounded) {
   const GraphPtr graph = ChainGraph(100);
   GraphStore store(graph->MemoryBytes());

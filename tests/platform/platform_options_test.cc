@@ -15,6 +15,9 @@ TEST(PlatformOptionsTest, EmptyStringYieldsDefaults) {
   EXPECT_EQ(parsed.default_threads, 0u);
   EXPECT_EQ(parsed.uuid_seed, 0u);
   EXPECT_EQ(parsed.max_tasks_per_submission, 0u);
+  EXPECT_EQ(parsed.spill_dir, "");
+  EXPECT_EQ(parsed.graph_spill_bytes, 0u);
+  EXPECT_EQ(parsed.result_spill_bytes, 0u);
 }
 
 TEST(PlatformOptionsTest, ParsesEveryKnob) {
@@ -22,7 +25,9 @@ TEST(PlatformOptionsTest, ParsesEveryKnob) {
       PlatformOptions::FromString(
           "graph_store_bytes=1000, result_cache_bytes=2000, "
           "max_retained_results=30, num_workers=4, default_threads=2, "
-          "uuid_seed=99, max_tasks_per_submission=16")
+          "uuid_seed=99, max_tasks_per_submission=16, "
+          "spill_dir=/tmp/spill, graph_spill_bytes=4000, "
+          "result_spill_bytes=5000")
           .value();
   EXPECT_EQ(parsed.graph_store_bytes, 1000u);
   EXPECT_EQ(parsed.result_cache_bytes, 2000u);
@@ -31,6 +36,9 @@ TEST(PlatformOptionsTest, ParsesEveryKnob) {
   EXPECT_EQ(parsed.default_threads, 2u);
   EXPECT_EQ(parsed.uuid_seed, 99u);
   EXPECT_EQ(parsed.max_tasks_per_submission, 16u);
+  EXPECT_EQ(parsed.spill_dir, "/tmp/spill");
+  EXPECT_EQ(parsed.graph_spill_bytes, 4000u);
+  EXPECT_EQ(parsed.result_spill_bytes, 5000u);
 }
 
 TEST(PlatformOptionsTest, KeysAreCaseInsensitiveAndWhitespaceTolerant) {
@@ -69,6 +77,9 @@ TEST(PlatformOptionsTest, RoundTripsThroughToString) {
   options.default_threads = 5;
   options.uuid_seed = 42;
   options.max_tasks_per_submission = 9;
+  options.spill_dir = "/var/tmp/cyclerank-spill";
+  options.graph_spill_bytes = 1u << 20;
+  options.result_spill_bytes = 2u << 20;
   const PlatformOptions reparsed =
       PlatformOptions::FromString(options.ToString()).value();
   EXPECT_EQ(reparsed, options);
@@ -103,6 +114,21 @@ TEST(PlatformOptionsTest, MalformedValuesRejected) {
 TEST(PlatformOptionsTest, DuplicateKeysRejected) {
   EXPECT_FALSE(
       PlatformOptions::FromString("num_workers=2, num_workers=3").ok());
+}
+
+TEST(PlatformOptionsTest, SpillKnobsParse) {
+  // Byte suffixes work on the spill budgets like on every byte knob.
+  EXPECT_EQ(PlatformOptions::FromString("graph_spill_bytes=64m")
+                .value()
+                .graph_spill_bytes,
+            64u << 20);
+  EXPECT_EQ(PlatformOptions::FromString("result_spill_bytes=2k")
+                .value()
+                .result_spill_bytes,
+            2048u);
+  EXPECT_FALSE(PlatformOptions::FromString("graph_spill_bytes=abc").ok());
+  // An explicitly empty spill_dir parses to the disabled default.
+  EXPECT_EQ(PlatformOptions::FromString("spill_dir=").value().spill_dir, "");
 }
 
 TEST(PlatformOptionsTest, ResolvedNumWorkers) {

@@ -1,0 +1,215 @@
+#include "platform/spill_tier.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "storage_test_util.h"
+
+namespace cyclerank {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Captures warning+ log lines for the duration of a test.
+class LogCapture {
+ public:
+  LogCapture() {
+    Logger::Global().set_sink([this](LogLevel level, std::string_view msg) {
+      if (level >= LogLevel::kWarning) lines_.emplace_back(msg);
+    });
+  }
+  ~LogCapture() { Logger::Global().set_sink(nullptr); }
+
+  bool Contains(std::string_view needle) const {
+    for (const std::string& line : lines_) {
+      if (line.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+  size_t size() const { return lines_.size(); }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+TEST(SpillTierTest, PutGetRoundTripWithMeta) {
+  SpillTier tier(FreshSpillDir("roundtrip"), 0, "dataset");
+  ASSERT_TRUE(tier.enabled());
+  // The payload is opaque bytes — embedded NULs and high bytes included.
+  const std::string payload("payload\0bytes\xff", 14);
+  ASSERT_TRUE(tier.Put("my key / with+specials", payload, 42).ok());
+  EXPECT_TRUE(tier.Contains("my key / with+specials"));
+  EXPECT_EQ(tier.Meta("my key / with+specials"), 42u);
+  const SpillTier::Loaded loaded = tier.Get("my key / with+specials").value();
+  EXPECT_EQ(loaded.payload, payload);
+  EXPECT_EQ(loaded.meta, 42u);
+  EXPECT_EQ(tier.stats().spills, 1u);
+  EXPECT_EQ(tier.stats().reloads, 1u);
+}
+
+TEST(SpillTierTest, MissesAndErase) {
+  SpillTier tier(FreshSpillDir("misses"), 0, "dataset");
+  EXPECT_EQ(tier.Get("ghost").status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(tier.Put("a", "x").ok());
+  tier.Erase("a");
+  EXPECT_FALSE(tier.Contains("a"));
+  // Erase is supersession, not budget pressure: no pruned marker.
+  EXPECT_FALSE(tier.WasPruned("a"));
+  EXPECT_EQ(tier.Get("a").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SpillTierTest, OverwriteReplacesPayloadAndAccounting) {
+  SpillTier tier(FreshSpillDir("overwrite"), 0, "dataset");
+  ASSERT_TRUE(tier.Put("k", std::string(1000, 'a'), 1).ok());
+  const size_t bytes_before = tier.stats().bytes;
+  ASSERT_TRUE(tier.Put("k", "tiny", 2).ok());
+  EXPECT_EQ(tier.Get("k").value().payload, "tiny");
+  EXPECT_EQ(tier.Meta("k"), 2u);
+  EXPECT_EQ(tier.stats().entries, 1u);
+  EXPECT_LT(tier.stats().bytes, bytes_before);
+}
+
+TEST(SpillTierTest, BudgetPrunesLeastRecentlyUsed) {
+  // Each file is ~100 payload bytes + header; a 3-file budget.
+  const std::string payload(100, 'p');
+  SpillTier tier(FreshSpillDir("prune"), 3 * (payload.size() + 64), "dataset");
+  ASSERT_TRUE(tier.Put("a", payload).ok());
+  ASSERT_TRUE(tier.Put("b", payload).ok());
+  ASSERT_TRUE(tier.Put("c", payload).ok());
+  // Touch "a" so "b" is the LRU victim of the next Put.
+  ASSERT_TRUE(tier.Get("a").ok());
+  ASSERT_TRUE(tier.Put("d", payload).ok());
+  EXPECT_TRUE(tier.Contains("a"));
+  EXPECT_FALSE(tier.Contains("b"));
+  EXPECT_TRUE(tier.WasPruned("b"));
+  const Status pruned = tier.Get("b").status();
+  EXPECT_EQ(pruned.code(), StatusCode::kExpired);
+  EXPECT_NE(pruned.message().find("pruned"), std::string::npos);
+  EXPECT_EQ(tier.stats().prunes, 1u);
+  // Re-spilling a pruned key revives it.
+  ASSERT_TRUE(tier.Put("b", payload).ok());
+  EXPECT_FALSE(tier.WasPruned("b"));
+}
+
+TEST(SpillTierTest, OversizedPayloadRejectedAndMarkedPruned) {
+  SpillTier tier(FreshSpillDir("oversize"), 64, "result");
+  const Status status = tier.Put("big", std::string(1000, 'x'));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(tier.Contains("big"));
+  EXPECT_TRUE(tier.WasPruned("big"));
+  EXPECT_EQ(tier.Get("big").status().code(), StatusCode::kExpired);
+}
+
+TEST(SpillTierTest, RecoveryRestoresEntriesAndRecencyOrder) {
+  const std::string dir = FreshSpillDir("recovery");
+  const std::string payload(50, 'r');
+  {
+    SpillTier tier(dir, 0, "dataset");
+    ASSERT_TRUE(tier.Put("cold", payload, 7).ok());
+    ASSERT_TRUE(tier.Put("warm", payload, 8).ok());
+    ASSERT_TRUE(tier.Put("hot", payload, 9).ok());
+  }
+  SpillTier revived(dir, 0, "dataset");
+  EXPECT_EQ(revived.stats().recovered, 3u);
+  EXPECT_EQ(revived.Keys(),
+            (std::vector<std::string>{"cold", "hot", "warm"}));
+  EXPECT_EQ(revived.Meta("cold"), 7u);
+  EXPECT_EQ(revived.MaxMeta(), 9u);
+  EXPECT_EQ(revived.Get("warm").value().payload, payload);
+  // Recency order survived via the manifest: under a budget that holds
+  // only two files, the next Put prunes "cold" first.
+  SpillTier bounded(dir, 3 * (payload.size() + 64), "dataset");
+  ASSERT_TRUE(bounded.Put("new", payload, 10).ok());
+  EXPECT_FALSE(bounded.Contains("cold"));
+  EXPECT_TRUE(bounded.Contains("hot"));
+  EXPECT_TRUE(bounded.Contains("warm"));
+}
+
+TEST(SpillTierTest, TruncatedFileSkippedAtRecoveryWithWarning) {
+  const std::string dir = FreshSpillDir("truncated");
+  {
+    SpillTier tier(dir, 0, "dataset");
+    ASSERT_TRUE(tier.Put("whole", std::string(100, 'w')).ok());
+    ASSERT_TRUE(tier.Put("torn", std::string(100, 't')).ok());
+  }
+  // Truncate one spill file, as a crashed writer would.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("torn", 0) == 0) {
+      fs::resize_file(entry.path(), 20);
+    }
+  }
+  LogCapture log;
+  SpillTier revived(dir, 0, "dataset");
+  EXPECT_EQ(revived.stats().recovered, 1u);
+  EXPECT_EQ(revived.stats().skipped, 1u);
+  EXPECT_TRUE(log.Contains("skipping spill file"));
+  EXPECT_TRUE(revived.Contains("whole"));
+  EXPECT_FALSE(revived.Contains("torn"));
+  EXPECT_EQ(revived.Get("torn").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SpillTierTest, BitRotDetectedByChecksumOnGet) {
+  const std::string dir = FreshSpillDir("bitrot");
+  SpillTier tier(dir, 0, "dataset");
+  ASSERT_TRUE(tier.Put("k", std::string(100, 'k')).ok());
+  // Flip a payload byte without changing the file size.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename() == "manifest") continue;
+    std::fstream file(entry.path(), std::ios::in | std::ios::out |
+                                        std::ios::binary);
+    file.seekp(-1, std::ios::end);
+    file.put('X');
+  }
+  LogCapture log;
+  const Status status = tier.Get("k").status();
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_NE(status.message().find("corrupt"), std::string::npos);
+  EXPECT_TRUE(log.Contains("checksum"));
+  // The corrupt entry was dropped, not retried forever.
+  EXPECT_FALSE(tier.Contains("k"));
+  EXPECT_EQ(tier.Get("k").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SpillTierTest, StragglerFilesWithoutManifestAreRecovered) {
+  const std::string dir = FreshSpillDir("straggler");
+  {
+    SpillTier tier(dir, 0, "dataset");
+    ASSERT_TRUE(tier.Put("a", "payload-a", 1).ok());
+    ASSERT_TRUE(tier.Put("b", "payload-b", 2).ok());
+  }
+  fs::remove(fs::path(dir) / "manifest");
+  SpillTier revived(dir, 0, "dataset");
+  EXPECT_EQ(revived.stats().recovered, 2u);
+  EXPECT_EQ(revived.Get("a").value().payload, "payload-a");
+  EXPECT_EQ(revived.Get("b").value().payload, "payload-b");
+}
+
+TEST(SpillTierTest, DisabledTierDegradesGracefully) {
+  // A path that cannot be created: a regular file occupies the name.
+  const std::string parent = FreshSpillDir("disabled");
+  const std::string blocked = parent + "/occupied";
+  std::ofstream(blocked) << "not a directory";
+  LogCapture log;
+  SpillTier tier(blocked + "/sub", 0, "dataset");
+  EXPECT_FALSE(tier.enabled());
+  EXPECT_EQ(tier.Put("k", "v").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(tier.Get("k").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SpillTierTest, LongKeysGetHashedFileNames) {
+  SpillTier tier(FreshSpillDir("longkeys"), 0, "dataset");
+  const std::string long_a(500, 'a');
+  const std::string long_b = long_a + "b";  // same 160-char prefix
+  ASSERT_TRUE(tier.Put(long_a, "payload-a").ok());
+  ASSERT_TRUE(tier.Put(long_b, "payload-b").ok());
+  EXPECT_EQ(tier.Get(long_a).value().payload, "payload-a");
+  EXPECT_EQ(tier.Get(long_b).value().payload, "payload-b");
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,6 +1,11 @@
 #ifndef CYCLERANK_TESTS_PLATFORM_STORAGE_TEST_UTIL_H_
 #define CYCLERANK_TESTS_PLATFORM_STORAGE_TEST_UTIL_H_
 
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
 #include "graph/graph_builder.h"
 #include "platform/platform_options.h"
 
@@ -26,6 +31,16 @@ inline PlatformOptions RetainResults(size_t n) {
   PlatformOptions options;
   options.max_retained_results = n;
   return options;
+}
+
+/// A fresh, empty directory under the test temp root for spill-tier
+/// suites; any leftovers from a previous run are removed first.
+inline std::string FreshSpillDir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("cyclerank_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
 }
 
 }  // namespace cyclerank

@@ -82,7 +82,7 @@ TEST(FailureInjectionTest, FailedTasksDoNotPoisonTheComparison) {
   Datastore store(nullptr);
   ASSERT_TRUE(store.PutDataset("tiny", TinyGraph()).ok());
   ApiGateway gateway(&store, &registry,
-      {.num_workers = 2, .uuid_seed = 3});
+      PlatformOptions::WithWorkers(2, 3));
 
   TaskBuilder builder;
   for (int i = 0; i < 10; ++i) {
@@ -116,7 +116,7 @@ TEST(FailureInjectionTest, FailureLogsAreRecorded) {
   Datastore store(nullptr);
   ASSERT_TRUE(store.PutDataset("tiny", TinyGraph()).ok());
   ApiGateway gateway(&store, &registry,
-      {.num_workers = 1, .uuid_seed = 4});
+      PlatformOptions::WithWorkers(1, 4));
   TaskBuilder builder;
   ASSERT_TRUE(builder.Add("tiny", "flaky", "seed=1").ok());
   const std::string id = gateway.SubmitQuerySet(builder.Build()).value();
@@ -134,7 +134,7 @@ TEST(StressTest, ConcurrentSubmittersGetIsolatedComparisons) {
   Datastore store(nullptr);
   ASSERT_TRUE(store.PutDataset("tiny", TinyGraph()).ok());
   ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
-      {.num_workers = 4, .uuid_seed = 9});
+      PlatformOptions::WithWorkers(4, 9));
 
   constexpr int kThreads = 8;
   constexpr int kPerThread = 5;
@@ -211,7 +211,7 @@ TEST(StressTest, SingleFlightCoalescesIdenticalConcurrentSubmissions) {
   Datastore store(nullptr);
   ASSERT_TRUE(store.PutDataset("tiny", TinyGraph()).ok());
   ApiGateway gateway(&store, &registry,
-      {.num_workers = 4, .uuid_seed = 11});
+      PlatformOptions::WithWorkers(4, 11));
   CountingAlgorithm::runs_ = 0;
 
   // Hammer the gateway with the same task from many threads at once: every
@@ -252,7 +252,7 @@ TEST(StressTest, ResubmissionExecutesZeroKernelWork) {
   Datastore store(nullptr);
   ASSERT_TRUE(store.PutDataset("tiny", TinyGraph()).ok());
   ApiGateway gateway(&store, &registry,
-      {.num_workers = 2, .uuid_seed = 12});
+      PlatformOptions::WithWorkers(2, 12));
   CountingAlgorithm::runs_ = 0;
 
   TaskBuilder builder;
@@ -284,7 +284,7 @@ TEST(StressTest, CancelledLeaderDoesNotDragCoalescedFollowersDown) {
   // One worker: comparison A's first task occupies it while A's second task
   // and comparison C's identical task queue up and coalesce.
   ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
-      {.num_workers = 1, .uuid_seed = 13});
+      PlatformOptions::WithWorkers(1, 13));
 
   TaskBuilder a_builder;
   ASSERT_TRUE(
@@ -320,7 +320,7 @@ TEST(StressTest, PinnedSnapshotSurvivesEvictionBitIdentical) {
     Datastore store(nullptr);
     ASSERT_TRUE(store.PutDataset("hot", hot).ok());
     ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
-                       {.num_workers = 1, .uuid_seed = 23});
+                       PlatformOptions::WithWorkers(1, 23));
     TaskBuilder builder;
     ASSERT_TRUE(builder.Add("hot", "ppr_montecarlo", params).ok());
     const std::string id = gateway.SubmitQuerySet(builder.Build()).value();
@@ -442,6 +442,136 @@ TEST(StressTest, DatasetEvictionChurnUnderConcurrentQueries) {
   // them completing is equally fine (uploads may simply have outrun
   // evictions of queried names).
   EXPECT_GT(completed + expired_or_missing, 0u);
+}
+
+TEST(StressTest, SpillChurnUnderConcurrentQueriesIsBitIdentical) {
+  // Same eviction churn as above, but with the disk spill tier attached:
+  // eviction demotes instead of destroying, so *no* query may answer
+  // Expired — every admitted query either completes with the bit-identical
+  // expected ranking (pinned snapshot, or transparently reloaded from
+  // disk) or reports NotFound (it raced ahead of its upload). Exercises
+  // the evict→serialize→spill and miss→reload→promote paths under
+  // concurrent kernels; run under TSan via tools/verify.sh.
+  const GraphPtr reference_graph = ChainGraph(50);
+  const RankedList expected =
+      MakeAlgorithm(AlgorithmKind::kPageRank)
+          ->Run(*reference_graph, AlgorithmRequest{})
+          .value();
+
+  PlatformOptions options;
+  options.graph_store_bytes = 2 * reference_graph->MemoryBytes();
+  options.result_cache_bytes = 0;  // every admitted query runs the kernel
+  options.num_workers = 4;
+  options.uuid_seed = 23;
+  options.spill_dir = FreshSpillDir("stress_churn");
+  Datastore store(nullptr, options);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), options);
+
+  constexpr int kThreads = 3;
+  constexpr int kIters = 20;
+  const auto dataset_name = [](int t, int i) {
+    return "d-" + std::to_string(t) + "-" + std::to_string(i);
+  };
+
+  std::vector<std::thread> uploaders;
+  for (int t = 0; t < kThreads; ++t) {
+    uploaders.emplace_back([&store, &dataset_name, t] {
+      for (int i = 0; i < kIters; ++i) {
+        EXPECT_TRUE(store.PutDataset(dataset_name(t, i), ChainGraph(50)).ok());
+        // Interleave reads that cross both tiers.
+        (void)store.GetDataset(dataset_name(t, i / 2));
+        (void)store.graph_store().stats();
+      }
+    });
+  }
+  std::vector<std::vector<std::string>> ids(kThreads);
+  std::vector<std::thread> queriers;
+  for (int t = 0; t < kThreads; ++t) {
+    queriers.emplace_back([&gateway, &ids, &dataset_name, t] {
+      for (int i = 0; i < kIters; ++i) {
+        TaskBuilder builder;
+        (void)builder.Add(dataset_name(t, i), "pagerank", "");
+        auto id = gateway.SubmitQuerySet(builder.Build());
+        if (id.ok()) ids[t].push_back(std::move(id).value());
+      }
+    });
+  }
+  for (std::thread& thread : uploaders) thread.join();
+  for (std::thread& thread : queriers) thread.join();
+
+  size_t completed = 0;
+  for (const auto& batch : ids) {
+    for (const std::string& id : batch) {
+      ASSERT_TRUE(*gateway.WaitForCompletion(id, 120.0));
+      const auto results = gateway.GetResults(id).value();
+      ASSERT_EQ(results.size(), 1u);
+      const TaskResult& result = results[0];
+      if (result.status.ok()) {
+        ++completed;
+        EXPECT_EQ(result.ranking, expected) << result.task_id;
+      } else {
+        // With an unbounded spill tier nothing ever expires: the only
+        // legal failure is a submit that outran its upload.
+        EXPECT_EQ(result.status.code(), StatusCode::kNotFound)
+            << result.status.ToString();
+      }
+    }
+  }
+  EXPECT_GT(completed, 0u);
+  // The churn really did hit the disk tier.
+  EXPECT_GT(store.dataset_spill()->stats().spills, 0u);
+}
+
+TEST(StressTest, ConcurrentResultSpillReloadsStayConsistent) {
+  // Writers push fresh results through a 2-slot retention window (every
+  // insert demotes the oldest to disk) while readers reload arbitrary
+  // ids. Each id's payload is derived from the id, so a reload can be
+  // checked for integrity regardless of which tier served it.
+  PlatformOptions options;
+  options.max_retained_results = 2;
+  options.spill_dir = FreshSpillDir("stress_result_spill");
+  Datastore store(nullptr, options);
+
+  constexpr int kThreads = 3;
+  constexpr int kIters = 40;
+  const auto result_for = [](int t, int i) {
+    TaskResult result;
+    result.task_id = "t" + std::to_string(t) + "-" + std::to_string(i);
+    result.seconds = t * 1000.0 + i;
+    result.ranking = {{static_cast<NodeId>(i), static_cast<double>(t)}};
+    return result;
+  };
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&store, &result_for, t] {
+      for (int i = 0; i < kIters; ++i) store.PutResult(result_for(t, i));
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&store, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::string id =
+            "t" + std::to_string(t) + "-" + std::to_string(i / 2);
+        auto result = store.GetResult(id);
+        if (result.ok()) {
+          EXPECT_EQ(result->task_id, id);
+          EXPECT_DOUBLE_EQ(result->seconds, t * 1000.0 + i / 2);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : writers) thread.join();
+  for (std::thread& thread : readers) thread.join();
+  // After the dust settles every written result is reachable — memory or
+  // disk — and intact.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kIters; ++i) {
+      const std::string id = "t" + std::to_string(t) + "-" + std::to_string(i);
+      const TaskResult result = store.GetResult(id).value();
+      EXPECT_DOUBLE_EQ(result.seconds, t * 1000.0 + i);
+    }
+  }
 }
 
 TEST(StressTest, StatusServiceConcurrentTransitions) {

@@ -91,7 +91,7 @@ int CmdRun(const std::string& dataset, const std::string& algorithm,
            const std::string& params, const std::string& top_k) {
   Datastore store;
   ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
-      {.num_workers = 2});
+      PlatformOptions::WithWorkers(2));
   TaskBuilder builder;
   std::string full_params = params;
   if (!top_k.empty()) {
@@ -125,7 +125,7 @@ int CmdCompare(const std::string& dataset, const std::string& reference,
                const std::string& k) {
   Datastore store;
   ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
-      {.num_workers = 4});
+      PlatformOptions::WithWorkers(4));
   TaskBuilder builder;
   const std::string params =
       "source=" + reference + ", k=" + (k.empty() ? "3" : k);
@@ -180,7 +180,7 @@ int CmdExport(const std::string& dataset, const std::string& algorithm,
               const std::string& params, const std::string& output) {
   Datastore store;
   ApiGateway gateway(&store, &AlgorithmRegistry::Default(),
-      {.num_workers = 2});
+      PlatformOptions::WithWorkers(2));
   TaskBuilder builder;
   const Status add_status = builder.Add(dataset, algorithm, params);
   if (!add_status.ok()) return Fail(add_status);

@@ -1,17 +1,24 @@
 #!/usr/bin/env bash
 # One-command verification: the tier-1 suite (Release build + ctest) plus
-# the concurrency suites under ThreadSanitizer — the gate every PR must
-# pass (`cmake --preset`-style convenience without requiring CMake 3.19).
+# the concurrency suites under a sanitizer — the gate every PR must pass.
+# CI (.github/workflows/ci.yml) and local runs share this entrypoint, so
+# "green locally" and "green in CI" mean the same thing.
 #
 # Usage:
-#   tools/verify.sh [--tier1-only | --tsan-only]
+#   tools/verify.sh                       # tier-1 + TSan (the default gate)
+#   tools/verify.sh --tier1-only          # just the Release build + ctest
+#   tools/verify.sh --tsan-only           # just the TSan suite
+#   tools/verify.sh --sanitize=thread     # any -DCYCLERANK_SANITIZE value,
+#   tools/verify.sh --sanitize=address,undefined   # e.g. ASan+UBSan
 #
 # Environment:
-#   BUILD_DIR  tier-1 build directory            (default: build)
-#   TSAN_DIR   ThreadSanitizer build directory   (default: build-tsan)
-#   JOBS       parallel build/test jobs          (default: nproc)
+#   BUILD_DIR          tier-1 build directory          (default: build)
+#   TSAN_DIR           thread-sanitizer build dir      (default: build-tsan)
+#   JOBS               parallel build/test jobs        (default: nproc)
+#   VERIFY_CMAKE_ARGS  extra args for every configure, e.g.
+#                      "-DCMAKE_CXX_COMPILER_LAUNCHER=ccache" (CI cache)
 #
-# The TSan tree builds only the library and tests (benchmarks, examples
+# Sanitizer trees build only the library and tests (benchmarks, examples
 # and tools are skipped — they add compile time but no coverage).
 set -euo pipefail
 
@@ -20,27 +27,44 @@ BUILD_DIR=${BUILD_DIR:-build}
 TSAN_DIR=${TSAN_DIR:-build-tsan}
 JOBS=${JOBS:-$(nproc)}
 MODE=${1:-all}
+# Deliberately word-split: VERIFY_CMAKE_ARGS holds whole cmake arguments.
+read -r -a EXTRA_CMAKE_ARGS <<<"${VERIFY_CMAKE_ARGS:-}"
 
 run_tier1() {
   echo "== tier-1: configure + build + ctest (${BUILD_DIR})" >&2
-  cmake -B "${BUILD_DIR}" -S .
+  cmake -B "${BUILD_DIR}" -S . "${EXTRA_CMAKE_ARGS[@]+"${EXTRA_CMAKE_ARGS[@]}"}"
   cmake --build "${BUILD_DIR}" -j "${JOBS}"
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 }
 
-run_tsan() {
-  echo "== TSan: configure + build + ctest (${TSAN_DIR})" >&2
-  cmake -B "${TSAN_DIR}" -S . -DCYCLERANK_SANITIZE=thread \
+run_sanitize() {
+  local san="$1"
+  local dir
+  if [[ "${san}" == "thread" ]]; then
+    dir="${TSAN_DIR}"          # keep the historical tree name for TSan
+  else
+    dir="build-san-${san//,/-}"  # e.g. build-san-address-undefined
+  fi
+  echo "== sanitize=${san}: configure + build + ctest (${dir})" >&2
+  if [[ "${san}" == *undefined* ]]; then
+    # A UBSan diagnostic must fail the suite, not scroll past it.
+    export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
+  fi
+  cmake -B "${dir}" -S . -DCYCLERANK_SANITIZE="${san}" \
         -DCYCLERANK_BUILD_BENCHMARKS=OFF -DCYCLERANK_BUILD_EXAMPLES=OFF \
-        -DCYCLERANK_BUILD_TOOLS=OFF
-  cmake --build "${TSAN_DIR}" -j "${JOBS}"
-  ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}"
+        -DCYCLERANK_BUILD_TOOLS=OFF \
+        "${EXTRA_CMAKE_ARGS[@]+"${EXTRA_CMAKE_ARGS[@]}"}"
+  cmake --build "${dir}" -j "${JOBS}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
 }
 
 case "${MODE}" in
-  all)          run_tier1; run_tsan ;;
+  all)          run_tier1; run_sanitize thread ;;
   --tier1-only) run_tier1 ;;
-  --tsan-only)  run_tsan ;;
-  *) echo "usage: tools/verify.sh [--tier1-only | --tsan-only]" >&2; exit 2 ;;
+  --tsan-only)  run_sanitize thread ;;
+  --sanitize=*) run_sanitize "${MODE#--sanitize=}" ;;
+  *)
+    echo "usage: tools/verify.sh [--tier1-only | --tsan-only | --sanitize=<list>]" >&2
+    exit 2 ;;
 esac
 echo "verify: OK (${MODE})" >&2
