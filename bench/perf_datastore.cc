@@ -10,9 +10,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "datasets/generators.h"
@@ -105,10 +109,14 @@ void BM_Datastore_PinnedGet(benchmark::State& state) {
 BENCHMARK(BM_Datastore_PinnedGet)
     ->Args({10000, 1})->Args({10000, 16})->Args({10000, 256});
 
-/// A fresh spill directory under the system temp root, wiped first.
+/// A fresh spill directory, wiped first. `BENCH_SPILL_DIR` overrides the
+/// root (the smoke runner points it at a per-run temp dir).
 std::string BenchSpillDir() {
-  const auto dir =
-      std::filesystem::temp_directory_path() / "cyclerank_bench_spill";
+  const char* override_root = std::getenv("BENCH_SPILL_DIR");
+  const auto dir = override_root != nullptr
+                       ? std::filesystem::path(override_root) / "spill"
+                       : std::filesystem::temp_directory_path() /
+                             "cyclerank_bench_spill";
   std::filesystem::remove_all(dir);
   return dir.string();
 }
@@ -188,6 +196,146 @@ void BM_Datastore_SpillReload(benchmark::State& state) {
 }
 BENCHMARK(BM_Datastore_SpillReload)
     ->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+/// Sorted-percentile helper for the tail-latency benchmarks.
+double Percentile(std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(p * (samples.size() - 1));
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  return samples[rank];
+}
+
+/// The PR-6 headline: Get tail latency *under eviction churn*. A background
+/// thread uploads graphs through a 4-slot budget (every upload demotes a
+/// victim to disk) while the measured thread issues Gets at a fixed arrival
+/// rate and records each call's service time. With synchronous spilling
+/// (arg 0 — the PR-5 baseline) the demotion's serialize+compress+write runs
+/// inside the store's critical section and stalls concurrent Gets; with a
+/// write-behind buffer (arg = buffer bytes) the upload enqueues and the
+/// flush thread pays the IO off-lock. The p99 counter is the acceptance
+/// metric. Args: {spill_write_behind_bytes, spill_compression} —
+/// {0, 0} reproduces the PR-5 configuration exactly.
+void BM_Datastore_ChurnGetTailLatency(benchmark::State& state) {
+  std::vector<GraphPtr> pool;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    pool.push_back(BenchGraph(10000, seed));
+  }
+  PlatformOptions options = GraphBudget(4 * pool[0]->MemoryBytes());
+  options.spill_dir = BenchSpillDir();
+  options.graph_spill_bytes = 256u << 20;
+  options.spill_write_behind_bytes = static_cast<size_t>(state.range(0));
+  options.spill_compression = state.range(1) != 0;
+  Datastore store(nullptr, options);
+  for (size_t i = 0; i < 4; ++i) {
+    (void)store.PutDataset("churn-" + std::to_string(i), pool[i]);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> latest{3};
+  std::thread churner([&] {
+    // Fixed 100 uploads/s — a provisioned churn rate the flush thread can
+    // sustain, so write-behind measures steady state, not a saturated
+    // buffer stalling every writer in backpressure.
+    using Clock = std::chrono::steady_clock;
+    constexpr auto kChurnPeriod = std::chrono::milliseconds(10);
+    auto next_upload = Clock::now();
+    uint64_t uploads = 4;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_until(next_upload);
+      next_upload += kChurnPeriod;
+      (void)store.PutDataset("churn-" + std::to_string(uploads),
+                             pool[uploads % pool.size()]);
+      latest.store(uploads, std::memory_order_relaxed);
+      ++uploads;
+    }
+  });
+
+  using Clock = std::chrono::steady_clock;
+  constexpr auto kPeriod = std::chrono::microseconds(500);  // 2000 ops/s
+  std::vector<double> samples;
+  samples.reserve(10000);
+  auto next_arrival = Clock::now();
+  uint64_t fetches = 0;
+  for (auto _ : state) {
+    std::this_thread::sleep_until(next_arrival);
+    next_arrival += kPeriod;
+    // Target one of the most recent names: usually a memory hit, sometimes
+    // just demoted (a buffer or disk reload) — the churn victim's profile.
+    const uint64_t newest = latest.load(std::memory_order_relaxed);
+    const std::string name =
+        "churn-" + std::to_string(newest - (fetches++ % 3));
+    const auto begin = Clock::now();
+    benchmark::DoNotOptimize(store.GetDataset(name));
+    samples.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - begin)
+            .count());
+  }
+  stop.store(true);
+  churner.join();
+
+  state.counters["p50_us"] = Percentile(samples, 0.50);
+  state.counters["p95_us"] = Percentile(samples, 0.95);
+  state.counters["p99_us"] = Percentile(samples, 0.99);
+  state.counters["write_behind_bytes"] = static_cast<double>(state.range(0));
+  const SpillTierStats stats = store.dataset_spill()->stats();
+  state.counters["spills"] = static_cast<double>(stats.spills);
+  state.counters["reloads"] = static_cast<double>(stats.reloads);
+  state.counters["buffer_hits"] = static_cast<double>(stats.buffer_hits);
+  state.counters["backpressure_waits"] =
+      static_cast<double>(stats.backpressure_waits);
+}
+BENCHMARK(BM_Datastore_ChurnGetTailLatency)
+    ->Args({0, 0})          // PR-5 baseline: synchronous, uncompressed
+    ->Args({32 << 20, 1})   // PR-6: 32 MiB write-behind + compression
+    ->Iterations(4000)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+/// Cold-miss cost with the bloom key filter: every Get targets a key that
+/// was never stored, so the filter answers from two cache lines and the
+/// call must do zero filesystem probes. The `filter_rate` counter is the
+/// acceptance check — 1.0 means every miss short-circuited.
+void BM_SpillTier_ColdMissFilter(benchmark::State& state) {
+  SpillTierOptions options;
+  options.write_behind_bytes = 32u << 20;
+  SpillTier tier(BenchSpillDir(), options, "dataset");
+  for (int i = 0; i < 512; ++i) {
+    (void)tier.Put("present-" + std::to_string(i), std::string(256, 'x'));
+  }
+  tier.Flush();
+  uint64_t lookups = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tier.Get("never-stored-" + std::to_string(lookups++)));
+  }
+  const SpillTierStats stats = tier.stats();
+  state.counters["filter_rate"] =
+      lookups == 0 ? 1.0
+                   : static_cast<double>(stats.filter_negatives) /
+                         static_cast<double>(lookups);
+  state.counters["exact_misses"] = static_cast<double>(stats.misses);
+}
+BENCHMARK(BM_SpillTier_ColdMissFilter);
+
+/// Compression leverage on the spill path: one demote+reload round trip of
+/// a CSR graph payload, compressed vs raw on disk. The bytes counters show
+/// the on-disk footprint both ways. Arg: 1 = compressed.
+void BM_SpillTier_CompressedRoundTrip(benchmark::State& state) {
+  const GraphPtr graph = BenchGraph(10000, 1);
+  const std::string payload = graph->Serialize();
+  SpillTierOptions options;
+  options.compression = state.range(0) != 0;
+  SpillTier tier(BenchSpillDir(), options, "dataset");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tier.Put("g", payload));
+    benchmark::DoNotOptimize(tier.Get("g"));
+  }
+  const SpillTierStats stats = tier.stats();
+  state.counters["raw_bytes"] = static_cast<double>(stats.raw_bytes);
+  state.counters["disk_bytes"] = static_cast<double>(stats.bytes);
+}
+BENCHMARK(BM_SpillTier_CompressedRoundTrip)
+    ->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 /// Text-upload admission: parse + CSR build + byte accounting for an
 /// n-node edge-list body, against a budget the upload always fits.

@@ -13,13 +13,18 @@ namespace cyclerank {
 namespace {
 
 /// One spill tier per payload kind, as `<spill_dir>/<subdir>`; null when
-/// spilling is disabled (empty `spill_dir`).
+/// spilling is disabled (empty `spill_dir`). Every tier inherits the
+/// LSM-style knobs (write-behind buffer bound, on-disk compression).
 std::unique_ptr<SpillTier> MakeSpillTier(const PlatformOptions& options,
                                          const char* subdir, size_t max_bytes,
                                          const char* what) {
   if (options.spill_dir.empty()) return nullptr;
-  return std::make_unique<SpillTier>(options.spill_dir + "/" + subdir,
-                                     max_bytes, what);
+  SpillTierOptions tier;
+  tier.max_bytes = max_bytes;
+  tier.write_behind_bytes = options.spill_write_behind_bytes;
+  tier.compression = options.spill_compression;
+  return std::make_unique<SpillTier>(options.spill_dir + "/" + subdir, tier,
+                                     what);
 }
 
 }  // namespace
@@ -30,9 +35,20 @@ Datastore::Datastore(DatasetCatalog* catalog, const PlatformOptions& options)
                                    options.graph_spill_bytes, "dataset")),
       result_spill_(MakeSpillTier(options, "results",
                                   options.result_spill_bytes, "result")),
+      // Demoted cache entries share the results' disk budget figure but
+      // not their key namespace (fingerprints vs task ids), hence a tier
+      // of their own.
+      cache_spill_(MakeSpillTier(options, "cache", options.result_spill_bytes,
+                                 "cached result")),
       graphs_(options.graph_store_bytes, dataset_spill_.get()),
       results_(options.max_retained_results),
-      result_cache_(options.result_cache_bytes) {}
+      result_cache_(options.result_cache_bytes, cache_spill_.get()) {}
+
+void Datastore::Flush() {
+  if (dataset_spill_ != nullptr) dataset_spill_->Flush();
+  if (result_spill_ != nullptr) result_spill_->Flush();
+  if (cache_spill_ != nullptr) cache_spill_->Flush();
+}
 
 void Datastore::PutResult(TaskResult result) {
   // Serialize writers so "evict X" and "erase X's logs" are atomic
@@ -49,11 +65,15 @@ void Datastore::DemoteEvictedResultsLocked(std::vector<TaskResult> evicted) {
   for (TaskResult& victim : evicted) {
     evicted_ids.push_back(victim.task_id);
     if (result_spill_ == nullptr) continue;
+    // Deferred payload: in write-behind mode the serialization happens on
+    // the tier's flush thread, so retention eviction stops paying for it
+    // under put_mu_.
+    const std::string task_id = victim.task_id;
     const Status spilled =
-        result_spill_->Put(victim.task_id, SerializeTaskResult(victim));
+        result_spill_->Put(task_id, MakeResultSpillPayload(std::move(victim)));
     if (!spilled.ok()) {
       CYCLERANK_LOG(kWarning)
-          << "datastore: could not spill evicted result '" << victim.task_id
+          << "datastore: could not spill evicted result '" << task_id
           << "': " << spilled.ToString() << "; dropping it instead";
     }
   }

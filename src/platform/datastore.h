@@ -40,12 +40,16 @@ namespace cyclerank {
 /// and log traffic never contend on one mutex, and each store owns exactly
 /// one retention policy.
 ///
-/// With `PlatformOptions::spill_dir` set, the facade additionally owns two
-/// disk `SpillTier`s (`<spill_dir>/datasets`, `<spill_dir>/results`):
-/// eviction from the memory stores *demotes* the victim to disk instead of
-/// destroying it, later lookups transparently reload it, and both tiers
-/// survive a process restart (manifest + recovery scan). An empty
-/// `spill_dir` keeps the historical drop-on-evict behavior.
+/// With `PlatformOptions::spill_dir` set, the facade additionally owns
+/// three disk `SpillTier`s (`<spill_dir>/datasets`, `<spill_dir>/results`,
+/// `<spill_dir>/cache`): eviction from the memory stores — including the
+/// result cache — *demotes* the victim to disk instead of destroying it,
+/// later lookups transparently reload it, and the tiers survive a process
+/// restart (manifest + recovery scan). The tiers inherit the LSM-style
+/// knobs (`spill_write_behind_bytes`, `spill_compression`): demotion
+/// enqueues into a write-behind buffer flushed by a background thread, and
+/// payloads are block-compressed on disk. An empty `spill_dir` keeps the
+/// historical drop-on-evict behavior.
 ///
 /// Datasets resolve against (a) graphs uploaded at runtime ("users can
 /// upload new datasets") and (b) an optional backing `DatasetCatalog` of
@@ -154,6 +158,12 @@ class Datastore {
   /// `spill_dir`.
   const SpillTier* dataset_spill() const { return dataset_spill_.get(); }
   const SpillTier* result_spill() const { return result_spill_.get(); }
+  const SpillTier* cache_spill() const { return cache_spill_.get(); }
+
+  /// Blocks until every write-behind buffer has reached disk — the
+  /// durability barrier for tests and orderly shutdown. A no-op with
+  /// synchronous spilling or no `spill_dir`.
+  void Flush();
 
   /// Byte-budgeted LRU over completed task results, keyed by
   /// `TaskFingerprint`. The scheduler serves repeated queries from it
@@ -180,9 +190,11 @@ class Datastore {
 
   DatasetCatalog* catalog_;  // not owned, may be null
   // The spill tiers are declared before the stores so they outlive them on
-  // both ends: GraphStore holds a raw pointer into dataset_spill_.
+  // both ends: GraphStore holds a raw pointer into dataset_spill_ and
+  // ResultCache one into cache_spill_.
   std::unique_ptr<SpillTier> dataset_spill_;  ///< null without a spill_dir
   std::unique_ptr<SpillTier> result_spill_;   ///< null without a spill_dir
+  std::unique_ptr<SpillTier> cache_spill_;    ///< null without a spill_dir
   GraphStore graphs_;
   ResultStore results_;
   LogStore logs_;

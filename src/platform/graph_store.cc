@@ -7,6 +7,23 @@
 #include "common/logging.h"
 
 namespace cyclerank {
+namespace {
+
+/// Defers `Graph::Serialize` to the spill tier's flush thread: eviction
+/// enqueues the still-live snapshot in O(1) and the serialization cost
+/// moves off the store lock entirely. The shared_ptr pins the graph until
+/// the flush (or a buffered read) is done with it.
+class GraphSpillPayload final : public SpillPayload {
+ public:
+  explicit GraphSpillPayload(GraphPtr graph) : graph_(std::move(graph)) {}
+  std::string Serialize() const override { return graph_->Serialize(); }
+  size_t ApproxBytes() const override { return graph_->MemoryBytes(); }
+
+ private:
+  const GraphPtr graph_;
+};
+
+}  // namespace
 
 GraphStore::GraphStore(size_t max_bytes, SpillTier* spill)
     : max_bytes_(max_bytes), spill_(spill), lru_(max_bytes) {
@@ -133,9 +150,13 @@ void GraphStore::EvictLocked() {
       if (spill_->Meta(victim->key) == victim->value.generation) {
         ++stats_.spills;
       } else {
-        const Status spilled =
-            spill_->Put(victim->key, victim->value.graph->Serialize(),
-                        victim->value.generation);
+        // Hand the tier a deferred payload: in write-behind mode this
+        // enqueues the GraphPtr and returns — serialization happens on
+        // the flush thread, not under this store's lock.
+        const Status spilled = spill_->Put(
+            victim->key,
+            std::make_shared<const GraphSpillPayload>(victim->value.graph),
+            victim->value.generation);
         if (spilled.ok()) {
           ++stats_.spills;
         } else {

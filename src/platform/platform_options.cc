@@ -111,6 +111,20 @@ Result<PlatformOptions> PlatformOptions::FromString(std::string_view text) {
     } else if (key == "result_spill_bytes") {
       CYCLERANK_ASSIGN_OR_RETURN(options.result_spill_bytes,
                                  ParseByteSize(key, value));
+    } else if (key == "spill_write_behind_bytes") {
+      CYCLERANK_ASSIGN_OR_RETURN(options.spill_write_behind_bytes,
+                                 ParseByteSize(key, value));
+    } else if (key == "spill_compression") {
+      const std::string lowered = AsciiToLower(value);
+      if (lowered == "true" || lowered == "1") {
+        options.spill_compression = true;
+      } else if (lowered == "false" || lowered == "0") {
+        options.spill_compression = false;
+      } else {
+        return Status::ParseError(
+            "platform options: spill_compression expects true/false/1/0, "
+            "got '" + value + "'");
+      }
     } else {
       // Unknown keys are rejected, mirroring BuildRequest: a typo like
       // "graph_store_byte=1g" silently running unbounded would defeat the
@@ -138,10 +152,14 @@ std::string PlatformOptions::ToString() const {
   append("num_workers", num_workers);
   append("result_cache_bytes", result_cache_bytes);
   append("result_spill_bytes", result_spill_bytes);
-  // The string-valued knob rides the same sorted "key=value" form; an
-  // empty value parses back to the empty (disabled) default.
+  // The bool rides as true/false (FromString accepts 1/0 too), the
+  // string-valued knob as-is; an empty spill_dir parses back to the empty
+  // (disabled) default. Both keep the sorted-key order.
   if (!out.empty()) out += ", ";
-  out += "spill_dir=" + spill_dir;
+  out += std::string("spill_compression=") +
+         (spill_compression ? "true" : "false");
+  out += ", spill_dir=" + spill_dir;
+  append("spill_write_behind_bytes", spill_write_behind_bytes);
   append("uuid_seed", uuid_seed);
   return out;
 }

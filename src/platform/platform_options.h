@@ -80,6 +80,21 @@ struct PlatformOptions {
   /// Byte budget of the result spill tier; same semantics.
   size_t result_spill_bytes = 0;
 
+  /// Byte bound of each spill tier's in-memory write-behind buffer. With
+  /// a non-zero bound, demotion *enqueues* the victim and returns — a
+  /// background flush thread serializes, compresses, and renames to disk
+  /// off the store locks, and reads hit the buffer before disk so an
+  /// entry is never invisible. Past the bound demotion blocks until the
+  /// flusher catches up (backpressure). 0 = synchronous demotion (the
+  /// PR-5 behavior: serialize + write inline on the evicting thread).
+  size_t spill_write_behind_bytes = 32u << 20;  // 32 MiB
+
+  /// Compress spilled payloads on disk (block-LZ, checksum-then-compress;
+  /// see common/binary_io.h). CSR arrays and score vectors compress well,
+  /// multiplying the effective disk budgets above. Files written by
+  /// either setting — including pre-compression PR-5 files — always load.
+  bool spill_compression = true;
+
   /// Options with only the scheduler knobs set — the common shape of the
   /// examples, CLI, bench drivers, and test harnesses.
   static PlatformOptions WithWorkers(size_t workers, uint64_t uuid_seed = 0) {
@@ -114,7 +129,9 @@ struct PlatformOptions {
            a.max_tasks_per_submission == b.max_tasks_per_submission &&
            a.spill_dir == b.spill_dir &&
            a.graph_spill_bytes == b.graph_spill_bytes &&
-           a.result_spill_bytes == b.result_spill_bytes;
+           a.result_spill_bytes == b.result_spill_bytes &&
+           a.spill_write_behind_bytes == b.spill_write_behind_bytes &&
+           a.spill_compression == b.spill_compression;
   }
 };
 

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "platform/byte_lru.h"
+#include "platform/spill_tier.h"
 #include "platform/task.h"
 
 namespace cyclerank {
@@ -20,6 +21,8 @@ struct ResultCacheStats {
   uint64_t evictions = 0;   ///< entries dropped to respect the byte budget
   uint64_t rejected = 0;    ///< entries larger than the entire budget
   uint64_t invalidations = 0;  ///< entries dropped by `ErasePrefix`
+  uint64_t disk_spills = 0;    ///< evictions demoted to the disk tier
+  uint64_t disk_reloads = 0;   ///< `Get` hits served by reloading from disk
   size_t entries = 0;       ///< current entry count
   size_t bytes = 0;         ///< current estimated footprint
 };
@@ -33,6 +36,16 @@ struct ResultCacheStats {
 /// IS the ranking a fresh run would produce. Only successful results belong
 /// here; failures are cheap to re-derive and may be transient.
 ///
+/// With a `SpillTier` attached (PR 6), eviction *demotes* entries to disk
+/// instead of destroying them, and a later fingerprint hit transparently
+/// reloads (and re-admits) the entry — the cache's effective capacity
+/// becomes memory + disk. Fingerprints are content-addressed (dataset
+/// binding generation + algorithm + params), so a disk copy can never go
+/// stale while its key matches; `ErasePrefix` invalidates both tiers when
+/// a dataset name is re-bound. Single-flight semantics are preserved: the
+/// scheduler consults `Get` before admitting a task, and a disk reload is
+/// indistinguishable from a memory hit to it.
+///
 /// The footprint of an entry is estimated with `EstimateBytes` (dominated by
 /// the ranking payload). Inserting past the budget evicts least-recently-used
 /// entries; an entry that alone exceeds the budget is rejected outright. A
@@ -44,26 +57,32 @@ class ResultCache {
  public:
   static constexpr size_t kDefaultMaxBytes = 64u << 20;  // 64 MiB
 
-  explicit ResultCache(size_t max_bytes = kDefaultMaxBytes)
-      : max_bytes_(max_bytes), lru_(max_bytes) {}
+  /// `spill` may be null (no disk tier — the historical behavior) and must
+  /// outlive the cache.
+  explicit ResultCache(size_t max_bytes = kDefaultMaxBytes,
+                       SpillTier* spill = nullptr)
+      : max_bytes_(max_bytes), spill_(spill), lru_(max_bytes) {}
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
   /// Returns the cached result for `key` (bumped to most-recently-used), or
-  /// nullopt on a miss.
+  /// nullopt on a miss. A result demoted to the disk tier is transparently
+  /// reloaded and re-admitted to memory.
   std::optional<TaskResult> Get(const std::string& key);
 
   /// Stores `result` under `key`, overwriting any previous entry and
-  /// evicting LRU entries until the budget holds.
+  /// evicting LRU entries until the budget holds (evictees demote to the
+  /// disk tier when one is attached).
   void Put(const std::string& key, TaskResult result);
 
-  /// Drops every entry whose key starts with `prefix`; returns how many.
-  /// Used to invalidate a dataset's cached results when its name is
-  /// re-bound to new content (`DatasetFingerprintPrefix`).
+  /// Drops every entry whose key starts with `prefix` — from memory and
+  /// from the disk tier; returns how many (an entry resident in both tiers
+  /// counts once per tier). Used to invalidate a dataset's cached results
+  /// when its name is re-bound to new content (`DatasetFingerprintPrefix`).
   size_t ErasePrefix(const std::string& prefix);
 
-  /// Drops every entry (counters are kept).
+  /// Drops every in-memory entry (counters and the disk tier are kept).
   void Clear();
 
   ResultCacheStats stats() const;
@@ -74,10 +93,12 @@ class ResultCache {
   static size_t EstimateBytes(const std::string& key, const TaskResult& result);
 
  private:
-  /// Evicts LRU entries until the budget holds; requires `mu_`.
+  /// Evicts LRU entries until the budget holds, demoting each victim to
+  /// the disk tier when one is attached; requires `mu_`.
   void EvictLocked();
 
   const size_t max_bytes_;
+  SpillTier* const spill_;  ///< not owned, may be null
   mutable std::mutex mu_;
   ByteBudgetedLru<TaskResult> lru_;  ///< list + index + byte accounting
   ResultCacheStats stats_;           ///< counters only; entries/bytes from lru_

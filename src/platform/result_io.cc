@@ -329,4 +329,32 @@ std::string RankingToCsv(const RankedList& ranking,
   return out;
 }
 
+namespace {
+
+class ResultSpillPayload final : public SpillPayload {
+ public:
+  explicit ResultSpillPayload(TaskResult result)
+      : result_(std::move(result)) {}
+  std::string Serialize() const override {
+    return SerializeTaskResult(result_);
+  }
+  size_t ApproxBytes() const override {
+    // The encoded form is dominated by the ranking (node + score words)
+    // plus the string fields; close enough for buffer accounting.
+    return result_.ranking.size() * sizeof(ScoredNode) +
+           result_.task_id.size() + result_.spec.dataset.size() +
+           result_.spec.algorithm.size() + result_.status.message().size() +
+           128;
+  }
+
+ private:
+  const TaskResult result_;
+};
+
+}  // namespace
+
+SpillPayloadPtr MakeResultSpillPayload(TaskResult result) {
+  return std::make_shared<const ResultSpillPayload>(std::move(result));
+}
+
 }  // namespace cyclerank

@@ -6,6 +6,7 @@
 
 #include "graph/graph.h"
 #include "platform/gateway.h"
+#include "platform/spill_tier.h"
 #include "platform/task.h"
 
 namespace cyclerank {
@@ -61,6 +62,11 @@ std::string SerializeTaskResult(const TaskResult& result);
 /// Decodes a `SerializeTaskResult` buffer; a truncated or corrupted buffer
 /// yields `kParseError`.
 Result<TaskResult> DeserializeTaskResult(std::string_view bytes);
+
+/// Wraps `result` as a deferred spill payload: `SerializeTaskResult` runs
+/// on the spill tier's flush thread (write-behind mode), not on the
+/// evicting caller. The result is moved in and owned by the payload.
+SpillPayloadPtr MakeResultSpillPayload(TaskResult result);
 
 }  // namespace cyclerank
 

@@ -4,7 +4,6 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <set>
 #include <utility>
 
@@ -16,20 +15,51 @@ namespace fs = std::filesystem;
 namespace cyclerank {
 namespace {
 
-/// Spill file layout (all integers little-endian):
+/// Spill file layouts (all integers little-endian).
+///
+/// v1 (PR 5, uncompressed — still written when compression is off, always
+/// readable):
 ///   magic "CYSP1\n"                        6 bytes
 ///   meta word (opaque to the tier)         u64
 ///   FNV-1a 64 checksum of the payload      u64
 ///   original key                           u64 length + bytes
 ///   payload                                u64 length + bytes
+///
+/// v2 (PR 6, compressed): checksum-then-compress — the checksum is still
+/// computed over the *raw* payload, so bit-rot detection is identical to
+/// v1, and the raw size travels in the header so recovery can account
+/// uncompressed bytes without decoding anything:
+///   magic "CYSP2\n"                        6 bytes
+///   meta word                              u64
+///   FNV-1a 64 checksum of the RAW payload  u64
+///   original key                           u64 length + bytes
+///   raw payload size                       u64
+///   binio::CompressBlock(payload)          u64 length + bytes
+///
 /// The key is stored *in* the file, so recovery never has to invert the
 /// filename encoding, and a renamed file still identifies itself.
-constexpr std::string_view kSpillMagic = "CYSP1\n";
-constexpr size_t kFixedHeaderBytes = 6 + 8 + 8;  // magic + meta + checksum
+constexpr std::string_view kSpillMagicV1 = "CYSP1\n";
+constexpr std::string_view kSpillMagicV2 = "CYSP2\n";
+constexpr size_t kMagicBytes = 6;
+constexpr size_t kFixedHeaderBytes = kMagicBytes + 8 + 8;  // magic+meta+sum
 
 constexpr std::string_view kManifestName = "manifest";
 constexpr std::string_view kManifestMagic = "cyclerank-spill-manifest v1";
 constexpr std::string_view kSpillSuffix = ".spill";
+
+/// Per-entry overhead charged to the write-behind buffer on top of the
+/// payload's own estimate (map node, queue slot, bookkeeping).
+constexpr size_t kBufferEntryOverhead = 64;
+
+class BytesSpillPayload final : public SpillPayload {
+ public:
+  explicit BytesSpillPayload(std::string bytes) : bytes_(std::move(bytes)) {}
+  std::string Serialize() const override { return bytes_; }
+  size_t ApproxBytes() const override { return bytes_.size(); }
+
+ private:
+  const std::string bytes_;
+};
 
 /// Filesystem-safe, injective encoding of a key: alphanumerics and
 /// `._-` pass through, everything else is %-escaped. Over-long names are
@@ -68,12 +98,13 @@ struct SpillFileInfo {
   std::string key;
   uint64_t meta = 0;
   uint64_t file_bytes = 0;
+  uint64_t raw_bytes = 0;
 };
 
-/// Validates the header of `path` (magic, lengths vs the on-disk size).
-/// Payload bytes stay unread — checksums are verified on `Get`, when the
-/// payload is needed anyway. Returns nullopt with a reason for corrupt or
-/// truncated files.
+/// Validates the header of `path` (magic of either codec version, lengths
+/// vs the on-disk size). Payload bytes stay unread — checksums are
+/// verified on `Get`, when the payload is needed anyway. Returns nullopt
+/// with a reason for corrupt or truncated files.
 std::optional<SpillFileInfo> ReadSpillFileInfo(const fs::path& path,
                                                std::string* why) {
   std::error_code ec;
@@ -88,11 +119,18 @@ std::optional<SpillFileInfo> ReadSpillFileInfo(const fs::path& path,
     *why = "truncated before the key";
     return std::nullopt;
   }
-  if (std::string_view(header).substr(0, kSpillMagic.size()) != kSpillMagic) {
+  const std::string_view magic =
+      std::string_view(header).substr(0, kMagicBytes);
+  int version = 0;
+  if (magic == kSpillMagicV1) {
+    version = 1;
+  } else if (magic == kSpillMagicV2) {
+    version = 2;
+  } else {
     *why = "bad magic";
     return std::nullopt;
   }
-  binio::Reader reader(std::string_view(header).substr(kSpillMagic.size()));
+  binio::Reader reader(std::string_view(header).substr(kMagicBytes));
   SpillFileInfo info;
   info.file_bytes = file_bytes;
   uint64_t checksum = 0;
@@ -106,17 +144,27 @@ std::optional<SpillFileInfo> ReadSpillFileInfo(const fs::path& path,
     return std::nullopt;
   }
   info.key.resize(key_len);
-  std::string payload_len_bytes(8, '\0');
+  // v1 carries one length word after the key (payload), v2 two (raw size
+  // + encoded block length).
+  const size_t tail_bytes = version == 1 ? 8 : 16;
+  std::string tail(tail_bytes, '\0');
   if (!in.read(info.key.data(), static_cast<std::streamsize>(key_len)) ||
-      !in.read(payload_len_bytes.data(), 8)) {
+      !in.read(tail.data(), static_cast<std::streamsize>(tail_bytes))) {
     *why = "truncated inside the key";
     return std::nullopt;
   }
-  uint64_t payload_len = 0;
-  binio::Reader payload_reader(payload_len_bytes);
-  (void)payload_reader.ReadU64(&payload_len);
-  const uint64_t expected =
-      kFixedHeaderBytes + 8 + key_len + 8 + payload_len;
+  binio::Reader tail_reader(tail);
+  uint64_t body_len = 0;
+  uint64_t expected = 0;
+  if (version == 1) {
+    (void)tail_reader.ReadU64(&body_len);
+    info.raw_bytes = body_len;
+    expected = kFixedHeaderBytes + 8 + key_len + 8 + body_len;
+  } else {
+    (void)tail_reader.ReadU64(&info.raw_bytes);
+    (void)tail_reader.ReadU64(&body_len);
+    expected = kFixedHeaderBytes + 8 + key_len + 8 + 8 + body_len;
+  }
   if (expected != file_bytes) {
     *why = "payload length disagrees with the file size (truncated write?)";
     return std::nullopt;
@@ -126,28 +174,44 @@ std::optional<SpillFileInfo> ReadSpillFileInfo(const fs::path& path,
 
 }  // namespace
 
-SpillTier::SpillTier(std::string dir, size_t max_bytes, std::string what)
-    : dir_(std::move(dir)),
-      max_bytes_(max_bytes),
-      what_(std::move(what)),
-      lru_(max_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::error_code ec;
-  fs::create_directories(dir_, ec);
-  if (ec) {
-    CYCLERANK_LOG(kError) << "spill tier (" << what_
-                          << "): cannot create directory '" << dir_ << "': "
-                          << ec.message() << "; tier disabled, eviction "
-                          << "degrades to drop";
-    return;
-  }
-  enabled_ = true;
-  RecoverLocked();
+SpillPayloadPtr MakeBytesSpillPayload(std::string bytes) {
+  return std::make_shared<const BytesSpillPayload>(std::move(bytes));
 }
 
-bool SpillTier::enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return enabled_;
+SpillTier::SpillTier(std::string dir, SpillTierOptions options,
+                     std::string what)
+    : dir_(std::move(dir)),
+      options_(options),
+      what_(std::move(what)),
+      lru_(options.max_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+      CYCLERANK_LOG(kError) << "spill tier (" << what_
+                            << "): cannot create directory '" << dir_ << "': "
+                            << ec.message() << "; tier disabled, eviction "
+                            << "degrades to drop";
+      return;
+    }
+    enabled_ = true;
+    RecoverLocked();
+  }
+  if (write_behind()) {
+    flusher_ = std::thread(&SpillTier::FlushWorker, this);
+  }
+}
+
+SpillTier::~SpillTier() {
+  if (!flusher_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu_);
+    stop_ = true;
+    flush_paused_ = false;  // destruction overrides a test pause
+  }
+  work_cv_.notify_all();
+  flusher_.join();
 }
 
 void SpillTier::RecoverLocked() {
@@ -200,8 +264,10 @@ void SpillTier::RecoverLocked() {
                               << "': duplicate key '" << info.key << "'";
       continue;
     }
-    lru_.Insert(info.key, Info{info.meta},
+    lru_.Insert(info.key, Info{info.meta, info.raw_bytes},
                 static_cast<size_t>(info.file_bytes));
+    raw_bytes_ += info.raw_bytes;
+    FilterAdd(info.key);
     ++stats_.recovered;
   }
   if (stats_.recovered != 0 || stats_.skipped != 0) {
@@ -217,34 +283,244 @@ void SpillTier::RecoverLocked() {
   }
 }
 
-Status SpillTier::Put(const std::string& key, std::string_view payload,
+Status SpillTier::Put(const std::string& key, SpillPayloadPtr payload,
                       uint64_t meta) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (!enabled_) {
     return Status::FailedPrecondition("spill tier (" + what_ +
                                       "): disabled (directory '" + dir_ +
                                       "' could not be initialized)");
   }
-  std::string file;
-  file.reserve(kFixedHeaderBytes + 16 + key.size() + payload.size());
-  file.append(kSpillMagic);
-  binio::AppendU64(&file, meta);
-  binio::AppendU64(&file, binio::Fnv1a64(payload));
-  binio::AppendString(&file, key);
-  binio::AppendString(&file, payload);
-  if (max_bytes_ != 0 && file.size() > max_bytes_) {
+  if (payload == nullptr) {
+    return Status::InvalidArgument("spill tier (" + what_ +
+                                   "): null payload for '" + key + "'");
+  }
+  if (!write_behind()) return PutSync(key, payload->Serialize(), meta);
+
+  const size_t approx =
+      payload->ApproxBytes() + key.size() + kBufferEntryOverhead;
+  {
+    std::unique_lock<std::mutex> lock(buffer_mu_);
+    // Backpressure: past the byte bound the caller waits for the flusher.
+    // A single payload larger than the whole bound is admitted alone (the
+    // buffer must make progress), which is why the emptiness check is part
+    // of the predicate.
+    if (!stop_ && !pending_.empty() &&
+        pending_bytes_ + approx > options_.write_behind_bytes) {
+      ++backpressure_waits_;
+      drained_cv_.wait(lock, [&] {
+        return stop_ || pending_.empty() ||
+               pending_bytes_ + approx <= options_.write_behind_bytes;
+      });
+    }
+    // Add to the filter *before* publishing the entry: releasing
+    // buffer_mu_ then orders this relaxed store before any reader that
+    // synchronizes with the insert, so a filter miss can never hide an
+    // entry such a reader is entitled to see.
+    FilterAdd(key);
+    auto [it, inserted] = pending_.try_emplace(key);
+    if (!inserted) pending_bytes_ -= it->second.approx_bytes;
+    it->second.payload = std::move(payload);
+    it->second.meta = meta;
+    it->second.seq = ++next_seq_;
+    it->second.approx_bytes = approx;
+    if (!it->second.queued) {
+      // Not queued means either a fresh entry or one whose flush is in
+      // flight right now; either way the new seq needs its own queue slot
+      // (an already-queued entry's slot will pick the new seq up itself).
+      it->second.queued = true;
+      flush_queue_.push_back(key);
+    }
+    pending_bytes_ += approx;
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+Status SpillTier::Put(const std::string& key, std::string_view payload,
+                      uint64_t meta) {
+  if (!enabled_) {
+    return Status::FailedPrecondition("spill tier (" + what_ +
+                                      "): disabled (directory '" + dir_ +
+                                      "' could not be initialized)");
+  }
+  if (!write_behind()) return PutSync(key, payload, meta);
+  return Put(key, MakeBytesSpillPayload(std::string(payload)), meta);
+}
+
+Status SpillTier::PutSync(const std::string& key, std::string_view raw,
+                          uint64_t meta) {
+  const std::string file = EncodeSpillFile(key, raw, meta);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Into the filter before any outcome: a rejected-oversize key becomes a
+  // pruned marker, and pruned lookups must fall through the filter to get
+  // their exact `kExpired` answer.
+  FilterAdd(key);
+  if (options_.max_bytes != 0 && file.size() > options_.max_bytes) {
     // The entry cannot be demoted at all. Drop any older spill of the key
     // (it is superseded either way) and remember the key as pruned, so
     // lookups report disk-budget pressure instead of "never stored".
-    if (lru_.Erase(key).has_value()) RemoveFileLocked(key);
+    if (UnindexLocked(key).has_value()) RemoveFileLocked(key);
     pruned_.Mark(key);
     pruned_.Bound(kMaxPrunedMarkers);
     WriteManifestLocked();
     return Status::InvalidArgument(
         "spill tier (" + what_ + "): '" + key + "' needs " +
         std::to_string(file.size()) + " bytes on disk, larger than the " +
-        "entire spill budget of " + std::to_string(max_bytes_) + " bytes");
+        "entire spill budget of " + std::to_string(options_.max_bytes) +
+        " bytes");
   }
+  const Status written = WriteSpillFile(key, file);
+  if (!written.ok()) return written;
+  IndexLocked(key, Info{meta, raw.size()}, file.size());
+  WriteManifestLocked();
+  return Status::OK();
+}
+
+void SpillTier::FlushWorker() {
+  for (;;) {
+    std::string key;
+    SpillPayloadPtr payload;
+    uint64_t meta = 0;
+    uint64_t seq = 0;
+    {
+      std::unique_lock<std::mutex> lock(buffer_mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (!flush_queue_.empty() && !flush_paused_);
+      });
+      if (flush_queue_.empty()) {
+        if (stop_) return;  // drained — every accepted write is on disk
+        continue;
+      }
+      key = std::move(flush_queue_.front());
+      flush_queue_.pop_front();
+      auto it = pending_.find(key);
+      if (it == pending_.end() || !it->second.queued) {
+        continue;  // erased, or a stale duplicate queue slot
+      }
+      it->second.queued = false;
+      payload = it->second.payload;
+      meta = it->second.meta;
+      seq = it->second.seq;
+    }
+    // Serialize + compress + write with no lock held — this is the whole
+    // point of the write-behind tier.
+    FlushOne(key, payload, meta, seq);
+  }
+}
+
+void SpillTier::FlushOne(const std::string& key, const SpillPayloadPtr& payload,
+                         uint64_t meta, uint64_t seq) {
+  const std::string raw = payload->Serialize();
+  const std::string file = EncodeSpillFile(key, raw, meta);
+  if (options_.max_bytes != 0 && file.size() > options_.max_bytes) {
+    CYCLERANK_LOG(kWarning)
+        << "spill tier (" << what_ << "): '" << key << "' needs "
+        << file.size() << " bytes on disk, larger than the entire spill "
+        << "budget of " << options_.max_bytes << " bytes; dropped (pruned)";
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (UnindexLocked(key).has_value()) RemoveFileLocked(key);
+      pruned_.Mark(key);
+      pruned_.Bound(kMaxPrunedMarkers);
+      WriteManifestLocked();
+    }
+    DropPending(key, seq);
+    return;
+  }
+  const Status written = WriteSpillFile(key, file);
+  if (!written.ok()) {
+    CYCLERANK_LOG(kError) << "spill tier (" << what_
+                          << "): write-behind flush of '" << key
+                          << "' failed, entry lost: " << written.message();
+    {
+      // Remember the loss the same way a budget prune is remembered, so a
+      // later lookup reports "was spilled and dropped", not "never stored".
+      std::lock_guard<std::mutex> lock(mu_);
+      pruned_.Mark(key);
+      pruned_.Bound(kMaxPrunedMarkers);
+    }
+    DropPending(key, seq);
+    return;
+  }
+  FinishPending(key, seq, Info{meta, raw.size()}, file.size());
+}
+
+void SpillTier::FinishPending(const std::string& key, uint64_t seq,
+                              Info info, size_t file_bytes) {
+  std::unique_lock<std::mutex> lock(buffer_mu_);
+  auto it = pending_.find(key);
+  if (it != pending_.end() && it->second.seq == seq) {
+    // Index the flushed file *before* dropping the buffer entry, so a
+    // concurrent Get always finds the key in at least one of the two —
+    // the never-invisible guarantee.
+    {
+      std::lock_guard<std::mutex> disk_lock(mu_);
+      IndexLocked(key, info, file_bytes);
+      ++stats_.flushes;
+    }
+    pending_bytes_ -= it->second.approx_bytes;
+    pending_.erase(it);
+    lock.unlock();
+    drained_cv_.notify_all();
+    flushed_cv_.notify_all();
+    // The manifest write is file IO: do it off buffer_mu_ so enqueues
+    // never wait behind it.
+    std::lock_guard<std::mutex> disk_lock(mu_);
+    WriteManifestLocked();
+    return;
+  }
+  if (it == pending_.end()) {
+    // Erased while the flush was in flight: the rename above resurrected
+    // a file the caller asked to drop. It was never indexed (only this
+    // thread indexes), so remove it directly — unless a newer flush has
+    // already re-indexed the key.
+    lock.unlock();
+    std::lock_guard<std::mutex> disk_lock(mu_);
+    if (!lru_.Contains(key)) RemoveFileLocked(key);
+    return;
+  }
+  // Superseded while in flight: the newer seq holds a queue slot and its
+  // flush will overwrite the file we just wrote. Leave everything alone.
+}
+
+void SpillTier::DropPending(const std::string& key, uint64_t seq) {
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu_);
+    auto it = pending_.find(key);
+    if (it == pending_.end() || it->second.seq != seq) return;
+    pending_bytes_ -= it->second.approx_bytes;
+    pending_.erase(it);
+  }
+  drained_cv_.notify_all();
+  flushed_cv_.notify_all();
+}
+
+std::string SpillTier::EncodeSpillFile(const std::string& key,
+                                       std::string_view raw,
+                                       uint64_t meta) const {
+  std::string file;
+  if (options_.compression) {
+    const std::string encoded = binio::CompressBlock(raw);
+    file.reserve(kFixedHeaderBytes + 32 + key.size() + encoded.size());
+    file.append(kSpillMagicV2);
+    binio::AppendU64(&file, meta);
+    binio::AppendU64(&file, binio::Fnv1a64(raw));
+    binio::AppendString(&file, key);
+    binio::AppendU64(&file, raw.size());
+    binio::AppendString(&file, encoded);
+  } else {
+    file.reserve(kFixedHeaderBytes + 16 + key.size() + raw.size());
+    file.append(kSpillMagicV1);
+    binio::AppendU64(&file, meta);
+    binio::AppendU64(&file, binio::Fnv1a64(raw));
+    binio::AppendString(&file, key);
+    binio::AppendString(&file, raw);
+  }
+  return file;
+}
+
+Status SpillTier::WriteSpillFile(const std::string& key,
+                                 std::string_view file) const {
   const std::string path = FilePath(key);
   const std::string tmp_path = path + ".tmp";
   {
@@ -266,16 +542,60 @@ Status SpillTier::Put(const std::string& key, std::string_view payload,
     return Status::IOError("spill tier (" + what_ + "): cannot rename '" +
                            tmp_path + "' into place: " + rename_ec.message());
   }
-  lru_.Erase(key);  // overwrite: the rename already replaced the file
-  pruned_.Revive(key);
-  lru_.Insert(key, Info{meta}, file.size());
-  ++stats_.spills;
-  PruneLocked();
-  WriteManifestLocked();
   return Status::OK();
 }
 
+void SpillTier::IndexLocked(const std::string& key, Info info,
+                            size_t file_bytes) {
+  if (std::optional<ByteBudgetedLru<Info>::Entry> old = UnindexLocked(key);
+      old.has_value()) {
+    // Overwrite: the rename already replaced the file on disk.
+  }
+  pruned_.Revive(key);
+  lru_.Insert(key, info, file_bytes);
+  raw_bytes_ += info.raw_bytes;
+  ++stats_.spills;
+  PruneLocked();
+}
+
+std::optional<ByteBudgetedLru<SpillTier::Info>::Entry> SpillTier::UnindexLocked(
+    const std::string& key) {
+  std::optional<ByteBudgetedLru<Info>::Entry> entry = lru_.Erase(key);
+  if (entry.has_value()) raw_bytes_ -= entry->value.raw_bytes;
+  return entry;
+}
+
 Result<SpillTier::Loaded> SpillTier::Get(const std::string& key) {
+  // The filter is the fast path for "never stored": no lock, no disk.
+  // Pruned and corrupt-dropped keys were once stored, so their bits are
+  // set and they fall through to the exact answer below.
+  if (!FilterMayContain(key)) {
+    filter_negatives_.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotFound("spill tier (" + what_ + "): no spill file for '" +
+                            key + "'");
+  }
+  if (write_behind()) {
+    SpillPayloadPtr buffered;
+    uint64_t buffered_meta = 0;
+    {
+      std::lock_guard<std::mutex> lock(buffer_mu_);
+      auto it = pending_.find(key);
+      if (it != pending_.end()) {
+        buffered = it->second.payload;
+        buffered_meta = it->second.meta;
+      }
+    }
+    if (buffered != nullptr) {
+      // Read-your-write: the entry has not reached disk yet but is fully
+      // visible. Serialize outside buffer_mu_ — the shared_ptr keeps the
+      // payload alive even if it is erased or flushed meanwhile.
+      buffer_hits_.fetch_add(1, std::memory_order_relaxed);
+      Loaded loaded;
+      loaded.meta = buffered_meta;
+      loaded.payload = buffered->Serialize();
+      return loaded;
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   Info* info = lru_.Touch(key);
   if (info == nullptr) {
@@ -284,7 +604,7 @@ Result<SpillTier::Loaded> SpillTier::Get(const std::string& key) {
       return Status::Expired("spill tier (" + what_ + "): '" + key +
                              "' was spilled to disk and then pruned by the "
                              "spill byte budget (" +
-                             std::to_string(max_bytes_) + " bytes)");
+                             std::to_string(options_.max_bytes) + " bytes)");
     }
     return Status::NotFound("spill tier (" + what_ + "): no spill file for '" +
                             key + "'");
@@ -307,31 +627,47 @@ Result<SpillTier::Loaded> SpillTier::Get(const std::string& key) {
     }
   }
   // Re-validate everything before trusting the bytes: magic, the embedded
-  // key, and the payload checksum. Any mismatch means bit rot or a torn
-  // write — drop the entry with a warning instead of handing corrupt bytes
-  // to a codec.
+  // key, the compressed framing, and the payload checksum. Any mismatch
+  // means bit rot or a torn write — drop the entry with a warning instead
+  // of handing corrupt bytes to a codec.
   const auto corrupt = [&](const std::string& why) -> Status {
     CYCLERANK_LOG(kWarning) << "spill tier (" << what_
                             << "): dropping corrupt spill file '" << path
                             << "': " << why;
-    lru_.Erase(key);
+    UnindexLocked(key);
     RemoveFileLocked(key);
     ++stats_.skipped;
     WriteManifestLocked();
     return Status::IOError("spill tier (" + what_ + "): spill file for '" +
                            key + "' is corrupt (" + why + ")");
   };
-  if (std::string_view(file).substr(0, kSpillMagic.size()) != kSpillMagic) {
-    return corrupt("bad magic");
-  }
-  binio::Reader reader(std::string_view(file).substr(kSpillMagic.size()));
+  const std::string_view magic =
+      std::string_view(file).substr(0, std::min(file.size(), kMagicBytes));
+  const bool v2 = magic == kSpillMagicV2;
+  if (!v2 && magic != kSpillMagicV1) return corrupt("bad magic");
+  binio::Reader reader(std::string_view(file).substr(kMagicBytes));
   Loaded loaded;
   uint64_t checksum = 0;
   std::string stored_key;
   if (!reader.ReadU64(&loaded.meta) || !reader.ReadU64(&checksum) ||
-      !reader.ReadString(&stored_key) || !reader.ReadString(&loaded.payload) ||
-      !reader.AtEnd()) {
+      !reader.ReadString(&stored_key)) {
     return corrupt("truncated");
+  }
+  if (v2) {
+    uint64_t raw_len = 0;
+    std::string encoded;
+    if (!reader.ReadU64(&raw_len) || !reader.ReadString(&encoded) ||
+        !reader.AtEnd()) {
+      return corrupt("truncated");
+    }
+    if (!binio::DecompressBlock(encoded, &loaded.payload) ||
+        loaded.payload.size() != raw_len) {
+      return corrupt("compressed payload does not decode");
+    }
+  } else {
+    if (!reader.ReadString(&loaded.payload) || !reader.AtEnd()) {
+      return corrupt("truncated");
+    }
   }
   if (stored_key != key) {
     return corrupt("embedded key '" + stored_key + "' does not match");
@@ -347,11 +683,22 @@ Result<SpillTier::Loaded> SpillTier::Get(const std::string& key) {
 }
 
 bool SpillTier::Contains(const std::string& key) const {
+  if (!FilterMayContain(key)) {
+    filter_negatives_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::lock_guard<std::mutex> buffer_lock(buffer_mu_);
+  if (pending_.count(key) != 0) return true;
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.Contains(key);
 }
 
 std::optional<uint64_t> SpillTier::Meta(const std::string& key) const {
+  if (!FilterMayContain(key)) return std::nullopt;
+  std::lock_guard<std::mutex> buffer_lock(buffer_mu_);
+  if (auto it = pending_.find(key); it != pending_.end()) {
+    return it->second.meta;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   const Info* info = lru_.Find(key);
   if (info == nullptr) return std::nullopt;
@@ -364,21 +711,81 @@ bool SpillTier::WasPruned(const std::string& key) const {
 }
 
 void SpillTier::Erase(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu_);
+    auto it = pending_.find(key);
+    if (it != pending_.end()) {
+      pending_bytes_ -= it->second.approx_bytes;
+      pending_.erase(it);
+      drained_cv_.notify_all();
+      flushed_cv_.notify_all();
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   pruned_.Revive(key);
-  if (!lru_.Erase(key).has_value()) return;
+  if (!UnindexLocked(key).has_value()) return;
   RemoveFileLocked(key);
   WriteManifestLocked();
 }
 
-std::vector<std::string> SpillTier::Keys() const {
+size_t SpillTier::ErasePrefix(const std::string& prefix) {
+  std::set<std::string> erased;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu_);
+    for (auto it = pending_.lower_bound(prefix);
+         it != pending_.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0;) {
+      erased.insert(it->first);
+      pending_bytes_ -= it->second.approx_bytes;
+      it = pending_.erase(it);
+    }
+    if (!erased.empty()) {
+      drained_cv_.notify_all();
+      flushed_cv_.notify_all();
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  return lru_.Keys();
+  std::vector<ByteBudgetedLru<Info>::Entry> disk = lru_.ErasePrefix(prefix);
+  for (const ByteBudgetedLru<Info>::Entry& entry : disk) {
+    raw_bytes_ -= entry.value.raw_bytes;
+    pruned_.Revive(entry.key);
+    RemoveFileLocked(entry.key);
+    erased.insert(entry.key);
+  }
+  if (!disk.empty()) WriteManifestLocked();
+  return erased.size();
+}
+
+void SpillTier::Flush() {
+  if (!write_behind()) return;
+  std::unique_lock<std::mutex> lock(buffer_mu_);
+  flushed_cv_.wait(lock, [&] { return pending_.empty(); });
+}
+
+void SpillTier::SetFlushPausedForTest(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu_);
+    flush_paused_ = paused;
+  }
+  work_cv_.notify_all();
+}
+
+std::vector<std::string> SpillTier::Keys() const {
+  std::set<std::string> keys;
+  std::lock_guard<std::mutex> buffer_lock(buffer_mu_);
+  for (const auto& [key, pending] : pending_) keys.insert(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& key : lru_.Keys()) keys.insert(key);
+  return std::vector<std::string>(keys.begin(), keys.end());
 }
 
 uint64_t SpillTier::MaxMeta() const {
-  std::lock_guard<std::mutex> lock(mu_);
   uint64_t max_meta = 0;
+  std::lock_guard<std::mutex> buffer_lock(buffer_mu_);
+  for (const auto& [key, pending] : pending_) {
+    max_meta = std::max(max_meta, pending.meta);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   for (const std::string& key : lru_.Keys()) {
     max_meta = std::max(max_meta, lru_.Find(key)->meta);
   }
@@ -386,10 +793,18 @@ uint64_t SpillTier::MaxMeta() const {
 }
 
 SpillTierStats SpillTier::stats() const {
+  std::lock_guard<std::mutex> buffer_lock(buffer_mu_);
   std::lock_guard<std::mutex> lock(mu_);
   SpillTierStats snapshot = stats_;
   snapshot.entries = lru_.size();
   snapshot.bytes = lru_.bytes();
+  snapshot.raw_bytes = raw_bytes_;
+  snapshot.queue_depth = pending_.size();
+  snapshot.buffer_bytes = pending_bytes_;
+  snapshot.backpressure_waits = backpressure_waits_;
+  snapshot.buffer_hits = buffer_hits_.load(std::memory_order_relaxed);
+  snapshot.filter_negatives =
+      filter_negatives_.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -397,6 +812,7 @@ void SpillTier::PruneLocked() {
   while (lru_.OverBudget()) {
     std::optional<ByteBudgetedLru<Info>::Entry> victim = lru_.PopLeastRecent();
     if (!victim.has_value()) break;
+    raw_bytes_ -= victim->value.raw_bytes;
     RemoveFileLocked(victim->key);
     pruned_.Mark(victim->key);
     ++stats_.prunes;
@@ -447,6 +863,40 @@ void SpillTier::RemoveFileLocked(const std::string& key) {
 
 std::string SpillTier::FilePath(const std::string& key) const {
   return (fs::path(dir_) / SpillFileName(key)).string();
+}
+
+void SpillTier::FilterAdd(const std::string& key) {
+  const uint64_t h1 = binio::Fnv1a64(key);
+  // splitmix64 finalizer: a second, independent probe from the same hash.
+  uint64_t h2 = h1;
+  h2 ^= h2 >> 30;
+  h2 *= 0xbf58476d1ce4e5b9ull;
+  h2 ^= h2 >> 27;
+  h2 *= 0x94d049bb133111ebull;
+  h2 ^= h2 >> 31;
+  for (const uint64_t h : {h1, h2}) {
+    const size_t bit = static_cast<size_t>(h) & (kFilterWords * 64 - 1);
+    filter_[bit >> 6].fetch_or(uint64_t{1} << (bit & 63),
+                               std::memory_order_relaxed);
+  }
+}
+
+bool SpillTier::FilterMayContain(const std::string& key) const {
+  const uint64_t h1 = binio::Fnv1a64(key);
+  uint64_t h2 = h1;
+  h2 ^= h2 >> 30;
+  h2 *= 0xbf58476d1ce4e5b9ull;
+  h2 ^= h2 >> 27;
+  h2 *= 0x94d049bb133111ebull;
+  h2 ^= h2 >> 31;
+  for (const uint64_t h : {h1, h2}) {
+    const size_t bit = static_cast<size_t>(h) & (kFilterWords * 64 - 1);
+    if ((filter_[bit >> 6].load(std::memory_order_relaxed) &
+         (uint64_t{1} << (bit & 63))) == 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace cyclerank

@@ -1,12 +1,19 @@
 #ifndef CYCLERANK_PLATFORM_SPILL_TIER_H_
 #define CYCLERANK_PLATFORM_SPILL_TIER_H_
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -17,19 +24,89 @@ namespace cyclerank {
 
 /// Occupancy and effectiveness counters of a `SpillTier`.
 struct SpillTierStats {
-  uint64_t spills = 0;   ///< entries persisted by `Put`
+  uint64_t spills = 0;   ///< entries persisted to disk (sync or flushed)
+  uint64_t flushes = 0;  ///< background write-behind flushes completed
   uint64_t reloads = 0;  ///< `Get` calls served from disk
-  uint64_t misses = 0;   ///< `Get` calls with no spill file
+  uint64_t buffer_hits = 0;  ///< `Get` calls served from the write-behind
+                             ///< buffer before the entry reached disk
+  uint64_t misses = 0;   ///< `Get` calls with no spill file (filter-positive)
+  uint64_t filter_negatives = 0;  ///< `Get`/`Contains` misses answered by the
+                                  ///< key filter alone — no lock, no disk
+  uint64_t backpressure_waits = 0;  ///< `Put` calls that blocked on the
+                                    ///< write-behind byte bound
   uint64_t prunes = 0;   ///< entries dropped to respect the disk budget
   uint64_t recovered = 0;  ///< entries restored by the construction scan
   uint64_t skipped = 0;  ///< corrupt/truncated files skipped (recovery or Get)
-  size_t entries = 0;    ///< live spilled entries
-  size_t bytes = 0;      ///< on-disk bytes of live entries
+  size_t entries = 0;    ///< live spilled entries (on disk)
+  size_t bytes = 0;      ///< on-disk (encoded) bytes of live entries
+  size_t raw_bytes = 0;  ///< uncompressed payload bytes of live entries
+  size_t queue_depth = 0;   ///< entries waiting in the write-behind buffer
+  size_t buffer_bytes = 0;  ///< approximate bytes held by the buffer
 };
+
+/// Tuning knobs of a `SpillTier`, separate from the directory and payload
+/// kind so call sites read as prose.
+struct SpillTierOptions {
+  /// Disk byte budget (on-disk file bytes); 0 = unbounded.
+  size_t max_bytes = 0;
+
+  /// Byte bound of the in-memory write-behind buffer. 0 makes `Put`
+  /// synchronous (serialize + write + rename inline, the PR-5 behavior);
+  /// non-zero makes `Put` enqueue the still-live payload and return, with
+  /// a dedicated background thread doing the serialize/compress/write off
+  /// the caller's lock. Past the bound, `Put` blocks until the flusher
+  /// drains (backpressure) — the buffer can never grow without limit.
+  size_t write_behind_bytes = 0;
+
+  /// Compress payloads on disk (the v2 spill framing). Off writes the
+  /// PR-5 uncompressed v1 framing; reads always accept both.
+  bool compression = true;
+};
+
+/// A payload handed to `SpillTier::Put`: serialization is *deferred* so
+/// the write-behind flush thread — not the evicting caller — pays for it.
+/// `Serialize` must be const-thread-safe (it may run on the flush thread
+/// concurrently with buffer reads); `ApproxBytes` feeds the write-behind
+/// byte accounting and need only be a decent estimate.
+class SpillPayload {
+ public:
+  virtual ~SpillPayload() = default;
+  virtual std::string Serialize() const = 0;
+  virtual size_t ApproxBytes() const = 0;
+};
+
+using SpillPayloadPtr = std::shared_ptr<const SpillPayload>;
+
+/// Wraps already-materialized bytes (tests, small payloads).
+SpillPayloadPtr MakeBytesSpillPayload(std::string bytes);
 
 /// The disk tier of the datastore's storage hierarchy: when a byte-budgeted
 /// in-memory store evicts under pressure, the victim is *demoted* here
 /// instead of destroyed, and a later lookup transparently reloads it.
+///
+/// Since PR 6 the tier is structured along LSM lines:
+///
+///   Put ──▶ write-behind buffer ──(background flush thread)──▶ disk file
+///            (read-your-write)      serialize → compress →
+///                                   checksum → tmp → rename
+///
+/// - **Write-behind**: with `write_behind_bytes` set, `Put` enqueues the
+///   still-live payload and returns — eviction stops paying for
+///   serialization and file IO under the owning store's lock. Reads check
+///   the buffer before disk, so an entry is never invisible between
+///   enqueue and flush; destruction drains the buffer (nothing enqueued is
+///   ever lost to a clean shutdown) and `Flush()` is an explicit barrier.
+///   Past the byte bound `Put` blocks until the flusher catches up.
+/// - **Compression**: payloads are block-compressed on disk (v2 framing,
+///   `binio::CompressBlock`) with the checksum still computed over the
+///   *raw* payload — bit-rot detection is unchanged, and a corrupt
+///   compressed block degrades to a miss exactly like a checksum mismatch.
+///   v1 (PR-5, uncompressed) files load transparently forever.
+/// - **Key filter**: a lock-free Bloom filter over every key ever stored
+///   (rebuilt from the recovery scan at construction) answers "definitely
+///   not on disk" without taking the tier lock or touching the filesystem
+///   — cold misses cost two hash probes, even while a flush or reload is
+///   holding the lock for file IO.
 ///
 /// One tier manages one directory of self-describing files (magic +
 /// version + metadata word + payload checksum + the original key + the
@@ -44,13 +121,15 @@ struct SpillTierStats {
 /// apart from "never stored".
 ///
 /// The payload is opaque bytes — `GraphStore` spills `Graph::Serialize`
-/// output, the `Datastore` facade spills `SerializeTaskResult` output. The
-/// `meta` word rides along uninterpreted (the graph tier stores the
-/// binding generation in it, so revived datasets keep their fingerprint).
+/// output, the `Datastore` facade and the `ResultCache` spill
+/// `SerializeTaskResult` output. The `meta` word rides along uninterpreted
+/// (the graph tier stores the binding generation in it, so revived
+/// datasets keep their fingerprint).
 ///
-/// Thread-safe. File IO happens under the tier's lock: spills ride the
-/// (rare) eviction path and reloads replace a recompute, so simplicity
-/// wins over IO concurrency here.
+/// Thread-safe. Two locks: `buffer_mu_` guards the write-behind buffer,
+/// `mu_` guards the disk index; the fixed acquisition order is
+/// `buffer_mu_` then `mu_` (never the reverse), and the Bloom filter is
+/// read and written lock-free.
 class SpillTier {
  public:
   /// Bound on remembered pruned keys, mirroring
@@ -63,20 +142,37 @@ class SpillTier {
   /// logs an error and comes up disabled: `Put` then fails with
   /// `kFailedPrecondition` and every `Get` misses — the owning store
   /// degrades to drop-on-evict instead of crashing.
-  SpillTier(std::string dir, size_t max_bytes, std::string what);
+  SpillTier(std::string dir, SpillTierOptions options, std::string what);
+
+  /// PR-5-shaped convenience: synchronous `Put`, uncompressed (v1) files —
+  /// the exact historical behavior, kept for tests and simple callers.
+  SpillTier(std::string dir, size_t max_bytes, std::string what)
+      : SpillTier(std::move(dir),
+                  SpillTierOptions{max_bytes, /*write_behind_bytes=*/0,
+                                   /*compression=*/false},
+                  std::move(what)) {}
 
   SpillTier(const SpillTier&) = delete;
   SpillTier& operator=(const SpillTier&) = delete;
 
+  /// Drains the write-behind buffer (every enqueued entry reaches disk),
+  /// then stops the flush thread.
+  ~SpillTier();
+
   /// False when the directory could not be initialized.
-  bool enabled() const;
+  bool enabled() const { return enabled_; }
 
   /// Persists `payload` under `key` (overwriting any previous spill of the
-  /// key), then prunes least-recently-used entries past the byte budget. A
+  /// key). Synchronous mode serializes, writes, and prunes inline, and a
   /// payload whose file alone exceeds the whole budget is rejected with
-  /// `kInvalidArgument` and the key is marked pruned — the caller learns
-  /// the entry cannot be demoted, and later lookups report it as pruned
-  /// rather than never-stored.
+  /// `kInvalidArgument` and the key marked pruned. Write-behind mode
+  /// enqueues and returns `OK`; serialization, the oversize check, and
+  /// pruning all happen on the flush thread (an oversize entry is marked
+  /// pruned there, with a logged warning).
+  Status Put(const std::string& key, SpillPayloadPtr payload,
+             uint64_t meta = 0);
+
+  /// Convenience overload for already-materialized bytes.
   Status Put(const std::string& key, std::string_view payload,
              uint64_t meta = 0);
 
@@ -85,29 +181,46 @@ class SpillTier {
     uint64_t meta = 0;
   };
 
-  /// Reads `key`'s spill file, bumping it to most-recently-used. The
-  /// payload checksum is re-verified: a corrupt file is dropped with a
-  /// logged warning and reported as `kIOError`. A pruned key answers
-  /// `kExpired`; an unknown key `kNotFound`.
+  /// Serves `key` from the write-behind buffer if it has not been flushed
+  /// yet (read-your-write), else reads its spill file, bumping it to
+  /// most-recently-used. The payload checksum is re-verified: a corrupt
+  /// file is dropped with a logged warning and reported as `kIOError`. A
+  /// pruned key answers `kExpired`; an unknown key `kNotFound` — answered
+  /// by the lock-free key filter when the key was never stored, without
+  /// touching the tier lock or the filesystem.
   Result<Loaded> Get(const std::string& key);
 
-  /// True while `key` has a live spill file.
+  /// True while `key` has a live spill file or a buffered write.
   bool Contains(const std::string& key) const;
 
   /// The `meta` word stored with `key`, without touching recency or disk;
-  /// nullopt when the key has no live spill file.
+  /// nullopt when the key has no live spill file or buffered write.
   std::optional<uint64_t> Meta(const std::string& key) const;
 
   /// True while `key`'s pruning (by budget, oversize rejection, or
   /// corruption) is still remembered.
   bool WasPruned(const std::string& key) const;
 
-  /// Drops `key`'s spill file without marking it pruned — the caller is
-  /// superseding the entry (e.g. a fresh upload re-binding a dataset name),
-  /// not evicting it under pressure.
+  /// Drops `key`'s spill file and any buffered write without marking it
+  /// pruned — the caller is superseding the entry (e.g. a fresh upload
+  /// re-binding a dataset name), not evicting it under pressure.
   void Erase(const std::string& key);
 
-  /// Keys of live spilled entries, sorted.
+  /// Drops every live entry (buffered or on disk) whose key starts with
+  /// `prefix`; returns how many. Used by the `ResultCache` to invalidate a
+  /// re-bound dataset's spilled results alongside its in-memory ones.
+  size_t ErasePrefix(const std::string& prefix);
+
+  /// Blocks until every buffered write has reached disk — the barrier for
+  /// tests, shutdown, and anything that needs durability now. A no-op in
+  /// synchronous mode. Must not be called while flushing is paused.
+  void Flush();
+
+  /// Test hook: true stalls the flush thread (entries stay buffered and
+  /// observable), false resumes it. Destruction overrides a pause.
+  void SetFlushPausedForTest(bool paused);
+
+  /// Keys of live entries (buffered or on disk), sorted.
   std::vector<std::string> Keys() const;
 
   /// Largest `meta` word across live entries (0 when empty) — lets
@@ -116,17 +229,71 @@ class SpillTier {
   uint64_t MaxMeta() const;
 
   SpillTierStats stats() const;
-  size_t max_bytes() const { return max_bytes_; }
+  size_t max_bytes() const { return options_.max_bytes; }
   const std::string& dir() const { return dir_; }
 
  private:
   struct Info {
     uint64_t meta = 0;
+    uint64_t raw_bytes = 0;  ///< uncompressed payload size
   };
+
+  /// One write awaiting flush. The entry stays in `pending_` (readable)
+  /// until its bytes are durably indexed, so reads never lose it; `seq`
+  /// detects overwrites that race an in-flight flush.
+  struct PendingWrite {
+    SpillPayloadPtr payload;
+    uint64_t meta = 0;
+    uint64_t seq = 0;
+    size_t approx_bytes = 0;
+    bool queued = false;  ///< present in flush_queue_
+  };
+
+  bool write_behind() const { return options_.write_behind_bytes != 0; }
 
   /// Scans `dir_` for spill files, seeds the LRU from the manifest, and
   /// prunes past the budget; requires `mu_`.
   void RecoverLocked();
+
+  /// The synchronous (PR-5-shaped) Put: encode, oversize check, write,
+  /// index, manifest — all before returning.
+  Status PutSync(const std::string& key, std::string_view raw, uint64_t meta);
+
+  /// The flush thread's main loop: pop → serialize → encode → write →
+  /// index, until stopped and drained.
+  void FlushWorker();
+
+  /// Flushes one buffered write (off both locks for the expensive parts).
+  void FlushOne(const std::string& key, const SpillPayloadPtr& payload,
+                uint64_t meta, uint64_t seq);
+
+  /// Completes a successful flush: indexes the renamed file, then removes
+  /// the buffer entry if its seq still matches (erased → the file is
+  /// removed again; superseded → the newer flush owns the file), waking
+  /// backpressure and Flush waiters.
+  void FinishPending(const std::string& key, uint64_t seq, Info info,
+                     size_t file_bytes);
+
+  /// Removes `key` from the buffer if its seq still matches, without
+  /// indexing anything (failed or oversize flush), waking waiters.
+  void DropPending(const std::string& key, uint64_t seq);
+
+  /// Encodes the on-disk file image (header + optionally compressed
+  /// payload) for `key`; no locks required.
+  std::string EncodeSpillFile(const std::string& key, std::string_view raw,
+                              uint64_t meta) const;
+
+  /// Writes `file` to `key`'s path via tmp + rename; no locks required.
+  Status WriteSpillFile(const std::string& key, std::string_view file) const;
+
+  /// Inserts `key` into the disk index (replacing any previous entry) and
+  /// maintains the raw-byte accounting; requires `mu_`.
+  void IndexLocked(const std::string& key, Info info, size_t file_bytes);
+
+  /// Drops `key` from the disk index (not the filesystem), maintaining
+  /// the raw-byte accounting; requires `mu_`.
+  std::optional<ByteBudgetedLru<Info>::Entry> UnindexLocked(
+      const std::string& key);
 
   /// Prunes least-recently-used entries until the budget holds; requires
   /// `mu_`.
@@ -141,12 +308,39 @@ class SpillTier {
 
   std::string FilePath(const std::string& key) const;
 
+  // Lock-free Bloom filter over every key ever stored (never removed —
+  // stale positives fall through to the exact index, which is correct).
+  static constexpr size_t kFilterWords = 1024;  // 64 Kbit, 8 KiB
+  void FilterAdd(const std::string& key);
+  bool FilterMayContain(const std::string& key) const;
+
   const std::string dir_;
-  const size_t max_bytes_;  // 0 = unbounded
+  const SpillTierOptions options_;
   const std::string what_;  ///< payload kind for errors/logs
-  bool enabled_ = false;
+  bool enabled_ = false;    ///< set once in the constructor, then read-only
+
+  std::array<std::atomic<uint64_t>, kFilterWords> filter_{};
+  mutable std::atomic<uint64_t> filter_negatives_{0};
+  std::atomic<uint64_t> buffer_hits_{0};
+
+  // Write-behind buffer state; guarded by buffer_mu_.
+  mutable std::mutex buffer_mu_;
+  std::condition_variable work_cv_;     ///< flush thread: work or stop
+  std::condition_variable drained_cv_;  ///< backpressure waiters
+  std::condition_variable flushed_cv_;  ///< Flush() waiters
+  std::map<std::string, PendingWrite> pending_;
+  std::deque<std::string> flush_queue_;
+  size_t pending_bytes_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t backpressure_waits_ = 0;
+  bool flush_paused_ = false;
+  bool stop_ = false;
+  std::thread flusher_;
+
+  // Disk index state; guarded by mu_. Acquisition order: buffer_mu_ → mu_.
   mutable std::mutex mu_;
-  ByteBudgetedLru<Info> lru_;  ///< key → meta; bytes = on-disk file size
+  ByteBudgetedLru<Info> lru_;  ///< key → meta/raw size; bytes = file size
+  size_t raw_bytes_ = 0;       ///< sum of Info::raw_bytes over lru_
   ExpiryMarkers pruned_;       ///< keys answered with `WasPruned`
   SpillTierStats stats_;
 };

@@ -1,0 +1,131 @@
+#include "common/binary_io.h"
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace cyclerank {
+namespace {
+
+std::string RoundTrip(const std::string& raw) {
+  const std::string block = binio::CompressBlock(raw);
+  std::string out;
+  EXPECT_TRUE(binio::DecompressBlock(block, &out));
+  return out;
+}
+
+TEST(CompressBlockTest, RoundTripsEmptyAndTinyInputs) {
+  EXPECT_EQ(RoundTrip(""), "");
+  EXPECT_EQ(RoundTrip("x"), "x");
+  EXPECT_EQ(RoundTrip("short"), "short");
+  // Embedded NULs and high bytes are just bytes.
+  const std::string binary("\0\xff\0\x80 bytes", 9);
+  EXPECT_EQ(RoundTrip(binary), binary);
+}
+
+TEST(CompressBlockTest, RoundTripsAndShrinksRepetitiveInput) {
+  // The shape the spill tier actually stores: long runs of near-identical
+  // little-endian words (CSR offsets, score vectors).
+  std::string raw;
+  for (uint32_t i = 0; i < 20000; ++i) {
+    binio::AppendU32(&raw, i / 8);
+  }
+  const std::string block = binio::CompressBlock(raw);
+  EXPECT_LT(block.size(), raw.size() / 2) << "CSR-like data must compress";
+  std::string out;
+  ASSERT_TRUE(binio::DecompressBlock(block, &out));
+  EXPECT_EQ(out, raw);
+}
+
+TEST(CompressBlockTest, IncompressibleInputFallsBackToStoredBlock) {
+  std::mt19937_64 rng(42);
+  std::string raw;
+  for (int i = 0; i < 4096; ++i) {
+    raw.push_back(static_cast<char>(rng() & 0xff));
+  }
+  const std::string block = binio::CompressBlock(raw);
+  // Stored-block fallback bounds the expansion to the small framing
+  // header, no matter how adversarial the input.
+  EXPECT_LE(block.size(), raw.size() + 10);
+  std::string out;
+  ASSERT_TRUE(binio::DecompressBlock(block, &out));
+  EXPECT_EQ(out, raw);
+}
+
+TEST(CompressBlockTest, RoundTripsOverlappingMatches) {
+  // RLE-style input exercises matches that overlap their own output
+  // (offset < match length), the classic LZ decode subtlety.
+  const std::string raw(100000, 'a');
+  const std::string block = binio::CompressBlock(raw);
+  EXPECT_LT(block.size(), 1000u);
+  std::string out;
+  ASSERT_TRUE(binio::DecompressBlock(block, &out));
+  EXPECT_EQ(out, raw);
+}
+
+TEST(DecompressBlockTest, RejectsCorruptStreams) {
+  std::string out;
+  // Empty / truncated header.
+  EXPECT_FALSE(binio::DecompressBlock("", &out));
+  EXPECT_FALSE(binio::DecompressBlock(std::string(1, '\0'), &out));
+  // Unknown mode byte.
+  std::string bad_mode(10, '\0');
+  bad_mode[0] = 7;
+  EXPECT_FALSE(binio::DecompressBlock(bad_mode, &out));
+
+  // A valid block truncated anywhere must fail, never crash or misread.
+  std::string raw;
+  for (uint32_t i = 0; i < 1000; ++i) binio::AppendU32(&raw, i / 4);
+  const std::string block = binio::CompressBlock(raw);
+  for (size_t cut = 0; cut < block.size(); cut += 97) {
+    EXPECT_FALSE(binio::DecompressBlock(block.substr(0, cut), &out))
+        << "truncated at " << cut;
+  }
+
+  // Declared raw size disagreeing with the content must fail.
+  std::string lied = block;
+  lied[1] ^= 0x01;  // varint raw_size low bits
+  EXPECT_FALSE(binio::DecompressBlock(lied, &out));
+}
+
+TEST(DecompressBlockTest, RejectsBadMatchOffsets) {
+  // Hand-build an LZ block whose match reaches before the start of the
+  // output: 4 literals, then a match with offset 9 > 4 bytes decoded.
+  std::string block;
+  block.push_back(binio::kBlockLz);
+  binio::AppendVarint(&block, 8);  // claimed raw size
+  binio::AppendVarint(&block, 4);  // literal count
+  block += "abcd";
+  binio::AppendVarint(&block, 4);  // match length
+  block.push_back(9);              // offset lo: past the decoded bytes
+  block.push_back(0);              // offset hi
+  std::string out;
+  EXPECT_FALSE(binio::DecompressBlock(block, &out));
+
+  // Offset 0 is equally invalid.
+  block[block.size() - 2] = 0;
+  EXPECT_FALSE(binio::DecompressBlock(block, &out));
+}
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  for (const uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+        0xffffffffull, ~0ull}) {
+    std::string buf;
+    binio::AppendVarint(&buf, v);
+    binio::Reader reader(buf);
+    uint64_t decoded = 0;
+    ASSERT_TRUE(reader.ReadVarint(&decoded)) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_TRUE(reader.AtEnd());
+  }
+  // Truncated varint fails cleanly.
+  binio::Reader truncated(std::string_view("\x80"));
+  uint64_t decoded = 0;
+  EXPECT_FALSE(truncated.ReadVarint(&decoded));
+}
+
+}  // namespace
+}  // namespace cyclerank

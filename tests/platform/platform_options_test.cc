@@ -18,6 +18,8 @@ TEST(PlatformOptionsTest, EmptyStringYieldsDefaults) {
   EXPECT_EQ(parsed.spill_dir, "");
   EXPECT_EQ(parsed.graph_spill_bytes, 0u);
   EXPECT_EQ(parsed.result_spill_bytes, 0u);
+  EXPECT_EQ(parsed.spill_write_behind_bytes, 32u << 20);
+  EXPECT_TRUE(parsed.spill_compression);
 }
 
 TEST(PlatformOptionsTest, ParsesEveryKnob) {
@@ -27,7 +29,8 @@ TEST(PlatformOptionsTest, ParsesEveryKnob) {
           "max_retained_results=30, num_workers=4, default_threads=2, "
           "uuid_seed=99, max_tasks_per_submission=16, "
           "spill_dir=/tmp/spill, graph_spill_bytes=4000, "
-          "result_spill_bytes=5000")
+          "result_spill_bytes=5000, spill_write_behind_bytes=6000, "
+          "spill_compression=false")
           .value();
   EXPECT_EQ(parsed.graph_store_bytes, 1000u);
   EXPECT_EQ(parsed.result_cache_bytes, 2000u);
@@ -39,6 +42,8 @@ TEST(PlatformOptionsTest, ParsesEveryKnob) {
   EXPECT_EQ(parsed.spill_dir, "/tmp/spill");
   EXPECT_EQ(parsed.graph_spill_bytes, 4000u);
   EXPECT_EQ(parsed.result_spill_bytes, 5000u);
+  EXPECT_EQ(parsed.spill_write_behind_bytes, 6000u);
+  EXPECT_FALSE(parsed.spill_compression);
 }
 
 TEST(PlatformOptionsTest, KeysAreCaseInsensitiveAndWhitespaceTolerant) {
@@ -80,6 +85,8 @@ TEST(PlatformOptionsTest, RoundTripsThroughToString) {
   options.spill_dir = "/var/tmp/cyclerank-spill";
   options.graph_spill_bytes = 1u << 20;
   options.result_spill_bytes = 2u << 20;
+  options.spill_write_behind_bytes = 0;  // synchronous spilling
+  options.spill_compression = false;
   const PlatformOptions reparsed =
       PlatformOptions::FromString(options.ToString()).value();
   EXPECT_EQ(reparsed, options);
@@ -129,6 +136,34 @@ TEST(PlatformOptionsTest, SpillKnobsParse) {
   EXPECT_FALSE(PlatformOptions::FromString("graph_spill_bytes=abc").ok());
   // An explicitly empty spill_dir parses to the disabled default.
   EXPECT_EQ(PlatformOptions::FromString("spill_dir=").value().spill_dir, "");
+}
+
+TEST(PlatformOptionsTest, LsmKnobsParse) {
+  // The write-behind bound takes byte suffixes; 0 means synchronous.
+  EXPECT_EQ(PlatformOptions::FromString("spill_write_behind_bytes=8m")
+                .value()
+                .spill_write_behind_bytes,
+            8u << 20);
+  EXPECT_EQ(PlatformOptions::FromString("spill_write_behind_bytes=0")
+                .value()
+                .spill_write_behind_bytes,
+            0u);
+  // Compression accepts the usual boolean spellings, case-insensitively.
+  EXPECT_TRUE(PlatformOptions::FromString("spill_compression=TRUE")
+                  .value()
+                  .spill_compression);
+  EXPECT_TRUE(
+      PlatformOptions::FromString("spill_compression=1").value().spill_compression);
+  EXPECT_FALSE(PlatformOptions::FromString("spill_compression=false")
+                   .value()
+                   .spill_compression);
+  EXPECT_FALSE(
+      PlatformOptions::FromString("spill_compression=0").value().spill_compression);
+  const auto bad = PlatformOptions::FromString("spill_compression=maybe");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("spill_compression"),
+            std::string::npos);
+  EXPECT_FALSE(PlatformOptions::FromString("spill_write_behind_bytes=-1").ok());
 }
 
 TEST(PlatformOptionsTest, ResolvedNumWorkers) {

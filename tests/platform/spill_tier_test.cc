@@ -1,8 +1,12 @@
 #include "platform/spill_tier.h"
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -209,6 +213,253 @@ TEST(SpillTierTest, LongKeysGetHashedFileNames) {
   ASSERT_TRUE(tier.Put(long_b, "payload-b").ok());
   EXPECT_EQ(tier.Get(long_a).value().payload, "payload-a");
   EXPECT_EQ(tier.Get(long_b).value().payload, "payload-b");
+}
+
+// ---- PR 6: write-behind buffer, compression, key filter --------------------
+
+SpillTierOptions WriteBehind(size_t buffer_bytes, size_t max_bytes = 0) {
+  SpillTierOptions options;
+  options.max_bytes = max_bytes;
+  options.write_behind_bytes = buffer_bytes;
+  options.compression = true;
+  return options;
+}
+
+TEST(SpillTierWriteBehindTest, ReadYourWriteBeforeFlush) {
+  SpillTier tier(FreshSpillDir("wb_ryw"), WriteBehind(1u << 20), "dataset");
+  tier.SetFlushPausedForTest(true);  // hold the entry in the buffer
+  ASSERT_TRUE(tier.Put("k", "buffered payload", 5).ok());
+  // Fully visible before any byte reaches disk.
+  EXPECT_TRUE(tier.Contains("k"));
+  EXPECT_EQ(tier.Meta("k"), 5u);
+  EXPECT_EQ(tier.Keys(), (std::vector<std::string>{"k"}));
+  EXPECT_EQ(tier.MaxMeta(), 5u);
+  const SpillTier::Loaded loaded = tier.Get("k").value();
+  EXPECT_EQ(loaded.payload, "buffered payload");
+  EXPECT_EQ(loaded.meta, 5u);
+  SpillTierStats stats = tier.stats();
+  EXPECT_EQ(stats.buffer_hits, 1u);
+  EXPECT_EQ(stats.queue_depth, 1u);
+  EXPECT_EQ(stats.flushes, 0u);
+  EXPECT_EQ(stats.entries, 0u);  // nothing on disk yet
+  // After the barrier the entry lives on disk and reads come from there.
+  tier.SetFlushPausedForTest(false);
+  tier.Flush();
+  stats = tier.stats();
+  EXPECT_EQ(stats.flushes, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(tier.Get("k").value().payload, "buffered payload");
+  EXPECT_EQ(tier.stats().reloads, 1u);
+}
+
+TEST(SpillTierWriteBehindTest, DestructionDrainsBufferLosingNothing) {
+  const std::string dir = FreshSpillDir("wb_drain");
+  {
+    SpillTier tier(dir, WriteBehind(1u << 20), "dataset");
+    tier.SetFlushPausedForTest(true);
+    ASSERT_TRUE(tier.Put("a", "payload-a", 1).ok());
+    ASSERT_TRUE(tier.Put("b", "payload-b", 2).ok());
+    ASSERT_TRUE(tier.Put("c", "payload-c", 3).ok());
+    EXPECT_EQ(tier.stats().queue_depth, 3u);
+    // Destruction overrides the pause and drains every buffered write.
+  }
+  SpillTier revived(dir, WriteBehind(1u << 20), "dataset");
+  EXPECT_EQ(revived.stats().recovered, 3u);
+  EXPECT_EQ(revived.Get("a").value().payload, "payload-a");
+  EXPECT_EQ(revived.Get("b").value().payload, "payload-b");
+  EXPECT_EQ(revived.Get("c").value().payload, "payload-c");
+  EXPECT_EQ(revived.MaxMeta(), 3u);
+}
+
+TEST(SpillTierWriteBehindTest, BackpressureEngagesAtByteBound) {
+  // A bound smaller than two payloads: the first Put is admitted alone,
+  // the second must wait for the flusher.
+  SpillTier tier(FreshSpillDir("wb_backpressure"), WriteBehind(2048),
+                 "dataset");
+  tier.SetFlushPausedForTest(true);
+  ASSERT_TRUE(tier.Put("first", std::string(1500, 'x')).ok());
+  std::atomic<bool> second_done{false};
+  std::thread blocked([&] {
+    ASSERT_TRUE(tier.Put("second", std::string(1500, 'y')).ok());
+    second_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_done.load()) << "Put must block past the byte bound";
+  tier.SetFlushPausedForTest(false);  // let the flusher drain "first"
+  blocked.join();
+  EXPECT_TRUE(second_done.load());
+  tier.Flush();
+  EXPECT_GE(tier.stats().backpressure_waits, 1u);
+  EXPECT_EQ(tier.Get("first").value().payload, std::string(1500, 'x'));
+  EXPECT_EQ(tier.Get("second").value().payload, std::string(1500, 'y'));
+}
+
+TEST(SpillTierWriteBehindTest, OverwriteWhileBufferedServesNewest) {
+  const std::string dir = FreshSpillDir("wb_overwrite");
+  {
+    SpillTier tier(dir, WriteBehind(1u << 20), "dataset");
+    tier.SetFlushPausedForTest(true);
+    ASSERT_TRUE(tier.Put("k", "version-1", 1).ok());
+    ASSERT_TRUE(tier.Put("k", "version-2", 2).ok());
+    EXPECT_EQ(tier.Get("k").value().payload, "version-2");
+    EXPECT_EQ(tier.Meta("k"), 2u);
+    EXPECT_EQ(tier.stats().queue_depth, 1u);  // one key, newest wins
+    tier.SetFlushPausedForTest(false);
+    tier.Flush();
+    EXPECT_EQ(tier.Get("k").value().payload, "version-2");
+  }
+  SpillTier revived(dir, WriteBehind(1u << 20), "dataset");
+  EXPECT_EQ(revived.Get("k").value().payload, "version-2");
+  EXPECT_EQ(revived.Meta("k"), 2u);
+}
+
+TEST(SpillTierWriteBehindTest, EraseWhileBufferedDropsTheEntry) {
+  SpillTier tier(FreshSpillDir("wb_erase"), WriteBehind(1u << 20), "dataset");
+  tier.SetFlushPausedForTest(true);
+  ASSERT_TRUE(tier.Put("gone", "payload").ok());
+  tier.Erase("gone");
+  EXPECT_FALSE(tier.Contains("gone"));
+  tier.SetFlushPausedForTest(false);
+  tier.Flush();
+  EXPECT_FALSE(tier.Contains("gone"));
+  EXPECT_EQ(tier.Get("gone").status().code(), StatusCode::kNotFound);
+  // Not budget pressure — the caller superseded it.
+  EXPECT_FALSE(tier.WasPruned("gone"));
+}
+
+TEST(SpillTierWriteBehindTest, ErasePrefixDropsBufferedAndDiskEntries) {
+  SpillTier tier(FreshSpillDir("wb_eraseprefix"), WriteBehind(1u << 20),
+                 "dataset");
+  ASSERT_TRUE(tier.Put("p/disk", "on disk").ok());
+  tier.Flush();  // p/disk reaches disk
+  tier.SetFlushPausedForTest(true);
+  ASSERT_TRUE(tier.Put("p/buffered", "in buffer").ok());
+  ASSERT_TRUE(tier.Put("q/kept", "stays").ok());
+  EXPECT_EQ(tier.ErasePrefix("p/"), 2u);
+  EXPECT_FALSE(tier.Contains("p/disk"));
+  EXPECT_FALSE(tier.Contains("p/buffered"));
+  EXPECT_TRUE(tier.Contains("q/kept"));
+  tier.SetFlushPausedForTest(false);
+  tier.Flush();
+  EXPECT_EQ(tier.Get("p/buffered").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(tier.Get("q/kept").value().payload, "stays");
+}
+
+TEST(SpillTierWriteBehindTest, OversizePayloadPrunedOnFlush) {
+  // Budget far below the file size: the write-behind Put still accepts
+  // the enqueue (the check runs on the flush thread), then the entry is
+  // dropped and remembered as pruned — the sync path's kInvalidArgument
+  // becomes an asynchronous prune.
+  SpillTier tier(FreshSpillDir("wb_oversize"), WriteBehind(1u << 20, 64),
+                 "result");
+  LogCapture log;
+  // Incompressible payload so the encoded file genuinely exceeds 64 bytes.
+  std::mt19937_64 rng(7);
+  std::string big;
+  for (int i = 0; i < 1000; ++i) big.push_back(static_cast<char>(rng() & 0xff));
+  ASSERT_TRUE(tier.Put("big", big).ok());
+  tier.Flush();
+  EXPECT_FALSE(tier.Contains("big"));
+  EXPECT_TRUE(tier.WasPruned("big"));
+  EXPECT_EQ(tier.Get("big").status().code(), StatusCode::kExpired);
+  EXPECT_TRUE(log.Contains("larger than the entire spill budget"));
+}
+
+TEST(SpillTierCompressionTest, CompressedFilesRoundTripBitIdentically) {
+  SpillTierOptions compressed;  // defaults: compression on, synchronous
+  SpillTier tier(FreshSpillDir("cmp_roundtrip"), compressed, "dataset");
+  // Repetitive payload (the CSR shape) — must take the LZ path.
+  std::string payload;
+  for (uint32_t i = 0; i < 20000; ++i) payload += "abcdefgh";
+  ASSERT_TRUE(tier.Put("k", payload, 9).ok());
+  const SpillTierStats stats = tier.stats();
+  EXPECT_LT(stats.bytes, stats.raw_bytes)
+      << "compressible payload must shrink on disk";
+  EXPECT_EQ(stats.raw_bytes, payload.size());
+  const SpillTier::Loaded loaded = tier.Get("k").value();
+  EXPECT_EQ(loaded.payload, payload);
+  EXPECT_EQ(loaded.meta, 9u);
+}
+
+TEST(SpillTierCompressionTest, CorruptCompressedPayloadDegradesToMiss) {
+  const std::string dir = FreshSpillDir("cmp_bitrot");
+  SpillTierOptions compressed;
+  SpillTier tier(dir, compressed, "dataset");
+  std::string payload;
+  for (uint32_t i = 0; i < 5000; ++i) payload += "abcdefgh";
+  ASSERT_TRUE(tier.Put("k", payload).ok());
+  // Flip a byte inside the compressed block without changing the size —
+  // either the block fails to decode or the raw checksum mismatches;
+  // both must degrade to a dropped entry, never corrupt output.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename() == "manifest") continue;
+    std::fstream file(entry.path(), std::ios::in | std::ios::out |
+                                        std::ios::binary);
+    file.seekp(-3, std::ios::end);
+    file.put('X');
+  }
+  LogCapture log;
+  const Status status = tier.Get("k").status();
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_NE(status.message().find("corrupt"), std::string::npos);
+  EXPECT_FALSE(tier.Contains("k"));
+  EXPECT_EQ(tier.Get("k").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SpillTierCompressionTest, UncompressedV1FilesStillLoad) {
+  const std::string dir = FreshSpillDir("cmp_backcompat");
+  const std::string payload(5000, 'v');
+  {
+    // The legacy constructor writes the PR-5 uncompressed v1 framing.
+    SpillTier v1_tier(dir, 0, "dataset");
+    ASSERT_TRUE(v1_tier.Put("old", payload, 7).ok());
+  }
+  // A compression-enabled tier recovers and reads the v1 file...
+  SpillTierOptions compressed;
+  SpillTier tier(dir, compressed, "dataset");
+  EXPECT_EQ(tier.stats().recovered, 1u);
+  const SpillTier::Loaded loaded = tier.Get("old").value();
+  EXPECT_EQ(loaded.payload, payload);
+  EXPECT_EQ(loaded.meta, 7u);
+  // ...and new writes (v2) coexist with it across another restart.
+  ASSERT_TRUE(tier.Put("new", payload, 8).ok());
+  SpillTier revived(dir, compressed, "dataset");
+  EXPECT_EQ(revived.stats().recovered, 2u);
+  EXPECT_EQ(revived.Get("old").value().payload, payload);
+  EXPECT_EQ(revived.Get("new").value().payload, payload);
+}
+
+TEST(SpillTierFilterTest, ColdMissesShortCircuitWithoutDiskProbes) {
+  SpillTier tier(FreshSpillDir("filter_cold"), WriteBehind(1u << 20),
+                 "dataset");
+  ASSERT_TRUE(tier.Put("present", "payload").ok());
+  tier.Flush();
+  // A key never stored is answered by the filter alone: the counter
+  // increments and the exact-index miss counter does not — no lock was
+  // taken, no directory probe happened.
+  EXPECT_EQ(tier.Get("never-stored").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(tier.Contains("also-never-stored"));
+  const SpillTierStats stats = tier.stats();
+  EXPECT_EQ(stats.filter_negatives, 2u);
+  EXPECT_EQ(stats.misses, 0u);
+  // Present keys pass the filter and resolve exactly.
+  EXPECT_TRUE(tier.Contains("present"));
+}
+
+TEST(SpillTierFilterTest, FilterIsRebuiltByRecovery) {
+  const std::string dir = FreshSpillDir("filter_recovery");
+  {
+    SpillTier tier(dir, WriteBehind(1u << 20), "dataset");
+    ASSERT_TRUE(tier.Put("survivor", "payload", 3).ok());
+  }
+  SpillTier revived(dir, WriteBehind(1u << 20), "dataset");
+  // The recovered key passes the filter and reloads; a stranger still
+  // short-circuits.
+  EXPECT_EQ(revived.Get("survivor").value().payload, "payload");
+  EXPECT_EQ(revived.Get("stranger").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(revived.stats().filter_negatives, 1u);
+  EXPECT_EQ(revived.stats().misses, 0u);
 }
 
 }  // namespace

@@ -23,15 +23,17 @@
 #   BENCH_REPS    optional --benchmark_repetitions; > 1 reports only the
 #                 mean/median/stddev aggregates (recommended on noisy
 #                 shared hosts, where single samples swing by >10%)
+#   BENCH_SPILL_DIR optional root for the spill-tier benchmarks' scratch
+#                 files (default: a fresh mktemp dir, removed on exit)
 #
 # The merged JSON carries a `single_core_host` flag: on a 1-CPU runner the
 # thread sweeps measure parallel-engine *overhead bounds*, not scaling, and
 # downstream tooling must not read them as speedup claims.
 #
-# Example (the PR-5 evidence file; earlier PRs wrote BENCH_PR<n>.json the
+# Example (the PR-6 evidence file; earlier PRs wrote BENCH_PR<n>.json the
 # same way):
 #   cmake -B build -S . && cmake --build build -j
-#   tools/run_benchmarks.sh BENCH_PR5.json
+#   tools/run_benchmarks.sh BENCH_PR6.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -41,11 +43,20 @@ if [[ "${1:-}" == "--smoke" ]]; then
   SMOKE=1
   shift
 fi
-OUT=${1:-BENCH_PR5.json}
+OUT=${1:-BENCH_PR6.json}
+
+# The spill-tier benchmarks write real files; point them at a per-run temp
+# dir (honored via BENCH_SPILL_DIR in bench/perf_datastore.cc) so smoke runs
+# on CI and local runs never collide or leave litter behind.
+if [[ -z "${BENCH_SPILL_DIR:-}" ]]; then
+  BENCH_SPILL_DIR=$(mktemp -d)
+  export BENCH_SPILL_DIR
+  SPILL_DIR_CLEANUP=1
+fi
 SUITES=(perf_pagerank perf_cyclerank perf_ppr_variants perf_result_cache
         perf_forward_push perf_datastore)
 TMP_DIR=$(mktemp -d)
-trap 'rm -rf "${TMP_DIR}"' EXIT
+trap 'rm -rf "${TMP_DIR}"; [[ -n "${SPILL_DIR_CLEANUP:-}" ]] && rm -rf "${BENCH_SPILL_DIR}"' EXIT
 
 for suite in "${SUITES[@]}"; do
   bin="${BUILD_DIR}/${suite}"
