@@ -91,7 +91,7 @@ class FrontierEngine {
   /// traversals like forward push never pay its O(num_nodes) allocation)
   /// and reset per chunk in O(1) (epochs).
   struct Scratch {
-    explicit Scratch(uint32_t num_nodes) : num_nodes(num_nodes) {}
+    explicit Scratch(uint32_t graph_num_nodes) : num_nodes(graph_num_nodes) {}
 
     void BeginChunk() { candidate_seen.NewEpoch(); }
 

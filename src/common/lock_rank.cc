@@ -1,0 +1,103 @@
+#include "common/lock_rank.h"
+
+#if defined(CYCLERANK_LOCK_RANK_CHECKS)
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#endif
+#endif
+
+namespace cyclerank {
+namespace lock_rank {
+
+bool ChecksEnabled() {
+#if defined(CYCLERANK_LOCK_RANK_CHECKS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(CYCLERANK_LOCK_RANK_CHECKS)
+
+namespace {
+
+struct Held {
+  int rank;
+  const char* name;
+  const void* addr;
+};
+
+/// The ranks this thread currently holds, acquisition order. Small (a
+/// thread nests a handful of locks at most), so a vector scan is fine —
+/// this code exists only in Debug/sanitized builds.
+thread_local std::vector<Held> tl_held;
+
+}  // namespace
+
+void NoteAcquire(int rank, const char* name, const void* addr) {
+  if (rank == kUnranked) return;
+  for (const Held& held : tl_held) {
+    if (held.rank >= rank) {
+      // Equal ranks abort too: two same-ranked locks may never nest (the
+      // hierarchy assigns shared ranks only to locks that are provably
+      // never held together, e.g. the per-tier spill locks).
+      std::fprintf(
+          stderr,
+          "lock-rank violation: acquiring '%s' (rank %d, %p) while holding "
+          "'%s' (rank %d, %p); locks must be acquired in strictly "
+          "increasing rank order — see common/lock_rank.h for the "
+          "hierarchy\n",
+          name, rank, addr, held.name, held.rank, held.addr);
+#if defined(__GLIBC__)
+      // Symbolized only when the binary is linked with -rdynamic; raw
+      // addresses still feed addr2line either way.
+      void* frames[64];
+      const int depth = backtrace(frames, 64);
+      backtrace_symbols_fd(frames, depth, /*fd=*/2);
+#endif
+      std::abort();
+    }
+  }
+  tl_held.push_back(Held{rank, name, addr});
+}
+
+void NoteRelease(int rank, const char* /*name*/) {
+  if (rank == kUnranked) return;
+  // At most one lock of a given rank can be held (NoteAcquire aborts on
+  // equal ranks), so the rank identifies the entry. Scan from the back:
+  // release order is almost always LIFO.
+  for (auto it = tl_held.rbegin(); it != tl_held.rend(); ++it) {
+    if (it->rank == rank) {
+      tl_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+#endif  // CYCLERANK_LOCK_RANK_CHECKS
+
+void AssertNoneHeld([[maybe_unused]] const char* where) {
+#if defined(CYCLERANK_LOCK_RANK_CHECKS)
+  if (tl_held.empty()) return;
+  std::fprintf(stderr,
+               "lock-rank violation: %s with ranked locks still held:\n",
+               where);
+  for (const Held& held : tl_held) {
+    std::fprintf(stderr, "  '%s' (rank %d, %p)\n", held.name, held.rank,
+                 held.addr);
+  }
+#if defined(__GLIBC__)
+  void* frames[64];
+  const int depth = backtrace(frames, 64);
+  backtrace_symbols_fd(frames, depth, /*fd=*/2);
+#endif
+  std::abort();
+#endif  // CYCLERANK_LOCK_RANK_CHECKS
+}
+
+}  // namespace lock_rank
+}  // namespace cyclerank

@@ -1,15 +1,11 @@
 #include "common/logging.h"
 
 #include <iostream>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace cyclerank {
 namespace {
-
-std::mutex& SinkMutex() {
-  static std::mutex* mu = new std::mutex;
-  return *mu;
-}
 
 void StderrSink(LogLevel level, std::string_view message) {
   std::cerr << "[" << LogLevelToString(level) << "] " << message << "\n";
@@ -39,13 +35,13 @@ Logger& Logger::Global() {
 }
 
 void Logger::set_sink(Sink sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(mu_);
   sink_ = sink ? std::move(sink) : Sink(StderrSink);
 }
 
 void Logger::Log(LogLevel level, std::string_view message) {
-  if (static_cast<int>(level) < static_cast<int>(min_level_)) return;
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (static_cast<int>(level) < static_cast<int>(min_level())) return;
+  MutexLock lock(mu_);
   sink_(level, message);
 }
 

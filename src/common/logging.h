@@ -1,10 +1,15 @@
 #ifndef CYCLERANK_COMMON_LOGGING_H_
 #define CYCLERANK_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <functional>
 #include <sstream>
 #include <string>
 #include <string_view>
+
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cyclerank {
 
@@ -27,21 +32,31 @@ class Logger {
   /// Returns the process-wide logger.
   static Logger& Global();
 
-  /// Minimum level that will be forwarded to the sink.
-  void set_min_level(LogLevel level) { min_level_ = level; }
-  LogLevel min_level() const { return min_level_; }
+  /// Minimum level that will be forwarded to the sink. Atomic: the level
+  /// is read on every `Log` call, concurrently with `set_min_level` from
+  /// other threads (tests dial verbosity up and down mid-run) — a plain
+  /// field here was a data race.
+  void set_min_level(LogLevel level) {
+    min_level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return min_level_.load(std::memory_order_relaxed);
+  }
 
   /// Replaces the sink. Passing a null function restores the stderr sink.
-  void set_sink(Sink sink);
+  void set_sink(Sink sink) CYR_EXCLUDES(mu_);
 
   /// Forwards `message` to the sink when `level >= min_level()`.
-  void Log(LogLevel level, std::string_view message);
+  void Log(LogLevel level, std::string_view message) CYR_EXCLUDES(mu_);
 
  private:
   Logger();
 
-  LogLevel min_level_;
-  Sink sink_;
+  /// Leaf-most rank: log lines are emitted while holding store and spill
+  /// locks, so the sink mutex must nest under everything.
+  mutable Mutex mu_{lock_rank::kLoggingMu, "Logger::mu_"};
+  std::atomic<LogLevel> min_level_;
+  Sink sink_ CYR_GUARDED_BY(mu_);
 };
 
 namespace internal_logging {

@@ -1,0 +1,238 @@
+#ifndef CYCLERANK_COMMON_MUTEX_H_
+#define CYCLERANK_COMMON_MUTEX_H_
+
+/// Annotated mutex wrappers — the only place in `src/` where the raw
+/// standard-library synchronization types may appear (`tools/lint.py`
+/// enforces this).
+///
+/// `std::mutex` is not a Clang thread-safety *capability*, so guarded
+/// fields and `*Locked()` helpers cannot be checked against it. `Mutex`
+/// wraps it with the `CYR_CAPABILITY` attribute (making `CYR_GUARDED_BY`,
+/// `CYR_REQUIRES`, `CYR_EXCLUDES` provable at compile time) and, in Debug
+/// and sanitized builds, registers a lock *rank* with the runtime
+/// deadlock checker (`common/lock_rank.h`) — out-of-order acquisition
+/// aborts with both lock names. Release builds compile both layers out:
+/// `Mutex` is exactly a `std::mutex`.
+///
+/// Conventions:
+///  - every long-lived mutex is constructed with a rank and a name:
+///      `mutable Mutex mu_{lock_rank::kGraphStoreMu, "GraphStore::mu_"};`
+///  - lock with the RAII `MutexLock` (never `mu_.Lock()` manually in new
+///    code); release early with `MutexLock::Unlock()` when a blocking call
+///    must not be covered;
+///  - wait on a `CondVar` while holding the `Mutex` via `MutexLock`; the
+///    capability (and the rank) stays held across the wait, which is the
+///    correct per-thread view of the ordering discipline.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+
+namespace cyclerank {
+
+/// An annotated `std::mutex` with optional lock-rank registration.
+class CYR_CAPABILITY("mutex") Mutex {
+ public:
+  /// An unranked mutex — exempt from order checking. Prefer the ranked
+  /// constructor for any mutex that can nest with another.
+  Mutex() = default;
+
+  /// A ranked mutex: acquiring it while holding a lock of equal or higher
+  /// rank aborts in checked builds (see common/lock_rank.h). `name` must
+  /// outlive the mutex (string literals do).
+  explicit Mutex([[maybe_unused]] int rank, [[maybe_unused]] const char* name)
+#if defined(CYCLERANK_LOCK_RANK_CHECKS)
+      : rank_(rank), name_(name)
+#endif
+  {
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CYR_ACQUIRE() {
+#if defined(CYCLERANK_LOCK_RANK_CHECKS)
+    // Before blocking: the *intent* to acquire out of order is the bug;
+    // waiting for the lock first could deadlock before reporting it.
+    lock_rank::NoteAcquire(rank_, name_, this);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() CYR_RELEASE() {
+#if defined(CYCLERANK_LOCK_RANK_CHECKS)
+    // Before the physical unlock: the instant `mu_.unlock()` returns, a
+    // blocked destroyer (e.g. Drain → ~Scheduler) may free this object, so
+    // no member may be read after it.
+    lock_rank::NoteRelease(rank_, name_);
+#endif
+    mu_.unlock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+#if defined(CYCLERANK_LOCK_RANK_CHECKS)
+  const int rank_ = lock_rank::kUnranked;
+  const char* const name_ = "unranked Mutex";
+#endif
+};
+
+/// An annotated `std::shared_mutex` (reader/writer) with the same rank
+/// integration. Not used by the platform yet; it exists so the first
+/// reader/writer lock added lands annotated instead of raw.
+class CYR_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex([[maybe_unused]] int rank,
+                       [[maybe_unused]] const char* name)
+#if defined(CYCLERANK_LOCK_RANK_CHECKS)
+      : rank_(rank), name_(name)
+#endif
+  {
+  }
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() CYR_ACQUIRE() {
+#if defined(CYCLERANK_LOCK_RANK_CHECKS)
+    lock_rank::NoteAcquire(rank_, name_, this);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() CYR_RELEASE() {
+#if defined(CYCLERANK_LOCK_RANK_CHECKS)
+    lock_rank::NoteRelease(rank_, name_);  // before unlock — see Mutex
+#endif
+    mu_.unlock();
+  }
+
+  void LockShared() CYR_ACQUIRE_SHARED() {
+#if defined(CYCLERANK_LOCK_RANK_CHECKS)
+    // Shared acquisition participates in the same order: a reader that
+    // nests out of rank deadlocks against writers just the same.
+    lock_rank::NoteAcquire(rank_, name_, this);
+#endif
+    mu_.lock_shared();
+  }
+
+  void UnlockShared() CYR_RELEASE_SHARED() {
+#if defined(CYCLERANK_LOCK_RANK_CHECKS)
+    lock_rank::NoteRelease(rank_, name_);  // before unlock — see Mutex
+#endif
+    mu_.unlock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+#if defined(CYCLERANK_LOCK_RANK_CHECKS)
+  const int rank_ = lock_rank::kUnranked;
+  const char* const name_ = "unranked SharedMutex";
+#endif
+};
+
+/// RAII exclusive lock on a `Mutex` — the `std::lock_guard` of this
+/// codebase, visible to the thread-safety analysis.
+class CYR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CYR_ACQUIRE(mu) : mu_(&mu) { mu_->Lock(); }
+
+  /// Releases the lock early — for scopes where a blocking call (file IO,
+  /// a condition wait on another mutex) must not be covered. The
+  /// destructor then does nothing.
+  void Unlock() CYR_RELEASE() {
+    mu_->Unlock();
+    mu_ = nullptr;
+  }
+
+  ~MutexLock() CYR_RELEASE() {
+    if (mu_ != nullptr) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// RAII shared (reader) lock on a `SharedMutex`.
+class CYR_SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mu) CYR_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~SharedMutexLock() CYR_RELEASE() { mu_.UnlockShared(); }
+
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) lock on a `SharedMutex`.
+class CYR_SCOPED_CAPABILITY SharedMutexWriterLock {
+ public:
+  explicit SharedMutexWriterLock(SharedMutex& mu) CYR_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~SharedMutexWriterLock() CYR_RELEASE() { mu_.Unlock(); }
+
+  SharedMutexWriterLock(const SharedMutexWriterLock&) = delete;
+  SharedMutexWriterLock& operator=(const SharedMutexWriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with `Mutex`. The caller holds the mutex (via
+/// `MutexLock`) across `Wait`; the capability — and, in checked builds,
+/// the rank — stays held for the duration of the wait, which matches the
+/// per-thread ordering semantics (a blocked thread acquires nothing).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) CYR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's MutexLock
+  }
+
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) CYR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native, std::move(pred));
+    native.release();
+  }
+
+  /// Returns the predicate's value after the wait (false = timed out).
+  template <typename Rep, typename Period, typename Predicate>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout,
+               Predicate pred) CYR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const bool satisfied = cv_.wait_for(native, timeout, std::move(pred));
+    native.release();
+    return satisfied;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_COMMON_MUTEX_H_

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cyclerank {
 namespace {
@@ -60,9 +62,9 @@ void ParallelFor(ThreadPool* pool, size_t total, size_t grain,
     const std::function<void(size_t, size_t, size_t)>* fn;
     size_t total, grain, num_chunks;
     std::atomic<size_t> next{0};
-    std::mutex mu;
-    std::condition_variable all_done;
-    size_t done = 0;
+    Mutex mu{lock_rank::kParallelForMu, "ParallelFor::Ctx::mu"};
+    CondVar all_done;
+    size_t done CYR_GUARDED_BY(mu) = 0;
   };
   auto ctx = std::make_shared<Ctx>();
   ctx->fn = &fn;
@@ -83,9 +85,9 @@ void ParallelFor(ThreadPool* pool, size_t total, size_t grain,
       ++completed;
     }
     if (completed > 0) {
-      std::lock_guard<std::mutex> lock(c->mu);
+      MutexLock lock(c->mu);
       c->done += completed;
-      if (c->done == c->num_chunks) c->all_done.notify_all();
+      if (c->done == c->num_chunks) c->all_done.NotifyAll();
     }
   };
 
@@ -97,8 +99,10 @@ void ParallelFor(ThreadPool* pool, size_t total, size_t grain,
   }
   drain(ctx);
 
-  std::unique_lock<std::mutex> lock(ctx->mu);
-  ctx->all_done.wait(lock, [&] { return ctx->done == ctx->num_chunks; });
+  MutexLock lock(ctx->mu);
+  ctx->all_done.Wait(ctx->mu, [&]() CYR_REQUIRES(ctx->mu) {
+    return ctx->done == ctx->num_chunks;
+  });
 }
 
 double DeterministicSum(std::span<const double> values) {

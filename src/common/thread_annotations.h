@@ -1,0 +1,97 @@
+#ifndef CYCLERANK_COMMON_THREAD_ANNOTATIONS_H_
+#define CYCLERANK_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety annotations (the `-Wthread-safety` capability
+/// analysis), compiled to nothing on every other compiler.
+///
+/// The platform's locking discipline is a *compile-time* property: every
+/// mutex-holding class annotates which mutex guards which field
+/// (`CYR_GUARDED_BY`), which private helpers expect the lock already held
+/// (`CYR_REQUIRES` on the `*Locked()` methods), and which public entry
+/// points must be called without it (`CYR_EXCLUDES`). Clang then proves,
+/// on every build and for every interleaving, that no guarded field is
+/// touched without its mutex — the same shift from testing to proving that
+/// the bit-identical-determinism guarantee relies on. CI builds with
+/// `-Werror=thread-safety` (the `static-analysis` job), so a violation is
+/// a compile error, not a TSan roll of the dice.
+///
+/// Use the annotated wrappers in `common/mutex.h` (`Mutex`, `MutexLock`,
+/// `CondVar`, …) — a raw `std::mutex` is not a Clang capability and is
+/// rejected by `tools/lint.py` outside that header.
+///
+/// Macro names follow the Clang documentation's canonical set, prefixed
+/// `CYR_` (see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+
+#if defined(__clang__)
+#define CYR_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define CYR_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Declares a class to be a capability ("mutex"); `Mutex` carries it.
+#define CYR_CAPABILITY(x) CYR_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII class that acquires a capability at construction and
+/// releases it at destruction (`MutexLock`).
+#define CYR_SCOPED_CAPABILITY CYR_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define CYR_GUARDED_BY(x) CYR_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be touched while holding `x`.
+#define CYR_PT_GUARDED_BY(x) CYR_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Documented acquisition order between mutexes (checked by Clang where it
+/// can; the runtime lock-rank checker in `common/lock_rank.h` covers the
+/// rest).
+#define CYR_ACQUIRED_BEFORE(...) \
+  CYR_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define CYR_ACQUIRED_AFTER(...) \
+  CYR_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Function requires the listed capabilities held on entry (and does not
+/// release them) — the `*Locked()` helper convention.
+#define CYR_REQUIRES(...) \
+  CYR_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define CYR_REQUIRES_SHARED(...) \
+  CYR_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past the return.
+#define CYR_ACQUIRE(...) \
+  CYR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define CYR_ACQUIRE_SHARED(...) \
+  CYR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define CYR_RELEASE(...) \
+  CYR_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define CYR_RELEASE_SHARED(...) \
+  CYR_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; first argument is the success value.
+#define CYR_TRY_ACQUIRE(...) \
+  CYR_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities — the public-entry-point
+/// convention; catches self-deadlock at compile time.
+#define CYR_EXCLUDES(...) \
+  CYR_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code Clang cannot
+/// follow, e.g. across a callback boundary).
+#define CYR_ASSERT_CAPABILITY(x) \
+  CYR_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+#define CYR_ASSERT_SHARED_CAPABILITY(x) \
+  CYR_THREAD_ANNOTATION_ATTRIBUTE__(assert_shared_capability(x))
+
+/// Function returns a reference to the mutex guarding its result.
+#define CYR_RETURN_CAPABILITY(x) \
+  CYR_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Must not appear
+/// in `src/` (the CI gate requires zero suppressions); it exists for
+/// tests that deliberately misuse locks (e.g. the lock-rank death tests).
+#define CYR_NO_THREAD_SAFETY_ANALYSIS \
+  CYR_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // CYCLERANK_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include "common/mutex.h"
+
 namespace cyclerank {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -14,33 +16,35 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Post(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return false;
     queue_.push_back(std::move(fn));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
   return true;
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  idle_.Wait(mu_, [this]() CYR_REQUIRES(mu_) {
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return;
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
 }
 
 size_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -48,9 +52,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> fn;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      work_available_.Wait(mu_, [this]() CYR_REQUIRES(mu_) {
+        return shutdown_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         // shutdown_ must be true: drain finished, exit.
         return;
@@ -60,10 +65,13 @@ void ThreadPool::WorkerLoop() {
       ++active_;
     }
     fn();
+    // A task returning with a ranked lock held would poison this worker's
+    // ordering state for every later task; catch it at the boundary.
+    lock_rank::AssertNoneHeld("thread-pool task returned");
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_.NotifyAll();
     }
   }
 }

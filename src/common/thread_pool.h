@@ -1,14 +1,16 @@
 #ifndef CYCLERANK_COMMON_THREAD_POOL_H_
 #define CYCLERANK_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cyclerank {
 
@@ -33,7 +35,7 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `fn`; returns false when the pool is shut down.
-  bool Post(std::function<void()> fn);
+  bool Post(std::function<void()> fn) CYR_EXCLUDES(mu_);
 
   /// Enqueues `fn` and returns a future for its result. When the pool is
   /// already shut down the returned future is default-constructed
@@ -50,26 +52,29 @@ class ThreadPool {
 
   /// Blocks until every queued task has finished. New work may still be
   /// posted afterwards.
-  void WaitIdle();
+  void WaitIdle() CYR_EXCLUDES(mu_);
 
   /// Drains the queue and joins the workers; idempotent.
-  void Shutdown();
+  void Shutdown() CYR_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
   /// Number of tasks currently queued (excluding running ones).
-  size_t QueueDepth() const;
+  size_t QueueDepth() const CYR_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() CYR_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mu_{lock_rank::kThreadPoolMu, "ThreadPool::mu_"};
+  CondVar work_available_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ CYR_GUARDED_BY(mu_);
+  // Filled in the constructor, joined by Shutdown outside the lock (a
+  // worker blocked on the queue could never be joined under it); not
+  // guarded — after construction the vector itself is never mutated.
   std::vector<std::thread> workers_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  size_t active_ CYR_GUARDED_BY(mu_) = 0;
+  bool shutdown_ CYR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cyclerank

@@ -5,9 +5,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cyclerank {
 
@@ -87,9 +90,9 @@ class WorkspacePool {
   };
 
   /// Hands out a free workspace, creating one when none is available.
-  Lease Acquire() {
+  Lease Acquire() CYR_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!free_.empty()) {
         T* workspace = free_.back();
         free_.pop_back();
@@ -99,28 +102,29 @@ class WorkspacePool {
     // Construct outside the lock: factories can be expensive (O(n) scratch).
     std::unique_ptr<T> fresh = factory_();
     T* raw = fresh.get();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     all_.push_back(std::move(fresh));
     return Lease(this, raw);
   }
 
-  /// Visits every workspace created so far (merge/teardown step).
+  /// Visits every workspace created so far (merge/teardown step). `fn`
+  /// runs under the pool lock and must not touch the pool re-entrantly.
   template <typename Fn>
-  void ForEach(Fn&& fn) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void ForEach(Fn&& fn) CYR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     for (const std::unique_ptr<T>& workspace : all_) fn(*workspace);
   }
 
  private:
-  void Release(T* workspace) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Release(T* workspace) CYR_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     free_.push_back(workspace);
   }
 
   std::function<std::unique_ptr<T>()> factory_;
-  std::mutex mu_;
-  std::vector<std::unique_ptr<T>> all_;
-  std::vector<T*> free_;
+  Mutex mu_{lock_rank::kWorkspacePoolMu, "WorkspacePool::mu_"};
+  std::vector<std::unique_ptr<T>> all_ CYR_GUARDED_BY(mu_);
+  std::vector<T*> free_ CYR_GUARDED_BY(mu_);
 };
 
 }  // namespace cyclerank

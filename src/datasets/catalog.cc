@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/mutex.h"
 #include "datasets/corpus.h"
 #include "datasets/generators.h"
 
@@ -24,7 +25,7 @@ Status DatasetCatalog::Register(DatasetInfo info, Factory factory) {
   if (!factory) {
     return Status::InvalidArgument("dataset factory must not be null");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Copy the key first: reading info.name in the same full expression that
   // moves `info` would be order-dependent.
   std::string name = info.name;
@@ -38,7 +39,7 @@ Status DatasetCatalog::Register(DatasetInfo info, Factory factory) {
 }
 
 std::vector<DatasetInfo> DatasetCatalog::List() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<DatasetInfo> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) out.push_back(entry.info);
@@ -46,7 +47,7 @@ std::vector<DatasetInfo> DatasetCatalog::List() const {
 }
 
 Result<DatasetInfo> DatasetCatalog::Info(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     return Status::NotFound("dataset '" + name + "' not found");
@@ -57,7 +58,7 @@ Result<DatasetInfo> DatasetCatalog::Info(const std::string& name) const {
 Result<GraphPtr> DatasetCatalog::Load(const std::string& name) {
   Factory factory;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(name);
     if (it == entries_.end()) {
       return Status::NotFound("dataset '" + name + "' not found");
@@ -69,7 +70,7 @@ Result<GraphPtr> DatasetCatalog::Load(const std::string& name) {
   CYCLERANK_ASSIGN_OR_RETURN(Graph g, factory());
   auto shared = std::make_shared<Graph>(std::move(g));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(name);
     if (it != entries_.end() && !it->second.cached) {
       it->second.cached = shared;
@@ -79,7 +80,7 @@ Result<GraphPtr> DatasetCatalog::Load(const std::string& name) {
 }
 
 size_t DatasetCatalog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

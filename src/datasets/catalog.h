@@ -3,11 +3,13 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "graph/graph.h"
 
 namespace cyclerank {
@@ -47,19 +49,20 @@ class DatasetCatalog {
   static DatasetCatalog& BuiltIn();
 
   /// Registers a dataset; fails with AlreadyExists on a duplicate name.
-  Status Register(DatasetInfo info, Factory factory);
+  Status Register(DatasetInfo info, Factory factory) CYR_EXCLUDES(mu_);
 
   /// All registered datasets, sorted by name.
-  std::vector<DatasetInfo> List() const;
+  std::vector<DatasetInfo> List() const CYR_EXCLUDES(mu_);
 
   /// Metadata for `name`.
-  Result<DatasetInfo> Info(const std::string& name) const;
+  Result<DatasetInfo> Info(const std::string& name) const
+      CYR_EXCLUDES(mu_);
 
   /// Loads (and caches) the dataset `name`.
-  Result<GraphPtr> Load(const std::string& name);
+  Result<GraphPtr> Load(const std::string& name) CYR_EXCLUDES(mu_);
 
   /// Number of registered datasets.
-  size_t size() const;
+  size_t size() const CYR_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -68,8 +71,10 @@ class DatasetCatalog {
     GraphPtr cached;  // filled on first Load
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  /// Factories run *outside* this lock (Load drops it first) — a slow
+  /// generator must never serialize unrelated catalog lookups.
+  mutable Mutex mu_{lock_rank::kCatalogMu, "DatasetCatalog::mu_"};
+  std::map<std::string, Entry> entries_ CYR_GUARDED_BY(mu_);
 };
 
 /// Registers the built-in entries into `catalog` (used by `BuiltIn()` and

@@ -107,12 +107,21 @@ Result<Graph> GenerateBarabasiAlbert(const BarabasiAlbertConfig& config) {
     attachment.push_back((u + 1) % seed_nodes);
   }
   for (NodeId t = seed_nodes; t < config.num_nodes; ++t) {
-    std::unordered_set<NodeId> targets;
+    // Draw order, not a hash set: the loop below consumes RNG per target,
+    // so iterating in implementation-defined unordered_set order would
+    // make the generated graph differ across standard libraries. A linear
+    // scan dedups a handful of targets cheaply and keeps edge order (and
+    // every downstream RNG draw) identical everywhere.
+    std::vector<NodeId> targets;
+    targets.reserve(config.edges_per_node);
     uint32_t guard = 0;
     while (targets.size() < config.edges_per_node &&
            guard < 50u * config.edges_per_node) {
       const NodeId cand = attachment[rng.NextBounded(attachment.size())];
-      if (cand != t) targets.insert(cand);
+      if (cand != t &&
+          std::find(targets.begin(), targets.end(), cand) == targets.end()) {
+        targets.push_back(cand);
+      }
       ++guard;
     }
     for (NodeId v : targets) {

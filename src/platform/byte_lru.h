@@ -23,7 +23,9 @@ namespace cyclerank {
 /// `max_bytes` of 0 means unbounded (`OverBudget()` is then always false).
 ///
 /// Not thread-safe: each owning store guards its instance with its own
-/// mutex, exactly as the hand-rolled versions did.
+/// mutex, exactly as the hand-rolled versions did — the owner declares
+/// its `ByteBudgetedLru` field `CYR_GUARDED_BY` that mutex, so Clang's
+/// thread-safety analysis proves every access happens under it.
 template <typename Value>
 class ByteBudgetedLru {
  public:

@@ -55,7 +55,7 @@ void Datastore::PutResult(TaskResult result) {
   // against a concurrent re-store of X (which would otherwise revive the
   // result between the two steps and lose its logs). Reads — GetResult,
   // GetLog, AppendLog — stay on the stores' own locks.
-  std::lock_guard<std::mutex> lock(put_mu_);
+  MutexLock lock(put_mu_);
   DemoteEvictedResultsLocked(results_.Put(std::move(result)));
 }
 
@@ -92,7 +92,7 @@ Result<TaskResult> Datastore::GetResult(const std::string& task_id) {
       // Re-admit to the memory tier (a revived result occupies a fresh
       // retention slot; the oldest may be demoted in its place). The logs
       // were dropped at the original eviction and stay dropped.
-      std::lock_guard<std::mutex> lock(put_mu_);
+      MutexLock lock(put_mu_);
       // A concurrent PutResult (the retry-overwrite path) may have stored
       // a fresh result between the memory miss above and this point; the
       // memory tier wins — re-admitting the disk copy would clobber it.

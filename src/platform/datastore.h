@@ -3,12 +3,14 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "datasets/catalog.h"
 #include "graph/graph.h"
 #include "platform/graph_store.h"
@@ -134,7 +136,7 @@ class Datastore {
   /// result spill tier when one is configured, destroyed otherwise. Their
   /// logs are dropped either way: logs follow the *memory* lifetime (a
   /// reloaded result returns without its log trail).
-  void PutResult(TaskResult result);
+  void PutResult(TaskResult result) CYR_EXCLUDES(put_mu_);
 
   /// The stored result; a result evicted to the spill tier is transparently
   /// reloaded (and re-admitted to the memory tier, possibly demoting the
@@ -144,7 +146,8 @@ class Datastore {
   /// themselves FIFO-bounded, so tasks far past the retention horizon
   /// eventually report `kNotFound` again — the marker set cannot grow
   /// without bound either.)
-  Result<TaskResult> GetResult(const std::string& task_id);
+  Result<TaskResult> GetResult(const std::string& task_id)
+      CYR_EXCLUDES(put_mu_);
 
   /// True only for live (non-evicted) results.
   bool HasResult(const std::string& task_id) const {
@@ -186,7 +189,8 @@ class Datastore {
  private:
   /// Demotes retention-evicted results to the spill tier (when configured)
   /// and erases their logs; requires `put_mu_`.
-  void DemoteEvictedResultsLocked(std::vector<TaskResult> evicted);
+  void DemoteEvictedResultsLocked(std::vector<TaskResult> evicted)
+      CYR_REQUIRES(put_mu_);
 
   DatasetCatalog* catalog_;  // not owned, may be null
   // The spill tiers are declared before the stores so they outlive them on
@@ -199,7 +203,10 @@ class Datastore {
   ResultStore results_;
   LogStore logs_;
   ResultCache result_cache_;
-  mutable std::mutex put_mu_;  ///< orders result-write + log-erase pairs
+  /// Orders result-write + log-erase pairs. Outermost of the store locks:
+  /// DemoteEvictedResultsLocked reaches the result spill tier (and its
+  /// logging) while holding it.
+  mutable Mutex put_mu_{lock_rank::kDatastorePutMu, "Datastore::put_mu_"};
 };
 
 }  // namespace cyclerank

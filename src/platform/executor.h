@@ -24,8 +24,11 @@ namespace cyclerank {
 /// freed when the pin drops.
 ///
 /// `Execute` is synchronous; the `Scheduler` runs it on worker threads.
-/// The executor is stateless apart from its wiring, so one instance can be
-/// shared by any number of threads.
+/// The executor is stateless apart from its wiring — it owns no mutex and
+/// no mutable fields, so it carries no thread-safety annotations: every
+/// shared structure it touches (datastore stores, status service, result
+/// cache) is locked by its owner. One instance can be shared by any number
+/// of threads.
 class Executor {
  public:
   /// All dependencies are borrowed and must outlive the executor.

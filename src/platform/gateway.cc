@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/mutex.h"
 #include "platform/params.h"
 
 namespace cyclerank {
@@ -36,7 +37,7 @@ Result<std::string> ApiGateway::SubmitQuerySet(const QuerySet& query_set) {
   comparison.cancelled = std::make_shared<std::atomic<bool>>(false);
   comparison.specs = query_set.tasks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     comparison_id = uuid_.Generate();
     for (size_t i = 0; i < query_set.tasks.size(); ++i) {
       comparison.task_ids.push_back(comparison_id + "/" + std::to_string(i));
@@ -92,7 +93,7 @@ Result<std::string> ApiGateway::SubmitQuerySet(const QuerySet& query_set) {
     (void)status_.SetState(task_id, TaskState::kFailed);
   }
   if (enqueued == 0) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     comparisons_.erase(comparison_id);
   }
   return error;
@@ -102,7 +103,7 @@ Result<ComparisonStatus> ApiGateway::GetStatus(
     const std::string& comparison_id) const {
   std::vector<std::string> task_ids;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = comparisons_.find(comparison_id);
     if (it == comparisons_.end()) {
       return Status::NotFound("gateway: comparison '" + comparison_id +
@@ -141,7 +142,7 @@ Result<std::vector<TaskResult>> ApiGateway::GetResults(
                              GetStatus(comparison_id));
   std::vector<TaskSpec> specs;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = comparisons_.find(comparison_id);
     if (it != comparisons_.end()) specs = it->second.specs;
   }
@@ -178,7 +179,7 @@ Result<std::vector<TaskResult>> ApiGateway::GetResults(
 }
 
 Status ApiGateway::Cancel(const std::string& comparison_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = comparisons_.find(comparison_id);
   if (it == comparisons_.end()) {
     return Status::NotFound("gateway: comparison '" + comparison_id +
@@ -192,7 +193,7 @@ Result<bool> ApiGateway::WaitForCompletion(const std::string& comparison_id,
                                            double timeout_seconds) const {
   std::vector<std::string> task_ids;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = comparisons_.find(comparison_id);
     if (it == comparisons_.end()) {
       return Status::NotFound("gateway: comparison '" + comparison_id +

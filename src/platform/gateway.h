@@ -4,10 +4,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/uuid.h"
 #include "platform/datastore.h"
 #include "platform/platform_options.h"
@@ -70,10 +72,12 @@ class ApiGateway {
   /// failure the gateway rolls back: tracked-but-never-enqueued tasks move
   /// to `kFailed` with a stored error result (never stuck `kPending`), and
   /// a comparison with no enqueued task at all is erased.
-  Result<std::string> SubmitQuerySet(const QuerySet& query_set);
+  Result<std::string> SubmitQuerySet(const QuerySet& query_set)
+      CYR_EXCLUDES(mu_);
 
   /// Current aggregate status of a comparison.
-  Result<ComparisonStatus> GetStatus(const std::string& comparison_id) const;
+  Result<ComparisonStatus> GetStatus(const std::string& comparison_id) const
+      CYR_EXCLUDES(mu_);
 
   /// Results of all *terminal* tasks so far, in task order. Tasks that
   /// failed carry their error status; pending/running tasks are skipped. A
@@ -81,16 +85,17 @@ class ApiGateway {
   /// operation) still yields an entry whose status names its state, so
   /// callers can always distinguish "no result yet" from "task failed".
   Result<std::vector<TaskResult>> GetResults(
-      const std::string& comparison_id) const;
+      const std::string& comparison_id) const CYR_EXCLUDES(mu_);
 
   /// Requests cancellation of all not-yet-started tasks of a comparison.
-  Status Cancel(const std::string& comparison_id);
+  Status Cancel(const std::string& comparison_id) CYR_EXCLUDES(mu_);
 
   /// Blocks until the comparison is done. `timeout_seconds == 0` blocks
   /// indefinitely; positive values bound the wait (returns false on
   /// timeout); negative values are rejected as InvalidArgument.
   Result<bool> WaitForCompletion(const std::string& comparison_id,
-                                 double timeout_seconds = 0.0) const;
+                                 double timeout_seconds = 0.0) const
+      CYR_EXCLUDES(mu_);
 
   /// Stops the scheduler (drains in-flight work); idempotent.
   void Shutdown() { scheduler_.Shutdown(); }
@@ -115,9 +120,12 @@ class ApiGateway {
   Executor executor_;
   Scheduler scheduler_;
 
-  mutable std::mutex mu_;
-  UuidGenerator uuid_;
-  std::map<std::string, Comparison> comparisons_;
+  /// Outermost lock of the whole platform: submission holds it only for
+  /// id generation and comparison-map writes, never across enqueue or
+  /// delivery — but the rank is ordered before every other lock anyway.
+  mutable Mutex mu_{lock_rank::kGatewayMu, "ApiGateway::mu_"};
+  UuidGenerator uuid_ CYR_GUARDED_BY(mu_);
+  std::map<std::string, Comparison> comparisons_ CYR_GUARDED_BY(mu_);
   AlgorithmRegistry* registry_;
 };
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 
 namespace cyclerank {
 namespace {
@@ -31,7 +32,10 @@ GraphStore::GraphStore(size_t max_bytes, SpillTier* spill)
   // Recovered spill entries carry the generations a previous process
   // assigned. Resuming the counter past the largest one keeps generations
   // process-unique *across* restarts: a fresh upload can never collide
-  // with a recovered binding's fingerprint.
+  // with a recovered binding's fingerprint. (No thread can race the
+  // constructor; the lock is taken so the guarded write is provably
+  // consistent with the annotation.)
+  MutexLock lock(mu_);
   next_generation_ = std::max(next_generation_, spill_->MaxMeta() + 1);
 }
 
@@ -43,7 +47,7 @@ Status GraphStore::Put(const std::string& name, GraphPtr graph) {
     return Status::InvalidArgument("graph store: graph must not be null");
   }
   const size_t bytes = graph->MemoryBytes();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (max_bytes_ != 0 && bytes > max_bytes_) {
     ++stats_.rejections;
     return Status::InvalidArgument(
@@ -71,7 +75,7 @@ Status GraphStore::Put(const std::string& name, GraphPtr graph) {
 }
 
 Result<GraphPtr> GraphStore::Get(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Bump recency under the same lock as the lookup: a concurrent upload
   // deciding what to evict always observes a consistent LRU order.
   if (Slot* slot = lru_.Touch(name)) {
@@ -173,7 +177,7 @@ void GraphStore::EvictLocked() {
 }
 
 uint64_t GraphStore::Generation(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (const Slot* slot = lru_.Find(name)) return slot->generation;
   // A spilled dataset keeps its binding generation — it is the same
   // binding, merely demoted — so fingerprints (and cached results) survive
@@ -185,7 +189,7 @@ uint64_t GraphStore::Generation(const std::string& name) const {
 }
 
 std::vector<std::string> GraphStore::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out = lru_.Keys();
   if (spill_ != nullptr) {
     // Disk-resident datasets are uploaded too; merge the tiers.
@@ -198,7 +202,7 @@ std::vector<std::string> GraphStore::Names() const {
 }
 
 GraphStoreStats GraphStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   GraphStoreStats snapshot = stats_;
   snapshot.entries = lru_.size();
   snapshot.bytes = lru_.bytes();

@@ -3,11 +3,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "graph/graph.h"
 #include "platform/byte_lru.h"
 #include "platform/expiry_markers.h"
@@ -91,13 +93,13 @@ class GraphStore {
   /// least-recently-queried datasets to make room (demoting them to the
   /// spill tier when one is attached); the new dataset is most-recent and
   /// never evicted by its own insertion.
-  Status Put(const std::string& name, GraphPtr graph);
+  Status Put(const std::string& name, GraphPtr graph) CYR_EXCLUDES(mu_);
 
   /// Fetches `name`, bumping it to most-recently-queried under the lookup
   /// lock; a spilled dataset is transparently reloaded from disk first.
   /// `kExpired` for names evicted (and, with a spill tier, pruned from
   /// disk — the message distinguishes the two), `kNotFound` otherwise.
-  Result<GraphPtr> Get(const std::string& name);
+  Result<GraphPtr> Get(const std::string& name) CYR_EXCLUDES(mu_);
 
   /// Generation of `name`'s current binding: a process-unique counter
   /// assigned at every successful `Put`, 0 when the name is not live. A
@@ -106,12 +108,12 @@ class GraphStore {
   /// Because eviction + re-upload can bind one *name* to different
   /// content, result-cache and single-flight keys qualify the dataset name
   /// with this generation — two bindings can never share a key.
-  uint64_t Generation(const std::string& name) const;
+  uint64_t Generation(const std::string& name) const CYR_EXCLUDES(mu_);
 
   /// Names of live datasets (memory- or disk-resident), sorted.
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const CYR_EXCLUDES(mu_);
 
-  GraphStoreStats stats() const;
+  GraphStoreStats stats() const CYR_EXCLUDES(mu_);
   size_t max_bytes() const { return max_bytes_; }
 
  private:
@@ -124,20 +126,23 @@ class GraphStore {
   /// Evicts least-recently-queried entries until the budget holds —
   /// demoting them to the spill tier when one is attached — then bounds
   /// the marker set; requires `mu_`.
-  void EvictLocked();
+  void EvictLocked() CYR_REQUIRES(mu_);
 
   /// Reloads `name` from the spill tier into the memory tier (most-recent,
   /// original generation); requires `mu_`. Returns null on a spill miss or
   /// a corrupt/undecodable spill file (which is dropped with a warning).
-  GraphPtr ReloadLocked(const std::string& name);
+  GraphPtr ReloadLocked(const std::string& name) CYR_REQUIRES(mu_);
 
   const size_t max_bytes_;  // 0 = unbounded
   SpillTier* const spill_;  // not owned, may be null
-  mutable std::mutex mu_;
-  ByteBudgetedLru<Slot> lru_;  ///< memory tier: list + index + bytes
-  ExpiryMarkers evicted_;  ///< names answered with kExpired
-  uint64_t next_generation_ = 1;  ///< 0 is reserved for "not live"
-  GraphStoreStats stats_;
+  /// Nests *inside* Datastore::put_mu_ and *outside* the spill tier's
+  /// locks (EvictLocked demotes victims to `spill_` under it).
+  mutable Mutex mu_{lock_rank::kGraphStoreMu, "GraphStore::mu_"};
+  ByteBudgetedLru<Slot> lru_ CYR_GUARDED_BY(mu_);  ///< memory tier
+  ExpiryMarkers evicted_ CYR_GUARDED_BY(mu_);  ///< names answering kExpired
+  /// 0 is reserved for "not live".
+  uint64_t next_generation_ CYR_GUARDED_BY(mu_) = 1;
+  GraphStoreStats stats_ CYR_GUARDED_BY(mu_);
 };
 
 }  // namespace cyclerank

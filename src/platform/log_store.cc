@@ -2,15 +2,17 @@
 
 #include <utility>
 
+#include "common/mutex.h"
+
 namespace cyclerank {
 
 void LogStore::Append(const std::string& task_id, std::string line) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   logs_[task_id].push_back(std::move(line));
 }
 
 std::vector<std::string> LogStore::Get(const std::string& task_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = logs_.find(task_id);
   if (it == logs_.end()) return {};
   return it->second;
@@ -18,7 +20,7 @@ std::vector<std::string> LogStore::Get(const std::string& task_id) const {
 
 void LogStore::Erase(const std::vector<std::string>& task_ids) {
   if (task_ids.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const std::string& task_id : task_ids) logs_.erase(task_id);
 }
 

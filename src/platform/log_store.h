@@ -2,9 +2,12 @@
 #define CYCLERANK_PLATFORM_LOG_STORE_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cyclerank {
 
@@ -25,17 +28,19 @@ class LogStore {
   LogStore& operator=(const LogStore&) = delete;
 
   /// Appends one log line for `task_id`.
-  void Append(const std::string& task_id, std::string line);
+  void Append(const std::string& task_id, std::string line)
+      CYR_EXCLUDES(mu_);
 
   /// All log lines of `task_id`, oldest first (empty if none).
-  std::vector<std::string> Get(const std::string& task_id) const;
+  std::vector<std::string> Get(const std::string& task_id) const
+      CYR_EXCLUDES(mu_);
 
   /// Drops all logs of the given tasks (used when their results expire).
-  void Erase(const std::vector<std::string>& task_ids);
+  void Erase(const std::vector<std::string>& task_ids) CYR_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::vector<std::string>> logs_;
+  mutable Mutex mu_{lock_rank::kLogStoreMu, "LogStore::mu_"};
+  std::map<std::string, std::vector<std::string>> logs_ CYR_GUARDED_BY(mu_);
 };
 
 }  // namespace cyclerank

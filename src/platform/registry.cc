@@ -1,5 +1,7 @@
 #include "platform/registry.h"
 
+#include "common/mutex.h"
+
 namespace cyclerank {
 
 AlgorithmRegistry& AlgorithmRegistry::Default() {
@@ -33,7 +35,7 @@ Status AlgorithmRegistry::Register(
         "registry: name '" + name + "' is an alias of built-in '" +
         std::string(AlgorithmKindToString(*kind)) + "'");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = algorithms_.emplace(name, std::move(algorithm));
   (void)it;
   if (!inserted) {
@@ -46,14 +48,14 @@ Status AlgorithmRegistry::Register(
 Result<std::shared_ptr<const RelevanceAlgorithm>> AlgorithmRegistry::Find(
     const std::string& name) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = algorithms_.find(name);
     if (it != algorithms_.end()) return it->second;
   }
   // Alias fallback ("ppr", "pr", "cr", ...).
   auto kind = AlgorithmKindFromString(name);
   if (kind.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = algorithms_.find(std::string(AlgorithmKindToString(*kind)));
     if (it != algorithms_.end()) return it->second;
   }
@@ -61,7 +63,7 @@ Result<std::shared_ptr<const RelevanceAlgorithm>> AlgorithmRegistry::Find(
 }
 
 std::vector<std::string> AlgorithmRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(algorithms_.size());
   for (const auto& [name, algorithm] : algorithms_) out.push_back(name);
@@ -69,7 +71,7 @@ std::vector<std::string> AlgorithmRegistry::Names() const {
 }
 
 size_t AlgorithmRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return algorithms_.size();
 }
 

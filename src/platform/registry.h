@@ -3,11 +3,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/algorithm.h"
 
 namespace cyclerank {
@@ -33,21 +35,23 @@ class AlgorithmRegistry {
 
   /// Registers `algorithm` under its own `name()`.
   /// Fails with AlreadyExists on duplicates.
-  Status Register(std::shared_ptr<const RelevanceAlgorithm> algorithm);
+  Status Register(std::shared_ptr<const RelevanceAlgorithm> algorithm)
+      CYR_EXCLUDES(mu_);
 
   /// Looks up an algorithm by registry name (also accepts the aliases
   /// understood by `AlgorithmKindFromString`, e.g. "ppr").
   Result<std::shared_ptr<const RelevanceAlgorithm>> Find(
-      const std::string& name) const;
+      const std::string& name) const CYR_EXCLUDES(mu_);
 
   /// Registered names, sorted.
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const CYR_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const CYR_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const RelevanceAlgorithm>> algorithms_;
+  mutable Mutex mu_{lock_rank::kRegistryMu, "AlgorithmRegistry::mu_"};
+  std::map<std::string, std::shared_ptr<const RelevanceAlgorithm>> algorithms_
+      CYR_GUARDED_BY(mu_);
 };
 
 }  // namespace cyclerank

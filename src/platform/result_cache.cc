@@ -3,12 +3,13 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "platform/result_io.h"
 
 namespace cyclerank {
 
 std::optional<TaskResult> ResultCache::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TaskResult* result = lru_.Touch(key);
   if (result != nullptr) {
     ++stats_.hits;
@@ -46,7 +47,7 @@ std::optional<TaskResult> ResultCache::Get(const std::string& key) {
 
 void ResultCache::Put(const std::string& key, TaskResult result) {
   const size_t bytes = EstimateBytes(key, result);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (bytes > max_bytes_) {
     ++stats_.rejected;
     return;
@@ -84,7 +85,7 @@ void ResultCache::EvictLocked() {
 }
 
 size_t ResultCache::ErasePrefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t erased = lru_.ErasePrefix(prefix).size();
   if (spill_ != nullptr) {
     // The disk tier holds demoted results keyed by the same fingerprints;
@@ -96,12 +97,12 @@ size_t ResultCache::ErasePrefix(const std::string& prefix) {
 }
 
 void ResultCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lru_.Clear();
 }
 
 ResultCacheStats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ResultCacheStats snapshot = stats_;
   snapshot.entries = lru_.size();
   snapshot.bytes = lru_.bytes();

@@ -3,10 +3,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "platform/byte_lru.h"
 #include "platform/spill_tier.h"
 #include "platform/task.h"
@@ -69,23 +71,23 @@ class ResultCache {
   /// Returns the cached result for `key` (bumped to most-recently-used), or
   /// nullopt on a miss. A result demoted to the disk tier is transparently
   /// reloaded and re-admitted to memory.
-  std::optional<TaskResult> Get(const std::string& key);
+  std::optional<TaskResult> Get(const std::string& key) CYR_EXCLUDES(mu_);
 
   /// Stores `result` under `key`, overwriting any previous entry and
   /// evicting LRU entries until the budget holds (evictees demote to the
   /// disk tier when one is attached).
-  void Put(const std::string& key, TaskResult result);
+  void Put(const std::string& key, TaskResult result) CYR_EXCLUDES(mu_);
 
   /// Drops every entry whose key starts with `prefix` — from memory and
   /// from the disk tier; returns how many (an entry resident in both tiers
   /// counts once per tier). Used to invalidate a dataset's cached results
   /// when its name is re-bound to new content (`DatasetFingerprintPrefix`).
-  size_t ErasePrefix(const std::string& prefix);
+  size_t ErasePrefix(const std::string& prefix) CYR_EXCLUDES(mu_);
 
   /// Drops every in-memory entry (counters and the disk tier are kept).
-  void Clear();
+  void Clear() CYR_EXCLUDES(mu_);
 
-  ResultCacheStats stats() const;
+  ResultCacheStats stats() const CYR_EXCLUDES(mu_);
   size_t max_bytes() const { return max_bytes_; }
 
   /// Estimated heap footprint of caching `result` under `key` — the string
@@ -95,13 +97,17 @@ class ResultCache {
  private:
   /// Evicts LRU entries until the budget holds, demoting each victim to
   /// the disk tier when one is attached; requires `mu_`.
-  void EvictLocked();
+  void EvictLocked() CYR_REQUIRES(mu_);
 
   const size_t max_bytes_;
   SpillTier* const spill_;  ///< not owned, may be null
-  mutable std::mutex mu_;
-  ByteBudgetedLru<TaskResult> lru_;  ///< list + index + byte accounting
-  ResultCacheStats stats_;           ///< counters only; entries/bytes from lru_
+  /// Nests inside the scheduler's mutex and outside the spill tier's
+  /// locks (EvictLocked demotes victims to `spill_` under it).
+  mutable Mutex mu_{lock_rank::kResultCacheMu, "ResultCache::mu_"};
+  /// List + index + byte accounting.
+  ByteBudgetedLru<TaskResult> lru_ CYR_GUARDED_BY(mu_);
+  /// Counters only; entries/bytes snapshot from lru_.
+  ResultCacheStats stats_ CYR_GUARDED_BY(mu_);
 };
 
 }  // namespace cyclerank

@@ -2,10 +2,12 @@
 
 #include <utility>
 
+#include "common/mutex.h"
+
 namespace cyclerank {
 
 std::vector<TaskResult> ResultStore::Put(TaskResult result) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::string id = result.task_id;
   auto [it, inserted] = results_.insert_or_assign(id, std::move(result));
   (void)it;
@@ -35,7 +37,7 @@ void ResultStore::EnforceRetentionLocked(std::vector<TaskResult>* evicted) {
 }
 
 Result<TaskResult> ResultStore::Get(const std::string& task_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = results_.find(task_id);
   if (it == results_.end()) {
     if (evicted_.Contains(task_id)) {
@@ -49,12 +51,12 @@ Result<TaskResult> ResultStore::Get(const std::string& task_id) const {
 }
 
 bool ResultStore::Has(const std::string& task_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return results_.count(task_id) != 0;
 }
 
 size_t ResultStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return results_.size();
 }
 

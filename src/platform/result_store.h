@@ -4,11 +4,13 @@
 #include <cstddef>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "platform/expiry_markers.h"
 #include "platform/task.h"
 
@@ -39,28 +41,31 @@ class ResultStore {
   /// logs and, when a spill tier is configured, demotes them to disk;
   /// returning the full values (not just ids) is what makes the demotion
   /// possible without a second lookup race.
-  std::vector<TaskResult> Put(TaskResult result);
+  std::vector<TaskResult> Put(TaskResult result) CYR_EXCLUDES(mu_);
 
   /// The stored result; `kExpired` when the retention bound evicted it,
   /// `kNotFound` when it was never stored (or its marker fell off).
-  Result<TaskResult> Get(const std::string& task_id) const;
+  Result<TaskResult> Get(const std::string& task_id) const
+      CYR_EXCLUDES(mu_);
 
   /// True only for live (non-evicted) results.
-  bool Has(const std::string& task_id) const;
+  bool Has(const std::string& task_id) const CYR_EXCLUDES(mu_);
 
   /// Number of live stored results.
-  size_t size() const;
+  size_t size() const CYR_EXCLUDES(mu_);
 
  private:
   /// Evicts the oldest results past the retention bound into `evicted`;
   /// requires `mu_`.
-  void EnforceRetentionLocked(std::vector<TaskResult>* evicted);
+  void EnforceRetentionLocked(std::vector<TaskResult>* evicted)
+      CYR_REQUIRES(mu_);
 
   const size_t max_retained_;  // 0 = unlimited
-  mutable std::mutex mu_;
-  std::map<std::string, TaskResult> results_;
-  std::deque<std::string> retention_fifo_;  ///< insertion order of results_
-  ExpiryMarkers evicted_;                   ///< ids answered with kExpired
+  mutable Mutex mu_{lock_rank::kResultStoreMu, "ResultStore::mu_"};
+  std::map<std::string, TaskResult> results_ CYR_GUARDED_BY(mu_);
+  /// Insertion order of results_.
+  std::deque<std::string> retention_fifo_ CYR_GUARDED_BY(mu_);
+  ExpiryMarkers evicted_ CYR_GUARDED_BY(mu_);  ///< ids answered with kExpired
 };
 
 }  // namespace cyclerank

@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/parallel_for.h"
 
 namespace cyclerank {
@@ -20,7 +21,7 @@ Status Scheduler::Enqueue(const std::string& task_id, TaskSpec spec,
                           std::string coalesce_key) {
   std::optional<TaskResult> hit;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       return Status::FailedPrecondition("scheduler: already shut down");
     }
@@ -92,15 +93,15 @@ void Scheduler::DispatchLocked() {
         // return before the followers are delivered.
         std::vector<Follower> fan_out;
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           CompleteKeyLocked(pending.key, pending.task_id, outcome, &fan_out);
         }
         DeliverFollowers(fan_out, outcome, pending.task_id);
       }
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
       DispatchLocked();
-      if (in_flight_ == 0 && waiting_.empty()) idle_.notify_all();
+      if (in_flight_ == 0 && waiting_.empty()) idle_.NotifyAll();
     });
     if (!posted) {
       // The pool refused work (it is shutting down — only possible with an
@@ -131,7 +132,7 @@ void Scheduler::DispatchLocked() {
           DeliverFollowers(fan_out, outcome, task.task_id);
         }
       }
-      if (in_flight_ == 0) idle_.notify_all();
+      if (in_flight_ == 0) idle_.NotifyAll();
       return;
     }
   }
@@ -162,20 +163,22 @@ void Scheduler::CompleteKeyLocked(const std::string& key,
 }
 
 void Scheduler::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return in_flight_ == 0 && waiting_.empty(); });
+  MutexLock lock(mu_);
+  idle_.Wait(mu_, [this]() CYR_REQUIRES(mu_) {
+    return in_flight_ == 0 && waiting_.empty();
+  });
 }
 
 void Scheduler::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   Drain();
 }
 
 size_t Scheduler::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return waiting_.size();
 }
 

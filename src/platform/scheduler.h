@@ -2,14 +2,15 @@
 #define CYCLERANK_PLATFORM_SCHEDULER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "platform/executor.h"
 #include "platform/platform_options.h"
@@ -66,18 +67,18 @@ class Scheduler {
   /// under its own cancellation flag.
   Status Enqueue(const std::string& task_id, TaskSpec spec,
                  std::shared_ptr<std::atomic<bool>> cancelled = nullptr,
-                 std::string coalesce_key = {});
+                 std::string coalesce_key = {}) CYR_EXCLUDES(mu_);
 
   /// Blocks until all tasks enqueued so far have finished.
-  void Drain();
+  void Drain() CYR_EXCLUDES(mu_);
 
   /// Stops accepting work and waits for in-flight tasks (idempotent).
-  void Shutdown();
+  void Shutdown() CYR_EXCLUDES(mu_);
 
   size_t num_workers() const { return num_workers_; }
 
   /// Number of tasks accepted but not yet dispatched to the pool.
-  size_t QueueDepth() const;
+  size_t QueueDepth() const CYR_EXCLUDES(mu_);
 
  private:
   struct Pending {
@@ -101,7 +102,7 @@ class Scheduler {
   };
 
   /// Dispatches waiting tasks while concurrency allows; requires `mu_`.
-  void DispatchLocked();
+  void DispatchLocked() CYR_REQUIRES(mu_);
 
   /// Delivers the leader's outcome to coalesced followers — except those
   /// whose own requester cancelled meanwhile, which get a cancelled
@@ -122,18 +123,22 @@ class Scheduler {
   /// is shutting down.
   void CompleteKeyLocked(const std::string& key, const std::string& task_id,
                          const TaskResult& outcome,
-                         std::vector<Follower>* fan_out);
+                         std::vector<Follower>* fan_out) CYR_REQUIRES(mu_);
 
   Executor* executor_;
   ThreadPool* pool_;  // borrowed; shared with kernel-level ParallelFor
   const size_t num_workers_;
 
-  mutable std::mutex mu_;
-  std::condition_variable idle_;
-  std::deque<Pending> waiting_;
-  std::map<std::string, Inflight> inflight_;  ///< keyed single-flight entries
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  /// Outermost of the execution-side locks: DispatchLocked reaches the
+  /// result cache, the datastore, and (on the pool-refused shutdown path)
+  /// the whole executor stack while holding it.
+  mutable Mutex mu_{lock_rank::kSchedulerMu, "Scheduler::mu_"};
+  CondVar idle_;
+  std::deque<Pending> waiting_ CYR_GUARDED_BY(mu_);
+  /// Keyed single-flight entries.
+  std::map<std::string, Inflight> inflight_ CYR_GUARDED_BY(mu_);
+  size_t in_flight_ CYR_GUARDED_BY(mu_) = 0;
+  bool shutdown_ CYR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cyclerank

@@ -9,6 +9,7 @@
 
 #include "common/binary_io.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 
 namespace fs = std::filesystem;
 
@@ -185,7 +186,7 @@ SpillTier::SpillTier(std::string dir, SpillTierOptions options,
       what_(std::move(what)),
       lru_(options.max_bytes) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::error_code ec;
     fs::create_directories(dir_, ec);
     if (ec) {
@@ -206,11 +207,11 @@ SpillTier::SpillTier(std::string dir, SpillTierOptions options,
 SpillTier::~SpillTier() {
   if (!flusher_.joinable()) return;
   {
-    std::lock_guard<std::mutex> lock(buffer_mu_);
+    MutexLock lock(buffer_mu_);
     stop_ = true;
     flush_paused_ = false;  // destruction overrides a test pause
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   flusher_.join();
 }
 
@@ -299,7 +300,7 @@ Status SpillTier::Put(const std::string& key, SpillPayloadPtr payload,
   const size_t approx =
       payload->ApproxBytes() + key.size() + kBufferEntryOverhead;
   {
-    std::unique_lock<std::mutex> lock(buffer_mu_);
+    MutexLock lock(buffer_mu_);
     // Backpressure: past the byte bound the caller waits for the flusher.
     // A single payload larger than the whole bound is admitted alone (the
     // buffer must make progress), which is why the emptiness check is part
@@ -307,7 +308,7 @@ Status SpillTier::Put(const std::string& key, SpillPayloadPtr payload,
     if (!stop_ && !pending_.empty() &&
         pending_bytes_ + approx > options_.write_behind_bytes) {
       ++backpressure_waits_;
-      drained_cv_.wait(lock, [&] {
+      drained_cv_.Wait(buffer_mu_, [&]() CYR_REQUIRES(buffer_mu_) {
         return stop_ || pending_.empty() ||
                pending_bytes_ + approx <= options_.write_behind_bytes;
       });
@@ -332,7 +333,7 @@ Status SpillTier::Put(const std::string& key, SpillPayloadPtr payload,
     }
     pending_bytes_ += approx;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return Status::OK();
 }
 
@@ -350,7 +351,7 @@ Status SpillTier::Put(const std::string& key, std::string_view payload,
 Status SpillTier::PutSync(const std::string& key, std::string_view raw,
                           uint64_t meta) {
   const std::string file = EncodeSpillFile(key, raw, meta);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Into the filter before any outcome: a rejected-oversize key becomes a
   // pruned marker, and pruned lookups must fall through the filter to get
   // their exact `kExpired` answer.
@@ -383,8 +384,8 @@ void SpillTier::FlushWorker() {
     uint64_t meta = 0;
     uint64_t seq = 0;
     {
-      std::unique_lock<std::mutex> lock(buffer_mu_);
-      work_cv_.wait(lock, [&] {
+      MutexLock lock(buffer_mu_);
+      work_cv_.Wait(buffer_mu_, [&]() CYR_REQUIRES(buffer_mu_) {
         return stop_ || (!flush_queue_.empty() && !flush_paused_);
       });
       if (flush_queue_.empty()) {
@@ -418,7 +419,7 @@ void SpillTier::FlushOne(const std::string& key, const SpillPayloadPtr& payload,
         << file.size() << " bytes on disk, larger than the entire spill "
         << "budget of " << options_.max_bytes << " bytes; dropped (pruned)";
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (UnindexLocked(key).has_value()) RemoveFileLocked(key);
       pruned_.Mark(key);
       pruned_.Bound(kMaxPrunedMarkers);
@@ -435,7 +436,7 @@ void SpillTier::FlushOne(const std::string& key, const SpillPayloadPtr& payload,
     {
       // Remember the loss the same way a budget prune is remembered, so a
       // later lookup reports "was spilled and dropped", not "never stored".
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       pruned_.Mark(key);
       pruned_.Bound(kMaxPrunedMarkers);
     }
@@ -447,25 +448,25 @@ void SpillTier::FlushOne(const std::string& key, const SpillPayloadPtr& payload,
 
 void SpillTier::FinishPending(const std::string& key, uint64_t seq,
                               Info info, size_t file_bytes) {
-  std::unique_lock<std::mutex> lock(buffer_mu_);
+  MutexLock lock(buffer_mu_);
   auto it = pending_.find(key);
   if (it != pending_.end() && it->second.seq == seq) {
     // Index the flushed file *before* dropping the buffer entry, so a
     // concurrent Get always finds the key in at least one of the two —
     // the never-invisible guarantee.
     {
-      std::lock_guard<std::mutex> disk_lock(mu_);
+      MutexLock disk_lock(mu_);
       IndexLocked(key, info, file_bytes);
       ++stats_.flushes;
     }
     pending_bytes_ -= it->second.approx_bytes;
     pending_.erase(it);
-    lock.unlock();
-    drained_cv_.notify_all();
-    flushed_cv_.notify_all();
+    lock.Unlock();
+    drained_cv_.NotifyAll();
+    flushed_cv_.NotifyAll();
     // The manifest write is file IO: do it off buffer_mu_ so enqueues
     // never wait behind it.
-    std::lock_guard<std::mutex> disk_lock(mu_);
+    MutexLock disk_lock(mu_);
     WriteManifestLocked();
     return;
   }
@@ -474,8 +475,8 @@ void SpillTier::FinishPending(const std::string& key, uint64_t seq,
     // a file the caller asked to drop. It was never indexed (only this
     // thread indexes), so remove it directly — unless a newer flush has
     // already re-indexed the key.
-    lock.unlock();
-    std::lock_guard<std::mutex> disk_lock(mu_);
+    lock.Unlock();
+    MutexLock disk_lock(mu_);
     if (!lru_.Contains(key)) RemoveFileLocked(key);
     return;
   }
@@ -485,14 +486,14 @@ void SpillTier::FinishPending(const std::string& key, uint64_t seq,
 
 void SpillTier::DropPending(const std::string& key, uint64_t seq) {
   {
-    std::lock_guard<std::mutex> lock(buffer_mu_);
+    MutexLock lock(buffer_mu_);
     auto it = pending_.find(key);
     if (it == pending_.end() || it->second.seq != seq) return;
     pending_bytes_ -= it->second.approx_bytes;
     pending_.erase(it);
   }
-  drained_cv_.notify_all();
-  flushed_cv_.notify_all();
+  drained_cv_.NotifyAll();
+  flushed_cv_.NotifyAll();
 }
 
 std::string SpillTier::EncodeSpillFile(const std::string& key,
@@ -578,7 +579,7 @@ Result<SpillTier::Loaded> SpillTier::Get(const std::string& key) {
     SpillPayloadPtr buffered;
     uint64_t buffered_meta = 0;
     {
-      std::lock_guard<std::mutex> lock(buffer_mu_);
+      MutexLock lock(buffer_mu_);
       auto it = pending_.find(key);
       if (it != pending_.end()) {
         buffered = it->second.payload;
@@ -596,7 +597,7 @@ Result<SpillTier::Loaded> SpillTier::Get(const std::string& key) {
       return loaded;
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Info* info = lru_.Touch(key);
   if (info == nullptr) {
     ++stats_.misses;
@@ -630,7 +631,7 @@ Result<SpillTier::Loaded> SpillTier::Get(const std::string& key) {
   // key, the compressed framing, and the payload checksum. Any mismatch
   // means bit rot or a torn write — drop the entry with a warning instead
   // of handing corrupt bytes to a codec.
-  const auto corrupt = [&](const std::string& why) -> Status {
+  const auto corrupt = [&](const std::string& why) CYR_REQUIRES(mu_) -> Status {
     CYCLERANK_LOG(kWarning) << "spill tier (" << what_
                             << "): dropping corrupt spill file '" << path
                             << "': " << why;
@@ -687,41 +688,41 @@ bool SpillTier::Contains(const std::string& key) const {
     filter_negatives_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  std::lock_guard<std::mutex> buffer_lock(buffer_mu_);
+  MutexLock buffer_lock(buffer_mu_);
   if (pending_.count(key) != 0) return true;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lru_.Contains(key);
 }
 
 std::optional<uint64_t> SpillTier::Meta(const std::string& key) const {
   if (!FilterMayContain(key)) return std::nullopt;
-  std::lock_guard<std::mutex> buffer_lock(buffer_mu_);
+  MutexLock buffer_lock(buffer_mu_);
   if (auto it = pending_.find(key); it != pending_.end()) {
     return it->second.meta;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Info* info = lru_.Find(key);
   if (info == nullptr) return std::nullopt;
   return info->meta;
 }
 
 bool SpillTier::WasPruned(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pruned_.Contains(key);
 }
 
 void SpillTier::Erase(const std::string& key) {
   {
-    std::lock_guard<std::mutex> lock(buffer_mu_);
+    MutexLock lock(buffer_mu_);
     auto it = pending_.find(key);
     if (it != pending_.end()) {
       pending_bytes_ -= it->second.approx_bytes;
       pending_.erase(it);
-      drained_cv_.notify_all();
-      flushed_cv_.notify_all();
+      drained_cv_.NotifyAll();
+      flushed_cv_.NotifyAll();
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   pruned_.Revive(key);
   if (!UnindexLocked(key).has_value()) return;
   RemoveFileLocked(key);
@@ -731,7 +732,7 @@ void SpillTier::Erase(const std::string& key) {
 size_t SpillTier::ErasePrefix(const std::string& prefix) {
   std::set<std::string> erased;
   {
-    std::lock_guard<std::mutex> lock(buffer_mu_);
+    MutexLock lock(buffer_mu_);
     for (auto it = pending_.lower_bound(prefix);
          it != pending_.end() &&
          it->first.compare(0, prefix.size(), prefix) == 0;) {
@@ -740,11 +741,11 @@ size_t SpillTier::ErasePrefix(const std::string& prefix) {
       it = pending_.erase(it);
     }
     if (!erased.empty()) {
-      drained_cv_.notify_all();
-      flushed_cv_.notify_all();
+      drained_cv_.NotifyAll();
+      flushed_cv_.NotifyAll();
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ByteBudgetedLru<Info>::Entry> disk = lru_.ErasePrefix(prefix);
   for (const ByteBudgetedLru<Info>::Entry& entry : disk) {
     raw_bytes_ -= entry.value.raw_bytes;
@@ -758,34 +759,35 @@ size_t SpillTier::ErasePrefix(const std::string& prefix) {
 
 void SpillTier::Flush() {
   if (!write_behind()) return;
-  std::unique_lock<std::mutex> lock(buffer_mu_);
-  flushed_cv_.wait(lock, [&] { return pending_.empty(); });
+  MutexLock lock(buffer_mu_);
+  flushed_cv_.Wait(buffer_mu_,
+                   [&]() CYR_REQUIRES(buffer_mu_) { return pending_.empty(); });
 }
 
 void SpillTier::SetFlushPausedForTest(bool paused) {
   {
-    std::lock_guard<std::mutex> lock(buffer_mu_);
+    MutexLock lock(buffer_mu_);
     flush_paused_ = paused;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 }
 
 std::vector<std::string> SpillTier::Keys() const {
   std::set<std::string> keys;
-  std::lock_guard<std::mutex> buffer_lock(buffer_mu_);
+  MutexLock buffer_lock(buffer_mu_);
   for (const auto& [key, pending] : pending_) keys.insert(key);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const std::string& key : lru_.Keys()) keys.insert(key);
   return std::vector<std::string>(keys.begin(), keys.end());
 }
 
 uint64_t SpillTier::MaxMeta() const {
   uint64_t max_meta = 0;
-  std::lock_guard<std::mutex> buffer_lock(buffer_mu_);
+  MutexLock buffer_lock(buffer_mu_);
   for (const auto& [key, pending] : pending_) {
     max_meta = std::max(max_meta, pending.meta);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const std::string& key : lru_.Keys()) {
     max_meta = std::max(max_meta, lru_.Find(key)->meta);
   }
@@ -793,8 +795,8 @@ uint64_t SpillTier::MaxMeta() const {
 }
 
 SpillTierStats SpillTier::stats() const {
-  std::lock_guard<std::mutex> buffer_lock(buffer_mu_);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock buffer_lock(buffer_mu_);
+  MutexLock lock(mu_);
   SpillTierStats snapshot = stats_;
   snapshot.entries = lru_.size();
   snapshot.bytes = lru_.bytes();

@@ -3,20 +3,21 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/lock_rank.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "platform/byte_lru.h"
 #include "platform/expiry_markers.h"
 
@@ -170,11 +171,11 @@ class SpillTier {
   /// pruning all happen on the flush thread (an oversize entry is marked
   /// pruned there, with a logged warning).
   Status Put(const std::string& key, SpillPayloadPtr payload,
-             uint64_t meta = 0);
+             uint64_t meta = 0) CYR_EXCLUDES(buffer_mu_, mu_);
 
   /// Convenience overload for already-materialized bytes.
   Status Put(const std::string& key, std::string_view payload,
-             uint64_t meta = 0);
+             uint64_t meta = 0) CYR_EXCLUDES(buffer_mu_, mu_);
 
   struct Loaded {
     std::string payload;
@@ -188,47 +189,51 @@ class SpillTier {
   /// pruned key answers `kExpired`; an unknown key `kNotFound` — answered
   /// by the lock-free key filter when the key was never stored, without
   /// touching the tier lock or the filesystem.
-  Result<Loaded> Get(const std::string& key);
+  Result<Loaded> Get(const std::string& key)
+      CYR_EXCLUDES(buffer_mu_, mu_);
 
   /// True while `key` has a live spill file or a buffered write.
-  bool Contains(const std::string& key) const;
+  bool Contains(const std::string& key) const
+      CYR_EXCLUDES(buffer_mu_, mu_);
 
   /// The `meta` word stored with `key`, without touching recency or disk;
   /// nullopt when the key has no live spill file or buffered write.
-  std::optional<uint64_t> Meta(const std::string& key) const;
+  std::optional<uint64_t> Meta(const std::string& key) const
+      CYR_EXCLUDES(buffer_mu_, mu_);
 
   /// True while `key`'s pruning (by budget, oversize rejection, or
   /// corruption) is still remembered.
-  bool WasPruned(const std::string& key) const;
+  bool WasPruned(const std::string& key) const CYR_EXCLUDES(mu_);
 
   /// Drops `key`'s spill file and any buffered write without marking it
   /// pruned — the caller is superseding the entry (e.g. a fresh upload
   /// re-binding a dataset name), not evicting it under pressure.
-  void Erase(const std::string& key);
+  void Erase(const std::string& key) CYR_EXCLUDES(buffer_mu_, mu_);
 
   /// Drops every live entry (buffered or on disk) whose key starts with
   /// `prefix`; returns how many. Used by the `ResultCache` to invalidate a
   /// re-bound dataset's spilled results alongside its in-memory ones.
-  size_t ErasePrefix(const std::string& prefix);
+  size_t ErasePrefix(const std::string& prefix)
+      CYR_EXCLUDES(buffer_mu_, mu_);
 
   /// Blocks until every buffered write has reached disk — the barrier for
   /// tests, shutdown, and anything that needs durability now. A no-op in
   /// synchronous mode. Must not be called while flushing is paused.
-  void Flush();
+  void Flush() CYR_EXCLUDES(buffer_mu_);
 
   /// Test hook: true stalls the flush thread (entries stay buffered and
   /// observable), false resumes it. Destruction overrides a pause.
-  void SetFlushPausedForTest(bool paused);
+  void SetFlushPausedForTest(bool paused) CYR_EXCLUDES(buffer_mu_);
 
   /// Keys of live entries (buffered or on disk), sorted.
-  std::vector<std::string> Keys() const;
+  std::vector<std::string> Keys() const CYR_EXCLUDES(buffer_mu_, mu_);
 
   /// Largest `meta` word across live entries (0 when empty) — lets
   /// `GraphStore` restart its generation counter past every recovered
   /// binding.
-  uint64_t MaxMeta() const;
+  uint64_t MaxMeta() const CYR_EXCLUDES(buffer_mu_, mu_);
 
-  SpillTierStats stats() const;
+  SpillTierStats stats() const CYR_EXCLUDES(buffer_mu_, mu_);
   size_t max_bytes() const { return options_.max_bytes; }
   const std::string& dir() const { return dir_; }
 
@@ -253,30 +258,32 @@ class SpillTier {
 
   /// Scans `dir_` for spill files, seeds the LRU from the manifest, and
   /// prunes past the budget; requires `mu_`.
-  void RecoverLocked();
+  void RecoverLocked() CYR_REQUIRES(mu_);
 
   /// The synchronous (PR-5-shaped) Put: encode, oversize check, write,
   /// index, manifest — all before returning.
-  Status PutSync(const std::string& key, std::string_view raw, uint64_t meta);
+  Status PutSync(const std::string& key, std::string_view raw, uint64_t meta)
+      CYR_EXCLUDES(mu_);
 
   /// The flush thread's main loop: pop → serialize → encode → write →
   /// index, until stopped and drained.
-  void FlushWorker();
+  void FlushWorker() CYR_EXCLUDES(buffer_mu_, mu_);
 
   /// Flushes one buffered write (off both locks for the expensive parts).
   void FlushOne(const std::string& key, const SpillPayloadPtr& payload,
-                uint64_t meta, uint64_t seq);
+                uint64_t meta, uint64_t seq) CYR_EXCLUDES(buffer_mu_, mu_);
 
   /// Completes a successful flush: indexes the renamed file, then removes
   /// the buffer entry if its seq still matches (erased → the file is
   /// removed again; superseded → the newer flush owns the file), waking
   /// backpressure and Flush waiters.
   void FinishPending(const std::string& key, uint64_t seq, Info info,
-                     size_t file_bytes);
+                     size_t file_bytes) CYR_EXCLUDES(buffer_mu_, mu_);
 
   /// Removes `key` from the buffer if its seq still matches, without
   /// indexing anything (failed or oversize flush), waking waiters.
-  void DropPending(const std::string& key, uint64_t seq);
+  void DropPending(const std::string& key, uint64_t seq)
+      CYR_EXCLUDES(buffer_mu_, mu_);
 
   /// Encodes the on-disk file image (header + optionally compressed
   /// payload) for `key`; no locks required.
@@ -288,23 +295,24 @@ class SpillTier {
 
   /// Inserts `key` into the disk index (replacing any previous entry) and
   /// maintains the raw-byte accounting; requires `mu_`.
-  void IndexLocked(const std::string& key, Info info, size_t file_bytes);
+  void IndexLocked(const std::string& key, Info info, size_t file_bytes)
+      CYR_REQUIRES(mu_);
 
   /// Drops `key` from the disk index (not the filesystem), maintaining
   /// the raw-byte accounting; requires `mu_`.
   std::optional<ByteBudgetedLru<Info>::Entry> UnindexLocked(
-      const std::string& key);
+      const std::string& key) CYR_REQUIRES(mu_);
 
   /// Prunes least-recently-used entries until the budget holds; requires
   /// `mu_`.
-  void PruneLocked();
+  void PruneLocked() CYR_REQUIRES(mu_);
 
   /// Rewrites the manifest (recency order, hottest first) atomically via a
   /// temp file + rename; requires `mu_`.
-  void WriteManifestLocked();
+  void WriteManifestLocked() CYR_REQUIRES(mu_);
 
   /// Deletes `key`'s file from disk (best-effort); requires `mu_`.
-  void RemoveFileLocked(const std::string& key);
+  void RemoveFileLocked(const std::string& key) CYR_REQUIRES(mu_);
 
   std::string FilePath(const std::string& key) const;
 
@@ -324,25 +332,31 @@ class SpillTier {
   std::atomic<uint64_t> buffer_hits_{0};
 
   // Write-behind buffer state; guarded by buffer_mu_.
-  mutable std::mutex buffer_mu_;
-  std::condition_variable work_cv_;     ///< flush thread: work or stop
-  std::condition_variable drained_cv_;  ///< backpressure waiters
-  std::condition_variable flushed_cv_;  ///< Flush() waiters
-  std::map<std::string, PendingWrite> pending_;
-  std::deque<std::string> flush_queue_;
-  size_t pending_bytes_ = 0;
-  uint64_t next_seq_ = 0;
-  uint64_t backpressure_waits_ = 0;
-  bool flush_paused_ = false;
-  bool stop_ = false;
+  mutable Mutex buffer_mu_{lock_rank::kSpillBufferMu, "SpillTier::buffer_mu_"};
+  CondVar work_cv_;     ///< flush thread: work or stop
+  CondVar drained_cv_;  ///< backpressure waiters
+  CondVar flushed_cv_;  ///< Flush() waiters
+  std::map<std::string, PendingWrite> pending_ CYR_GUARDED_BY(buffer_mu_);
+  std::deque<std::string> flush_queue_ CYR_GUARDED_BY(buffer_mu_);
+  size_t pending_bytes_ CYR_GUARDED_BY(buffer_mu_) = 0;
+  uint64_t next_seq_ CYR_GUARDED_BY(buffer_mu_) = 0;
+  uint64_t backpressure_waits_ CYR_GUARDED_BY(buffer_mu_) = 0;
+  bool flush_paused_ CYR_GUARDED_BY(buffer_mu_) = false;
+  bool stop_ CYR_GUARDED_BY(buffer_mu_) = false;
+  // Started in the constructor, joined in the destructor; never touched
+  // while another thread can see the tier — not guarded.
   std::thread flusher_;
 
-  // Disk index state; guarded by mu_. Acquisition order: buffer_mu_ → mu_.
-  mutable std::mutex mu_;
-  ByteBudgetedLru<Info> lru_;  ///< key → meta/raw size; bytes = file size
-  size_t raw_bytes_ = 0;       ///< sum of Info::raw_bytes over lru_
-  ExpiryMarkers pruned_;       ///< keys answered with `WasPruned`
-  SpillTierStats stats_;
+  // Disk index state; guarded by mu_. Acquisition order: buffer_mu_ → mu_
+  // (encoded in the lock ranks — kSpillBufferMu < kSpillIndexMu).
+  mutable Mutex mu_{lock_rank::kSpillIndexMu, "SpillTier::mu_"};
+  /// Key → meta/raw size; bytes = file size.
+  ByteBudgetedLru<Info> lru_ CYR_GUARDED_BY(mu_);
+  /// Sum of Info::raw_bytes over lru_.
+  size_t raw_bytes_ CYR_GUARDED_BY(mu_) = 0;
+  /// Keys answered with `WasPruned`.
+  ExpiryMarkers pruned_ CYR_GUARDED_BY(mu_);
+  SpillTierStats stats_ CYR_GUARDED_BY(mu_);
 };
 
 }  // namespace cyclerank

@@ -2,13 +2,16 @@
 
 #include <chrono>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace cyclerank {
 
 Status StatusService::Track(const std::string& task_id) {
   if (task_id.empty()) {
     return Status::InvalidArgument("status: task id must not be empty");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = states_.emplace(task_id, TaskState::kPending);
   (void)it;
   if (!inserted) {
@@ -20,7 +23,7 @@ Status StatusService::Track(const std::string& task_id) {
 
 Status StatusService::SetState(const std::string& task_id, TaskState state) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = states_.find(task_id);
     if (it == states_.end()) {
       return Status::NotFound("status: task '" + task_id + "' not tracked");
@@ -32,12 +35,12 @@ Status StatusService::SetState(const std::string& task_id, TaskState state) {
     }
     it->second = state;
   }
-  changed_.notify_all();
+  changed_.NotifyAll();
   return Status::OK();
 }
 
 Result<TaskState> StatusService::GetState(const std::string& task_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = states_.find(task_id);
   if (it == states_.end()) {
     return Status::NotFound("status: task '" + task_id + "' not tracked");
@@ -47,7 +50,7 @@ Result<TaskState> StatusService::GetState(const std::string& task_id) const {
 
 Result<std::vector<TaskState>> StatusService::GetStates(
     const std::vector<std::string>& task_ids) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TaskState> out;
   out.reserve(task_ids.size());
   for (const std::string& id : task_ids) {
@@ -62,8 +65,8 @@ Result<std::vector<TaskState>> StatusService::GetStates(
 
 Result<bool> StatusService::WaitUntilTerminal(
     const std::vector<std::string>& task_ids, double timeout_seconds) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto all_terminal = [&]() -> bool {
+  MutexLock lock(mu_);
+  auto all_terminal = [&]() CYR_REQUIRES(mu_) -> bool {
     for (const std::string& id : task_ids) {
       auto it = states_.find(id);
       if (it == states_.end() || !IsTerminal(it->second)) return false;
@@ -83,16 +86,15 @@ Result<bool> StatusService::WaitUntilTerminal(
     }
   }
   if (timeout_seconds == 0.0) {
-    changed_.wait(lock, all_terminal);
+    changed_.Wait(mu_, all_terminal);
     return true;
   }
-  return changed_.wait_for(lock,
-                           std::chrono::duration<double>(timeout_seconds),
-                           all_terminal);
+  return changed_.WaitFor(mu_, std::chrono::duration<double>(timeout_seconds),
+                          all_terminal);
 }
 
 size_t StatusService::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return states_.size();
 }
 

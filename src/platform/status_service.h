@@ -1,13 +1,14 @@
 #ifndef CYCLERANK_PLATFORM_STATUS_SERVICE_H_
 #define CYCLERANK_PLATFORM_STATUS_SERVICE_H_
 
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "platform/task.h"
 
 namespace cyclerank {
@@ -25,18 +26,20 @@ class StatusService {
   StatusService& operator=(const StatusService&) = delete;
 
   /// Registers a task in `kPending` state; fails on duplicate ids.
-  Status Track(const std::string& task_id);
+  Status Track(const std::string& task_id) CYR_EXCLUDES(mu_);
 
   /// Records a state transition. Transitions out of a terminal state are
   /// rejected (FailedPrecondition) — a cancelled task cannot complete.
-  Status SetState(const std::string& task_id, TaskState state);
+  Status SetState(const std::string& task_id, TaskState state)
+      CYR_EXCLUDES(mu_);
 
   /// Current state of `task_id`.
-  Result<TaskState> GetState(const std::string& task_id) const;
+  Result<TaskState> GetState(const std::string& task_id) const
+      CYR_EXCLUDES(mu_);
 
   /// States of several tasks at once (one poll, one lock).
   Result<std::vector<TaskState>> GetStates(
-      const std::vector<std::string>& task_ids) const;
+      const std::vector<std::string>& task_ids) const CYR_EXCLUDES(mu_);
 
   /// Blocks until every listed task reaches a terminal state.
   /// `timeout_seconds == 0` blocks indefinitely; a positive value bounds
@@ -44,15 +47,16 @@ class StatusService {
   /// rejected as InvalidArgument — before, any `<= 0` value silently meant
   /// "wait forever", turning a caller's sign bug into an infinite hang.
   Result<bool> WaitUntilTerminal(const std::vector<std::string>& task_ids,
-                                 double timeout_seconds = 0.0) const;
+                                 double timeout_seconds = 0.0) const
+      CYR_EXCLUDES(mu_);
 
   /// Number of tracked tasks.
-  size_t size() const;
+  size_t size() const CYR_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  mutable std::condition_variable changed_;
-  std::map<std::string, TaskState> states_;
+  mutable Mutex mu_{lock_rank::kStatusServiceMu, "StatusService::mu_"};
+  mutable CondVar changed_;
+  std::map<std::string, TaskState> states_ CYR_GUARDED_BY(mu_);
 };
 
 }  // namespace cyclerank

@@ -15,7 +15,7 @@ namespace {
 /// A tiny synthetic expansion: node u proposes u+1 and u+2 (mod n) as
 /// candidates and sends them a delta of 1.0 / (u+1).
 struct SyntheticTraversal {
-  explicit SyntheticTraversal(uint32_t n) : n(n) {}
+  explicit SyntheticTraversal(uint32_t node_count) : n(node_count) {}
 
   FrontierEngine::Callbacks Hook(FrontierEngine* engine, uint32_t max_rounds) {
     FrontierEngine::Callbacks callbacks;

@@ -1,0 +1,94 @@
+#include "common/lock_rank.h"
+
+#include <gtest/gtest.h>
+
+#include "common/mutex.h"
+
+namespace cyclerank {
+namespace {
+
+// The checker aborts the whole process, so violations are exercised as
+// death tests. In unchecked builds (Release without sanitizers) the
+// bookkeeping is compiled out and nothing aborts — those tests skip.
+class LockRankDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!lock_rank::ChecksEnabled()) {
+      GTEST_SKIP() << "lock-rank checks compiled out in this build";
+    }
+    // Fork-after-threads is unsafe with the "fast" style; the suite links
+    // thread-using tests into the same binary.
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  }
+};
+
+TEST(LockRankTest, InRankNestingIsAccepted) {
+  Mutex outer(100, "test::outer");
+  Mutex inner(200, "test::inner");
+  MutexLock hold_outer(outer);
+  MutexLock hold_inner(inner);  // strictly increasing — fine
+}
+
+TEST(LockRankTest, RankIsReleasedOnUnlock) {
+  Mutex high(200, "test::high");
+  Mutex low(100, "test::low");
+  { MutexLock hold(high); }
+  // `high` is no longer held, so acquiring a lower rank is in order.
+  MutexLock hold_low(low);
+}
+
+TEST(LockRankTest, EarlyUnlockReleasesTheRank) {
+  Mutex high(200, "test::high");
+  Mutex low(100, "test::low");
+  MutexLock hold(high);
+  hold.Unlock();
+  MutexLock hold_low(low);
+}
+
+TEST(LockRankTest, UnrankedMutexesNestAnywhere) {
+  Mutex ranked(100, "test::ranked");
+  Mutex unranked;
+  MutexLock hold_ranked(ranked);
+  MutexLock hold_unranked(unranked);
+  Mutex another(200, "test::another");
+  MutexLock hold_another(another);  // unranked holds don't constrain
+}
+
+TEST_F(LockRankDeathTest, OutOfRankAcquisitionAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex inner(200, "test::inner");
+        Mutex outer(100, "test::outer");
+        MutexLock hold_inner(inner);
+        MutexLock hold_outer(outer);  // 100 under 200 — wrong order
+      },
+      "lock-rank violation");
+}
+
+TEST_F(LockRankDeathTest, EqualRankNestingAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex a(300, "test::a");
+        Mutex b(300, "test::b");
+        MutexLock hold_a(a);
+        MutexLock hold_b(b);  // same rank may never nest
+      },
+      "lock-rank violation");
+}
+
+TEST_F(LockRankDeathTest, AssertNoneHeldAbortsWhileHolding) {
+  EXPECT_DEATH(
+      {
+        Mutex mu(100, "test::held_at_boundary");
+        MutexLock hold(mu);
+        lock_rank::AssertNoneHeld("unit test boundary");
+      },
+      "lock-rank violation");
+}
+
+TEST(LockRankTest, AssertNoneHeldIsANoOpWhenNothingIsHeld) {
+  lock_rank::AssertNoneHeld("unit test boundary");  // must not abort
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -76,7 +76,9 @@ TEST(PersonalizedCheiRankTest, ConcentratesAtReference) {
   const Graph g = builder.Build().value();
   const PageRankScores scores = ComputePersonalizedCheiRank(g, 4).value();
   for (NodeId u = 0; u < 6; ++u) {
-    if (u != 4) EXPECT_GT(scores.scores[4], scores.scores[u]);
+    if (u != 4) {
+      EXPECT_GT(scores.scores[4], scores.scores[u]);
+    }
   }
 }
 

@@ -152,7 +152,9 @@ TEST(PersonalizedPageRankTest, TeleportConcentratesAtReference) {
   const Graph g = Cycle(6);
   const PageRankScores ppr = ComputePersonalizedPageRank(g, 2).value();
   for (NodeId u = 0; u < 6; ++u) {
-    if (u != 2) EXPECT_GT(ppr.scores[2], ppr.scores[u]);
+    if (u != 2) {
+      EXPECT_GT(ppr.scores[2], ppr.scores[u]);
+    }
   }
   EXPECT_NEAR(Sum(ppr.scores), 1.0, 1e-9);
 }

@@ -88,9 +88,9 @@ INSTANTIATE_TEST_SUITE_P(
     SeedsAndAlphas, PageRankPropertyTest,
     ::testing::Combine(::testing::Values(1ull, 2ull, 3ull, 4ull),
                        ::testing::Values(0.3, 0.5, 0.85)),
-    [](const auto& info) {
-      return "seed" + std::to_string(std::get<0>(info.param)) + "_alpha" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    [](const auto& test_info) {
+      return "seed" + std::to_string(std::get<0>(test_info.param)) + "_alpha" +
+             std::to_string(static_cast<int>(std::get<1>(test_info.param) * 100));
     });
 
 // ---- CycleRank properties over (seed, K, sigma) -----------------------------
@@ -150,10 +150,10 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(ScoringFunction::kExponential,
                                          ScoringFunction::kLinear,
                                          ScoringFunction::kConstant)),
-    [](const auto& info) {
-      return "seed" + std::to_string(std::get<0>(info.param)) + "_k" +
-             std::to_string(std::get<1>(info.param)) + "_" +
-             std::string(ScoringFunctionToString(std::get<2>(info.param)));
+    [](const auto& test_info) {
+      return "seed" + std::to_string(std::get<0>(test_info.param)) + "_k" +
+             std::to_string(std::get<1>(test_info.param)) + "_" +
+             std::string(ScoringFunctionToString(std::get<2>(test_info.param)));
     });
 
 // ---- Structural property: hub pathology ------------------------------------

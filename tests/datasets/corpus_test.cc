@@ -228,7 +228,7 @@ INSTANTIATE_TEST_SUITE_P(
         EditionExpectation{"pl",
                            {"Dezinformacja", "Propaganda",
                             "Media społecznościowe"}}),
-    [](const auto& info) { return std::string(info.param.language); });
+    [](const auto& test_info) { return std::string(test_info.param.language); });
 
 TEST(FakeNewsTest, LanguagesListedAndLoadable) {
   const auto& langs = FakeNewsLanguages();

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "graph/scc.h"
 #include "graph/stats.h"
 
@@ -213,6 +216,33 @@ TEST(AmazonLikeTest, ReciprocityHigherInsideGenres) {
   const Graph g = GenerateAmazonLike(config).value();
   const GraphStats stats = ComputeGraphStats(g);
   EXPECT_GT(stats.reciprocity, 0.3);  // co-purchases mostly mutual
+}
+
+TEST(BarabasiAlbertTest, GoldenEdgeListIsPortable) {
+  // Pins the exact generated edge list. The target-selection loop must not
+  // depend on any implementation-defined order (it once iterated an
+  // unordered_set while drawing reciprocity coin flips per target, so the
+  // graph differed across standard libraries); a changed stdlib, platform,
+  // or refactor must keep producing byte-identical graphs for a fixed seed.
+  BarabasiAlbertConfig config;
+  config.num_nodes = 12;
+  config.edges_per_node = 2;
+  config.reciprocity = 0.5;
+  config.seed = 123;
+  const Graph g = GenerateBarabasiAlbert(config).value();
+  const std::vector<std::pair<NodeId, NodeId>> expected = {
+      {0, 1},  {0, 3},  {0, 6},  {1, 2},  {1, 3},  {1, 7},  {2, 0},  {2, 4},
+      {2, 6},  {3, 0},  {3, 1},  {3, 8},  {4, 2},  {4, 3},  {4, 7},  {4, 8},
+      {5, 1},  {5, 2},  {6, 0},  {6, 2},  {6, 10}, {6, 11}, {7, 1},  {7, 4},
+      {8, 3},  {8, 4},  {9, 3},  {9, 4},  {10, 4}, {10, 6}, {11, 2}, {11, 6},
+  };
+  ASSERT_EQ(g.num_nodes(), 12u);
+  ASSERT_EQ(g.num_edges(), expected.size());
+  std::vector<std::pair<NodeId, NodeId>> actual;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) actual.emplace_back(u, v);
+  }
+  EXPECT_EQ(actual, expected);
 }
 
 TEST(TwitterLikeTest, LowReciprocityInteractions) {

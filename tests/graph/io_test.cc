@@ -82,8 +82,8 @@ INSTANTIATE_TEST_SUITE_P(AllFormats, IoRoundTripTest,
                          ::testing::Values(GraphFormat::kEdgeList,
                                            GraphFormat::kPajek,
                                            GraphFormat::kAsd),
-                         [](const auto& info) {
-                           return std::string(GraphFormatToString(info.param));
+                         [](const auto& test_info) {
+                           return std::string(GraphFormatToString(test_info.param));
                          });
 
 TEST(IoTest, FileRoundTrip) {

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Determinism / concurrency-idiom lint for the cyclerank sources.
+
+Four rules, all rooted in the platform's guarantees:
+
+  determinism-rng       `rand()` / `srand()` / `std::random_device` outside
+                        the seeded `common/rng.cc`. Kernels must be
+                        bit-identical across runs; ambient entropy anywhere
+                        in `src/` undermines that. (`common/uuid.cc` may use
+                        `std::random_device`: task ids are identifiers, not
+                        results, and are explicitly seedable.)
+
+  raw-thread            `std::thread` outside `common/thread_pool.*` and
+                        `platform/spill_tier.*`. All compute parallelism
+                        must flow through the shared pool so worker counts,
+                        shutdown, and the lock hierarchy stay in one place.
+                        (`std::thread::hardware_concurrency()` is a pure
+                        query and allowed anywhere.)
+
+  raw-mutex             raw standard-library synchronization types
+                        (`std::mutex`, `std::shared_mutex`,
+                        `std::condition_variable`, `std::lock_guard`,
+                        `std::unique_lock`, `std::scoped_lock`) outside
+                        `common/mutex.h`. Only the annotated wrappers give
+                        Clang's thread-safety analysis and the lock-rank
+                        checker visibility.
+
+  unordered-iteration   range-for over a `std::unordered_{map,set}` in
+                        result-producing code (`src/core`, `src/eval`,
+                        `src/graph`, `src/datasets`) — iteration order is
+                        implementation-defined, so anything derived from it
+                        is not portable-deterministic. Membership tests and
+                        lookups are fine. In `src/core` (the kernels) the
+                        containers are banned outright.
+
+Usage:
+  tools/lint.py                 # lint src/ of the repo containing this file
+  tools/lint.py path/to/src     # lint an explicit tree
+  tools/lint.py --self-test     # run the embedded known-bad fixtures
+
+Exits non-zero when findings (or self-test failures) exist.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Paths are matched as POSIX strings relative to the linted root.
+RNG_ALLOWED = {"common/rng.cc", "common/rng.h"}
+RNG_DEVICE_ALLOWED = RNG_ALLOWED | {"common/uuid.cc"}
+THREAD_ALLOWED = {
+    "common/thread_pool.h",
+    "common/thread_pool.cc",
+    "platform/spill_tier.h",
+    "platform/spill_tier.cc",
+}
+MUTEX_ALLOWED = {"common/mutex.h"}
+# Directories whose output feeds rankings/results/stored artifacts.
+DETERMINISTIC_DIRS = ("core/", "eval/", "graph/", "datasets/")
+
+RE_RAND = re.compile(r"(?<![\w:])s?rand\s*\(")
+RE_RANDOM_DEVICE = re.compile(r"std::random_device")
+RE_THREAD = re.compile(r"std::thread\b(?!::)")
+RE_RAW_SYNC = re.compile(
+    r"std::(?:mutex|shared_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock)\b"
+)
+RE_UNORDERED_DECL = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{()]*?>\s*&?\s*"
+    r"(\w+)\s*[;,={)(]"
+)
+RE_UNORDERED_ANY = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+RE_RANGE_FOR = re.compile(r"for\s*\([^;:()]*?:\s*&?\s*(\w+)\s*\)")
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line
+    structure, so the token regexes don't fire on prose or messages."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        two = text[i : i + 2]
+        if two == "//":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif two == "/*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif text[i] in "\"'":
+            quote = text[i]
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + quote)
+            i = j + 1
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def lint_file(rel_path, text):
+    """Yields (line_number, rule, message) findings for one file."""
+    rel = rel_path.replace("\\", "/")
+    clean = strip_comments_and_strings(text)
+    lines = clean.split("\n")
+
+    in_deterministic_dir = rel.startswith(DETERMINISTIC_DIRS)
+    # Two-pass: names declared (or taken as parameters) with an unordered
+    # type anywhere in the file, then range-for loops over those names.
+    unordered_names = set(RE_UNORDERED_DECL.findall(clean))
+
+    for lineno, line in enumerate(lines, start=1):
+        if RE_RAND.search(line) and rel not in RNG_ALLOWED:
+            yield (lineno, "determinism-rng",
+                   "rand()/srand() outside common/rng.cc — use the seeded "
+                   "Rng so results stay reproducible")
+        if RE_RANDOM_DEVICE.search(line) and rel not in RNG_DEVICE_ALLOWED:
+            yield (lineno, "determinism-rng",
+                   "std::random_device outside common/rng.cc (uuid.cc is "
+                   "the one sanctioned identifier-entropy user)")
+        if RE_THREAD.search(line) and rel not in THREAD_ALLOWED:
+            yield (lineno, "raw-thread",
+                   "raw std::thread outside the thread pool / spill tier — "
+                   "route parallelism through ThreadPool")
+        if RE_RAW_SYNC.search(line) and rel not in MUTEX_ALLOWED:
+            yield (lineno, "raw-mutex",
+                   "raw standard-library synchronization outside "
+                   "common/mutex.h — use the annotated Mutex/MutexLock/"
+                   "CondVar wrappers")
+        if rel.startswith("core/") and RE_UNORDERED_ANY.search(line):
+            yield (lineno, "unordered-iteration",
+                   "unordered containers are banned in kernels (src/core) — "
+                   "their order leaks into results; use std::map/std::set "
+                   "or sorted vectors")
+        elif in_deterministic_dir:
+            match = RE_RANGE_FOR.search(line)
+            if match and match.group(1) in unordered_names:
+                yield (lineno, "unordered-iteration",
+                       f"iterating unordered container '{match.group(1)}' "
+                       "in result-producing code — order is implementation-"
+                       "defined; iterate a sorted view instead")
+
+
+def lint_tree(root):
+    findings = []
+    for path in sorted(root.rglob("*")):
+        if path.suffix not in {".cc", ".h", ".cpp", ".hpp"}:
+            continue
+        rel = path.relative_to(root).as_posix()
+        text = path.read_text(encoding="utf-8", errors="replace")
+        for lineno, rule, message in lint_file(rel, text):
+            findings.append(f"{root / rel}:{lineno}: [{rule}] {message}")
+    return findings
+
+
+# ---- self-test -----------------------------------------------------------
+
+# (virtual path, snippet, expected rule or None)
+FIXTURES = [
+    ("core/kernel.cc", "int x = rand();", "determinism-rng"),
+    ("platform/foo.cc", "std::random_device rd;", "determinism-rng"),
+    ("common/uuid.cc", "std::random_device rd;", None),
+    ("common/rng.cc", "srand(42);", None),
+    ("platform/foo.cc", "std::thread worker([]{});", "raw-thread"),
+    ("platform/foo.cc",
+     "unsigned n = std::thread::hardware_concurrency();", None),
+    ("common/thread_pool.cc", "std::thread worker([]{});", None),
+    ("platform/foo.cc", "std::mutex mu_;", "raw-mutex"),
+    ("platform/foo.cc", "std::lock_guard<std::mutex> lock(mu_);",
+     "raw-mutex"),
+    ("common/mutex.h", "std::mutex mu_;", None),
+    ("platform/foo.cc", "// std::mutex in a comment is fine", None),
+    ("platform/foo.cc", 'Log("uses std::thread internally");', None),
+    ("core/kernel.cc", "#include <unordered_map>", "unordered-iteration"),
+    ("eval/metrics.cc",
+     "std::unordered_set<NodeId> seen;\nfor (NodeId v : seen) Use(v);",
+     "unordered-iteration"),
+    ("eval/metrics.cc",
+     "void F(const std::unordered_set<NodeId>& relevant) {\n"
+     "  for (NodeId v : relevant) Use(v);\n}",
+     "unordered-iteration"),
+    ("eval/metrics.cc",
+     "std::unordered_set<NodeId> seen;\nbool hit = seen.count(v);", None),
+    ("datasets/gen.cc",
+     "std::vector<NodeId> targets;\nfor (NodeId v : targets) Use(v);",
+     None),
+    ("platform/store.cc",
+     "std::unordered_map<K, V> m;\nfor (auto& kv : m) Use(kv);", None),
+]
+
+
+def self_test():
+    failures = []
+    for rel, snippet, expected in FIXTURES:
+        rules = {rule for _, rule, _ in lint_file(rel, snippet)}
+        if expected is None and rules:
+            failures.append(f"{rel}: expected clean, got {sorted(rules)}: "
+                            f"{snippet!r}")
+        elif expected is not None and expected not in rules:
+            failures.append(f"{rel}: expected [{expected}], got "
+                            f"{sorted(rules) or 'clean'}: {snippet!r}")
+    if failures:
+        print("lint.py self-test FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"lint.py self-test passed ({len(FIXTURES)} fixtures)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", type=pathlib.Path,
+                        help="source roots to lint (default: <repo>/src)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded known-bad fixtures and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    roots = args.paths or [REPO_ROOT / "src"]
+    findings = []
+    for root in roots:
+        if not root.is_dir():
+            print(f"lint.py: not a directory: {root}", file=sys.stderr)
+            return 2
+        findings.extend(lint_tree(root.resolve()))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

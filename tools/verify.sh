@@ -10,10 +10,16 @@
 #   tools/verify.sh --tsan-only           # just the TSan suite
 #   tools/verify.sh --sanitize=thread     # any -DCYCLERANK_SANITIZE value,
 #   tools/verify.sh --sanitize=address,undefined   # e.g. ASan+UBSan
+#   tools/verify.sh --static              # static gate: Clang build with
+#                                         # -Werror=thread-safety, clang-tidy
+#                                         # over src/, tools/lint.py
 #
 # Environment:
 #   BUILD_DIR          tier-1 build directory          (default: build)
 #   TSAN_DIR           thread-sanitizer build dir      (default: build-tsan)
+#   STATIC_DIR         --static build dir              (default: build-static)
+#   CLANG / CLANG_TIDY compilers for --static    (default: clang++,
+#                      clang-tidy; run-clang-tidy is used when available)
 #   JOBS               parallel build/test jobs        (default: nproc)
 #   VERIFY_CMAKE_ARGS  extra args for every configure, e.g.
 #                      "-DCMAKE_CXX_COMPILER_LAUNCHER=ccache" (CI cache)
@@ -58,13 +64,57 @@ run_sanitize() {
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
 }
 
+run_static() {
+  local dir=${STATIC_DIR:-build-static}
+  local clang=${CLANG:-clang++}
+  local tidy=${CLANG_TIDY:-clang-tidy}
+  if ! command -v "${clang}" >/dev/null; then
+    echo "verify --static: ${clang} not found (set CLANG=)" >&2
+    exit 2
+  fi
+  echo "== static 1/3: Clang build, -Werror=thread-safety (${dir})" >&2
+  # Debug so the lock-rank checker compiles in — the static tree doubles as
+  # proof that the checked configuration builds warning-clean.
+  cmake -B "${dir}" -S . -DCMAKE_CXX_COMPILER="${clang}" \
+        -DCMAKE_BUILD_TYPE=Debug -DCYCLERANK_WERROR=ON \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DCYCLERANK_BUILD_BENCHMARKS=OFF -DCYCLERANK_BUILD_EXAMPLES=OFF \
+        "${EXTRA_CMAKE_ARGS[@]+"${EXTRA_CMAKE_ARGS[@]}"}"
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "== static 2/3: clang-tidy over src/" >&2
+  # run-clang-tidy parallelizes; fall back to sequential clang-tidy. Either
+  # way the log is kept for the CI failure artifact.
+  local tidy_log="${dir}/clang-tidy.log"
+  if command -v run-clang-tidy >/dev/null; then
+    run-clang-tidy -p "${dir}" -quiet -j "${JOBS}" 'src/.*' \
+      2>&1 | tee "${tidy_log}"
+  elif command -v "${tidy}" >/dev/null; then
+    find src \( -name '*.cc' \) -print0 |
+      xargs -0 -n 8 -P "${JOBS}" "${tidy}" -p "${dir}" --quiet \
+        2>&1 | tee "${tidy_log}"
+  else
+    echo "verify --static: ${tidy} not found (set CLANG_TIDY=)" >&2
+    exit 2
+  fi
+  # clang-tidy exits 0 even on gated findings in some harness paths; grep
+  # the log so a '-warnings-as-errors' hit always fails the gate.
+  if grep -q "warnings treated as errors\|error:" "${tidy_log}"; then
+    echo "verify --static: clang-tidy reported gated findings" >&2
+    exit 1
+  fi
+  echo "== static 3/3: tools/lint.py" >&2
+  python3 tools/lint.py --self-test
+  python3 tools/lint.py
+}
+
 case "${MODE}" in
   all)          run_tier1; run_sanitize thread ;;
   --tier1-only) run_tier1 ;;
   --tsan-only)  run_sanitize thread ;;
   --sanitize=*) run_sanitize "${MODE#--sanitize=}" ;;
+  --static)     run_static ;;
   *)
-    echo "usage: tools/verify.sh [--tier1-only | --tsan-only | --sanitize=<list>]" >&2
+    echo "usage: tools/verify.sh [--tier1-only | --tsan-only | --sanitize=<list> | --static]" >&2
     exit 2 ;;
 esac
 echo "verify: OK (${MODE})" >&2
