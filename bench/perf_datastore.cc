@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/env.h"
 #include "datasets/generators.h"
 #include "platform/datastore.h"
 
@@ -335,6 +336,50 @@ void BM_SpillTier_CompressedRoundTrip(benchmark::State& state) {
   state.counters["disk_bytes"] = static_cast<double>(stats.bytes);
 }
 BENCHMARK(BM_SpillTier_CompressedRoundTrip)
+    ->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+/// Degraded-mode churn: the same Put+Get cycle against a healthy disk
+/// (arg 0) and against a tier whose circuit breaker is open after a
+/// persistent write failure (arg 1). The PR-8 acceptance point is that
+/// degradation is a *fast* documented fallback, not a slow error path:
+/// while the breaker is open every Put fast-fails in memory without
+/// touching the (known-bad) disk, so the degraded row must be far cheaper
+/// per op than the healthy one, with `breaker_rejects` accounting for
+/// every skipped write and zero new spills. Arg: 1 = breaker open.
+void BM_SpillTier_DegradedChurn(benchmark::State& state) {
+  const bool degraded = state.range(0) != 0;
+  FaultInjectingEnv env(Env::Default(), /*seed=*/1);
+  SpillTierOptions options;
+  options.env = &env;
+  options.retry_limit = 0;            // single attempt: trips immediately
+  options.retry_backoff_ms = 0;
+  options.breaker_probe_ms = 600'000;  // no recovery probe during the run
+  SpillTier tier(BenchSpillDir(), options, "dataset");
+  const std::string payload(64u << 10, 'x');
+  if (degraded) {
+    EnvFault fault;
+    fault.kind = EnvFault::Kind::kPersistent;
+    fault.op = EnvOp::kWrite;
+    env.AddFault(fault);
+    (void)tier.Put("trip", payload);  // the failed write opens the breaker
+  }
+  const uint64_t spills_before = tier.stats().spills;
+  uint64_t churns = 0;
+  for (auto _ : state) {
+    const std::string key = "churn-" + std::to_string(churns % 64);
+    benchmark::DoNotOptimize(tier.Put(key, payload));
+    benchmark::DoNotOptimize(tier.Get(key));
+    ++churns;
+  }
+  const SpillTierStats stats = tier.stats();
+  state.counters["breaker_open"] = stats.breaker_open ? 1.0 : 0.0;
+  state.counters["breaker_rejects"] =
+      static_cast<double>(stats.breaker_rejects);
+  state.counters["spills"] =
+      static_cast<double>(stats.spills - spills_before);
+  state.counters["reloads"] = static_cast<double>(stats.reloads);
+}
+BENCHMARK(BM_SpillTier_DegradedChurn)
     ->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 /// Text-upload admission: parse + CSR build + byte accounting for an

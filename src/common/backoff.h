@@ -1,0 +1,58 @@
+#ifndef CYCLERANK_COMMON_BACKOFF_H_
+#define CYCLERANK_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+
+namespace cyclerank {
+
+/// Deterministic bounded exponential backoff: `initial_ms`, doubled per
+/// retry, capped at `cap_ms`, for at most `max_retries` retries. No jitter
+/// on purpose — retry timing must replay bit-identically under the fault
+/// harness, and the callers (one spill tier per directory) have no
+/// thundering-herd problem for jitter to solve.
+///
+/// Usage:
+/// ```
+///   ExponentialBackoff backoff(policy);
+///   Status s = op();
+///   while (!s.ok()) {
+///     std::optional<uint64_t> delay = backoff.NextDelayMs();
+///     if (!delay.has_value()) break;  // retries exhausted
+///     SleepMs(*delay);
+///     s = op();
+///   }
+/// ```
+class ExponentialBackoff {
+ public:
+  struct Policy {
+    uint64_t initial_ms = 1;  ///< delay before the first retry (0 = none)
+    uint64_t cap_ms = 100;    ///< upper bound on any single delay
+    int max_retries = 3;      ///< retries after the initial attempt
+  };
+
+  explicit ExponentialBackoff(Policy policy) : policy_(policy) {}
+
+  /// The delay to sleep before the next retry, or nullopt when the retry
+  /// budget is spent. The sequence is initial, 2*initial, 4*initial, ...
+  /// capped at `cap_ms`.
+  std::optional<uint64_t> NextDelayMs() {
+    if (retries_done_ >= policy_.max_retries) return std::nullopt;
+    const uint64_t delay = std::min(
+        policy_.cap_ms, policy_.initial_ms << std::min(retries_done_, 62));
+    ++retries_done_;
+    return delay;
+  }
+
+  /// Retries handed out so far.
+  int retries_done() const { return retries_done_; }
+
+ private:
+  const Policy policy_;
+  int retries_done_ = 0;
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_COMMON_BACKOFF_H_

@@ -1,0 +1,329 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+
+namespace cyclerank {
+
+std::string_view EnvOpToString(EnvOp op) {
+  switch (op) {
+    case EnvOp::kAny:
+      return "any";
+    case EnvOp::kCreateDirs:
+      return "create-dirs";
+    case EnvOp::kListDir:
+      return "list-dir";
+    case EnvOp::kFileSize:
+      return "file-size";
+    case EnvOp::kRead:
+      return "read";
+    case EnvOp::kWrite:
+      return "write";
+    case EnvOp::kRename:
+      return "rename";
+    case EnvOp::kRemove:
+      return "remove";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- PosixEnv --
+
+Status PosixEnv::CreateDirs(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory '" + dir +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> PosixEnv::ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot list directory '" + dir +
+                           "': " + ec.message());
+  }
+  for (const auto& entry : it) {
+    std::error_code type_ec;
+    if (entry.is_regular_file(type_ec) && !type_ec) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<uint64_t> PosixEnv::FileSize(const std::string& path) {
+  std::error_code ec;
+  const uint64_t bytes = fs::file_size(path, ec);
+  if (ec) {
+    return Status::IOError("cannot stat '" + path + "': " + ec.message());
+  }
+  return bytes;
+}
+
+Result<std::string> PosixEnv::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::IOError("read of '" + path + "' failed");
+  }
+  return data;
+}
+
+Result<std::string> PosixEnv::ReadFilePrefix(const std::string& path,
+                                             size_t max_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::string data(max_bytes, '\0');
+  in.read(data.data(), static_cast<std::streamsize>(max_bytes));
+  if (in.bad()) {
+    return Status::IOError("read of '" + path + "' failed");
+  }
+  data.resize(static_cast<size_t>(in.gcount()));
+  return data;
+}
+
+Status PosixEnv::WriteFile(const std::string& path, std::string_view data) {
+  // Raw POSIX so the durability point (fsync before close) is explicit —
+  // iostreams cannot express it. This is the one sanctioned place for it.
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      return Status::IOError("write to '" + path + "' failed");
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IOError("fsync of '" + path + "' failed");
+  }
+  if (::close(fd) != 0) {
+    return Status::IOError("close of '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Status PosixEnv::Rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    return Status::IOError("cannot rename '" + from + "' to '" + to +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status PosixEnv::Remove(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);  // false-without-error when missing: idempotent OK
+  if (ec) {
+    return Status::IOError("cannot remove '" + path + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();  // leaked: outlives static dtors
+  return env;
+}
+
+// ------------------------------------------------------ FaultInjectingEnv --
+
+FaultInjectingEnv::FaultInjectingEnv(Env* base, uint64_t seed)
+    : base_(base), rng_(seed) {}
+
+void FaultInjectingEnv::AddFault(EnvFault fault) {
+  MutexLock lock(mu_);
+  armed_.push_back(Armed{std::move(fault), 0, false});
+}
+
+void FaultInjectingEnv::SetRandomFaultRate(double probability) {
+  MutexLock lock(mu_);
+  random_rate_ = probability;
+}
+
+void FaultInjectingEnv::ClearFaults() {
+  MutexLock lock(mu_);
+  armed_.clear();
+  random_rate_ = 0.0;
+  crashed_ = false;
+}
+
+bool FaultInjectingEnv::crashed() const {
+  MutexLock lock(mu_);
+  return crashed_;
+}
+
+FaultInjectionStats FaultInjectingEnv::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+FaultInjectingEnv::Decision FaultInjectingEnv::Decide(
+    EnvOp op, const std::string& path, size_t write_bytes) {
+  MutexLock lock(mu_);
+  ++stats_.ops;
+  Decision decision;
+  if (crashed_) {
+    ++stats_.injected;
+    decision.fail = true;
+    decision.reason = "environment is in the crashed state";
+    return decision;
+  }
+  // Every armed fault that matches this call counts it, so two faults
+  // watching the same operation keep independent Nth-call positions; the
+  // first one whose turn has come fires.
+  for (Armed& armed : armed_) {
+    if (armed.spent) continue;
+    const EnvFault& fault = armed.fault;
+    if (fault.op != EnvOp::kAny && fault.op != op) continue;
+    if (!fault.path_substring.empty() &&
+        path.find(fault.path_substring) == std::string::npos) {
+      continue;
+    }
+    ++armed.matches;
+    if (decision.fail) continue;  // an earlier fault already fired
+    switch (fault.kind) {
+      case EnvFault::Kind::kTransient:
+        if (armed.matches == fault.nth) {
+          armed.spent = true;
+          decision.fail = true;
+          decision.reason = "transient fault";
+        }
+        break;
+      case EnvFault::Kind::kPersistent:
+        if (armed.matches >= fault.nth) {
+          decision.fail = true;
+          decision.reason = "persistent fault";
+        }
+        break;
+      case EnvFault::Kind::kTornWrite:
+        if (armed.matches == fault.nth) {
+          armed.spent = true;
+          decision.fail = true;
+          decision.reason = "torn write";
+          if (op == EnvOp::kWrite) {
+            decision.torn_prefix_bytes = write_bytes / 2;
+          }
+        }
+        break;
+      case EnvFault::Kind::kCrashPoint:
+        if (armed.matches == fault.nth) {
+          armed.spent = true;
+          decision.fail = true;
+          decision.crash = true;
+          decision.reason = "crash point";
+          if (op == EnvOp::kWrite) {
+            decision.torn_prefix_bytes = write_bytes / 2;
+          }
+        }
+        break;
+    }
+  }
+  if (!decision.fail && random_rate_ > 0.0 &&
+      (op == EnvOp::kWrite || op == EnvOp::kRename || op == EnvOp::kRemove)) {
+    if (rng_.NextDouble() < random_rate_) {
+      decision.fail = true;
+      decision.reason = "seeded random fault";
+    }
+  }
+  if (decision.fail) {
+    ++stats_.injected;
+    if (decision.crash) crashed_ = true;
+  }
+  return decision;
+}
+
+Status FaultInjectingEnv::InjectedError(EnvOp op, const std::string& path,
+                                        const std::string& reason) const {
+  return Status::IOError("injected fault (" + reason + ") on " +
+                         std::string(EnvOpToString(op)) + " '" + path + "'");
+}
+
+Status FaultInjectingEnv::CreateDirs(const std::string& dir) {
+  const Decision d = Decide(EnvOp::kCreateDirs, dir, 0);
+  if (d.fail) return InjectedError(EnvOp::kCreateDirs, dir, d.reason);
+  return base_->CreateDirs(dir);
+}
+
+Result<std::vector<std::string>> FaultInjectingEnv::ListDir(
+    const std::string& dir) {
+  const Decision d = Decide(EnvOp::kListDir, dir, 0);
+  if (d.fail) return InjectedError(EnvOp::kListDir, dir, d.reason);
+  return base_->ListDir(dir);
+}
+
+Result<uint64_t> FaultInjectingEnv::FileSize(const std::string& path) {
+  const Decision d = Decide(EnvOp::kFileSize, path, 0);
+  if (d.fail) return InjectedError(EnvOp::kFileSize, path, d.reason);
+  return base_->FileSize(path);
+}
+
+Result<std::string> FaultInjectingEnv::ReadFile(const std::string& path) {
+  const Decision d = Decide(EnvOp::kRead, path, 0);
+  if (d.fail) return InjectedError(EnvOp::kRead, path, d.reason);
+  return base_->ReadFile(path);
+}
+
+Result<std::string> FaultInjectingEnv::ReadFilePrefix(const std::string& path,
+                                                      size_t max_bytes) {
+  const Decision d = Decide(EnvOp::kRead, path, 0);
+  if (d.fail) return InjectedError(EnvOp::kRead, path, d.reason);
+  return base_->ReadFilePrefix(path, max_bytes);
+}
+
+Status FaultInjectingEnv::WriteFile(const std::string& path,
+                                    std::string_view data) {
+  const Decision d = Decide(EnvOp::kWrite, path, data.size());
+  if (d.fail) {
+    if (d.torn_prefix_bytes != 0) {
+      // The torn prefix reaches the real disk — exactly what a crash
+      // mid-write leaves behind for the next recovery scan to survive.
+      (void)base_->WriteFile(path, data.substr(0, d.torn_prefix_bytes));
+    }
+    return InjectedError(EnvOp::kWrite, path, d.reason);
+  }
+  return base_->WriteFile(path, data);
+}
+
+Status FaultInjectingEnv::Rename(const std::string& from,
+                                 const std::string& to) {
+  // Match the substring against either name: schedules usually target the
+  // ".tmp" source or the final destination.
+  const Decision d = Decide(EnvOp::kRename, from + "\n" + to, 0);
+  if (d.fail) return InjectedError(EnvOp::kRename, from, d.reason);
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingEnv::Remove(const std::string& path) {
+  const Decision d = Decide(EnvOp::kRemove, path, 0);
+  if (d.fail) return InjectedError(EnvOp::kRemove, path, d.reason);
+  return base_->Remove(path);
+}
+
+}  // namespace cyclerank

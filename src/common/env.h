@@ -1,0 +1,203 @@
+#ifndef CYCLERANK_COMMON_ENV_H_
+#define CYCLERANK_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace cyclerank {
+
+/// The filesystem operation classes a fault schedule can match on.
+enum class EnvOp {
+  kAny = 0,      ///< matches every operation (fault schedules only)
+  kCreateDirs,
+  kListDir,
+  kFileSize,
+  kRead,         ///< `ReadFile` and `ReadFilePrefix`
+  kWrite,        ///< `WriteFile` (open + write + fsync + close)
+  kRename,
+  kRemove,
+};
+
+std::string_view EnvOpToString(EnvOp op);
+
+/// Virtual filesystem used by the storage stack (`SpillTier`) for *all*
+/// of its I/O. Production code talks to the process-wide `Env::Default()`
+/// (a `PosixEnv`); tests substitute a `FaultInjectingEnv` to make disk
+/// failure a deterministic, reproducible input instead of an untestable
+/// `if (!ok)` branch. `tools/lint.py` bans direct `<filesystem>` /
+/// `<fstream>` use in `src/platform/` so the seam cannot erode.
+///
+/// The interface is whole-file-at-a-time on purpose: the spill tier writes
+/// immutable blobs via tmp + rename, so streaming handles would only add
+/// state to inject faults into. `WriteFile` performs open, write, fsync,
+/// and close as one operation — a torn write injected there models a crash
+/// mid-write exactly like a real power cut under POSIX semantics.
+///
+/// Implementations must be thread-safe: tiers call concurrently from
+/// caller threads and their flush threads.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Creates `dir` and any missing parents; OK when it already exists.
+  virtual Status CreateDirs(const std::string& dir) = 0;
+
+  /// The plain filenames (no directory prefix) of the regular files in
+  /// `dir`, sorted — deterministic input for recovery scans.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+
+  /// Size in bytes of the regular file at `path`.
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// The whole content of `path`.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// The first `max_bytes` bytes of `path` (fewer when the file is
+  /// shorter) — header probes without paying for the payload.
+  virtual Result<std::string> ReadFilePrefix(const std::string& path,
+                                             size_t max_bytes) = 0;
+
+  /// Replaces `path` with `data`: open, write, fsync, close. Any failure
+  /// leaves no guarantee about the file's content (it may be torn) —
+  /// callers write to a temp name and `Rename` into place.
+  virtual Status WriteFile(const std::string& path, std::string_view data) = 0;
+
+  /// Atomically renames `from` to `to` (POSIX rename semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Deletes `path`; OK when it does not exist (idempotent).
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// The process-wide production environment (a `PosixEnv`). Never null.
+  static Env* Default();
+};
+
+/// `Env` backed by the real filesystem via `std::filesystem` / streams.
+class PosixEnv : public Env {
+ public:
+  Status CreateDirs(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<std::string> ReadFilePrefix(const std::string& path,
+                                     size_t max_bytes) override;
+  Status WriteFile(const std::string& path, std::string_view data) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+};
+
+/// One scheduled fault. Matches a call when the operation matches `op`
+/// (`kAny` matches all), the path contains `path_substring` (empty matches
+/// all; `Rename` matches on either name), and it is the `nth` such
+/// matching call (1-based) since the fault was armed.
+struct EnvFault {
+  enum class Kind {
+    /// Fail the matching call once with `kIOError`, then disarm — the
+    /// "EIO once" a retry must absorb.
+    kTransient,
+    /// Fail the matching call and every later matching call until
+    /// `ClearFaults` — ENOSPC-style, what trips a circuit breaker.
+    kPersistent,
+    /// For `kWrite`: write a deterministic strict prefix of the data,
+    /// then fail — the file is left torn on disk. For other ops this
+    /// degrades to `kTransient`. Disarms after firing.
+    kTornWrite,
+    /// Abandon the process's view mid-operation: a matching `kWrite`
+    /// leaves a torn prefix, any other matching op does nothing; the
+    /// environment then enters the crashed state, where every call fails.
+    /// Recovery is modeled by re-opening the directory through a fresh
+    /// (or cleared) environment.
+    kCrashPoint,
+  };
+
+  Kind kind = Kind::kTransient;
+  EnvOp op = EnvOp::kAny;
+  std::string path_substring;
+  uint64_t nth = 1;
+};
+
+/// Counters exposed by `FaultInjectingEnv` for assertions and logs.
+struct FaultInjectionStats {
+  uint64_t ops = 0;       ///< calls that reached the injector
+  uint64_t injected = 0;  ///< calls answered with an injected failure
+};
+
+/// A deterministic fault-injection decorator over another `Env`.
+///
+/// Two modes, composable:
+///  - an explicit schedule (`AddFault`): fire a specific fault on the Nth
+///    call matching an op/path pattern — for pinpoint scenarios ("the
+///    rename after the second tmp write fails");
+///  - a seeded random rate (`SetRandomFaultRate`): every mutating call
+///    (write/rename/remove) fails transiently with probability `p`, drawn
+///    from the constructor seed — for churn sweeps. The decision sequence
+///    depends only on the seed and the call order, so a single-threaded
+///    test replays bit-identically.
+///
+/// `ClearFaults` models the disk healing: it disarms every scheduled
+/// fault, zeroes the random rate, and lifts the crashed state.
+class FaultInjectingEnv final : public Env {
+ public:
+  /// Does not take ownership of `base`; `base` must outlive this.
+  explicit FaultInjectingEnv(Env* base, uint64_t seed = 0);
+
+  void AddFault(EnvFault fault);
+  void SetRandomFaultRate(double probability);
+  void ClearFaults();
+
+  bool crashed() const;
+  FaultInjectionStats stats() const;
+
+  Status CreateDirs(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<std::string> ReadFilePrefix(const std::string& path,
+                                     size_t max_bytes) override;
+  Status WriteFile(const std::string& path, std::string_view data) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+
+ private:
+  struct Armed {
+    EnvFault fault;
+    uint64_t matches = 0;  ///< matching calls seen while armed
+    bool spent = false;    ///< one-shot kinds that already fired
+  };
+
+  /// The injection decision for one call. `torn_prefix_bytes` is set (to a
+  /// strict prefix length) when a torn write should hit the disk first.
+  struct Decision {
+    bool fail = false;
+    bool crash = false;
+    size_t torn_prefix_bytes = 0;
+    std::string reason;
+  };
+
+  Decision Decide(EnvOp op, const std::string& path, size_t write_bytes)
+      CYR_EXCLUDES(mu_);
+
+  Status InjectedError(EnvOp op, const std::string& path,
+                       const std::string& reason) const;
+
+  Env* const base_;
+  mutable Mutex mu_{lock_rank::kEnvMu, "FaultInjectingEnv::mu_"};
+  std::vector<Armed> armed_ CYR_GUARDED_BY(mu_);
+  Rng rng_ CYR_GUARDED_BY(mu_);
+  double random_rate_ CYR_GUARDED_BY(mu_) = 0.0;
+  bool crashed_ CYR_GUARDED_BY(mu_) = false;
+  FaultInjectionStats stats_ CYR_GUARDED_BY(mu_);
+};
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_COMMON_ENV_H_

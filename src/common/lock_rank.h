@@ -76,6 +76,12 @@ inline constexpr int kStatusServiceMu = 460;
 inline constexpr int kSpillBufferMu = 500;
 inline constexpr int kSpillIndexMu = 510;
 
+/// `SpillTier::breaker_mu_` — circuit-breaker state and retry counters.
+/// Taken briefly around every guarded disk operation, which may itself run
+/// under `mu_` (sync Put, Get) — so it must rank below the index lock; the
+/// Env call happens with it released.
+inline constexpr int kSpillBreakerMu = 520;
+
 /// Leaf-most concurrency plumbing: the shared compute pool (posted to
 /// under the scheduler lock), per-kernel workspace pools and `ParallelFor`
 /// completion latches (acquired from inside pool tasks), and finally the
@@ -84,6 +90,12 @@ inline constexpr int kSpillIndexMu = 510;
 inline constexpr int kThreadPoolMu = 600;
 inline constexpr int kWorkspacePoolMu = 610;
 inline constexpr int kParallelForMu = 620;
+
+/// `FaultInjectingEnv::mu_` — fault-schedule bookkeeping. Every Env call
+/// happens from under spill-tier (and sometimes store) locks, so the Env's
+/// own lock must nest below them; it wraps nothing but the logger.
+inline constexpr int kEnvMu = 650;
+
 inline constexpr int kLoggingMu = 700;
 
 /// True when this build carries the runtime checks (Debug / sanitizers).

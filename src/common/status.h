@@ -26,6 +26,8 @@ enum class StatusCode {
   kCancelled = 9,         ///< Cooperative cancellation was observed.
   kInternal = 10,         ///< Invariant violation inside the library.
   kExpired = 11,          ///< Entity existed but was evicted by retention.
+  kDeadlineExceeded = 12, ///< The caller's deadline passed before completion.
+  kUnavailable = 13,      ///< Transiently overloaded/degraded; retry later.
 };
 
 /// Returns the canonical spelling of `code`, e.g. "InvalidArgument".
@@ -90,6 +92,12 @@ class Status {
   }
   static Status Expired(std::string msg) {
     return Status(StatusCode::kExpired, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the operation succeeded.

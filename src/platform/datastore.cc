@@ -14,40 +14,62 @@ namespace {
 
 /// One spill tier per payload kind, as `<spill_dir>/<subdir>`; null when
 /// spilling is disabled (empty `spill_dir`). Every tier inherits the
-/// LSM-style knobs (write-behind buffer bound, on-disk compression).
+/// LSM-style knobs (write-behind buffer bound, on-disk compression) and
+/// the failure-handling knobs (retry budget/backoff, breaker probe
+/// interval), and talks to the caller's `Env` (null = the real disk).
 std::unique_ptr<SpillTier> MakeSpillTier(const PlatformOptions& options,
-                                         const char* subdir, size_t max_bytes,
-                                         const char* what) {
+                                         Env* env, const char* subdir,
+                                         size_t max_bytes, const char* what) {
   if (options.spill_dir.empty()) return nullptr;
   SpillTierOptions tier;
   tier.max_bytes = max_bytes;
   tier.write_behind_bytes = options.spill_write_behind_bytes;
   tier.compression = options.spill_compression;
+  tier.env = env;
+  tier.retry_limit = static_cast<int>(options.spill_retry_limit);
+  tier.retry_backoff_ms = options.spill_retry_backoff_ms;
+  tier.breaker_probe_ms = options.spill_breaker_probe_ms;
   return std::make_unique<SpillTier>(options.spill_dir + "/" + subdir, tier,
                                      what);
 }
 
 }  // namespace
 
-Datastore::Datastore(DatasetCatalog* catalog, const PlatformOptions& options)
+Datastore::Datastore(DatasetCatalog* catalog, const PlatformOptions& options,
+                     Env* env)
     : catalog_(catalog),
-      dataset_spill_(MakeSpillTier(options, "datasets",
+      dataset_spill_(MakeSpillTier(options, env, "datasets",
                                    options.graph_spill_bytes, "dataset")),
-      result_spill_(MakeSpillTier(options, "results",
+      result_spill_(MakeSpillTier(options, env, "results",
                                   options.result_spill_bytes, "result")),
       // Demoted cache entries share the results' disk budget figure but
       // not their key namespace (fingerprints vs task ids), hence a tier
       // of their own.
-      cache_spill_(MakeSpillTier(options, "cache", options.result_spill_bytes,
-                                 "cached result")),
+      cache_spill_(MakeSpillTier(options, env, "cache",
+                                 options.result_spill_bytes, "cached result")),
       graphs_(options.graph_store_bytes, dataset_spill_.get()),
       results_(options.max_retained_results),
       result_cache_(options.result_cache_bytes, cache_spill_.get()) {}
 
-void Datastore::Flush() {
-  if (dataset_spill_ != nullptr) dataset_spill_->Flush();
-  if (result_spill_ != nullptr) result_spill_->Flush();
-  if (cache_spill_ != nullptr) cache_spill_->Flush();
+Status Datastore::Flush() {
+  // Drain every tier before reporting: a failure in the first must not
+  // leave the others' buffers unflushed.
+  Status first = Status::OK();
+  for (SpillTier* tier :
+       {dataset_spill_.get(), result_spill_.get(), cache_spill_.get()}) {
+    if (tier == nullptr) continue;
+    const Status flushed = tier->Flush();
+    if (!flushed.ok() && first.ok()) first = flushed;
+  }
+  return first;
+}
+
+DatastoreSpillStats Datastore::SpillStats() const {
+  DatastoreSpillStats stats;
+  if (dataset_spill_ != nullptr) stats.datasets = dataset_spill_->stats();
+  if (result_spill_ != nullptr) stats.results = result_spill_->stats();
+  if (cache_spill_ != nullptr) stats.cache = cache_spill_->stats();
+  return stats;
 }
 
 void Datastore::PutResult(TaskResult result) {

@@ -23,6 +23,18 @@
 
 namespace cyclerank {
 
+class Env;
+
+/// Snapshot of the three disk spill tiers' counters (default-constructed
+/// zeros for tiers that are disabled) — the monitoring view of recovery
+/// (`recovered_files` / `skipped_corrupt_files`), retry, and
+/// circuit-breaker activity in one poll.
+struct DatastoreSpillStats {
+  SpillTierStats datasets;
+  SpillTierStats results;
+  SpillTierStats cache;
+};
+
 /// The Datastore of Fig. 1: "responsible for storing and managing
 /// datasets. It also provides storage for results and logs produced by the
 /// system."
@@ -68,8 +80,14 @@ class Datastore {
   /// (0 = unlimited), and the disk-tier knobs (`spill_dir`,
   /// `graph_spill_bytes`, `result_spill_bytes`). A non-empty `spill_dir`
   /// recovers any entries a previous process spilled there.
+  ///
+  /// `env` is the filesystem the spill tiers talk to: null (the default)
+  /// means the real disk (`Env::Default()`); tests pass a
+  /// `FaultInjectingEnv` to rehearse disk failures. Must outlive the
+  /// datastore.
   explicit Datastore(DatasetCatalog* catalog = &DatasetCatalog::BuiltIn(),
-                     const PlatformOptions& options = {});
+                     const PlatformOptions& options = {},
+                     Env* env = nullptr);
 
   Datastore(const Datastore&) = delete;
   Datastore& operator=(const Datastore&) = delete;
@@ -164,9 +182,17 @@ class Datastore {
   const SpillTier* cache_spill() const { return cache_spill_.get(); }
 
   /// Blocks until every write-behind buffer has reached disk — the
-  /// durability barrier for tests and orderly shutdown. A no-op with
-  /// synchronous spilling or no `spill_dir`.
-  void Flush();
+  /// durability barrier for tests and orderly shutdown — then reports
+  /// whether every buffered write actually made it: buffered payloads a
+  /// tier's flush thread could not write (disk failure even after
+  /// retries) surface here as the first tier's error Status, instead of
+  /// vanishing into a log line. All tiers are drained regardless of
+  /// individual failures. OK with synchronous spilling or no `spill_dir`.
+  Status Flush();
+
+  /// One-poll snapshot of all three spill tiers' counters (zeros for
+  /// disabled tiers): recovery-scan results, retries, breaker state.
+  DatastoreSpillStats SpillStats() const;
 
   /// Byte-budgeted LRU over completed task results, keyed by
   /// `TaskFingerprint`. The scheduler serves repeated queries from it

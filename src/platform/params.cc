@@ -128,9 +128,9 @@ std::string TaskFingerprint(const std::string& dataset, uint64_t generation,
   // execution-only keys are re-added (or dropped) explicitly below.
   ParamMap canonical;
   for (const std::string& key : params.Keys()) {
-    if (key == "threads" || key == "source" || key == "reference" ||
-        key == "r" || key == "k" || key == "maxloop" || key == "sigma" ||
-        key == "scoring") {
+    if (key == "threads" || key == "deadline_ms" || key == "source" ||
+        key == "reference" || key == "r" || key == "k" || key == "maxloop" ||
+        key == "sigma" || key == "scoring") {
       continue;
     }
     canonical.Set(key, params.GetString(key, ""));
@@ -180,7 +180,8 @@ Result<AlgorithmRequest> BuildRequest(const Graph& graph,
   static const char* kKnownKeys[] = {
       "source",  "reference", "r",       "alpha",     "k",
       "maxloop", "sigma",     "scoring", "tolerance", "max_iterations",
-      "epsilon", "walks",     "seed",    "top_k",     "threads"};
+      "epsilon", "walks",     "seed",    "top_k",     "threads",
+      "deadline_ms"};
   AlgorithmRequest request;
 
   // Reject unknown keys early: a typo like "alhpa=0.3" silently running

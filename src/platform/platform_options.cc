@@ -125,6 +125,21 @@ Result<PlatformOptions> PlatformOptions::FromString(std::string_view text) {
             "platform options: spill_compression expects true/false/1/0, "
             "got '" + value + "'");
       }
+    } else if (key == "spill_retry_limit") {
+      CYCLERANK_ASSIGN_OR_RETURN(options.spill_retry_limit,
+                                 ParseCount(key, value));
+    } else if (key == "spill_retry_backoff_ms") {
+      CYCLERANK_ASSIGN_OR_RETURN(options.spill_retry_backoff_ms,
+                                 ParseUint64(key, value));
+    } else if (key == "spill_breaker_probe_ms") {
+      CYCLERANK_ASSIGN_OR_RETURN(options.spill_breaker_probe_ms,
+                                 ParseUint64(key, value));
+    } else if (key == "admission_queue_limit") {
+      CYCLERANK_ASSIGN_OR_RETURN(options.admission_queue_limit,
+                                 ParseCount(key, value));
+    } else if (key == "default_deadline_ms") {
+      CYCLERANK_ASSIGN_OR_RETURN(options.default_deadline_ms,
+                                 ParseUint64(key, value));
     } else {
       // Unknown keys are rejected, mirroring BuildRequest: a typo like
       // "graph_store_byte=1g" silently running unbounded would defeat the
@@ -144,6 +159,8 @@ std::string PlatformOptions::ToString() const {
     if (!out.empty()) out += ", ";
     out += std::string(key) + "=" + std::to_string(value);
   };
+  append("admission_queue_limit", admission_queue_limit);
+  append("default_deadline_ms", default_deadline_ms);
   append("default_threads", default_threads);
   append("graph_spill_bytes", graph_spill_bytes);
   append("graph_store_bytes", graph_store_bytes);
@@ -152,6 +169,7 @@ std::string PlatformOptions::ToString() const {
   append("num_workers", num_workers);
   append("result_cache_bytes", result_cache_bytes);
   append("result_spill_bytes", result_spill_bytes);
+  append("spill_breaker_probe_ms", spill_breaker_probe_ms);
   // The bool rides as true/false (FromString accepts 1/0 too), the
   // string-valued knob as-is; an empty spill_dir parses back to the empty
   // (disabled) default. Both keep the sorted-key order.
@@ -159,6 +177,8 @@ std::string PlatformOptions::ToString() const {
   out += std::string("spill_compression=") +
          (spill_compression ? "true" : "false");
   out += ", spill_dir=" + spill_dir;
+  append("spill_retry_backoff_ms", spill_retry_backoff_ms);
+  append("spill_retry_limit", spill_retry_limit);
   append("spill_write_behind_bytes", spill_write_behind_bytes);
   append("uuid_seed", uuid_seed);
   return out;

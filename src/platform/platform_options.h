@@ -95,6 +95,38 @@ struct PlatformOptions {
   /// either setting — including pre-compression PR-5 files — always load.
   bool spill_compression = true;
 
+  /// Retries after a failed spill disk operation (write or read) before
+  /// the failure counts against the tier's circuit breaker. Retry delays
+  /// are deterministic bounded exponential backoff starting at
+  /// `spill_retry_backoff_ms`. 0 = fail on the first error.
+  size_t spill_retry_limit = 3;
+
+  /// Delay before the first spill retry, doubled per retry, capped at
+  /// 100 ms. 0 = retry immediately (tests).
+  uint64_t spill_retry_backoff_ms = 1;
+
+  /// With the circuit breaker open (a spill disk operation failed even
+  /// after retries), how long the tier fast-fails disk work before
+  /// admitting a single probe operation to test whether the disk healed.
+  /// A successful probe closes the breaker. 0 = probe on the very next
+  /// operation.
+  uint64_t spill_breaker_probe_ms = 1000;
+
+  /// Bound on tasks waiting for a scheduler worker. A submission that
+  /// would queue past the bound is rejected synchronously with
+  /// `kUnavailable` — fast-fail overload control instead of an unbounded
+  /// backlog. Coalesced duplicates (single-flight followers) and cache
+  /// hits do not occupy queue slots. 0 = unbounded (the historical
+  /// behavior).
+  size_t admission_queue_limit = 0;
+
+  /// Deadline applied to tasks that carry no `deadline_ms=` parameter of
+  /// their own (an explicit parameter always wins). A task whose deadline
+  /// passes while it waits in the queue fast-fails `kDeadlineExceeded`
+  /// without touching a kernel. Purely an execution knob — like `threads`
+  /// it is excluded from task fingerprints. 0 = no deadline.
+  uint64_t default_deadline_ms = 0;
+
   /// Options with only the scheduler knobs set — the common shape of the
   /// examples, CLI, bench drivers, and test harnesses.
   static PlatformOptions WithWorkers(size_t workers, uint64_t uuid_seed = 0) {
@@ -131,7 +163,12 @@ struct PlatformOptions {
            a.graph_spill_bytes == b.graph_spill_bytes &&
            a.result_spill_bytes == b.result_spill_bytes &&
            a.spill_write_behind_bytes == b.spill_write_behind_bytes &&
-           a.spill_compression == b.spill_compression;
+           a.spill_compression == b.spill_compression &&
+           a.spill_retry_limit == b.spill_retry_limit &&
+           a.spill_retry_backoff_ms == b.spill_retry_backoff_ms &&
+           a.spill_breaker_probe_ms == b.spill_breaker_probe_ms &&
+           a.admission_queue_limit == b.admission_queue_limit &&
+           a.default_deadline_ms == b.default_deadline_ms;
   }
 };
 

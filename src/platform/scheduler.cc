@@ -14,11 +14,29 @@ Scheduler::Scheduler(Executor* executor, const PlatformOptions& options,
                      ThreadPool* pool)
     : executor_(executor),
       pool_(pool != nullptr ? pool : GlobalComputePool()),
-      num_workers_(options.ResolvedNumWorkers()) {}
+      num_workers_(options.ResolvedNumWorkers()),
+      admission_queue_limit_(options.admission_queue_limit),
+      default_deadline_ms_(options.default_deadline_ms) {}
 
 Status Scheduler::Enqueue(const std::string& task_id, TaskSpec spec,
                           std::shared_ptr<std::atomic<bool>> cancelled,
                           std::string coalesce_key) {
+  // The relative deadline becomes absolute *now*, at admission: queueing
+  // time counts against it — that is the whole point of a deadline.
+  // deadline_ms=0 explicitly opts out of a deployment default.
+  Result<int64_t> deadline_ms = spec.params.GetInt(
+      "deadline_ms", static_cast<int64_t>(default_deadline_ms_));
+  if (!deadline_ms.ok()) return deadline_ms.status();
+  if (*deadline_ms < 0) {
+    return Status::InvalidArgument(
+        "scheduler: deadline_ms must be >= 0, got " +
+        std::to_string(*deadline_ms));
+  }
+  Deadline deadline;
+  if (*deadline_ms > 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(*deadline_ms);
+  }
   std::optional<TaskResult> hit;
   {
     MutexLock lock(mu_);
@@ -35,18 +53,34 @@ Status Scheduler::Enqueue(const std::string& task_id, TaskSpec spec,
       if (!hit.has_value()) {
         // Single-flight: an identical task is already queued or running;
         // ride on its outcome instead of dispatching a duplicate run.
+        // Followers are exempt from the admission bound — they occupy no
+        // worker and no queue slot.
         auto it = inflight_.find(coalesce_key);
         if (it != inflight_.end()) {
           it->second.followers.push_back(
-              {task_id, std::move(spec), std::move(cancelled)});
+              {task_id, std::move(spec), std::move(cancelled), deadline});
           return Status::OK();
         }
-        inflight_.emplace(coalesce_key, Inflight{task_id, {}});
       }
     }
     if (!hit.has_value()) {
+      // Admission control: reject instead of queueing past the bound —
+      // the caller learns about the overload now, synchronously, and no
+      // state of this task survives the rejection. Checked before the
+      // single-flight entry is created so a rejected leader leaves no
+      // stale inflight_ record behind.
+      if (admission_queue_limit_ != 0 &&
+          waiting_.size() >= admission_queue_limit_) {
+        return Status::Unavailable(
+            "scheduler: overloaded — " + std::to_string(waiting_.size()) +
+            " tasks already waiting (admission_queue_limit=" +
+            std::to_string(admission_queue_limit_) + "); retry later");
+      }
+      if (!coalesce_key.empty()) {
+        inflight_.emplace(coalesce_key, Inflight{task_id, {}});
+      }
       waiting_.push_back({task_id, std::move(spec), std::move(cancelled),
-                          std::move(coalesce_key)});
+                          std::move(coalesce_key), deadline});
       DispatchLocked();
       return Status::OK();
     }
@@ -71,6 +105,18 @@ void Scheduler::DeliverFollowers(const std::vector<Follower>& fan_out,
                          "cancellation observed at single-flight fan-out");
       continue;
     }
+    // Likewise a follower whose own deadline passed while coalesced: its
+    // requester has given up, so even a ready-made result is refused —
+    // deadline semantics must not depend on whether the work happened to
+    // be coalesced.
+    if (Expired(follower.deadline)) {
+      TaskResult expired_outcome;
+      expired_outcome.status = Status::DeadlineExceeded(
+          "deadline expired while coalesced behind leader " + leader_id);
+      executor_->Deliver(follower.task_id, follower.spec, expired_outcome,
+                         "deadline observed at single-flight fan-out");
+      continue;
+    }
     executor_->Deliver(follower.task_id, follower.spec, outcome,
                        "single-flight leader " + leader_id);
   }
@@ -84,9 +130,20 @@ void Scheduler::DispatchLocked() {
     const bool posted = pool_->Post([this, pending = std::move(pending)] {
       TaskResult outcome;
       const bool keyed = !pending.key.empty();
-      executor_->Execute(pending.task_id, pending.spec,
-                         pending.cancelled.get(),
-                         keyed ? &outcome : nullptr, pending.key);
+      if (Expired(pending.deadline)) {
+        // The deadline passed while the task waited for a worker: fast-fail
+        // without touching the kernel — under overload this sheds exactly
+        // the work whose answer nobody is still waiting for. Deliver gives
+        // the task a stored result and a terminal state like any outcome.
+        outcome.status = Status::DeadlineExceeded(
+            "deadline expired while queued (before execution started)");
+        executor_->Deliver(pending.task_id, pending.spec, outcome,
+                           "deadline observed at dispatch");
+      } else {
+        executor_->Execute(pending.task_id, pending.spec,
+                           pending.cancelled.get(),
+                           keyed ? &outcome : nullptr, pending.key);
+      }
       if (keyed) {
         // Fan the leader's outcome out to every coalesced follower while
         // this task still counts as in-flight, so Drain/Shutdown cannot
@@ -145,17 +202,19 @@ void Scheduler::CompleteKeyLocked(const std::string& key,
   auto it = inflight_.find(key);
   if (it == inflight_.end() || it->second.leader_id != task_id) return;
   Inflight& entry = it->second;
-  if (outcome.status.code() == StatusCode::kCancelled &&
+  if ((outcome.status.code() == StatusCode::kCancelled ||
+       outcome.status.code() == StatusCode::kDeadlineExceeded) &&
       !entry.followers.empty() && !shutdown_) {
-    // The leader's requester cancelled, but the coalesced followers did
-    // not: promote the first follower to a fresh leader under its own
-    // cancellation flag. (Failures, by contrast, are fanned out — the
-    // computation is deterministic, so a re-run would fail identically.)
+    // The leader's requester cancelled — or its deadline ran out — but the
+    // coalesced followers' did not: promote the first follower to a fresh
+    // leader under its own cancellation flag and deadline. (Failures, by
+    // contrast, are fanned out — the computation is deterministic, so a
+    // re-run would fail identically.)
     Follower next = std::move(entry.followers.front());
     entry.followers.erase(entry.followers.begin());
     entry.leader_id = next.task_id;
     waiting_.push_back({std::move(next.task_id), std::move(next.spec),
-                        std::move(next.cancelled), key});
+                        std::move(next.cancelled), key, next.deadline});
     return;  // the caller's DispatchLocked pass picks the new leader up
   }
   *fan_out = std::move(entry.followers);

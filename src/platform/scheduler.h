@@ -2,9 +2,11 @@
 #define CYCLERANK_PLATFORM_SCHEDULER_H_
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,6 +42,26 @@ namespace cyclerank {
 /// record, and status lifecycle). Successful outcomes also enter the
 /// `ResultCache`, and an enqueue whose key is already cached is served
 /// synchronously with zero kernel work.
+///
+/// **Overload control** (PR 8). Two admission knobs defend latency when
+/// demand outruns the workers:
+///
+///   - `PlatformOptions::admission_queue_limit` bounds the not-yet-running
+///     backlog: an enqueue that would queue past the bound is rejected
+///     synchronously with `kUnavailable` — the caller learns *now* that
+///     the system is overloaded, instead of parking work in an unbounded
+///     queue. Cache hits and single-flight followers are exempt (they
+///     occupy no worker).
+///   - a *deadline*: the task parameter `deadline_ms=` (or, absent that,
+///     `PlatformOptions::default_deadline_ms`) gives each task a relative
+///     deadline, fixed to an absolute steady-clock instant at enqueue. A
+///     task whose deadline passes while it waits — in the queue or
+///     coalesced behind a leader — fast-fails `kDeadlineExceeded` without
+///     touching a kernel, so a backlogged system sheds exactly the work
+///     whose answer nobody is still waiting for. Deadlines are
+///     execution-only (excluded from fingerprints): they decide *whether*
+///     the kernel runs, never what it computes, and a deadline-exceeded
+///     leader promotes its first follower rather than dragging it down.
 class Scheduler {
  public:
   /// `options.num_workers` caps concurrently running tasks (0 = one per
@@ -65,6 +87,11 @@ class Scheduler {
   /// in-flight leader (see class comment). A cancelled leader does not drag
   /// its followers down: the first follower is promoted to a fresh leader
   /// under its own cancellation flag.
+  ///
+  /// Overload control (see class comment): a malformed `deadline_ms=`
+  /// parameter is rejected with `kInvalidArgument`; an enqueue that would
+  /// grow the waiting queue past `admission_queue_limit` answers
+  /// `kUnavailable` without tracking the task.
   Status Enqueue(const std::string& task_id, TaskSpec spec,
                  std::shared_ptr<std::atomic<bool>> cancelled = nullptr,
                  std::string coalesce_key = {}) CYR_EXCLUDES(mu_);
@@ -81,11 +108,15 @@ class Scheduler {
   size_t QueueDepth() const CYR_EXCLUDES(mu_);
 
  private:
+  /// Absolute per-task deadline; nullopt = none.
+  using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
   struct Pending {
     std::string task_id;
     TaskSpec spec;
     std::shared_ptr<std::atomic<bool>> cancelled;
     std::string key;  ///< coalesce key; empty = no dedup
+    Deadline deadline;
   };
 
   /// A coalesced task waiting for its leader's outcome.
@@ -93,6 +124,7 @@ class Scheduler {
     std::string task_id;
     TaskSpec spec;
     std::shared_ptr<std::atomic<bool>> cancelled;
+    Deadline deadline;
   };
 
   /// Single-flight bookkeeping for one key with work queued or running.
@@ -125,9 +157,17 @@ class Scheduler {
                          const TaskResult& outcome,
                          std::vector<Follower>* fan_out) CYR_REQUIRES(mu_);
 
+  /// True when `deadline` exists and has passed.
+  static bool Expired(const Deadline& deadline) {
+    return deadline.has_value() &&
+           std::chrono::steady_clock::now() > *deadline;
+  }
+
   Executor* executor_;
   ThreadPool* pool_;  // borrowed; shared with kernel-level ParallelFor
   const size_t num_workers_;
+  const size_t admission_queue_limit_;  ///< 0 = unbounded backlog
+  const uint64_t default_deadline_ms_;  ///< 0 = no implicit deadline
 
   /// Outermost of the execution-side locks: DispatchLocked reaches the
   /// result cache, the datastore, and (on the pool-refused shutdown path)

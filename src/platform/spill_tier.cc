@@ -2,16 +2,17 @@
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
-#include <fstream>
+#include <chrono>
 #include <set>
+#include <sstream>
+#include <thread>
 #include <utility>
 
+#include "common/backoff.h"
 #include "common/binary_io.h"
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/mutex.h"
-
-namespace fs = std::filesystem;
 
 namespace cyclerank {
 namespace {
@@ -51,6 +52,10 @@ constexpr std::string_view kSpillSuffix = ".spill";
 /// Per-entry overhead charged to the write-behind buffer on top of the
 /// payload's own estimate (map node, queue slot, bookkeeping).
 constexpr size_t kBufferEntryOverhead = 64;
+
+/// Cap on a single retry backoff delay regardless of how many doublings
+/// the retry budget allows.
+constexpr uint64_t kRetryBackoffCapMs = 100;
 
 class BytesSpillPayload final : public SpillPayload {
  public:
@@ -105,23 +110,27 @@ struct SpillFileInfo {
 /// Validates the header of `path` (magic of either codec version, lengths
 /// vs the on-disk size). Payload bytes stay unread — checksums are
 /// verified on `Get`, when the payload is needed anyway. Returns nullopt
-/// with a reason for corrupt or truncated files.
-std::optional<SpillFileInfo> ReadSpillFileInfo(const fs::path& path,
+/// with a reason for corrupt, truncated, or unreadable files.
+std::optional<SpillFileInfo> ReadSpillFileInfo(Env* env,
+                                               const std::string& path,
                                                std::string* why) {
-  std::error_code ec;
-  const uint64_t file_bytes = fs::file_size(path, ec);
-  if (ec) {
-    *why = "unreadable (" + ec.message() + ")";
+  Result<uint64_t> size = env->FileSize(path);
+  if (!size.ok()) {
+    *why = "unreadable (" + size.status().message() + ")";
     return std::nullopt;
   }
-  std::ifstream in(path, std::ios::binary);
-  std::string header(kFixedHeaderBytes + 8, '\0');
-  if (!in.read(header.data(), static_cast<std::streamsize>(header.size()))) {
+  const uint64_t file_bytes = *size;
+  Result<std::string> header = env->ReadFilePrefix(path, kFixedHeaderBytes + 8);
+  if (!header.ok()) {
+    *why = "unreadable (" + header.status().message() + ")";
+    return std::nullopt;
+  }
+  if (header->size() < kFixedHeaderBytes + 8) {
     *why = "truncated before the key";
     return std::nullopt;
   }
   const std::string_view magic =
-      std::string_view(header).substr(0, kMagicBytes);
+      std::string_view(*header).substr(0, kMagicBytes);
   int version = 0;
   if (magic == kSpillMagicV1) {
     version = 1;
@@ -131,7 +140,7 @@ std::optional<SpillFileInfo> ReadSpillFileInfo(const fs::path& path,
     *why = "bad magic";
     return std::nullopt;
   }
-  binio::Reader reader(std::string_view(header).substr(kMagicBytes));
+  binio::Reader reader(std::string_view(*header).substr(kMagicBytes));
   SpillFileInfo info;
   info.file_bytes = file_bytes;
   uint64_t checksum = 0;
@@ -144,17 +153,24 @@ std::optional<SpillFileInfo> ReadSpillFileInfo(const fs::path& path,
     *why = "key length exceeds the file";
     return std::nullopt;
   }
-  info.key.resize(key_len);
   // v1 carries one length word after the key (payload), v2 two (raw size
   // + encoded block length).
   const size_t tail_bytes = version == 1 ? 8 : 16;
-  std::string tail(tail_bytes, '\0');
-  if (!in.read(info.key.data(), static_cast<std::streamsize>(key_len)) ||
-      !in.read(tail.data(), static_cast<std::streamsize>(tail_bytes))) {
+  const size_t head_bytes =
+      kFixedHeaderBytes + 8 + static_cast<size_t>(key_len) + tail_bytes;
+  Result<std::string> head = env->ReadFilePrefix(path, head_bytes);
+  if (!head.ok()) {
+    *why = "unreadable (" + head.status().message() + ")";
+    return std::nullopt;
+  }
+  if (head->size() < head_bytes) {
     *why = "truncated inside the key";
     return std::nullopt;
   }
-  binio::Reader tail_reader(tail);
+  info.key = head->substr(kFixedHeaderBytes + 8,
+                          static_cast<size_t>(key_len));
+  binio::Reader tail_reader(std::string_view(*head).substr(
+      kFixedHeaderBytes + 8 + static_cast<size_t>(key_len)));
   uint64_t body_len = 0;
   uint64_t expected = 0;
   if (version == 1) {
@@ -184,16 +200,16 @@ SpillTier::SpillTier(std::string dir, SpillTierOptions options,
     : dir_(std::move(dir)),
       options_(options),
       what_(std::move(what)),
+      env_(options.env != nullptr ? options.env : Env::Default()),
       lru_(options.max_bytes) {
   {
     MutexLock lock(mu_);
-    std::error_code ec;
-    fs::create_directories(dir_, ec);
-    if (ec) {
+    const Status created = env_->CreateDirs(dir_);
+    if (!created.ok()) {
       CYCLERANK_LOG(kError) << "spill tier (" << what_
                             << "): cannot create directory '" << dir_ << "': "
-                            << ec.message() << "; tier disabled, eviction "
-                            << "degrades to drop";
+                            << created.message() << "; tier disabled, "
+                            << "eviction degrades to drop";
       return;
     }
     enabled_ = true;
@@ -205,50 +221,73 @@ SpillTier::SpillTier(std::string dir, SpillTierOptions options,
 }
 
 SpillTier::~SpillTier() {
-  if (!flusher_.joinable()) return;
-  {
-    MutexLock lock(buffer_mu_);
-    stop_ = true;
-    flush_paused_ = false;  // destruction overrides a test pause
+  if (flusher_.joinable()) {
+    {
+      MutexLock lock(buffer_mu_);
+      stop_ = true;
+      flush_paused_ = false;  // destruction overrides a test pause
+    }
+    work_cv_.NotifyAll();
+    flusher_.join();
   }
-  work_cv_.NotifyAll();
-  flusher_.join();
+  // Durability losses the owner never asked Flush() about still must not
+  // vanish silently: shutdown is the last chance to say so.
+  MutexLock lock(mu_);
+  if (unreported_flush_failures_ != 0) {
+    CYCLERANK_LOG(kError) << "spill tier (" << what_ << "): destroyed with "
+                          << unreported_flush_failures_
+                          << " buffered write(s) that never reached disk "
+                          << "(marked pruned); last error: "
+                          << last_flush_error_.message();
+  }
 }
 
 void SpillTier::RecoverLocked() {
   // Pass 1: every *.spill file with a valid header, keyed by filename.
   std::map<std::string, SpillFileInfo> valid;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
-    const std::string filename = entry.path().filename().string();
-    if (!entry.is_regular_file() || filename.size() < kSpillSuffix.size() ||
-        filename.compare(filename.size() - kSpillSuffix.size(),
-                         kSpillSuffix.size(), kSpillSuffix) != 0) {
-      continue;  // the manifest, temp files, strangers
+  Result<std::vector<std::string>> listing = env_->ListDir(dir_);
+  if (!listing.ok()) {
+    CYCLERANK_LOG(kWarning) << "spill tier (" << what_
+                            << "): recovery scan cannot list '" << dir_
+                            << "': " << listing.status().message()
+                            << "; starting empty";
+  } else {
+    for (const std::string& filename : *listing) {
+      if (filename.size() < kSpillSuffix.size() ||
+          filename.compare(filename.size() - kSpillSuffix.size(),
+                           kSpillSuffix.size(), kSpillSuffix) != 0) {
+        continue;  // the manifest, temp files, strangers
+      }
+      std::string why;
+      std::optional<SpillFileInfo> info =
+          ReadSpillFileInfo(env_, dir_ + "/" + filename, &why);
+      if (!info.has_value()) {
+        ++stats_.skipped_corrupt_files;
+        CYCLERANK_LOG(kWarning) << "spill tier (" << what_
+                                << "): skipping spill file '" << filename
+                                << "' during recovery: " << why;
+        continue;
+      }
+      valid.emplace(filename, std::move(*info));
     }
-    std::string why;
-    std::optional<SpillFileInfo> info = ReadSpillFileInfo(entry.path(), &why);
-    if (!info.has_value()) {
-      ++stats_.skipped;
-      CYCLERANK_LOG(kWarning) << "spill tier (" << what_
-                              << "): skipping spill file '" << filename
-                              << "' during recovery: " << why;
-      continue;
-    }
-    valid.emplace(filename, std::move(*info));
   }
   // Pass 2: recency order — manifest-listed files first (hottest first),
   // unlisted stragglers appended coldest, sorted by name for determinism.
   std::vector<std::string> ordered;
   std::set<std::string> listed;
-  std::ifstream manifest(fs::path(dir_) / kManifestName);
-  std::string line;
   bool manifest_ok = false;
-  if (manifest && std::getline(manifest, line) && line == kManifestMagic) {
-    manifest_ok = true;
-    while (std::getline(manifest, line)) {
-      if (!line.empty() && valid.count(line) != 0 && listed.insert(line).second) {
-        ordered.push_back(line);
+  Result<std::string> manifest =
+      env_->ReadFile(dir_ + "/" + std::string(kManifestName));
+  if (manifest.ok()) {
+    std::istringstream in(*manifest);
+    std::string line;
+    if (std::getline(in, line) && line == kManifestMagic) {
+      manifest_ok = true;
+      while (std::getline(in, line)) {
+        if (!line.empty() && valid.count(line) != 0 &&
+            listed.insert(line).second) {
+          ordered.push_back(line);
+        }
       }
     }
   }
@@ -259,7 +298,7 @@ void SpillTier::RecoverLocked() {
   for (auto it = ordered.rbegin(); it != ordered.rend(); ++it) {
     SpillFileInfo& info = valid.at(*it);
     if (lru_.Contains(info.key)) {
-      ++stats_.skipped;
+      ++stats_.skipped_corrupt_files;
       CYCLERANK_LOG(kWarning) << "spill tier (" << what_
                               << "): skipping spill file '" << *it
                               << "': duplicate key '" << info.key << "'";
@@ -269,17 +308,18 @@ void SpillTier::RecoverLocked() {
                 static_cast<size_t>(info.file_bytes));
     raw_bytes_ += info.raw_bytes;
     FilterAdd(info.key);
-    ++stats_.recovered;
+    ++stats_.recovered_files;
   }
-  if (stats_.recovered != 0 || stats_.skipped != 0) {
+  if (stats_.recovered_files != 0 || stats_.skipped_corrupt_files != 0) {
     CYCLERANK_LOG(kInfo) << "spill tier (" << what_ << "): recovered "
-                         << stats_.recovered << " " << what_
+                         << stats_.recovered_files << " " << what_
                          << "(s) from '" << dir_ << "' ("
                          << lru_.bytes() << " bytes), skipped "
-                         << stats_.skipped;
+                         << stats_.skipped_corrupt_files;
   }
   PruneLocked();
-  if (!manifest_ok || stats_.skipped != 0 || stats_.prunes != 0) {
+  if (!manifest_ok || stats_.skipped_corrupt_files != 0 ||
+      stats_.prunes != 0) {
     WriteManifestLocked();
   }
 }
@@ -296,6 +336,22 @@ Status SpillTier::Put(const std::string& key, SpillPayloadPtr payload,
                                    "): null payload for '" + key + "'");
   }
   if (!write_behind()) return PutSync(key, payload->Serialize(), meta);
+
+  if (BreakerRejects()) {
+    // Degraded to memory-only: don't buffer payloads destined for a dead
+    // disk. The key is remembered as pruned so a later miss reports
+    // "stored and dropped" — unless an older spill of it is still live,
+    // in which case that one remains the last durable value.
+    MutexLock lock(mu_);
+    FilterAdd(key);
+    if (!lru_.Contains(key)) {
+      pruned_.Mark(key);
+      pruned_.Bound(kMaxPrunedMarkers);
+    }
+    return Status::Unavailable(
+        "spill tier (" + what_ + "): degraded to memory-only (circuit "
+        "breaker open); '" + key + "' not spilled");
+  }
 
   const size_t approx =
       payload->ApproxBytes() + key.size() + kBufferEntryOverhead;
@@ -371,7 +427,16 @@ Status SpillTier::PutSync(const std::string& key, std::string_view raw,
         " bytes");
   }
   const Status written = WriteSpillFile(key, file);
-  if (!written.ok()) return written;
+  if (!written.ok()) {
+    // The new bytes never reached disk. An older spill of the key — still
+    // indexed — stays the last durable value; otherwise remember the key
+    // as pruned so lookups report the loss, not "never stored".
+    if (!lru_.Contains(key)) {
+      pruned_.Mark(key);
+      pruned_.Bound(kMaxPrunedMarkers);
+    }
+    return written;
+  }
   IndexLocked(key, Info{meta, raw.size()}, file.size());
   WriteManifestLocked();
   return Status::OK();
@@ -434,11 +499,18 @@ void SpillTier::FlushOne(const std::string& key, const SpillPayloadPtr& payload,
                           << "): write-behind flush of '" << key
                           << "' failed, entry lost: " << written.message();
     {
-      // Remember the loss the same way a budget prune is remembered, so a
-      // later lookup reports "was spilled and dropped", not "never stored".
+      // Remember the loss the same way a budget prune is remembered (when
+      // no older spill survives as the last durable value), and record it
+      // for the next Flush() report — durability failures must surface as
+      // a real Status, not just a log line.
       MutexLock lock(mu_);
-      pruned_.Mark(key);
-      pruned_.Bound(kMaxPrunedMarkers);
+      if (!lru_.Contains(key)) {
+        pruned_.Mark(key);
+        pruned_.Bound(kMaxPrunedMarkers);
+      }
+      ++stats_.flush_failures;
+      ++unreported_flush_failures_;
+      last_flush_error_ = written;
     }
     DropPending(key, seq);
     return;
@@ -521,29 +593,104 @@ std::string SpillTier::EncodeSpillFile(const std::string& key,
 }
 
 Status SpillTier::WriteSpillFile(const std::string& key,
-                                 std::string_view file) const {
+                                 std::string_view file) {
   const std::string path = FilePath(key);
   const std::string tmp_path = path + ".tmp";
+  // tmp write + rename retried as one unit: after any failure the tmp file
+  // may be torn, so the only safe resumption point is the beginning.
+  return GuardedIo("spill write", [&]() {
+    const Status written = env_->WriteFile(tmp_path, file);
+    if (!written.ok()) {
+      (void)env_->Remove(tmp_path);
+      return written;
+    }
+    const Status renamed = env_->Rename(tmp_path, path);
+    if (!renamed.ok()) (void)env_->Remove(tmp_path);
+    return renamed;
+  });
+}
+
+Status SpillTier::ReadSpillFile(const std::string& key, std::string* out) {
+  const std::string path = FilePath(key);
+  return GuardedIo("spill read", [&]() {
+    Result<std::string> file = env_->ReadFile(path);
+    if (!file.ok()) return file.status();
+    *out = std::move(file).value();
+    return Status::OK();
+  });
+}
+
+Status SpillTier::GuardedIo(const char* op_label,
+                            const std::function<Status()>& op) {
+  bool probing = false;
   {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    out.write(file.data(), static_cast<std::streamsize>(file.size()));
-    out.close();
-    if (out.fail()) {
-      std::error_code ec;
-      fs::remove(tmp_path, ec);
-      return Status::IOError("spill tier (" + what_ + "): cannot write '" +
-                             tmp_path + "'");
+    MutexLock lock(breaker_mu_);
+    if (breaker_open_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - breaker_last_ <
+          std::chrono::milliseconds(options_.breaker_probe_ms)) {
+        ++breaker_rejects_;
+        return Status::Unavailable(
+            "spill tier (" + what_ + "): degraded to memory-only (circuit "
+            "breaker open); " + op_label + " rejected");
+      }
+      // A probe is due: admit exactly this operation, single attempt, and
+      // restart the probe clock so concurrent callers keep fast-failing.
+      probing = true;
+      breaker_last_ = now;
+      ++breaker_probes_;
     }
   }
-  std::error_code rename_ec;
-  fs::rename(tmp_path, path, rename_ec);
-  if (rename_ec) {
-    std::error_code cleanup_ec;
-    fs::remove(tmp_path, cleanup_ec);
-    return Status::IOError("spill tier (" + what_ + "): cannot rename '" +
-                           tmp_path + "' into place: " + rename_ec.message());
+  Status status = op();
+  if (!status.ok() && !probing) {
+    ExponentialBackoff backoff(ExponentialBackoff::Policy{
+        options_.retry_backoff_ms, kRetryBackoffCapMs, options_.retry_limit});
+    while (!status.ok()) {
+      const std::optional<uint64_t> delay = backoff.NextDelayMs();
+      if (!delay.has_value()) break;
+      if (*delay != 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(*delay));
+      }
+      {
+        MutexLock lock(breaker_mu_);
+        ++retries_;
+      }
+      status = op();
+    }
   }
-  return Status::OK();
+  MutexLock lock(breaker_mu_);
+  if (status.ok()) {
+    if (breaker_open_) {
+      breaker_open_ = false;
+      ++breaker_recoveries_;
+      CYCLERANK_LOG(kInfo) << "spill tier (" << what_ << "): " << op_label
+                           << " probe succeeded, circuit breaker closed — "
+                           << "disk service restored";
+    }
+    return status;
+  }
+  if (!probing) ++retry_exhausted_;
+  breaker_last_ = std::chrono::steady_clock::now();
+  if (!breaker_open_) {
+    breaker_open_ = true;
+    ++breaker_trips_;
+    CYCLERANK_LOG(kError) << "spill tier (" << what_ << "): " << op_label
+                          << " failed every attempt, circuit breaker opened "
+                          << "(degrading to memory-only): "
+                          << status.message();
+  }
+  return status;
+}
+
+bool SpillTier::BreakerRejects() {
+  MutexLock lock(breaker_mu_);
+  if (!breaker_open_) return false;
+  if (std::chrono::steady_clock::now() - breaker_last_ >=
+      std::chrono::milliseconds(options_.breaker_probe_ms)) {
+    return false;  // a probe is due — let the operation through
+  }
+  ++breaker_rejects_;
+  return true;
 }
 
 void SpillTier::IndexLocked(const std::string& key, Info info,
@@ -612,20 +759,14 @@ Result<SpillTier::Loaded> SpillTier::Get(const std::string& key) {
   }
   const std::string path = FilePath(key);
   std::string file;
-  {
-    // One sized read, one copy — this is the reload path that replaces a
-    // kernel recompute, and it runs under the tier's lock. An unopenable
-    // or short-read file yields a buffer the magic/length checks below
-    // classify as corrupt.
-    std::error_code size_ec;
-    const uint64_t file_bytes = fs::file_size(path, size_ec);
-    std::ifstream in(path, std::ios::binary);
-    if (!size_ec && in) {
-      file.resize(file_bytes);
-      if (!in.read(file.data(), static_cast<std::streamsize>(file.size()))) {
-        file.clear();
-      }
-    }
+  if (const Status read = ReadSpillFile(key, &file); !read.ok()) {
+    // A failed *read* is not corruption: the entry and its file stay put —
+    // when the disk heals (or the breaker closes), the data is still
+    // there. The caller sees a miss-shaped error and recomputes.
+    CYCLERANK_LOG(kWarning) << "spill tier (" << what_
+                            << "): cannot read spill file '" << path
+                            << "' (entry kept): " << read.message();
+    return read;
   }
   // Re-validate everything before trusting the bytes: magic, the embedded
   // key, the compressed framing, and the payload checksum. Any mismatch
@@ -637,7 +778,7 @@ Result<SpillTier::Loaded> SpillTier::Get(const std::string& key) {
                             << "': " << why;
     UnindexLocked(key);
     RemoveFileLocked(key);
-    ++stats_.skipped;
+    ++stats_.skipped_corrupt_files;
     WriteManifestLocked();
     return Status::IOError("spill tier (" + what_ + "): spill file for '" +
                            key + "' is corrupt (" + why + ")");
@@ -757,11 +898,24 @@ size_t SpillTier::ErasePrefix(const std::string& prefix) {
   return erased.size();
 }
 
-void SpillTier::Flush() {
-  if (!write_behind()) return;
-  MutexLock lock(buffer_mu_);
-  flushed_cv_.Wait(buffer_mu_,
-                   [&]() CYR_REQUIRES(buffer_mu_) { return pending_.empty(); });
+Status SpillTier::Flush() {
+  if (!write_behind()) return Status::OK();
+  {
+    MutexLock lock(buffer_mu_);
+    flushed_cv_.Wait(buffer_mu_, [&]() CYR_REQUIRES(buffer_mu_) {
+      return pending_.empty();
+    });
+  }
+  MutexLock lock(mu_);
+  if (unreported_flush_failures_ == 0) return Status::OK();
+  const uint64_t lost = unreported_flush_failures_;
+  unreported_flush_failures_ = 0;
+  const Status last = last_flush_error_;
+  last_flush_error_ = Status::OK();
+  return Status(last.code(),
+                "spill tier (" + what_ + "): " + std::to_string(lost) +
+                    " buffered write(s) never reached disk (keys marked "
+                    "pruned); last error: " + last.message());
 }
 
 void SpillTier::SetFlushPausedForTest(bool paused) {
@@ -807,6 +961,16 @@ SpillTierStats SpillTier::stats() const {
   snapshot.buffer_hits = buffer_hits_.load(std::memory_order_relaxed);
   snapshot.filter_negatives =
       filter_negatives_.load(std::memory_order_relaxed);
+  {
+    MutexLock breaker_lock(breaker_mu_);
+    snapshot.retries = retries_;
+    snapshot.retry_exhausted = retry_exhausted_;
+    snapshot.breaker_trips = breaker_trips_;
+    snapshot.breaker_probes = breaker_probes_;
+    snapshot.breaker_recoveries = breaker_recoveries_;
+    snapshot.breaker_rejects = breaker_rejects_;
+    snapshot.breaker_open = breaker_open_;
+  }
   return snapshot;
 }
 
@@ -824,47 +988,46 @@ void SpillTier::PruneLocked() {
 
 void SpillTier::WriteManifestLocked() {
   if (!enabled_) return;
-  const fs::path manifest_path = fs::path(dir_) / kManifestName;
-  const fs::path tmp_path = fs::path(dir_) / "manifest.tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::trunc);
-    out << kManifestMagic << "\n";
-    // Hottest first — the recovery scan replays this order into the LRU.
-    for (const std::string& key : lru_.KeysByRecency()) {
-      out << SpillFileName(key) << "\n";
-    }
-    out.close();
-    if (out.fail()) {
-      CYCLERANK_LOG(kWarning) << "spill tier (" << what_
-                              << "): cannot write manifest in '" << dir_
-                              << "'";
-      std::error_code ec;
-      fs::remove(tmp_path, ec);
-      return;
-    }
+  // Single attempt, no breaker: the manifest is recoverable metadata (it
+  // only seeds recency on the next recovery), so a failed write costs
+  // pruning accuracy after a crash, never data.
+  const std::string manifest_path = dir_ + "/" + std::string(kManifestName);
+  const std::string tmp_path = dir_ + "/manifest.tmp";
+  std::string out(kManifestMagic);
+  out += '\n';
+  // Hottest first — the recovery scan replays this order into the LRU.
+  for (const std::string& key : lru_.KeysByRecency()) {
+    out += SpillFileName(key);
+    out += '\n';
   }
-  std::error_code ec;
-  fs::rename(tmp_path, manifest_path, ec);
-  if (ec) {
+  const Status written = env_->WriteFile(tmp_path, out);
+  if (!written.ok()) {
+    CYCLERANK_LOG(kWarning) << "spill tier (" << what_
+                            << "): cannot write manifest in '" << dir_
+                            << "': " << written.message();
+    (void)env_->Remove(tmp_path);
+    return;
+  }
+  const Status renamed = env_->Rename(tmp_path, manifest_path);
+  if (!renamed.ok()) {
     CYCLERANK_LOG(kWarning) << "spill tier (" << what_
                             << "): cannot rename manifest into place: "
-                            << ec.message();
-    fs::remove(tmp_path, ec);
+                            << renamed.message();
+    (void)env_->Remove(tmp_path);
   }
 }
 
 void SpillTier::RemoveFileLocked(const std::string& key) {
-  std::error_code ec;
-  fs::remove(FilePath(key), ec);
-  if (ec) {
+  const Status removed = env_->Remove(FilePath(key));
+  if (!removed.ok()) {
     CYCLERANK_LOG(kWarning) << "spill tier (" << what_
                             << "): cannot remove spill file for '" << key
-                            << "': " << ec.message();
+                            << "': " << removed.message();
   }
 }
 
 std::string SpillTier::FilePath(const std::string& key) const {
-  return (fs::path(dir_) / SpillFileName(key)).string();
+  return dir_ + "/" + SpillFileName(key);
 }
 
 void SpillTier::FilterAdd(const std::string& key) {

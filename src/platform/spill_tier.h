@@ -3,9 +3,11 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -17,11 +19,14 @@
 #include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/result.h"
+#include "common/status.h"
 #include "common/thread_annotations.h"
 #include "platform/byte_lru.h"
 #include "platform/expiry_markers.h"
 
 namespace cyclerank {
+
+class Env;
 
 /// Occupancy and effectiveness counters of a `SpillTier`.
 struct SpillTierStats {
@@ -36,8 +41,18 @@ struct SpillTierStats {
   uint64_t backpressure_waits = 0;  ///< `Put` calls that blocked on the
                                     ///< write-behind byte bound
   uint64_t prunes = 0;   ///< entries dropped to respect the disk budget
-  uint64_t recovered = 0;  ///< entries restored by the construction scan
-  uint64_t skipped = 0;  ///< corrupt/truncated files skipped (recovery or Get)
+  uint64_t recovered_files = 0;  ///< entries restored by the recovery scan
+  uint64_t skipped_corrupt_files = 0;  ///< corrupt/truncated files skipped
+                                       ///< (recovery or Get)
+  uint64_t retries = 0;  ///< disk operations re-attempted after a failure
+  uint64_t retry_exhausted = 0;  ///< operations that failed every attempt
+  uint64_t breaker_trips = 0;    ///< circuit breaker closed → open edges
+  uint64_t breaker_probes = 0;   ///< operations admitted as recovery probes
+  uint64_t breaker_recoveries = 0;  ///< breaker open → closed edges
+  uint64_t breaker_rejects = 0;  ///< operations fast-failed while open
+  uint64_t flush_failures = 0;   ///< write-behind payloads that never
+                                 ///< reached disk (marked pruned)
+  bool breaker_open = false;  ///< tier currently degraded to memory-only
   size_t entries = 0;    ///< live spilled entries (on disk)
   size_t bytes = 0;      ///< on-disk (encoded) bytes of live entries
   size_t raw_bytes = 0;  ///< uncompressed payload bytes of live entries
@@ -62,6 +77,24 @@ struct SpillTierOptions {
   /// Compress payloads on disk (the v2 spill framing). Off writes the
   /// PR-5 uncompressed v1 framing; reads always accept both.
   bool compression = true;
+
+  /// Filesystem used for every disk operation; nullptr = `Env::Default()`
+  /// (the real filesystem). Tests substitute a `FaultInjectingEnv`.
+  Env* env = nullptr;
+
+  /// Retries after a failed data-file read or write before the operation
+  /// is reported failed (and the circuit breaker trips). 0 disables
+  /// retrying.
+  int retry_limit = 3;
+
+  /// Delay before the first retry, doubled per retry and capped at
+  /// 100 ms; 0 retries without sleeping (tests).
+  uint64_t retry_backoff_ms = 1;
+
+  /// Once the circuit breaker opens, how long to fast-fail before letting
+  /// one operation through as a recovery probe; 0 probes on the next
+  /// operation (tests).
+  uint64_t breaker_probe_ms = 1000;
 };
 
 /// A payload handed to `SpillTier::Put`: serialization is *deferred* so
@@ -108,6 +141,20 @@ SpillPayloadPtr MakeBytesSpillPayload(std::string bytes);
 ///   not on disk" without taking the tier lock or touching the filesystem
 ///   — cold misses cost two hash probes, even while a flush or reload is
 ///   holding the lock for file IO.
+///
+/// **Failure handling** (PR 8): every disk operation goes through the
+/// tier's `Env`. Data reads and writes run under a deterministic
+/// bounded-exponential retry (`retry_limit`, `retry_backoff_ms`); an
+/// operation that fails every attempt trips a per-tier circuit breaker.
+/// While the breaker is open the tier degrades to the documented
+/// memory-only behavior — `Put` fast-fails `kUnavailable` (the key is
+/// marked pruned so later lookups answer "stored and dropped", never a
+/// wrong result), disk reads answer `kUnavailable` without touching the
+/// device, and buffered flushes drop their payloads as pruned. Every
+/// `breaker_probe_ms` one operation is admitted as a probe; a probe that
+/// succeeds closes the breaker and the tier resumes normal service.
+/// Write-behind flush failures are counted and surface as a real `Status`
+/// from `Flush()`.
 ///
 /// One tier manages one directory of self-describing files (magic +
 /// version + metadata word + payload checksum + the original key + the
@@ -186,9 +233,12 @@ class SpillTier {
   /// yet (read-your-write), else reads its spill file, bumping it to
   /// most-recently-used. The payload checksum is re-verified: a corrupt
   /// file is dropped with a logged warning and reported as `kIOError`. A
-  /// pruned key answers `kExpired`; an unknown key `kNotFound` — answered
-  /// by the lock-free key filter when the key was never stored, without
-  /// touching the tier lock or the filesystem.
+  /// file that cannot be *read* (transient disk error) is retried and, if
+  /// still failing, reported `kIOError`/`kUnavailable` with the entry left
+  /// intact — a flaky disk must not destroy data that is fine. A pruned
+  /// key answers `kExpired`; an unknown key `kNotFound` — answered by the
+  /// lock-free key filter when the key was never stored, without touching
+  /// the tier lock or the filesystem.
   Result<Loaded> Get(const std::string& key)
       CYR_EXCLUDES(buffer_mu_, mu_);
 
@@ -216,10 +266,14 @@ class SpillTier {
   size_t ErasePrefix(const std::string& prefix)
       CYR_EXCLUDES(buffer_mu_, mu_);
 
-  /// Blocks until every buffered write has reached disk — the barrier for
-  /// tests, shutdown, and anything that needs durability now. A no-op in
-  /// synchronous mode. Must not be called while flushing is paused.
-  void Flush() CYR_EXCLUDES(buffer_mu_);
+  /// Blocks until every buffered write has reached disk or been dropped —
+  /// the barrier for tests, shutdown, and anything that needs durability
+  /// now. Returns OK when everything drained to disk; otherwise an error
+  /// naming how many payloads were lost since the last `Flush()` report
+  /// (each loss is also marked pruned and counted in `flush_failures`).
+  /// A no-op in synchronous mode. Must not be called while flushing is
+  /// paused.
+  Status Flush() CYR_EXCLUDES(buffer_mu_, mu_);
 
   /// Test hook: true stalls the flush thread (entries stay buffered and
   /// observable), false resumes it. Destruction overrides a pause.
@@ -290,8 +344,29 @@ class SpillTier {
   std::string EncodeSpillFile(const std::string& key, std::string_view raw,
                               uint64_t meta) const;
 
-  /// Writes `file` to `key`'s path via tmp + rename; no locks required.
-  Status WriteSpillFile(const std::string& key, std::string_view file) const;
+  /// Writes `file` to `key`'s path via tmp + rename, under the retry /
+  /// circuit-breaker policy (`GuardedIo`).
+  Status WriteSpillFile(const std::string& key, std::string_view file)
+      CYR_EXCLUDES(breaker_mu_);
+
+  /// Reads `key`'s spill file into `*out` under the retry / breaker
+  /// policy. Never modifies the index.
+  Status ReadSpillFile(const std::string& key, std::string* out)
+      CYR_EXCLUDES(breaker_mu_);
+
+  /// Runs `op` (one disk operation, idempotent) under the tier's failure
+  /// policy: fast-fails `kUnavailable` while the breaker is open and no
+  /// probe is due; otherwise retries failures with deterministic backoff
+  /// (a probe gets a single attempt). Success closes an open breaker;
+  /// exhausting the retry budget trips it. `op_label` names the operation
+  /// in log lines.
+  Status GuardedIo(const char* op_label, const std::function<Status()>& op)
+      CYR_EXCLUDES(breaker_mu_);
+
+  /// True while the breaker is open and the probe interval has not yet
+  /// elapsed — the cheap entry check that lets `Put` fast-fail without
+  /// serializing anything.
+  bool BreakerRejects() CYR_EXCLUDES(breaker_mu_);
 
   /// Inserts `key` into the disk index (replacing any previous entry) and
   /// maintains the raw-byte accounting; requires `mu_`.
@@ -325,6 +400,7 @@ class SpillTier {
   const std::string dir_;
   const SpillTierOptions options_;
   const std::string what_;  ///< payload kind for errors/logs
+  Env* const env_;          ///< options_.env or Env::Default(); never null
   bool enabled_ = false;    ///< set once in the constructor, then read-only
 
   std::array<std::atomic<uint64_t>, kFilterWords> filter_{};
@@ -357,6 +433,26 @@ class SpillTier {
   /// Keys answered with `WasPruned`.
   ExpiryMarkers pruned_ CYR_GUARDED_BY(mu_);
   SpillTierStats stats_ CYR_GUARDED_BY(mu_);
+  /// Flush-thread losses not yet reported by a `Flush()` call; the sticky
+  /// error is cleared when reported.
+  uint64_t unreported_flush_failures_ CYR_GUARDED_BY(mu_) = 0;
+  Status last_flush_error_ CYR_GUARDED_BY(mu_);
+
+  // Circuit-breaker state; guarded by breaker_mu_ (taken under mu_ in the
+  // sync paths — kSpillIndexMu < kSpillBreakerMu — and standalone on the
+  // flush thread; released around the actual Env call).
+  mutable Mutex breaker_mu_{lock_rank::kSpillBreakerMu,
+                            "SpillTier::breaker_mu_"};
+  bool breaker_open_ CYR_GUARDED_BY(breaker_mu_) = false;
+  /// When the breaker last tripped or last admitted a probe.
+  std::chrono::steady_clock::time_point breaker_last_
+      CYR_GUARDED_BY(breaker_mu_);
+  uint64_t retries_ CYR_GUARDED_BY(breaker_mu_) = 0;
+  uint64_t retry_exhausted_ CYR_GUARDED_BY(breaker_mu_) = 0;
+  uint64_t breaker_trips_ CYR_GUARDED_BY(breaker_mu_) = 0;
+  uint64_t breaker_probes_ CYR_GUARDED_BY(breaker_mu_) = 0;
+  uint64_t breaker_recoveries_ CYR_GUARDED_BY(breaker_mu_) = 0;
+  uint64_t breaker_rejects_ CYR_GUARDED_BY(breaker_mu_) = 0;
 };
 
 }  // namespace cyclerank

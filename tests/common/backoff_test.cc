@@ -1,0 +1,63 @@
+#include "common/backoff.h"
+
+#include <gtest/gtest.h>
+
+namespace cyclerank {
+namespace {
+
+TEST(BackoffTest, DoublesFromInitialAndExhausts) {
+  ExponentialBackoff backoff({/*initial_ms=*/2, /*cap_ms=*/100,
+                              /*max_retries=*/4});
+  EXPECT_EQ(backoff.NextDelayMs(), 2u);
+  EXPECT_EQ(backoff.NextDelayMs(), 4u);
+  EXPECT_EQ(backoff.NextDelayMs(), 8u);
+  EXPECT_EQ(backoff.NextDelayMs(), 16u);
+  EXPECT_EQ(backoff.NextDelayMs(), std::nullopt);
+  EXPECT_EQ(backoff.retries_done(), 4);
+}
+
+TEST(BackoffTest, CapBoundsEveryDelay) {
+  ExponentialBackoff backoff({/*initial_ms=*/60, /*cap_ms=*/100,
+                              /*max_retries=*/3});
+  EXPECT_EQ(backoff.NextDelayMs(), 60u);
+  EXPECT_EQ(backoff.NextDelayMs(), 100u);  // 120 capped
+  EXPECT_EQ(backoff.NextDelayMs(), 100u);
+  EXPECT_EQ(backoff.NextDelayMs(), std::nullopt);
+}
+
+TEST(BackoffTest, ZeroInitialMeansImmediateRetries) {
+  ExponentialBackoff backoff({/*initial_ms=*/0, /*cap_ms=*/100,
+                              /*max_retries=*/2});
+  EXPECT_EQ(backoff.NextDelayMs(), 0u);
+  EXPECT_EQ(backoff.NextDelayMs(), 0u);
+  EXPECT_EQ(backoff.NextDelayMs(), std::nullopt);
+}
+
+TEST(BackoffTest, ZeroRetriesExhaustsImmediately) {
+  ExponentialBackoff backoff({/*initial_ms=*/1, /*cap_ms=*/100,
+                              /*max_retries=*/0});
+  EXPECT_EQ(backoff.NextDelayMs(), std::nullopt);
+  EXPECT_EQ(backoff.retries_done(), 0);
+}
+
+TEST(BackoffTest, HugeRetryBudgetDoesNotOverflowTheShift) {
+  // 1 << 62 would overflow past retry 62; the shift is clamped and the
+  // cap bounds the result regardless.
+  ExponentialBackoff backoff({/*initial_ms=*/1, /*cap_ms=*/100,
+                              /*max_retries=*/200});
+  for (int i = 0; i < 200; ++i) {
+    const std::optional<uint64_t> delay = backoff.NextDelayMs();
+    ASSERT_TRUE(delay.has_value());
+    EXPECT_LE(*delay, 100u);
+  }
+  EXPECT_EQ(backoff.NextDelayMs(), std::nullopt);
+}
+
+TEST(BackoffTest, SequencesAreDeterministic) {
+  ExponentialBackoff a({1, 100, 5});
+  ExponentialBackoff b({1, 100, 5});
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(a.NextDelayMs(), b.NextDelayMs());
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -362,8 +362,8 @@ TEST(DatastoreSpillTest, RestartRecoversSpilledDatasetsAndResults) {
     result_bytes_before = SerializeTaskResult(RichResultFor("r1"));
   }  // process "dies"; only the spill directory survives
   Datastore store(nullptr, SpillOptions(dir));
-  EXPECT_GE(store.dataset_spill()->stats().recovered, 1u);
-  EXPECT_GE(store.result_spill()->stats().recovered, 1u);
+  EXPECT_GE(store.dataset_spill()->stats().recovered_files, 1u);
+  EXPECT_GE(store.result_spill()->stats().recovered_files, 1u);
   // Spilled entries reload bit-identically after the restart.
   const GraphPtr graph = store.GetDataset("a").value();
   EXPECT_EQ(graph->Serialize(), graph_bytes_before);
@@ -397,8 +397,8 @@ TEST(DatastoreSpillTest, CorruptSpillFileDegradesToExpiredNotACrash) {
   // old process, so it reports NotFound — indistinguishable from never
   // uploaded, which is all a fresh process can know).
   Datastore store(nullptr, SpillOptions(dir));
-  EXPECT_GE(store.dataset_spill()->stats().skipped, 1u);
-  EXPECT_EQ(store.dataset_spill()->stats().recovered, 0u);
+  EXPECT_GE(store.dataset_spill()->stats().skipped_corrupt_files, 1u);
+  EXPECT_EQ(store.dataset_spill()->stats().recovered_files, 0u);
   EXPECT_FALSE(store.GetDataset("a").ok());
 }
 

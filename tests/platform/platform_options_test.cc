@@ -166,6 +166,36 @@ TEST(PlatformOptionsTest, LsmKnobsParse) {
   EXPECT_FALSE(PlatformOptions::FromString("spill_write_behind_bytes=-1").ok());
 }
 
+TEST(PlatformOptionsTest, FaultHandlingKnobsParse) {
+  // The PR-8 retry/breaker/overload knobs: plain integers, with the
+  // defaults documented in the header.
+  const PlatformOptions defaults = PlatformOptions::FromString("").value();
+  EXPECT_EQ(defaults.spill_retry_limit, 3u);
+  EXPECT_EQ(defaults.spill_retry_backoff_ms, 1u);
+  EXPECT_EQ(defaults.spill_breaker_probe_ms, 1000u);
+  EXPECT_EQ(defaults.admission_queue_limit, 0u);
+  EXPECT_EQ(defaults.default_deadline_ms, 0u);
+
+  const PlatformOptions parsed =
+      PlatformOptions::FromString(
+          "spill_retry_limit=5, spill_retry_backoff_ms=2, "
+          "spill_breaker_probe_ms=250, admission_queue_limit=64, "
+          "default_deadline_ms=1500")
+          .value();
+  EXPECT_EQ(parsed.spill_retry_limit, 5u);
+  EXPECT_EQ(parsed.spill_retry_backoff_ms, 2u);
+  EXPECT_EQ(parsed.spill_breaker_probe_ms, 250u);
+  EXPECT_EQ(parsed.admission_queue_limit, 64u);
+  EXPECT_EQ(parsed.default_deadline_ms, 1500u);
+
+  // Round trip through the canonical text form, defaults included.
+  EXPECT_EQ(PlatformOptions::FromString(parsed.ToString()).value(), parsed);
+
+  EXPECT_FALSE(PlatformOptions::FromString("spill_retry_limit=-1").ok());
+  EXPECT_FALSE(PlatformOptions::FromString("default_deadline_ms=soon").ok());
+  EXPECT_FALSE(PlatformOptions::FromString("admission_queue_limit=").ok());
+}
+
 TEST(PlatformOptionsTest, ResolvedNumWorkers) {
   PlatformOptions options;
   options.num_workers = 7;

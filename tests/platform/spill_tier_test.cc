@@ -119,7 +119,7 @@ TEST(SpillTierTest, RecoveryRestoresEntriesAndRecencyOrder) {
     ASSERT_TRUE(tier.Put("hot", payload, 9).ok());
   }
   SpillTier revived(dir, 0, "dataset");
-  EXPECT_EQ(revived.stats().recovered, 3u);
+  EXPECT_EQ(revived.stats().recovered_files, 3u);
   EXPECT_EQ(revived.Keys(),
             (std::vector<std::string>{"cold", "hot", "warm"}));
   EXPECT_EQ(revived.Meta("cold"), 7u);
@@ -149,8 +149,8 @@ TEST(SpillTierTest, TruncatedFileSkippedAtRecoveryWithWarning) {
   }
   LogCapture log;
   SpillTier revived(dir, 0, "dataset");
-  EXPECT_EQ(revived.stats().recovered, 1u);
-  EXPECT_EQ(revived.stats().skipped, 1u);
+  EXPECT_EQ(revived.stats().recovered_files, 1u);
+  EXPECT_EQ(revived.stats().skipped_corrupt_files, 1u);
   EXPECT_TRUE(log.Contains("skipping spill file"));
   EXPECT_TRUE(revived.Contains("whole"));
   EXPECT_FALSE(revived.Contains("torn"));
@@ -188,7 +188,7 @@ TEST(SpillTierTest, StragglerFilesWithoutManifestAreRecovered) {
   }
   fs::remove(fs::path(dir) / "manifest");
   SpillTier revived(dir, 0, "dataset");
-  EXPECT_EQ(revived.stats().recovered, 2u);
+  EXPECT_EQ(revived.stats().recovered_files, 2u);
   EXPECT_EQ(revived.Get("a").value().payload, "payload-a");
   EXPECT_EQ(revived.Get("b").value().payload, "payload-b");
 }
@@ -265,7 +265,7 @@ TEST(SpillTierWriteBehindTest, DestructionDrainsBufferLosingNothing) {
     // Destruction overrides the pause and drains every buffered write.
   }
   SpillTier revived(dir, WriteBehind(1u << 20), "dataset");
-  EXPECT_EQ(revived.stats().recovered, 3u);
+  EXPECT_EQ(revived.stats().recovered_files, 3u);
   EXPECT_EQ(revived.Get("a").value().payload, "payload-a");
   EXPECT_EQ(revived.Get("b").value().payload, "payload-b");
   EXPECT_EQ(revived.Get("c").value().payload, "payload-c");
@@ -418,14 +418,14 @@ TEST(SpillTierCompressionTest, UncompressedV1FilesStillLoad) {
   // A compression-enabled tier recovers and reads the v1 file...
   SpillTierOptions compressed;
   SpillTier tier(dir, compressed, "dataset");
-  EXPECT_EQ(tier.stats().recovered, 1u);
+  EXPECT_EQ(tier.stats().recovered_files, 1u);
   const SpillTier::Loaded loaded = tier.Get("old").value();
   EXPECT_EQ(loaded.payload, payload);
   EXPECT_EQ(loaded.meta, 7u);
   // ...and new writes (v2) coexist with it across another restart.
   ASSERT_TRUE(tier.Put("new", payload, 8).ok());
   SpillTier revived(dir, compressed, "dataset");
-  EXPECT_EQ(revived.stats().recovered, 2u);
+  EXPECT_EQ(revived.stats().recovered_files, 2u);
   EXPECT_EQ(revived.Get("old").value().payload, payload);
   EXPECT_EQ(revived.Get("new").value().payload, payload);
 }

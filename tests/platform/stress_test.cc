@@ -518,7 +518,9 @@ TEST(StressTest, SpillChurnUnderConcurrentQueriesIsBitIdentical) {
     }
   }
   EXPECT_GT(completed, 0u);
-  // The churn really did hit the disk tier.
+  // The churn really did hit the disk tier. Demotion is write-behind, so
+  // barrier on the flush thread before reading the counter.
+  ASSERT_TRUE(store.Flush().ok());
   EXPECT_GT(store.dataset_spill()->stats().spills, 0u);
 }
 

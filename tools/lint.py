@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Determinism / concurrency-idiom lint for the cyclerank sources.
 
-Four rules, all rooted in the platform's guarantees:
+Five rules, all rooted in the platform's guarantees:
 
   determinism-rng       `rand()` / `srand()` / `std::random_device` outside
                         the seeded `common/rng.cc`. Kernels must be
@@ -32,6 +32,16 @@ Four rules, all rooted in the platform's guarantees:
                         is not portable-deterministic. Membership tests and
                         lookups are fine. In `src/core` (the kernels) the
                         containers are banned outright.
+
+  platform-direct-io    direct filesystem access (`<filesystem>`,
+                        `<fstream>`, `std::filesystem`, stream types,
+                        `fopen`) in `src/platform/`. All
+                        storage-stack I/O must flow through the `Env` seam
+                        (`common/env.h`) so disk failure stays an injectable,
+                        testable input — a direct `std::ofstream` would be a
+                        write the fault harness can never reach. The sole
+                        sanctioned implementation site is `common/env.cc`,
+                        which lives outside `src/platform/` by construction.
 
 Usage:
   tools/lint.py                 # lint src/ of the repo containing this file
@@ -74,6 +84,11 @@ RE_UNORDERED_DECL = re.compile(
 )
 RE_UNORDERED_ANY = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
 RE_RANGE_FOR = re.compile(r"for\s*\([^;:()]*?:\s*&?\s*(\w+)\s*\)")
+RE_DIRECT_IO = re.compile(
+    r"#\s*include\s*<(?:filesystem|fstream)>"
+    r"|std::(?:filesystem\b|[io]?fstream\b)"
+    r"|(?<![\w:])fopen\s*\("
+)
 
 
 def strip_comments_and_strings(text):
@@ -134,6 +149,12 @@ def lint_file(rel_path, text):
                    "raw standard-library synchronization outside "
                    "common/mutex.h — use the annotated Mutex/MutexLock/"
                    "CondVar wrappers")
+        if rel.startswith("platform/") and RE_DIRECT_IO.search(line):
+            yield (lineno, "platform-direct-io",
+                   "direct filesystem access in src/platform/ — all storage "
+                   "I/O must go through the Env seam (common/env.h) so "
+                   "faults stay injectable; implementations belong in "
+                   "common/env.cc")
         if rel.startswith("core/") and RE_UNORDERED_ANY.search(line):
             yield (lineno, "unordered-iteration",
                    "unordered containers are banned in kernels (src/core) — "
@@ -193,6 +214,20 @@ FIXTURES = [
      None),
     ("platform/store.cc",
      "std::unordered_map<K, V> m;\nfor (auto& kv : m) Use(kv);", None),
+    ("platform/spill_tier.cc", "#include <filesystem>",
+     "platform-direct-io"),
+    ("platform/spill_tier.cc", "#include <fstream>", "platform-direct-io"),
+    ("platform/datastore.cc", "std::filesystem::remove(path);",
+     "platform-direct-io"),
+    ("platform/datastore.cc", "std::ofstream out(path);",
+     "platform-direct-io"),
+    ("platform/result_io.cc", "FILE* f = fopen(path, \"rb\");",
+     "platform-direct-io"),
+    ("platform/result_io.cc", "#include <cstdio>", None),  # snprintf is fine
+    ("platform/result_io.cc", "std::snprintf(buf, sizeof(buf), fmt);", None),
+    ("common/env.cc", "#include <filesystem>", None),  # the sanctioned seam
+    ("core/kernel.cc", "#include <fstream>", None),  # rule scoped to platform
+    ("platform/foo.cc", "// mentions std::filesystem in prose", None),
 ]
 
 
