@@ -1,0 +1,143 @@
+// Experiment P9 — shard-local graph compute (PR 9): the cost of building
+// a ShardedGraph view, the locality profile of the contiguous-range and
+// degree-balanced partitions (boundary-edge / halo counters), and the
+// sharded kernels against their monolithic baselines on a 50k-node
+// Barabási–Albert graph. Outputs are bit-identical across the whole
+// `shards` sweep by construction (tests/core/sharding_grid_test.cc), so
+// the JSON's score-free counters — boundary_edges, halo_nodes, view_bytes
+// — are the interesting signal next to the times: they bound the delta
+// traffic a multi-process deployment of the same partition would ship.
+// shards=0 rows run the monolithic path and are the baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/forward_push.h"
+#include "core/pagerank.h"
+#include "datasets/generators.h"
+#include "graph/sharded_graph.h"
+#include "graph/traversal.h"
+
+namespace cyclerank {
+namespace {
+
+constexpr int64_t kNodes = 50000;
+
+GraphPtr MakeGraph(int64_t n) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = static_cast<NodeId>(n);
+  config.edges_per_node = 8;
+  config.reciprocity = 0.3;
+  config.seed = 99;
+  return std::make_shared<const Graph>(
+      GenerateBarabasiAlbert(config).value());
+}
+
+/// The sweep's view factory: shards == 0 means "monolithic" (no view).
+ShardedGraphPtr MaybeView(const GraphPtr& g, int64_t shards) {
+  if (shards == 0) return nullptr;
+  return std::make_shared<const ShardedGraph>(
+      ShardedGraph::Build(g, static_cast<uint32_t>(shards),
+                          ContiguousRangePartitioner())
+          .value());
+}
+
+void RecordViewCounters(benchmark::State& state, const ShardedGraph& view) {
+  uint64_t halo = 0;
+  for (uint32_t s = 0; s < view.num_shards(); ++s) {
+    halo += view.Halo(s).size();
+  }
+  state.counters["boundary_edges"] =
+      static_cast<double>(view.TotalBoundaryEdges());
+  state.counters["halo_nodes"] = static_cast<double>(halo);
+  state.counters["view_bytes"] = static_cast<double>(view.MemoryBytes());
+}
+
+void BM_ShardedGraph_Build(benchmark::State& state) {
+  const GraphPtr g = MakeGraph(kNodes);
+  const uint32_t shards = static_cast<uint32_t>(state.range(0));
+  const ContiguousRangePartitioner partitioner;
+  for (auto _ : state) {
+    auto view = ShardedGraph::Build(g, shards, partitioner).value();
+    benchmark::DoNotOptimize(view);
+  }
+  RecordViewCounters(state,
+                     ShardedGraph::Build(g, shards, partitioner).value());
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_ShardedGraph_Build)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ShardedGraph_BuildDegreeBalanced(benchmark::State& state) {
+  // Same sweep under the degree-balanced policy: the build pays an extra
+  // O(n) weight scan, and on a power-law graph the cuts (and with them
+  // the boundary counters) move toward the heavy low-id nodes.
+  const GraphPtr g = MakeGraph(kNodes);
+  const uint32_t shards = static_cast<uint32_t>(state.range(0));
+  const DegreeBalancedPartitioner partitioner;
+  for (auto _ : state) {
+    auto view = ShardedGraph::Build(g, shards, partitioner).value();
+    benchmark::DoNotOptimize(view);
+  }
+  RecordViewCounters(state,
+                     ShardedGraph::Build(g, shards, partitioner).value());
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_ShardedGraph_BuildDegreeBalanced)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_PageRank_ShardSweep(benchmark::State& state) {
+  const GraphPtr g = MakeGraph(kNodes);
+  const ShardedGraphPtr view = MaybeView(g, state.range(1));
+  PageRankOptions options;
+  options.num_threads = static_cast<uint32_t>(state.range(0));
+  options.sharded = view.get();
+  uint32_t iterations = 0;
+  for (auto _ : state) {
+    const auto result = ComputePageRank(*g, options).value();
+    iterations = result.iterations;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+  state.counters["shards"] = static_cast<double>(state.range(1));
+  state.counters["iterations"] = static_cast<double>(iterations);
+  if (view != nullptr) RecordViewCounters(state, *view);
+}
+BENCHMARK(BM_PageRank_ShardSweep)
+    ->ArgsProduct({{1, 4, 8}, {0, 2, 4, 8}});
+
+void BM_ForwardPush_ShardSweep(benchmark::State& state) {
+  const GraphPtr g = MakeGraph(kNodes);
+  const ShardedGraphPtr view = MaybeView(g, state.range(1));
+  ForwardPushOptions options;
+  options.epsilon = 1e-7;
+  options.num_threads = static_cast<uint32_t>(state.range(0));
+  options.sharded = view.get();
+  uint64_t pushes = 0;
+  for (auto _ : state) {
+    const auto result = ComputeForwardPushPpr(*g, 0, options).value();
+    pushes = result.pushes;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+  state.counters["shards"] = static_cast<double>(state.range(1));
+  state.counters["pushes"] = static_cast<double>(pushes);
+}
+BENCHMARK(BM_ForwardPush_ShardSweep)
+    ->ArgsProduct({{1, 4, 8}, {0, 2, 4, 8}});
+
+void BM_FrontierBfs_ShardSweep(benchmark::State& state) {
+  const GraphPtr g = MakeGraph(kNodes);
+  const ShardedGraphPtr view = MaybeView(g, state.range(1));
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BfsDistances(*g, 0, Direction::kForward,
+                                          kUnreachable, threads, view.get()));
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["shards"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_FrontierBfs_ShardSweep)
+    ->ArgsProduct({{1, 4, 8}, {0, 2, 4, 8}});
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,170 @@
+#include "graph/sharded_graph.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace cyclerank {
+namespace {
+
+/// Validates the partitioner contract (ascending bounds spanning [0, n])
+/// so a buggy policy fails loudly instead of producing views with holes.
+Status ValidateBounds(const std::vector<NodeId>& bounds, uint32_t num_shards,
+                      NodeId num_nodes, std::string_view policy) {
+  if (bounds.size() != static_cast<size_t>(num_shards) + 1) {
+    return Status::InvalidArgument(
+        "sharded graph: partitioner '" + std::string(policy) + "' returned " +
+        std::to_string(bounds.size()) + " bounds for " +
+        std::to_string(num_shards) + " shards (want num_shards + 1)");
+  }
+  if (bounds.front() != 0 || bounds.back() != num_nodes) {
+    return Status::InvalidArgument(
+        "sharded graph: partitioner '" + std::string(policy) +
+        "' bounds do not span [0, " + std::to_string(num_nodes) + "]");
+  }
+  for (size_t s = 0; s + 1 < bounds.size(); ++s) {
+    if (bounds[s] > bounds[s + 1]) {
+      return Status::InvalidArgument(
+          "sharded graph: partitioner '" + std::string(policy) +
+          "' bounds are not ascending at index " + std::to_string(s));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<NodeId>> ContiguousRangePartitioner::Partition(
+    const Graph& g, uint32_t num_shards) const {
+  if (num_shards == 0) {
+    return Status::InvalidArgument(
+        "contiguous_range partitioner: num_shards must be >= 1");
+  }
+  // 128-bit intermediate: n·s can brush 2^64 at the uint32 extremes.
+  const unsigned __int128 n = g.num_nodes();
+  std::vector<NodeId> bounds(static_cast<size_t>(num_shards) + 1);
+  for (uint32_t s = 0; s <= num_shards; ++s) {
+    bounds[s] = static_cast<NodeId>(n * s / num_shards);
+  }
+  return bounds;
+}
+
+Result<std::vector<NodeId>> DegreeBalancedPartitioner::Partition(
+    const Graph& g, uint32_t num_shards) const {
+  if (num_shards == 0) {
+    return Status::InvalidArgument(
+        "degree_balanced partitioner: num_shards must be >= 1");
+  }
+  const NodeId n = g.num_nodes();
+  // Total weight: one unit per node plus one per incident edge (each edge
+  // counted at both endpoints, matching the per-node weight below).
+  const unsigned __int128 total =
+      static_cast<uint64_t>(n) + 2 * g.num_edges();
+  std::vector<NodeId> bounds;
+  bounds.reserve(static_cast<size_t>(num_shards) + 1);
+  bounds.push_back(0);
+  // Greedy prefix cuts: close shard s once the accumulated weight reaches
+  // s+1 shares of the total. Deterministic, one O(n) pass; a shard is cut
+  // at a node boundary so ranges stay contiguous.
+  uint64_t acc = 0;
+  NodeId u = 0;
+  for (uint32_t s = 1; s < num_shards; ++s) {
+    const uint64_t target = static_cast<uint64_t>(total * s / num_shards);
+    while (u < n && acc < target) {
+      acc += 1 + g.OutDegree(u) + g.InDegree(u);
+      ++u;
+    }
+    bounds.push_back(u);
+  }
+  bounds.push_back(n);
+  return bounds;
+}
+
+uint32_t ShardedGraph::ShardOf(NodeId u) const {
+  // bounds_[s] <= u < bounds_[s+1]; upper_bound finds the first bound > u.
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), u);
+  return static_cast<uint32_t>(it - bounds_.begin()) - 1;
+}
+
+Result<ShardedGraph> ShardedGraph::Build(GraphPtr graph, uint32_t num_shards,
+                                         const GraphPartitioner& partitioner) {
+  if (!graph) {
+    return Status::InvalidArgument("sharded graph: graph must not be null");
+  }
+  if (num_shards == 0) {
+    return Status::InvalidArgument("sharded graph: num_shards must be >= 1");
+  }
+  const Graph& g = *graph;
+  const NodeId n = g.num_nodes();
+  CYCLERANK_ASSIGN_OR_RETURN(std::vector<NodeId> bounds,
+                             partitioner.Partition(g, num_shards));
+  CYCLERANK_RETURN_NOT_OK(
+      ValidateBounds(bounds, num_shards, n, partitioner.name()));
+
+  ShardedGraph out;
+  out.parent_ = std::move(graph);
+  out.bounds_ = std::move(bounds);
+  out.partitioner_name_ = std::string(partitioner.name());
+  out.shards_.resize(num_shards);
+
+  size_t bytes = sizeof(ShardedGraph);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    Shard& shard = out.shards_[s];
+    shard.begin = out.bounds_[s];
+    shard.end = out.bounds_[s + 1];
+    const NodeId count = shard.end - shard.begin;
+
+    // Size the row arrays exactly, then copy the parent rows verbatim —
+    // global ids, parent order — so a shard-local span is element-equal
+    // to the parent's and kernels can switch spans without changing
+    // results.
+    uint64_t out_edges = 0;
+    uint64_t in_edges = 0;
+    for (NodeId u = shard.begin; u < shard.end; ++u) {
+      out_edges += g.OutDegree(u);
+      in_edges += g.InDegree(u);
+    }
+    shard.out_offsets.reserve(count + 1);
+    shard.out_targets.reserve(out_edges);
+    shard.in_offsets.reserve(count + 1);
+    shard.in_sources.reserve(in_edges);
+    shard.out_offsets.push_back(0);
+    shard.in_offsets.push_back(0);
+    for (NodeId u = shard.begin; u < shard.end; ++u) {
+      const auto row = g.OutNeighbors(u);
+      shard.out_targets.insert(shard.out_targets.end(), row.begin(),
+                               row.end());
+      shard.out_offsets.push_back(shard.out_targets.size());
+      for (NodeId v : row) {
+        if (v < shard.begin || v >= shard.end) {
+          ++shard.boundary_out;
+          shard.halo.push_back(v);
+        }
+      }
+      const auto in_row = g.InNeighbors(u);
+      shard.in_sources.insert(shard.in_sources.end(), in_row.begin(),
+                              in_row.end());
+      shard.in_offsets.push_back(shard.in_sources.size());
+      for (NodeId v : in_row) {
+        if (v < shard.begin || v >= shard.end) ++shard.boundary_in;
+      }
+    }
+    std::sort(shard.halo.begin(), shard.halo.end());
+    shard.halo.erase(std::unique(shard.halo.begin(), shard.halo.end()),
+                     shard.halo.end());
+    out.total_boundary_out_ += shard.boundary_out;
+
+    bytes += sizeof(Shard);
+    bytes += shard.out_offsets.size() * sizeof(uint64_t);
+    bytes += shard.out_targets.size() * sizeof(NodeId);
+    bytes += shard.in_offsets.size() * sizeof(uint64_t);
+    bytes += shard.in_sources.size() * sizeof(NodeId);
+    bytes += shard.halo.size() * sizeof(NodeId);
+  }
+  bytes += out.bounds_.size() * sizeof(NodeId);
+  bytes += out.partitioner_name_.size();
+  out.memory_bytes_ = bytes;
+  return out;
+}
+
+}  // namespace cyclerank

@@ -1,0 +1,188 @@
+#ifndef CYCLERANK_GRAPH_SHARDED_GRAPH_H_
+#define CYCLERANK_GRAPH_SHARDED_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace cyclerank {
+
+/// Splits a graph's vertex set into `num_shards` contiguous id ranges —
+/// the pluggable policy behind `ShardedGraph::Build`. A partition is a
+/// bounds vector of `num_shards + 1` ascending node ids with
+/// `bounds[0] == 0` and `bounds[P] == num_nodes()`; shard s owns
+/// `[bounds[s], bounds[s+1])` (empty shards are legal, e.g. more shards
+/// than nodes).
+///
+/// Contiguity is a contract, not an implementation detail: the frontier
+/// engine's shard-aware chunking and the PageRank chunk→shard map both
+/// locate a node's shard by binary-searching the bounds, and the
+/// shard-local CSR views are contiguous row copies. Policies that want a
+/// different *assignment* (degree-balanced, NUMA-aware) express it by
+/// moving the cut points, not by scattering ids.
+///
+/// Implementations must be deterministic and stateless: two calls with
+/// the same graph and shard count must return the same bounds (the
+/// partition participates in bit-identity guarantees).
+class GraphPartitioner {
+ public:
+  virtual ~GraphPartitioner() = default;
+
+  /// Policy name for logs and stats, e.g. "contiguous_range".
+  virtual std::string_view name() const = 0;
+
+  /// Computes the bounds vector (see class comment). `num_shards` ≥ 1.
+  virtual Result<std::vector<NodeId>> Partition(const Graph& g,
+                                                uint32_t num_shards) const = 0;
+};
+
+/// Equal *vertex-count* ranges: `bounds[s] = floor(n·s / P)`. The zero-cost
+/// default — no graph scan at all — and the policy the platform uses for
+/// the `shards=` request parameter.
+class ContiguousRangePartitioner final : public GraphPartitioner {
+ public:
+  std::string_view name() const override { return "contiguous_range"; }
+  Result<std::vector<NodeId>> Partition(const Graph& g,
+                                        uint32_t num_shards) const override;
+};
+
+/// Equal *degree-weight* ranges: greedy prefix cuts over the per-node
+/// weight `1 + out_degree + in_degree`, so shards carry comparable edge
+/// work even on skewed (power-law) graphs where equal vertex counts put
+/// most edges in the low-id shards. Proves the partitioner seam is real;
+/// a NUMA-aware policy would slot in the same way.
+class DegreeBalancedPartitioner final : public GraphPartitioner {
+ public:
+  std::string_view name() const override { return "degree_balanced"; }
+  Result<std::vector<NodeId>> Partition(const Graph& g,
+                                        uint32_t num_shards) const override;
+};
+
+/// P shard-local CSR views over one immutable parent `Graph`, plus a
+/// boundary-edge index. Each shard owns a contiguous vertex range and a
+/// *copy* of its rows (out-targets and in-sources, global ids, same sorted
+/// order as the parent) packed into compact shard-local arrays: a kernel
+/// working one shard streams that shard's edges from a contiguous block
+/// instead of striding the monolithic CSR. Row *contents* are
+/// byte-identical to the parent's, which is what lets every sharded kernel
+/// stay bit-identical to the unsharded path.
+///
+/// The boundary index counts, per shard, the edges whose far endpoint lies
+/// outside the shard (out- and in-direction separately) and materializes
+/// the *halo* — the sorted, deduplicated set of external nodes the shard's
+/// out-edges reach. Today these feed locality accounting (bench counters,
+/// logs); they are the shape a multi-process worker needs to size its
+/// cross-worker delta traffic.
+///
+/// Instances are immutable after `Build` and hold a `GraphPtr` pin on the
+/// parent, so a view can never outlive the CSR its row copies mirror (and
+/// callers may validate `parent().get()` against the graph they were
+/// handed — the platform's executor does). Like `Graph`, a `ShardedGraph`
+/// is shared across threads without synchronization.
+class ShardedGraph {
+ public:
+  /// Partitions `graph` into `num_shards` ranges with `partitioner` and
+  /// materializes the shard-local views. Errors: InvalidArgument for a
+  /// null graph or `num_shards == 0`, plus anything the partitioner
+  /// rejects; a malformed bounds vector (wrong size, non-monotone, not
+  /// spanning `[0, n]`) is an InvalidArgument naming the policy.
+  static Result<ShardedGraph> Build(GraphPtr graph, uint32_t num_shards,
+                                    const GraphPartitioner& partitioner);
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+
+  /// The partition bounds, `num_shards() + 1` entries (see
+  /// `GraphPartitioner`). Stable for the view's lifetime — the frontier
+  /// engine borrows this span for a whole run.
+  std::span<const NodeId> bounds() const { return bounds_; }
+
+  /// The shard owning node `u` (valid `u` only). O(log P).
+  uint32_t ShardOf(NodeId u) const;
+
+  /// Successors of `u` from shard `shard`'s local arrays. `u` must lie in
+  /// the shard's range; ids are global and the span equals the parent's
+  /// `OutNeighbors(u)` element-for-element.
+  std::span<const NodeId> OutNeighbors(uint32_t shard, NodeId u) const {
+    const Shard& s = shards_[shard];
+    const NodeId local = u - s.begin;
+    return {s.out_targets.data() + s.out_offsets[local],
+            s.out_targets.data() + s.out_offsets[local + 1]};
+  }
+
+  /// Predecessors of `u` from shard `shard`'s local arrays (same contract
+  /// as `OutNeighbors`).
+  std::span<const NodeId> InNeighbors(uint32_t shard, NodeId u) const {
+    const Shard& s = shards_[shard];
+    const NodeId local = u - s.begin;
+    return {s.in_sources.data() + s.in_offsets[local],
+            s.in_sources.data() + s.in_offsets[local + 1]};
+  }
+
+  /// Out-edges of `shard` whose target lies outside the shard's range.
+  uint64_t BoundaryOutEdges(uint32_t shard) const {
+    return shards_[shard].boundary_out;
+  }
+  /// In-edges of `shard` whose source lies outside the shard's range.
+  uint64_t BoundaryInEdges(uint32_t shard) const {
+    return shards_[shard].boundary_in;
+  }
+  /// Sorted, deduplicated external nodes reached by `shard`'s out-edges.
+  std::span<const NodeId> Halo(uint32_t shard) const {
+    return shards_[shard].halo;
+  }
+
+  /// Total boundary out-edges over all shards — the edge-cut size of the
+  /// partition (each cut edge counted once, at its source shard).
+  uint64_t TotalBoundaryEdges() const { return total_boundary_out_; }
+
+  /// Bytes the view keeps resident beyond the parent graph: the per-shard
+  /// offset/row/halo arrays plus the object itself. Element counts, not
+  /// allocator capacity — deterministic, like `Graph::MemoryBytes()`; the
+  /// graph store charges this figure against its byte budget when it
+  /// caches a view next to its parent. O(1): computed once at build time.
+  size_t MemoryBytes() const { return memory_bytes_; }
+
+  /// The pinned parent graph.
+  const GraphPtr& parent() const { return parent_; }
+
+  /// Name of the partitioner that produced the bounds (logs/stats).
+  const std::string& partitioner_name() const { return partitioner_name_; }
+
+ private:
+  struct Shard {
+    NodeId begin = 0;
+    NodeId end = 0;  // exclusive
+    std::vector<uint64_t> out_offsets;  // size end-begin+1, local
+    std::vector<NodeId> out_targets;    // global ids, parent row order
+    std::vector<uint64_t> in_offsets;   // size end-begin+1, local
+    std::vector<NodeId> in_sources;     // global ids, parent row order
+    std::vector<NodeId> halo;           // sorted unique external out-targets
+    uint64_t boundary_out = 0;
+    uint64_t boundary_in = 0;
+  };
+
+  ShardedGraph() = default;
+
+  GraphPtr parent_;
+  std::vector<NodeId> bounds_;  // num_shards + 1
+  std::vector<Shard> shards_;
+  std::string partitioner_name_;
+  uint64_t total_boundary_out_ = 0;
+  size_t memory_bytes_ = 0;
+};
+
+/// Shared handle to an immutable sharded view; what the graph store caches
+/// and the executor threads into kernel requests.
+using ShardedGraphPtr = std::shared_ptr<const ShardedGraph>;
+
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_GRAPH_SHARDED_GRAPH_H_

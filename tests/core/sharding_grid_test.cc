@@ -1,0 +1,260 @@
+// Bit-identity contract of the sharded kernels: for a fixed input, every
+// (threads × shards) combination must produce output bitwise equal to the
+// serial, unsharded run. Sharding only refines *where* a worker streams
+// its CSR rows from — shard-local rows are element-equal to the parent's
+// and merge batches are cut blind to the shard bounds (see
+// common/frontier.h and src/core/README.md) — so these tests compare raw
+// double vectors with operator==, no tolerance. The grid includes a shard
+// count that does not divide the node count (uneven ranges) and one well
+// above the thread count. Run under -DCYCLERANK_SANITIZE=thread this is
+// also the data-race stress for the shard-refined expansion path.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cheirank.h"
+#include "core/cyclerank.h"
+#include "core/forward_push.h"
+#include "core/pagerank.h"
+#include "datasets/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/sharded_graph.h"
+#include "graph/traversal.h"
+
+namespace cyclerank {
+namespace {
+
+constexpr uint32_t kThreadGrid[] = {1, 2, 4, 8};
+// 3 does not divide the test graphs' node counts (uneven ranges, and the
+// canonical chunk boundaries almost never coincide with shard bounds);
+// 8 exceeds half the thread grid.
+constexpr uint32_t kShardGrid[] = {1, 2, 3, 8};
+
+GraphPtr MakeBaGraph(NodeId n, uint64_t seed) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = n;
+  config.edges_per_node = 4;
+  config.reciprocity = 0.4;
+  config.seed = seed;
+  return std::make_shared<const Graph>(GenerateBarabasiAlbert(config).value());
+}
+
+ShardedGraphPtr MakeView(const GraphPtr& g, uint32_t shards) {
+  return std::make_shared<const ShardedGraph>(
+      ShardedGraph::Build(g, shards, ContiguousRangePartitioner()).value());
+}
+
+TEST(ShardingGridTest, PageRankBitIdenticalAcrossTheGrid) {
+  const GraphPtr g = MakeBaGraph(500, 17);
+  PageRankOptions options;
+  options.num_threads = 1;
+  const PageRankScores base = ComputePageRank(*g, options).value();
+  for (uint32_t shards : kShardGrid) {
+    const ShardedGraphPtr view = MakeView(g, shards);
+    options.sharded = view.get();
+    for (uint32_t threads : kThreadGrid) {
+      options.num_threads = threads;
+      const PageRankScores other = ComputePageRank(*g, options).value();
+      EXPECT_EQ(base.scores, other.scores)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(base.iterations, other.iterations);
+      EXPECT_EQ(base.residual, other.residual);
+      EXPECT_EQ(base.converged, other.converged);
+    }
+  }
+}
+
+TEST(ShardingGridTest, CheiRankUsesTheReverseShardRows) {
+  // CheiRank runs the shared power iteration on the transposed adjacency:
+  // the sharded path must stream shard-local *out*-rows and still match.
+  const GraphPtr g = MakeBaGraph(400, 23);
+  PageRankOptions options;
+  options.num_threads = 1;
+  const PageRankScores base = ComputeCheiRank(*g, options).value();
+  const PageRankScores ppr_base =
+      ComputePersonalizedPageRank(*g, 3, options).value();
+  for (uint32_t shards : kShardGrid) {
+    const ShardedGraphPtr view = MakeView(g, shards);
+    options.sharded = view.get();
+    for (uint32_t threads : kThreadGrid) {
+      options.num_threads = threads;
+      EXPECT_EQ(base.scores, ComputeCheiRank(*g, options).value().scores)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(ppr_base.scores,
+                ComputePersonalizedPageRank(*g, 3, options).value().scores)
+          << "threads=" << threads << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardingGridTest, ForwardPushBitIdenticalAcrossTheGrid) {
+  const GraphPtr g = MakeBaGraph(500, 31);
+  ForwardPushOptions options;
+  options.epsilon = 1e-8;  // thousands of pushes over many rounds
+  options.num_threads = 1;
+  const ForwardPushScores base = ComputeForwardPushPpr(*g, 0, options).value();
+  EXPECT_GT(base.pushes, 0u);
+  for (uint32_t shards : kShardGrid) {
+    const ShardedGraphPtr view = MakeView(g, shards);
+    options.sharded = view.get();
+    for (uint32_t threads : kThreadGrid) {
+      options.num_threads = threads;
+      const ForwardPushScores other =
+          ComputeForwardPushPpr(*g, 0, options).value();
+      EXPECT_EQ(base.scores, other.scores)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(base.pushes, other.pushes)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(base.converged, other.converged);
+      EXPECT_EQ(base.residual_mass, other.residual_mass);
+    }
+  }
+}
+
+TEST(ShardingGridTest, ForwardPushTruncationShardCountIndependent) {
+  // The max_pushes cap is enforced at round boundaries; the admission
+  // order (dedup included) must not shift when execution chunks are
+  // refined at shard crossings.
+  const GraphPtr g = MakeBaGraph(400, 37);
+  ForwardPushOptions options;
+  options.epsilon = 1e-10;
+  options.max_pushes = 200;
+  options.num_threads = 1;
+  const ForwardPushScores base = ComputeForwardPushPpr(*g, 0, options).value();
+  EXPECT_FALSE(base.converged);
+  for (uint32_t shards : kShardGrid) {
+    const ShardedGraphPtr view = MakeView(g, shards);
+    options.sharded = view.get();
+    for (uint32_t threads : kThreadGrid) {
+      options.num_threads = threads;
+      const ForwardPushScores other =
+          ComputeForwardPushPpr(*g, 0, options).value();
+      EXPECT_EQ(base.scores, other.scores)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(base.pushes, other.pushes);
+      EXPECT_EQ(base.converged, other.converged);
+      EXPECT_EQ(base.residual_mass, other.residual_mass);
+    }
+  }
+}
+
+TEST(ShardingGridTest, BfsDistancesIdenticalAcrossTheGrid) {
+  const GraphPtr g = MakeBaGraph(600, 41);
+  const std::vector<uint32_t> forward =
+      BfsDistances(*g, 0, Direction::kForward).value();
+  const std::vector<uint32_t> backward =
+      BfsDistances(*g, 0, Direction::kBackward).value();
+  for (uint32_t shards : kShardGrid) {
+    const ShardedGraphPtr view = MakeView(g, shards);
+    for (uint32_t threads : kThreadGrid) {
+      EXPECT_EQ(forward, BfsDistances(*g, 0, Direction::kForward, kUnreachable,
+                                      threads, view.get())
+                             .value())
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(backward,
+                BfsDistances(*g, 0, Direction::kBackward, kUnreachable,
+                             threads, view.get())
+                    .value())
+          << "threads=" << threads << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardingGridTest, CycleRankBitIdenticalAcrossTheGrid) {
+  // The sharded view feeds CycleRank's backward pruning BFS; scores,
+  // counts, and the work metric must not move.
+  const GraphPtr g = MakeBaGraph(300, 29);
+  CycleRankOptions options;
+  options.max_cycle_length = 4;
+  options.use_pruning = true;
+  options.num_threads = 1;
+  const CycleRankScores base = ComputeCycleRank(*g, 0, options).value();
+  for (uint32_t shards : kShardGrid) {
+    const ShardedGraphPtr view = MakeView(g, shards);
+    options.sharded = view.get();
+    for (uint32_t threads : kThreadGrid) {
+      options.num_threads = threads;
+      const CycleRankScores other = ComputeCycleRank(*g, 0, options).value();
+      EXPECT_EQ(base.scores, other.scores)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(base.total_cycles, other.total_cycles);
+      EXPECT_EQ(base.dfs_expansions, other.dfs_expansions);
+    }
+  }
+}
+
+TEST(ShardingGridTest, DegreeBalancedPartitionIsBitIdenticalToo) {
+  // The partitioner seam is pluggable: a different cut policy moves the
+  // shard bounds, never the results.
+  const GraphPtr g = MakeBaGraph(500, 17);
+  PageRankOptions pr_options;
+  const PageRankScores pr_base = ComputePageRank(*g, pr_options).value();
+  ForwardPushOptions fp_options;
+  fp_options.epsilon = 1e-8;
+  const ForwardPushScores fp_base =
+      ComputeForwardPushPpr(*g, 0, fp_options).value();
+  for (uint32_t shards : {2u, 5u}) {
+    const auto view = std::make_shared<const ShardedGraph>(
+        ShardedGraph::Build(g, shards, DegreeBalancedPartitioner()).value());
+    pr_options.sharded = view.get();
+    pr_options.num_threads = 4;
+    fp_options.sharded = view.get();
+    fp_options.num_threads = 4;
+    EXPECT_EQ(pr_base.scores, ComputePageRank(*g, pr_options).value().scores)
+        << "shards=" << shards;
+    EXPECT_EQ(fp_base.scores,
+              ComputeForwardPushPpr(*g, 0, fp_options).value().scores)
+        << "shards=" << shards;
+  }
+}
+
+TEST(ShardingGridTest, MoreShardsThanNodesStillExact) {
+  // Empty shards are legal; a tiny graph under an oversized partition
+  // must run (and match) rather than degenerate.
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  const auto g = std::make_shared<const Graph>(builder.Build().value());
+  const ShardedGraphPtr view = MakeView(g, 8);
+  PageRankOptions options;
+  options.sharded = view.get();
+  options.num_threads = 2;
+  const PageRankScores base = ComputePageRank(*g).value();
+  EXPECT_EQ(base.scores, ComputePageRank(*g, options).value().scores);
+  EXPECT_EQ(BfsDistances(*g, 0, Direction::kForward).value(),
+            BfsDistances(*g, 0, Direction::kForward, kUnreachable, 2,
+                         view.get())
+                .value());
+}
+
+TEST(ShardingGridTest, ViewOfADifferentGraphIsRejected) {
+  // The kernels validate the view's parent against the graph they run on
+  // — a mismatched view (the graph-store rebind race, mis-plumbing) is an
+  // InvalidArgument, never silent wrong reads.
+  const GraphPtr g = MakeBaGraph(100, 5);
+  const GraphPtr other = MakeBaGraph(100, 6);
+  const ShardedGraphPtr view = MakeView(other, 2);
+  PageRankOptions pr_options;
+  pr_options.sharded = view.get();
+  EXPECT_EQ(ComputePageRank(*g, pr_options).status().code(),
+            StatusCode::kInvalidArgument);
+  ForwardPushOptions fp_options;
+  fp_options.sharded = view.get();
+  EXPECT_EQ(ComputeForwardPushPpr(*g, 0, fp_options).status().code(),
+            StatusCode::kInvalidArgument);
+  CycleRankOptions cr_options;
+  cr_options.sharded = view.get();
+  EXPECT_EQ(ComputeCycleRank(*g, 0, cr_options).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BfsDistances(*g, 0, Direction::kForward, kUnreachable, 1,
+                         view.get())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cyclerank

@@ -1,0 +1,215 @@
+#include "graph/sharded_graph.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datasets/generators.h"
+#include "graph/graph_builder.h"
+
+namespace cyclerank {
+namespace {
+
+/// Two triangles bridged by two cut edges:
+///   shard {0,1,2}: 0→1→2→0, plus 0→3 and 2→5 leaving the range;
+///   shard {3,4,5}: 3→4→5→3, fully internal.
+GraphPtr BridgedTriangles() {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(0, 3);
+  builder.AddEdge(2, 5);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  builder.AddEdge(5, 3);
+  return builder.BuildShared().value();
+}
+
+GraphPtr SkewedBaGraph(NodeId n) {
+  BarabasiAlbertConfig config;
+  config.num_nodes = n;
+  config.edges_per_node = 4;
+  config.reciprocity = 0.3;
+  config.seed = 11;
+  return std::make_shared<const Graph>(GenerateBarabasiAlbert(config).value());
+}
+
+TEST(ContiguousRangePartitionerTest, EqualRangesEvenWhenNotDividing) {
+  const GraphPtr g = BridgedTriangles();  // 6 nodes
+  const ContiguousRangePartitioner partitioner;
+  EXPECT_EQ(partitioner.Partition(*g, 2).value(),
+            (std::vector<NodeId>{0, 3, 6}));
+  // 4 does not divide 6: ranges of 1 or 2 nodes, still spanning [0, 6].
+  EXPECT_EQ(partitioner.Partition(*g, 4).value(),
+            (std::vector<NodeId>{0, 1, 3, 4, 6}));
+  // More shards than nodes: the tail ranges are empty, which is legal.
+  const std::vector<NodeId> bounds = partitioner.Partition(*g, 8).value();
+  ASSERT_EQ(bounds.size(), 9u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 6u);
+  EXPECT_FALSE(partitioner.Partition(*g, 0).ok());
+}
+
+TEST(DegreeBalancedPartitionerTest, CutsMoveTowardTheHeavyNodes) {
+  // A hub star: node 0 carries almost all edge weight, so the first cut
+  // must land far left of the contiguous midpoint.
+  GraphBuilder builder;
+  const NodeId kLeaves = 40;
+  for (NodeId v = 1; v <= kLeaves; ++v) builder.AddEdge(0, v);
+  const GraphPtr g = builder.BuildShared().value();
+  const DegreeBalancedPartitioner partitioner;
+  const std::vector<NodeId> bounds = partitioner.Partition(*g, 2).value();
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), kLeaves + 1);
+  EXPECT_LT(bounds[1], (kLeaves + 1) / 2);
+  EXPECT_GE(bounds[1], 1u);  // the hub alone already fills most of a share
+  // Deterministic: a second call returns the same cuts.
+  EXPECT_EQ(partitioner.Partition(*g, 2).value(), bounds);
+}
+
+TEST(ShardedGraphTest, RowsAreElementEqualToTheParent) {
+  const GraphPtr g = SkewedBaGraph(200);
+  for (uint32_t shards : {1u, 3u, 7u}) {
+    const ShardedGraph view =
+        ShardedGraph::Build(g, shards, ContiguousRangePartitioner()).value();
+    ASSERT_EQ(view.num_shards(), shards);
+    for (NodeId u = 0; u < g->num_nodes(); ++u) {
+      const uint32_t s = view.ShardOf(u);
+      ASSERT_GE(u, view.bounds()[s]);
+      ASSERT_LT(u, view.bounds()[s + 1]);
+      const auto out = view.OutNeighbors(s, u);
+      const auto parent_out = g->OutNeighbors(u);
+      ASSERT_TRUE(std::equal(out.begin(), out.end(), parent_out.begin(),
+                             parent_out.end()))
+          << "out row of node " << u << " at shards=" << shards;
+      const auto in = view.InNeighbors(s, u);
+      const auto parent_in = g->InNeighbors(u);
+      ASSERT_TRUE(std::equal(in.begin(), in.end(), parent_in.begin(),
+                             parent_in.end()))
+          << "in row of node " << u << " at shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardedGraphTest, BoundaryAndHaloIndexOnAKnownGraph) {
+  const GraphPtr g = BridgedTriangles();
+  const ShardedGraph view =
+      ShardedGraph::Build(g, 2, ContiguousRangePartitioner()).value();
+  // Shard 0 = {0,1,2}: two out-edges leave it (0→3, 2→5), none enter it.
+  EXPECT_EQ(view.BoundaryOutEdges(0), 2u);
+  EXPECT_EQ(view.BoundaryInEdges(0), 0u);
+  EXPECT_EQ(std::vector<NodeId>(view.Halo(0).begin(), view.Halo(0).end()),
+            (std::vector<NodeId>{3, 5}));
+  // Shard 1 = {3,4,5}: internal triangle, but the two bridge edges land
+  // here.
+  EXPECT_EQ(view.BoundaryOutEdges(1), 0u);
+  EXPECT_EQ(view.BoundaryInEdges(1), 2u);
+  EXPECT_TRUE(view.Halo(1).empty());
+  // Edge-cut size counts each cut edge once, at its source shard.
+  EXPECT_EQ(view.TotalBoundaryEdges(), 2u);
+  // A single shard has no boundary at all.
+  const ShardedGraph whole =
+      ShardedGraph::Build(g, 1, ContiguousRangePartitioner()).value();
+  EXPECT_EQ(whole.TotalBoundaryEdges(), 0u);
+  EXPECT_EQ(whole.BoundaryInEdges(0), 0u);
+  EXPECT_TRUE(whole.Halo(0).empty());
+}
+
+TEST(ShardedGraphTest, HaloIsSortedAndDeduplicated) {
+  // Both 0 and 1 point at the external nodes 3 and 2 (2 twice): the halo
+  // must list each external target once, ascending.
+  GraphBuilder builder;
+  builder.AddEdge(0, 3);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(1, 3);
+  builder.AddEdge(2, 3);
+  const GraphPtr g = builder.BuildShared().value();
+  const ShardedGraph view =
+      ShardedGraph::Build(g, 2, ContiguousRangePartitioner()).value();
+  ASSERT_EQ(view.bounds()[1], 2u);  // shard 0 = {0, 1}
+  EXPECT_EQ(std::vector<NodeId>(view.Halo(0).begin(), view.Halo(0).end()),
+            (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(view.BoundaryOutEdges(0), 4u);
+}
+
+TEST(ShardedGraphTest, MemoryBytesIsDeterministic) {
+  const GraphPtr g = SkewedBaGraph(300);
+  const ShardedGraph a =
+      ShardedGraph::Build(g, 4, ContiguousRangePartitioner()).value();
+  const ShardedGraph b =
+      ShardedGraph::Build(g, 4, ContiguousRangePartitioner()).value();
+  EXPECT_GT(a.MemoryBytes(), sizeof(ShardedGraph));
+  EXPECT_EQ(a.MemoryBytes(), b.MemoryBytes());
+  // More shards → more offset arrays, never fewer bytes.
+  const ShardedGraph more =
+      ShardedGraph::Build(g, 8, ContiguousRangePartitioner()).value();
+  EXPECT_GE(more.MemoryBytes(), a.MemoryBytes());
+}
+
+TEST(ShardedGraphTest, ViewPinsItsParent) {
+  GraphPtr g = BridgedTriangles();
+  const Graph* raw = g.get();
+  auto view = std::make_shared<const ShardedGraph>(
+      ShardedGraph::Build(g, 2, ContiguousRangePartitioner()).value());
+  EXPECT_EQ(view->parent().get(), raw);
+  // Dropping the caller's handle leaves the parent alive through the pin:
+  // the row copies' global ids keep resolving against it.
+  g.reset();
+  EXPECT_EQ(view->parent()->num_nodes(), 6u);
+  EXPECT_EQ(view->OutNeighbors(view->ShardOf(0), 0).size(), 2u);
+}
+
+TEST(ShardedGraphTest, PartitionerNameIsRecorded) {
+  const GraphPtr g = BridgedTriangles();
+  EXPECT_EQ(ShardedGraph::Build(g, 2, ContiguousRangePartitioner())
+                .value()
+                .partitioner_name(),
+            "contiguous_range");
+  EXPECT_EQ(ShardedGraph::Build(g, 2, DegreeBalancedPartitioner())
+                .value()
+                .partitioner_name(),
+            "degree_balanced");
+}
+
+/// A policy violating the bounds contract, for the validation test.
+class BrokenPartitioner final : public GraphPartitioner {
+ public:
+  explicit BrokenPartitioner(std::vector<NodeId> bounds)
+      : bounds_(std::move(bounds)) {}
+  std::string_view name() const override { return "broken"; }
+  Result<std::vector<NodeId>> Partition(const Graph&,
+                                        uint32_t) const override {
+    return bounds_;
+  }
+
+ private:
+  std::vector<NodeId> bounds_;
+};
+
+TEST(ShardedGraphTest, BuildRejectsBadInputAndMalformedBounds) {
+  const GraphPtr g = BridgedTriangles();  // 6 nodes
+  const ContiguousRangePartitioner ok;
+  EXPECT_EQ(ShardedGraph::Build(nullptr, 2, ok).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ShardedGraph::Build(g, 0, ok).status().code(),
+            StatusCode::kInvalidArgument);
+  // A malformed partition fails loudly, naming the policy.
+  for (const auto& bounds :
+       {std::vector<NodeId>{0, 6},        // wrong size for 2 shards
+        std::vector<NodeId>{0, 3, 5},     // does not span [0, 6]
+        std::vector<NodeId>{1, 3, 6},     // does not start at 0
+        std::vector<NodeId>{0, 7, 6}}) {  // not ascending
+    const auto result = ShardedGraph::Build(g, 2, BrokenPartitioner(bounds));
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(result.status().message().find("broken"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cyclerank
