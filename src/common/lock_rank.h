@@ -44,8 +44,18 @@ inline constexpr int kUnranked = 0;
 
 // ---- Platform hierarchy (see the header comment) -------------------------
 
+/// `NetServer` lifecycle state (src/net/server.cc) — Start/Shutdown
+/// bookkeeping. Ranked above even the gateway: the server calls the whole
+/// gateway surface on behalf of remote clients. (The server's cross-thread
+/// mailbox mutex is deliberately *unranked*: terminal-state listeners may
+/// fire from under `Scheduler::mu_`, so the mailbox must be free to nest
+/// under any rank; its critical sections only append to a vector and write
+/// one pipe byte.)
+inline constexpr int kNetServerMu = 50;
+
 /// `ApiGateway::mu_` — comparison bookkeeping; wraps nothing today, ranked
-/// outermost because the gateway is the topmost layer.
+/// outermost of the in-process platform because the gateway is the topmost
+/// layer (only the network server sits above it).
 inline constexpr int kGatewayMu = 100;
 
 /// `Scheduler::mu_` — dispatch/single-flight state. Holds while probing

@@ -1,0 +1,320 @@
+#include "net/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace cyclerank {
+namespace net {
+
+namespace {
+
+Status NotConnected() {
+  return Status::FailedPrecondition("net: client is not connected");
+}
+
+/// Converts a gateway-style seconds timeout to poll() milliseconds:
+/// 0 = indefinite (-1), sub-millisecond positives round up so they still
+/// bound the wait.
+Result<int> TimeoutToMs(double timeout_seconds) {
+  if (timeout_seconds < 0.0) {
+    return Status::InvalidArgument("net: negative timeout");
+  }
+  if (timeout_seconds == 0.0) return -1;
+  const double ms = std::ceil(timeout_seconds * 1000.0);
+  if (ms > 2147483000.0) return 2147483000;
+  return static_cast<int>(ms);
+}
+
+}  // namespace
+
+Status NetClient::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) {
+    return Status::FailedPrecondition("net: client already connected");
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* addrs = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &addrs);
+  if (rc != 0) {
+    return Status::Unavailable("net: cannot resolve " + host + ": " +
+                               ::gai_strerror(rc));
+  }
+  int last_errno = 0;
+  for (const addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                            ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      fd_ = fd;
+      break;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(addrs);
+  if (fd_ < 0) {
+    return Status::Unavailable("net: cannot connect to " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(last_errno));
+  }
+  return Status::OK();
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  pending_events_.clear();
+}
+
+Status NetClient::SendAll(std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Unavailable(std::string("net: send failed: ") +
+                               std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status NetClient::FillBuffer(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready < 0) {
+      return Status::Unavailable(std::string("net: poll failed: ") +
+                                 std::strerror(errno));
+    }
+    if (ready == 0) {
+      return Status::DeadlineExceeded("net: timed out waiting for server");
+    }
+    break;
+  }
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      return Status::OK();
+    }
+    if (n == 0) {
+      return Status::Unavailable("net: server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable(std::string("net: read failed: ") +
+                               std::strerror(errno));
+  }
+}
+
+Result<Frame> NetClient::RoundTrip(uint64_t request_id, std::string request,
+                                   uint8_t expected_type) {
+  if (fd_ < 0) return NotConnected();
+  const Status sent = SendAll(request);
+  if (!sent.ok()) return sent;
+  Frame frame;
+  Status protocol_error;
+  for (;;) {
+    const FrameDecoder::Outcome outcome =
+        decoder_.Next(&frame, &protocol_error);
+    if (outcome == FrameDecoder::Outcome::kProtocolError) {
+      Close();  // the stream is unrecoverable past a framing violation
+      return protocol_error;
+    }
+    if (outcome == FrameDecoder::Outcome::kNeedMoreBytes) {
+      const Status filled = FillBuffer(/*timeout_ms=*/-1);
+      if (!filled.ok()) {
+        Close();
+        return filled;
+      }
+      continue;
+    }
+    if (frame.type == kEvent) {
+      // Unsolicited push racing our response: keep it for NextEvent().
+      auto event = DecodeEventMessage(frame.payload);
+      if (event.ok()) pending_events_.push_back(std::move(event).value());
+      continue;
+    }
+    if (frame.type == kError) {
+      auto error = DecodeErrorMessage(frame.payload);
+      if (!error.ok()) return error.status();
+      if (error->request_id != 0 && error->request_id != request_id) continue;
+      return error->status;
+    }
+    if (frame.type == expected_type &&
+        PeekRequestId(frame.payload) == request_id) {
+      return frame;
+    }
+    // A response to a request we never sent — the server is confused or
+    // the caller broke the one-outstanding-request rule.
+    return Status::Internal("net: unexpected frame type " +
+                            std::to_string(frame.type) + " from server");
+  }
+}
+
+Status NetClient::UploadDataset(const std::string& name,
+                                const std::string& content) {
+  const uint64_t id = next_request_id_++;
+  auto frame = RoundTrip(
+      id, EncodeUploadDatasetRequest({id, name, content}), kUploadDatasetResp);
+  if (!frame.ok()) return frame.status();
+  auto resp = DecodeAckResponse(frame->payload);
+  if (!resp.ok()) return resp.status();
+  return resp->status;
+}
+
+Result<std::string> NetClient::SubmitQuerySet(const QuerySet& query_set) {
+  const uint64_t id = next_request_id_++;
+  auto frame = RoundTrip(id, EncodeSubmitQuerySetRequest({id, query_set}),
+                         kSubmitQuerySetResp);
+  if (!frame.ok()) return frame.status();
+  auto resp = DecodeSubmitQuerySetResponse(frame->payload);
+  if (!resp.ok()) return resp.status();
+  if (!resp->status.ok()) return resp->status;
+  return std::move(resp->comparison_id);
+}
+
+Result<ComparisonStatus> NetClient::GetStatus(
+    const std::string& comparison_id) {
+  const uint64_t id = next_request_id_++;
+  auto frame = RoundTrip(
+      id, EncodeComparisonRequest(kGetStatusReq, {id, comparison_id}),
+      kGetStatusResp);
+  if (!frame.ok()) return frame.status();
+  auto resp = DecodeGetStatusResponse(frame->payload);
+  if (!resp.ok()) return resp.status();
+  if (!resp->status.ok()) return resp->status;
+  return std::move(resp->comparison);
+}
+
+Result<std::vector<TaskResult>> NetClient::GetResults(
+    const std::string& comparison_id) {
+  const uint64_t id = next_request_id_++;
+  auto frame = RoundTrip(
+      id, EncodeComparisonRequest(kGetResultsReq, {id, comparison_id}),
+      kGetResultsResp);
+  if (!frame.ok()) return frame.status();
+  auto resp = DecodeGetResultsResponse(frame->payload);
+  if (!resp.ok()) return resp.status();
+  if (!resp->status.ok()) return resp->status;
+  return std::move(resp->results);
+}
+
+Result<bool> NetClient::WaitForCompletion(const std::string& comparison_id,
+                                          double timeout_seconds) {
+  if (timeout_seconds < 0.0) {
+    // Same contract as ApiGateway::WaitForCompletion — reject before any
+    // bytes hit the wire.
+    return Status::InvalidArgument(
+        "net: negative timeout in WaitForCompletion");
+  }
+  const uint64_t timeout_ms = static_cast<uint64_t>(
+      std::ceil(timeout_seconds * 1000.0));
+  const uint64_t id = next_request_id_++;
+  auto frame = RoundTrip(
+      id, EncodeWaitRequest({id, comparison_id, timeout_ms}), kWaitResp);
+  if (!frame.ok()) return frame.status();
+  auto resp = DecodeWaitResponse(frame->payload);
+  if (!resp.ok()) return resp.status();
+  if (!resp->status.ok()) return resp->status;
+  return resp->done;
+}
+
+Status NetClient::Cancel(const std::string& comparison_id) {
+  const uint64_t id = next_request_id_++;
+  auto frame = RoundTrip(
+      id, EncodeComparisonRequest(kCancelReq, {id, comparison_id}),
+      kCancelResp);
+  if (!frame.ok()) return frame.status();
+  auto resp = DecodeAckResponse(frame->payload);
+  if (!resp.ok()) return resp.status();
+  return resp->status;
+}
+
+Status NetClient::Subscribe(const std::string& comparison_id) {
+  const uint64_t id = next_request_id_++;
+  auto frame = RoundTrip(
+      id, EncodeComparisonRequest(kSubscribeReq, {id, comparison_id}),
+      kSubscribeResp);
+  if (!frame.ok()) return frame.status();
+  auto resp = DecodeAckResponse(frame->payload);
+  if (!resp.ok()) return resp.status();
+  return resp->status;
+}
+
+Result<EventMessage> NetClient::NextEvent(double timeout_seconds) {
+  if (!pending_events_.empty()) {
+    EventMessage event = std::move(pending_events_.front());
+    pending_events_.pop_front();
+    return event;
+  }
+  if (fd_ < 0) return NotConnected();
+  CYCLERANK_ASSIGN_OR_RETURN(const int timeout_ms,
+                             TimeoutToMs(timeout_seconds));
+  Frame frame;
+  Status protocol_error;
+  for (;;) {
+    const FrameDecoder::Outcome outcome =
+        decoder_.Next(&frame, &protocol_error);
+    if (outcome == FrameDecoder::Outcome::kProtocolError) {
+      Close();
+      return protocol_error;
+    }
+    if (outcome == FrameDecoder::Outcome::kNeedMoreBytes) {
+      // Note: with a finite timeout this bounds each poll, not the total
+      // wait — good enough for "did anything arrive", the only use here.
+      const Status filled = FillBuffer(timeout_ms);
+      if (!filled.ok()) return filled;
+      continue;
+    }
+    if (frame.type == kEvent) {
+      auto event = DecodeEventMessage(frame.payload);
+      if (!event.ok()) return event.status();
+      return std::move(event).value();
+    }
+    if (frame.type == kError) {
+      auto error = DecodeErrorMessage(frame.payload);
+      return error.ok() ? error->status : error.status();
+    }
+    return Status::Internal("net: unexpected frame type " +
+                            std::to_string(frame.type) +
+                            " while waiting for an event");
+  }
+}
+
+Result<std::string> NetClient::Stats() {
+  const uint64_t id = next_request_id_++;
+  auto frame = RoundTrip(id, EncodeStatsRequest({id}), kStatsResp);
+  if (!frame.ok()) return frame.status();
+  auto resp = DecodeStatsResponse(frame->payload);
+  if (!resp.ok()) return resp.status();
+  if (!resp->status.ok()) return resp->status;
+  return std::move(resp->text);
+}
+
+}  // namespace net
+}  // namespace cyclerank

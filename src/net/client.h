@@ -1,0 +1,108 @@
+#ifndef CYCLERANK_NET_CLIENT_H_
+#define CYCLERANK_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "net/frame.h"
+#include "net/messages.h"
+#include "platform/gateway.h"
+#include "platform/task.h"
+
+namespace cyclerank {
+namespace net {
+
+/// Blocking CYRQ1 client — the remote twin of `ApiGateway`: every method
+/// mirrors a gateway call, with the same `Result`/`Status` shapes, so code
+/// written against the in-process gateway ports to `--connect` mode by
+/// swapping the object. One connection, one outstanding request at a time;
+/// NOT thread-safe (wrap in your own lock or open one client per thread —
+/// connections are cheap, the server multiplexes them on one loop).
+///
+/// Server-pushed EVENT frames arriving between calls are never lost: any
+/// round trip that encounters one queues it for the next `NextEvent()`.
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient() { Close(); }
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Movable so factories can hand out connected clients by value.
+  NetClient(NetClient&& other) noexcept
+      : fd_(other.fd_),
+        next_request_id_(other.next_request_id_),
+        decoder_(std::move(other.decoder_)),
+        pending_events_(std::move(other.pending_events_)) {
+    other.fd_ = -1;  // the moved-from client no longer owns the socket
+  }
+  NetClient& operator=(NetClient&&) = delete;
+
+  /// Resolves `host` (name or dotted quad) and connects. Fails with
+  /// `kUnavailable` when nothing listens there.
+  Status Connect(const std::string& host, uint16_t port);
+
+  /// Severs the connection; every later call fails `kFailedPrecondition`.
+  /// Idempotent.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  // ---- The gateway surface, over the wire ------------------------------
+
+  Status UploadDataset(const std::string& name, const std::string& content);
+  Result<std::string> SubmitQuerySet(const QuerySet& query_set);
+  Result<ComparisonStatus> GetStatus(const std::string& comparison_id);
+  Result<std::vector<TaskResult>> GetResults(const std::string& comparison_id);
+
+  /// Mirrors `ApiGateway::WaitForCompletion`: 0 waits indefinitely,
+  /// negative is rejected client-side. The wait is parked server-side
+  /// (WAIT frame); this thread blocks on the socket, the server blocks
+  /// nobody.
+  Result<bool> WaitForCompletion(const std::string& comparison_id,
+                                 double timeout_seconds = 0.0);
+
+  Status Cancel(const std::string& comparison_id);
+
+  /// Registers this connection for a terminal-state push when
+  /// `comparison_id` completes; collect it with `NextEvent()`. A
+  /// comparison that is already done is pushed immediately.
+  Status Subscribe(const std::string& comparison_id);
+
+  /// Blocks until a pushed EVENT arrives (or `timeout_seconds`; 0 waits
+  /// indefinitely). `kDeadlineExceeded` on timeout.
+  Result<EventMessage> NextEvent(double timeout_seconds = 0.0);
+
+  /// Server counters as sorted `key=value` lines.
+  Result<std::string> Stats();
+
+ private:
+  /// Sends `request` and reads until the `expected_type` response with our
+  /// request id arrives. EVENTs encountered on the way are queued; an
+  /// ERROR frame becomes the returned status.
+  Result<Frame> RoundTrip(uint64_t request_id, std::string request,
+                          uint8_t expected_type);
+
+  Status SendAll(std::string_view bytes);
+  /// Reads more bytes into `decoder_`; `timeout_ms < 0` blocks forever.
+  /// `kDeadlineExceeded` on poll timeout, `kUnavailable` on EOF.
+  Status FillBuffer(int timeout_ms);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  /// max_frame_bytes=0: the client trusts its server (which bounds its own
+  /// side with `PlatformOptions::max_frame_bytes`).
+  FrameDecoder decoder_{0};
+  std::deque<EventMessage> pending_events_;
+};
+
+}  // namespace net
+}  // namespace cyclerank
+
+#endif  // CYCLERANK_NET_CLIENT_H_

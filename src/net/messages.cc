@@ -1,0 +1,392 @@
+#include "net/messages.h"
+
+#include <utility>
+
+#include "common/binary_io.h"
+#include "platform/params.h"
+#include "platform/result_io.h"
+
+namespace cyclerank {
+namespace net {
+
+namespace {
+
+Status Malformed(const char* message, const char* field) {
+  return Status::ParseError(std::string("net: malformed ") + message +
+                            " payload (" + field + ")");
+}
+
+void AppendStatus(std::string* out, const Status& status) {
+  out->push_back(static_cast<char>(status.code()));
+  binio::AppendString(out, status.message());
+}
+
+bool ReadStatus(binio::Reader* reader, Status* out) {
+  uint8_t code = 0;
+  std::string message;
+  if (!reader->ReadByte(&code) || !reader->ReadString(&message)) return false;
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) return false;
+  *out = Status(static_cast<StatusCode>(code), std::move(message));
+  return true;
+}
+
+void AppendTaskSpec(std::string* out, const TaskSpec& spec) {
+  binio::AppendString(out, spec.dataset);
+  binio::AppendString(out, spec.algorithm);
+  // Params travel in ParamMap's canonical sorted "k=v, k=v" text — the
+  // exact form task fingerprints hash, so wire and in-process submissions
+  // of the same spec coalesce in the scheduler's single-flight map.
+  binio::AppendString(out, spec.params.ToString());
+}
+
+bool ReadTaskSpec(binio::Reader* reader, TaskSpec* out) {
+  std::string params_text;
+  if (!reader->ReadString(&out->dataset) ||
+      !reader->ReadString(&out->algorithm) ||
+      !reader->ReadString(&params_text)) {
+    return false;
+  }
+  Result<ParamMap> params = ParamMap::Parse(params_text);
+  if (!params.ok()) return false;
+  out->params = std::move(params).value();
+  return true;
+}
+
+void AppendComparisonStatus(std::string* out, const ComparisonStatus& status) {
+  binio::AppendString(out, status.comparison_id);
+  binio::AppendVarint(out, status.task_ids.size());
+  for (size_t i = 0; i < status.task_ids.size(); ++i) {
+    binio::AppendString(out, status.task_ids[i]);
+    out->push_back(static_cast<char>(status.states[i]));
+  }
+  binio::AppendU64(out, status.completed);
+  binio::AppendU64(out, status.failed);
+  binio::AppendU64(out, status.cancelled);
+  out->push_back(status.done ? 1 : 0);
+}
+
+bool ReadComparisonStatus(binio::Reader* reader, ComparisonStatus* out) {
+  uint64_t count = 0;
+  if (!reader->ReadString(&out->comparison_id) || !reader->ReadVarint(&count))
+    return false;
+  // Each entry is at least 9 bytes (length prefix + state byte), so this
+  // bound rejects an absurd declared count before any reserve.
+  if (count > reader->remaining()) return false;
+  out->task_ids.clear();
+  out->states.clear();
+  out->task_ids.reserve(count);
+  out->states.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string task_id;
+    uint8_t state = 0;
+    if (!reader->ReadString(&task_id) || !reader->ReadByte(&state))
+      return false;
+    if (state > static_cast<uint8_t>(TaskState::kCancelled)) return false;
+    out->task_ids.push_back(std::move(task_id));
+    out->states.push_back(static_cast<TaskState>(state));
+  }
+  uint64_t completed = 0, failed = 0, cancelled = 0;
+  uint8_t done = 0;
+  if (!reader->ReadU64(&completed) || !reader->ReadU64(&failed) ||
+      !reader->ReadU64(&cancelled) || !reader->ReadByte(&done)) {
+    return false;
+  }
+  if (done > 1) return false;
+  out->completed = static_cast<size_t>(completed);
+  out->failed = static_cast<size_t>(failed);
+  out->cancelled = static_cast<size_t>(cancelled);
+  out->done = done == 1;
+  return true;
+}
+
+}  // namespace
+
+uint64_t PeekRequestId(std::string_view payload) {
+  binio::Reader reader(payload);
+  uint64_t request_id = 0;
+  if (!reader.ReadU64(&request_id)) return 0;
+  return request_id;
+}
+
+// ---- Requests ------------------------------------------------------------
+
+std::string EncodeUploadDatasetRequest(const UploadDatasetRequest& msg) {
+  std::string payload;
+  payload.reserve(32 + msg.name.size() + msg.content.size());
+  binio::AppendU64(&payload, msg.request_id);
+  binio::AppendString(&payload, msg.name);
+  binio::AppendString(&payload, msg.content);
+  return EncodeFrame(kUploadDatasetReq, payload);
+}
+
+Result<UploadDatasetRequest> DecodeUploadDatasetRequest(
+    std::string_view payload) {
+  binio::Reader reader(payload);
+  UploadDatasetRequest msg;
+  if (!reader.ReadU64(&msg.request_id) || !reader.ReadString(&msg.name) ||
+      !reader.ReadString(&msg.content) || !reader.AtEnd()) {
+    return Malformed("UPLOAD_DATASET request", "truncated or trailing bytes");
+  }
+  return msg;
+}
+
+std::string EncodeSubmitQuerySetRequest(const SubmitQuerySetRequest& msg) {
+  std::string payload;
+  binio::AppendU64(&payload, msg.request_id);
+  binio::AppendVarint(&payload, msg.query_set.tasks.size());
+  for (const TaskSpec& spec : msg.query_set.tasks) {
+    AppendTaskSpec(&payload, spec);
+  }
+  return EncodeFrame(kSubmitQuerySetReq, payload);
+}
+
+Result<SubmitQuerySetRequest> DecodeSubmitQuerySetRequest(
+    std::string_view payload) {
+  binio::Reader reader(payload);
+  SubmitQuerySetRequest msg;
+  uint64_t count = 0;
+  if (!reader.ReadU64(&msg.request_id) || !reader.ReadVarint(&count)) {
+    return Malformed("SUBMIT_QUERY_SET request", "truncated header");
+  }
+  if (count > reader.remaining()) {
+    return Malformed("SUBMIT_QUERY_SET request", "task count exceeds payload");
+  }
+  msg.query_set.tasks.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    TaskSpec spec;
+    if (!ReadTaskSpec(&reader, &spec)) {
+      return Malformed("SUBMIT_QUERY_SET request", "bad task spec");
+    }
+    msg.query_set.tasks.push_back(std::move(spec));
+  }
+  if (!reader.AtEnd()) {
+    return Malformed("SUBMIT_QUERY_SET request", "trailing bytes");
+  }
+  return msg;
+}
+
+std::string EncodeComparisonRequest(uint8_t type,
+                                    const ComparisonRequest& msg) {
+  std::string payload;
+  payload.reserve(16 + msg.comparison_id.size());
+  binio::AppendU64(&payload, msg.request_id);
+  binio::AppendString(&payload, msg.comparison_id);
+  return EncodeFrame(type, payload);
+}
+
+Result<ComparisonRequest> DecodeComparisonRequest(std::string_view payload) {
+  binio::Reader reader(payload);
+  ComparisonRequest msg;
+  if (!reader.ReadU64(&msg.request_id) ||
+      !reader.ReadString(&msg.comparison_id) || !reader.AtEnd()) {
+    return Malformed("comparison request", "truncated or trailing bytes");
+  }
+  return msg;
+}
+
+std::string EncodeWaitRequest(const WaitRequest& msg) {
+  std::string payload;
+  binio::AppendU64(&payload, msg.request_id);
+  binio::AppendString(&payload, msg.comparison_id);
+  binio::AppendU64(&payload, msg.timeout_ms);
+  return EncodeFrame(kWaitReq, payload);
+}
+
+Result<WaitRequest> DecodeWaitRequest(std::string_view payload) {
+  binio::Reader reader(payload);
+  WaitRequest msg;
+  if (!reader.ReadU64(&msg.request_id) ||
+      !reader.ReadString(&msg.comparison_id) ||
+      !reader.ReadU64(&msg.timeout_ms) || !reader.AtEnd()) {
+    return Malformed("WAIT_FOR_COMPLETION request",
+                     "truncated or trailing bytes");
+  }
+  return msg;
+}
+
+std::string EncodeStatsRequest(const StatsRequest& msg) {
+  std::string payload;
+  binio::AppendU64(&payload, msg.request_id);
+  return EncodeFrame(kStatsReq, payload);
+}
+
+Result<StatsRequest> DecodeStatsRequest(std::string_view payload) {
+  binio::Reader reader(payload);
+  StatsRequest msg;
+  if (!reader.ReadU64(&msg.request_id) || !reader.AtEnd()) {
+    return Malformed("STATS request", "truncated or trailing bytes");
+  }
+  return msg;
+}
+
+// ---- Responses -----------------------------------------------------------
+
+std::string EncodeAckResponse(uint8_t type, const AckResponse& msg) {
+  std::string payload;
+  binio::AppendU64(&payload, msg.request_id);
+  AppendStatus(&payload, msg.status);
+  return EncodeFrame(type, payload);
+}
+
+Result<AckResponse> DecodeAckResponse(std::string_view payload) {
+  binio::Reader reader(payload);
+  AckResponse msg;
+  if (!reader.ReadU64(&msg.request_id) || !ReadStatus(&reader, &msg.status) ||
+      !reader.AtEnd()) {
+    return Malformed("ack response", "truncated or trailing bytes");
+  }
+  return msg;
+}
+
+std::string EncodeSubmitQuerySetResponse(const SubmitQuerySetResponse& msg) {
+  std::string payload;
+  binio::AppendU64(&payload, msg.request_id);
+  AppendStatus(&payload, msg.status);
+  binio::AppendString(&payload, msg.comparison_id);
+  return EncodeFrame(kSubmitQuerySetResp, payload);
+}
+
+Result<SubmitQuerySetResponse> DecodeSubmitQuerySetResponse(
+    std::string_view payload) {
+  binio::Reader reader(payload);
+  SubmitQuerySetResponse msg;
+  if (!reader.ReadU64(&msg.request_id) || !ReadStatus(&reader, &msg.status) ||
+      !reader.ReadString(&msg.comparison_id) || !reader.AtEnd()) {
+    return Malformed("SUBMIT_QUERY_SET response",
+                     "truncated or trailing bytes");
+  }
+  return msg;
+}
+
+std::string EncodeGetStatusResponse(const GetStatusResponse& msg) {
+  std::string payload;
+  binio::AppendU64(&payload, msg.request_id);
+  AppendStatus(&payload, msg.status);
+  AppendComparisonStatus(&payload, msg.comparison);
+  return EncodeFrame(kGetStatusResp, payload);
+}
+
+Result<GetStatusResponse> DecodeGetStatusResponse(std::string_view payload) {
+  binio::Reader reader(payload);
+  GetStatusResponse msg;
+  if (!reader.ReadU64(&msg.request_id) || !ReadStatus(&reader, &msg.status) ||
+      !ReadComparisonStatus(&reader, &msg.comparison) || !reader.AtEnd()) {
+    return Malformed("GET_STATUS response", "truncated or trailing bytes");
+  }
+  return msg;
+}
+
+std::string EncodeGetResultsResponse(const GetResultsResponse& msg) {
+  std::string payload;
+  binio::AppendU64(&payload, msg.request_id);
+  AppendStatus(&payload, msg.status);
+  binio::AppendVarint(&payload, msg.results.size());
+  for (const TaskResult& result : msg.results) {
+    // The lossless result_io codec, nested as one length-prefixed blob per
+    // result: wire results decode bit-identical to in-process ones.
+    binio::AppendString(&payload, SerializeTaskResult(result));
+  }
+  return EncodeFrame(kGetResultsResp, payload);
+}
+
+Result<GetResultsResponse> DecodeGetResultsResponse(
+    std::string_view payload) {
+  binio::Reader reader(payload);
+  GetResultsResponse msg;
+  uint64_t count = 0;
+  if (!reader.ReadU64(&msg.request_id) || !ReadStatus(&reader, &msg.status) ||
+      !reader.ReadVarint(&count)) {
+    return Malformed("GET_RESULTS response", "truncated header");
+  }
+  if (count > reader.remaining()) {
+    return Malformed("GET_RESULTS response", "result count exceeds payload");
+  }
+  msg.results.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string blob;
+    if (!reader.ReadString(&blob)) {
+      return Malformed("GET_RESULTS response", "truncated result blob");
+    }
+    Result<TaskResult> result = DeserializeTaskResult(blob);
+    if (!result.ok()) return result.status();
+    msg.results.push_back(std::move(result).value());
+  }
+  if (!reader.AtEnd()) {
+    return Malformed("GET_RESULTS response", "trailing bytes");
+  }
+  return msg;
+}
+
+std::string EncodeWaitResponse(const WaitResponse& msg) {
+  std::string payload;
+  binio::AppendU64(&payload, msg.request_id);
+  AppendStatus(&payload, msg.status);
+  payload.push_back(msg.done ? 1 : 0);
+  return EncodeFrame(kWaitResp, payload);
+}
+
+Result<WaitResponse> DecodeWaitResponse(std::string_view payload) {
+  binio::Reader reader(payload);
+  WaitResponse msg;
+  uint8_t done = 0;
+  if (!reader.ReadU64(&msg.request_id) || !ReadStatus(&reader, &msg.status) ||
+      !reader.ReadByte(&done) || done > 1 || !reader.AtEnd()) {
+    return Malformed("WAIT_FOR_COMPLETION response",
+                     "truncated or trailing bytes");
+  }
+  msg.done = done == 1;
+  return msg;
+}
+
+std::string EncodeStatsResponse(const StatsResponse& msg) {
+  std::string payload;
+  binio::AppendU64(&payload, msg.request_id);
+  AppendStatus(&payload, msg.status);
+  binio::AppendString(&payload, msg.text);
+  return EncodeFrame(kStatsResp, payload);
+}
+
+Result<StatsResponse> DecodeStatsResponse(std::string_view payload) {
+  binio::Reader reader(payload);
+  StatsResponse msg;
+  if (!reader.ReadU64(&msg.request_id) || !ReadStatus(&reader, &msg.status) ||
+      !reader.ReadString(&msg.text) || !reader.AtEnd()) {
+    return Malformed("STATS response", "truncated or trailing bytes");
+  }
+  return msg;
+}
+
+std::string EncodeEventMessage(const EventMessage& msg) {
+  std::string payload;
+  AppendComparisonStatus(&payload, msg.comparison);
+  return EncodeFrame(kEvent, payload);
+}
+
+Result<EventMessage> DecodeEventMessage(std::string_view payload) {
+  binio::Reader reader(payload);
+  EventMessage msg;
+  if (!ReadComparisonStatus(&reader, &msg.comparison) || !reader.AtEnd()) {
+    return Malformed("EVENT", "truncated or trailing bytes");
+  }
+  return msg;
+}
+
+std::string EncodeErrorMessage(const ErrorMessage& msg) {
+  std::string payload;
+  binio::AppendU64(&payload, msg.request_id);
+  AppendStatus(&payload, msg.status);
+  return EncodeFrame(kError, payload);
+}
+
+Result<ErrorMessage> DecodeErrorMessage(std::string_view payload) {
+  binio::Reader reader(payload);
+  ErrorMessage msg;
+  if (!reader.ReadU64(&msg.request_id) || !ReadStatus(&reader, &msg.status) ||
+      !reader.AtEnd()) {
+    return Malformed("ERROR", "truncated or trailing bytes");
+  }
+  return msg;
+}
+
+}  // namespace net
+}  // namespace cyclerank

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/lock_rank.h"
@@ -106,6 +107,27 @@ class ApiGateway {
 
   /// The datastore's completed-result cache this gateway serves hits from.
   ResultCache& result_cache() { return datastore_->result_cache(); }
+
+  /// The backing datastore — the network layer serves `UploadDataset` and
+  /// monitoring stats through it on behalf of remote clients.
+  Datastore* datastore() { return datastore_; }
+
+  /// Registers a callback fired whenever any task tracked by this gateway
+  /// enters a terminal state — the push primitive behind the network
+  /// layer's SUBSCRIBE frames and event-driven WaitForCompletion. Thin
+  /// forwarder to the StatusService; see
+  /// `StatusService::AddTerminalListener` for the restrictive locking
+  /// contract (the callback may run under scheduler locks — it must only
+  /// enqueue a notification, never call back into the gateway).
+  uint64_t AddTerminalListener(StatusService::TerminalListener listener) {
+    return status_.AddTerminalListener(std::move(listener));
+  }
+
+  /// Unregisters a terminal-state listener (see StatusService for the
+  /// in-flight-invocation caveat).
+  void RemoveTerminalListener(uint64_t token) {
+    status_.RemoveTerminalListener(token);
+  }
 
  private:
   struct Comparison {

@@ -142,6 +142,22 @@ Result<PlatformOptions> PlatformOptions::FromString(std::string_view text) {
     } else if (key == "spill_breaker_probe_ms") {
       CYCLERANK_ASSIGN_OR_RETURN(options.spill_breaker_probe_ms,
                                  ParseUint64(key, value));
+    } else if (key == "listen_port") {
+      CYCLERANK_ASSIGN_OR_RETURN(uint64_t port, ParseUint64(key, value));
+      if (port > 65535) {
+        return Status::OutOfRange(
+            "platform options: listen_port must be in [0, 65535], got " +
+            value);
+      }
+      options.listen_port = static_cast<uint16_t>(port);
+    } else if (key == "max_connections") {
+      CYCLERANK_ASSIGN_OR_RETURN(options.max_connections,
+                                 ParseCount(key, value));
+    } else if (key == "max_frame_bytes") {
+      CYCLERANK_ASSIGN_OR_RETURN(options.max_frame_bytes,
+                                 ParseByteSize(key, value));
+    } else if (key == "io_threads") {
+      CYCLERANK_ASSIGN_OR_RETURN(options.io_threads, ParseCount(key, value));
     } else if (key == "admission_queue_limit") {
       CYCLERANK_ASSIGN_OR_RETURN(options.admission_queue_limit,
                                  ParseCount(key, value));
@@ -172,6 +188,10 @@ std::string PlatformOptions::ToString() const {
   append("default_threads", default_threads);
   append("graph_spill_bytes", graph_spill_bytes);
   append("graph_store_bytes", graph_store_bytes);
+  append("io_threads", io_threads);
+  append("listen_port", listen_port);
+  append("max_connections", max_connections);
+  append("max_frame_bytes", max_frame_bytes);
   append("max_retained_results", max_retained_results);
   append("max_tasks_per_submission", max_tasks_per_submission);
   append("num_shards", num_shards);

@@ -136,6 +136,32 @@ struct PlatformOptions {
   /// it is excluded from task fingerprints. 0 = no deadline.
   uint64_t default_deadline_ms = 0;
 
+  /// TCP port the network server (`net::NetServer` / `cyclerankd`) binds.
+  /// 0 = pick an ephemeral port (tests; the bound port is reported by
+  /// `NetServer::port()`). The `cyclerankd` daemon substitutes its default
+  /// port 7433 when launched without an options string.
+  uint16_t listen_port = 0;
+
+  /// Bound on concurrently connected network clients. A connection past
+  /// the bound is answered with a `kUnavailable` ERROR frame and closed —
+  /// the same fast-fail overload stance as `admission_queue_limit`.
+  /// 0 = unbounded.
+  size_t max_connections = 64;
+
+  /// Upper bound on a single CYRQ1 frame's payload, enforced while
+  /// *decoding* the length prefix — an absurd declared length is rejected
+  /// before any allocation, so a hostile or corrupt peer cannot balloon
+  /// server memory. Oversized frames are a protocol error (the connection
+  /// is closed). 0 = unbounded (trusted peers only).
+  size_t max_frame_bytes = 64u << 20;  // 64 MiB
+
+  /// Worker threads the network server uses for slow request handlers
+  /// (dataset upload/parse, submission, result marshalling). The socket
+  /// event loop itself is always a single dedicated thread; these workers
+  /// keep a large upload from stalling every other connection. Fast
+  /// requests (status, cancel, subscribe) run inline on the loop.
+  size_t io_threads = 2;
+
   /// Options with only the scheduler knobs set — the common shape of the
   /// examples, CLI, bench drivers, and test harnesses.
   static PlatformOptions WithWorkers(size_t workers, uint64_t uuid_seed = 0) {
@@ -178,7 +204,11 @@ struct PlatformOptions {
            a.spill_retry_backoff_ms == b.spill_retry_backoff_ms &&
            a.spill_breaker_probe_ms == b.spill_breaker_probe_ms &&
            a.admission_queue_limit == b.admission_queue_limit &&
-           a.default_deadline_ms == b.default_deadline_ms;
+           a.default_deadline_ms == b.default_deadline_ms &&
+           a.listen_port == b.listen_port &&
+           a.max_connections == b.max_connections &&
+           a.max_frame_bytes == b.max_frame_bytes &&
+           a.io_threads == b.io_threads;
   }
 };
 

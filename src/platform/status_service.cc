@@ -1,6 +1,8 @@
 #include "platform/status_service.h"
 
 #include <chrono>
+#include <utility>
+#include <vector>
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -22,6 +24,12 @@ Status StatusService::Track(const std::string& task_id) {
 }
 
 Status StatusService::SetState(const std::string& task_id, TaskState state) {
+  // Snapshot the listeners under the same lock as the transition so a
+  // listener added before the terminal write always observes it, then
+  // invoke outside the lock (a listener poking a wakeup fd must not
+  // extend this critical section, and the waiters notified below may
+  // immediately re-enter GetState).
+  std::vector<TerminalListener> to_notify;
   {
     MutexLock lock(mu_);
     auto it = states_.find(task_id);
@@ -34,8 +42,18 @@ Status StatusService::SetState(const std::string& task_id, TaskState state) {
           std::string(TaskStateToString(it->second)) + ")");
     }
     it->second = state;
+    if (IsTerminal(state) && !listeners_.empty()) {
+      to_notify.reserve(listeners_.size());
+      for (const auto& [token, listener] : listeners_) {
+        (void)token;
+        to_notify.push_back(listener);
+      }
+    }
   }
   changed_.NotifyAll();
+  for (const TerminalListener& listener : to_notify) {
+    listener(task_id, state);
+  }
   return Status::OK();
 }
 
@@ -96,6 +114,18 @@ Result<bool> StatusService::WaitUntilTerminal(
 size_t StatusService::size() const {
   MutexLock lock(mu_);
   return states_.size();
+}
+
+uint64_t StatusService::AddTerminalListener(TerminalListener listener) {
+  MutexLock lock(mu_);
+  const uint64_t token = next_listener_token_++;
+  listeners_.emplace(token, std::move(listener));
+  return token;
+}
+
+void StatusService::RemoveTerminalListener(uint64_t token) {
+  MutexLock lock(mu_);
+  listeners_.erase(token);
 }
 
 }  // namespace cyclerank

@@ -1,6 +1,8 @@
 #ifndef CYCLERANK_PLATFORM_STATUS_SERVICE_H_
 #define CYCLERANK_PLATFORM_STATUS_SERVICE_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -53,10 +55,37 @@ class StatusService {
   /// Number of tracked tasks.
   size_t size() const CYR_EXCLUDES(mu_);
 
+  /// Callback fired when a tracked task *enters* a terminal state (the
+  /// push counterpart of `WaitUntilTerminal`'s poll). Invoked after the
+  /// state map is updated and `mu_` released, on whichever thread drove
+  /// the transition.
+  ///
+  /// Locking contract (restrictive by design): the executing thread may
+  /// already hold locks up to `kSchedulerMu` — on the pool-refused
+  /// shutdown path the scheduler runs the executor, and thus this
+  /// callback, under its own mutex. A listener must therefore never
+  /// block and never acquire a *ranked* lock; the sanctioned shape is
+  /// "append to an unranked mailbox, poke a wakeup fd, return"
+  /// (see `net::NetServer`). Calling back into the gateway or this
+  /// service from a listener deadlocks or aborts the rank checker.
+  using TerminalListener =
+      std::function<void(const std::string& task_id, TaskState state)>;
+
+  /// Registers `listener`; returns a token for `RemoveTerminalListener`.
+  uint64_t AddTerminalListener(TerminalListener listener) CYR_EXCLUDES(mu_);
+
+  /// Unregisters a listener. An invocation already in flight on another
+  /// thread may still complete after this returns — listeners that
+  /// capture shared state must keep it alive independently (e.g. via
+  /// `shared_ptr`) rather than rely on removal as a barrier.
+  void RemoveTerminalListener(uint64_t token) CYR_EXCLUDES(mu_);
+
  private:
   mutable Mutex mu_{lock_rank::kStatusServiceMu, "StatusService::mu_"};
   mutable CondVar changed_;
   std::map<std::string, TaskState> states_ CYR_GUARDED_BY(mu_);
+  std::map<uint64_t, TerminalListener> listeners_ CYR_GUARDED_BY(mu_);
+  uint64_t next_listener_token_ CYR_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace cyclerank

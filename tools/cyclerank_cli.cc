@@ -15,12 +15,28 @@
 //   cyclerank-cli explain <dataset> <reference> <target> [k]
 //                                                 show the cycles behind a score
 //
+// With `--connect HOST:PORT` the same platform operations run against a
+// remote `cyclerankd` daemon over the CYRQ1 protocol (docs/PROTOCOL.md)
+// instead of an in-process gateway:
+//
+//   cyclerank-cli --connect H:P run <dataset> <algorithm> [params] [top_k]
+//   cyclerank-cli --connect H:P submit <dataset> <algorithm> [params]
+//   cyclerank-cli --connect H:P status|results|wait|cancel <comparison-id>
+//   cyclerank-cli --connect H:P watch <comparison-id>    subscribe, block
+//                                                        for the push
+//   cyclerank-cli --connect H:P upload <name> <file>
+//   cyclerank-cli --connect H:P stats                    server counters
+//
 // Examples:
 //   cyclerank-cli run enwiki-mini-2018 cyclerank "source=Pasta, k=3" 5
 //   cyclerank-cli compare amazon-books-mini "1984" 5
 //   cyclerank-cli convert graph.csv graph.net
+//   cyclerank-cli --connect localhost:7433 run enwiki-mini-2018
+//       cyclerank "source=Pasta, k=3" 5
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -30,6 +46,7 @@
 #include "eval/comparison.h"
 #include "graph/io.h"
 #include "graph/stats.h"
+#include "net/client.h"
 #include "platform/gateway.h"
 #include "platform/result_io.h"
 
@@ -240,9 +257,192 @@ int CmdExplain(const std::string& dataset, const std::string& reference,
   return 0;
 }
 
+// ---- Remote mode (--connect HOST:PORT) ------------------------------------
+//
+// The same platform surface, served by a cyclerankd daemon over CYRQ1.
+// Rankings print node ids rather than labels: the graph lives on the
+// server, and the wire results are bit-identical to what the in-process
+// gateway returns (tests/net/net_e2e_test.cc holds that line).
+
+int RemoteUsage() {
+  std::fputs(
+      "usage: cyclerank-cli --connect HOST:PORT <command> [args]\n"
+      "  run <dataset> <algorithm> [params] [top_k]\n"
+      "  submit <dataset> <algorithm> [params]\n"
+      "  status <comparison-id>\n"
+      "  results <comparison-id>\n"
+      "  wait <comparison-id> [timeout-seconds]\n"
+      "  cancel <comparison-id>\n"
+      "  watch <comparison-id>\n"
+      "  upload <name> <file>\n"
+      "  stats\n",
+      stderr);
+  return 2;
+}
+
+void PrintComparison(const ComparisonStatus& status) {
+  for (size_t i = 0;
+       i < status.task_ids.size() && i < status.states.size(); ++i) {
+    const std::string_view state = TaskStateToString(status.states[i]);
+    std::printf("%-44s %.*s\n", status.task_ids[i].c_str(),
+                static_cast<int>(state.size()), state.data());
+  }
+  std::printf("%zu completed, %zu failed, %zu cancelled -- %s\n",
+              status.completed, status.failed, status.cancelled,
+              status.done ? "done" : "in progress");
+}
+
+void PrintRemoteResults(const std::vector<TaskResult>& results) {
+  for (const TaskResult& result : results) {
+    std::printf("%s  [%s]\n", result.task_id.c_str(),
+                result.spec.ToString().c_str());
+    if (!result.status.ok()) {
+      std::printf("  failed: %s\n", result.status.ToString().c_str());
+      continue;
+    }
+    std::printf("  %zu ranked nodes in %.1f ms\n", result.ranking.size(),
+                result.seconds * 1000.0);
+    const size_t limit =
+        result.ranking.size() > 25 ? 25 : result.ranking.size();
+    for (size_t i = 0; i < limit; ++i) {
+      std::printf("  %3zu. node %u  %.6f\n", i + 1,
+                  result.ranking[i].node, result.ranking[i].score);
+    }
+    if (limit < result.ranking.size()) {
+      std::printf("  ... (%zu more)\n", result.ranking.size() - limit);
+    }
+  }
+}
+
+int CmdRemoteRun(net::NetClient& client, const std::string& dataset,
+                 const std::string& algorithm, const std::string& params,
+                 const std::string& top_k, bool wait_for_results) {
+  TaskBuilder builder;
+  std::string full_params = params;
+  if (!top_k.empty()) {
+    full_params += full_params.empty() ? "" : ", ";
+    full_params += "top_k=" + top_k;
+  }
+  const Status add_status = builder.Add(dataset, algorithm, full_params);
+  if (!add_status.ok()) return Fail(add_status);
+  auto id = client.SubmitQuerySet(builder.Build());
+  if (!id.ok()) return Fail(id.status());
+  std::printf("comparison id: %s\n", id->c_str());
+  if (!wait_for_results) return 0;
+  auto done = client.WaitForCompletion(*id, 600.0);
+  if (!done.ok()) return Fail(done.status());
+  auto results = client.GetResults(*id);
+  if (!results.ok()) return Fail(results.status());
+  PrintRemoteResults(*results);
+  return 0;
+}
+
+int CmdRemoteWatch(net::NetClient& client, const std::string& id) {
+  const Status subscribed = client.Subscribe(id);
+  if (!subscribed.ok()) return Fail(subscribed);
+  std::printf("subscribed to %s; waiting for the terminal-state push...\n",
+              id.c_str());
+  std::fflush(stdout);
+  auto event = client.NextEvent();
+  if (!event.ok()) return Fail(event.status());
+  PrintComparison(event->comparison);
+  return 0;
+}
+
+int CmdRemoteUpload(net::NetClient& client, const std::string& name,
+                    const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Fail(Status::IOError("cannot read '" + path + "'"));
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  const Status status = client.UploadDataset(name, content.str());
+  if (!status.ok()) return Fail(status);
+  std::printf("uploaded %s (%zu bytes)\n", name.c_str(),
+              content.str().size());
+  return 0;
+}
+
+int RemoteMain(int argc, char** argv) {
+  // argv: cli --connect HOST:PORT <command> [args]
+  if (argc < 4) return RemoteUsage();
+  const std::string endpoint = argv[2];
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0) return RemoteUsage();
+  auto port = ParseInt64(endpoint.substr(colon + 1));
+  if (!port.ok() || *port < 1 || *port > 65535) {
+    return Fail(Status::InvalidArgument("bad port in '" + endpoint + "'"));
+  }
+  net::NetClient client;
+  const Status connected = client.Connect(
+      endpoint.substr(0, colon), static_cast<uint16_t>(*port));
+  if (!connected.ok()) return Fail(connected);
+
+  const std::string command = argv[3];
+  auto arg = [&](int i) -> std::string { return argc > i ? argv[i] : ""; };
+  if (command == "run" || command == "submit") {
+    if (argc < 6) return RemoteUsage();
+    return CmdRemoteRun(client, arg(4), arg(5), arg(6), arg(7),
+                        /*wait_for_results=*/command == "run");
+  }
+  if (command == "status") {
+    if (argc < 5) return RemoteUsage();
+    auto status = client.GetStatus(arg(4));
+    if (!status.ok()) return Fail(status.status());
+    PrintComparison(*status);
+    return 0;
+  }
+  if (command == "results") {
+    if (argc < 5) return RemoteUsage();
+    auto results = client.GetResults(arg(4));
+    if (!results.ok()) return Fail(results.status());
+    PrintRemoteResults(*results);
+    return 0;
+  }
+  if (command == "wait") {
+    if (argc < 5) return RemoteUsage();
+    double timeout_seconds = 0.0;
+    if (argc > 5) {
+      auto parsed = ParseInt64(arg(5));
+      if (!parsed.ok() || *parsed < 0) {
+        return Fail(Status::InvalidArgument("bad timeout '" + arg(5) + "'"));
+      }
+      timeout_seconds = static_cast<double>(*parsed);
+    }
+    auto done = client.WaitForCompletion(arg(4), timeout_seconds);
+    if (!done.ok()) return Fail(done.status());
+    std::printf("%s\n", *done ? "done" : "timed out");
+    return *done ? 0 : 1;
+  }
+  if (command == "cancel") {
+    if (argc < 5) return RemoteUsage();
+    const Status status = client.Cancel(arg(4));
+    if (!status.ok()) return Fail(status);
+    std::printf("cancellation requested\n");
+    return 0;
+  }
+  if (command == "watch") {
+    if (argc < 5) return RemoteUsage();
+    return CmdRemoteWatch(client, arg(4));
+  }
+  if (command == "upload") {
+    if (argc < 6) return RemoteUsage();
+    return CmdRemoteUpload(client, arg(4), arg(5));
+  }
+  if (command == "stats") {
+    auto stats = client.Stats();
+    if (!stats.ok()) return Fail(stats.status());
+    std::fputs(stats->c_str(), stdout);
+    return 0;
+  }
+  return RemoteUsage();
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "--connect") return RemoteMain(argc, argv);
   auto arg = [&](int i) -> std::string {
     return argc > i ? argv[i] : "";
   };

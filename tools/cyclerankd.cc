@@ -1,0 +1,112 @@
+// cyclerankd — the CycleRank platform daemon: an ApiGateway behind the
+// CYRQ1 TCP server (src/net/), serving remote clients the same surface the
+// in-process gateway offers. The paper's Web UI would sit in front of
+// this; `cyclerank-cli --connect HOST:PORT ...` is the terminal client.
+//
+//   cyclerankd                                 listen on the default port 7433
+//   cyclerankd "<platform options>"            full key=value configuration,
+//                                              e.g. "listen_port=9000,
+//                                              num_workers=8, io_threads=4,
+//                                              max_frame_bytes=128mb"
+//
+// The options string is PlatformOptions::FromString text and configures
+// the whole stack — gateway, scheduler, stores, spill tier, and the
+// network front — in one place (see src/platform/README.md for the
+// exhaustive table). `listen_port=0` binds an ephemeral port (printed on
+// stdout), which is how the e2e tests run the daemon.
+//
+// SIGTERM/SIGINT begin a graceful drain: stop accepting, answer parked
+// waits with kUnavailable, finish in-flight requests, flush, exit.
+
+#include <csignal>
+#include <cstdio>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "net/server.h"
+#include "platform/gateway.h"
+#include "platform/platform_options.h"
+
+namespace cyclerank {
+namespace {
+
+/// Default CYRQ1 port when launched without an options string.
+constexpr uint16_t kDefaultPort = 7433;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int /*signum*/) { g_stop = 1; }
+
+int Usage() {
+  std::fputs(
+      "usage: cyclerankd [\"key=value, key=value, ...\"]\n"
+      "\n"
+      "Runs the CycleRank platform daemon (CYRQ1 protocol, default port "
+      "7433).\n"
+      "The optional argument is a PlatformOptions string; relevant keys:\n"
+      "  listen_port=7433        TCP port (0 = ephemeral, printed on "
+      "stdout)\n"
+      "  max_connections=64      concurrent connections (0 = unbounded)\n"
+      "  max_frame_bytes=64mb    largest accepted frame (0 = unbounded)\n"
+      "  io_threads=2            request-handler threads\n"
+      "  num_workers=4           task-executor threads\n"
+      "plus every other platform knob (see src/platform/README.md).\n",
+      stderr);
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  PlatformOptions options;
+  options.listen_port = kDefaultPort;
+  if (argc > 1) {
+    const std::string text = argv[1];
+    if (text == "--help" || text == "-h" || argc > 2) return Usage();
+    auto parsed = PlatformOptions::FromString(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    options = *parsed;
+  }
+
+  struct sigaction action {};
+  action.sa_handler = HandleStopSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  // Writes already use MSG_NOSIGNAL; this covers any straggler path.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Datastore store(&DatasetCatalog::BuiltIn(), options);
+  ApiGateway gateway(&store, &AlgorithmRegistry::Default(), options);
+  net::NetServer server(&gateway, options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("cyclerankd: listening on port %u (%zu workers, %zu io "
+              "threads)\n",
+              server.port(), gateway.num_workers(), options.io_threads);
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("cyclerankd: draining...\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  const net::NetServerStats stats = server.stats();
+  gateway.Shutdown();
+  (void)store.Flush();
+  std::printf("cyclerankd: served %llu frames on %llu connections, bye\n",
+              static_cast<unsigned long long>(stats.frames_received),
+              static_cast<unsigned long long>(stats.connections_accepted));
+  return 0;
+}
+
+}  // namespace
+}  // namespace cyclerank
+
+int main(int argc, char** argv) { return cyclerank::Main(argc, argv); }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Determinism / concurrency-idiom lint for the cyclerank sources.
 
-Five rules, all rooted in the platform's guarantees:
+Six rules, all rooted in the platform's guarantees:
 
   determinism-rng       `rand()` / `srand()` / `std::random_device` outside
                         the seeded `common/rng.cc`. Kernels must be
@@ -42,6 +42,17 @@ Five rules, all rooted in the platform's guarantees:
                         write the fault harness can never reach. The sole
                         sanctioned implementation site is `common/env.cc`,
                         which lives outside `src/platform/` by construction.
+
+  net-socket            raw socket / `poll` usage (the BSD socket and poll
+                        headers, or globally-qualified calls like
+                        `::socket(` / `::poll(`) outside `src/net/`. All
+                        wire I/O must flow through the net layer
+                        (`NetServer` / `NetClient`) so framing, frame-size
+                        limits, connection accounting, and drain-on-shutdown
+                        live in exactly one place — a stray socket elsewhere
+                        would be a connection the daemon can neither count
+                        nor drain. (Tests and `tools/` are outside the
+                        linted root and may open sockets freely.)
 
 Usage:
   tools/lint.py                 # lint src/ of the repo containing this file
@@ -88,6 +99,12 @@ RE_DIRECT_IO = re.compile(
     r"#\s*include\s*<(?:filesystem|fstream)>"
     r"|std::(?:filesystem\b|[io]?fstream\b)"
     r"|(?<![\w:])fopen\s*\("
+)
+RE_NET_SOCKET = re.compile(
+    r"#\s*include\s*<(?:sys/socket\.h|sys/poll\.h|poll\.h|netdb\.h|"
+    r"netinet/in\.h|netinet/tcp\.h|arpa/inet\.h)>"
+    r"|(?<![\w:])::(?:socket|bind|listen|accept4?|connect|poll|ppoll|"
+    r"send|recv|getaddrinfo|getsockname|setsockopt)\s*\("
 )
 
 
@@ -155,6 +172,11 @@ def lint_file(rel_path, text):
                    "I/O must go through the Env seam (common/env.h) so "
                    "faults stay injectable; implementations belong in "
                    "common/env.cc")
+        if RE_NET_SOCKET.search(line) and not rel.startswith("net/"):
+            yield (lineno, "net-socket",
+                   "raw socket/poll usage outside src/net/ — all wire I/O "
+                   "goes through NetServer/NetClient so framing, limits, "
+                   "and drain-on-shutdown stay in one place")
         if rel.startswith("core/") and RE_UNORDERED_ANY.search(line):
             yield (lineno, "unordered-iteration",
                    "unordered containers are banned in kernels (src/core) — "
@@ -228,6 +250,15 @@ FIXTURES = [
     ("common/env.cc", "#include <filesystem>", None),  # the sanctioned seam
     ("core/kernel.cc", "#include <fstream>", None),  # rule scoped to platform
     ("platform/foo.cc", "// mentions std::filesystem in prose", None),
+    ("platform/gateway.cc", "#include <sys/socket.h>", "net-socket"),
+    ("core/kernel.cc", "#include <poll.h>", "net-socket"),
+    ("platform/foo.cc", "int fd = ::socket(AF_INET, SOCK_STREAM, 0);",
+     "net-socket"),
+    ("common/env.cc", "int rc = ::poll(&pfd, 1, timeout_ms);", "net-socket"),
+    ("net/server.cc", "#include <sys/socket.h>", None),  # the net layer
+    ("net/client.cc", "int rc = ::poll(&pfd, 1, timeout_ms);", None),
+    ("platform/foo.cc", "// ::poll( in prose is fine", None),
+    ("platform/foo.cc", "socket_like_name(x);", None),  # unqualified word
 ]
 
 
